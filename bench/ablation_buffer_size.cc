@@ -1,0 +1,32 @@
+// Ablation — input-preservation buffer size (the paper uses 50 MB and notes:
+// "a larger buffer reduces the frequency of disk I/O, but does not reduce
+// the amount of data written to the disk. Therefore, further enlarging
+// buffers shows little performance improvement.").
+#include <cstdio>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace ms;
+  using namespace ms::bench;
+  const bool quick = quick_mode(argc, argv);
+  const SimTime window = quick ? SimTime::minutes(2) : SimTime::minutes(10);
+  const int tmi_minutes = quick ? 2 : 10;
+
+  std::printf("=== Ablation: baseline preservation buffer size (SignalGuru, "
+              "2 checkpoints in the window) ===\n\n");
+  TablePrinter table({"buffer", "throughput", "spilled", "mean latency"}, 16);
+  for (const Bytes buffer : {4_MB, 16_MB, 50_MB, 200_MB, 1_GB}) {
+    Experiment exp(AppKind::kSignalGuru, Scheme::kBaseline, 2, window,
+                   0x5eedULL, tmi_minutes,
+                   [buffer](ft::FtParams& p) { p.preservation_buffer = buffer; });
+    exp.warmup();
+    exp.measure();
+    table.row({fmt_bytes(buffer), fmt(exp.throughput_tuples(), 0),
+               fmt_bytes(exp.baseline()->spilled_bytes()),
+               fmt(exp.mean_latency_ms(), 1) + "ms"});
+  }
+  std::printf("\nAs in the paper, the written volume is rate-bound: larger "
+              "buffers only delay the first spill.\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace ms::bench {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '@', '%'};
+constexpr char kBarGlyphs[] = {'#', '=', '.', 'o', '%', '+'};
+
+std::string fmt_short(double v) {
+  char buf[32];
+  const double a = std::fabs(v);
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", v / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string render_line_chart(const std::string& title,
+                              const std::vector<double>& x,
+                              const std::vector<Series>& series, int width,
+                              int height, const std::string& x_label,
+                              const std::string& y_label) {
+  MS_CHECK(width > 10 && height > 2);
+  MS_CHECK(!x.empty());
+  for (const auto& s : series) MS_CHECK(s.y.size() == x.size());
+
+  double ymin = 0.0;  // anchor at zero: these are magnitudes
+  double ymax = 0.0;
+  for (const auto& s : series) {
+    for (const double v : s.y) ymax = std::max(ymax, v);
+  }
+  if (ymax <= ymin) ymax = ymin + 1.0;
+  const double xmin = x.front();
+  const double xmax = std::max(x.back(), xmin + 1e-12);
+
+  // Plot grid.
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const int col = static_cast<int>(std::lround(
+          (x[i] - xmin) / (xmax - xmin) * (width - 1)));
+      const int row = static_cast<int>(std::lround(
+          (series[si].y[i] - ymin) / (ymax - ymin) * (height - 1)));
+      const int r = height - 1 - std::clamp(row, 0, height - 1);
+      grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(
+          std::clamp(col, 0, width - 1))] = glyph;
+    }
+  }
+
+  std::string out = title + "\n";
+  if (!y_label.empty()) out += y_label + "\n";
+  const std::string top = fmt_short(ymax);
+  const std::string mid = fmt_short((ymax + ymin) / 2);
+  const std::string bot = fmt_short(ymin);
+  const std::size_t margin =
+      std::max({top.size(), mid.size(), bot.size()}) + 1;
+  for (int r = 0; r < height; ++r) {
+    std::string label;
+    if (r == 0) {
+      label = top;
+    } else if (r == height / 2) {
+      label = mid;
+    } else if (r == height - 1) {
+      label = bot;
+    }
+    label.resize(margin, ' ');
+    out += label + "|" + grid[static_cast<std::size_t>(r)] + "\n";
+  }
+  out += std::string(margin, ' ') + "+" +
+         std::string(static_cast<std::size_t>(width), '-') + "\n";
+  // X-axis extremes.
+  std::string axis(margin + 1 + static_cast<std::size_t>(width), ' ');
+  const std::string xl = fmt_short(xmin);
+  const std::string xr = fmt_short(xmax);
+  axis.replace(margin + 1, xl.size(), xl);
+  if (xr.size() < static_cast<std::size_t>(width)) {
+    axis.replace(margin + 1 + static_cast<std::size_t>(width) - xr.size(),
+                 xr.size(), xr);
+  }
+  out += axis + (x_label.empty() ? "" : "  " + x_label) + "\n";
+  // Legend.
+  out += std::string(margin + 1, ' ');
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += std::string(1, kGlyphs[si % sizeof(kGlyphs)]) + " " +
+           series[si].name + "   ";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string render_stacked_bars(const std::string& title,
+                                const std::vector<Bar>& bars, int width,
+                                const std::string& unit) {
+  MS_CHECK(width > 10);
+  double max_total = 0.0;
+  std::size_t label_width = 0;
+  std::vector<std::string> segment_names;
+  for (const auto& bar : bars) {
+    double total = 0.0;
+    for (const auto& seg : bar.segments) {
+      total += seg.value;
+      if (std::find(segment_names.begin(), segment_names.end(), seg.name) ==
+          segment_names.end()) {
+        segment_names.push_back(seg.name);
+      }
+    }
+    max_total = std::max(max_total, total);
+    label_width = std::max(label_width, bar.label.size());
+  }
+  if (max_total <= 0.0) max_total = 1.0;
+
+  std::string out = title + "\n";
+  for (const auto& bar : bars) {
+    std::string label = bar.label;
+    label.resize(label_width, ' ');
+    out += label + " |";
+    double total = 0.0;
+    for (const auto& seg : bar.segments) {
+      const auto idx = static_cast<std::size_t>(
+          std::find(segment_names.begin(), segment_names.end(), seg.name) -
+          segment_names.begin());
+      const int cells = static_cast<int>(
+          std::lround(seg.value / max_total * width));
+      out += std::string(static_cast<std::size_t>(std::max(0, cells)),
+                         kBarGlyphs[idx % sizeof(kBarGlyphs)]);
+      total += seg.value;
+    }
+    out += "  " + fmt_short(total) + unit + "\n";
+  }
+  // Legend.
+  out += std::string(label_width, ' ') + "  ";
+  for (std::size_t i = 0; i < segment_names.size(); ++i) {
+    out += std::string(1, kBarGlyphs[i % sizeof(kBarGlyphs)]) + " " +
+           segment_names[i] + "   ";
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace ms::bench

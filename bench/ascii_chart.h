@@ -1,0 +1,43 @@
+// Terminal rendering for the reproduced figures: multi-series line charts
+// (Figs. 5, 12, 13, 15) and horizontal stacked bars (Figs. 14, 16), pure
+// ASCII so the bench output is self-contained.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ms::bench {
+
+struct Series {
+  std::string name;
+  std::vector<double> y;  // sampled at common x positions
+};
+
+/// Render one or more series over a common x axis as an ASCII chart.
+/// `x` and every series' `y` must have the same length. Each series is
+/// drawn with its own glyph ('*', 'o', '+', 'x', ...); collisions show the
+/// later series' glyph. Includes a y-axis scale and a legend.
+std::string render_line_chart(const std::string& title,
+                              const std::vector<double>& x,
+                              const std::vector<Series>& series,
+                              int width = 72, int height = 16,
+                              const std::string& x_label = "",
+                              const std::string& y_label = "");
+
+struct BarSegment {
+  std::string name;
+  double value = 0.0;
+};
+
+struct Bar {
+  std::string label;
+  std::vector<BarSegment> segments;  // stacked left to right
+};
+
+/// Render horizontal stacked bars (one row per bar) with a shared scale.
+/// Segment glyphs cycle through '#', '=', '.', 'o'.
+std::string render_stacked_bars(const std::string& title,
+                                const std::vector<Bar>& bars, int width = 60,
+                                const std::string& unit = "");
+
+}  // namespace ms::bench

@@ -1,0 +1,104 @@
+#include "ckpt_protocols.h"
+
+#include <cstdio>
+
+namespace ms::bench {
+
+const char* flavor_name(CkptFlavor f) {
+  switch (f) {
+    case CkptFlavor::kSrc: return "MS-src";
+    case CkptFlavor::kSrcAp: return "MS-src+ap";
+    case CkptFlavor::kSrcApAa: return "MS-src+ap+aa";
+    case CkptFlavor::kOracle: return "Oracle";
+  }
+  return "?";
+}
+
+SimTime oracle_instant(AppKind app, SimTime from, SimTime span,
+                       int tmi_window_minutes) {
+  Experiment probe(app, Scheme::kMsSrcAp, /*checkpoints=*/0, from + span,
+                   0x5eedULL, tmi_window_minutes);
+  probe.app().start();
+  auto& sim = probe.sim();
+  SimTime best_t = from;
+  Bytes best = -1;
+  const SimTime step = SimTime::seconds(2);
+  for (SimTime t = from; t < from + span; t += step) {
+    sim.run_until(t);
+    const Bytes state = probe.dynamic_state();
+    if (best < 0 || state < best) {
+      best = state;
+      best_t = t;
+    }
+  }
+  return best_t;
+}
+
+std::optional<ArrangedCheckpoint> arrange_checkpoint(AppKind app,
+                                                     CkptFlavor flavor,
+                                                     SimTime warm,
+                                                     SimTime period,
+                                                     int tmi_window_minutes) {
+  // The same seed drives every flavor, so the Oracle's observed minimum is
+  // the actual minimum of the measured run too.
+  SimTime trigger_at = warm;
+  Scheme scheme = Scheme::kMsSrcAp;
+  int checkpoints = 0;
+  switch (flavor) {
+    case CkptFlavor::kSrc:
+      scheme = Scheme::kMsSrc;
+      trigger_at = warm;
+      break;
+    case CkptFlavor::kSrcAp:
+      scheme = Scheme::kMsSrcAp;
+      trigger_at = warm;
+      break;
+    case CkptFlavor::kOracle:
+      scheme = Scheme::kMsSrcAp;
+      trigger_at = oracle_instant(app, warm, period, tmi_window_minutes);
+      break;
+    case CkptFlavor::kSrcApAa:
+      scheme = Scheme::kMsSrcApAa;
+      break;
+  }
+
+  auto result = std::make_optional<ArrangedCheckpoint>();
+  if (flavor == CkptFlavor::kSrcApAa) {
+    // Run the aa pipeline: observation + profiling (one period each in this
+    // arrangement) and then let the first execution period choose the
+    // moment. The window argument just needs to cover the pipeline.
+    result->exp = std::make_unique<Experiment>(app, Scheme::kMsSrcApAa,
+                                               /*checkpoints=*/1,
+                                               period, 0x5eedULL,
+                                               tmi_window_minutes);
+    result->exp->app().start();
+    result->exp->ms()->start();
+    auto& sim = result->exp->sim();
+    // Wait until the aa execution phase produced its first checkpoint.
+    const SimTime deadline = period * std::int64_t{8};
+    while (result->exp->ms()->checkpoints().empty() && sim.now() < deadline) {
+      sim.run_until(sim.now() + SimTime::seconds(5));
+    }
+    if (result->exp->ms()->checkpoints().empty()) return std::nullopt;
+    result->stats = result->exp->ms()->checkpoints().front();
+    return result;
+  }
+
+  result->exp = std::make_unique<Experiment>(app, scheme, checkpoints,
+                                             trigger_at + period, 0x5eedULL,
+                                             tmi_window_minutes);
+  result->exp->app().start();
+  result->exp->ms()->start();
+  auto& sim = result->exp->sim();
+  sim.run_until(trigger_at);
+  result->exp->ms()->trigger_checkpoint();
+  const SimTime deadline = trigger_at + period * std::int64_t{10};
+  while (result->exp->ms()->checkpoints().empty() && sim.now() < deadline) {
+    sim.run_until(sim.now() + SimTime::seconds(5));
+  }
+  if (result->exp->ms()->checkpoints().empty()) return std::nullopt;
+  result->stats = result->exp->ms()->checkpoints().front();
+  return result;
+}
+
+}  // namespace ms::bench

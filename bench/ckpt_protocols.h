@@ -1,0 +1,38 @@
+// Shared protocols for the checkpoint-time / instantaneous-latency /
+// recovery benches (Figs. 14, 15, 16): arranging a checkpoint at a plain
+// instant (MS-src / MS-src+ap), at the application-aware instant
+// (MS-src+ap+aa's alert mode), or at the Oracle's state-minimum instant
+// found by observing a prior run.
+#pragma once
+
+#include <optional>
+
+#include "harness.h"
+
+namespace ms::bench {
+
+/// Find the instant of minimal dynamic state within [from, from+span) by
+/// observing a dedicated (checkpoint-free) run of the same seeded app.
+SimTime oracle_instant(AppKind app, SimTime from, SimTime span,
+                       int tmi_window_minutes);
+
+/// Configurations of Fig. 14/16's bars.
+enum class CkptFlavor { kSrc, kSrcAp, kSrcApAa, kOracle };
+const char* flavor_name(CkptFlavor f);
+constexpr CkptFlavor kAllFlavors[] = {CkptFlavor::kSrc, CkptFlavor::kSrcAp,
+                                      CkptFlavor::kSrcApAa,
+                                      CkptFlavor::kOracle};
+
+/// Run one application under `flavor` and complete exactly one measured
+/// application checkpoint (at `at` for kSrc/kSrcAp/kOracle; at the alert
+/// instant of the first execution period for kSrcApAa). Returns the
+/// experiment (so recovery benches can keep going) and the checkpoint stats.
+struct ArrangedCheckpoint {
+  std::unique_ptr<Experiment> exp;
+  ft::AppCheckpointStats stats;
+};
+std::optional<ArrangedCheckpoint> arrange_checkpoint(
+    AppKind app, CkptFlavor flavor, SimTime warm, SimTime period,
+    int tmi_window_minutes);
+
+}  // namespace ms::bench

@@ -1,0 +1,138 @@
+#include "common_case.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "ascii_chart.h"
+
+namespace ms::bench {
+namespace {
+
+std::string cache_path(AppKind app, bool quick) {
+  return std::string("ms_common_case_") + app_name(app) +
+         (quick ? "_quick" : "") + ".cache";
+}
+
+bool load_cache(AppKind app, bool quick, int max_checkpoints,
+                CommonCaseSweep* sweep) {
+  std::ifstream in(cache_path(app, quick));
+  if (!in.good()) return false;
+  int version = 0;
+  in >> version;
+  if (version != 1) return false;
+  for (const Scheme scheme : kAllSchemes) {
+    for (int k = 0; k <= max_checkpoints; ++k) {
+      CommonCaseCell cell;
+      if (!(in >> cell.throughput >> cell.latency_ms >> cell.checkpoints)) {
+        return false;
+      }
+      sweep->cells[scheme][k] = cell;
+    }
+  }
+  sweep->baseline_zero_throughput =
+      sweep->cells[Scheme::kBaseline][0].throughput;
+  sweep->baseline_zero_latency_ms =
+      sweep->cells[Scheme::kBaseline][0].latency_ms;
+  return true;
+}
+
+void store_cache(AppKind app, bool quick, int max_checkpoints,
+                 const CommonCaseSweep& sweep) {
+  std::ofstream out(cache_path(app, quick), std::ios::trunc);
+  out << 1 << "\n";
+  for (const Scheme scheme : kAllSchemes) {
+    for (int k = 0; k <= max_checkpoints; ++k) {
+      const auto& cell = sweep.cells.at(scheme).at(k);
+      out << cell.throughput << " " << cell.latency_ms << " "
+          << cell.checkpoints << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+CommonCaseSweep run_common_case_sweep(AppKind app, bool quick,
+                                      int max_checkpoints) {
+  CommonCaseSweep sweep;
+  if (load_cache(app, quick, max_checkpoints, &sweep)) {
+    std::fprintf(stderr,
+                 "  %s: reusing the sweep measured by the sibling bench "
+                 "(%s)\n",
+                 app_name(app), cache_path(app, quick).c_str());
+    return sweep;
+  }
+  const SimTime window = quick ? SimTime::minutes(2) : SimTime::minutes(10);
+  const int tmi_minutes = quick ? 2 : 10;
+  for (const Scheme scheme : kAllSchemes) {
+    for (int k = 0; k <= max_checkpoints; ++k) {
+      Experiment exp(app, scheme, k, window, 0x9d2cULL, tmi_minutes);
+      exp.warmup();
+      exp.measure();
+      CommonCaseCell cell;
+      cell.throughput = exp.throughput_tuples();
+      cell.latency_ms = exp.mean_latency_ms();
+      cell.checkpoints = exp.checkpoints_completed();
+      sweep.cells[scheme][k] = cell;
+      std::fprintf(stderr, "  %-11s %-13s k=%d  tput=%-9.0f lat=%-8.1fms ckpts=%d\n",
+                   app_name(app), scheme_name(scheme), k, cell.throughput,
+                   cell.latency_ms, cell.checkpoints);
+    }
+  }
+  sweep.baseline_zero_throughput =
+      sweep.cells[Scheme::kBaseline][0].throughput;
+  sweep.baseline_zero_latency_ms =
+      sweep.cells[Scheme::kBaseline][0].latency_ms;
+  store_cache(app, quick, max_checkpoints, sweep);
+  return sweep;
+}
+
+void print_panel(AppKind app, const CommonCaseSweep& sweep, Metric metric) {
+  const double base = metric == Metric::kThroughput
+                          ? sweep.baseline_zero_throughput
+                          : sweep.baseline_zero_latency_ms;
+  std::printf("\n(%s) — normalized %s vs. checkpoints in the window\n",
+              app_name(app),
+              metric == Metric::kThroughput ? "throughput" : "latency");
+  std::vector<std::string> headers{"scheme"};
+  for (int k = 0; k <= 8; ++k) headers.push_back("k=" + std::to_string(k));
+  TablePrinter table(headers, 10);
+  for (const Scheme scheme : kAllSchemes) {
+    std::vector<std::string> row{scheme_name(scheme)};
+    const auto it = sweep.cells.find(scheme);
+    for (int k = 0; k <= 8; ++k) {
+      const auto cit = it->second.find(k);
+      if (cit == it->second.end()) {
+        row.push_back("-");
+        continue;
+      }
+      const double v = metric == Metric::kThroughput ? cit->second.throughput
+                                                     : cit->second.latency_ms;
+      row.push_back(base > 0 ? fmt(v / base) : fmt(0.0));
+    }
+    table.row(row);
+  }
+
+  // The figure itself, ASCII-rendered.
+  std::vector<double> xs;
+  for (int k = 0; k <= 8; ++k) xs.push_back(k);
+  std::vector<Series> plot;
+  for (const Scheme scheme : kAllSchemes) {
+    Series s{scheme_name(scheme), {}};
+    for (int k = 0; k <= 8; ++k) {
+      const auto& cell = sweep.cells.at(scheme).at(k);
+      const double v =
+          metric == Metric::kThroughput ? cell.throughput : cell.latency_ms;
+      s.y.push_back(base > 0 ? v / base : 0.0);
+    }
+    plot.push_back(std::move(s));
+  }
+  std::printf("%s", render_line_chart("", xs, plot, 64, 12,
+                                      "checkpoints in window",
+                                      metric == Metric::kThroughput
+                                          ? "normalized throughput"
+                                          : "normalized latency")
+                        .c_str());
+}
+
+}  // namespace ms::bench

@@ -1,0 +1,40 @@
+// Shared sweep for Figs. 12 & 13: throughput and latency of the four
+// schemes across 0..8 checkpoints in a 10-minute window, per application.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "harness.h"
+
+namespace ms::bench {
+
+struct CommonCaseCell {
+  double throughput = 0.0;   // tuples processed in the window
+  double latency_ms = 0.0;   // mean at the latency probes
+  int checkpoints = 0;       // application/HAU checkpoints completed
+};
+
+struct CommonCaseSweep {
+  // [scheme][checkpoint count] -> cell
+  std::map<Scheme, std::map<int, CommonCaseCell>> cells;
+  double baseline_zero_throughput = 0.0;
+  double baseline_zero_latency_ms = 0.0;
+};
+
+/// Run the full sweep for one application. `max_checkpoints` cells per
+/// scheme (paper: 0..8). Quick mode shrinks the window.
+///
+/// The paper's Figs. 12 and 13 come from the same runs, so the sweep caches
+/// its measurements in the working directory
+/// ("ms_common_case_<app>[_quick].cache"); a bench that finds a cache reuses
+/// it (and says so) instead of re-simulating ~100 ten-minute runs.
+CommonCaseSweep run_common_case_sweep(AppKind app, bool quick,
+                                      int max_checkpoints = 8);
+
+/// Print one figure panel: rows = schemes, columns = checkpoint counts,
+/// values normalized to the baseline at zero checkpoints.
+enum class Metric { kThroughput, kLatency };
+void print_panel(AppKind app, const CommonCaseSweep& sweep, Metric metric);
+
+}  // namespace ms::bench

@@ -1,0 +1,96 @@
+// Fig. 11 — Choosing the time for checkpointing: a step-by-step replay of
+// the paper's alert-mode walkthrough. Two dynamic HAUs report turning points
+// with their instantaneous change rates (ICR); the controller enters alert
+// mode when the queried total falls below smax and fires the checkpoint at
+// the first positive aggregate ICR. The paper's timeline: alert entered at
+// t2/t6/t10, checkpoints fired at t4, t6 and t12 (p8 is skipped: the method
+// finds only the first local minimum in alert mode).
+#include <cstdio>
+
+#include "ft/aa_controller.h"
+
+int main() {
+  using namespace ms;
+  using namespace ms::ft;
+
+  std::printf("=== Fig. 11: choosing time for checkpointing (alert mode "
+              "walkthrough) ===\n\n");
+
+  FtParams params;
+  params.checkpoint_period = SimTime::seconds(6);
+  AaController aa(params);
+  int checkpoints = 0;
+  SimTime fired_at;
+  SimTime now;
+  aa.set_hooks(AaController::Hooks{
+      .query_dynamic_haus = [&] { std::printf("  controller -> query both dynamic HAUs\n"); },
+      .trigger_checkpoint =
+          [&] {
+            ++checkpoints;
+            fired_at = now;
+            std::printf("  ** CHECKPOINT fired at t=%0.f **\n",
+                        now.to_seconds());
+          },
+      .set_alert_reporting =
+          [&](bool on) {
+            std::printf("  alert reporting %s\n", on ? "ON" : "OFF");
+          },
+  });
+  aa.force_execution({1, 2}, /*smax=*/250.0, /*smin=*/140.0);
+  std::printf("smax=250, smin=140, period T=6\n\n");
+
+  auto at = [&](int t) { now = SimTime::seconds(t); };
+
+  std::printf("t0: period 1 starts; query returns HAU1=200 (ICR +50), "
+              "HAU2=230 (ICR -30): total 430 > smax\n");
+  at(0);
+  aa.on_period_start(now);
+  aa.on_query_response(1, now, 200, 50);
+  aa.on_query_response(2, now, 230, -30);
+  std::printf("  alert=%s\n", aa.alert_mode() ? "yes" : "no");
+
+  std::printf("t2: HAU2 drops by more than half (p1->p2): notifies; query "
+              "returns p3(140,-50) + p2(100,+30): total 240 < smax\n");
+  at(2);
+  aa.on_half_drop_notification(2, now);
+  aa.on_query_response(1, now, 140, -50);
+  aa.on_query_response(2, now, 100, 30);
+  std::printf("  alert=%s, aggregate ICR=%.0f (negative: wait)\n",
+              aa.alert_mode() ? "yes" : "no", aa.aggregate_icr());
+
+  std::printf("t4: HAU1 reports turning point p5(40,+60): aggregate ICR "
+              "+90 > 0\n");
+  at(4);
+  aa.report_turning_point(1, now, 40, 60);
+  std::printf("  checkpoints so far: %d (paper: fires at t4)\n\n", checkpoints);
+
+  std::printf("t6: period 2 starts; query returns p6(50,+45) + p7(87.5,"
+              "-12.5): total 137.5 < smax, aggregate ICR +32.5 > 0\n");
+  at(6);
+  aa.on_period_start(now);
+  aa.on_query_response(1, now, 50, 45);
+  aa.on_query_response(2, now, 87.5, -12.5);
+  std::printf("  checkpoints so far: %d (paper: fires at t6; the deeper "
+              "minimum p8 is skipped)\n\n",
+              checkpoints);
+
+  std::printf("t10: period 3; query returns p10(100,+50) + p9(140,-60): "
+              "total 240 < smax, aggregate ICR -10 < 0: wait in alert\n");
+  at(10);
+  aa.on_period_start(now);
+  aa.on_query_response(1, now, 100, 50);
+  aa.on_query_response(2, now, 140, -60);
+  std::printf("  alert=%s, checkpoints=%d\n", aa.alert_mode() ? "yes" : "no",
+              checkpoints);
+
+  std::printf("t12: HAU2 reports turning point p12(20,+105): aggregate ICR "
+              "+155 > 0\n");
+  at(12);
+  aa.report_turning_point(2, now, 20, 105);
+  std::printf("  checkpoints so far: %d (paper: fires at t12)\n\n",
+              checkpoints);
+
+  std::printf("total checkpoints fired: %d (expected 3: t4, t6, t12)\n",
+              checkpoints);
+  return checkpoints == 3 ? 0 : 1;
+}

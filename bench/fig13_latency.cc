@@ -1,0 +1,28 @@
+// Fig. 13 — Mean end-to-end latency of the four schemes for 0..8 checkpoints
+// within a 10-minute window, normalized to the baseline with zero
+// checkpoints, for the three applications.
+#include <cstdio>
+
+#include "common_case.h"
+
+int main(int argc, char** argv) {
+  using namespace ms::bench;
+  const bool quick = quick_mode(argc, argv);
+  std::printf("=== Fig. 13: normalized latency vs. number of checkpoints in "
+              "%s ===\n",
+              quick ? "2 minutes (--quick)" : "10 minutes");
+  for (const AppKind app : kAllApps) {
+    const CommonCaseSweep sweep = run_common_case_sweep(app, quick);
+    print_panel(app, sweep, Metric::kLatency);
+    const double src_gain =
+        1.0 - sweep.cells.at(Scheme::kMsSrc).at(0).latency_ms /
+                  sweep.baseline_zero_latency_ms;
+    const double aa_gain_at3 =
+        1.0 - sweep.cells.at(Scheme::kMsSrcApAa).at(3).latency_ms /
+                  sweep.cells.at(Scheme::kBaseline).at(3).latency_ms;
+    std::printf("latency reduction @0 ckpt (src): %.0f%%   "
+                "MS-src+ap+aa vs baseline @3 ckpt: %.0f%%\n",
+                src_gain * 100.0, aa_gain_at3 * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 5 — Fluctuation in state size over time for the three applications:
+// TMI with N = 1, 5, 10 minute windows, BCP, and SignalGuru. Prints the
+// sampled aggregate state of the dynamic HAUs, its local minima (the "red
+// circles") and the average (the "red dotted line").
+#include <cstdio>
+
+#include "ascii_chart.h"
+#include "common/metrics.h"
+#include "harness.h"
+
+namespace {
+
+using namespace ms;
+using namespace ms::bench;
+
+void run_series(AppKind app, SimTime duration, int tmi_window_minutes,
+                const char* label) {
+  Experiment exp(app, Scheme::kMsSrcAp, /*checkpoints=*/0, duration,
+                 0x5eedULL, tmi_window_minutes);
+  exp.app().start();
+  TimeSeries series;
+  auto& sim = exp.sim();
+  const SimTime step = SimTime::seconds(5);
+  for (SimTime t = step; t <= duration; t += step) {
+    sim.run_until(t);
+    series.add(t, static_cast<double>(exp.dynamic_state()));
+  }
+  std::printf("\n--- %s (%.0f minutes) ---\n", label, duration.to_seconds() / 60);
+  std::printf("%-10s %-12s\n", "t (min)", "state (MB)");
+  const TimeSeries shown = series.downsample(40);
+  for (const auto& p : shown.points()) {
+    std::printf("%-10.2f %-12.1f\n", p.t.to_seconds() / 60.0,
+                p.value / 1048576.0);
+  }
+  std::printf("max: %s   min: %s   average: %s\n",
+              format_bytes(static_cast<Bytes>(series.max_value())).c_str(),
+              format_bytes(static_cast<Bytes>(series.min_value())).c_str(),
+              format_bytes(static_cast<Bytes>(series.mean_value())).c_str());
+  const auto minima = series.local_minima(3);
+  std::printf("local minima (red circles): %zu at ", minima.size());
+  for (std::size_t i = 0; i < minima.size() && i < 10; ++i) {
+    std::printf("%.1fmin(%s) ", minima[i].t.to_seconds() / 60.0,
+                format_bytes(static_cast<Bytes>(minima[i].value)).c_str());
+  }
+  std::printf("\n");
+
+  const TimeSeries plot = series.downsample(72);
+  std::vector<double> xs;
+  Series ys{"state (MB)", {}};
+  for (const auto& p : plot.points()) {
+    xs.push_back(p.t.to_seconds() / 60.0);
+    ys.y.push_back(p.value / 1048576.0);
+  }
+  std::printf("%s", render_line_chart(std::string(label) + " state size",
+                                      xs, {ys}, 72, 14, "t (min)", "MB")
+                        .c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = quick_mode(argc, argv);
+  const double scale = quick ? 0.35 : 1.0;
+  std::printf("=== Fig. 5: fluctuation in state size ===\n");
+  // (a) TMI with N = 1, 5, 10 over a 20-minute run.
+  for (const int n : {1, 5, 10}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "TMI (N=%d)", n);
+    run_series(AppKind::kTmi, SimTime::seconds(20 * 60 * scale), n, label);
+  }
+  // (b) BCP over 20 minutes.
+  run_series(AppKind::kBcp, SimTime::seconds(20 * 60 * scale), 10, "BCP");
+  // (c) SignalGuru over 14 minutes.
+  run_series(AppKind::kSignalGuru, SimTime::seconds(14 * 60 * scale), 10,
+             "SignalGuru");
+  return 0;
+}

@@ -1,0 +1,290 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ms::bench {
+
+const char* app_name(AppKind a) {
+  switch (a) {
+    case AppKind::kTmi: return "TMI";
+    case AppKind::kBcp: return "BCP";
+    case AppKind::kSignalGuru: return "SignalGuru";
+  }
+  return "?";
+}
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kBaseline: return "Baseline";
+    case Scheme::kMsSrc: return "MS-src";
+    case Scheme::kMsSrcAp: return "MS-src+ap";
+    case Scheme::kMsSrcApAa: return "MS-src+ap+aa";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Application operating points (calibrated; see DESIGN.md §5).
+//
+// Offered load exceeds the hot stage's capacity slightly, so the pipeline is
+// throughput-bound (backpressure throttles the ingest) — the regime of the
+// paper's loaded EC2 run, where per-tuple preservation overhead and
+// checkpoint pauses directly cost throughput.
+// ---------------------------------------------------------------------------
+
+apps::TmiConfig tmi_operating_point(int window_minutes) {
+  apps::TmiConfig cfg;
+  cfg.records_per_second = 40.0;  // offered per base station (10 stations)
+  cfg.record_bytes = 1200;
+  cfg.feature_bytes = 2_KB;
+  cfg.window = SimTime::minutes(window_minutes);
+  // Hot stage = the ingest-adjacent Pair operators (~19 tuples/s capacity
+  // each); everything downstream has headroom, so latency is governed by
+  // the hot stage's bounded buffers and checkpoint stalls propagate to it.
+  cfg.pair_cost = SimTime::millis(52);
+  cfg.map_cost = SimTime::millis(28);
+  cfg.group_cost = SimTime::millis(16);
+  cfg.kmeans_cost = SimTime::millis(12);
+  cfg.cluster_cost_per_tuple = SimTime::micros(200);
+  return cfg;
+}
+
+apps::BcpConfig bcp_operating_point() {
+  apps::BcpConfig cfg;
+  cfg.frames_per_second = 8.0;  // offered per stop camera bundle
+  cfg.frame_bytes = 192_KB;
+  cfg.bus_interarrival_mean = SimTime::seconds(80);
+  cfg.bus_interarrival_min = SimTime::seconds(45);
+  cfg.dispatcher_cost = SimTime::millis(119);  // hot stage at 8 fps
+  cfg.counter_cost = SimTime::millis(200);
+  cfg.historical_cost = SimTime::millis(55);
+  return cfg;
+}
+
+apps::SgConfig sg_operating_point() {
+  apps::SgConfig cfg;
+  cfg.frames_per_second = 8.0;
+  cfg.frame_bytes = 640_KB;
+  cfg.gap_mean = SimTime::seconds(5);
+  cfg.dispatcher_cost = SimTime::millis(53);  // hot stage at ~18 fps offered
+  cfg.color_cost = SimTime::millis(120);
+  cfg.shape_cost = SimTime::millis(90);
+  cfg.motion_cost = SimTime::millis(70);
+  return cfg;
+}
+
+/// Calibrated input-preservation fractions: chosen so the baseline's
+/// saturated hot-stage capacity ratio approximates the paper's measured
+/// source-preservation gains (TMI +24 %, BCP +31 %, SignalGuru +51 % at
+/// zero checkpoints).
+double preserve_fraction(AppKind kind) {
+  switch (kind) {
+    case AppKind::kTmi: return 0.25;
+    case AppKind::kBcp: return 0.46;
+    case AppKind::kSignalGuru: return 0.56;
+  }
+  return 0.35;
+}
+
+AppSetup make_app(AppKind kind, int tmi_window_minutes) {
+  AppSetup setup;
+  setup.tmi_window_minutes = tmi_window_minutes;
+  switch (kind) {
+    case AppKind::kTmi: {
+      const auto cfg = tmi_operating_point(tmi_window_minutes);
+      setup.graph = apps::build_tmi(cfg);
+      const auto layout = apps::tmi_layout(cfg);
+      setup.dynamic_haus = layout.kmeans;
+      setup.latency_probes = layout.kmeans;  // end of the continuous path
+      break;
+    }
+    case AppKind::kBcp: {
+      const auto cfg = bcp_operating_point();
+      setup.graph = apps::build_bcp(cfg);
+      const auto layout = apps::bcp_layout(cfg);
+      setup.dynamic_haus = layout.historical;
+      setup.latency_probes = layout.boarding;
+      for (const int p : layout.predictors) setup.latency_probes.push_back(p);
+      break;
+    }
+    case AppKind::kSignalGuru: {
+      const auto cfg = sg_operating_point();
+      setup.graph = apps::build_signalguru(cfg);
+      const auto layout = apps::signalguru_layout(cfg);
+      setup.dynamic_haus = layout.motion_filters;
+      setup.latency_probes = layout.voters;
+      break;
+    }
+  }
+  return setup;
+}
+
+// ---------------------------------------------------------------------------
+// Experiment
+// ---------------------------------------------------------------------------
+
+Experiment::Experiment(AppKind app_kind, Scheme scheme,
+                       int checkpoints_in_window, SimTime window,
+                       std::uint64_t seed, int tmi_window_minutes,
+                       std::function<void(ft::FtParams&)> params_hook)
+    : app_kind_(app_kind),
+      scheme_(scheme),
+      window_(window),
+      seed_(seed),
+      setup_(make_app(app_kind, tmi_window_minutes)) {
+  // 55 application nodes + 55 spares + 1 storage node, single rack of 120
+  // (the paper's DC racks hold 80; recovery placement stays rack-local to
+  // keep latencies uniform).
+  core::ClusterParams cp;
+  cp.network.num_nodes = 111;
+  cp.network.nodes_per_rack = 120;
+  // Small per-connection windows (SPE buffers): a synchronous checkpoint
+  // pause propagates to the hot stage within a fraction of a second.
+  cp.flow_window = 16;
+  // 2012 EC2 shared-storage effective bandwidth: the paper's checkpoint
+  // times (Fig. 14: 62-152 s for ~150 MB-1 GB of state) and recovery times
+  // (Fig. 16: 11-43 s) imply ~10-15 MB/s through the storage node, not a
+  // modern NVMe device. Fine-grained fair-sharing chunks keep the sources'
+  // preserved-tuple appends interleaving with checkpoint drains.
+  cp.shared_disk.write_bandwidth = 10e6;
+  cp.shared_disk.read_bandwidth = 15e6;
+  cp.shared_disk.chunk_size = 1_MB;
+  // The preserved-tuple log rides a striped GFS-like tier that sustains the
+  // full ingest volume (SignalGuru alone appends ~46 MB/s of frames).
+  storage::DiskConfig log_disk;
+  log_disk.write_bandwidth = 120e6;
+  log_disk.read_bandwidth = 120e6;
+  log_disk.per_request_overhead = SimTime::millis(1);
+  log_disk.chunk_size = 1_MB;
+  cp.shared_log_disk = log_disk;
+  cluster_ = std::make_unique<core::Cluster>(&sim_, cp);
+  app_ = std::make_unique<core::Application>(cluster_.get(), setup_.graph,
+                                             std::vector<net::NodeId>{}, seed_);
+  app_->deploy();
+  app_->set_latency_probes(setup_.latency_probes);
+
+  params_.preserve_cost_fraction = preserve_fraction(app_kind);
+  if (params_hook) params_hook(params_);
+  configure_scheme(checkpoints_in_window);
+}
+
+void Experiment::configure_scheme(int checkpoints_in_window) {
+  const SimTime period =
+      checkpoints_in_window > 0 ? window_ / checkpoints_in_window : window_;
+  params_.checkpoint_period = period;
+  params_.checkpoint_during_profiling = false;
+  // Profiling paces itself: a couple of minutes per phase sees the state
+  // cycles of all three applications without inflating the warmup.
+  params_.profile_period = std::min(period, SimTime::seconds(150));
+
+  switch (scheme_) {
+    case Scheme::kBaseline:
+      params_.periodic = checkpoints_in_window > 0;
+      baseline_ = std::make_unique<ft::BaselineScheme>(app_.get(), params_);
+      baseline_->attach();
+      break;
+    case Scheme::kMsSrc:
+    case Scheme::kMsSrcAp: {
+      params_.periodic = checkpoints_in_window > 0;
+      ms_ = std::make_unique<ft::MsScheme>(
+          app_.get(), params_,
+          scheme_ == Scheme::kMsSrc ? ft::MsVariant::kSrc
+                                    : ft::MsVariant::kSrcAp);
+      ms_->attach();
+      break;
+    }
+    case Scheme::kMsSrcApAa: {
+      // The aa pipeline needs periods; with zero checkpoints requested the
+      // scheme degenerates to plain MS-src+ap with no checkpoints.
+      params_.periodic = checkpoints_in_window > 0;
+      ms_ = std::make_unique<ft::MsScheme>(
+          app_.get(), params_,
+          checkpoints_in_window > 0 ? ft::MsVariant::kSrcApAa
+                                    : ft::MsVariant::kSrcAp);
+      ms_->attach();
+      break;
+    }
+  }
+  // Warmup: pipelines fill; +aa additionally spends observation +
+  // profiling periods before its execution phase starts.
+  warmup_end_ = SimTime::seconds(60);
+  if (scheme_ == Scheme::kMsSrcApAa && params_.periodic) {
+    warmup_end_ += params_.profile_period *
+                   static_cast<std::int64_t>(1 + params_.profile_periods);
+  }
+}
+
+void Experiment::warmup() {
+  app_->start();
+  if (ms_) ms_->start();
+  sim_.run_until(warmup_end_);
+  app_->reset_metrics();
+  cluster_->network().reset_stats();
+  ckpts_at_measure_start_ = static_cast<int>(
+      ms_ ? ms_->checkpoints().size()
+          : (baseline_ ? baseline_->reports().size() : 0));
+}
+
+void Experiment::measure() {
+  sim_.run_until(warmup_end_ + window_);
+  throughput_ = static_cast<double>(app_->total_tuples_processed());
+  latency_ms_ = app_->latency().mean().to_millis();
+  const int now_ckpts = static_cast<int>(
+      ms_ ? ms_->checkpoints().size()
+          : (baseline_ ? baseline_->reports().size() : 0));
+  checkpoints_completed_ = now_ckpts - ckpts_at_measure_start_;
+}
+
+Bytes Experiment::dynamic_state() const {
+  Bytes b = 0;
+  for (const int h : setup_.dynamic_haus) b += app_->hau(h).state_size();
+  return b;
+}
+
+std::vector<net::NodeId> Experiment::spare_nodes() const {
+  std::vector<net::NodeId> out;
+  for (net::NodeId n = 55; n < 110; ++n) out.push_back(n);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, int col_width)
+    : cols_(headers.size()), width_(col_width) {
+  for (const auto& h : headers) std::printf("%-*s", width_, h.c_str());
+  std::printf("\n");
+  rule();
+}
+
+void TablePrinter::row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%-*s", width_, c.c_str());
+  std::printf("\n");
+}
+
+void TablePrinter::rule() {
+  for (std::size_t i = 0; i < cols_ * static_cast<std::size_t>(width_); ++i) {
+    std::printf("-");
+  }
+  std::printf("\n");
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_bytes(Bytes b) { return format_bytes(b); }
+std::string fmt_time(SimTime t) { return t.to_string(); }
+
+bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace ms::bench

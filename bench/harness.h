@@ -1,0 +1,140 @@
+// Shared experiment harness for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper; this
+// harness owns the common machinery: building the three applications at
+// their calibrated operating points, attaching a fault-tolerance scheme
+// configured for K checkpoints in the measurement window, and the warmup /
+// measure / report cycle. Everything is deterministic for a given seed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/bcp.h"
+#include "apps/signalguru.h"
+#include "apps/tmi.h"
+#include "common/metrics.h"
+#include "core/application.h"
+#include "ft/baseline.h"
+#include "ft/meteor_shower.h"
+
+namespace ms::bench {
+
+enum class AppKind { kTmi, kBcp, kSignalGuru };
+enum class Scheme { kBaseline, kMsSrc, kMsSrcAp, kMsSrcApAa };
+
+const char* app_name(AppKind a);
+const char* scheme_name(Scheme s);
+constexpr AppKind kAllApps[] = {AppKind::kTmi, AppKind::kBcp,
+                                AppKind::kSignalGuru};
+constexpr Scheme kAllSchemes[] = {Scheme::kBaseline, Scheme::kMsSrc,
+                                  Scheme::kMsSrcAp, Scheme::kMsSrcApAa};
+
+/// The calibrated operating point of one application: the query graph plus
+/// which HAUs are dynamic (batch-windowed state) and where latency is
+/// measured.
+struct AppSetup {
+  core::QueryGraph graph;
+  std::vector<int> dynamic_haus;
+  std::vector<int> latency_probes;
+  /// TMI's window parameter (N) in minutes, when applicable.
+  int tmi_window_minutes = 10;
+};
+
+/// Build an application's graph at the paper's operating point. The
+/// operator cost parameters are calibrated (see DESIGN.md) so that the hot
+/// stages run near saturation — the regime in which preservation overheads
+/// and checkpoint pauses translate into throughput loss, as on the paper's
+/// loaded EC2 nodes.
+AppSetup make_app(AppKind kind, int tmi_window_minutes = 10);
+
+/// A deployed experiment: cluster + application + scheme.
+class Experiment {
+ public:
+  /// `checkpoints_in_window` configures the scheme so that (about) that many
+  /// application checkpoints fire within `window` after warmup() completes.
+  /// `params_hook`, if given, adjusts the fault-tolerance parameters before
+  /// the scheme is constructed (ablation sweeps).
+  Experiment(AppKind app_kind, Scheme scheme, int checkpoints_in_window,
+             SimTime window = SimTime::minutes(10),
+             std::uint64_t seed = 0x9d2cULL, int tmi_window_minutes = 10,
+             std::function<void(ft::FtParams&)> params_hook = nullptr);
+
+  /// Run the warmup phase (fills pipelines; for +aa also runs the
+  /// observation/profiling periods) and reset all metrics.
+  void warmup();
+
+  /// Run the measurement window.
+  void measure();
+
+  core::Application& app() { return *app_; }
+  core::Cluster& cluster() { return *cluster_; }
+  sim::Simulation& sim() { return sim_; }
+  ft::MsScheme* ms() { return ms_.get(); }
+  ft::BaselineScheme* baseline() { return baseline_.get(); }
+  const AppSetup& setup() const { return setup_; }
+  SimTime window() const { return window_; }
+  Scheme scheme() const { return scheme_; }
+
+  /// Aggregate state size of the dynamic HAUs right now (Fig. 5's curve).
+  Bytes dynamic_state() const;
+
+  // --- results of the last measure() ---
+  double throughput_tuples() const { return throughput_; }
+  double mean_latency_ms() const { return latency_ms_; }
+  int checkpoints_completed() const { return checkpoints_completed_; }
+
+  /// Spare nodes available for recovery experiments.
+  std::vector<net::NodeId> spare_nodes() const;
+
+  ft::FtParams& params() { return params_; }
+
+ private:
+  void configure_scheme(int checkpoints_in_window);
+
+  AppKind app_kind_;
+  Scheme scheme_;
+  SimTime window_;
+  std::uint64_t seed_;
+  AppSetup setup_;
+  ft::FtParams params_;
+
+  sim::Simulation sim_;
+  std::unique_ptr<core::Cluster> cluster_;
+  std::unique_ptr<core::Application> app_;
+  std::unique_ptr<ft::MsScheme> ms_;
+  std::unique_ptr<ft::BaselineScheme> baseline_;
+
+  SimTime warmup_end_;
+  double throughput_ = 0.0;
+  double latency_ms_ = 0.0;
+  int checkpoints_completed_ = 0;
+  int ckpts_at_measure_start_ = 0;
+};
+
+// --- printing helpers -------------------------------------------------------
+
+/// Fixed-width table printer for paper-style output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int col_width = 14);
+  void row(const std::vector<std::string>& cells);
+  void rule();
+
+ private:
+  std::size_t cols_;
+  int width_;
+};
+
+std::string fmt(double v, int precision = 2);
+std::string fmt_bytes(Bytes b);
+std::string fmt_time(SimTime t);
+
+/// True when the binary was invoked with --quick (shorter windows for smoke
+/// runs; full fidelity by default).
+bool quick_mode(int argc, char** argv);
+
+}  // namespace ms::bench

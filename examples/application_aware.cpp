@@ -1,0 +1,82 @@
+// Application-aware checkpointing demo — watch MS-src+ap+aa learn an
+// application's state-size pattern and time its checkpoints.
+//
+// SignalGuru's motion filters hold every frame of a vehicle's approach and
+// purge when the vehicle leaves, so the aggregate state swings by hundreds
+// of megabytes. The demo runs the aa pipeline (observation -> profiling ->
+// execution), prints the dynamic-HAU detection and thresholds, then
+// compares the state each execution-phase checkpoint captured against the
+// running average — the paper's Sec. II-B2 claim in action.
+#include <cstdio>
+
+#include "apps/signalguru.h"
+#include "core/application.h"
+#include "ft/meteor_shower.h"
+
+int main() {
+  using namespace ms;
+
+  std::printf("=== Application-aware checkpointing (SignalGuru) ===\n\n");
+
+  sim::Simulation sim;
+  core::ClusterParams cp;
+  cp.network.num_nodes = 60;
+  core::Cluster cluster(&sim, cp);
+
+  apps::SgConfig cfg;
+  cfg.frame_bytes = 256_KB;
+  core::Application app(&cluster, apps::build_signalguru(cfg));
+  app.deploy();
+  const auto layout = apps::signalguru_layout(cfg);
+
+  ft::FtParams params;
+  params.periodic = true;
+  params.checkpoint_period = SimTime::seconds(60);
+  params.profile_periods = 2;
+  ft::MsScheme scheme(&app, params, ft::MsVariant::kSrcApAa);
+  scheme.attach();
+  app.start();
+  scheme.start();
+
+  // Observe the aggregate motion-filter state while the pipeline learns.
+  double sum_state = 0.0;
+  int samples = 0;
+  for (int t = 5; t <= 600; t += 5) {
+    sim.run_until(SimTime::seconds(t));
+    Bytes state = 0;
+    for (const int h : layout.motion_filters) state += app.hau(h).state_size();
+    sum_state += static_cast<double>(state);
+    ++samples;
+    if (t == 60) {
+      std::printf("t=60s (observation done): dynamic HAUs = ");
+      for (const int h : scheme.aa().dynamic_haus()) {
+        std::printf("%s ", app.hau(h).name().c_str());
+      }
+      std::printf("\n");
+    }
+    if (t == 185) {
+      std::printf("t=185s (profiling done): smin=%s smax=%s\n",
+                  format_bytes(static_cast<Bytes>(scheme.aa().smin())).c_str(),
+                  format_bytes(static_cast<Bytes>(scheme.aa().smax())).c_str());
+    }
+  }
+
+  const double avg_state = sum_state / samples;
+  std::printf("\naverage dynamic state over the run: %s\n",
+              format_bytes(static_cast<Bytes>(avg_state)).c_str());
+  std::printf("\nexecution-phase checkpoints (aa-chosen instants):\n");
+  std::printf("%-8s %-14s %-16s %-10s\n", "id", "initiated", "ckpt state",
+              "vs avg");
+  for (const auto& c : scheme.checkpoints()) {
+    std::printf("%-8llu %-14s %-16s %-10.0f%%\n",
+                static_cast<unsigned long long>(c.checkpoint_id),
+                c.initiated.to_string().c_str(),
+                format_bytes(c.total_declared).c_str(),
+                (1.0 - static_cast<double>(c.total_declared) / avg_state) *
+                    100.0);
+  }
+  std::printf("\nA positive \"vs avg\" means the controller checkpointed "
+              "less state than a\nrandomly timed checkpoint would capture "
+              "on average (paper: ~80%% for SignalGuru).\n");
+  return 0;
+}

@@ -1,0 +1,657 @@
+#include "apps/bcp.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "apps/kernels/blob_count.h"
+#include "apps/kernels/linear_model.h"
+#include "apps/payloads.h"
+#include "core/operator.h"
+
+namespace ms::apps {
+namespace {
+
+/// Camera source for one bus stop: frames with the current crowd painted as
+/// blobs, plus BusArrival events that flush the crowd.
+class BcpCameraSource final : public core::Operator {
+ public:
+  BcpCameraSource(std::string name, const BcpConfig& cfg, int stop)
+      : core::Operator(std::move(name)), cfg_(cfg), stop_(stop) {
+    costs().base = SimTime::micros(25);
+  }
+
+  void on_open(core::OperatorContext& ctx) override {
+    arm_frame(ctx);
+    arm_bus(ctx);
+  }
+
+  void process(int, const core::Tuple&, core::OperatorContext&) override {
+    MS_CHECK_MSG(false, "sources receive no input");
+  }
+
+  Bytes state_size() const override { return 64; }
+  void serialize_state(BinaryWriter& w) const override {
+    w.write(waiting_);
+    w.write(frame_no_);
+  }
+  void deserialize_state(BinaryReader& r) override {
+    waiting_ = r.read<double>();
+    frame_no_ = r.read<std::int64_t>();
+  }
+  void clear_state() override {
+    waiting_ = 0.0;
+    frame_no_ = 0;
+  }
+
+ private:
+  void arm_frame(core::OperatorContext& ctx) {
+    ctx.schedule(SimTime::seconds(1.0 / cfg_.frames_per_second),
+                 [this](core::OperatorContext& c) {
+                   emit_frame(c);
+                   arm_frame(c);
+                 });
+  }
+
+  void arm_bus(core::OperatorContext& ctx) {
+    SimTime gap = SimTime::seconds(
+        ctx.rng().exponential(cfg_.bus_interarrival_mean.to_seconds()));
+    gap = std::max(gap, cfg_.bus_interarrival_min);
+    ctx.schedule(gap, [this](core::OperatorContext& c) {
+      core::Tuple t;
+      t.wire_size = 96;
+      t.payload = std::make_shared<BusArrival>(stop_, bus_no_++, t.wire_size);
+      c.emit(0, std::move(t));
+      // Nearly everyone boards; a couple of stragglers remain.
+      waiting_ = c.rng().uniform(0.0, 2.0);
+      arm_bus(c);
+    });
+  }
+
+  void emit_frame(core::OperatorContext& ctx) {
+    waiting_ += ctx.rng().poisson(cfg_.arrivals_per_person_second /
+                                  cfg_.frames_per_second);
+    const int count = static_cast<int>(waiting_);
+    OccupancyGrid grid = OccupancyGrid::blank(cfg_.grid_width, cfg_.grid_height);
+    for (int i = 0; i < count; ++i) {
+      // Spread people over the stop; keep blobs separated by a coarse grid
+      // so the counter kernel can resolve them.
+      const int cell = static_cast<int>(ctx.rng().uniform_u64(
+          static_cast<std::uint64_t>((cfg_.grid_width / 4) *
+                                     (cfg_.grid_height / 4))));
+      const int cx = (cell % (cfg_.grid_width / 4)) * 4 + 1;
+      const int cy = (cell / (cfg_.grid_width / 4)) * 4 + 1;
+      paint_blob(grid, cx, cy, 1);
+    }
+    core::Tuple t;
+    t.wire_size = cfg_.frame_bytes;
+    t.payload = std::make_shared<CameraFrame>(stop_, std::move(grid), count,
+                                              cfg_.frame_bytes);
+    ++frame_no_;
+    ctx.emit(0, std::move(t));
+  }
+
+  BcpConfig cfg_;
+  int stop_;
+  double waiting_ = 0.0;
+  std::int64_t frame_no_ = 0;
+  int bus_no_ = 0;
+};
+
+/// Dispatcher: frames round-robin to the four counters, everything
+/// (frames + arrivals) to the historical-image operator.
+class BcpDispatcher final : public core::Operator {
+ public:
+  BcpDispatcher(std::string name, const BcpConfig& cfg)
+      : core::Operator(std::move(name)) {
+    costs().base = cfg.dispatcher_cost;
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const int hist_port = ctx.num_out_ports() - 1;
+    if (t.payload_as<CameraFrame>() != nullptr) {
+      core::Tuple copy = t;
+      copy.id = 0;  // re-stamped from the input's lineage by the runtime
+      ctx.emit(static_cast<int>(rr_++ % static_cast<std::uint64_t>(hist_port)),
+               std::move(copy));
+    }
+    core::Tuple to_hist = t;
+    to_hist.id = 0;
+    ctx.emit(hist_port, std::move(to_hist));
+  }
+
+  Bytes state_size() const override { return 32; }
+  void serialize_state(BinaryWriter& w) const override { w.write(rr_); }
+  void deserialize_state(BinaryReader& r) override {
+    rr_ = r.read<std::uint64_t>();
+  }
+  void clear_state() override { rr_ = 0; }
+
+ private:
+  std::uint64_t rr_ = 0;
+};
+
+/// People counter: real blob counting on the frame's occupancy grid.
+class BcpCounter final : public core::Operator {
+ public:
+  BcpCounter(std::string name, const BcpConfig& cfg)
+      : core::Operator(std::move(name)) {
+    costs().base = cfg.counter_cost;  // image processing is expensive
+    costs().seconds_per_byte = 1.0 / 900e6;
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* frame = t.payload_as<CameraFrame>();
+    if (frame == nullptr) return;
+    const int count = count_blobs(frame->grid);
+    core::Tuple out;
+    out.wire_size = 96;
+    out.payload =
+        std::make_shared<PassengerCount>(frame->camera_id, count, out.wire_size);
+    ctx.emit(0, std::move(out));
+  }
+
+  Bytes state_size() const override { return 128; }
+};
+
+/// Historical-image operator: accumulates the successive frames of its stop
+/// (to filter pedestrians and resolve occlusions), purges them when a bus
+/// arrives. Its state is the stored images — BCP's dynamic HAU.
+class BcpHistorical final : public core::Operator {
+ public:
+  BcpHistorical(std::string name, const BcpConfig& cfg)
+      : core::Operator(std::move(name)), cfg_(cfg) {
+    costs().base = cfg.historical_cost;
+    costs().seconds_per_byte = 1.0 / 1200e6;
+    state_registry().add_custom("historical_frames", [this] {
+      return static_cast<Bytes>(frames_.size()) * cfg_.frame_bytes;
+    });
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    if (const auto* frame = t.payload_as<CameraFrame>()) {
+      frames_.push_back(frame->true_count);
+      counts_sum_ += frame->true_count;
+      delta_bytes_ += cfg_.frame_bytes;
+      // Refined waiting estimate: trimmed mean over the stored frames.
+      const double refined =
+          static_cast<double>(counts_sum_) /
+          static_cast<double>(std::max<std::size_t>(1, frames_.size()));
+      core::Tuple out;
+      out.wire_size = 96;
+      out.payload = std::make_shared<Prediction>(frame->camera_id, refined,
+                                                 out.wire_size);
+      ctx.emit(0, std::move(out));
+      return;
+    }
+    if (const auto* arrival = t.payload_as<BusArrival>()) {
+      // Boarding ground truth: the refined estimate at the arrival instant.
+      const double boarded =
+          frames_.empty() ? 0.0
+                          : static_cast<double>(counts_sum_) /
+                                static_cast<double>(frames_.size());
+      frames_.clear();
+      counts_sum_ = 0;
+      core::Tuple out;
+      out.wire_size = 96;
+      out.payload = std::make_shared<Prediction>(
+          arrival->stop_id + 1000, boarded, out.wire_size);  // arrival marker
+      ctx.emit(0, std::move(out));
+    }
+  }
+
+  Bytes state_size() const override {
+    return static_cast<Bytes>(frames_.size()) * cfg_.frame_bytes;
+  }
+  Bytes state_delta_size() const override {
+    return std::min(delta_bytes_, state_size());
+  }
+  void mark_checkpointed() override { delta_bytes_ = 0; }
+  void serialize_state(BinaryWriter& w) const override {
+    w.write<std::uint64_t>(frames_.size());
+    for (const int c : frames_) w.write(c);
+    w.write(counts_sum_);
+  }
+  void deserialize_state(BinaryReader& r) override {
+    const auto n = r.read<std::uint64_t>();
+    frames_.assign(n, 0);
+    for (auto& c : frames_) c = r.read<int>();
+    counts_sum_ = r.read<std::int64_t>();
+  }
+  void clear_state() override {
+    frames_.clear();
+    counts_sum_ = 0;
+  }
+
+  std::size_t stored_frames() const { return frames_.size(); }
+
+ private:
+  BcpConfig cfg_;
+  // Compact stand-ins for stored images: the declared state charges the
+  // full frame bytes, the host keeps the per-frame counts the algorithm
+  // actually consumes.
+  std::deque<int> frames_;
+  std::int64_t counts_sum_ = 0;
+  Bytes delta_bytes_ = 0;
+};
+
+/// Boarding-prediction model: online linear regression on the counter and
+/// historical estimates, trained at each arrival.
+class BcpBoarding final : public core::Operator {
+ public:
+  explicit BcpBoarding(std::string name)
+      : core::Operator(std::move(name)), model_(2, /*learning_rate=*/1e-5) {
+    costs().base = SimTime::micros(60);
+  }
+
+  void process(int in_port, const core::Tuple& t,
+               core::OperatorContext& ctx) override {
+    if (const auto* count = t.payload_as<PassengerCount>()) {
+      (void)in_port;
+      raw_ema_ = 0.8 * raw_ema_ + 0.2 * static_cast<double>(count->count);
+      return;
+    }
+    if (const auto* pred = t.payload_as<Prediction>()) {
+      if (pred->entity_id >= 1000) {
+        // Arrival marker: train on the realized boarding and emit the
+        // forward-looking prediction for the next bus.
+        model_.update({raw_ema_, refined_}, pred->value);
+        core::Tuple out;
+        out.wire_size = 96;
+        out.payload = std::make_shared<Prediction>(
+            pred->entity_id - 1000, model_.predict({raw_ema_, refined_}),
+            out.wire_size);
+        ctx.emit(0, std::move(out));
+      } else {
+        refined_ = pred->value;
+      }
+    }
+  }
+
+  Bytes state_size() const override { return 256; }
+  void serialize_state(BinaryWriter& w) const override {
+    model_.serialize(w);
+    w.write(raw_ema_);
+    w.write(refined_);
+  }
+  void deserialize_state(BinaryReader& r) override {
+    model_.deserialize(r);
+    raw_ema_ = r.read<double>();
+    refined_ = r.read<double>();
+  }
+  void clear_state() override {
+    model_ = OnlineLinearRegression(2, /*learning_rate=*/1e-5);
+    raw_ema_ = 0.0;
+    refined_ = 0.0;
+  }
+
+ private:
+  OnlineLinearRegression model_;
+  double raw_ema_ = 0.0;
+  double refined_ = 0.0;
+};
+
+/// On-vehicle infrared sensor source.
+class BcpSensorSource final : public core::Operator {
+ public:
+  BcpSensorSource(std::string name, const BcpConfig& cfg, int bus)
+      : core::Operator(std::move(name)), cfg_(cfg), bus_(bus) {
+    costs().base = SimTime::micros(15);
+  }
+
+  void on_open(core::OperatorContext& ctx) override { arm(ctx); }
+  void process(int, const core::Tuple&, core::OperatorContext&) override {
+    MS_CHECK_MSG(false, "sources receive no input");
+  }
+
+  Bytes state_size() const override { return 32; }
+  void serialize_state(BinaryWriter& w) const override { w.write(onboard_); }
+  void deserialize_state(BinaryReader& r) override {
+    onboard_ = r.read<double>();
+  }
+  void clear_state() override { onboard_ = 20.0; }
+
+ private:
+  void arm(core::OperatorContext& ctx) {
+    ctx.schedule(SimTime::seconds(1.0 / cfg_.sensor_rate), [this](core::OperatorContext& c) {
+      onboard_ = std::clamp(onboard_ + c.rng().normal(0.0, 1.0), 0.0, 80.0);
+      double reading = onboard_ + c.rng().normal(0.0, 2.0);
+      if (c.rng().bernoulli(0.02)) reading += 40.0;  // infrared glitch
+      core::Tuple t;
+      t.wire_size = cfg_.sensor_bytes;
+      t.payload = std::make_shared<SensorReading>(bus_, reading, t.wire_size);
+      c.emit(0, std::move(t));
+      arm(c);
+    });
+  }
+
+  BcpConfig cfg_;
+  int bus_;
+  double onboard_ = 20.0;
+};
+
+/// Noise filter: EMA smoothing with outlier clamping; fans out to the
+/// arrival and alighting predictors.
+class BcpNoiseFilter final : public core::Operator {
+ public:
+  explicit BcpNoiseFilter(std::string name) : core::Operator(std::move(name)) {
+    costs().base = SimTime::micros(30);
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* reading = t.payload_as<SensorReading>();
+    if (reading == nullptr) return;
+    const double smoothed = filter_.apply(reading->onboard);
+    for (int p = 0; p < ctx.num_out_ports(); ++p) {
+      core::Tuple out;
+      out.wire_size = 96;
+      out.payload = std::make_shared<SensorReading>(reading->bus_id, smoothed,
+                                                    out.wire_size);
+      ctx.emit(p, std::move(out));
+    }
+  }
+
+  Bytes state_size() const override { return 96; }
+  void serialize_state(BinaryWriter& w) const override { filter_.serialize(w); }
+  void deserialize_state(BinaryReader& r) override { filter_.deserialize(r); }
+  void clear_state() override { filter_ = EmaFilter(); }
+
+ private:
+  EmaFilter filter_;
+};
+
+/// Scalar prediction model over the smoothed sensor stream (arrival time or
+/// alighting count, depending on `flavor`).
+class BcpSensorModel final : public core::Operator {
+ public:
+  BcpSensorModel(std::string name, double flavor)
+      : core::Operator(std::move(name)),
+        model_(1, /*learning_rate=*/1e-5),
+        flavor_(flavor) {
+    costs().base = SimTime::micros(50);
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* reading = t.payload_as<SensorReading>();
+    if (reading == nullptr) return;
+    // Self-supervised target: a flavored transform of the smoothed signal.
+    model_.update({reading->onboard}, flavor_ * reading->onboard + 1.0);
+    core::Tuple out;
+    out.wire_size = 96;
+    out.payload = std::make_shared<Prediction>(
+        reading->bus_id, model_.predict({reading->onboard}), out.wire_size);
+    ctx.emit(0, std::move(out));
+  }
+
+  Bytes state_size() const override { return 192; }
+  void serialize_state(BinaryWriter& w) const override { model_.serialize(w); }
+  void deserialize_state(BinaryReader& r) override { model_.deserialize(r); }
+  void clear_state() override {
+    model_ = OnlineLinearRegression(1, /*learning_rate=*/1e-5);
+  }
+
+ private:
+  OnlineLinearRegression model_;
+  double flavor_;
+};
+
+/// Join: latest-value fusion across all in-ports; emits the fused vector
+/// whenever every port has reported at least once.
+class BcpJoin final : public core::Operator {
+ public:
+  explicit BcpJoin(std::string name) : core::Operator(std::move(name)) {
+    costs().base = SimTime::micros(40);
+    state_registry().add_fixed_element("latest", &latest_, 16);
+  }
+
+  void process(int in_port, const core::Tuple& t,
+               core::OperatorContext& ctx) override {
+    const auto* pred = t.payload_as<Prediction>();
+    if (pred == nullptr) return;
+    if (latest_.size() < static_cast<std::size_t>(ctx.num_in_ports())) {
+      latest_.resize(static_cast<std::size_t>(ctx.num_in_ports()), 0.0);
+      seen_.resize(static_cast<std::size_t>(ctx.num_in_ports()), false);
+    }
+    latest_[static_cast<std::size_t>(in_port)] = pred->value;
+    seen_[static_cast<std::size_t>(in_port)] = true;
+    if (std::all_of(seen_.begin(), seen_.end(), [](bool b) { return b; })) {
+      double sum = 0.0;
+      for (const double v : latest_) sum += v;
+      core::Tuple out;
+      out.wire_size = 128;
+      out.payload = std::make_shared<Prediction>(pred->entity_id, sum,
+                                                 out.wire_size);
+      ctx.emit(0, std::move(out));
+    }
+  }
+
+  Bytes state_size() const override {
+    return static_cast<Bytes>(latest_.size()) * 16 + 64;
+  }
+  void serialize_state(BinaryWriter& w) const override {
+    w.write_vector(latest_);
+    w.write<std::uint64_t>(seen_.size());
+    for (const bool b : seen_) w.write<std::uint8_t>(b ? 1 : 0);
+  }
+  void deserialize_state(BinaryReader& r) override {
+    latest_ = r.read_vector<double>();
+    const auto n = r.read<std::uint64_t>();
+    seen_.assign(n, false);
+    for (auto&& b : seen_) b = r.read<std::uint8_t>() != 0;
+  }
+  void clear_state() override {
+    latest_.clear();
+    seen_.clear();
+  }
+
+ private:
+  std::vector<double> latest_;
+  std::vector<bool> seen_;
+};
+
+/// Group: running average of the joined signal per group.
+class BcpGroup final : public core::Operator {
+ public:
+  explicit BcpGroup(std::string name) : core::Operator(std::move(name)) {
+    costs().base = SimTime::micros(25);
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* pred = t.payload_as<Prediction>();
+    if (pred == nullptr) return;
+    avg_ = 0.9 * avg_ + 0.1 * pred->value;
+    core::Tuple out;
+    out.wire_size = 96;
+    out.payload = std::make_shared<Prediction>(pred->entity_id, avg_,
+                                               out.wire_size);
+    ctx.emit(0, std::move(out));
+  }
+
+  Bytes state_size() const override { return 64; }
+  void serialize_state(BinaryWriter& w) const override { w.write(avg_); }
+  void deserialize_state(BinaryReader& r) override { avg_ = r.read<double>(); }
+  void clear_state() override { avg_ = 0.0; }
+
+ private:
+  double avg_ = 0.0;
+};
+
+/// Crowdedness predictor: final linear fusion.
+class BcpCrowdedness final : public core::Operator {
+ public:
+  explicit BcpCrowdedness(std::string name)
+      : core::Operator(std::move(name)), model_(1, /*learning_rate=*/1e-6) {
+    costs().base = SimTime::micros(40);
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* pred = t.payload_as<Prediction>();
+    if (pred == nullptr) return;
+    model_.update({pred->value}, pred->value);
+    core::Tuple out;
+    out.wire_size = 96;
+    out.payload = std::make_shared<Prediction>(
+        pred->entity_id, model_.predict({pred->value}), out.wire_size);
+    ctx.emit(0, std::move(out));
+  }
+
+  Bytes state_size() const override { return 192; }
+  void serialize_state(BinaryWriter& w) const override { model_.serialize(w); }
+  void deserialize_state(BinaryReader& r) override { model_.deserialize(r); }
+  void clear_state() override {
+    model_ = OnlineLinearRegression(1, /*learning_rate=*/1e-6);
+  }
+
+ private:
+  OnlineLinearRegression model_;
+};
+
+class BcpSink final : public core::Operator {
+ public:
+  explicit BcpSink(std::string name) : core::Operator(std::move(name)) {
+    costs().base = SimTime::micros(10);
+  }
+  void process(int, const core::Tuple&, core::OperatorContext&) override {
+    ++received_;
+  }
+  Bytes state_size() const override { return 64; }
+  void serialize_state(BinaryWriter& w) const override { w.write(received_); }
+  void deserialize_state(BinaryReader& r) override {
+    received_ = r.read<std::int64_t>();
+  }
+  void clear_state() override { received_ = 0; }
+
+ private:
+  std::int64_t received_ = 0;
+};
+
+}  // namespace
+
+core::QueryGraph build_bcp(const BcpConfig& config) {
+  core::QueryGraph g;
+  const int n = config.num_stops;
+
+  std::vector<int> cam, disp, cnt, hist, board, sens, noise, arr, alight;
+  for (int i = 0; i < n; ++i) {
+    cam.push_back(g.add_source("S" + std::to_string(i), [config, i] {
+      return std::make_unique<BcpCameraSource>("S" + std::to_string(i), config,
+                                               i);
+    }));
+  }
+  for (int i = 0; i < n; ++i) {
+    disp.push_back(g.add_operator("D" + std::to_string(i), [config, i] {
+      return std::make_unique<BcpDispatcher>("D" + std::to_string(i), config);
+    }));
+  }
+  for (int i = 0; i < 4 * n; ++i) {
+    cnt.push_back(g.add_operator("C" + std::to_string(i), [config, i] {
+      return std::make_unique<BcpCounter>("C" + std::to_string(i), config);
+    }));
+  }
+  for (int i = 0; i < n; ++i) {
+    hist.push_back(g.add_operator("H" + std::to_string(i), [config, i] {
+      return std::make_unique<BcpHistorical>("H" + std::to_string(i), config);
+    }));
+  }
+  for (int i = 0; i < n; ++i) {
+    board.push_back(g.add_operator("B" + std::to_string(i), [i] {
+      return std::make_unique<BcpBoarding>("B" + std::to_string(i));
+    }));
+  }
+  for (int i = 0; i < n; ++i) {
+    sens.push_back(g.add_source("S" + std::to_string(n + i), [config, n, i] {
+      return std::make_unique<BcpSensorSource>("S" + std::to_string(n + i),
+                                               config, i);
+    }));
+  }
+  for (int i = 0; i < n; ++i) {
+    noise.push_back(g.add_operator("N" + std::to_string(i), [i] {
+      return std::make_unique<BcpNoiseFilter>("N" + std::to_string(i));
+    }));
+  }
+  for (int i = 0; i < n; ++i) {
+    arr.push_back(g.add_operator("A" + std::to_string(i), [i] {
+      return std::make_unique<BcpSensorModel>("A" + std::to_string(i), 0.1);
+    }));
+  }
+  for (int i = 0; i < n; ++i) {
+    alight.push_back(g.add_operator("L" + std::to_string(i), [i] {
+      return std::make_unique<BcpSensorModel>("L" + std::to_string(i), 0.3);
+    }));
+  }
+  const int j0 = g.add_operator("J0", [] { return std::make_unique<BcpJoin>("J0"); });
+  const int j2 = g.add_operator("J2", [] { return std::make_unique<BcpJoin>("J2"); });
+  const int g0 = g.add_operator("G0", [] { return std::make_unique<BcpGroup>("G0"); });
+  const int g1 = g.add_operator("G1", [] { return std::make_unique<BcpGroup>("G1"); });
+  const int p0 = g.add_operator("P0", [] {
+    return std::make_unique<BcpCrowdedness>("P0");
+  });
+  const int p1 = g.add_operator("P1", [] {
+    return std::make_unique<BcpCrowdedness>("P1");
+  });
+  const int k = g.add_sink("K", [] { return std::make_unique<BcpSink>("K"); });
+
+  for (int i = 0; i < n; ++i) {
+    g.connect(cam[static_cast<std::size_t>(i)], disp[static_cast<std::size_t>(i)]);
+    // Dispatcher out-ports 0..3 feed the counters; the LAST port feeds the
+    // historical operator (BcpDispatcher relies on that ordering).
+    for (int c = 0; c < 4; ++c) {
+      g.connect(disp[static_cast<std::size_t>(i)],
+                cnt[static_cast<std::size_t>(4 * i + c)]);
+    }
+    g.connect(disp[static_cast<std::size_t>(i)],
+              hist[static_cast<std::size_t>(i)]);
+    for (int c = 0; c < 4; ++c) {
+      g.connect(cnt[static_cast<std::size_t>(4 * i + c)],
+                board[static_cast<std::size_t>(i)]);
+    }
+    g.connect(hist[static_cast<std::size_t>(i)],
+              board[static_cast<std::size_t>(i)]);
+
+    g.connect(sens[static_cast<std::size_t>(i)],
+              noise[static_cast<std::size_t>(i)]);
+    g.connect(noise[static_cast<std::size_t>(i)],
+              arr[static_cast<std::size_t>(i)]);
+    g.connect(noise[static_cast<std::size_t>(i)],
+              alight[static_cast<std::size_t>(i)]);
+
+    const int join = (i < n / 2) ? j0 : j2;
+    g.connect(board[static_cast<std::size_t>(i)], join);
+    g.connect(arr[static_cast<std::size_t>(i)], join);
+    g.connect(alight[static_cast<std::size_t>(i)], join);
+  }
+  g.connect(j0, g0);
+  g.connect(j2, g1);
+  g.connect(g0, p0);
+  g.connect(g1, p1);
+  g.connect(p0, k);
+  g.connect(p1, k);
+  return g;
+}
+
+BcpLayout bcp_layout(const BcpConfig& config) {
+  BcpLayout layout;
+  const int n = config.num_stops;
+  int next = 0;
+  for (int i = 0; i < n; ++i) layout.camera_sources.push_back(next++);
+  for (int i = 0; i < n; ++i) layout.dispatchers.push_back(next++);
+  for (int i = 0; i < 4 * n; ++i) layout.counters.push_back(next++);
+  for (int i = 0; i < n; ++i) layout.historical.push_back(next++);
+  for (int i = 0; i < n; ++i) layout.boarding.push_back(next++);
+  for (int i = 0; i < n; ++i) layout.sensor_sources.push_back(next++);
+  for (int i = 0; i < n; ++i) layout.noise_filters.push_back(next++);
+  for (int i = 0; i < n; ++i) layout.arrival.push_back(next++);
+  for (int i = 0; i < n; ++i) layout.alighting.push_back(next++);
+  layout.joins = {next, next + 1};
+  next += 2;
+  layout.groups = {next, next + 1};
+  next += 2;
+  layout.predictors = {next, next + 1};
+  next += 2;
+  layout.sink = next++;
+  return layout;
+}
+
+}  // namespace ms::apps

@@ -1,0 +1,63 @@
+// Bus Capacity Prediction (BCP) — paper §II-B2, Fig. 3.
+//
+// 55 operators across two input modalities:
+//  - camera side: 4 camera sources S0–S3, dispatchers D0–D3, 16 people
+//    counters C0–C15 (four per dispatcher), 4 historical-image operators
+//    H0–H3 (accumulate successive frames per camera to disambiguate
+//    occlusions, purge on a bus arrival — BCP's fluctuating state of
+//    Fig. 5b), 4 boarding-prediction models B0–B3;
+//  - sensor side: 4 on-vehicle infrared sources S4–S7, noise filters N0–N3,
+//    arrival-time predictors A0–A3, alighting predictors L0–L3;
+//  - fused: joins J0/J2, groups G0/G1, crowdedness predictors P0/P1, sink K.
+#pragma once
+
+#include "core/query_graph.h"
+
+namespace ms::apps {
+
+struct BcpConfig {
+  int num_stops = 4;  // one camera/dispatcher/H/B column per stop
+  /// Frames per second per camera source (a source aggregates the cameras
+  /// of one stop).
+  double frames_per_second = 4.0;
+  /// Declared bytes per camera frame (the raw image the real system ships).
+  Bytes frame_bytes = 192_KB;
+  /// Occupancy-grid resolution of the synthetic frames.
+  int grid_width = 48;
+  int grid_height = 32;
+  /// People waiting at a stop grow over time and drop at a bus arrival.
+  double arrivals_per_person_second = 0.08;  // growth rate
+  /// Mean time between bus arrivals at a stop.
+  SimTime bus_interarrival_mean = SimTime::seconds(150);
+  SimTime bus_interarrival_min = SimTime::seconds(60);
+  /// Infrared sensor readings per second per bus source.
+  double sensor_rate = 5.0;
+  Bytes sensor_bytes = 128;
+
+  /// Per-tuple operator costs (calibrated by the benchmark harness).
+  SimTime dispatcher_cost = SimTime::micros(20);
+  SimTime counter_cost = SimTime::micros(300);
+  SimTime historical_cost = SimTime::micros(150);
+};
+
+/// Build the Fig. 3 query network.
+core::QueryGraph build_bcp(const BcpConfig& config = {});
+
+struct BcpLayout {
+  std::vector<int> camera_sources;  // S0..S3
+  std::vector<int> dispatchers;     // D0..D3
+  std::vector<int> counters;        // C0..C15
+  std::vector<int> historical;      // H0..H3 — the dynamic HAUs
+  std::vector<int> boarding;        // B0..B3
+  std::vector<int> sensor_sources;  // S4..S7
+  std::vector<int> noise_filters;   // N0..N3
+  std::vector<int> arrival;         // A0..A3
+  std::vector<int> alighting;       // L0..L3
+  std::vector<int> joins;           // J0, J2
+  std::vector<int> groups;          // G0, G1
+  std::vector<int> predictors;      // P0, P1
+  int sink = -1;                    // K
+};
+BcpLayout bcp_layout(const BcpConfig& config = {});
+
+}  // namespace ms::apps

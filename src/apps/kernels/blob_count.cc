@@ -1,0 +1,60 @@
+#include "apps/kernels/blob_count.h"
+
+#include <vector>
+
+namespace ms::apps {
+
+int count_blobs(const OccupancyGrid& grid, std::uint8_t threshold,
+                int min_cells) {
+  if (grid.width <= 0 || grid.height <= 0) return 0;
+  std::vector<bool> visited(static_cast<std::size_t>(grid.width * grid.height),
+                            false);
+  int blobs = 0;
+  std::vector<std::pair<int, int>> stack;
+  for (int y = 0; y < grid.height; ++y) {
+    for (int x = 0; x < grid.width; ++x) {
+      const auto idx = static_cast<std::size_t>(y * grid.width + x);
+      if (visited[idx] || grid.at(x, y) < threshold) continue;
+      // Flood fill this component.
+      int cells = 0;
+      stack.clear();
+      stack.emplace_back(x, y);
+      visited[idx] = true;
+      while (!stack.empty()) {
+        const auto [cx, cy] = stack.back();
+        stack.pop_back();
+        ++cells;
+        constexpr int dx[] = {1, -1, 0, 0};
+        constexpr int dy[] = {0, 0, 1, -1};
+        for (int d = 0; d < 4; ++d) {
+          const int nx = cx + dx[d];
+          const int ny = cy + dy[d];
+          if (nx < 0 || ny < 0 || nx >= grid.width || ny >= grid.height) {
+            continue;
+          }
+          const auto nidx = static_cast<std::size_t>(ny * grid.width + nx);
+          if (!visited[nidx] && grid.at(nx, ny) >= threshold) {
+            visited[nidx] = true;
+            stack.emplace_back(nx, ny);
+          }
+        }
+      }
+      if (cells >= min_cells) ++blobs;
+    }
+  }
+  return blobs;
+}
+
+void paint_blob(OccupancyGrid& grid, int cx, int cy, int radius,
+                std::uint8_t intensity) {
+  for (int y = cy - radius; y <= cy + radius; ++y) {
+    for (int x = cx - radius; x <= cx + radius; ++x) {
+      if (x < 0 || y < 0 || x >= grid.width || y >= grid.height) continue;
+      const int dx = x - cx;
+      const int dy = y - cy;
+      if (dx * dx + dy * dy <= radius * radius) grid.set(x, y, intensity);
+    }
+  }
+}
+
+}  // namespace ms::apps

@@ -1,0 +1,39 @@
+// People counting on synthetic frames — the kernel of BCP's Counter
+// operators. A frame is a small occupancy grid; people are connected
+// components above an intensity threshold (4-connected flood fill). BCP's
+// camera generator plants a known number of blobs so tests can verify the
+// detector end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ms::apps {
+
+struct OccupancyGrid {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> cells;  // row-major intensities 0..255
+
+  std::uint8_t at(int x, int y) const {
+    return cells[static_cast<std::size_t>(y * width + x)];
+  }
+  void set(int x, int y, std::uint8_t v) {
+    cells[static_cast<std::size_t>(y * width + x)] = v;
+  }
+  static OccupancyGrid blank(int width, int height) {
+    return {width, height,
+            std::vector<std::uint8_t>(static_cast<std::size_t>(width * height), 0)};
+  }
+};
+
+/// Number of 4-connected components with intensity >= threshold and at
+/// least `min_cells` cells (small specks are noise, not people).
+int count_blobs(const OccupancyGrid& grid, std::uint8_t threshold = 128,
+                int min_cells = 2);
+
+/// Paint a roughly circular blob of the given radius at (cx, cy).
+void paint_blob(OccupancyGrid& grid, int cx, int cy, int radius,
+                std::uint8_t intensity = 200);
+
+}  // namespace ms::apps

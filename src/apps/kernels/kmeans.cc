@@ -1,0 +1,116 @@
+#include "apps/kernels/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/status.h"
+
+namespace ms::apps {
+
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  MS_CHECK(a.size() == b.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+int nearest_centroid(const std::vector<std::vector<double>>& centroids,
+                     const std::vector<double>& p) {
+  MS_CHECK(!centroids.empty());
+  int best = 0;
+  double best_d = squared_distance(centroids[0], p);
+  for (std::size_t c = 1; c < centroids.size(); ++c) {
+    const double d = squared_distance(centroids[c], p);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points, int k,
+                    Rng& rng, int max_iterations, double tolerance) {
+  KMeansResult result;
+  if (points.empty() || k <= 0) return result;
+  k = std::min<int>(k, static_cast<int>(points.size()));
+  const std::size_t dim = points.front().size();
+
+  // k-means++ seeding: first centroid uniform, then proportional to the
+  // squared distance to the nearest chosen centroid.
+  result.centroids.push_back(points[rng.uniform_u64(points.size())]);
+  std::vector<double> d2(points.size());
+  while (static_cast<int>(result.centroids.size()) < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      d2[i] = squared_distance(
+          points[i],
+          result.centroids[static_cast<std::size_t>(
+              nearest_centroid(result.centroids, points[i]))]);
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All points coincide with chosen centroids; duplicate one.
+      result.centroids.push_back(points[rng.uniform_u64(points.size())]);
+      continue;
+    }
+    double target = rng.uniform() * total;
+    std::size_t pick = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    result.centroids.push_back(points[pick]);
+  }
+
+  result.assignment.assign(points.size(), 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    ++result.iterations;
+    // Assign.
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const int c = nearest_centroid(result.centroids, points[i]);
+      if (c != result.assignment[i]) {
+        result.assignment[i] = c;
+        changed = true;
+      }
+    }
+    // Update.
+    std::vector<std::vector<double>> sums(
+        static_cast<std::size_t>(k), std::vector<double>(dim, 0.0));
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto c = static_cast<std::size_t>(result.assignment[i]);
+      ++counts[c];
+      for (std::size_t j = 0; j < dim; ++j) sums[c][j] += points[i][j];
+    }
+    double shift = 0.0;
+    for (std::size_t c = 0; c < static_cast<std::size_t>(k); ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      std::vector<double> next(dim);
+      for (std::size_t j = 0; j < dim; ++j) {
+        next[j] = sums[c][j] / static_cast<double>(counts[c]);
+      }
+      shift += squared_distance(result.centroids[c], next);
+      result.centroids[c] = std::move(next);
+    }
+    if (!changed || shift < tolerance) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.inertia += squared_distance(
+        points[i],
+        result.centroids[static_cast<std::size_t>(result.assignment[i])]);
+  }
+  return result;
+}
+
+}  // namespace ms::apps

@@ -1,0 +1,34 @@
+// k-means clustering — the kernel of TMI (paper §II-B2): transportation-mode
+// inference clusters speed/acceleration feature vectors into k modes at the
+// end of each N-minute window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ms::apps {
+
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;  // k x dim
+  std::vector<int> assignment;                 // one entry per input point
+  double inertia = 0.0;                        // sum of squared distances
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ style seeding (deterministic via Rng).
+/// Empty input yields an empty result; k is clamped to the point count.
+KMeansResult kmeans(const std::vector<std::vector<double>>& points, int k,
+                    Rng& rng, int max_iterations = 50,
+                    double tolerance = 1e-6);
+
+/// Squared Euclidean distance.
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Index of the nearest centroid to `p`.
+int nearest_centroid(const std::vector<std::vector<double>>& centroids,
+                     const std::vector<double>& p);
+
+}  // namespace ms::apps

@@ -1,0 +1,113 @@
+// Small online linear models used by BCP's prediction operators: ridge-style
+// SGD linear regression (bus arrival time, alighting counts) and an
+// exponential moving average noise filter for the on-vehicle infrared
+// sensors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace ms::apps {
+
+/// Linear regression trained by SGD with L2 regularization.
+class OnlineLinearRegression {
+ public:
+  explicit OnlineLinearRegression(std::size_t dim, double learning_rate = 1e-3,
+                                  double l2 = 1e-4)
+      : w_(dim, 0.0), bias_(0.0), lr_(learning_rate), l2_(l2) {}
+
+  double predict(const std::vector<double>& x) const {
+    MS_CHECK(x.size() == w_.size());
+    double y = bias_;
+    for (std::size_t i = 0; i < x.size(); ++i) y += w_[i] * x[i];
+    return y;
+  }
+
+  /// One SGD step on (x, target); returns the pre-update prediction error.
+  double update(const std::vector<double>& x, double target) {
+    const double err = predict(x) - target;
+    for (std::size_t i = 0; i < w_.size(); ++i) {
+      w_[i] -= lr_ * (err * x[i] + l2_ * w_[i]);
+    }
+    bias_ -= lr_ * err;
+    ++updates_;
+    return err;
+  }
+
+  std::size_t dim() const { return w_.size(); }
+  std::int64_t updates() const { return updates_; }
+  const std::vector<double>& weights() const { return w_; }
+
+  void serialize(BinaryWriter& w) const {
+    w.write_vector(w_);
+    w.write(bias_);
+    w.write(updates_);
+  }
+  void deserialize(BinaryReader& r) {
+    w_ = r.read_vector<double>();
+    bias_ = r.read<double>();
+    updates_ = r.read<std::int64_t>();
+  }
+
+ private:
+  std::vector<double> w_;
+  double bias_;
+  double lr_;
+  double l2_;
+  std::int64_t updates_ = 0;
+};
+
+/// Exponential moving average with outlier clamping — the BCP noise filter.
+class EmaFilter {
+ public:
+  explicit EmaFilter(double alpha = 0.2, double outlier_sigma = 4.0)
+      : alpha_(alpha), outlier_sigma_(outlier_sigma) {}
+
+  /// Filter one sample; returns the smoothed value.
+  double apply(double x) {
+    if (n_ == 0) {
+      mean_ = x;
+      var_ = 0.0;
+    } else {
+      // Clamp gross outliers to the current band before smoothing.
+      const double sd = var_ > 0.0 ? std::sqrt(var_) : 0.0;
+      if (sd > 0.0) {
+        const double lo = mean_ - outlier_sigma_ * sd;
+        const double hi = mean_ + outlier_sigma_ * sd;
+        if (x < lo) x = lo;
+        if (x > hi) x = hi;
+      }
+      const double delta = x - mean_;
+      mean_ += alpha_ * delta;
+      var_ = (1.0 - alpha_) * (var_ + alpha_ * delta * delta);
+    }
+    ++n_;
+    return mean_;
+  }
+
+  double mean() const { return mean_; }
+  std::int64_t count() const { return n_; }
+
+  void serialize(BinaryWriter& w) const {
+    w.write(mean_);
+    w.write(var_);
+    w.write(n_);
+  }
+  void deserialize(BinaryReader& r) {
+    mean_ = r.read<double>();
+    var_ = r.read<double>();
+    n_ = r.read<std::int64_t>();
+  }
+
+ private:
+  double alpha_;
+  double outlier_sigma_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::int64_t n_ = 0;
+};
+
+}  // namespace ms::apps

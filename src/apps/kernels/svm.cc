@@ -1,0 +1,57 @@
+#include "apps/kernels/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ms::apps {
+
+double LinearSvm::decision(const std::vector<double>& x) const {
+  MS_CHECK(x.size() == w_.size());
+  double d = bias_;
+  for (std::size_t i = 0; i < x.size(); ++i) d += w_[i] * x[i];
+  return d;
+}
+
+bool LinearSvm::update(const std::vector<double>& x, int y) {
+  MS_CHECK(y == 1 || y == -1);
+  ++t_;
+  const double eta = 1.0 / (lambda_ * static_cast<double>(t_));
+  const double margin = static_cast<double>(y) * decision(x);
+  const double shrink = 1.0 - eta * lambda_;
+  for (auto& w : w_) w *= shrink;
+  if (margin < 1.0) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      w_[i] += eta * static_cast<double>(y) * x[i];
+    }
+    bias_ += eta * static_cast<double>(y);
+    return true;
+  }
+  return false;
+}
+
+void LinearSvm::serialize(BinaryWriter& w) const {
+  w.write_vector(w_);
+  w.write(bias_);
+  w.write(lambda_);
+  w.write(t_);
+}
+
+void LinearSvm::deserialize(BinaryReader& r) {
+  w_ = r.read_vector<double>();
+  bias_ = r.read<double>();
+  lambda_ = r.read<double>();
+  t_ = r.read<std::int64_t>();
+}
+
+int MajorityVoter::winner() const {
+  if (total_ == 0) return -1;
+  return static_cast<int>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+void MajorityVoter::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace ms::apps

@@ -1,0 +1,73 @@
+// Linear SVM (hinge loss, SGD — Pegasos-style) for SignalGuru's transition
+// prediction model, plus inference helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace ms::apps {
+
+class LinearSvm {
+ public:
+  explicit LinearSvm(std::size_t dim, double lambda = 1e-4)
+      : w_(dim, 0.0), lambda_(lambda) {}
+
+  /// Decision value w·x + b.
+  double decision(const std::vector<double>& x) const;
+  /// Predicted label in {-1, +1}.
+  int predict(const std::vector<double>& x) const {
+    return decision(x) >= 0.0 ? 1 : -1;
+  }
+
+  /// One Pegasos SGD step on (x, y) with y in {-1, +1}. Returns true if the
+  /// example was inside the margin (i.e. the step changed the separator
+  /// beyond the regularization shrink).
+  bool update(const std::vector<double>& x, int y);
+
+  std::int64_t steps() const { return t_; }
+  const std::vector<double>& weights() const { return w_; }
+
+  void serialize(BinaryWriter& w) const;
+  void deserialize(BinaryReader& r);
+
+ private:
+  std::vector<double> w_;
+  double bias_ = 0.0;
+  double lambda_;
+  std::int64_t t_ = 0;
+};
+
+/// Majority voting over a window of discrete detections (SignalGuru's V
+/// operators select the signal colour by voting across frames).
+class MajorityVoter {
+ public:
+  explicit MajorityVoter(int num_classes) : counts_(static_cast<std::size_t>(num_classes), 0) {}
+
+  void vote(int cls) {
+    MS_CHECK(cls >= 0 && cls < static_cast<int>(counts_.size()));
+    ++counts_[static_cast<std::size_t>(cls)];
+    ++total_;
+  }
+  /// Winning class (ties broken toward the lower id); -1 if no votes.
+  int winner() const;
+  std::int64_t total_votes() const { return total_; }
+  void reset();
+
+  void serialize(BinaryWriter& w) const {
+    w.write_vector(counts_);
+    w.write(total_);
+  }
+  void deserialize(BinaryReader& r) {
+    counts_ = r.read_vector<std::int64_t>();
+    total_ = r.read<std::int64_t>();
+  }
+
+ private:
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace ms::apps

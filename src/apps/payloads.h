@@ -1,0 +1,206 @@
+// Typed tuple payloads for the three case-study applications. Payloads keep
+// compact real content (features the kernels actually compute on) and
+// declare the wire/state size the real system would carry (raw images,
+// full location records), which is what the simulation charges.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "apps/kernels/blob_count.h"
+#include "core/tuple.h"
+
+namespace ms::apps {
+
+// --- TMI -------------------------------------------------------------------
+
+/// Anonymized phone location record from a base station.
+class PositionRecord final : public core::Payload {
+ public:
+  PositionRecord(std::int64_t phone_id, double x, double y, SimTime at,
+                 Bytes declared)
+      : phone_id(phone_id), x(x), y(y), at(at), declared_(declared) {}
+
+  std::int64_t phone_id;
+  double x;  // meters
+  double y;
+  SimTime at;
+
+  Bytes byte_size() const override { return declared_; }
+  const char* type_name() const override { return "position_record"; }
+
+ private:
+  Bytes declared_;
+};
+
+/// Speed/accel feature derived by the Pair operators, annotated with the
+/// reference speed by the GoogleMap operators.
+class SpeedFeature final : public core::Payload {
+ public:
+  SpeedFeature(std::int64_t phone_id, std::vector<double> features,
+               Bytes declared)
+      : phone_id(phone_id), features(std::move(features)), declared_(declared) {}
+
+  std::int64_t phone_id;
+  std::vector<double> features;
+
+  Bytes byte_size() const override { return declared_; }
+  const char* type_name() const override { return "speed_feature"; }
+
+ private:
+  Bytes declared_;
+};
+
+/// One inferred transportation mode for a phone (k-means output).
+class ModeInference final : public core::Payload {
+ public:
+  ModeInference(std::int64_t phone_id, int mode, Bytes declared)
+      : phone_id(phone_id), mode(mode), declared_(declared) {}
+
+  std::int64_t phone_id;
+  int mode;  // cluster id: driving / bus / walking / still
+
+  Bytes byte_size() const override { return declared_; }
+  const char* type_name() const override { return "mode_inference"; }
+
+ private:
+  Bytes declared_;
+};
+
+// --- BCP -------------------------------------------------------------------
+
+/// A camera frame: compact occupancy grid standing in for the raw image.
+class CameraFrame final : public core::Payload {
+ public:
+  CameraFrame(int camera_id, OccupancyGrid grid, int true_count,
+              Bytes declared)
+      : camera_id(camera_id),
+        grid(std::move(grid)),
+        true_count(true_count),
+        declared_(declared) {}
+
+  int camera_id;
+  OccupancyGrid grid;
+  int true_count;  // generator ground truth (for accuracy tests)
+
+  Bytes byte_size() const override { return declared_; }
+  const char* type_name() const override { return "camera_frame"; }
+
+ private:
+  Bytes declared_;
+};
+
+/// Passenger count extracted from a frame.
+class PassengerCount final : public core::Payload {
+ public:
+  PassengerCount(int camera_id, int count, Bytes declared = 96)
+      : camera_id(camera_id), count(count), declared_(declared) {}
+
+  int camera_id;
+  int count;
+
+  Bytes byte_size() const override { return declared_; }
+  const char* type_name() const override { return "passenger_count"; }
+
+ private:
+  Bytes declared_;
+};
+
+/// On-vehicle infrared sensor reading.
+class SensorReading final : public core::Payload {
+ public:
+  SensorReading(int bus_id, double onboard, Bytes declared = 64)
+      : bus_id(bus_id), onboard(onboard), declared_(declared) {}
+
+  int bus_id;
+  double onboard;
+
+  Bytes byte_size() const override { return declared_; }
+  const char* type_name() const override { return "sensor_reading"; }
+
+ private:
+  Bytes declared_;
+};
+
+/// A bus arrival announcement (purges the historical images of a stop).
+class BusArrival final : public core::Payload {
+ public:
+  BusArrival(int stop_id, int bus_id, Bytes declared = 64)
+      : stop_id(stop_id), bus_id(bus_id), declared_(declared) {}
+
+  int stop_id;
+  int bus_id;
+
+  Bytes byte_size() const override { return declared_; }
+  const char* type_name() const override { return "bus_arrival"; }
+
+ private:
+  Bytes declared_;
+};
+
+/// Generic scalar prediction (boarding, arrival time, alighting,
+/// crowdedness).
+class Prediction final : public core::Payload {
+ public:
+  Prediction(int entity_id, double value, Bytes declared = 96)
+      : entity_id(entity_id), value(value), declared_(declared) {}
+
+  int entity_id;
+  double value;
+
+  Bytes byte_size() const override { return declared_; }
+  const char* type_name() const override { return "prediction"; }
+
+ private:
+  Bytes declared_;
+};
+
+// --- SignalGuru ------------------------------------------------------------
+
+enum class SignalColor : int { kRed = 0, kGreen = 1, kYellow = 2, kNone = 3 };
+
+/// A windshield-camera frame of an intersection from a vehicle's approach.
+class SgFrame final : public core::Payload {
+ public:
+  SgFrame(int intersection, std::int64_t vehicle_id, SignalColor true_color,
+          std::vector<double> features, bool last_of_approach, Bytes declared)
+      : intersection(intersection),
+        vehicle_id(vehicle_id),
+        true_color(true_color),
+        features(std::move(features)),
+        last_of_approach(last_of_approach),
+        declared_(declared) {}
+
+  int intersection;
+  std::int64_t vehicle_id;
+  SignalColor true_color;
+  std::vector<double> features;  // colour-histogram-ish, noisy
+  /// The vehicle leaves the intersection after this frame (motion filters
+  /// purge the approach's accumulated frames).
+  bool last_of_approach;
+
+  Bytes byte_size() const override { return declared_; }
+  const char* type_name() const override { return "sg_frame"; }
+
+ private:
+  Bytes declared_;
+};
+
+/// A voted signal detection for an intersection.
+class SignalDetection final : public core::Payload {
+ public:
+  SignalDetection(int intersection, SignalColor color, Bytes declared = 96)
+      : intersection(intersection), color(color), declared_(declared) {}
+
+  int intersection;
+  SignalColor color;
+
+  Bytes byte_size() const override { return declared_; }
+  const char* type_name() const override { return "signal_detection"; }
+
+ private:
+  Bytes declared_;
+};
+
+}  // namespace ms::apps

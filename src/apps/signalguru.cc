@@ -1,0 +1,508 @@
+#include "apps/signalguru.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "apps/kernels/svm.h"
+#include "apps/payloads.h"
+#include "core/operator.h"
+
+namespace ms::apps {
+namespace {
+
+double cycle_position(const SgConfig& cfg, SimTime t, int intersection) {
+  // Each intersection's cycle is slightly phase-shifted ("green wave");
+  // ground truth for the generator and the accuracy tests.
+  const double cycle = cfg.light_cycle.to_seconds();
+  return std::fmod(t.to_seconds() + static_cast<double>(intersection) * 3.1,
+                   cycle) /
+         cycle;
+}
+
+SignalColor light_at(const SgConfig& cfg, SimTime t, int intersection) {
+  const double phase = cycle_position(cfg, t, intersection);
+  if (phase < cfg.green_fraction) return SignalColor::kGreen;
+  if (phase < cfg.green_fraction + cfg.yellow_fraction) {
+    return SignalColor::kYellow;
+  }
+  return SignalColor::kRed;
+}
+
+/// Seconds until the light next turns green (0 if green now).
+double time_to_green(const SgConfig& cfg, SimTime t, int intersection) {
+  const double phase = cycle_position(cfg, t, intersection);
+  if (phase < cfg.green_fraction) return 0.0;
+  return (1.0 - phase) * cfg.light_cycle.to_seconds();
+}
+
+/// iPhone source: vehicles approach an intersection, film it for 10–40 s,
+/// then leave (the final frame is flagged so motion filters purge).
+class SgSource final : public core::Operator {
+ public:
+  SgSource(std::string name, const SgConfig& cfg, int intersection)
+      : core::Operator(std::move(name)), cfg_(cfg), intersection_(intersection) {
+    costs().base = SimTime::micros(25);
+  }
+
+  void on_open(core::OperatorContext& ctx) override {
+    // One concurrent approach per downstream filter chain ("lane"); the
+    // dispatcher routes frames back onto the lane via vehicle_id % lanes.
+    const int lanes = cfg_.num_chains / cfg_.num_sources;
+    for (int lane = 0; lane < lanes; ++lane) {
+      start_approach(ctx, lane);
+    }
+  }
+
+  void process(int, const core::Tuple&, core::OperatorContext&) override {
+    MS_CHECK_MSG(false, "sources receive no input");
+  }
+
+  Bytes state_size() const override { return 64; }
+  void serialize_state(BinaryWriter& w) const override {
+    w.write(next_vehicle_);
+  }
+  void deserialize_state(BinaryReader& r) override {
+    next_vehicle_ = r.read<std::int64_t>();
+  }
+  void clear_state() override { next_vehicle_ = 0; }
+
+ private:
+  void start_approach(core::OperatorContext& ctx, int lane) {
+    const SimTime gap =
+        SimTime::seconds(ctx.rng().exponential(cfg_.gap_mean.to_seconds()));
+    ctx.schedule(gap, [this, lane](core::OperatorContext& c) {
+      const int lanes = cfg_.num_chains / cfg_.num_sources;
+      // Vehicle ids congruent to the lane modulo the lane count keep each
+      // approach's frames on one filter chain at the dispatcher.
+      const std::int64_t vehicle = lane + lanes * next_vehicle_++;
+      // Vehicles leave when the light turns green: dwell = wait for the
+      // green phase plus clearing time, clamped to the paper's 10-40 s.
+      // Departures therefore cluster at green onsets, which is what makes
+      // the aggregate motion-filter state dip sharply (Fig. 5c).
+      const double to_green = time_to_green(cfg_, c.now(), intersection_);
+      double dwell_s = to_green + c.rng().uniform(0.5, 4.0);
+      dwell_s = std::clamp(dwell_s, cfg_.approach_min.to_seconds(),
+                           cfg_.approach_max.to_seconds());
+      const auto frames =
+          static_cast<int>(dwell_s * cfg_.frames_per_second);
+      emit_frames(c, lane, vehicle, std::max(frames, 1), 0);
+    });
+  }
+
+  void emit_frames(core::OperatorContext& ctx, int lane, std::int64_t vehicle,
+                   int total, int sent) {
+    const SignalColor truth = light_at(cfg_, ctx.now(), intersection_);
+    // Colour-histogram features; noisy per feature_noise.
+    SignalColor observed = truth;
+    if (ctx.rng().bernoulli(cfg_.feature_noise)) {
+      observed = static_cast<SignalColor>(ctx.rng().uniform_u64(3));
+    }
+    std::vector<double> features(4, 0.05);
+    features[static_cast<std::size_t>(observed)] = 0.85;
+    const bool last = (sent + 1 == total);
+    core::Tuple t;
+    t.wire_size = cfg_.frame_bytes;
+    t.payload = std::make_shared<SgFrame>(intersection_, vehicle, truth,
+                                          std::move(features), last,
+                                          cfg_.frame_bytes);
+    ctx.emit(0, std::move(t));
+    if (last) {
+      start_approach(ctx, lane);
+      return;
+    }
+    ctx.schedule(SimTime::seconds(1.0 / cfg_.frames_per_second),
+                 [this, lane, vehicle, total, sent](core::OperatorContext& c) {
+                   emit_frames(c, lane, vehicle, total, sent + 1);
+                 });
+  }
+
+  SgConfig cfg_;
+  int intersection_;
+  std::int64_t next_vehicle_ = 0;
+};
+
+/// Dispatcher: one out-port per filter chain; frames of one approach stay on
+/// one chain (the source already drives one approach per chain, so the
+/// dispatcher routes by in-port/approach identity).
+class SgDispatcher final : public core::Operator {
+ public:
+  SgDispatcher(std::string name, const SgConfig& cfg)
+      : core::Operator(std::move(name)) {
+    costs().base = cfg.dispatcher_cost;
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* frame = t.payload_as<SgFrame>();
+    if (frame == nullptr) return;
+    const int port = static_cast<int>(
+        frame->vehicle_id % static_cast<std::int64_t>(ctx.num_out_ports()));
+    core::Tuple copy = t;
+    copy.id = 0;
+    ctx.emit(port, std::move(copy));
+  }
+
+  Bytes state_size() const override { return 32; }
+};
+
+/// Colour filter: picks the dominant colour-histogram bin.
+class SgColorFilter final : public core::Operator {
+ public:
+  SgColorFilter(std::string name, const SgConfig& cfg)
+      : core::Operator(std::move(name)) {
+    costs().base = cfg.color_cost;
+    costs().seconds_per_byte = 1.0 / 1100e6;
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* frame = t.payload_as<SgFrame>();
+    if (frame == nullptr) return;
+    const int dominant = static_cast<int>(
+        std::max_element(frame->features.begin(), frame->features.end()) -
+        frame->features.begin());
+    auto annotated = std::make_shared<SgFrame>(*frame);
+    annotated->features.push_back(static_cast<double>(dominant));
+    core::Tuple out = t;
+    out.id = 0;
+    out.payload = annotated;
+    ctx.emit(0, std::move(out));
+  }
+
+  Bytes state_size() const override { return 128; }
+};
+
+/// Shape filter: rejects detections whose "shape score" is implausible.
+class SgShapeFilter final : public core::Operator {
+ public:
+  SgShapeFilter(std::string name, const SgConfig& cfg)
+      : core::Operator(std::move(name)) {
+    costs().base = cfg.shape_cost;
+    costs().seconds_per_byte = 1.0 / 1300e6;
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* frame = t.payload_as<SgFrame>();
+    if (frame == nullptr) return;
+    // Shape plausibility: traffic lights are compact — use the histogram
+    // peakedness as the score; drop flat (ambiguous) frames unless they end
+    // an approach (the purge marker must flow through).
+    double peak = 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      peak = std::max(peak, frame->features[i]);
+      sum += frame->features[i];
+    }
+    if (peak / sum < 0.5 && !frame->last_of_approach) {
+      ++rejected_;
+      return;
+    }
+    core::Tuple out = t;
+    out.id = 0;
+    ctx.emit(0, std::move(out));
+  }
+
+  Bytes state_size() const override { return 128; }
+  void serialize_state(BinaryWriter& w) const override { w.write(rejected_); }
+  void deserialize_state(BinaryReader& r) override {
+    rejected_ = r.read<std::int64_t>();
+  }
+  void clear_state() override { rejected_ = 0; }
+
+ private:
+  std::int64_t rejected_ = 0;
+};
+
+/// Motion filter: preserves all frames of the current approach (traffic
+/// lights have fixed positions — detections must be stationary across the
+/// stored frames). Emits a per-approach detection when the vehicle leaves,
+/// then discards the stored frames. SignalGuru's dynamic HAU.
+class SgMotionFilter final : public core::Operator {
+ public:
+  SgMotionFilter(std::string name, const SgConfig& cfg)
+      : core::Operator(std::move(name)), cfg_(cfg) {
+    costs().base = cfg.motion_cost;
+    costs().seconds_per_byte = 1.0 / 1500e6;
+    state_registry().add_custom("approach_frames", [this] {
+      return static_cast<Bytes>(stored_.size()) * cfg_.frame_bytes;
+    });
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* frame = t.payload_as<SgFrame>();
+    if (frame == nullptr) return;
+    stored_.push_back(static_cast<int>(frame->features.back()));
+    delta_bytes_ += cfg_.frame_bytes;
+    if (!frame->last_of_approach) return;
+    // Vehicle left: vote over the stationary detections and purge.
+    MajorityVoter voter(4);
+    for (const int c : stored_) {
+      voter.vote(std::clamp(c, 0, 3));
+    }
+    const int color = voter.winner();
+    stored_.clear();
+    core::Tuple out;
+    out.wire_size = 128;
+    out.payload = std::make_shared<SignalDetection>(
+        frame->intersection, static_cast<SignalColor>(color), out.wire_size);
+    ctx.emit(0, std::move(out));
+  }
+
+  Bytes state_size() const override {
+    return static_cast<Bytes>(stored_.size()) * cfg_.frame_bytes;
+  }
+  Bytes state_delta_size() const override {
+    return std::min(delta_bytes_, state_size());
+  }
+  void mark_checkpointed() override { delta_bytes_ = 0; }
+  void serialize_state(BinaryWriter& w) const override {
+    w.write<std::uint64_t>(stored_.size());
+    for (const int c : stored_) w.write(c);
+  }
+  void deserialize_state(BinaryReader& r) override {
+    const auto n = r.read<std::uint64_t>();
+    stored_.assign(n, 0);
+    for (auto& c : stored_) c = r.read<int>();
+  }
+  void clear_state() override { stored_.clear(); }
+
+  std::size_t stored_frames() const { return stored_.size(); }
+
+ private:
+  SgConfig cfg_;
+  // Compact stand-ins: declared state charges full frames, host keeps the
+  // per-frame dominant-colour detections the voter consumes.
+  std::deque<int> stored_;
+  Bytes delta_bytes_ = 0;
+};
+
+/// Voting: majority across its three chains' per-approach detections.
+class SgVoting final : public core::Operator {
+ public:
+  explicit SgVoting(std::string name)
+      : core::Operator(std::move(name)), voter_(4) {
+    costs().base = SimTime::micros(40);
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* det = t.payload_as<SignalDetection>();
+    if (det == nullptr) return;
+    voter_.vote(static_cast<int>(det->color));
+    if (voter_.total_votes() >= 3) {
+      core::Tuple out;
+      out.wire_size = 96;
+      out.payload = std::make_shared<SignalDetection>(
+          det->intersection, static_cast<SignalColor>(voter_.winner()),
+          out.wire_size);
+      voter_.reset();
+      ctx.emit(0, std::move(out));
+    }
+  }
+
+  Bytes state_size() const override { return 128; }
+  void serialize_state(BinaryWriter& w) const override { voter_.serialize(w); }
+  void deserialize_state(BinaryReader& r) override { voter_.deserialize(r); }
+  void clear_state() override { voter_.reset(); }
+
+ private:
+  MajorityVoter voter_;
+};
+
+/// Group: per-intersection transition bookkeeping — time since the last
+/// observed colour change, forwarded as the SVM feature vector.
+class SgGroup final : public core::Operator {
+ public:
+  explicit SgGroup(std::string name) : core::Operator(std::move(name)) {
+    costs().base = SimTime::micros(30);
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* det = t.payload_as<SignalDetection>();
+    if (det == nullptr) return;
+    const double now_s = ctx.now().to_seconds();
+    if (static_cast<int>(det->color) != last_color_) {
+      last_transition_s_ = now_s;
+      last_color_ = static_cast<int>(det->color);
+    }
+    std::vector<double> features{static_cast<double>(last_color_),
+                                 now_s - last_transition_s_};
+    core::Tuple out;
+    out.wire_size = 128;
+    out.payload = std::make_shared<SpeedFeature>(det->intersection,
+                                                 std::move(features),
+                                                 out.wire_size);
+    ctx.emit(0, std::move(out));
+  }
+
+  Bytes state_size() const override { return 96; }
+  void serialize_state(BinaryWriter& w) const override {
+    w.write(last_color_);
+    w.write(last_transition_s_);
+  }
+  void deserialize_state(BinaryReader& r) override {
+    last_color_ = r.read<int>();
+    last_transition_s_ = r.read<double>();
+  }
+  void clear_state() override {
+    last_color_ = -1;
+    last_transition_s_ = 0.0;
+  }
+
+ private:
+  int last_color_ = -1;
+  double last_transition_s_ = 0.0;
+};
+
+/// SVM transition predictor: will the light be green soon? Trained online
+/// against the observed colour, emits the advisory.
+class SgSvmPredictor final : public core::Operator {
+ public:
+  explicit SgSvmPredictor(std::string name)
+      : core::Operator(std::move(name)), svm_(2) {
+    costs().base = SimTime::micros(80);
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* f = t.payload_as<SpeedFeature>();
+    if (f == nullptr) return;
+    const int label =
+        static_cast<int>(f->features[0]) == static_cast<int>(SignalColor::kGreen)
+            ? 1
+            : -1;
+    svm_.update(f->features, label);
+    const int pred = svm_.predict(f->features);
+    core::Tuple out;
+    out.wire_size = 96;
+    out.payload = std::make_shared<Prediction>(
+        static_cast<int>(f->phone_id), static_cast<double>(pred), out.wire_size);
+    ctx.emit(0, std::move(out));
+  }
+
+  Bytes state_size() const override { return 256; }
+  void serialize_state(BinaryWriter& w) const override { svm_.serialize(w); }
+  void deserialize_state(BinaryReader& r) override { svm_.deserialize(r); }
+  void clear_state() override { svm_ = LinearSvm(2); }
+
+ private:
+  LinearSvm svm_;
+};
+
+class SgSink final : public core::Operator {
+ public:
+  explicit SgSink(std::string name) : core::Operator(std::move(name)) {
+    costs().base = SimTime::micros(10);
+  }
+  void process(int, const core::Tuple&, core::OperatorContext&) override {
+    ++received_;
+  }
+  Bytes state_size() const override { return 64; }
+  void serialize_state(BinaryWriter& w) const override { w.write(received_); }
+  void deserialize_state(BinaryReader& r) override {
+    received_ = r.read<std::int64_t>();
+  }
+  void clear_state() override { received_ = 0; }
+
+ private:
+  std::int64_t received_ = 0;
+};
+
+}  // namespace
+
+core::QueryGraph build_signalguru(const SgConfig& config) {
+  core::QueryGraph g;
+  const int ns = config.num_sources;
+  const int nc = config.num_chains;
+  const int per = nc / ns;  // chains per source/dispatcher/voter
+
+  std::vector<int> s, d, c, a, m, v, grp;
+  for (int i = 0; i < ns; ++i) {
+    s.push_back(g.add_source("S" + std::to_string(i), [config, i] {
+      return std::make_unique<SgSource>("S" + std::to_string(i), config, i);
+    }));
+  }
+  for (int i = 0; i < ns; ++i) {
+    d.push_back(g.add_operator("D" + std::to_string(i), [config, i] {
+      return std::make_unique<SgDispatcher>("D" + std::to_string(i), config);
+    }));
+  }
+  for (int i = 0; i < nc; ++i) {
+    c.push_back(g.add_operator("C" + std::to_string(i), [config, i] {
+      return std::make_unique<SgColorFilter>("C" + std::to_string(i), config);
+    }));
+  }
+  for (int i = 0; i < nc; ++i) {
+    a.push_back(g.add_operator("A" + std::to_string(i), [config, i] {
+      return std::make_unique<SgShapeFilter>("A" + std::to_string(i), config);
+    }));
+  }
+  for (int i = 0; i < nc; ++i) {
+    m.push_back(g.add_operator("M" + std::to_string(i), [config, i] {
+      return std::make_unique<SgMotionFilter>("M" + std::to_string(i), config);
+    }));
+  }
+  for (int i = 0; i < ns; ++i) {
+    v.push_back(g.add_operator("V" + std::to_string(i), [i] {
+      return std::make_unique<SgVoting>("V" + std::to_string(i));
+    }));
+  }
+  for (int i = 0; i < ns; ++i) {
+    grp.push_back(g.add_operator("G" + std::to_string(i), [i] {
+      return std::make_unique<SgGroup>("G" + std::to_string(i));
+    }));
+  }
+  const int p0 = g.add_operator("P0", [] {
+    return std::make_unique<SgSvmPredictor>("P0");
+  });
+  const int p1 = g.add_operator("P1", [] {
+    return std::make_unique<SgSvmPredictor>("P1");
+  });
+  const int k = g.add_sink("K", [] { return std::make_unique<SgSink>("K"); });
+
+  for (int i = 0; i < ns; ++i) {
+    g.connect(s[static_cast<std::size_t>(i)], d[static_cast<std::size_t>(i)]);
+    for (int j = 0; j < per; ++j) {
+      const int chain = i * per + j;
+      g.connect(d[static_cast<std::size_t>(i)],
+                c[static_cast<std::size_t>(chain)]);
+      g.connect(c[static_cast<std::size_t>(chain)],
+                a[static_cast<std::size_t>(chain)]);
+      g.connect(a[static_cast<std::size_t>(chain)],
+                m[static_cast<std::size_t>(chain)]);
+      g.connect(m[static_cast<std::size_t>(chain)],
+                v[static_cast<std::size_t>(i)]);
+    }
+    g.connect(v[static_cast<std::size_t>(i)], grp[static_cast<std::size_t>(i)]);
+    g.connect(grp[static_cast<std::size_t>(i)], (i < ns / 2) ? p0 : p1);
+  }
+  g.connect(p0, k);
+  g.connect(p1, k);
+  return g;
+}
+
+SgLayout signalguru_layout(const SgConfig& config) {
+  SgLayout layout;
+  int next = 0;
+  for (int i = 0; i < config.num_sources; ++i) layout.sources.push_back(next++);
+  for (int i = 0; i < config.num_sources; ++i) {
+    layout.dispatchers.push_back(next++);
+  }
+  for (int i = 0; i < config.num_chains; ++i) {
+    layout.color_filters.push_back(next++);
+  }
+  for (int i = 0; i < config.num_chains; ++i) {
+    layout.shape_filters.push_back(next++);
+  }
+  for (int i = 0; i < config.num_chains; ++i) {
+    layout.motion_filters.push_back(next++);
+  }
+  for (int i = 0; i < config.num_sources; ++i) layout.voters.push_back(next++);
+  for (int i = 0; i < config.num_sources; ++i) layout.groups.push_back(next++);
+  layout.predictors = {next, next + 1};
+  next += 2;
+  layout.sink = next++;
+  return layout;
+}
+
+}  // namespace ms::apps

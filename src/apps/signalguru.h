@@ -1,0 +1,57 @@
+// SignalGuru — paper §II-B2, Fig. 4.
+//
+// 55 operators: 4 iPhone sources S0–S3 (windshield-mounted phones filming
+// intersections during 10–40 s approaches), dispatchers D0–D3, 12 colour
+// filters C0–C11, 12 shape filters A0–A11, 12 motion filters M0–M11 (each
+// preserves ALL frames of a vehicle's current approach until the vehicle
+// leaves — the heavyweight fluctuating state of Fig. 5c), voting V0–V3,
+// groups G0–G3, SVM transition predictors P0–P1, sink K.
+#pragma once
+
+#include "core/query_graph.h"
+
+namespace ms::apps {
+
+struct SgConfig {
+  int num_sources = 4;
+  int num_chains = 12;  // colour/shape/motion filter columns
+  /// Frames per second per source while a vehicle approaches.
+  double frames_per_second = 6.0;
+  /// Declared bytes per windshield frame.
+  Bytes frame_bytes = 640_KB;
+  /// Vehicle dwell at an intersection (the paper: usually 10–40 s).
+  SimTime approach_min = SimTime::seconds(10);
+  SimTime approach_max = SimTime::seconds(40);
+  /// Gap until the next vehicle's approach begins on the same chain.
+  SimTime gap_mean = SimTime::seconds(8);
+  /// Traffic-light cycle used by the generator's ground truth.
+  SimTime light_cycle = SimTime::seconds(60);
+  double green_fraction = 0.45;
+  double yellow_fraction = 0.08;
+  /// Per-frame detector noise (probability a frame's colour feature lies).
+  double feature_noise = 0.15;
+
+  /// Per-tuple operator costs (calibrated by the benchmark harness).
+  SimTime dispatcher_cost = SimTime::micros(20);
+  SimTime color_cost = SimTime::micros(400);
+  SimTime shape_cost = SimTime::micros(350);
+  SimTime motion_cost = SimTime::micros(500);
+};
+
+/// Build the Fig. 4 query network.
+core::QueryGraph build_signalguru(const SgConfig& config = {});
+
+struct SgLayout {
+  std::vector<int> sources;        // S0..S3
+  std::vector<int> dispatchers;    // D0..D3
+  std::vector<int> color_filters;  // C0..C11
+  std::vector<int> shape_filters;  // A0..A11
+  std::vector<int> motion_filters; // M0..M11 — the dynamic HAUs
+  std::vector<int> voters;         // V0..V3
+  std::vector<int> groups;         // G0..G3
+  std::vector<int> predictors;     // P0..P1
+  int sink = -1;                   // K
+};
+SgLayout signalguru_layout(const SgConfig& config = {});
+
+}  // namespace ms::apps

@@ -1,0 +1,488 @@
+#include "apps/tmi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "apps/kernels/kmeans.h"
+#include "apps/payloads.h"
+#include "core/operator.h"
+
+namespace ms::apps {
+namespace {
+
+/// Base-station source: phones move with a hidden transportation mode; the
+/// station reports (phone, position, time) records at a fixed aggregate
+/// rate, cycling over its phones.
+class TmiSource final : public core::Operator {
+ public:
+  TmiSource(std::string name, const TmiConfig& cfg)
+      : core::Operator(std::move(name)), cfg_(cfg) {
+    costs().base = SimTime::micros(20);
+    state_registry().add_sampled(
+        "phones", &phones_,
+        [](const Phone&) { return static_cast<Bytes>(48); });
+  }
+
+  void on_open(core::OperatorContext& ctx) override {
+    if (phones_.empty()) {
+      phones_.resize(static_cast<std::size_t>(cfg_.phones_per_source));
+      for (auto& ph : phones_) {
+        ph.x = ctx.rng().uniform(0.0, 10'000.0);
+        ph.y = ctx.rng().uniform(0.0, 10'000.0);
+        ph.mode = static_cast<int>(ctx.rng().uniform_u64(4));
+      }
+    }
+    arm(ctx);
+  }
+
+  void process(int, const core::Tuple&, core::OperatorContext&) override {
+    MS_CHECK_MSG(false, "sources receive no input");
+  }
+
+  Bytes state_size() const override {
+    return static_cast<Bytes>(phones_.size()) * 48;
+  }
+
+  void serialize_state(BinaryWriter& w) const override {
+    w.write<std::uint64_t>(phones_.size());
+    for (const auto& ph : phones_) {
+      w.write(ph.x);
+      w.write(ph.y);
+      w.write(ph.mode);
+    }
+    w.write(next_phone_);
+  }
+  void deserialize_state(BinaryReader& r) override {
+    const auto n = r.read<std::uint64_t>();
+    phones_.resize(n);
+    for (auto& ph : phones_) {
+      ph.x = r.read<double>();
+      ph.y = r.read<double>();
+      ph.mode = r.read<int>();
+    }
+    next_phone_ = r.read<std::size_t>();
+  }
+  void clear_state() override {
+    phones_.clear();
+    next_phone_ = 0;
+  }
+
+ private:
+  struct Phone {
+    double x = 0.0;
+    double y = 0.0;
+    int mode = 0;  // 0 drive, 1 bus, 2 walk, 3 still
+  };
+
+  static double mode_speed(int mode, Rng& rng) {
+    switch (mode) {
+      case 0: return rng.uniform(10.0, 25.0);  // m/s, driving
+      case 1: return rng.uniform(4.0, 12.0);   // bus
+      case 2: return rng.uniform(0.5, 2.0);    // walking
+      default: return rng.uniform(0.0, 0.2);   // still
+    }
+  }
+
+  void arm(core::OperatorContext& ctx) {
+    const SimTime gap = SimTime::seconds(1.0 / cfg_.records_per_second);
+    ctx.schedule(gap, [this](core::OperatorContext& c) {
+      emit_record(c);
+      arm(c);
+    });
+  }
+
+  void emit_record(core::OperatorContext& ctx) {
+    if (phones_.empty()) return;
+    Phone& ph = phones_[next_phone_];
+    const std::int64_t phone_id =
+        static_cast<std::int64_t>(ctx.hau_id()) * 1'000'000 +
+        static_cast<std::int64_t>(next_phone_);
+    next_phone_ = (next_phone_ + 1) % phones_.size();
+    // Advance the phone by its mode-dependent speed since its last report.
+    const double dt = static_cast<double>(phones_.size()) / cfg_.records_per_second;
+    const double speed = mode_speed(ph.mode, ctx.rng());
+    const double heading = ctx.rng().uniform(0.0, 6.283185307179586);
+    ph.x += speed * dt * std::cos(heading);
+    ph.y += speed * dt * std::sin(heading);
+    if (ctx.rng().bernoulli(0.001)) {
+      ph.mode = static_cast<int>(ctx.rng().uniform_u64(4));
+    }
+    core::Tuple t;
+    t.wire_size = cfg_.record_bytes;
+    t.payload = std::make_shared<PositionRecord>(phone_id, ph.x, ph.y,
+                                                 ctx.now(), cfg_.record_bytes);
+    // Sources spread records round-robin over their Pair out-ports.
+    ctx.emit(static_cast<int>(rr_++ % static_cast<std::uint64_t>(
+                 std::max(1, ctx.num_out_ports()))),
+             std::move(t));
+  }
+
+  TmiConfig cfg_;
+  std::vector<Phone> phones_;
+  std::size_t next_phone_ = 0;
+  std::uint64_t rr_ = 0;
+};
+
+/// Pair operator: speed from consecutive positions of the same phone.
+class PairOperator final : public core::Operator {
+ public:
+  PairOperator(std::string name, const TmiConfig& cfg)
+      : core::Operator(std::move(name)), cfg_(cfg) {
+    costs().base = cfg.pair_cost;
+    state_registry().add_fixed_element("last_position", &last_, 64);
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* rec = t.payload_as<PositionRecord>();
+    MS_CHECK(rec != nullptr);
+    auto [it, fresh] = last_.try_emplace(rec->phone_id);
+    if (!fresh) {
+      const auto& prev = it->second;
+      const double dt = (rec->at - prev.at).to_seconds();
+      if (dt > 0.0) {
+        const double dx = rec->x - prev.x;
+        const double dy = rec->y - prev.y;
+        const double speed = std::sqrt(dx * dx + dy * dy) / dt;
+        const double accel = (speed - prev.speed) / dt;
+        core::Tuple out;
+        out.wire_size = 160;
+        out.payload = std::make_shared<SpeedFeature>(
+            rec->phone_id, std::vector<double>{speed, accel}, out.wire_size);
+        ctx.emit(0, std::move(out));
+      }
+    }
+    it->second = {rec->x, rec->y, rec->at,
+                  fresh ? 0.0 : it->second.speed};
+  }
+
+  void serialize_state(BinaryWriter& w) const override {
+    w.write<std::uint64_t>(last_.size());
+    for (const auto& [id, p] : last_) {
+      w.write(id);
+      w.write(p.x);
+      w.write(p.y);
+      w.write(p.at);
+      w.write(p.speed);
+    }
+  }
+  void deserialize_state(BinaryReader& r) override {
+    const auto n = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto id = r.read<std::int64_t>();
+      Last p;
+      p.x = r.read<double>();
+      p.y = r.read<double>();
+      p.at = r.read<SimTime>();
+      p.speed = r.read<double>();
+      last_[id] = p;
+    }
+  }
+  void clear_state() override { last_.clear(); }
+
+ private:
+  struct Last {
+    double x = 0.0;
+    double y = 0.0;
+    SimTime at;
+    double speed = 0.0;
+  };
+  TmiConfig cfg_;
+  std::map<std::int64_t, Last> last_;
+};
+
+/// GoogleMap operator: annotates each feature with the reference speed for
+/// the phone's map cell (deterministic "download" cached per cell), then
+/// routes it to the Group operator that owns the phone.
+class GoogleMapOperator final : public core::Operator {
+ public:
+  GoogleMapOperator(std::string name, const TmiConfig& cfg)
+      : core::Operator(std::move(name)), cfg_(cfg) {
+    costs().base = cfg.map_cost;
+    state_registry().add_fixed_element("ref_speed_cache", &cache_, 32);
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* f = t.payload_as<SpeedFeature>();
+    MS_CHECK(f != nullptr);
+    const std::int64_t cell = f->phone_id % 97;
+    auto [it, fresh] = cache_.try_emplace(cell, 0.0);
+    if (fresh) {
+      // Deterministic stand-in for the map service response.
+      it->second = 5.0 + static_cast<double>(cell % 13);
+    }
+    std::vector<double> features = f->features;
+    features.push_back(it->second);
+    core::Tuple out;
+    out.wire_size = 192;
+    out.payload = std::make_shared<SpeedFeature>(f->phone_id,
+                                                 std::move(features),
+                                                 out.wire_size);
+    // Connected to ALL Group operators; route by phone id.
+    const int port = static_cast<int>(
+        f->phone_id % static_cast<std::int64_t>(ctx.num_out_ports()));
+    ctx.emit(port, std::move(out));
+  }
+
+  void serialize_state(BinaryWriter& w) const override {
+    w.write<std::uint64_t>(cache_.size());
+    for (const auto& [cell, speed] : cache_) {
+      w.write(cell);
+      w.write(speed);
+    }
+  }
+  void deserialize_state(BinaryReader& r) override {
+    const auto n = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto cell = r.read<std::int64_t>();
+      cache_[cell] = r.read<double>();
+    }
+  }
+  void clear_state() override { cache_.clear(); }
+
+ private:
+  TmiConfig cfg_;
+  std::map<std::int64_t, double> cache_;
+};
+
+/// Group operator: tracks a per-phone smoothed feature and forwards.
+class GroupOperator final : public core::Operator {
+ public:
+  GroupOperator(std::string name, const TmiConfig& cfg)
+      : core::Operator(std::move(name)), cfg_(cfg) {
+    costs().base = cfg.group_cost;
+    state_registry().add_fixed_element("per_phone", &smoothed_, 24);
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* f = t.payload_as<SpeedFeature>();
+    MS_CHECK(f != nullptr);
+    double& ema = smoothed_[f->phone_id];
+    ema = 0.7 * ema + 0.3 * f->features.front();
+    std::vector<double> features = f->features;
+    features.push_back(ema);
+    core::Tuple out;
+    out.wire_size = cfg_.feature_bytes;
+    out.payload = std::make_shared<SpeedFeature>(f->phone_id,
+                                                 std::move(features),
+                                                 cfg_.feature_bytes);
+    ctx.emit(0, std::move(out));
+  }
+
+  void serialize_state(BinaryWriter& w) const override {
+    w.write<std::uint64_t>(smoothed_.size());
+    for (const auto& [id, v] : smoothed_) {
+      w.write(id);
+      w.write(v);
+    }
+  }
+  void deserialize_state(BinaryReader& r) override {
+    const auto n = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto id = r.read<std::int64_t>();
+      smoothed_[id] = r.read<double>();
+    }
+  }
+  void clear_state() override { smoothed_.clear(); }
+
+ private:
+  TmiConfig cfg_;
+  std::map<std::int64_t, double> smoothed_;
+};
+
+/// k-means operator: pools feature tuples for a window, clusters at the
+/// boundary, emits per-cluster summaries and discards the pool.
+class KMeansOperator final : public core::Operator {
+ public:
+  KMeansOperator(std::string name, const TmiConfig& cfg)
+      : core::Operator(std::move(name)), cfg_(cfg) {
+    costs().base = cfg.kmeans_cost;
+    // The generated state_size(): sample the pool, hint element size from
+    // the declared feature-tuple bytes.
+    state_registry().add_custom("pool", [this] {
+      return static_cast<Bytes>(pool_.size()) * cfg_.feature_bytes;
+    });
+  }
+
+  void on_open(core::OperatorContext& ctx) override {
+    ctx.schedule(cfg_.window, [this](core::OperatorContext& c) { flush(c); });
+  }
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    (void)ctx;
+    const auto* f = t.payload_as<SpeedFeature>();
+    MS_CHECK(f != nullptr);
+    pool_.push_back(f->features);
+    phone_of_.push_back(f->phone_id);
+    delta_bytes_ += cfg_.feature_bytes;
+  }
+
+  Bytes state_size() const override {
+    return static_cast<Bytes>(pool_.size()) * cfg_.feature_bytes;
+  }
+  Bytes state_delta_size() const override {
+    return std::min(delta_bytes_, state_size());
+  }
+  void mark_checkpointed() override { delta_bytes_ = 0; }
+
+  void serialize_state(BinaryWriter& w) const override {
+    w.write<std::uint64_t>(pool_.size());
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      w.write(phone_of_[i]);
+      w.write_vector(pool_[i]);
+    }
+    w.write(windows_completed_);
+  }
+  void deserialize_state(BinaryReader& r) override {
+    const auto n = r.read<std::uint64_t>();
+    pool_.clear();
+    phone_of_.clear();
+    pool_.reserve(n);
+    phone_of_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      phone_of_.push_back(r.read<std::int64_t>());
+      pool_.push_back(r.read_vector<double>());
+    }
+    windows_completed_ = r.read<std::int64_t>();
+  }
+  void clear_state() override {
+    pool_.clear();
+    phone_of_.clear();
+    windows_completed_ = 0;
+  }
+
+  std::int64_t windows_completed() const { return windows_completed_; }
+  std::size_t pool_size() const { return pool_.size(); }
+
+ private:
+  void flush(core::OperatorContext& ctx) {
+    if (!pool_.empty()) {
+      const KMeansResult result =
+          kmeans(pool_, cfg_.k, ctx.rng(), /*max_iterations=*/12);
+      // The clustering burst occupies the SPE thread first; the emissions
+      // below queue behind it.
+      ctx.charge(cfg_.cluster_cost_per_tuple *
+                 static_cast<std::int64_t>(pool_.size()));
+      // Per-cluster summary tuples (centroid speed + member count).
+      std::vector<std::int64_t> counts(result.centroids.size(), 0);
+      for (const int a : result.assignment) {
+        ++counts[static_cast<std::size_t>(a)];
+      }
+      for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+        core::Tuple out;
+        out.wire_size = 128;
+        out.payload = std::make_shared<ModeInference>(
+            static_cast<std::int64_t>(counts[c]), static_cast<int>(c),
+            out.wire_size);
+        ctx.emit(0, std::move(out));
+      }
+      pool_.clear();
+      phone_of_.clear();
+    }
+    ++windows_completed_;
+    ctx.schedule(cfg_.window, [this](core::OperatorContext& c) { flush(c); });
+  }
+
+  TmiConfig cfg_;
+  std::vector<std::vector<double>> pool_;
+  std::vector<std::int64_t> phone_of_;
+  std::int64_t windows_completed_ = 0;
+  Bytes delta_bytes_ = 0;
+};
+
+/// Generic counting sink.
+class SinkOperator final : public core::Operator {
+ public:
+  explicit SinkOperator(std::string name) : core::Operator(std::move(name)) {
+    costs().base = SimTime::micros(10);
+  }
+  void process(int, const core::Tuple&, core::OperatorContext&) override {
+    ++received_;
+  }
+  Bytes state_size() const override { return 64; }
+  void serialize_state(BinaryWriter& w) const override { w.write(received_); }
+  void deserialize_state(BinaryReader& r) override {
+    received_ = r.read<std::int64_t>();
+  }
+  void clear_state() override { received_ = 0; }
+
+ private:
+  std::int64_t received_ = 0;
+};
+
+}  // namespace
+
+core::QueryGraph build_tmi(const TmiConfig& config) {
+  core::QueryGraph g;
+  const TmiLayout layout = tmi_layout(config);
+  (void)layout;
+
+  std::vector<int> s, p, m, grp, a;
+  for (int i = 0; i < config.num_sources; ++i) {
+    s.push_back(g.add_source("S" + std::to_string(i), [config, i] {
+      return std::make_unique<TmiSource>("S" + std::to_string(i), config);
+    }));
+  }
+  for (int i = 0; i < config.num_pairs; ++i) {
+    p.push_back(g.add_operator("P" + std::to_string(i), [config, i] {
+      return std::make_unique<PairOperator>("P" + std::to_string(i), config);
+    }));
+  }
+  for (int i = 0; i < config.num_pairs; ++i) {
+    m.push_back(g.add_operator("M" + std::to_string(i), [config, i] {
+      return std::make_unique<GoogleMapOperator>("M" + std::to_string(i),
+                                                 config);
+    }));
+  }
+  for (int i = 0; i < config.num_groups; ++i) {
+    grp.push_back(g.add_operator("G" + std::to_string(i), [config, i] {
+      return std::make_unique<GroupOperator>("G" + std::to_string(i), config);
+    }));
+  }
+  for (int i = 0; i < config.num_groups; ++i) {
+    a.push_back(g.add_operator("A" + std::to_string(i), [config, i] {
+      return std::make_unique<KMeansOperator>("A" + std::to_string(i), config);
+    }));
+  }
+  const int k = g.add_sink("K", [] { return std::make_unique<SinkOperator>("K"); });
+
+  // S_i feeds the Pair columns it owns (P_j with j ≡ i mod num_sources).
+  for (int j = 0; j < config.num_pairs; ++j) {
+    g.connect(s[static_cast<std::size_t>(j % config.num_sources)],
+              p[static_cast<std::size_t>(j)]);
+  }
+  // P_j → M_j.
+  for (int j = 0; j < config.num_pairs; ++j) {
+    g.connect(p[static_cast<std::size_t>(j)], m[static_cast<std::size_t>(j)]);
+  }
+  // Every GoogleMap connects to all Group operators (Fig. 2).
+  for (int j = 0; j < config.num_pairs; ++j) {
+    for (int gi = 0; gi < config.num_groups; ++gi) {
+      g.connect(m[static_cast<std::size_t>(j)],
+                grp[static_cast<std::size_t>(gi)]);
+    }
+  }
+  // G_i → A_i → K.
+  for (int gi = 0; gi < config.num_groups; ++gi) {
+    g.connect(grp[static_cast<std::size_t>(gi)], a[static_cast<std::size_t>(gi)]);
+    g.connect(a[static_cast<std::size_t>(gi)], k);
+  }
+  return g;
+}
+
+TmiLayout tmi_layout(const TmiConfig& config) {
+  TmiLayout layout;
+  int next = 0;
+  for (int i = 0; i < config.num_sources; ++i) layout.sources.push_back(next++);
+  for (int i = 0; i < config.num_pairs; ++i) layout.pairs.push_back(next++);
+  for (int i = 0; i < config.num_pairs; ++i) layout.maps.push_back(next++);
+  for (int i = 0; i < config.num_groups; ++i) layout.groups.push_back(next++);
+  for (int i = 0; i < config.num_groups; ++i) layout.kmeans.push_back(next++);
+  layout.sink = next++;
+  return layout;
+}
+
+}  // namespace ms::apps

@@ -1,0 +1,57 @@
+// Transportation Mode Inference (TMI) — paper §II-B2, Fig. 2.
+//
+// 55 operators: 10 sources (base stations feeding anonymized position
+// records), 12 Pair operators (position → speed features), 12 GoogleMap
+// operators (reference-speed annotation; each connects to ALL Group
+// operators), 10 Group operators, 10 k-means operators (N-minute batch
+// windows: pool tuples, cluster at the window end, discard the pool — the
+// sawtooth state of Fig. 5a), and one sink.
+#pragma once
+
+#include "core/query_graph.h"
+
+namespace ms::apps {
+
+struct TmiConfig {
+  int num_sources = 10;
+  int num_pairs = 12;   // Pair/GoogleMap columns
+  int num_groups = 10;  // Group/k-means columns
+  /// Position records per second per base station.
+  double records_per_second = 40.0;
+  /// Phones tracked per base station.
+  int phones_per_source = 512;
+  /// Declared bytes of one raw position record on the wire.
+  Bytes record_bytes = 600;
+  /// Declared bytes of one pooled feature tuple inside a k-means operator.
+  Bytes feature_bytes = 1_KB;
+  /// The k-means batch window ("N" in the paper's Fig. 5a: 1, 5, 10 min).
+  SimTime window = SimTime::minutes(10);
+  int k = 4;  // driving / bus / walking / still
+  /// CPU cost of one k-means run per pooled tuple (charged at the window
+  /// boundary).
+  SimTime cluster_cost_per_tuple = SimTime::micros(8);
+
+  /// Per-tuple operator costs (calibrated by the benchmark harness so the
+  /// hot stage runs near saturation; see DESIGN.md §5).
+  SimTime pair_cost = SimTime::micros(40);
+  SimTime map_cost = SimTime::micros(60);
+  SimTime group_cost = SimTime::micros(30);
+  SimTime kmeans_cost = SimTime::micros(50);
+};
+
+/// Build the Fig. 2 query network. Operator naming follows the paper
+/// (S0..S9, P0..P11, M0..M11, G0..G9, A0..A9, K).
+core::QueryGraph build_tmi(const TmiConfig& config = {});
+
+/// Vertex-id layout of the built graph (for tests and benches).
+struct TmiLayout {
+  std::vector<int> sources;  // S
+  std::vector<int> pairs;    // P
+  std::vector<int> maps;     // M
+  std::vector<int> groups;   // G
+  std::vector<int> kmeans;   // A — the dynamic HAUs
+  int sink = -1;             // K
+};
+TmiLayout tmi_layout(const TmiConfig& config = {});
+
+}  // namespace ms::apps

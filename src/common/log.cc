@@ -1,0 +1,38 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ms {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void logf(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  char msg[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s %s] %s\n", level_name(level), tag, msg);
+}
+
+}  // namespace ms

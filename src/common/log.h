@@ -1,0 +1,25 @@
+// Lightweight leveled logging. Benchmarks run with kWarn to keep output
+// clean; tests that exercise failure paths may raise the level to kDebug.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace ms {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. `tag` names the subsystem ("ft", "sim", ...).
+void logf(LogLevel level, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace ms
+
+#define MS_LOG_DEBUG(tag, ...) ::ms::logf(::ms::LogLevel::kDebug, tag, __VA_ARGS__)
+#define MS_LOG_INFO(tag, ...) ::ms::logf(::ms::LogLevel::kInfo, tag, __VA_ARGS__)
+#define MS_LOG_WARN(tag, ...) ::ms::logf(::ms::LogLevel::kWarn, tag, __VA_ARGS__)
+#define MS_LOG_ERROR(tag, ...) ::ms::logf(::ms::LogLevel::kError, tag, __VA_ARGS__)

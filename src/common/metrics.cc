@@ -1,0 +1,140 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace ms {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+int LatencyHistogram::bucket_for(std::int64_t ns) {
+  if (ns < 1000) return 0;  // sub-microsecond lumps into bucket 0
+  // Geometric buckets: 16 per octave above 1us.
+  const double octaves = std::log2(static_cast<double>(ns) / 1000.0);
+  const int b = 1 + static_cast<int>(octaves * 16.0);
+  return std::min(b, kBuckets - 1);
+}
+
+std::int64_t LatencyHistogram::bucket_upper_ns(int b) {
+  if (b == 0) return 1000;
+  return static_cast<std::int64_t>(1000.0 * std::exp2(static_cast<double>(b) / 16.0));
+}
+
+void LatencyHistogram::record(SimTime latency) {
+  const std::int64_t ns = std::max<std::int64_t>(latency.ns(), 0);
+  ++buckets_[static_cast<std::size_t>(bucket_for(ns))];
+  ++count_;
+  sum_ns_ += ns;
+  min_ = std::min(min_, latency);
+  max_ = std::max(max_, latency);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ns_ = 0;
+  min_ = SimTime::max();
+  max_ = SimTime::zero();
+}
+
+SimTime LatencyHistogram::mean() const {
+  if (count_ == 0) return SimTime::zero();
+  return SimTime::nanos(sum_ns_ / count_);
+}
+
+SimTime LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return SimTime::zero();
+  MS_CHECK(p >= 0.0 && p <= 100.0);
+  const auto target = static_cast<std::int64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= target) return SimTime::nanos(bucket_upper_ns(i));
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "n=%lld mean=%s p50=%s p99=%s max=%s",
+                static_cast<long long>(count_), mean().to_string().c_str(),
+                percentile(50).to_string().c_str(),
+                percentile(99).to_string().c_str(), max_.to_string().c_str());
+  return buf;
+}
+
+double TimeSeries::min_value() const {
+  MS_CHECK(!points_.empty());
+  double m = points_.front().value;
+  for (const auto& p : points_) m = std::min(m, p.value);
+  return m;
+}
+
+double TimeSeries::max_value() const {
+  MS_CHECK(!points_.empty());
+  double m = points_.front().value;
+  for (const auto& p : points_) m = std::max(m, p.value);
+  return m;
+}
+
+double TimeSeries::mean_value() const {
+  MS_CHECK(!points_.empty());
+  if (points_.size() == 1) return points_.front().value;
+  // Trapezoidal time-weighted mean: appropriate for a sampled signal.
+  double area = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dt = (points_[i].t - points_[i - 1].t).to_seconds();
+    area += 0.5 * (points_[i].value + points_[i - 1].value) * dt;
+  }
+  const double span = (points_.back().t - points_.front().t).to_seconds();
+  if (span <= 0.0) return points_.front().value;
+  return area / span;
+}
+
+std::vector<TimeSeries::Point> TimeSeries::local_minima(std::size_t window) const {
+  std::vector<Point> out;
+  if (points_.size() < 2 * window + 1) return out;
+  for (std::size_t i = window; i + window < points_.size(); ++i) {
+    bool is_min = true;
+    for (std::size_t j = i - window; j <= i + window && is_min; ++j) {
+      if (j != i && points_[j].value < points_[i].value) is_min = false;
+    }
+    if (is_min) {
+      // Collapse plateaus: skip if the previous reported minimum has the
+      // same value and is adjacent in the window.
+      if (!out.empty() && out.back().value == points_[i].value &&
+          (points_[i].t - out.back().t) < (points_[i].t - points_[i - window].t) * std::int64_t{2}) {
+        continue;
+      }
+      out.push_back(points_[i]);
+    }
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::downsample(std::size_t n) const {
+  TimeSeries out;
+  if (points_.size() <= n || n == 0) {
+    out.points_ = points_;
+    return out;
+  }
+  const double stride = static_cast<double>(points_.size()) / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.points_.push_back(points_[static_cast<std::size_t>(static_cast<double>(i) * stride)]);
+  }
+  return out;
+}
+
+}  // namespace ms

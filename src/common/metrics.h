@@ -1,0 +1,85 @@
+// Measurement primitives for the evaluation harness: counters, latency
+// histograms (log-bucketed), and time series for the instantaneous-latency
+// figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ms {
+
+/// Log-bucketed histogram over SimTime durations (1 us granularity floor).
+/// Buckets grow geometrically so tail percentiles stay accurate over six
+/// orders of magnitude without per-sample allocation.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(SimTime latency);
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  std::int64_t count() const { return count_; }
+  SimTime mean() const;
+  SimTime percentile(double p) const;  // p in [0, 100]
+  SimTime min() const { return min_; }
+  SimTime max() const { return max_; }
+
+  std::string summary() const;
+
+ private:
+  static constexpr int kBuckets = 400;
+  static int bucket_for(std::int64_t ns);
+  static std::int64_t bucket_upper_ns(int b);
+
+  std::vector<std::int64_t> buckets_;
+  std::int64_t count_ = 0;
+  std::int64_t sum_ns_ = 0;
+  SimTime min_ = SimTime::max();
+  SimTime max_ = SimTime::zero();
+};
+
+/// (time, value) series sampled during a run; used for Fig. 5 (state size
+/// over time) and Fig. 15 (instantaneous latency during a checkpoint).
+class TimeSeries {
+ public:
+  struct Point {
+    SimTime t;
+    double value;
+  };
+
+  void add(SimTime t, double value) { points_.push_back({t, value}); }
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  double min_value() const;
+  double max_value() const;
+  double mean_value() const;  // time-weighted (trapezoidal) mean
+
+  /// Local minima detected with a symmetric window; used to mark the red
+  /// circles of the paper's Fig. 5/10.
+  std::vector<Point> local_minima(std::size_t window = 3) const;
+
+  /// Down-sample to at most n points (uniform stride) for printing.
+  TimeSeries downsample(std::size_t n) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Throughput accounting over a measurement window.
+struct ThroughputMeter {
+  std::int64_t tuples = 0;
+  SimTime window = SimTime::zero();
+
+  double tuples_per_second() const {
+    return window > SimTime::zero()
+               ? static_cast<double>(tuples) / window.to_seconds()
+               : 0.0;
+  }
+};
+
+}  // namespace ms

@@ -1,0 +1,136 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulation (data generators, failure
+// injection, placement) takes an explicit Rng seeded from the experiment
+// seed, so each benchmark run is exactly reproducible. The generator is
+// xoshiro256** (public domain, Blackman & Vigna), seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace ms {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d2c5680cafe1234ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  /// Derive an independent child stream; `stream_id` distinguishes siblings.
+  Rng fork(std::uint64_t stream_id) const {
+    std::uint64_t sm = s_[0] ^ (s_[3] + 0x632be59bd9b4e019ULL * (stream_id + 1));
+    return Rng(splitmix64(sm));
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface for <random> interop.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t n) {
+    MS_CHECK(n > 0);
+    // Lemire's rejection method: unbiased and fast.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    MS_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform_u64(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with given mean (> 0).
+  double exponential(double mean) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; simple over fast).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Poisson-distributed count (Knuth for small mean, normal approx above 64).
+  std::int64_t poisson(double mean) {
+    MS_CHECK(mean >= 0.0);
+    if (mean == 0.0) return 0;
+    if (mean > 64.0) {
+      const double v = normal(mean, std::sqrt(mean));
+      return v < 0 ? 0 : static_cast<std::int64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    double prod = uniform();
+    std::int64_t n = 0;
+    while (prod > limit) {
+      prod *= uniform();
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace ms

@@ -1,0 +1,111 @@
+// Binary serialization used for checkpointed operator state and for tuples
+// crossing the (simulated or real) wire. Little-endian, length-prefixed,
+// no schema evolution — checkpoints never outlive the binary that wrote them.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ms {
+
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T> && (!std::is_pointer_v<T>)
+  void write(const T& v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  void write_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  void write_string(const std::string& s) {
+    write<std::uint64_t>(s.size());
+    write_bytes(s.data(), s.size());
+  }
+
+  template <typename T>
+  void write_vector(const std::vector<T>& v) {
+    write<std::uint64_t>(v.size());
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      write_bytes(v.data(), v.size() * sizeof(T));
+    } else {
+      for (const auto& e : v) e.serialize(*this);
+    }
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::vector<std::uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  BinaryReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T> && (!std::is_pointer_v<T>)
+  T read() {
+    MS_CHECK_MSG(pos_ + sizeof(T) <= size_, "BinaryReader: out of data");
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void read_bytes(void* out, std::size_t n) {
+    MS_CHECK_MSG(pos_ + n <= size_, "BinaryReader: out of data");
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  std::string read_string() {
+    const auto n = read<std::uint64_t>();
+    MS_CHECK_MSG(pos_ + n <= size_, "BinaryReader: bad string length");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    const auto n = read<std::uint64_t>();
+    std::vector<T> v;
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      MS_CHECK_MSG(pos_ + n * sizeof(T) <= size_, "BinaryReader: bad vector length");
+      v.resize(n);
+      read_bytes(v.data(), n * sizeof(T));
+    } else {
+      v.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) v.push_back(T::deserialize(*this));
+    }
+    return v;
+  }
+
+  bool at_end() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ms

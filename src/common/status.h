@@ -1,0 +1,118 @@
+// Minimal error-handling vocabulary: Status for operations that can fail
+// without a value, Result<T> for operations that produce a value or an error.
+// Exceptions are reserved for programming errors (MS_CHECK); expected runtime
+// failures (a failed node, a missing checkpoint) travel through these types.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ms {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kUnavailable,     // target node/service is down
+  kInvalidArgument,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+};
+
+const char* status_code_name(StatusCode c);
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status not_found(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  static Status invalid_argument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status failed_precondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status resource_exhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  static Status internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-Status. `value()` on an error aborts (programming error).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                 // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {}          // NOLINT(google-explicit-constructor)
+
+  bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    check_ok();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    check_ok();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    check_ok();
+    return std::get<T>(std::move(v_));
+  }
+  T value_or(T fallback) const {
+    return is_ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(v_);
+  }
+
+ private:
+  void check_ok() const {
+    if (!is_ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(v_).to_string().c_str());
+      std::abort();
+    }
+  }
+  std::variant<T, Status> v_;
+};
+
+namespace internal {
+[[noreturn]] void check_failed(const char* file, int line, const char* expr,
+                               const std::string& extra);
+}  // namespace internal
+
+}  // namespace ms
+
+/// Invariant check: aborts with location on violation. Always on — the cost
+/// is negligible next to the simulation work and silent corruption is worse.
+#define MS_CHECK(expr)                                                   \
+  do {                                                                   \
+    if (!(expr)) ::ms::internal::check_failed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define MS_CHECK_MSG(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) ::ms::internal::check_failed(__FILE__, __LINE__, #expr, (msg)); \
+  } while (0)

@@ -1,0 +1,38 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ms {
+
+std::string SimTime::to_string() const {
+  char buf[64];
+  const double abs_ns = std::fabs(static_cast<double>(ns_));
+  if (abs_ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds());
+  } else if (abs_ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_millis());
+  } else if (abs_ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns_) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+std::string format_bytes(Bytes b) {
+  char buf[64];
+  const double v = static_cast<double>(b);
+  if (b >= 1_GB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", v / static_cast<double>(1_GB));
+  } else if (b >= 1_MB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", v / static_cast<double>(1_MB));
+  } else if (b >= 1_KB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", v / static_cast<double>(1_KB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(b));
+  }
+  return buf;
+}
+
+}  // namespace ms

@@ -1,0 +1,87 @@
+// Strongly-typed simulated time and byte quantities used across the project.
+//
+// Simulated time is a signed 64-bit count of nanoseconds. A dedicated type
+// (rather than std::chrono) keeps the discrete-event core allocation-free and
+// trivially serializable while still preventing unit mistakes at API
+// boundaries via named constructors.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+namespace ms {
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime nanos(std::int64_t n) { return SimTime(n); }
+  static constexpr SimTime micros(std::int64_t us) { return SimTime(us * 1000); }
+  static constexpr SimTime millis(std::int64_t ms) { return SimTime(ms * 1'000'000); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static constexpr SimTime seconds(T s) {
+    return SimTime(static_cast<std::int64_t>(s) * 1'000'000'000);
+  }
+  static constexpr SimTime seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr SimTime minutes(std::int64_t m) { return seconds(m * 60); }
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() {
+    return SimTime(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ns_ + o.ns_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ns_ - o.ns_); }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime(ns_ * k); }
+  constexpr SimTime operator*(double k) const {
+    return SimTime(static_cast<std::int64_t>(static_cast<double>(ns_) * k));
+  }
+  constexpr SimTime operator/(std::int64_t k) const { return SimTime(ns_ / k); }
+  constexpr double operator/(SimTime o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t n) : ns_(n) {}
+  std::int64_t ns_ = 0;
+};
+
+/// A byte count. Plain alias plus named helpers; byte arithmetic is common
+/// enough that a wrapper class would add friction without preventing bugs.
+using Bytes = std::int64_t;
+
+constexpr Bytes operator""_KB(unsigned long long v) { return static_cast<Bytes>(v) << 10; }
+constexpr Bytes operator""_MB(unsigned long long v) { return static_cast<Bytes>(v) << 20; }
+constexpr Bytes operator""_GB(unsigned long long v) { return static_cast<Bytes>(v) << 30; }
+
+/// Human-readable byte count, e.g. "1.50 MB".
+std::string format_bytes(Bytes b);
+
+/// Time taken to move `bytes` at `bytes_per_second` throughput.
+constexpr SimTime transfer_time(Bytes bytes, double bytes_per_second) {
+  if (bytes <= 0) return SimTime::zero();
+  return SimTime::seconds(static_cast<double>(bytes) / bytes_per_second);
+}
+
+}  // namespace ms

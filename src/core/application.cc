@@ -1,0 +1,137 @@
+#include "core/application.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace ms::core {
+
+Application::Application(Cluster* cluster, const QueryGraph& graph,
+                         std::vector<net::NodeId> placement, std::uint64_t seed)
+    : cluster_(cluster),
+      graph_(graph),
+      placement_(std::move(placement)),
+      seed_(seed) {
+  MS_CHECK(cluster != nullptr);
+}
+
+void Application::deploy() {
+  MS_CHECK(!deployed_);
+  const Status st = graph_.validate();
+  MS_CHECK_MSG(st.is_ok(), "invalid query network: " + st.to_string());
+
+  if (placement_.empty()) {
+    MS_CHECK_MSG(graph_.num_operators() <= cluster_->num_nodes() - 1,
+                 "not enough compute nodes for 1:1 placement");
+    placement_.resize(static_cast<std::size_t>(graph_.num_operators()));
+    for (int i = 0; i < graph_.num_operators(); ++i) {
+      placement_[static_cast<std::size_t>(i)] = i;
+    }
+  }
+  MS_CHECK(static_cast<int>(placement_.size()) == graph_.num_operators());
+
+  haus_.reserve(static_cast<std::size_t>(graph_.num_operators()));
+  for (int i = 0; i < graph_.num_operators(); ++i) {
+    const auto& spec = graph_.op(i);
+    auto hau = std::make_unique<Hau>(this, i, spec.factory(), spec.is_source,
+                                     spec.is_sink);
+    const net::NodeId n = placement_[static_cast<std::size_t>(i)];
+    MS_CHECK_MSG(n >= 0 && n < cluster_->num_nodes() &&
+                     n != cluster_->storage_node(),
+                 "bad placement for HAU " + spec.name);
+    hau->place_on(n);
+    haus_.push_back(std::move(hau));
+  }
+  // Wire edges. Edge order defines port numbering on both sides, matching
+  // QueryGraph::connect.
+  for (const auto& e : graph_.edges()) {
+    Hau& from = hau(e.from);
+    Hau& to = hau(e.to);
+    to.add_in_edge(&from, e.out_port);
+    from.add_out_edge(&to, e.in_port);
+  }
+  deployed_ = true;
+}
+
+void Application::attach_ft(
+    const std::function<std::unique_ptr<HauFt>(Hau&)>& factory) {
+  MS_CHECK_MSG(deployed_, "attach_ft before deploy");
+  MS_CHECK_MSG(!started_, "attach_ft after start");
+  for (auto& h : haus_) h->attach_ft(factory(*h));
+}
+
+void Application::start() {
+  MS_CHECK_MSG(deployed_, "start before deploy");
+  MS_CHECK(!started_);
+  started_ = true;
+  for (auto& h : haus_) h->start();
+}
+
+std::vector<Hau*> Application::sources() {
+  std::vector<Hau*> out;
+  for (auto& h : haus_) {
+    if (h->is_source()) out.push_back(h.get());
+  }
+  return out;
+}
+
+std::vector<Hau*> Application::sinks() {
+  std::vector<Hau*> out;
+  for (auto& h : haus_) {
+    if (h->is_sink()) out.push_back(h.get());
+  }
+  return out;
+}
+
+std::vector<net::NodeId> Application::nodes_in_use() const {
+  std::vector<net::NodeId> nodes;
+  for (const auto& h : haus_) nodes.push_back(h->node());
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+void Application::record_sink_tuple(const Tuple& tuple, SimTime now) {
+  ++sink_count_;
+  if (sink_probe_) sink_probe_(tuple, now);
+}
+
+void Application::set_latency_probes(std::vector<int> hau_ids) {
+  latency_probe_.assign(static_cast<std::size_t>(num_haus()), false);
+  for (const int id : hau_ids) {
+    latency_probe_.at(static_cast<std::size_t>(id)) = true;
+  }
+}
+
+bool Application::is_latency_probe(int hau_id) const {
+  if (latency_probe_.empty()) {
+    return hau(hau_id).is_sink();  // default: sinks
+  }
+  return latency_probe_[static_cast<std::size_t>(hau_id)];
+}
+
+std::uint64_t Application::total_tuples_processed() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < haus_.size(); ++i) {
+    total += haus_[i]->tuples_processed();
+    if (i < processed_baseline_.size()) total -= processed_baseline_[i];
+  }
+  return total;
+}
+
+void Application::reset_metrics() {
+  sink_count_ = 0;
+  latency_.reset();
+  processed_baseline_.resize(haus_.size());
+  for (std::size_t i = 0; i < haus_.size(); ++i) {
+    processed_baseline_[i] = haus_[i]->tuples_processed();
+  }
+}
+
+Bytes Application::total_state_size() const {
+  Bytes total = 0;
+  for (const auto& h : haus_) total += h->state_size();
+  return total;
+}
+
+}  // namespace ms::core

@@ -1,0 +1,102 @@
+// Application: a query graph deployed onto a cluster — the paper's "stream
+// application". Owns the HAUs, places them on nodes, wires the edges, and
+// aggregates end-to-end metrics at the sinks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/cluster.h"
+#include "core/hau.h"
+#include "core/query_graph.h"
+
+namespace ms::core {
+
+class Application {
+ public:
+  /// Placement: HAU i runs on node `placement[i]`. If empty, HAU i → node i
+  /// (requires num_operators() <= compute nodes).
+  Application(Cluster* cluster, const QueryGraph& graph,
+              std::vector<net::NodeId> placement = {},
+              std::uint64_t seed = 0x5eedULL);
+
+  /// Instantiate operators, place HAUs, wire edges. Must be called once
+  /// before start(). Validates the graph.
+  void deploy();
+
+  /// Optional: install fault-tolerance attachments. Must be called between
+  /// deploy() and start(); the factory is invoked once per HAU.
+  void attach_ft(const std::function<std::unique_ptr<HauFt>(Hau&)>& factory);
+
+  void start();
+
+  Cluster& cluster() { return *cluster_; }
+  sim::Simulation& simulation() { return cluster_->simulation(); }
+  const QueryGraph& graph() const { return graph_; }
+
+  int num_haus() const { return static_cast<int>(haus_.size()); }
+  Hau& hau(int id) { return *haus_.at(static_cast<std::size_t>(id)); }
+  const Hau& hau(int id) const { return *haus_.at(static_cast<std::size_t>(id)); }
+  std::vector<Hau*> sources();
+  std::vector<Hau*> sinks();
+
+  /// Nodes currently hosting HAUs of this application.
+  std::vector<net::NodeId> nodes_in_use() const;
+
+  // --- metrics (recorded at sinks) ---
+  void record_sink_tuple(const Tuple& tuple, SimTime now);
+  std::int64_t sink_tuple_count() const { return sink_count_; }
+  const LatencyHistogram& latency() const { return latency_; }
+  void reset_metrics();
+
+  /// Latency is recorded when a *probe* HAU finishes processing a tuple.
+  /// By default the sinks are the probes; batch-windowed applications
+  /// measure at the stage where the continuous data path ends instead
+  /// (e.g. TMI's k-means operators).
+  void set_latency_probes(std::vector<int> hau_ids);
+  bool is_latency_probe(int hau_id) const;
+  void record_probe_latency(const Tuple& tuple, SimTime now) {
+    latency_.record(now - tuple.event_time);
+    if (latency_listener_) latency_listener_(now, now - tuple.event_time);
+  }
+  /// Streamed per-tuple latency samples (instantaneous latency, Fig. 15).
+  void set_latency_listener(std::function<void(SimTime, SimTime)> listener) {
+    latency_listener_ = std::move(listener);
+  }
+
+  /// Sum of tuples processed across every HAU (the throughput numerator for
+  /// the paper's Fig. 12 runs).
+  std::uint64_t total_tuples_processed() const;
+
+  /// Optional probe invoked for every sink tuple (tests, instantaneous
+  /// latency series).
+  void set_sink_probe(std::function<void(const Tuple&, SimTime)> probe) {
+    sink_probe_ = std::move(probe);
+  }
+
+  /// Total state size across all HAUs (aggregate of Fig. 5).
+  Bytes total_state_size() const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  Cluster* cluster_;
+  QueryGraph graph_;
+  std::vector<net::NodeId> placement_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<Hau>> haus_;
+  bool deployed_ = false;
+  bool started_ = false;
+
+  std::int64_t sink_count_ = 0;
+  LatencyHistogram latency_;
+  std::function<void(const Tuple&, SimTime)> sink_probe_;
+  std::function<void(SimTime, SimTime)> latency_listener_;
+  std::vector<bool> latency_probe_;  // empty = sinks are the probes
+  /// Processed-tuple counts survive HAU restarts (Hau counters reset).
+  std::vector<std::uint64_t> processed_baseline_;
+};
+
+}  // namespace ms::core

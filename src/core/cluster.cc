@@ -1,0 +1,51 @@
+#include "core/cluster.h"
+
+namespace ms::core {
+
+Cluster::Cluster(sim::Simulation* sim, const ClusterParams& params)
+    : sim_(sim), params_(params) {
+  MS_CHECK(sim != nullptr);
+  MS_CHECK_MSG(params.network.num_nodes >= 2,
+               "need at least one compute node plus the storage node");
+  topo_ = std::make_unique<net::Topology>(params.network);
+  network_ = std::make_unique<net::Network>(sim_, topo_.get());
+  shared_ = std::make_unique<storage::SharedStorage>(
+      network_.get(), storage_node(), params.shared_disk,
+      params.shared_log_disk);
+  nodes_.resize(static_cast<std::size_t>(topo_->num_nodes()));
+  for (auto& n : nodes_) {
+    n.cpu = std::make_unique<sim::CpuServer>(sim_, params.cores_per_node);
+    n.disk = std::make_unique<storage::Disk>(sim_, params.local_disk);
+    n.local_store = std::make_unique<storage::LocalStore>(sim_, n.disk.get());
+    n.alive = true;
+  }
+}
+
+Cluster::Node& Cluster::node(net::NodeId id) {
+  MS_CHECK(id >= 0 && id < num_nodes());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+bool Cluster::node_alive(net::NodeId id) const {
+  MS_CHECK(id >= 0 && id < num_nodes());
+  return nodes_[static_cast<std::size_t>(id)].alive;
+}
+
+void Cluster::fail_node(net::NodeId id) {
+  auto& n = node(id);
+  if (!n.alive) return;
+  n.alive = false;
+  network_->set_alive(id, false);
+  n.cpu->reset();
+  n.disk->reset();
+}
+
+void Cluster::revive_node(net::NodeId id) {
+  auto& n = node(id);
+  if (n.alive) return;
+  n.alive = true;
+  network_->set_alive(id, true);
+  network_->reset_node(id);
+}
+
+}  // namespace ms::core

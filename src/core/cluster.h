@@ -1,0 +1,80 @@
+// Simulated commodity cluster: nodes with CPU cores and a local disk, a
+// network fabric, and one dedicated storage node hosting the shared storage
+// service (where the controller also runs, as in the paper).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/network.h"
+#include "net/topology.h"
+#include "sim/cpu.h"
+#include "sim/simulation.h"
+#include "storage/disk.h"
+#include "storage/stores.h"
+
+namespace ms::core {
+
+struct ClusterParams {
+  net::ClusterConfig network;
+  int cores_per_node = 2;
+  /// Credit window per stream connection (tuples in flight + buffered at
+  /// the receiver before the sender blocks) — the SPE input/output buffers
+  /// of the paper's Fig. 8. Backpressure propagates upstream through it.
+  int flow_window = 64;
+  storage::DiskConfig local_disk{.write_bandwidth = 80e6,
+                                 .read_bandwidth = 100e6,
+                                 .per_request_overhead = SimTime::millis(6)};
+  storage::DiskConfig shared_disk{.write_bandwidth = 100e6,
+                                  .read_bandwidth = 120e6,
+                                  .per_request_overhead = SimTime::millis(4)};
+  /// Separate shared-storage tier for the preserved-tuple log (striped
+  /// GFS-like appends). Unset = appends share the bulk disk.
+  std::optional<storage::DiskConfig> shared_log_disk;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulation* sim, const ClusterParams& params);
+
+  struct Node {
+    std::unique_ptr<sim::CpuServer> cpu;
+    std::unique_ptr<storage::Disk> disk;
+    std::unique_ptr<storage::LocalStore> local_store;
+    bool alive = true;
+  };
+
+  sim::Simulation& simulation() { return *sim_; }
+  net::Network& network() { return *network_; }
+  const net::Topology& topology() const { return *topo_; }
+  storage::SharedStorage& shared_storage() { return *shared_; }
+
+  int num_nodes() const { return topo_->num_nodes(); }
+  /// Compute nodes are [0, num_nodes-2]; the last node hosts storage and
+  /// the controller.
+  net::NodeId storage_node() const { return topo_->num_nodes() - 1; }
+
+  Node& node(net::NodeId id);
+  bool node_alive(net::NodeId id) const;
+
+  /// Fail-stop: NICs go dark, CPU jobs and disk queue abandoned. Local-store
+  /// *contents* survive (data is on the platter) but are unreachable until
+  /// the node comes back.
+  void fail_node(net::NodeId id);
+
+  /// Bring a failed node back (fresh boot: empty CPU/disk queues).
+  void revive_node(net::NodeId id);
+
+  const ClusterParams& params() const { return params_; }
+
+ private:
+  sim::Simulation* sim_;
+  ClusterParams params_;
+  std::unique_ptr<net::Topology> topo_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<storage::SharedStorage> shared_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ms::core

@@ -1,0 +1,570 @@
+#include "core/hau.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.h"
+#include "core/application.h"
+
+namespace ms::core {
+
+void HauFt::on_token_at_head(Hau& hau, int in_port, const Token& token) {
+  (void)token;
+  // No fault tolerance: drop stray tokens.
+  hau.pop_token(in_port);
+}
+
+void HauFt::emit(Hau& hau, int out_port, Tuple tuple) {
+  hau.send_downstream(out_port, std::move(tuple));
+}
+
+Bytes CheckpointImage::total_declared() const {
+  Bytes b = declared_state_size + kFixedOverhead;
+  for (const auto& [port, t] : inflight) {
+    (void)port;
+    b += t.wire_size;
+  }
+  return b;
+}
+
+/// OperatorContext implementation bound to one process()/timer invocation.
+class HauOperatorContext final : public OperatorContext {
+ public:
+  HauOperatorContext(Hau* hau, const Tuple* current_input)
+      : hau_(hau), current_input_(current_input) {}
+
+  SimTime now() const override { return hau_->app().simulation().now(); }
+  Rng& rng() override { return hau_->rng_; }
+
+  void emit(int out_port, Tuple tuple) override {
+    hau_->emit_from_context(out_port, std::move(tuple), current_input_);
+  }
+
+  int num_out_ports() const override { return hau_->num_out_ports(); }
+  int num_in_ports() const override { return hau_->num_in_ports(); }
+
+  void schedule(SimTime delay,
+                std::function<void(OperatorContext&)> fn) override {
+    Hau* hau = hau_;
+    hau->schedule(delay, [hau, fn = std::move(fn)] {
+      HauOperatorContext ctx(hau, /*current_input=*/nullptr);
+      fn(ctx);
+    });
+  }
+
+  void charge(SimTime cost) override {
+    if (current_input_ != nullptr) {
+      hau_->add_pending_cost(cost);
+    } else {
+      hau_->busy_for(cost);
+    }
+  }
+
+  int hau_id() const override { return hau_->id(); }
+
+ private:
+  Hau* hau_;
+  const Tuple* current_input_;
+};
+
+Hau::Hau(Application* app, int id, std::unique_ptr<Operator> op, bool is_source,
+         bool is_sink)
+    : app_(app),
+      id_(id),
+      op_(std::move(op)),
+      is_source_(is_source),
+      is_sink_(is_sink),
+      ft_(std::make_unique<HauFt>()),
+      rng_(app->seed() ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(id + 1))) {
+  MS_CHECK(app != nullptr);
+  MS_CHECK(op_ != nullptr);
+}
+
+Hau::~Hau() = default;
+
+void Hau::add_in_edge(Hau* from, int their_out_port) {
+  MS_CHECK(from != nullptr);
+  InEdge edge;
+  edge.from = from;
+  edge.their_out_port = their_out_port;
+  in_.push_back(std::move(edge));
+}
+
+void Hau::add_out_edge(Hau* to, int their_in_port) {
+  MS_CHECK(to != nullptr);
+  OutEdge edge;
+  edge.to = to;
+  edge.their_in_port = their_in_port;
+  out_.push_back(std::move(edge));
+}
+
+int Hau::find_out_port(const Hau& downstream_hau, int their_in_port) const {
+  for (int p = 0; p < num_out_ports(); ++p) {
+    const auto& e = out_[static_cast<std::size_t>(p)];
+    if (e.to == &downstream_hau && e.their_in_port == their_in_port) return p;
+  }
+  MS_CHECK_MSG(false, "no edge to requested downstream port");
+  return -1;
+}
+
+void Hau::attach_ft(std::unique_ptr<HauFt> ft) {
+  MS_CHECK(ft != nullptr);
+  MS_CHECK_MSG(!started_, "attach_ft after start");
+  ft_ = std::move(ft);
+}
+
+void Hau::start() {
+  MS_CHECK(node_ != net::kInvalidNode);
+  MS_CHECK(!started_);
+  started_ = true;
+  for (auto& e : out_) e.credits = app_->cluster().params().flow_window;
+  ft_->on_start(*this);
+  HauOperatorContext ctx(this, /*current_input=*/nullptr);
+  op_->on_open(ctx);
+  maybe_schedule_processing();
+}
+
+void Hau::on_node_failed() {
+  if (failed_) return;
+  failed_ = true;
+  ++incarnation_;  // orphans in-flight CPU jobs, timers, and control messages
+  processing_ = false;
+  pause_depth_ = 0;
+  pending_post_cost_ = SimTime::zero();
+  pending_emissions_.clear();
+  for (auto& e : in_) {
+    e.buffer.clear();
+    e.blocked = false;
+  }
+  for (auto& e : out_) e.pending.clear();
+}
+
+void Hau::restart_on(net::NodeId n) {
+  MS_CHECK_MSG(failed_, "restart of a live HAU");
+  MS_CHECK(app_->cluster().node_alive(n));
+  node_ = n;
+  failed_ = false;
+  ++incarnation_;
+  processing_ = false;
+  pause_depth_ = 0;
+  rr_next_port_ = 0;
+  cost_multiplier_ = 1.0;
+  pending_post_cost_ = SimTime::zero();
+  pending_emissions_.clear();
+  for (auto& e : in_) {
+    e.buffer.clear();
+    e.blocked = false;
+    e.last_processed_edge_seq = 0;
+    e.last_received_edge_seq = 0;
+  }
+  for (auto& e : out_) {
+    e.next_edge_seq = 1;
+    e.credits = app_->cluster().params().flow_window;
+    e.pending.clear();
+  }
+  op_->clear_state();
+}
+
+void Hau::reopen() {
+  MS_CHECK_MSG(started_ && !failed_, "reopen of an unstarted or failed HAU");
+  ft_->on_restart(*this);
+  HauOperatorContext ctx(this, /*current_input=*/nullptr);
+  op_->on_open(ctx);
+  maybe_schedule_processing();
+}
+
+void Hau::receive(int in_port, StreamItem item) {
+  if (failed_) return;
+  MS_CHECK(in_port >= 0 && in_port < num_in_ports());
+  auto& edge = in_[static_cast<std::size_t>(in_port)];
+  if (const auto* t = std::get_if<Tuple>(&item)) {
+    if (t->edge_seq <= edge.last_received_edge_seq) {
+      return_credit(in_port);  // recovery duplicate: dropped but consumed
+      return;
+    }
+    edge.last_received_edge_seq = t->edge_seq;
+  }
+  edge.buffer.push_back(std::move(item));
+  maybe_schedule_processing();
+}
+
+std::uint64_t Hau::send_downstream(int out_port, Tuple tuple) {
+  if (failed_) return 0;
+  MS_CHECK(out_port >= 0 && out_port < num_out_ports());
+  auto& edge = out_[static_cast<std::size_t>(out_port)];
+  tuple.edge_seq = edge.next_edge_seq++;
+  const std::uint64_t seq = tuple.edge_seq;
+  enqueue_out(edge, StreamItem(std::move(tuple)));
+  return seq;
+}
+
+void Hau::resend_downstream(int out_port, Tuple tuple) {
+  if (failed_) return;
+  MS_CHECK(out_port >= 0 && out_port < num_out_ports());
+  MS_CHECK_MSG(tuple.edge_seq != 0, "resend of a tuple that was never sent");
+  auto& edge = out_[static_cast<std::size_t>(out_port)];
+  edge.next_edge_seq = std::max(edge.next_edge_seq, tuple.edge_seq + 1);
+  enqueue_out(edge, StreamItem(std::move(tuple)));
+}
+
+void Hau::send_token(int out_port, const Token& token, bool jump_queue) {
+  if (failed_) return;
+  MS_CHECK(out_port >= 0 && out_port < num_out_ports());
+  enqueue_out(out_[static_cast<std::size_t>(out_port)], StreamItem(token),
+              jump_queue);
+}
+
+void Hau::enqueue_out(OutEdge& edge, StreamItem item, bool jump_queue) {
+  if (!is_token(item)) ++tuples_emitted_;
+  if (jump_queue) {
+    edge.pending.push_front(std::move(item));
+  } else {
+    edge.pending.push_back(std::move(item));
+  }
+  pump_edge(edge);
+}
+
+void Hau::pump_edge(OutEdge& edge) {
+  while (edge.credits > 0 && !edge.pending.empty()) {
+    --edge.credits;
+    StreamItem item = std::move(edge.pending.front());
+    edge.pending.pop_front();
+    dispatch(edge, std::move(item));
+  }
+}
+
+void Hau::dispatch(OutEdge& edge, StreamItem item) {
+  // Source-lineage tuples are timestamped when they actually enter the
+  // stream (ingest backlog behind the flow window is not "latency").
+  if (is_source_) {
+    if (auto* t = std::get_if<Tuple>(&item)) {
+      t->event_time = app_->simulation().now();
+    }
+  }
+  Hau* to = edge.to;
+  const int their_port = edge.their_in_port;
+  const std::uint64_t target_inc = to->incarnation();
+  const bool token = is_token(item);
+  app_->cluster().network().send(
+      node_, to->node(), item_wire_size(item),
+      token ? net::MsgCategory::kToken : net::MsgCategory::kData,
+      [to, their_port, target_inc, item = std::move(item)]() mutable {
+        if (to->incarnation() != target_inc) return;  // connection broke
+        to->receive(their_port, std::move(item));
+      });
+}
+
+void Hau::return_credit(int in_port) {
+  auto& edge = in_[static_cast<std::size_t>(in_port)];
+  Hau* up = edge.from;
+  if (up->failed()) return;
+  const int up_out = edge.their_out_port;
+  const std::uint64_t up_inc = up->incarnation();
+  app_->cluster().network().send(node_, up->node(), 64,
+                                 net::MsgCategory::kAck,
+                                 [up, up_inc, up_out] {
+                                   if (up->incarnation() != up_inc ||
+                                       up->failed()) {
+                                     return;
+                                   }
+                                   up->on_credit(up_out);
+                                 });
+}
+
+void Hau::on_credit(int out_port) {
+  auto& edge = out_.at(static_cast<std::size_t>(out_port));
+  edge.credits = std::min(edge.credits + 1,
+                          app_->cluster().params().flow_window);
+  pump_edge(edge);
+  // An emit-blocked HAU may be able to process again.
+  maybe_schedule_processing();
+}
+
+bool Hau::blocked_on_send() const {
+  for (const auto& e : out_) {
+    if (!e.pending.empty()) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<int, Tuple>> Hau::pending_behind_tokens() const {
+  std::vector<std::pair<int, Tuple>> out;
+  for (int p = 0; p < num_out_ports(); ++p) {
+    const auto& edge = out_[static_cast<std::size_t>(p)];
+    for (const auto& item : edge.pending) {
+      if (const auto* t = std::get_if<Tuple>(&item)) out.emplace_back(p, *t);
+    }
+  }
+  return out;
+}
+
+void Hau::reset_edge_flow(int out_port) {
+  auto& edge = out_.at(static_cast<std::size_t>(out_port));
+  edge.credits = app_->cluster().params().flow_window;
+  // The connection is re-established from scratch: undispatched output is
+  // dropped here and re-delivered by the recovery protocol's resend (it is
+  // all in the preservation buffer / checkpoint in-flight set).
+  edge.pending.clear();
+  maybe_schedule_processing();
+}
+
+Bytes Hau::pending_out_bytes() const {
+  Bytes b = 0;
+  for (const auto& e : out_) {
+    for (const auto& item : e.pending) b += item_wire_size(item);
+  }
+  return b;
+}
+
+std::size_t Hau::pending_out_tuples() const {
+  std::size_t n = 0;
+  for (const auto& e : out_) {
+    for (const auto& item : e.pending) {
+      if (!is_token(item)) ++n;
+    }
+  }
+  return n;
+}
+
+void Hau::pause() { ++pause_depth_; }
+
+void Hau::resume() {
+  if (pause_depth_ == 0) return;
+  if (--pause_depth_ > 0) return;
+  while (!pending_emissions_.empty() && pause_depth_ == 0 && !failed_) {
+    auto [port, tuple] = std::move(pending_emissions_.front());
+    pending_emissions_.pop_front();
+    emit_from_context(port, std::move(tuple), /*current_input=*/nullptr);
+  }
+  maybe_schedule_processing();
+}
+
+void Hau::busy_for(SimTime cost) {
+  if (failed_ || cost <= SimTime::zero()) return;
+  pause();
+  run_on_cpu(cost, [this] { resume(); });
+}
+
+void Hau::block_port(int in_port) {
+  in_.at(static_cast<std::size_t>(in_port)).blocked = true;
+}
+
+void Hau::unblock_port(int in_port) {
+  in_.at(static_cast<std::size_t>(in_port)).blocked = false;
+  maybe_schedule_processing();
+}
+
+bool Hau::port_blocked(int in_port) const {
+  return in_.at(static_cast<std::size_t>(in_port)).blocked;
+}
+
+bool Hau::head_is_token(int in_port) const {
+  const auto& buf = in_.at(static_cast<std::size_t>(in_port)).buffer;
+  return !buf.empty() && is_token(buf.front());
+}
+
+Token Hau::pop_token(int in_port) {
+  auto& edge = in_.at(static_cast<std::size_t>(in_port));
+  MS_CHECK_MSG(!edge.buffer.empty() && is_token(edge.buffer.front()),
+               "pop_token: head is not a token");
+  const Token token = std::get<Token>(edge.buffer.front());
+  edge.buffer.pop_front();
+  return_credit(in_port);  // the token occupied a flow-window slot
+  return token;
+}
+
+Bytes Hau::state_size() const { return op_->state_size(); }
+
+CheckpointImage Hau::capture_state(std::vector<std::pair<int, Tuple>> inflight,
+                                   std::uint64_t checkpoint_id) const {
+  CheckpointImage image;
+  image.checkpoint_id = checkpoint_id;
+  BinaryWriter w;
+  op_->serialize_state(w);
+  image.operator_state = w.take();
+  image.declared_state_size = op_->state_size();
+  image.source_next_seq = source_next_seq_;
+  image.in_port_progress.reserve(in_.size());
+  for (const auto& e : in_) image.in_port_progress.push_back(e.last_processed_edge_seq);
+  image.out_port_next_seq.reserve(out_.size());
+  for (const auto& e : out_) image.out_port_next_seq.push_back(e.next_edge_seq);
+  image.inflight = std::move(inflight);
+  return image;
+}
+
+std::vector<std::pair<int, Tuple>> Hau::restore_state(
+    const CheckpointImage& image) {
+  op_->clear_state();
+  if (!image.operator_state.empty()) {
+    BinaryReader r(image.operator_state);
+    op_->deserialize_state(r);
+  }
+  source_next_seq_ = image.source_next_seq;
+  if (!image.in_port_progress.empty()) {
+    MS_CHECK(image.in_port_progress.size() == in_.size());
+    for (std::size_t p = 0; p < in_.size(); ++p) {
+      in_[p].last_processed_edge_seq = image.in_port_progress[p];
+      in_[p].last_received_edge_seq = image.in_port_progress[p];
+    }
+  }
+  if (!image.out_port_next_seq.empty()) {
+    MS_CHECK(image.out_port_next_seq.size() == out_.size());
+    for (std::size_t p = 0; p < out_.size(); ++p) {
+      out_[p].next_edge_seq = image.out_port_next_seq[p];
+    }
+  }
+  return image.inflight;
+}
+
+void Hau::run_on_cpu(SimTime cost, std::function<void()> done) {
+  MS_CHECK(!failed_);
+  const std::uint64_t inc = incarnation_;
+  app_->cluster().node(node_).cpu->submit(
+      cost, [this, inc, done = std::move(done)] {
+        if (incarnation_ != inc) return;
+        done();
+      });
+}
+
+void Hau::schedule(SimTime delay, std::function<void()> fn) {
+  const std::uint64_t inc = incarnation_;
+  app_->simulation().schedule_after(delay, [this, inc, fn = std::move(fn)] {
+    if (incarnation_ != inc || failed_) return;
+    fn();
+  });
+}
+
+void Hau::send_control(Hau& target, Bytes size, std::function<void(Hau&)> fn) {
+  Hau* t = &target;
+  const std::uint64_t target_inc = t->incarnation();
+  app_->cluster().network().send(node_, t->node(), size,
+                                 net::MsgCategory::kControl,
+                                 [t, target_inc, fn = std::move(fn)] {
+                                   if (t->incarnation() != target_inc) return;
+                                   fn(*t);
+                                 });
+}
+
+std::uint64_t Hau::last_processed_edge_seq(int in_port) const {
+  return in_.at(static_cast<std::size_t>(in_port)).last_processed_edge_seq;
+}
+
+std::size_t Hau::buffered_items(int in_port) const {
+  return in_.at(static_cast<std::size_t>(in_port)).buffer.size();
+}
+
+Bytes Hau::buffered_bytes() const {
+  Bytes b = 0;
+  for (const auto& e : in_) {
+    for (const auto& item : e.buffer) b += item_wire_size(item);
+  }
+  return b;
+}
+
+void Hau::maybe_schedule_processing() {
+  if (!started_ || failed_ || pause_depth_ > 0 || processing_) return;
+  if (blocked_on_send()) return;  // backpressure: wait for credits
+  const int ports = num_in_ports();
+  if (ports == 0) return;  // sources are purely timer-driven
+  for (int k = 0; k < ports; ++k) {
+    const int p = (rr_next_port_ + k) % ports;
+    auto& edge = in_[static_cast<std::size_t>(p)];
+    if (edge.blocked || edge.buffer.empty()) continue;
+    if (is_token(edge.buffer.front())) {
+      const Token token = std::get<Token>(edge.buffer.front());
+      const std::size_t before = edge.buffer.size();
+      ft_->on_token_at_head(*this, p, token);
+      // The attachment either consumed the token or blocked the port; it may
+      // also have paused us (synchronous checkpoint) — re-check everything.
+      if (!started_ || failed_ || pause_depth_ > 0 || processing_) return;
+      MS_CHECK_MSG(edge.blocked || edge.buffer.size() < before,
+                   "HauFt left a token at head without blocking");
+      // Re-scan from the same position (the next item may be another token).
+      --k;
+      continue;
+    }
+    rr_next_port_ = (p + 1) % ports;
+    start_processing(p);
+    return;
+  }
+}
+
+void Hau::start_processing(int in_port) {
+  auto& edge = in_[static_cast<std::size_t>(in_port)];
+  Tuple tuple = std::get<Tuple>(std::move(edge.buffer.front()));
+  edge.buffer.pop_front();
+  processing_ = true;
+  const SimTime cost = op_->cost(in_port, tuple) * cost_multiplier_;
+  run_on_cpu(cost, [this, in_port, tuple = std::move(tuple)]() mutable {
+    finish_processing(in_port, std::move(tuple));
+  });
+}
+
+void Hau::finish_processing(int in_port, Tuple tuple) {
+  processing_ = false;
+  auto& edge = in_[static_cast<std::size_t>(in_port)];
+  edge.last_processed_edge_seq = tuple.edge_seq;
+  ++tuples_processed_;
+
+  HauOperatorContext ctx(this, &tuple);
+  op_->process(in_port, tuple, ctx);
+
+  if (is_sink_) {
+    app_->record_sink_tuple(tuple, app_->simulation().now());
+  }
+  if (app_->is_latency_probe(id_)) {
+    app_->record_probe_latency(tuple, app_->simulation().now());
+  }
+  return_credit(in_port);
+  ft_->after_process(*this, in_port, tuple);
+  if (pending_post_cost_ > SimTime::zero()) {
+    const SimTime extra = pending_post_cost_ * cost_multiplier_;
+    pending_post_cost_ = SimTime::zero();
+    processing_ = true;
+    run_on_cpu(extra, [this] {
+      processing_ = false;
+      maybe_schedule_processing();
+    });
+    return;
+  }
+  maybe_schedule_processing();
+}
+
+void Hau::emit_from_context(int out_port, Tuple tuple,
+                            const Tuple* current_input) {
+  if (failed_) return;
+  // Stamp lineage: inherit from the triggering input, or start a fresh
+  // lineage from this HAU (sources, window flushes).
+  if (current_input != nullptr) {
+    if (tuple.event_time == SimTime::zero()) {
+      tuple.event_time = current_input->event_time;
+    }
+    if (tuple.id == 0) {
+      tuple.id = current_input->id;
+      tuple.source_hau = current_input->source_hau;
+      tuple.source_seq = current_input->source_seq;
+    }
+  } else {
+    if (tuple.event_time == SimTime::zero()) {
+      tuple.event_time = app_->simulation().now();
+    }
+    if (tuple.id == 0) {
+      tuple.source_hau = static_cast<std::uint32_t>(id_);
+      tuple.source_seq = source_next_seq_++;
+      tuple.id = Tuple::make_id(tuple.source_hau, tuple.source_seq);
+    }
+  }
+  if (tuple.payload && tuple.wire_size < tuple.payload->byte_size()) {
+    tuple.wire_size = tuple.payload->byte_size() + 64;
+  }
+  if (pause_depth_ > 0) {
+    // The SPE thread is suspended (synchronous checkpoint / kernel burst):
+    // hold the fully stamped emission until resume. Re-entry through
+    // emit_from_context is a no-op for stamping (id and event_time are set).
+    pending_emissions_.emplace_back(out_port, std::move(tuple));
+    return;
+  }
+  ft_->emit(*this, out_port, std::move(tuple));
+}
+
+}  // namespace ms::core

@@ -1,0 +1,295 @@
+// High Availability Unit: the smallest unit of work that is checkpointed and
+// recovered independently (paper §II-A). An HAU hosts one operator (the
+// paper's evaluation maps one operator per HAU), its input buffers, and the
+// fault-tolerance attachment supplied by the active scheme.
+//
+// Execution model: the HAU is single-threaded like an SPE thread. It picks
+// the next processable input item round-robin across in-ports, charges the
+// operator's CPU cost on the node's CpuServer, then runs the operator logic
+// and ships emissions downstream. Tokens that reach the head of an in-port
+// are handed to the fault-tolerance attachment, which decides whether the
+// port blocks (checkpoint alignment) and when the token is consumed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/operator.h"
+#include "core/tuple.h"
+#include "net/topology.h"
+#include "storage/stores.h"
+
+namespace ms::core {
+
+class Application;
+class Hau;
+
+/// Per-HAU fault-tolerance attachment. The active scheme installs one of
+/// these on every HAU; the default (no fault tolerance) passes everything
+/// through.
+class HauFt {
+ public:
+  virtual ~HauFt() = default;
+
+  virtual void on_start(Hau& hau) { (void)hau; }
+
+  /// A token reached the head of `in_port`. The implementation must either
+  /// consume it (Hau::pop_token) or leave it and block the port
+  /// (Hau::block_port) — otherwise the HAU would spin on it.
+  virtual void on_token_at_head(Hau& hau, int in_port, const Token& token);
+
+  /// Called after a tuple has been fully processed.
+  virtual void after_process(Hau& hau, int in_port, const Tuple& tuple) {
+    (void)hau;
+    (void)in_port;
+    (void)tuple;
+  }
+
+  /// Emission interception: default sends immediately. Source preservation
+  /// delays the send until the tuple is durable; input preservation copies
+  /// it into the preservation buffer first.
+  virtual void emit(Hau& hau, int out_port, Tuple tuple);
+
+  /// Called after the HAU was restarted on a (possibly new) node, before
+  /// processing resumes. State restoration is orchestrated by the scheme's
+  /// recovery manager, not here.
+  virtual void on_restart(Hau& hau) { (void)hau; }
+};
+
+/// The checkpoint image of one HAU. Stored (with its declared byte size) in
+/// the simulated stores; carried by handle so live payload pointers survive
+/// without a payload serialization registry — the simulation charges the
+/// declared bytes that the real system would write.
+struct CheckpointImage {
+  std::uint64_t checkpoint_id = 0;
+  std::vector<std::uint8_t> operator_state;  // real serialized operator state
+  Bytes declared_state_size = 0;             // what state_size() estimated
+  std::uint64_t source_next_seq = 0;
+  /// For source HAUs under source preservation: index into the preserved
+  /// tuple log marking the recovery replay position (entries at and after
+  /// this index were dispatched after the checkpoint boundary). Maintained
+  /// by the fault-tolerance scheme, not by capture_state().
+  std::uint64_t preserve_boundary = 0;
+  /// Per-in-port last processed edge sequence at checkpoint time. Baseline
+  /// recovery asks upstream neighbours to resend preserved tuples after
+  /// these positions.
+  std::vector<std::uint64_t> in_port_progress;
+  /// Per-out-port next edge sequence at checkpoint time, restored so that
+  /// re-emitted tuples carry the same sequence numbers as the originals and
+  /// downstream deduplication works.
+  std::vector<std::uint64_t> out_port_next_seq;
+  /// In-flight tuples captured between incoming and outgoing tokens
+  /// (MS-src+ap): (out_port, tuple), resent downstream after recovery.
+  std::vector<std::pair<int, Tuple>> inflight;
+
+  Bytes total_declared() const;
+  static constexpr Bytes kFixedOverhead = 1_KB;  // headers, descriptors
+};
+
+class Hau {
+ public:
+  Hau(Application* app, int id, std::unique_ptr<Operator> op, bool is_source,
+      bool is_sink);
+  ~Hau();
+
+  Hau(const Hau&) = delete;
+  Hau& operator=(const Hau&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return op_->name(); }
+  Operator& op() { return *op_; }
+  const Operator& op() const { return *op_; }
+  bool is_source() const { return is_source_; }
+  bool is_sink() const { return is_sink_; }
+  Application& app() { return *app_; }
+
+  net::NodeId node() const { return node_; }
+  void place_on(net::NodeId n) { node_ = n; }
+
+  // --- wiring (Application::deploy) ---
+  void add_in_edge(Hau* upstream, int their_out_port);
+  void add_out_edge(Hau* downstream, int their_in_port);
+  /// Deliver a flow-control credit for an out-edge (one tuple consumed at
+  /// the downstream neighbour).
+  void on_credit(int out_port);
+  int num_in_ports() const { return static_cast<int>(in_.size()); }
+  int num_out_ports() const { return static_cast<int>(out_.size()); }
+  Hau* upstream(int in_port) const { return in_.at(static_cast<std::size_t>(in_port)).from; }
+  Hau* downstream(int out_port) const {
+    return out_.at(static_cast<std::size_t>(out_port)).to;
+  }
+  /// The out-port on this HAU that feeds `downstream_hau`'s `their_in_port`.
+  int find_out_port(const Hau& downstream_hau, int their_in_port) const;
+
+  // --- fault-tolerance attachment ---
+  void attach_ft(std::unique_ptr<HauFt> ft);
+  HauFt& ft() { return *ft_; }
+
+  // --- lifecycle ---
+  void start();
+  bool started() const { return started_; }
+  /// The hosting node failed: buffers dropped, timers orphaned.
+  void on_node_failed();
+  bool failed() const { return failed_; }
+  /// Restart on a (healthy) node after a failure; state is cleared, the
+  /// scheme's recovery manager restores a checkpoint before resume().
+  void restart_on(net::NodeId n);
+  /// Resume a restarted HAU after its state has been restored: re-arms the
+  /// operator's timers (on_open) and restarts the processing loop.
+  void reopen();
+  std::uint64_t incarnation() const { return incarnation_; }
+
+  // --- dataflow ---
+  /// Network delivery of a stream item on an in-port. Tuples whose edge
+  /// sequence is not greater than the last received one are duplicates from
+  /// a recovery resend and are dropped.
+  void receive(int in_port, StreamItem item);
+  /// Send a tuple downstream; assigns and returns the edge sequence number.
+  /// The tuple enters the out-edge's flow-controlled queue and is dispatched
+  /// as credits permit; a backlogged edge blocks further tuple processing
+  /// (backpressure). Source-lineage tuples are timestamped at dispatch, so
+  /// latency measures in-system time, not ingest backlog.
+  std::uint64_t send_downstream(int out_port, Tuple tuple);
+  /// Resend a tuple preserving its original edge sequence (recovery replay);
+  /// bumps the edge counter past it so later sends stay monotonic.
+  void resend_downstream(int out_port, Tuple tuple);
+  /// Send a token downstream (checkpoint marker, small message). With
+  /// `jump_queue`, the token is placed at the HEAD of the output queue
+  /// (MS-src+ap's 1-hop tokens, paper Fig. 8 t=1); otherwise it queues
+  /// behind previously emitted tuples.
+  void send_token(int out_port, const Token& token, bool jump_queue = false);
+  /// Tuples currently queued on out-edges behind an outgoing token — the
+  /// in-flight set an asynchronous checkpoint must capture in addition to
+  /// the tuples dispatched since the token.
+  std::vector<std::pair<int, Tuple>> pending_behind_tokens() const;
+  /// Restore an out-edge's credit window (reconnection after recovery).
+  void reset_edge_flow(int out_port);
+  Bytes pending_out_bytes() const;
+  /// Number of tuples queued on out-edges awaiting dispatch.
+  std::size_t pending_out_tuples() const;
+
+  // --- processing control (used by fault-tolerance schemes) ---
+  /// Suspend picking new work (a running job completes). Synchronous
+  /// checkpoints pause; resume() continues. Pauses nest: processing resumes
+  /// when every pause has been matched by a resume.
+  void pause();
+  void resume();
+  bool paused() const { return pause_depth_ > 0; }
+  /// Occupy the SPE thread with kernel work for `cost` (e.g. a k-means run
+  /// at a window boundary): pauses, burns CPU, resumes.
+  void busy_for(SimTime cost);
+  void block_port(int in_port);
+  void unblock_port(int in_port);
+  bool port_blocked(int in_port) const;
+  /// Consume a token at the head of a port (checkpoint alignment complete).
+  Token pop_token(int in_port);
+  bool head_is_token(int in_port) const;
+  /// Multiplier applied to processing costs (copy-on-write tax during an
+  /// asynchronous checkpoint).
+  void set_cost_multiplier(double m) { cost_multiplier_ = m; }
+  /// Charge extra CPU time on the processing critical path after the current
+  /// tuple completes (e.g. input preservation's per-tuple save cost).
+  void add_pending_cost(SimTime cost) { pending_post_cost_ += cost; }
+
+  // --- state capture / restore ---
+  Bytes state_size() const;
+  CheckpointImage capture_state(std::vector<std::pair<int, Tuple>> inflight,
+                                std::uint64_t checkpoint_id) const;
+  /// Restore operator + HAU bookkeeping from an image. Returns the in-flight
+  /// tuples for the scheme to resend.
+  std::vector<std::pair<int, Tuple>> restore_state(const CheckpointImage& image);
+
+  // --- utilities for schemes ---
+  /// Run a CPU job on the hosting node, dropped if this HAU fails meanwhile.
+  void run_on_cpu(SimTime cost, std::function<void()> done);
+  /// Timer guarded by incarnation (dropped after failure/restart).
+  void schedule(SimTime delay, std::function<void()> fn);
+  /// Deliver `fn(target)` at the target HAU after a control-message delay;
+  /// dropped if either endpoint is down or the target restarts meanwhile.
+  void send_control(Hau& target, Bytes size, std::function<void(Hau&)> fn);
+
+  // --- bookkeeping & stats ---
+  std::uint64_t tuples_processed() const { return tuples_processed_; }
+  std::uint64_t tuples_emitted() const { return tuples_emitted_; }
+  /// Bump the lineage-stamping counter past replayed tuples so fresh
+  /// emissions never reuse a preserved tuple's (source, seq) identity.
+  void ensure_source_seq_at_least(std::uint64_t seq) {
+    source_next_seq_ = std::max(source_next_seq_, seq);
+  }
+  std::uint64_t last_processed_edge_seq(int in_port) const;
+  std::uint64_t next_source_seq() const { return source_next_seq_; }
+  std::size_t buffered_items(int in_port) const;
+  Bytes buffered_bytes() const;
+
+  /// Round-robin scheduler entry; safe to call at any time.
+  void maybe_schedule_processing();
+
+ private:
+  friend class HauOperatorContext;
+
+  struct InEdge {
+    Hau* from = nullptr;
+    int their_out_port = -1;  // reverse port index on `from`
+    std::deque<StreamItem> buffer;
+    bool blocked = false;
+    std::uint64_t last_processed_edge_seq = 0;
+    std::uint64_t last_received_edge_seq = 0;
+  };
+  struct OutEdge {
+    Hau* to = nullptr;
+    int their_in_port = -1;
+    std::uint64_t next_edge_seq = 1;
+    int credits = 0;  // initialized from ClusterParams::flow_window at start
+    std::deque<StreamItem> pending;
+  };
+
+  struct OutEdge;
+  void enqueue_out(OutEdge& edge, StreamItem item, bool jump_queue = false);
+  void pump_edge(OutEdge& edge);
+  void dispatch(OutEdge& edge, StreamItem item);
+  void return_credit(int in_port);
+  bool blocked_on_send() const;
+  void start_processing(int in_port);
+  void finish_processing(int in_port, Tuple tuple);
+  void emit_from_context(int out_port, Tuple tuple, const Tuple* current_input);
+
+  Application* app_;
+  int id_;
+  std::unique_ptr<Operator> op_;
+  bool is_source_;
+  bool is_sink_;
+  net::NodeId node_ = net::kInvalidNode;
+  std::unique_ptr<HauFt> ft_;
+
+  std::vector<InEdge> in_;
+  std::vector<OutEdge> out_;
+
+  bool started_ = false;
+  bool failed_ = false;
+  int pause_depth_ = 0;
+  bool processing_ = false;
+  int rr_next_port_ = 0;
+  double cost_multiplier_ = 1.0;
+  std::uint64_t incarnation_ = 1;
+
+  std::uint64_t source_next_seq_ = 1;
+  std::uint64_t tuples_processed_ = 0;
+  std::uint64_t tuples_emitted_ = 0;
+  SimTime pending_post_cost_ = SimTime::zero();
+  /// Emissions from timer callbacks that fired while paused (the SPE thread
+  /// is blocked during a synchronous checkpoint); flushed, unstamped, on
+  /// resume so sequence numbers stay aligned with the dispatch order.
+  std::deque<std::pair<int, Tuple>> pending_emissions_;
+
+  Rng rng_;
+};
+
+}  // namespace ms::core

@@ -1,0 +1,131 @@
+// Operator: the unit of stream processing logic.
+//
+// Developers subclass Operator, implement process() (and on_open() for
+// sources / windowed operators), register state fields with the state-size
+// registry, and implement serialize_state()/deserialize_state() for
+// checkpointing. Per-tuple CPU cost defaults to a base cost plus a per-byte
+// term and can be overridden for kernels with different complexity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/units.h"
+#include "core/tuple.h"
+#include "statesize/state_size.h"
+
+namespace ms::core {
+
+class Hau;
+
+/// Services an operator may use while processing; implemented by the HAU.
+class OperatorContext {
+ public:
+  virtual ~OperatorContext() = default;
+
+  virtual SimTime now() const = 0;
+  virtual Rng& rng() = 0;
+
+  /// Emit a tuple on an output port (0-based, one port per downstream
+  /// neighbour in connection order). `event_time`, `source_hau` and
+  /// `source_seq` are stamped by the runtime if left at defaults: during
+  /// process() they inherit from the input tuple; from a timer callback the
+  /// runtime stamps event_time = now and, for source operators, assigns the
+  /// source sequence.
+  virtual void emit(int out_port, Tuple tuple) = 0;
+
+  virtual int num_out_ports() const = 0;
+  virtual int num_in_ports() const = 0;
+
+  /// Schedule an operator timer (windows, source emission). The callback
+  /// receives a fresh context valid for that invocation — contexts must not
+  /// be retained across invocations. Timers are cancelled if the hosting
+  /// node fails and are NOT checkpointed — on_open() runs again after
+  /// recovery and must re-arm them from restored state.
+  virtual void schedule(SimTime delay,
+                        std::function<void(OperatorContext&)> fn) = 0;
+
+  /// Charge additional CPU time to the SPE thread for kernel work beyond the
+  /// per-tuple cost model (e.g. a k-means run at a window boundary). Inside
+  /// process() the charge lands after the current tuple; from a timer
+  /// callback it occupies the thread immediately.
+  virtual void charge(SimTime cost) = 0;
+
+  /// The id of the hosting HAU (diagnostics, per-instance seeding).
+  virtual int hau_id() const = 0;
+};
+
+struct OperatorCosts {
+  /// Fixed CPU time to handle any tuple.
+  SimTime base = SimTime::micros(30);
+  /// CPU seconds per declared payload byte (kernel work).
+  double seconds_per_byte = 1.0 / 500e6;
+};
+
+class Operator {
+ public:
+  explicit Operator(std::string name) : name_(std::move(name)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Called once when the hosting HAU starts, and again after every
+  /// recovery (with state already restored). Sources start their emission
+  /// timers here.
+  virtual void on_open(OperatorContext& ctx) { (void)ctx; }
+
+  /// Handle one input tuple from in-port `in_port`.
+  virtual void process(int in_port, const Tuple& tuple, OperatorContext& ctx) = 0;
+
+  /// CPU time to process `tuple`. Defaults to base + bytes * per-byte.
+  virtual SimTime cost(int in_port, const Tuple& tuple) const {
+    (void)in_port;
+    return costs_.base +
+           SimTime::seconds(static_cast<double>(tuple.wire_size) *
+                            costs_.seconds_per_byte);
+  }
+
+  /// Estimated state size — the paper's generated state_size(). The default
+  /// sums the registered fields; override only if the operator tracks its
+  /// size directly.
+  virtual Bytes state_size() const { return registry_.total(); }
+
+  /// Bytes of state changed since the last mark_checkpointed() — the unit
+  /// of *delta checkpointing* (an extension the paper cites from the
+  /// Cooperative HA Solution and suggests combining with Meteor Shower).
+  /// The default reports the full state (no delta tracking).
+  virtual Bytes state_delta_size() const { return state_size(); }
+  /// Notification that a checkpoint of this operator completed (resets the
+  /// delta baseline).
+  virtual void mark_checkpointed() {}
+
+  /// Checkpoint the real operator state. The declared (simulated) size
+  /// charged to storage is state_size(); the blob carries compact content.
+  virtual void serialize_state(BinaryWriter& w) const { (void)w; }
+  virtual void deserialize_state(BinaryReader& r) { (void)r; }
+
+  /// Drop all state (before restoring a checkpoint into a fresh instance).
+  virtual void clear_state() {}
+
+  OperatorCosts& costs() { return costs_; }
+  const OperatorCosts& costs() const { return costs_; }
+
+  statesize::StateSizeRegistry& state_registry() { return registry_; }
+  const statesize::StateSizeRegistry& state_registry() const { return registry_; }
+
+ private:
+  std::string name_;
+  OperatorCosts costs_;
+  statesize::StateSizeRegistry registry_;
+};
+
+using OperatorFactory = std::function<std::unique_ptr<Operator>()>;
+
+}  // namespace ms::core

@@ -1,0 +1,91 @@
+#include "core/query_graph.h"
+
+#include <deque>
+
+namespace ms::core {
+
+int QueryGraph::add_operator(std::string name, OperatorFactory factory,
+                             bool is_source, bool is_sink) {
+  MS_CHECK(factory != nullptr);
+  const int id = num_operators();
+  ops_.push_back(OperatorSpec{std::move(name), std::move(factory), is_source,
+                              is_sink});
+  out_ports_.push_back(0);
+  in_ports_.push_back(0);
+  return id;
+}
+
+int QueryGraph::connect(int from, int to) {
+  MS_CHECK(from >= 0 && from < num_operators());
+  MS_CHECK(to >= 0 && to < num_operators());
+  MS_CHECK_MSG(from != to, "self-loop");
+  const int id = num_edges();
+  edges_.push_back(Edge{from, to, out_ports_[static_cast<std::size_t>(from)]++,
+                        in_ports_[static_cast<std::size_t>(to)]++});
+  return id;
+}
+
+std::vector<int> QueryGraph::sources() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_operators(); ++i) {
+    if (ops_[static_cast<std::size_t>(i)].is_source) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> QueryGraph::sinks() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_operators(); ++i) {
+    if (ops_[static_cast<std::size_t>(i)].is_sink) out.push_back(i);
+  }
+  return out;
+}
+
+Status QueryGraph::validate() const {
+  for (int i = 0; i < num_operators(); ++i) {
+    const auto& op = ops_[static_cast<std::size_t>(i)];
+    const int in = in_ports_[static_cast<std::size_t>(i)];
+    const int out = out_ports_[static_cast<std::size_t>(i)];
+    if (op.is_source && in != 0) {
+      return Status::invalid_argument("source '" + op.name + "' has inputs");
+    }
+    if (!op.is_source && in == 0) {
+      return Status::invalid_argument("operator '" + op.name +
+                                      "' has no inputs and is not a source");
+    }
+    if (!op.is_sink && out == 0) {
+      return Status::invalid_argument("operator '" + op.name +
+                                      "' has no outputs and is not a sink");
+    }
+  }
+  if (static_cast<int>(topological_order().size()) != num_operators()) {
+    return Status::invalid_argument("query network contains a cycle");
+  }
+  return Status::ok();
+}
+
+std::vector<int> QueryGraph::topological_order() const {
+  std::vector<int> indegree(static_cast<std::size_t>(num_operators()), 0);
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(num_operators()));
+  for (const auto& e : edges_) {
+    adj[static_cast<std::size_t>(e.from)].push_back(e.to);
+    ++indegree[static_cast<std::size_t>(e.to)];
+  }
+  std::deque<int> ready;
+  for (int i = 0; i < num_operators(); ++i) {
+    if (indegree[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(num_operators()));
+  while (!ready.empty()) {
+    const int v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (const int w : adj[static_cast<std::size_t>(v)]) {
+      if (--indegree[static_cast<std::size_t>(w)] == 0) ready.push_back(w);
+    }
+  }
+  return order;
+}
+
+}  // namespace ms::core

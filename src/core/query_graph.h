@@ -1,0 +1,71 @@
+// Query network: a DAG of operator specifications plus producer-consumer
+// edges. Built once, then instantiated onto a cluster by Application.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/operator.h"
+
+namespace ms::core {
+
+class QueryGraph {
+ public:
+  struct OperatorSpec {
+    std::string name;
+    OperatorFactory factory;
+    bool is_source = false;
+    bool is_sink = false;
+  };
+
+  struct Edge {
+    int from = -1;
+    int to = -1;
+    int out_port = -1;  // port index on `from`
+    int in_port = -1;   // port index on `to`
+  };
+
+  /// Add an operator; returns its vertex id.
+  int add_operator(std::string name, OperatorFactory factory,
+                   bool is_source = false, bool is_sink = false);
+
+  int add_source(std::string name, OperatorFactory factory) {
+    return add_operator(std::move(name), std::move(factory), /*is_source=*/true);
+  }
+  int add_sink(std::string name, OperatorFactory factory) {
+    return add_operator(std::move(name), std::move(factory), /*is_source=*/false,
+                        /*is_sink=*/true);
+  }
+
+  /// Connect `from` to `to`; allocates the next out-port on `from` and the
+  /// next in-port on `to`. Returns the edge id.
+  int connect(int from, int to);
+
+  int num_operators() const { return static_cast<int>(ops_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const OperatorSpec& op(int i) const { return ops_.at(static_cast<std::size_t>(i)); }
+  const Edge& edge(int i) const { return edges_.at(static_cast<std::size_t>(i)); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  int out_degree(int v) const { return out_ports_.at(static_cast<std::size_t>(v)); }
+  int in_degree(int v) const { return in_ports_.at(static_cast<std::size_t>(v)); }
+
+  std::vector<int> sources() const;
+  std::vector<int> sinks() const;
+
+  /// Verify the graph is a DAG, every non-source has inputs, every
+  /// non-sink has outputs, and sources have no inputs.
+  Status validate() const;
+
+  /// Vertices in a topological order (validate() must pass).
+  std::vector<int> topological_order() const;
+
+ private:
+  std::vector<OperatorSpec> ops_;
+  std::vector<Edge> edges_;
+  std::vector<int> out_ports_;
+  std::vector<int> in_ports_;
+};
+
+}  // namespace ms::core

@@ -1,0 +1,203 @@
+// Standard reusable operators: the small algebra every streaming job needs
+// — map, filter, key-route, tumbling-window aggregate, union and fan-out —
+// with checkpointable state where they have any. Applications compose these
+// with their own kernels; the examples and tests use them heavily.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/operator.h"
+
+namespace ms::core {
+
+/// Stateless 1-in-1-out transform. The function may return an empty
+/// optional-like null payload to drop the tuple (combine with FilterOperator
+/// for clarity instead).
+class MapOperator final : public Operator {
+ public:
+  using Fn = std::function<Tuple(const Tuple&, OperatorContext&)>;
+
+  MapOperator(std::string name, Fn fn)
+      : Operator(std::move(name)), fn_(std::move(fn)) {}
+
+  void process(int, const Tuple& t, OperatorContext& ctx) override {
+    ctx.emit(0, fn_(t, ctx));
+  }
+  Bytes state_size() const override { return 0; }
+
+ private:
+  Fn fn_;
+};
+
+/// Stateless predicate filter.
+class FilterOperator final : public Operator {
+ public:
+  using Predicate = std::function<bool(const Tuple&)>;
+
+  FilterOperator(std::string name, Predicate pred)
+      : Operator(std::move(name)), pred_(std::move(pred)) {}
+
+  void process(int, const Tuple& t, OperatorContext& ctx) override {
+    if (pred_(t)) {
+      ctx.emit(0, t);
+    } else {
+      ++dropped_;
+    }
+  }
+  Bytes state_size() const override { return 8; }
+  void serialize_state(BinaryWriter& w) const override { w.write(dropped_); }
+  void deserialize_state(BinaryReader& r) override {
+    dropped_ = r.read<std::int64_t>();
+  }
+  void clear_state() override { dropped_ = 0; }
+  std::int64_t dropped() const { return dropped_; }
+
+ private:
+  Predicate pred_;
+  std::int64_t dropped_ = 0;
+};
+
+/// Routes each tuple to out-port key(t) % num_out_ports — the "Dispatcher" /
+/// "Group" pattern of the paper's applications.
+class KeyRouteOperator final : public Operator {
+ public:
+  using KeyFn = std::function<std::uint64_t(const Tuple&)>;
+
+  KeyRouteOperator(std::string name, KeyFn key)
+      : Operator(std::move(name)), key_(std::move(key)) {}
+
+  void process(int, const Tuple& t, OperatorContext& ctx) override {
+    const int port = static_cast<int>(
+        key_(t) % static_cast<std::uint64_t>(ctx.num_out_ports()));
+    ctx.emit(port, t);
+  }
+  Bytes state_size() const override { return 0; }
+
+ private:
+  KeyFn key_;
+};
+
+/// Broadcasts every input tuple to all out-ports.
+class FanOutOperator final : public Operator {
+ public:
+  explicit FanOutOperator(std::string name) : Operator(std::move(name)) {}
+
+  void process(int, const Tuple& t, OperatorContext& ctx) override {
+    for (int p = 0; p < ctx.num_out_ports(); ++p) ctx.emit(p, t);
+  }
+  Bytes state_size() const override { return 0; }
+};
+
+/// Merges all in-ports into one output stream (stream union).
+class UnionOperator final : public Operator {
+ public:
+  explicit UnionOperator(std::string name) : Operator(std::move(name)) {}
+
+  void process(int, const Tuple& t, OperatorContext& ctx) override {
+    ctx.emit(0, t);
+  }
+  Bytes state_size() const override { return 0; }
+};
+
+/// Tumbling-window keyed aggregation: accumulates `double` values per key,
+/// emits one summary tuple per key at each window boundary, then clears —
+/// the same batch-discard state pattern as the paper's dynamic HAUs, so
+/// this operator also demonstrates delta tracking and state_size hints.
+class TumblingAggregateOperator final : public Operator {
+ public:
+  struct Summary final : public Payload {
+    Summary(std::uint64_t key, double sum, std::int64_t count)
+        : key(key), sum(sum), count(count) {}
+    std::uint64_t key;
+    double sum;
+    std::int64_t count;
+    Bytes byte_size() const override { return 96; }
+    const char* type_name() const override { return "window_summary"; }
+  };
+
+  using KeyFn = std::function<std::uint64_t(const Tuple&)>;
+  using ValueFn = std::function<double(const Tuple&)>;
+
+  TumblingAggregateOperator(std::string name, SimTime window, KeyFn key,
+                            ValueFn value, Bytes declared_entry_bytes = 64)
+      : Operator(std::move(name)),
+        window_(window),
+        key_(std::move(key)),
+        value_(std::move(value)),
+        entry_bytes_(declared_entry_bytes) {
+    state_registry().add_fixed_element("window_state", &acc_, entry_bytes_);
+  }
+
+  void on_open(OperatorContext& ctx) override {
+    ctx.schedule(window_, [this](OperatorContext& c) { flush(c); });
+  }
+
+  void process(int, const Tuple& t, OperatorContext&) override {
+    auto& [sum, count] = acc_[key_(t)];
+    sum += value_(t);
+    count += 1;
+    delta_bytes_ += entry_bytes_;
+  }
+
+  Bytes state_size() const override { return state_registry().total(); }
+  Bytes state_delta_size() const override {
+    return std::min(delta_bytes_, state_size());
+  }
+  void mark_checkpointed() override { delta_bytes_ = 0; }
+
+  void serialize_state(BinaryWriter& w) const override {
+    w.write<std::uint64_t>(acc_.size());
+    for (const auto& [k, sc] : acc_) {
+      w.write(k);
+      w.write(sc.first);
+      w.write(sc.second);
+    }
+    w.write(windows_);
+  }
+  void deserialize_state(BinaryReader& r) override {
+    const auto n = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = r.read<std::uint64_t>();
+      const auto sum = r.read<double>();
+      const auto count = r.read<std::int64_t>();
+      acc_[k] = {sum, count};
+    }
+    windows_ = r.read<std::int64_t>();
+  }
+  void clear_state() override {
+    acc_.clear();
+    windows_ = 0;
+    delta_bytes_ = 0;
+  }
+
+  std::int64_t windows_completed() const { return windows_; }
+  std::size_t keys_in_window() const { return acc_.size(); }
+
+ private:
+  void flush(OperatorContext& ctx) {
+    for (const auto& [k, sc] : acc_) {
+      Tuple out;
+      out.wire_size = 96;
+      out.payload = std::make_shared<Summary>(k, sc.first, sc.second);
+      ctx.emit(0, out);
+    }
+    acc_.clear();
+    delta_bytes_ = 0;
+    ++windows_;
+    ctx.schedule(window_, [this](OperatorContext& c) { flush(c); });
+  }
+
+  SimTime window_;
+  KeyFn key_;
+  ValueFn value_;
+  Bytes entry_bytes_;
+  std::map<std::uint64_t, std::pair<double, std::int64_t>> acc_;
+  Bytes delta_bytes_ = 0;
+  std::int64_t windows_ = 0;
+};
+
+}  // namespace ms::core

@@ -1,0 +1,96 @@
+// Tuples, payloads, and checkpoint tokens — the items that flow on streams.
+//
+// A tuple's *wire size* is declared, not allocated: applications state how
+// many bytes the tuple occupies on the wire and in operator state (an image
+// frame may declare 300 KB), while the in-process payload stores only the
+// compact real content the kernels need. The simulation charges declared
+// bytes to NICs and disks; correctness tests use the real content.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+
+#include "common/serialize.h"
+#include "common/units.h"
+
+namespace ms::core {
+
+/// Base class for typed tuple payloads. Payloads are immutable once attached
+/// to a tuple and shared by reference (CP.32): a tuple fan-out to ten
+/// downstream operators shares one payload.
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Declared size of this payload on the wire / in state.
+  virtual Bytes byte_size() const = 0;
+
+  /// Serialize real content (for checkpoints carrying live data).
+  virtual void serialize(BinaryWriter& w) const { (void)w; }
+
+  virtual const char* type_name() const { return "opaque"; }
+};
+
+/// Payload with a declared size and no content — used by size-driven
+/// workloads and tests.
+class BlobPayload final : public Payload {
+ public:
+  explicit BlobPayload(Bytes size) : size_(size) {}
+  Bytes byte_size() const override { return size_; }
+  const char* type_name() const override { return "blob"; }
+
+ private:
+  Bytes size_;
+};
+
+struct Tuple {
+  /// Globally unique id: (source HAU id << 40) | per-source sequence.
+  std::uint64_t id = 0;
+  /// HAU id of the source that introduced this tuple's lineage.
+  std::uint32_t source_hau = 0;
+  /// Per-source sequence number (replay position for source preservation).
+  std::uint64_t source_seq = 0;
+  /// Per-edge sequence number, assigned by the sender at send time (used by
+  /// input preservation acknowledgments).
+  std::uint64_t edge_seq = 0;
+  /// Creation time at the source of this tuple's lineage; end-to-end latency
+  /// at a sink is `now - event_time`.
+  SimTime event_time = SimTime::zero();
+  /// Declared wire size (header + payload).
+  Bytes wire_size = 64;
+  /// Optional typed content for real kernels. Null for size-only tuples.
+  std::shared_ptr<const Payload> payload;
+
+  static std::uint64_t make_id(std::uint32_t source_hau, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(source_hau) << 40) | seq;
+  }
+
+  template <typename T>
+  const T* payload_as() const {
+    return dynamic_cast<const T*>(payload.get());
+  }
+};
+
+/// Checkpoint token: a marker embedded in the dataflow (an "extra field in a
+/// tuple" per the paper, so it costs one small message on the wire).
+struct Token {
+  std::uint64_t checkpoint_id = 0;
+  /// Trickling tokens (MS-src) are re-forwarded downstream after the
+  /// checkpoint; 1-hop tokens (MS-src+ap) are discarded at the receiver.
+  bool one_hop = false;
+
+  static constexpr Bytes kWireSize = 32;
+};
+
+/// What travels in a stream: data tuples interleaved with tokens.
+using StreamItem = std::variant<Tuple, Token>;
+
+inline bool is_token(const StreamItem& item) {
+  return std::holds_alternative<Token>(item);
+}
+inline Bytes item_wire_size(const StreamItem& item) {
+  return is_token(item) ? Token::kWireSize : std::get<Tuple>(item).wire_size;
+}
+
+}  // namespace ms::core

@@ -1,0 +1,53 @@
+#include "failure/afn100.h"
+
+namespace ms::failure {
+
+std::vector<IncidentClass> google_network_incidents(int cluster_nodes) {
+  const double n = static_cast<double>(cluster_nodes);
+  return {
+      // One network rewiring with ~5 % of nodes down.
+      {"network rewiring", 1.0, 0.05 * n, 1.0},
+      // Twenty rack failures, 80 nodes disconnected each time.
+      {"rack failure", 20.0, 80.0, 1.0},
+      // Five rack instabilities, 80 nodes affected, 50 % packet loss —
+      // still one failure per affected node in the paper's accounting.
+      {"rack unsteadiness", 5.0, 80.0, 1.0},
+      // Fifteen router failures/reloads, conservatively 10 % of nodes.
+      {"router failure/reload", 15.0, 0.10 * n, 1.0},
+      // Eight network maintenances, conservatively 10 % of nodes.
+      {"network maintenance", 8.0, 0.10 * n, 1.0},
+  };
+}
+
+double afn100(const std::vector<IncidentClass>& incidents, int cluster_nodes) {
+  double failures = 0.0;
+  for (const auto& i : incidents) failures += i.node_failures_per_year();
+  return failures / static_cast<double>(cluster_nodes) * 100.0;
+}
+
+std::vector<TableRow> table1() {
+  return {
+      {"Network", 300.0, 320.0, 250.0, 250.0, true, true},
+      {"Environment", 100.0, 150.0, 0.0, 0.0, false, true},
+      {"Ooops", 100.0, 100.0, 40.0, 40.0, true, true},
+      {"Disk", 1.7, 8.6, 2.0, 6.0, true, false},
+      {"Memory", 1.3, 1.3, 0.0, 0.0, false, false},
+  };
+}
+
+FailureModel FailureModel::google() {
+  FailureModel m;
+  // Sum of Table I midpoints: ~310 + 125 + 100 + ~5 + 1.3.
+  m.total_afn100 = 541.3;
+  m.burst_fraction = 0.10;
+  return m;
+}
+
+FailureModel FailureModel::abe() {
+  FailureModel m;
+  m.total_afn100 = 250.0 + 40.0 + 4.0;  // network + ooops + disk midpoint
+  m.burst_fraction = 0.10;
+  return m;
+}
+
+}  // namespace ms::failure

@@ -1,0 +1,81 @@
+// Commodity data-center failure models (paper §II-B1, Table I).
+//
+// AFN100 — Annual Failure Number per 100 nodes — is the paper's common unit:
+// the average number of node failures observed across 100 nodes in a year,
+// broken down by cause. The Google numbers derive from the published
+// incident counts of Dean's keynote (one network rewiring hitting 5 % of
+// nodes, twenty rack failures of 80 nodes each, five rack instabilities,
+// fifteen router failures and eight maintenances conservatively assumed to
+// affect 10 % of nodes each); the Abe cluster numbers come from the NCSA
+// dependability study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ms::failure {
+
+/// One class of incident: how often it happens per year and how many nodes
+/// each occurrence takes down.
+struct IncidentClass {
+  std::string name;
+  double events_per_year = 0.0;
+  double nodes_per_event = 0.0;
+  /// Fraction of affected nodes that actually fail (e.g. 50 % packet loss
+  /// during rack instability still counts each affected node as one failure
+  /// in the paper's arithmetic — default 1).
+  double failure_fraction = 1.0;
+
+  double node_failures_per_year() const {
+    return events_per_year * nodes_per_event * failure_fraction;
+  }
+};
+
+/// The network-failure incident list of the paper's worked example for a
+/// 2400-node Google data center (totals 7640 node failures per year).
+std::vector<IncidentClass> google_network_incidents(int cluster_nodes = 2400);
+
+/// AFN100 for a set of incident classes over a cluster of `cluster_nodes`.
+double afn100(const std::vector<IncidentClass>& incidents, int cluster_nodes);
+
+/// One row of Table I: a failure source with an AFN100 range (lo == hi for
+/// point values; negative hi means "not available").
+struct TableRow {
+  std::string source;
+  double google_lo = 0.0;
+  double google_hi = 0.0;
+  double abe_lo = 0.0;
+  double abe_hi = 0.0;
+  bool abe_available = true;
+  bool major_burst_cause = false;
+};
+
+/// Table I of the paper (Google DC and NCSA Abe cluster).
+std::vector<TableRow> table1();
+
+/// Aggregate failure-rate model used by the trace generator.
+struct FailureModel {
+  /// Total AFN100 across causes (node failures per 100 node-years).
+  double total_afn100 = 560.0;
+  /// Fraction of failures that are part of a correlated burst (~10 % per
+  /// the paper's reading of Barroso's keynote).
+  double burst_fraction = 0.10;
+  /// Of burst failures, the fraction that is rack-correlated (the rest is
+  /// power/maintenance-correlated, hitting a random slice of the cluster).
+  double rack_correlated_fraction = 0.7;
+  /// Repair time bounds for burst failures (paper: 1–6 hours for a rack).
+  double repair_hours_min = 1.0;
+  double repair_hours_max = 6.0;
+
+  /// Expected failures per node per second.
+  double per_node_rate_per_second() const {
+    return total_afn100 / 100.0 / (365.25 * 24 * 3600);
+  }
+
+  /// The paper's Google data-center model.
+  static FailureModel google();
+  /// The Abe cluster (InfiniBand + RAID6: lower AFN100).
+  static FailureModel abe();
+};
+
+}  // namespace ms::failure

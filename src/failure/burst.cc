@@ -1,0 +1,135 @@
+#include "failure/burst.h"
+
+#include <algorithm>
+
+namespace ms::failure {
+
+const char* failure_kind_name(FailureEvent::Kind k) {
+  switch (k) {
+    case FailureEvent::Kind::kSingleNode: return "single-node";
+    case FailureEvent::Kind::kRackBurst: return "rack-burst";
+    case FailureEvent::Kind::kPowerBurst: return "power-burst";
+  }
+  return "?";
+}
+
+std::vector<FailureEvent> FailureTraceGenerator::generate(
+    int cluster_nodes, int nodes_per_rack, SimTime horizon,
+    bool spare_storage_node) {
+  MS_CHECK(cluster_nodes > 0 && nodes_per_rack > 0);
+  const double per_node_rate =
+      model_.per_node_rate_per_second() * acceleration_;
+  const double horizon_s = horizon.to_seconds();
+  const net::NodeId storage = cluster_nodes - 1;
+
+  std::vector<FailureEvent> events;
+
+  // Independent failures: (1 - burst_fraction) of the total rate, Poisson
+  // per node over the horizon.
+  const double indep_mean =
+      per_node_rate * (1.0 - model_.burst_fraction) * horizon_s;
+  for (net::NodeId n = 0; n < cluster_nodes; ++n) {
+    if (spare_storage_node && n == storage) continue;
+    const std::int64_t k = rng_.poisson(indep_mean);
+    for (std::int64_t i = 0; i < k; ++i) {
+      FailureEvent ev;
+      ev.kind = FailureEvent::Kind::kSingleNode;
+      ev.at = SimTime::seconds(rng_.uniform(0.0, horizon_s));
+      ev.nodes = {n};
+      ev.repair_after =
+          SimTime::seconds(rng_.uniform(60.0, 1800.0));  // reboot-scale
+      events.push_back(std::move(ev));
+    }
+  }
+
+  // Correlated bursts: burst_fraction of all node failures arrive in bursts.
+  // Expected burst node-failures over the horizon:
+  const double burst_node_failures = per_node_rate * model_.burst_fraction *
+                                     horizon_s *
+                                     static_cast<double>(cluster_nodes);
+  const int num_racks = (cluster_nodes + nodes_per_rack - 1) / nodes_per_rack;
+  double remaining = burst_node_failures;
+  while (remaining > 0.0) {
+    FailureEvent ev;
+    ev.at = SimTime::seconds(rng_.uniform(0.0, horizon_s));
+    ev.repair_after = SimTime::seconds(
+        rng_.uniform(model_.repair_hours_min, model_.repair_hours_max) *
+        3600.0);
+    if (rng_.bernoulli(model_.rack_correlated_fraction)) {
+      ev.kind = FailureEvent::Kind::kRackBurst;
+      const int rack = static_cast<int>(rng_.uniform_u64(
+          static_cast<std::uint64_t>(num_racks)));
+      for (net::NodeId n = rack * nodes_per_rack;
+           n < (rack + 1) * nodes_per_rack && n < cluster_nodes; ++n) {
+        if (spare_storage_node && n == storage) continue;
+        ev.nodes.push_back(n);
+      }
+    } else {
+      ev.kind = FailureEvent::Kind::kPowerBurst;
+      // A random slice of 5–20 % of the cluster.
+      const double frac = rng_.uniform(0.05, 0.20);
+      for (net::NodeId n = 0; n < cluster_nodes; ++n) {
+        if (spare_storage_node && n == storage) continue;
+        if (rng_.bernoulli(frac)) ev.nodes.push_back(n);
+      }
+    }
+    if (ev.nodes.empty()) break;
+    remaining -= static_cast<double>(ev.nodes.size());
+    events.push_back(std::move(ev));
+    // Stochastic stop so the expectation matches: if less than one burst's
+    // worth remains, flip a biased coin.
+    if (remaining < static_cast<double>(nodes_per_rack) &&
+        !rng_.bernoulli(remaining / static_cast<double>(nodes_per_rack))) {
+      break;
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const FailureEvent& a, const FailureEvent& b) {
+              return a.at < b.at;
+            });
+  return events;
+}
+
+void FailureInjector::schedule(const std::vector<FailureEvent>& trace) {
+  auto& sim = cluster_->simulation();
+  for (const auto& ev : trace) {
+    sim.schedule_at(ev.at, [this, ev] {
+      inject_now(ev.nodes);
+      if (ev.repair_after > SimTime::zero()) {
+        cluster_->simulation().schedule_after(ev.repair_after, [this, ev] {
+          for (const net::NodeId n : ev.nodes) cluster_->revive_node(n);
+        });
+      }
+    });
+  }
+}
+
+void FailureInjector::inject_now(const std::vector<net::NodeId>& nodes) {
+  for (const net::NodeId n : nodes) {
+    if (!cluster_->node_alive(n)) continue;
+    cluster_->fail_node(n);
+    ++nodes_failed_;
+  }
+  if (app_ != nullptr) {
+    for (int i = 0; i < app_->num_haus(); ++i) {
+      core::Hau& hau = app_->hau(i);
+      if (!hau.failed() && !cluster_->node_alive(hau.node())) {
+        hau.on_node_failed();
+      }
+    }
+  }
+}
+
+std::vector<net::NodeId> FailureInjector::fail_whole_application() {
+  MS_CHECK(app_ != nullptr);
+  const std::vector<net::NodeId> nodes = app_->nodes_in_use();
+  inject_now(nodes);
+  return nodes;
+}
+
+void FailureInjector::fail_rack(int rack) {
+  inject_now(cluster_->topology().nodes_in_rack(rack));
+}
+
+}  // namespace ms::failure

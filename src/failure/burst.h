@@ -1,0 +1,80 @@
+// Failure trace generation and injection.
+//
+// Generates a deterministic sequence of failure events over a horizon from a
+// FailureModel: independent single-node failures (Poisson per node) and
+// correlated bursts — rack-correlated (a whole rack goes dark, as in the
+// paper's "a rack failure can immediately disconnect 80 nodes") or
+// power/maintenance-correlated (a random slice of the cluster). The injector
+// applies a trace to a simulated cluster and notifies the affected HAUs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/application.h"
+#include "failure/afn100.h"
+
+namespace ms::failure {
+
+struct FailureEvent {
+  enum class Kind { kSingleNode, kRackBurst, kPowerBurst };
+  Kind kind = Kind::kSingleNode;
+  SimTime at;
+  std::vector<net::NodeId> nodes;
+  SimTime repair_after = SimTime::zero();  // zero = no automatic repair
+};
+
+const char* failure_kind_name(FailureEvent::Kind k);
+
+class FailureTraceGenerator {
+ public:
+  FailureTraceGenerator(const FailureModel& model, std::uint64_t seed)
+      : model_(model), rng_(seed) {}
+
+  /// Generate all failure events for `cluster_nodes` nodes (grouped into
+  /// racks of `nodes_per_rack`) over `horizon`, sorted by time. The storage
+  /// node (last id) is never failed — the paper assumes reliable storage.
+  std::vector<FailureEvent> generate(int cluster_nodes, int nodes_per_rack,
+                                     SimTime horizon,
+                                     bool spare_storage_node = true);
+
+  /// Rate scaling for accelerated tests (multiply all rates by `factor`).
+  void set_acceleration(double factor) { acceleration_ = factor; }
+
+ private:
+  FailureModel model_;
+  Rng rng_;
+  double acceleration_ = 1.0;
+};
+
+/// Applies failure events to a cluster and marks the affected HAUs failed.
+class FailureInjector {
+ public:
+  FailureInjector(core::Cluster* cluster, core::Application* app)
+      : cluster_(cluster), app_(app) {}
+
+  /// Schedule every event in `trace` onto the simulation. Node revival after
+  /// `repair_after` is scheduled too (HAUs do not automatically move back).
+  void schedule(const std::vector<FailureEvent>& trace);
+
+  /// Fail a set of nodes right now.
+  void inject_now(const std::vector<net::NodeId>& nodes);
+
+  /// Fail every node currently hosting an HAU of the application (the
+  /// paper's worst case for recovery measurement).
+  std::vector<net::NodeId> fail_whole_application();
+
+  /// Fail one rack.
+  void fail_rack(int rack);
+
+  std::int64_t nodes_failed() const { return nodes_failed_; }
+
+ private:
+  core::Cluster* cluster_;
+  core::Application* app_;
+  std::int64_t nodes_failed_ = 0;
+};
+
+}  // namespace ms::failure

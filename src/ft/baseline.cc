@@ -1,0 +1,287 @@
+#include "ft/baseline.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/log.h"
+
+namespace ms::ft {
+
+namespace {
+std::atomic<std::uint64_t> g_baseline_instance_counter{0};
+}  // namespace
+
+BaselineScheme::BaselineScheme(core::Application* app, const FtParams& params)
+    : app_(app),
+      params_(params),
+      rng_(app->seed() ^ 0xba5e11eULL),
+      instance_(++g_baseline_instance_counter) {
+  MS_CHECK(app != nullptr);
+}
+
+void BaselineScheme::attach() {
+  fts_.resize(static_cast<std::size_t>(app_->num_haus()), nullptr);
+  app_->attach_ft([this](core::Hau& hau) {
+    auto ft = std::make_unique<BaselineHauFt>(this, hau);
+    fts_[static_cast<std::size_t>(hau.id())] = ft.get();
+    return ft;
+  });
+}
+
+std::string BaselineScheme::checkpoint_key(int hau_id) const {
+  return "baseline/" + std::to_string(instance_) + "/ckpt/" +
+         std::to_string(hau_id);
+}
+
+BaselineHauFt::BaselineHauFt(BaselineScheme* scheme, core::Hau& hau)
+    : scheme_(scheme) {
+  per_out_.resize(static_cast<std::size_t>(hau.num_out_ports()));
+}
+
+void BaselineHauFt::on_start(core::Hau& hau) {
+  // Out-port count is only final at start (wiring happens after
+  // construction in deploy()); resize defensively.
+  per_out_.resize(static_cast<std::size_t>(hau.num_out_ports()));
+  if (scheme_->params().periodic) {
+    const double phase = scheme_->rng_.uniform();
+    schedule_next_checkpoint(
+        hau, scheme_->params().checkpoint_period * phase);
+  }
+}
+
+void BaselineHauFt::schedule_next_checkpoint(core::Hau& hau, SimTime delay) {
+  hau.schedule(delay, [this, &hau] { checkpoint_now(hau); });
+}
+
+void BaselineHauFt::checkpoint_now(core::Hau& hau) {
+  if (checkpointing_ || hau.failed()) return;
+  checkpointing_ = true;
+  const auto& p = scheme_->params();
+  HauCheckpointReport report;
+  report.hau_id = hau.id();
+  report.checkpoint_id = next_checkpoint_id_++;
+  report.initiated = hau.app().simulation().now();
+  report.tokens_collected = report.initiated;  // no token protocol
+
+  hau.pause();
+  const Bytes state = hau.state_size();
+  const SimTime serialize_cost =
+      SimTime::seconds(static_cast<double>(state) / p.serialize_bandwidth);
+  hau.run_on_cpu(serialize_cost, [this, &hau, report]() mutable {
+    auto image = std::make_shared<core::CheckpointImage>(
+        hau.capture_state({}, report.checkpoint_id));
+    report.serialized = hau.app().simulation().now();
+    report.declared_bytes = image->total_declared();
+
+    storage::Object obj;
+    obj.declared_size = image->total_declared();
+    obj.handle = image;
+    auto& cluster = hau.app().cluster();
+    cluster.shared_storage().put(
+        hau.node(), scheme_->checkpoint_key(hau.id()), std::move(obj),
+        [this, &hau, report](Status st) mutable {
+          if (!st.is_ok()) {
+            // Storage unreachable (e.g. network failure): abandon this
+            // checkpoint; the HAU keeps running and retries next period.
+            MS_LOG_WARN("ft", "baseline checkpoint of HAU %d failed: %s",
+                        hau.id(), st.to_string().c_str());
+          } else {
+            report.written = hau.app().simulation().now();
+            scheme_->reports_.push_back(report);
+            // Acknowledge upstream so preserved prefixes are truncated.
+            for (int port = 0; port < hau.num_in_ports(); ++port) {
+              core::Hau* up = hau.upstream(port);
+              if (up->failed()) continue;
+              const int up_out = up->find_out_port(hau, port);
+              const std::uint64_t seq = hau.last_processed_edge_seq(port);
+              hau.send_control(*up, 64, [up_out, seq](core::Hau& u) {
+                static_cast<BaselineHauFt&>(u.ft()).handle_ack(up_out, seq);
+              });
+            }
+          }
+          checkpointing_ = false;
+          hau.resume();
+          if (scheme_->params().periodic) {
+            schedule_next_checkpoint(hau, scheme_->params().checkpoint_period);
+          }
+        });
+  });
+}
+
+void BaselineHauFt::emit(core::Hau& hau, int out_port, core::Tuple tuple) {
+  const auto& p = scheme_->params();
+  // Send first (send_downstream assigns the edge sequence), then retain the
+  // stamped copy in the preservation buffer.
+  core::Tuple copy = tuple;
+  const std::uint64_t seq = hau.send_downstream(out_port, std::move(tuple));
+  if (seq == 0) return;  // HAU failed mid-emit
+  copy.edge_seq = seq;
+  const Bytes size = copy.wire_size;
+  // Per-tuple save cost rides the processing critical path; sources charge
+  // an independent CPU job (their emission is timer-driven).
+  const SimTime save_cost =
+      p.preserve_base_cost + hau.op().cost(0, copy) * p.preserve_cost_fraction;
+  per_out_[static_cast<std::size_t>(out_port)].push_back(
+      Preserved{std::move(copy), /*spilled=*/false});
+  mem_bytes_ += size;
+  scheme_->preservation_cpu_seconds_ += save_cost.to_seconds();
+  if (hau.is_source()) {
+    hau.run_on_cpu(save_cost, [] {});
+  } else {
+    hau.add_pending_cost(save_cost);
+  }
+
+  if (mem_bytes_ >= p.preservation_buffer) {
+    // Dump the in-memory buffer to local disk.
+    const Bytes spill = mem_bytes_;
+    mem_bytes_ = 0;
+    scheme_->spilled_bytes_ += spill;
+    for (auto& q : per_out_) {
+      for (auto& e : q) e.spilled = true;
+    }
+    auto& disk = *hau.app().cluster().node(hau.node()).disk;
+    const SimTime backlog = disk.busy_until() - hau.app().simulation().now();
+    const bool stall = backlog > p.spill_backlog_limit;
+    if (stall && !hau.paused()) {
+      stalled_on_spill_ = true;
+      hau.pause();
+    }
+    disk.write(spill, [this, &hau] {
+      if (stalled_on_spill_) {
+        stalled_on_spill_ = false;
+        hau.resume();
+      }
+    });
+  }
+}
+
+void BaselineHauFt::on_token_at_head(core::Hau& hau, int in_port,
+                                     const core::Token& token) {
+  (void)token;
+  hau.pop_token(in_port);  // baseline has no token protocol; ignore strays
+}
+
+void BaselineHauFt::handle_ack(int out_port, std::uint64_t upto_seq) {
+  auto& q = per_out_.at(static_cast<std::size_t>(out_port));
+  while (!q.empty() && q.front().tuple.edge_seq <= upto_seq) {
+    if (!q.front().spilled) mem_bytes_ -= q.front().tuple.wire_size;
+    q.pop_front();
+  }
+}
+
+void BaselineHauFt::resend_preserved(core::Hau& hau, int out_port,
+                                     std::uint64_t after_seq,
+                                     std::function<void()> done) {
+  // Fresh connection to the restarted neighbour: restore the credit window
+  // and drop undispatched output (it is all in the preserved buffer below).
+  hau.reset_edge_flow(out_port);
+  auto& q = per_out_.at(static_cast<std::size_t>(out_port));
+  Bytes spilled_to_read = 0;
+  for (const auto& e : q) {
+    if (e.tuple.edge_seq > after_seq && e.spilled) {
+      spilled_to_read += e.tuple.wire_size;
+    }
+  }
+  auto send_all = [this, &hau, out_port, after_seq, done = std::move(done)] {
+    auto& queue = per_out_.at(static_cast<std::size_t>(out_port));
+    for (const auto& e : queue) {
+      if (e.tuple.edge_seq > after_seq) {
+        hau.resend_downstream(out_port, e.tuple);
+      }
+    }
+    if (done) done();
+  };
+  if (spilled_to_read > 0) {
+    hau.app().cluster().node(hau.node()).disk->read(spilled_to_read,
+                                                    std::move(send_all));
+  } else {
+    send_all();
+  }
+}
+
+std::size_t BaselineHauFt::preserved_count() const {
+  std::size_t n = 0;
+  for (const auto& q : per_out_) n += q.size();
+  return n;
+}
+
+void BaselineScheme::recover_hau(int hau_id, net::NodeId replacement,
+                                 std::function<void(RecoveryStats)> done) {
+  core::Hau& hau = app_->hau(hau_id);
+  MS_CHECK_MSG(hau.failed(), "baseline recovery of a live HAU");
+  auto& sim = app_->simulation();
+  auto stats = std::make_shared<RecoveryStats>();
+  stats->started = sim.now();
+  stats->haus_recovered = 1;
+
+  hau.restart_on(replacement);
+  // Phase 1: reload the operators on the recovery node.
+  hau.run_on_cpu(params_.operator_reload_cost, [this, &hau, stats, hau_id,
+                                                done = std::move(done)]() mutable {
+    auto& sim = app_->simulation();
+    const SimTime phase1_end = sim.now();
+    stats->other = phase1_end - stats->started;
+    // Phase 2: read the most recent checkpoint from shared storage (the
+    // replacement node's local disk has no copy).
+    app_->cluster().shared_storage().get(
+        hau.node(), checkpoint_key(hau_id),
+        [this, &hau, stats, phase1_end,
+         done = std::move(done)](Result<storage::Object> r) mutable {
+          auto& sim = app_->simulation();
+          MS_CHECK_MSG(r.is_ok(), "baseline recovery: checkpoint missing — " +
+                                      r.status().to_string());
+          stats->disk_io = sim.now() - phase1_end;
+          stats->bytes_read = r.value().declared_size;
+          auto image = r.value().handle_as<core::CheckpointImage>();
+          MS_CHECK(image != nullptr);
+          // Phase 3: deserialize and rebuild operator state.
+          const SimTime deser = SimTime::seconds(
+              static_cast<double>(image->total_declared()) /
+              params_.deserialize_bandwidth);
+          const SimTime phase3_start = sim.now();
+          hau.run_on_cpu(deser, [this, &hau, stats, image, phase3_start,
+                                 done = std::move(done)]() mutable {
+            auto& sim = app_->simulation();
+            stats->other += sim.now() - phase3_start;
+            hau.restore_state(*image);
+            // Phase 4: reconnection — ask each upstream neighbour to resend
+            // preserved tuples past the checkpoint positions; recovery
+            // completes when every neighbour confirmed the reconnect.
+            const SimTime phase4_start = sim.now();
+            auto remaining = std::make_shared<int>(hau.num_in_ports());
+            auto finish = [this, &hau, stats, phase4_start,
+                           done = std::move(done)]() mutable {
+              stats->reconnection = app_->simulation().now() - phase4_start;
+              stats->completed = app_->simulation().now();
+              hau.reopen();
+              if (done) done(*stats);
+            };
+            if (*remaining == 0) {
+              finish();
+              return;
+            }
+            for (int port = 0; port < hau.num_in_ports(); ++port) {
+              core::Hau* up = hau.upstream(port);
+              MS_CHECK_MSG(!up->failed(),
+                           "baseline cannot recover: upstream neighbour with "
+                           "the preservation buffer is dead (correlated "
+                           "failure)");
+              const int up_out = up->find_out_port(hau, port);
+              const std::uint64_t after =
+                  image->in_port_progress[static_cast<std::size_t>(port)];
+              hau.send_control(
+                  *up, params_.reconnect_message_size,
+                  [this, up_out, after, remaining,
+                   finish](core::Hau& u) mutable {
+                    static_cast<BaselineHauFt&>(u.ft()).resend_preserved(
+                        u, up_out, after, [remaining, finish]() mutable {
+                          if (--*remaining == 0) finish();
+                        });
+                  });
+            }
+          });
+        });
+  });
+}
+
+}  // namespace ms::ft

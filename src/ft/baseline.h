@@ -1,0 +1,115 @@
+// Baseline fault tolerance: the state of the art the paper compares against
+// (§II-B3) — a stand-in for the checkpoint-based schemes of Hwang'05/'07,
+// LSS and SGuard.
+//
+// - Every HAU checkpoints independently and periodically; the first
+//   checkpoint fires at a random phase within the period.
+// - Checkpoints are synchronous: the HAU suspends stream processing until
+//   its state has been serialized and written to the shared storage node.
+// - Input preservation: every HAU retains its output tuples in a bounded
+//   in-memory buffer (default 50 MB); on overflow the buffer is dumped to
+//   the local disk. A downstream checkpoint acknowledgment truncates the
+//   preserved prefix.
+// - Recovery is per-HAU: the failed HAU restarts from its own most recent
+//   checkpoint and upstream neighbours resend preserved tuples past the
+//   checkpoint's input positions. Only single-HAU failures are recoverable —
+//   a correlated burst that also kills an upstream neighbour loses its
+//   in-memory preservation buffer, which is exactly the weakness Meteor
+//   Shower addresses (demonstrated by tests and the burst example).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/application.h"
+#include "ft/params.h"
+#include "ft/stats.h"
+
+namespace ms::ft {
+
+class BaselineHauFt;
+
+class BaselineScheme {
+ public:
+  BaselineScheme(core::Application* app, const FtParams& params);
+
+  /// Install per-HAU attachments. Call between deploy() and start().
+  void attach();
+
+  const FtParams& params() const { return params_; }
+  core::Application& app() { return *app_; }
+
+  /// Completed individual checkpoints (chronological).
+  const std::vector<HauCheckpointReport>& reports() const { return reports_; }
+  /// Preserved-tuple bytes written to local disks so far (spills).
+  Bytes spilled_bytes() const { return spilled_bytes_; }
+  /// Per-tuple preservation CPU seconds charged so far.
+  double preservation_cpu_seconds() const { return preservation_cpu_seconds_; }
+
+  /// Recover a single failed HAU onto `replacement`. `done` receives the
+  /// phase breakdown. Precondition: the HAU's upstream neighbours are alive.
+  void recover_hau(int hau_id, net::NodeId replacement,
+                   std::function<void(RecoveryStats)> done);
+
+  std::string checkpoint_key(int hau_id) const;
+
+ private:
+  friend class BaselineHauFt;
+
+  core::Application* app_;
+  FtParams params_;
+  Rng rng_;
+  std::uint64_t instance_;  // storage-namespace discriminator
+  std::vector<HauCheckpointReport> reports_;
+  Bytes spilled_bytes_ = 0;
+  double preservation_cpu_seconds_ = 0.0;
+  std::vector<BaselineHauFt*> fts_;  // borrowed; owned by the HAUs
+};
+
+/// Per-HAU attachment implementing input preservation and the periodic
+/// synchronous checkpoint.
+class BaselineHauFt final : public core::HauFt {
+ public:
+  BaselineHauFt(BaselineScheme* scheme, core::Hau& hau);
+
+  void on_start(core::Hau& hau) override;
+  void emit(core::Hau& hau, int out_port, core::Tuple tuple) override;
+  void on_token_at_head(core::Hau& hau, int in_port,
+                        const core::Token& token) override;
+
+  /// Downstream checkpoint acknowledgment: preserved tuples on `out_port`
+  /// with edge_seq <= `upto_seq` may be discarded.
+  void handle_ack(int out_port, std::uint64_t upto_seq);
+
+  /// Recovery: resend preserved tuples on `out_port` with edge_seq >
+  /// `after_seq`. Charges a disk read for any spilled portion first.
+  void resend_preserved(core::Hau& hau, int out_port, std::uint64_t after_seq,
+                        std::function<void()> done);
+
+  Bytes preserved_mem_bytes() const { return mem_bytes_; }
+  std::size_t preserved_count() const;
+
+  /// Trigger one synchronous checkpoint now (also used by tests).
+  void checkpoint_now(core::Hau& hau);
+
+ private:
+  void schedule_next_checkpoint(core::Hau& hau, SimTime delay);
+
+  struct Preserved {
+    core::Tuple tuple;  // edge_seq set
+    bool spilled = false;
+  };
+
+  BaselineScheme* scheme_;
+  std::vector<std::deque<Preserved>> per_out_;
+  Bytes mem_bytes_ = 0;       // unspilled preserved bytes
+  bool checkpointing_ = false;
+  bool stalled_on_spill_ = false;
+  std::uint64_t next_checkpoint_id_ = 1;
+};
+
+}  // namespace ms::ft

@@ -1,0 +1,1018 @@
+#include "ft/meteor_shower.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/log.h"
+
+namespace ms::ft {
+
+const char* ms_variant_name(MsVariant v) {
+  switch (v) {
+    case MsVariant::kSrc: return "MS-src";
+    case MsVariant::kSrcAp: return "MS-src+ap";
+    case MsVariant::kSrcApAa: return "MS-src+ap+aa";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// MsScheme
+// ---------------------------------------------------------------------------
+
+namespace {
+// Distinguishes the storage namespaces of scheme instances sharing one
+// cluster (multi-tenant deployments): keys must never collide across
+// applications.
+std::atomic<std::uint64_t> g_scheme_instance_counter{0};
+}  // namespace
+
+MsScheme::MsScheme(core::Application* app, const FtParams& params,
+                   MsVariant variant)
+    : app_(app),
+      params_(params),
+      variant_(variant),
+      rng_(app->seed() ^ 0x3e7e0aULL),
+      instance_(++g_scheme_instance_counter),
+      aa_(params) {
+  MS_CHECK(app != nullptr);
+  aa_.set_hooks(AaController::Hooks{
+      .query_dynamic_haus = [this] { aa_query_dynamic(); },
+      .trigger_checkpoint = [this] { begin_checkpoint(); },
+      .set_alert_reporting = [this](bool on) { aa_set_alert_reporting(on); },
+  });
+}
+
+void MsScheme::attach() {
+  fts_.resize(static_cast<std::size_t>(app_->num_haus()), nullptr);
+  app_->attach_ft([this](core::Hau& hau) {
+    auto ft = std::make_unique<MsHauFt>(this, hau);
+    fts_[static_cast<std::size_t>(hau.id())] = ft.get();
+    return ft;
+  });
+}
+
+void MsScheme::start() {
+  if (application_aware()) {
+    aa_start_pipeline();
+  } else if (params_.periodic) {
+    schedule_periodic();
+  }
+  if (detection_enabled_) ping_sources();
+}
+
+void MsScheme::schedule_periodic() {
+  app_->simulation().schedule_after(params_.checkpoint_period, [this] {
+    if (!recovery_in_progress_) begin_checkpoint();
+    schedule_periodic();
+  });
+}
+
+std::string MsScheme::checkpoint_key(int hau_id, std::uint64_t ckpt_id) const {
+  return "ms/" + std::to_string(instance_) + "/ckpt/" +
+         std::to_string(hau_id) + "/" + std::to_string(ckpt_id);
+}
+
+std::string MsScheme::preserve_key(int hau_id) const {
+  return "ms/" + std::to_string(instance_) + "/preserve/" +
+         std::to_string(hau_id);
+}
+
+void MsScheme::to_controller(const core::Hau& from, Bytes size,
+                             std::function<void()> fn) {
+  auto& cluster = app_->cluster();
+  cluster.network().send(from.node(), cluster.storage_node(), size,
+                         net::MsgCategory::kControl, std::move(fn));
+}
+
+void MsScheme::to_hau(core::Hau& hau, Bytes size,
+                      std::function<void(core::Hau&)> fn) {
+  auto& cluster = app_->cluster();
+  core::Hau* h = &hau;
+  const std::uint64_t inc = h->incarnation();
+  cluster.network().send(cluster.storage_node(), h->node(), size,
+                         net::MsgCategory::kControl,
+                         [h, inc, fn = std::move(fn)] {
+                           if (h->incarnation() != inc || h->failed()) return;
+                           fn(*h);
+                         });
+}
+
+void MsScheme::trigger_checkpoint() { begin_checkpoint(); }
+
+void MsScheme::begin_checkpoint() {
+  if (recovery_in_progress_) return;
+  if (!in_progress_.empty()) {
+    // Never overlap application checkpoints: an HAU still aligned on the
+    // previous epoch would ignore the new token command and the epoch could
+    // never complete. The paper's controller serializes them too. An epoch
+    // that has been running for several periods is considered wedged (e.g.
+    // a write lost to a storage outage) and is abandoned so checkpointing
+    // can resume.
+    const SimTime now = app_->simulation().now();
+    const SimTime stale_after = params_.checkpoint_period * std::int64_t{3};
+    for (auto it = in_progress_.begin(); it != in_progress_.end();) {
+      if (now - it->second.initiated > stale_after) {
+        MS_LOG_WARN("ft", "abandoning wedged checkpoint epoch %llu",
+                    static_cast<unsigned long long>(it->first));
+        it = in_progress_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!in_progress_.empty()) {
+      MS_LOG_DEBUG("ft", "checkpoint skipped: previous epoch still running");
+      return;
+    }
+  }
+  const std::uint64_t id = next_checkpoint_id_++;
+  AppCheckpointStats stats;
+  stats.checkpoint_id = id;
+  stats.initiated = app_->simulation().now();
+  in_progress_[id] = stats;
+
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    core::Hau& hau = app_->hau(i);
+    if (hau.failed()) continue;
+    if (synchronous() && !hau.is_source()) continue;
+    MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
+    to_hau(hau, 64,
+           [ft, id](core::Hau& h) { ft->on_checkpoint_command(h, id); });
+  }
+}
+
+void MsScheme::on_hau_report(const HauCheckpointReport& report) {
+  const auto it = in_progress_.find(report.checkpoint_id);
+  if (it == in_progress_.end()) return;  // aborted by a recovery
+  AppCheckpointStats& stats = it->second;
+  stats.total_declared += report.declared_bytes;
+  ++stats.haus_reported;
+  if (stats.haus_reported == 1 || report.total() > stats.slowest.total()) {
+    stats.slowest = report;
+  }
+  if (stats.haus_reported == app_->num_haus()) {
+    stats.completed = app_->simulation().now();
+    last_completed_ = stats.checkpoint_id;
+    checkpoints_.push_back(stats);
+    in_progress_.erase(it);
+
+    // Garbage-collect the previous application checkpoint and let sources
+    // truncate their preserved logs before the new boundary.
+    const std::uint64_t id = stats.checkpoint_id;
+    for (int i = 0; i < app_->num_haus(); ++i) {
+      core::Hau& hau = app_->hau(i);
+      if (id >= 2) {
+        app_->cluster().shared_storage().erase_now(checkpoint_key(i, id - 1));
+      }
+      if (hau.is_source() && !hau.failed()) {
+        MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
+        to_hau(hau, 64, [ft, id](core::Hau& h) {
+          ft->on_app_checkpoint_complete(h, id);
+        });
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MsHauFt — token alignment and checkpoint execution
+// ---------------------------------------------------------------------------
+
+MsHauFt::MsHauFt(MsScheme* scheme, core::Hau& hau) : scheme_(scheme) {
+  (void)hau;
+}
+
+void MsHauFt::on_start(core::Hau& hau) {
+  port_token_.assign(static_cast<std::size_t>(hau.num_in_ports()), false);
+  if (hau.is_source()) {
+    log_ = std::make_shared<PreserveLog>();
+    storage::Object obj;
+    obj.declared_size = 0;
+    obj.handle = log_;
+    hau.app().cluster().shared_storage().register_object(
+        scheme_->preserve_key(hau.id()), std::move(obj));
+  }
+  if (scheme_->application_aware()) {
+    aa_sampling_ = true;
+    hau.schedule(scheme_->params().state_sample_period,
+                 [this, &hau] { aa_sample(hau); });
+  }
+}
+
+void MsHauFt::on_restart(core::Hau& hau) {
+  port_token_.assign(static_cast<std::size_t>(hau.num_in_ports()), false);
+  tokens_seen_ = 0;
+  active_ckpt_id_ = 0;
+  capturing_ = false;
+  capture_.clear();
+  pending_batch_.clear();
+  pending_bytes_ = 0;
+  flush_in_flight_ = false;
+  flush_timer_armed_ = false;
+  detector_.reset();
+  aa_alert_ = false;
+  aa_profiling_ = false;
+  aa_observing_ = false;
+  if (scheme_->application_aware()) {
+    hau.schedule(scheme_->params().state_sample_period,
+                 [this, &hau] { aa_sample(hau); });
+  }
+}
+
+void MsHauFt::emit(core::Hau& hau, int out_port, core::Tuple tuple) {
+  if (hau.is_source() && log_ != nullptr) {
+    // Source preservation: the tuple becomes durable in shared storage
+    // before it is dispatched downstream (batched appends).
+    pending_bytes_ += tuple.wire_size;
+    pending_batch_.push_back(PreserveLog::Entry{out_port, std::move(tuple)});
+    const auto& p = scheme_->params();
+    if (pending_bytes_ >= p.source_batch_bytes) {
+      flush_batch(hau);
+    } else if (!flush_timer_armed_) {
+      flush_timer_armed_ = true;
+      hau.schedule(p.source_batch_interval, [this, &hau] {
+        flush_timer_armed_ = false;
+        flush_batch(hau);
+      });
+    }
+    return;
+  }
+  // Non-source: dispatch immediately; while an asynchronous checkpoint is
+  // aligning, retain a copy of everything sent after our outgoing tokens.
+  core::Tuple copy;
+  if (capturing_) copy = tuple;
+  const std::uint64_t seq = hau.send_downstream(out_port, std::move(tuple));
+  if (capturing_ && seq != 0) {
+    copy.edge_seq = seq;
+    capture_.emplace_back(out_port, std::move(copy));
+  }
+}
+
+void MsHauFt::flush_batch(core::Hau& hau) {
+  if (flush_in_flight_ || pending_batch_.empty() || hau.failed()) return;
+  flush_in_flight_ = true;
+  auto batch = std::make_shared<std::vector<PreserveLog::Entry>>(
+      std::move(pending_batch_));
+  pending_batch_.clear();
+  Bytes batch_bytes = 0;
+  for (const auto& e : *batch) batch_bytes += e.tuple.wire_size;
+  pending_bytes_ -= batch_bytes;
+
+  hau.app().cluster().shared_storage().append(
+      hau.node(), scheme_->preserve_key(hau.id()), batch_bytes, {},
+      [this, &hau, batch, batch_bytes](Status st) {
+        flush_in_flight_ = false;
+        if (!st.is_ok() || hau.failed()) return;  // batch lost with the node
+        // Durable: dispatch in order and record the stamped copies.
+        for (auto& e : *batch) {
+          core::Tuple copy = e.tuple;
+          const std::uint64_t seq = hau.send_downstream(e.out_port, std::move(e.tuple));
+          copy.edge_seq = seq;
+          log_->entries.push_back(PreserveLog::Entry{e.out_port, std::move(copy)});
+          log_->bytes += copy.wire_size;
+        }
+        (void)batch_bytes;
+        // Keep draining if more accumulated meanwhile.
+        if (!pending_batch_.empty()) flush_batch(hau);
+      });
+}
+
+std::uint64_t MsHauFt::source_boundary(const core::Hau& hau) const {
+  // Entries still queued on the out-edges have not crossed the token yet
+  // (tokens jump the queue at sources); they are post-boundary and must be
+  // replayed. Over-approximating the undispatched suffix is safe: receiver
+  // sequence deduplication drops any replayed tuple that did arrive before
+  // the token.
+  const std::uint64_t undispatched = hau.pending_out_tuples();
+  const std::uint64_t end = log_->end_index();
+  return end > undispatched ? end - undispatched : 0;
+}
+
+void MsHauFt::on_checkpoint_command(core::Hau& hau, std::uint64_t ckpt_id) {
+  if (ckpt_id < next_seen_epoch_) return;  // stale epoch
+  if (active_ckpt_id_ != 0) {
+    if (ckpt_id <= active_ckpt_id_) return;
+    // The controller moved on (it abandoned our wedged epoch): drop the old
+    // alignment. Any tokens of the old epoch still at port heads are popped
+    // later by the id-mismatch path.
+    for (int port = 0; port < hau.num_in_ports(); ++port) {
+      if (port_token_[static_cast<std::size_t>(port)]) {
+        hau.pop_token(port);
+        hau.unblock_port(port);
+        port_token_[static_cast<std::size_t>(port)] = false;
+      }
+    }
+    tokens_seen_ = 0;
+    capturing_ = false;
+    capture_.clear();
+  }
+  next_seen_epoch_ = ckpt_id + 1;
+  active_ckpt_id_ = ckpt_id;
+  initiated_at_ = hau.app().simulation().now();
+  tokens_seen_ = 0;
+  port_token_.assign(static_cast<std::size_t>(hau.num_in_ports()), false);
+
+  if (scheme_->synchronous()) {
+    // MS-src: only sources receive the command; checkpoint synchronously,
+    // then trickle tokens downstream.
+    MS_CHECK(hau.is_source());
+    do_sync_checkpoint(hau);
+    return;
+  }
+  // MS-src+ap: emit 1-hop tokens to every downstream neighbour immediately,
+  // at the HEAD of the output queues (paper Fig. 8). For non-sources,
+  // everything still queued becomes post-boundary and is captured with the
+  // checkpoint; for sources the replay boundary backs up over the
+  // undispatched suffix of the preserved log.
+  if (log_ != nullptr) boundary_at_command_ = source_boundary(hau);
+  for (int p = 0; p < hau.num_out_ports(); ++p) {
+    hau.send_token(p, core::Token{ckpt_id, /*one_hop=*/true},
+                   /*jump_queue=*/true);
+  }
+  if (hau.num_in_ports() == 0) {
+    do_async_checkpoint(hau);
+  } else {
+    capturing_ = true;
+  }
+}
+
+void MsHauFt::on_token_at_head(core::Hau& hau, int in_port,
+                               const core::Token& token) {
+  if (active_ckpt_id_ == 0) {
+    if (scheme_->synchronous()) {
+      // First token of a trickling checkpoint reaching this HAU.
+      active_ckpt_id_ = token.checkpoint_id;
+      initiated_at_ = hau.app().simulation().now();
+      tokens_seen_ = 0;
+      port_token_.assign(static_cast<std::size_t>(hau.num_in_ports()), false);
+    } else if (token.one_hop && token.checkpoint_id >= next_seen_epoch_) {
+      // Chandy-Lamport rule: a neighbour's token outran the controller's
+      // command (they race over different paths). Initiate the epoch now;
+      // the late command becomes a no-op.
+      on_checkpoint_command(hau, token.checkpoint_id);
+    }
+  }
+  if (token.checkpoint_id != active_ckpt_id_) {
+    // Stale token from an aborted checkpoint epoch: drop it.
+    hau.pop_token(in_port);
+    return;
+  }
+  MS_CHECK(!port_token_[static_cast<std::size_t>(in_port)]);
+  port_token_[static_cast<std::size_t>(in_port)] = true;
+  ++tokens_seen_;
+  hau.block_port(in_port);
+  maybe_align(hau);
+}
+
+void MsHauFt::maybe_align(core::Hau& hau) {
+  if (tokens_seen_ < hau.num_in_ports()) return;
+  if (scheme_->synchronous()) {
+    do_sync_checkpoint(hau);
+  } else {
+    do_async_checkpoint(hau);
+  }
+}
+
+void MsHauFt::do_sync_checkpoint(core::Hau& hau) {
+  const auto& p = scheme_->params();
+  HauCheckpointReport report;
+  report.hau_id = hau.id();
+  report.checkpoint_id = active_ckpt_id_;
+  report.initiated = initiated_at_;
+  report.tokens_collected = hau.app().simulation().now();
+
+  hau.pause();
+  // Consume the aligned tokens; the ports stay quiet while paused.
+  for (int port = 0; port < hau.num_in_ports(); ++port) {
+    if (port_token_[static_cast<std::size_t>(port)]) {
+      hau.pop_token(port);
+      hau.unblock_port(port);
+      port_token_[static_cast<std::size_t>(port)] = false;
+    }
+  }
+  tokens_seen_ = 0;
+
+  const Bytes state = hau.state_size();
+  const SimTime serialize_cost =
+      SimTime::seconds(static_cast<double>(state) / p.serialize_bandwidth);
+  hau.run_on_cpu(serialize_cost, [this, &hau, report]() mutable {
+    auto image = std::make_shared<core::CheckpointImage>(
+        hau.capture_state({}, report.checkpoint_id));
+    if (log_ != nullptr) {
+      image->preserve_boundary = source_boundary(hau);
+      boundaries_[report.checkpoint_id] = image->preserve_boundary;
+    }
+    report.serialized = hau.app().simulation().now();
+    report.declared_bytes = image->total_declared();
+    write_checkpoint(hau, std::move(image), report, /*forward_tokens=*/true);
+  });
+}
+
+void MsHauFt::do_async_checkpoint(core::Hau& hau) {
+  const auto& p = scheme_->params();
+  HauCheckpointReport report;
+  report.hau_id = hau.id();
+  report.checkpoint_id = active_ckpt_id_;
+  report.initiated = initiated_at_;
+  report.tokens_collected = hau.app().simulation().now();
+
+  // Fork the checkpoint helper: the parent is blocked only for the fork.
+  hau.pause();
+  hau.run_on_cpu(p.fork_cost, [this, &hau, report]() mutable {
+    // The in-flight set: tuples dispatched since our outgoing tokens plus
+    // everything still queued behind them on the output edges.
+    std::vector<std::pair<int, core::Tuple>> inflight = std::move(capture_);
+    if (log_ == nullptr) {
+      for (auto& [port, tuple] : hau.pending_behind_tokens()) {
+        inflight.emplace_back(port, std::move(tuple));
+      }
+    }
+    auto image = std::make_shared<core::CheckpointImage>(
+        hau.capture_state(std::move(inflight), report.checkpoint_id));
+    capture_.clear();
+    capturing_ = false;
+    if (log_ != nullptr) {
+      image->preserve_boundary = boundary_at_command_;
+      boundaries_[report.checkpoint_id] = image->preserve_boundary;
+    }
+    // Erase the 1-hop tokens and return to normal execution under the
+    // copy-on-write tax while the child drains.
+    for (int port = 0; port < hau.num_in_ports(); ++port) {
+      if (port_token_[static_cast<std::size_t>(port)]) {
+        hau.pop_token(port);
+        hau.unblock_port(port);
+        port_token_[static_cast<std::size_t>(port)] = false;
+      }
+    }
+    tokens_seen_ = 0;
+    hau.resume();
+    hau.set_cost_multiplier(1.0 + scheme_->params().cow_tax);
+
+    // Child process: serialize the frozen snapshot, then write it out.
+    const SimTime serialize_cost = SimTime::seconds(
+        static_cast<double>(image->total_declared()) /
+        scheme_->params().serialize_bandwidth);
+    hau.run_on_cpu(serialize_cost, [this, &hau, image, report]() mutable {
+      hau.set_cost_multiplier(1.0);
+      report.serialized = hau.app().simulation().now();
+      report.declared_bytes = image->total_declared();
+      write_checkpoint(hau, image, report, /*forward_tokens=*/false);
+    });
+  });
+}
+
+void MsHauFt::write_checkpoint(core::Hau& hau,
+                               std::shared_ptr<core::CheckpointImage> image,
+                               HauCheckpointReport report,
+                               bool forward_tokens) {
+  const std::string key =
+      scheme_->checkpoint_key(hau.id(), report.checkpoint_id);
+  storage::Object obj;
+  obj.declared_size = image->total_declared();
+  if (scheme_->params().delta_checkpoints) {
+    // Write only the changed state (plus the image's fixed parts); recovery
+    // reconstructs from base + deltas, so reads still cost the full state.
+    const Bytes delta = hau.op().state_delta_size() +
+                        (image->total_declared() - image->declared_state_size);
+    obj.read_charge = image->total_declared();
+    obj.declared_size = std::min(obj.declared_size, delta);
+    report.declared_bytes = obj.declared_size;
+  }
+  obj.handle = image;
+  auto& cluster = hau.app().cluster();
+  const bool save_local = scheme_->params().save_local_copy;
+  if (save_local) {
+    storage::Object local = obj;
+    cluster.node(hau.node()).local_store->put(key, std::move(local), [] {});
+  }
+  cluster.shared_storage().put(
+      hau.node(), key, std::move(obj),
+      [this, &hau, report, forward_tokens](Status st) mutable {
+        active_ckpt_id_ = 0;
+        if (!st.is_ok()) {
+          MS_LOG_WARN("ft", "MS checkpoint of HAU %d failed: %s", hau.id(),
+                      st.to_string().c_str());
+          if (forward_tokens) hau.resume();
+          return;
+        }
+        report.written = hau.app().simulation().now();
+        if (scheme_->params().delta_checkpoints) hau.op().mark_checkpointed();
+        if (forward_tokens) {
+          // MS-src: forward the trickling token, then resume processing.
+          // Source tokens jump their (possibly unbounded) ingest backlog —
+          // the replay boundary already backed up over it; non-source
+          // tokens queue behind the pre-checkpoint output, which downstream
+          // must process before its own checkpoint.
+          for (int p = 0; p < hau.num_out_ports(); ++p) {
+            hau.send_token(p, core::Token{report.checkpoint_id,
+                                          /*one_hop=*/false},
+                           /*jump_queue=*/hau.is_source());
+          }
+          hau.resume();
+        }
+        scheme_->to_controller(hau, 128, [scheme = scheme_, report] {
+          scheme->on_hau_report(report);
+        });
+      });
+}
+
+void MsHauFt::on_app_checkpoint_complete(core::Hau& hau,
+                                         std::uint64_t ckpt_id) {
+  const auto it = boundaries_.find(ckpt_id);
+  if (it == boundaries_.end() || log_ == nullptr) return;
+  const std::uint64_t boundary = it->second;
+  while (log_->start_index < boundary && !log_->entries.empty()) {
+    log_->bytes -= log_->entries.front().tuple.wire_size;
+    log_->entries.erase(log_->entries.begin());
+    ++log_->start_index;
+  }
+  boundaries_.erase(boundaries_.begin(), it);
+  // Metadata truncation of the stored log object.
+  hau.app().cluster().shared_storage().resize(scheme_->preserve_key(hau.id()),
+                                              log_->bytes);
+}
+
+void MsHauFt::after_process(core::Hau& hau, int in_port,
+                            const core::Tuple& tuple) {
+  (void)hau;
+  (void)in_port;
+  (void)tuple;
+}
+
+void MsHauFt::replay_from(core::Hau& hau, std::uint64_t boundary) {
+  MS_CHECK(log_ != nullptr);
+  if (!log_->entries.empty()) {
+    hau.ensure_source_seq_at_least(log_->entries.back().tuple.source_seq + 1);
+  }
+  Bytes tail_bytes = 0;
+  for (const auto& e : log_->entries) {
+    const std::uint64_t idx =
+        log_->start_index + (&e - log_->entries.data());
+    if (idx >= boundary) tail_bytes += e.tuple.wire_size;
+  }
+  if (log_->entries.empty() || boundary >= log_->end_index()) return;
+  // Read the tail of the preserved log from shared storage, then resend.
+  hau.app().cluster().shared_storage().get_range(
+      hau.node(), scheme_->preserve_key(hau.id()), tail_bytes,
+      [this, &hau, boundary](Result<storage::Object> r) {
+        if (!r.is_ok() || hau.failed()) return;
+        for (std::size_t i = 0; i < log_->entries.size(); ++i) {
+          const std::uint64_t idx = log_->start_index + i;
+          if (idx < boundary) continue;
+          const auto& e = log_->entries[i];
+          hau.resend_downstream(e.out_port, e.tuple);
+        }
+      });
+}
+
+void MsHauFt::resend_inflight(
+    core::Hau& hau, std::vector<std::pair<int, core::Tuple>> inflight) {
+  for (auto& [port, tuple] : inflight) {
+    hau.resend_downstream(port, std::move(tuple));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MsHauFt — application-aware sampling
+// ---------------------------------------------------------------------------
+
+void MsHauFt::aa_begin_observation(core::Hau& hau) {
+  (void)hau;
+  aa_observing_ = true;
+  aa_obs_min_ = 0.0;
+  aa_obs_sum_ = 0.0;
+  aa_obs_n_ = 0;
+}
+
+void MsHauFt::aa_end_observation(core::Hau& hau) {
+  aa_observing_ = false;
+  const double min = aa_obs_n_ > 0 ? aa_obs_min_ : 0.0;
+  const double avg =
+      aa_obs_n_ > 0 ? aa_obs_sum_ / static_cast<double>(aa_obs_n_) : 0.0;
+  const int id = hau.id();
+  scheme_->to_controller(hau, 96, [scheme = scheme_, id, min, avg] {
+    scheme->aa().report_observation(id, min, avg);
+    scheme->aa_observation_report_received();
+  });
+}
+
+void MsHauFt::aa_set_profiling(core::Hau& hau, bool on) {
+  (void)hau;
+  aa_profiling_ = on;
+}
+
+void MsHauFt::aa_query_state(core::Hau& hau) {
+  const int id = hau.id();
+  const double size = static_cast<double>(hau.state_size());
+  const double icr = detector_.current_icr();
+  scheme_->to_controller(hau, 96, [scheme = scheme_, id, size, icr] {
+    scheme->aa().on_query_response(id, scheme->app().simulation().now(), size,
+                                   icr);
+  });
+}
+
+void MsHauFt::aa_set_alert(core::Hau& hau, bool on) {
+  (void)hau;
+  aa_alert_ = on;
+}
+
+void MsHauFt::aa_sample(core::Hau& hau) {
+  if (!aa_sampling_ || hau.failed()) return;
+  const SimTime now = hau.app().simulation().now();
+  const double size = static_cast<double>(hau.state_size());
+  if (aa_observing_) {
+    aa_obs_min_ = aa_obs_n_ == 0 ? size : std::min(aa_obs_min_, size);
+    aa_obs_sum_ += size;
+    ++aa_obs_n_;
+  }
+  const auto tp = detector_.add_sample(now, size);
+  if (tp.has_value()) {
+    const int id = hau.id();
+    if (aa_profiling_ || (aa_alert_ && aa_dynamic_)) {
+      const auto point = *tp;
+      scheme_->to_controller(hau, 96, [scheme = scheme_, id, point] {
+        scheme->aa().report_turning_point(id, point.t, point.size, point.icr);
+      });
+    }
+    if (aa_dynamic_ && !aa_alert_) {
+      // Half-drop detection: a minimum below half of the preceding maximum.
+      if (!tp->is_minimum) {
+        aa_last_reported_tp_size_ = tp->size;
+      } else if (aa_last_reported_tp_size_ > 0.0 &&
+                 tp->size < 0.5 * aa_last_reported_tp_size_) {
+        scheme_->to_controller(hau, 64, [scheme = scheme_, id] {
+          scheme->aa().on_half_drop_notification(
+              id, scheme->app().simulation().now());
+        });
+      }
+    }
+  }
+  hau.schedule(scheme_->params().state_sample_period,
+               [this, &hau] { aa_sample(hau); });
+}
+
+// ---------------------------------------------------------------------------
+// MsScheme — AA pipeline plumbing
+// ---------------------------------------------------------------------------
+
+void MsScheme::aa_start_pipeline() {
+  auto& sim = app_->simulation();
+  aa_.begin(sim.now());
+  aa_obs_reports_ = 0;
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    core::Hau& hau = app_->hau(i);
+    MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
+    to_hau(hau, 64, [ft](core::Hau& h) { ft->aa_begin_observation(h); });
+  }
+  const SimTime period = params_.profile_period > SimTime::zero()
+                             ? params_.profile_period
+                             : params_.checkpoint_period;
+
+  // End of observation: collect (min, avg); checkpoints continue on the
+  // plain periodic schedule until execution takes over.
+  sim.schedule_after(period, [this] {
+    if (params_.checkpoint_during_profiling) begin_checkpoint();
+    for (int i = 0; i < app_->num_haus(); ++i) {
+      core::Hau& hau = app_->hau(i);
+      if (hau.failed()) continue;
+      MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
+      to_hau(hau, 64, [ft](core::Hau& h) { ft->aa_end_observation(h); });
+    }
+  });
+
+  const int profile_periods = std::max(1, params_.profile_periods);
+  for (int k = 1; k <= profile_periods; ++k) {
+    sim.schedule_after(period * static_cast<std::int64_t>(k + 1), [this] {
+      if (params_.checkpoint_during_profiling) begin_checkpoint();
+    });
+  }
+  sim.schedule_after(period * static_cast<std::int64_t>(profile_periods + 1),
+                     [this] {
+                       for (const int i : aa_.dynamic_haus()) {
+                         core::Hau& hau = app_->hau(i);
+                         if (hau.failed()) continue;
+                         MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
+                         to_hau(hau, 64, [ft](core::Hau& h) {
+                           ft->aa_set_profiling(h, false);
+                         });
+                       }
+                       aa_.finish_profiling(app_->simulation().now());
+                       aa_execution_loop();
+                     });
+}
+
+void MsScheme::aa_observation_report_received() {
+  if (++aa_obs_reports_ == app_->num_haus()) {
+    aa_.finish_observation(app_->simulation().now());
+    for (const int i : aa_.dynamic_haus()) {
+      core::Hau& hau = app_->hau(i);
+      if (hau.failed()) continue;
+      MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
+      ft->aa_mark_dynamic();
+      to_hau(hau, 64,
+             [ft](core::Hau& h) { ft->aa_set_profiling(h, true); });
+    }
+  }
+}
+
+void MsScheme::aa_execution_loop() {
+  if (recovery_in_progress_) {
+    // Retry after the recovery settles.
+    app_->simulation().schedule_after(SimTime::seconds(1),
+                                      [this] { aa_execution_loop(); });
+    return;
+  }
+  aa_.on_period_start(app_->simulation().now());
+  app_->simulation().schedule_after(params_.checkpoint_period, [this] {
+    aa_.on_period_end(app_->simulation().now());
+    aa_execution_loop();
+  });
+}
+
+void MsScheme::aa_query_dynamic() {
+  for (const int i : aa_.dynamic_haus()) {
+    core::Hau& hau = app_->hau(i);
+    if (hau.failed()) continue;
+    MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
+    to_hau(hau, 64, [ft](core::Hau& h) { ft->aa_query_state(h); });
+  }
+}
+
+void MsScheme::aa_set_alert_reporting(bool on) {
+  for (const int i : aa_.dynamic_haus()) {
+    core::Hau& hau = app_->hau(i);
+    if (hau.failed()) continue;
+    MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
+    to_hau(hau, 64, [ft, on](core::Hau& h) { ft->aa_set_alert(h, on); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MsScheme — failure detection and whole-application recovery
+// ---------------------------------------------------------------------------
+
+void MsScheme::enable_failure_detection(std::vector<net::NodeId> spares) {
+  spares_ = std::move(spares);
+  detection_enabled_ = true;
+}
+
+void MsScheme::monitor_downstream(int hau_id) {
+  // The paper's division of labour: the controller pings only the source
+  // nodes; every other node is monitored by its upstream neighbours. A ping
+  // dropped by the network (dead endpoint) reports the failure.
+  if (!detection_enabled_) return;
+  core::Hau& hau = app_->hau(hau_id);
+  if (!hau.failed()) {
+    for (int p = 0; p < hau.num_out_ports(); ++p) {
+      core::Hau* down = hau.downstream(p);
+      const net::NodeId target = down->node();
+      app_->cluster().network().send(
+          hau.node(), target, 64, net::MsgCategory::kControl,
+          /*deliver=*/[] {},
+          /*on_dropped=*/[this, target] {
+            // Report to the controller (a small message; the controller
+            // node is assumed reliable).
+            app_->simulation().schedule_after(
+                app_->cluster().topology().latency(0,
+                                                   app_->cluster().storage_node()),
+                [this, target] { report_node_failure(target); });
+          });
+    }
+  }
+  app_->simulation().schedule_after(
+      params_.ping_period, [this, hau_id] { monitor_downstream(hau_id); });
+}
+
+void MsScheme::ping_sources() {
+  if (!detection_enabled_) return;
+  if (!monitors_started_) {
+    monitors_started_ = true;
+    for (int i = 0; i < app_->num_haus(); ++i) {
+      if (app_->hau(i).num_out_ports() > 0) monitor_downstream(i);
+    }
+  }
+  auto& cluster = app_->cluster();
+  for (core::Hau* src : app_->sources()) {
+    const net::NodeId node = src->node();
+    cluster.network().send(
+        cluster.storage_node(), node, 64, net::MsgCategory::kControl,
+        /*deliver=*/[] {},
+        /*on_dropped=*/[this, node] { report_node_failure(node); });
+  }
+  app_->simulation().schedule_after(params_.ping_period,
+                                    [this] { ping_sources(); });
+}
+
+void MsScheme::report_node_failure(net::NodeId node) {
+  (void)node;
+  if (recovery_in_progress_ || !detection_enabled_) return;
+  // Scan the application for dead nodes (the monitoring fabric's view).
+  bool any_failed = false;
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    core::Hau& hau = app_->hau(i);
+    if (!app_->cluster().node_alive(hau.node())) {
+      if (!hau.failed()) hau.on_node_failed();
+      any_failed = true;
+    }
+  }
+  if (!any_failed) return;
+  std::vector<net::NodeId> replacements;
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    if (!app_->hau(i).failed()) continue;
+    MS_CHECK_MSG(!spares_.empty(), "spare node pool exhausted");
+    replacements.push_back(spares_.back());
+    spares_.pop_back();
+  }
+  recover_application(std::move(replacements), nullptr);
+}
+
+void MsScheme::recover_application(std::vector<net::NodeId> replacements,
+                                   std::function<void(RecoveryStats)> done) {
+  MS_CHECK(!recovery_in_progress_);
+  recovery_in_progress_ = true;
+  in_progress_.clear();  // abort any checkpoint in flight
+  auto& sim = app_->simulation();
+
+  auto stats = std::make_shared<RecoveryStats>();
+  stats->started = sim.now();
+  const std::uint64_t ckpt = last_completed_;
+
+  // Roll every HAU back; failed ones restart on replacement nodes.
+  auto per_hau = std::make_shared<std::vector<PerHauRecovery>>(
+      static_cast<std::size_t>(app_->num_haus()));
+  auto inflights = std::make_shared<
+      std::vector<std::vector<std::pair<int, core::Tuple>>>>(
+      static_cast<std::size_t>(app_->num_haus()));
+  auto boundaries =
+      std::make_shared<std::vector<std::uint64_t>>(
+          static_cast<std::size_t>(app_->num_haus()), 0);
+
+  std::size_t next_replacement = 0;
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    core::Hau& hau = app_->hau(i);
+    auto& ph = (*per_hau)[static_cast<std::size_t>(i)];
+    if (hau.failed()) {
+      MS_CHECK_MSG(next_replacement < replacements.size(),
+                   "not enough replacement nodes");
+      const net::NodeId n = replacements[next_replacement++];
+      ph.moved = (n != hau.node());
+      hau.restart_on(n);
+      stats->haus_recovered++;
+    } else {
+      // Alive HAU: roll back in place (drop buffers and in-flight work).
+      hau.on_node_failed();
+      hau.restart_on(hau.node());
+      ph.moved = false;
+    }
+  }
+
+  auto remaining = std::make_shared<int>(app_->num_haus());
+  auto all_ready = [this, stats, per_hau, inflights, boundaries,
+                    done = std::move(done)]() mutable {
+    finish_recovery(stats, per_hau, inflights, boundaries, std::move(done));
+  };
+
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    core::Hau& hau = app_->hau(i);
+    auto& ph = (*per_hau)[static_cast<std::size_t>(i)];
+    const SimTime phase_start = sim.now();
+    const SimTime reload = ph.moved ? params_.operator_reload_cost
+                                    : SimTime::millis(5);
+    // Phase 1: reload operators.
+    hau.run_on_cpu(reload, [this, &hau, stats, per_hau, inflights, boundaries,
+                            remaining, all_ready, ckpt, phase_start,
+                            i]() mutable {
+      auto& sim = app_->simulation();
+      auto& ph = (*per_hau)[static_cast<std::size_t>(i)];
+      ph.phase13 = sim.now() - phase_start;
+
+      auto after_read = [this, &hau, stats, per_hau, inflights, boundaries,
+                         remaining, all_ready,
+                         i](Result<storage::Object> r) mutable {
+        auto& sim = app_->simulation();
+        const SimTime phase3_start = sim.now();
+        std::shared_ptr<const core::CheckpointImage> image;
+        Bytes declared = 0;
+        if (r.is_ok()) {
+          image = r.value().handle_as<core::CheckpointImage>();
+          // Delta checkpoints write little but read the full reconstruction.
+          declared = r.value().read_charge > 0 ? r.value().read_charge
+                                               : r.value().declared_size;
+          stats->bytes_read += declared;
+        }
+        const SimTime deser = SimTime::seconds(
+            static_cast<double>(declared) / params_.deserialize_bandwidth);
+        hau.run_on_cpu(deser, [this, &hau, per_hau, inflights, boundaries,
+                               remaining, all_ready, i, image,
+                               phase3_start]() mutable {
+          auto& sim = app_->simulation();
+          auto& ph = (*per_hau)[static_cast<std::size_t>(i)];
+          ph.phase13 += sim.now() - phase3_start;
+          if (image != nullptr) {
+            (*inflights)[static_cast<std::size_t>(i)] =
+                hau.restore_state(*image);
+            (*boundaries)[static_cast<std::size_t>(i)] =
+                image->preserve_boundary;
+          } else {
+            // No completed checkpoint yet: restart from the initial state.
+            hau.op().clear_state();
+            (*boundaries)[static_cast<std::size_t>(i)] = 0;
+          }
+          ph.ready_at = sim.now();
+          if (--*remaining == 0) all_ready();
+        });
+      };
+
+      if (ckpt == 0) {
+        // Nothing checkpointed yet; restore initial state directly.
+        after_read(Status::not_found("no completed checkpoint"));
+        return;
+      }
+      const std::string key = checkpoint_key(i, ckpt);
+      auto& cluster = app_->cluster();
+      const SimTime phase2_start = sim.now();
+      auto read_done = [after_read = std::move(after_read), per_hau, i,
+                        phase2_start,
+                        this](Result<storage::Object> r) mutable {
+        (*per_hau)[static_cast<std::size_t>(i)].phase2 =
+            app_->simulation().now() - phase2_start;
+        after_read(std::move(r));
+      };
+      // Local-disk first when the HAU stayed on its node; shared storage
+      // otherwise (the paper's recovery path).
+      if (!ph.moved && cluster.node(hau.node()).local_store->contains(key)) {
+        cluster.node(hau.node()).local_store->get(key, std::move(read_done));
+      } else {
+        cluster.shared_storage().get(hau.node(), key, std::move(read_done));
+      }
+    });
+  }
+}
+
+void MsScheme::finish_recovery(
+    std::shared_ptr<RecoveryStats> stats,
+    std::shared_ptr<std::vector<PerHauRecovery>> per_hau,
+    std::shared_ptr<std::vector<std::vector<std::pair<int, core::Tuple>>>>
+        inflights,
+    std::shared_ptr<std::vector<std::uint64_t>> boundaries,
+    std::function<void(RecoveryStats)> done) {
+  auto& sim = app_->simulation();
+  // Slowest per-HAU chain defines the reported phase breakdown.
+  std::size_t slowest = 0;
+  SimTime slowest_total = SimTime::zero();
+  for (std::size_t i = 0; i < per_hau->size(); ++i) {
+    const SimTime total = (*per_hau)[i].phase2 + (*per_hau)[i].phase13;
+    if (total > slowest_total) {
+      slowest_total = total;
+      slowest = i;
+    }
+  }
+  stats->disk_io = (*per_hau)[slowest].phase2;
+  stats->other = (*per_hau)[slowest].phase13;
+
+  // Phase 4: the controller reconnects the recovered HAUs — one handshake
+  // per HAU, completing when every acknowledgment returned.
+  const SimTime phase4_start = sim.now();
+  auto remaining = std::make_shared<int>(app_->num_haus());
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    core::Hau& hau = app_->hau(i);
+    to_hau(hau, params_.reconnect_message_size,
+           [this, remaining, stats, phase4_start, inflights, boundaries,
+            done](core::Hau& h) mutable {
+             // Re-establish each outgoing stream connection before the ack.
+             const SimTime setup =
+                 params_.reconnect_per_edge *
+                 static_cast<std::int64_t>(std::max(1, h.num_out_ports()));
+             h.run_on_cpu(setup, [this, &h, remaining, stats, phase4_start,
+                                  inflights, boundaries, done]() mutable {
+             to_controller(h, 64, [this, remaining, stats, phase4_start,
+                                   inflights, boundaries, done]() mutable {
+               if (--*remaining > 0) return;
+               auto& sim = app_->simulation();
+               stats->reconnection = sim.now() - phase4_start;
+               stats->completed = sim.now();
+               recoveries_.push_back(*stats);
+               recovery_in_progress_ = false;
+               // Resume every HAU, resend captured in-flight tuples, and
+               // replay the sources' preserved logs (not part of the
+               // measured recovery time, per the paper).
+               for (int i = 0; i < app_->num_haus(); ++i) {
+                 core::Hau& hau = app_->hau(i);
+                 hau.reopen();
+                 MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
+                 ft->resend_inflight(
+                     hau, std::move((*inflights)[static_cast<std::size_t>(i)]));
+                 if (hau.is_source()) {
+                   ft->replay_from(hau,
+                                   (*boundaries)[static_cast<std::size_t>(i)]);
+                 }
+               }
+               if (done) done(*stats);
+             });
+             });
+           });
+  }
+}
+
+}  // namespace ms::ft

@@ -1,0 +1,250 @@
+// Meteor Shower — the paper's fault-tolerance scheme, in three variants:
+//
+//   MS-src       (§III-A): source preservation + trickling tokens +
+//                synchronous individual checkpoints.
+//   MS-src+ap    (§III-B): controller broadcasts a token command; HAUs emit
+//                1-hop tokens, align on token arrival, then checkpoint
+//                asynchronously behind a forked (copy-on-write) helper while
+//                normal processing continues; in-flight tuples between the
+//                incoming and outgoing tokens are captured with the state.
+//   MS-src+ap+aa (§III-C): adds application-aware checkpoint timing driven
+//                by state-size profiling and alert mode (see AaController).
+//
+// The controller runs on the storage node: it initiates checkpoints,
+// aggregates per-HAU completion reports, truncates the sources' preserved
+// logs once an application checkpoint completes, detects failures (pinging
+// source nodes; other nodes are monitored by their upstream neighbours) and
+// orchestrates whole-application recovery.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/application.h"
+#include "ft/aa_controller.h"
+#include "ft/params.h"
+#include "ft/stats.h"
+#include "statesize/turning_point.h"
+
+namespace ms::ft {
+
+enum class MsVariant { kSrc, kSrcAp, kSrcApAa };
+
+const char* ms_variant_name(MsVariant v);
+
+class MsHauFt;
+
+class MsScheme {
+ public:
+  MsScheme(core::Application* app, const FtParams& params, MsVariant variant);
+
+  /// Install per-HAU attachments. Call between deploy() and start().
+  void attach();
+
+  /// Begin controller activity: the periodic checkpoint schedule (if
+  /// params.periodic) and, for the +aa variant, the observation/profiling
+  /// pipeline. Call after Application::start().
+  void start();
+
+  MsVariant variant() const { return variant_; }
+  const FtParams& params() const { return params_; }
+  core::Application& app() { return *app_; }
+
+  /// Fire one application checkpoint now (benches, Oracle triggers, AA).
+  void trigger_checkpoint();
+
+  /// Whole-application recovery: every failed HAU restarts on the next node
+  /// from `replacements`; every HAU (failed or not) is rolled back to the
+  /// most recent completed application checkpoint; sources replay their
+  /// preserved logs. `done` receives the phase breakdown of Fig. 16.
+  void recover_application(std::vector<net::NodeId> replacements,
+                           std::function<void(RecoveryStats)> done);
+
+  /// Enable automatic failure detection + recovery using `spares` as the
+  /// replacement pool (controller pings sources; upstream HAUs monitor
+  /// their downstream neighbours).
+  void enable_failure_detection(std::vector<net::NodeId> spares);
+
+  // --- stats ---
+  const std::vector<AppCheckpointStats>& checkpoints() const {
+    return checkpoints_;
+  }
+  const std::vector<RecoveryStats>& recoveries() const { return recoveries_; }
+  /// Most recent completed application checkpoint id (0 = none).
+  std::uint64_t last_completed_checkpoint() const { return last_completed_; }
+  AaController& aa() { return aa_; }
+
+  std::string checkpoint_key(int hau_id, std::uint64_t ckpt_id) const;
+  std::string preserve_key(int hau_id) const;
+
+  // --- controller messaging (also used by MsHauFt) ---
+  /// Run `fn` at the controller after a control-message delay from `from`.
+  void to_controller(const core::Hau& from, Bytes size,
+                     std::function<void()> fn);
+  /// Run `fn(hau)` at an HAU after a control-message delay from the
+  /// controller; dropped if the HAU fails or restarts meanwhile.
+  void to_hau(core::Hau& hau, Bytes size, std::function<void(core::Hau&)> fn);
+
+ private:
+  friend class MsHauFt;
+
+  bool synchronous() const { return variant_ == MsVariant::kSrc; }
+  bool application_aware() const { return variant_ == MsVariant::kSrcApAa; }
+
+  void begin_checkpoint();
+  void on_hau_report(const HauCheckpointReport& report);
+  void schedule_periodic();
+
+  // AA plumbing.
+  void aa_start_pipeline();
+  void aa_observation_report_received();
+  void aa_execution_loop();
+  void aa_query_dynamic();
+  void aa_set_alert_reporting(bool on);
+
+  // Recovery plumbing.
+  struct PerHauRecovery {
+    bool moved = false;
+    SimTime ready_at;
+    SimTime phase2 = SimTime::zero();
+    SimTime phase13 = SimTime::zero();
+  };
+  void finish_recovery(
+      std::shared_ptr<RecoveryStats> stats,
+      std::shared_ptr<std::vector<PerHauRecovery>> per_hau,
+      std::shared_ptr<std::vector<std::vector<std::pair<int, core::Tuple>>>>
+          inflights,
+      std::shared_ptr<std::vector<std::uint64_t>> boundaries,
+      std::function<void(RecoveryStats)> done);
+
+  // Failure detection.
+  void ping_sources();
+  void monitor_downstream(int hau_id);
+  void report_node_failure(net::NodeId node);
+
+  core::Application* app_;
+  FtParams params_;
+  MsVariant variant_;
+  Rng rng_;
+  std::uint64_t instance_;  // storage-namespace discriminator
+  std::vector<MsHauFt*> fts_;  // borrowed; owned by the HAUs
+
+  std::uint64_t next_checkpoint_id_ = 1;
+  std::map<std::uint64_t, AppCheckpointStats> in_progress_;
+  std::vector<AppCheckpointStats> checkpoints_;
+  std::uint64_t last_completed_ = 0;
+  std::vector<RecoveryStats> recoveries_;
+
+  AaController aa_;
+  int aa_obs_reports_ = 0;
+
+  bool detection_enabled_ = false;
+  bool monitors_started_ = false;
+  bool recovery_in_progress_ = false;
+  std::vector<net::NodeId> spares_;
+};
+
+/// Per-HAU attachment for all Meteor Shower variants.
+class MsHauFt final : public core::HauFt {
+ public:
+  MsHauFt(MsScheme* scheme, core::Hau& hau);
+
+  void on_start(core::Hau& hau) override;
+  void on_token_at_head(core::Hau& hau, int in_port,
+                        const core::Token& token) override;
+  void emit(core::Hau& hau, int out_port, core::Tuple tuple) override;
+  void on_restart(core::Hau& hau) override;
+  void after_process(core::Hau& hau, int in_port,
+                     const core::Tuple& tuple) override;
+
+  /// Controller command. MS-src: delivered to sources only, which
+  /// checkpoint synchronously and send trickling tokens. MS-src+ap(+aa):
+  /// delivered to every HAU, which emits 1-hop tokens and waits.
+  void on_checkpoint_command(core::Hau& hau, std::uint64_t ckpt_id);
+
+  /// Controller notification: application checkpoint `ckpt_id` completed;
+  /// sources truncate their preserved log before its boundary.
+  void on_app_checkpoint_complete(core::Hau& hau, std::uint64_t ckpt_id);
+
+  // --- AA per-HAU protocol ---
+  void aa_begin_observation(core::Hau& hau);
+  void aa_end_observation(core::Hau& hau);
+  void aa_set_profiling(core::Hau& hau, bool on);
+  void aa_query_state(core::Hau& hau);
+  void aa_set_alert(core::Hau& hau, bool on);
+  void aa_mark_dynamic() { aa_dynamic_ = true; }
+
+  /// Preserved source log (tuples in dispatch order, with a start offset
+  /// from truncation).
+  struct PreserveLog {
+    struct Entry {
+      int out_port = 0;
+      core::Tuple tuple;  // edge_seq stamped at dispatch
+    };
+    std::vector<Entry> entries;
+    std::uint64_t start_index = 0;  // global index of entries.front()
+    Bytes bytes = 0;
+
+    std::uint64_t end_index() const { return start_index + entries.size(); }
+  };
+  const PreserveLog* preserve_log() const { return log_.get(); }
+
+  /// Replay preserved tuples from `boundary` (global log index) downstream.
+  void replay_from(core::Hau& hau, std::uint64_t boundary);
+
+  /// Resend in-flight tuples captured in the restored image.
+  void resend_inflight(core::Hau& hau,
+                       std::vector<std::pair<int, core::Tuple>> inflight);
+
+  bool checkpoint_in_progress() const { return active_ckpt_id_ != 0; }
+
+ private:
+  std::uint64_t source_boundary(const core::Hau& hau) const;
+  void maybe_align(core::Hau& hau);
+  void do_sync_checkpoint(core::Hau& hau);
+  void do_async_checkpoint(core::Hau& hau);
+  void write_checkpoint(core::Hau& hau,
+                        std::shared_ptr<core::CheckpointImage> image,
+                        HauCheckpointReport report, bool forward_tokens);
+  void flush_batch(core::Hau& hau);
+  void aa_sample(core::Hau& hau);
+
+  MsScheme* scheme_;
+
+  // --- source preservation ---
+  std::shared_ptr<PreserveLog> log_;  // sources only
+  std::vector<PreserveLog::Entry> pending_batch_;
+  Bytes pending_bytes_ = 0;
+  bool flush_in_flight_ = false;
+  bool flush_timer_armed_ = false;
+  std::map<std::uint64_t, std::uint64_t> boundaries_;  // ckpt id -> log index
+  std::uint64_t boundary_at_command_ = 0;
+
+  // --- token alignment ---
+  std::uint64_t active_ckpt_id_ = 0;
+  std::uint64_t next_seen_epoch_ = 0;  // epochs at or above this are fresh
+  SimTime initiated_at_;
+  std::vector<bool> port_token_;
+  int tokens_seen_ = 0;
+  bool capturing_ = false;
+  std::vector<std::pair<int, core::Tuple>> capture_;
+
+  // --- AA sampling ---
+  bool aa_sampling_ = false;
+  bool aa_dynamic_ = false;
+  bool aa_profiling_ = false;
+  bool aa_alert_ = false;
+  bool aa_observing_ = false;
+  double aa_obs_min_ = 0.0;
+  double aa_obs_sum_ = 0.0;
+  std::int64_t aa_obs_n_ = 0;
+  double aa_last_reported_tp_size_ = -1.0;
+  statesize::TurningPointDetector detector_;
+};
+
+}  // namespace ms::ft

@@ -1,0 +1,92 @@
+// Tunables shared by all fault-tolerance schemes. Defaults follow the paper
+// where it gives numbers (200 s checkpoint period, 50 MB preservation buffer,
+// 20 % relaxation factor) and plausible 2012 commodity-hardware rates
+// elsewhere; every knob is sweepable by the ablation benches.
+#pragma once
+
+#include "common/units.h"
+
+namespace ms::ft {
+
+struct FtParams {
+  // --- checkpointing ---
+  /// Period between application (or, for the baseline, per-HAU) checkpoints.
+  SimTime checkpoint_period = SimTime::seconds(200);
+  /// If false, no periodic schedule runs; benches trigger explicitly.
+  bool periodic = true;
+  /// CPU serialization throughput when snapshotting operator state.
+  double serialize_bandwidth = 400e6;
+  /// CPU deserialization + data-structure rebuild throughput (recovery
+  /// phase 3).
+  double deserialize_bandwidth = 500e6;
+  /// Cost of forking the checkpoint helper process (MS-src+ap): the parent
+  /// is blocked only for this long.
+  SimTime fork_cost = SimTime::millis(15);
+  /// Copy-on-write tax: processing cost multiplier is (1 + cow_tax) while an
+  /// asynchronous checkpoint drains.
+  double cow_tax = 0.06;
+  /// Delta checkpointing (paper Sec. V: "delta-checkpointing complement[s]
+  /// Meteor Shower's application-aware checkpointing and could be applied
+  /// jointly"): write only the state changed since the previous checkpoint;
+  /// recovery still reads the full reconstructed state.
+  bool delta_checkpoints = false;
+  /// Also mirror the checkpoint to the node's local disk (the paper's
+  /// "optionally saved again in the local disks"). Not on the completion
+  /// critical path.
+  bool save_local_copy = true;
+
+  // --- input preservation (baseline) ---
+  Bytes preservation_buffer = 50_MB;
+  /// Per-saved-tuple CPU: a fixed part plus a fraction of the emitting
+  /// operator's own per-tuple cost. The fractional form reflects that
+  /// copy/serialize cost scales with the tuple complexity the operator
+  /// already pays for, and is the calibrated per-application knob behind
+  /// the paper's 24–51 % source-preservation gains (see DESIGN.md).
+  SimTime preserve_base_cost = SimTime::micros(10);
+  double preserve_cost_fraction = 0.35;
+  /// The HAU stalls when its spill disk backlog exceeds this.
+  SimTime spill_backlog_limit = SimTime::seconds(2);
+
+  // --- source preservation (Meteor Shower) ---
+  /// Sources batch preserved tuples before the stable-storage append; a
+  /// batch is flushed when it reaches this size or age.
+  Bytes source_batch_bytes = 256_KB;
+  SimTime source_batch_interval = SimTime::millis(20);
+
+  // --- failure detection ---
+  SimTime ping_period = SimTime::seconds(1);
+  /// Missed-response window after which a node is deemed failed.
+  SimTime ping_timeout = SimTime::seconds(3);
+
+  // --- recovery ---
+  /// Phase 1: reload operator binaries/libraries on the recovery node.
+  SimTime operator_reload_cost = SimTime::millis(120);
+  /// Phase 4: per-HAU reconnection handshake payload.
+  Bytes reconnect_message_size = 512;
+  /// Phase 4: per-connection (out-edge) re-establishment cost — socket
+  /// setup, buffer allocation, subscription handshake.
+  SimTime reconnect_per_edge = SimTime::millis(25);
+  /// Replayed tuples are processed faster than usual to catch up (paper
+  /// assumption); sources emit replay at this multiple of live rate.
+  double replay_speedup = 4.0;
+
+  // --- application-aware checkpointing (MS-src+ap+aa) ---
+  /// Local state-size sampling period at each HAU.
+  SimTime state_sample_period = SimTime::seconds(2);
+  /// An HAU is dynamic if min(state) < dynamic_threshold * avg(state) over
+  /// the profiling window.
+  double dynamic_threshold = 0.5;
+  /// Number of profiling periods observed (observation takes one more).
+  int profile_periods = 2;
+  /// Cadence of the observation/profiling phases. Zero = use
+  /// checkpoint_period. Profiling does not need to pace itself by the
+  /// checkpoint period — it only has to see a few state cycles.
+  SimTime profile_period = SimTime::zero();
+  /// Minimum relaxation factor alpha = (smax - smin) / smin.
+  double relaxation_min = 0.2;
+  /// Fire plain periodic checkpoints while observing/profiling (off for
+  /// benchmark runs that must keep the warmup checkpoint-free).
+  bool checkpoint_during_profiling = true;
+};
+
+}  // namespace ms::ft

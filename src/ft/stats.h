@@ -1,0 +1,66 @@
+// Instrumentation records for checkpoints and recovery, matching the
+// breakdowns of the paper's Fig. 14 (token collection / disk I/O / other)
+// and Fig. 16 (reconnection / disk I/O / other).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ms::ft {
+
+/// One HAU's individual checkpoint, with phase boundaries.
+struct HauCheckpointReport {
+  int hau_id = -1;
+  std::uint64_t checkpoint_id = 0;
+  /// When the HAU learned about the checkpoint (token command arrival for
+  /// MS-src+ap, first token / controller command for MS-src).
+  SimTime initiated;
+  /// When tokens from all upstream neighbours had been collected.
+  SimTime tokens_collected;
+  /// When serialization (and, for async, fork) finished.
+  SimTime serialized;
+  /// When the stable-storage write was acknowledged.
+  SimTime written;
+  Bytes declared_bytes = 0;
+
+  SimTime token_collection() const { return tokens_collected - initiated; }
+  SimTime other() const { return serialized - tokens_collected; }
+  SimTime disk_io() const { return written - serialized; }
+  SimTime total() const { return written - initiated; }
+};
+
+/// One application-wide checkpoint (MS schemes).
+struct AppCheckpointStats {
+  std::uint64_t checkpoint_id = 0;
+  SimTime initiated;
+  SimTime completed;
+  Bytes total_declared = 0;
+  int haus_reported = 0;
+
+  /// Individual report of the slowest HAU (the paper measures the slowest
+  /// individual checkpoint for the parallel schemes).
+  HauCheckpointReport slowest;
+
+  SimTime total() const { return completed - initiated; }
+};
+
+/// Worst-case recovery measurement (paper §IV-C): per-HAU phases plus the
+/// controller-driven reconnection phase.
+struct RecoveryStats {
+  SimTime started;
+  SimTime completed;
+  /// Phase 2 of the slowest HAU chain (checkpoint read).
+  SimTime disk_io;
+  /// Phase 4 (controller reconnects recovered HAUs).
+  SimTime reconnection;
+  /// Phases 1 + 3 (operator reload, deserialize + rebuild).
+  SimTime other;
+  int haus_recovered = 0;
+  Bytes bytes_read = 0;
+
+  SimTime total() const { return completed - started; }
+};
+
+}  // namespace ms::ft

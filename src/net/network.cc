@@ -1,0 +1,98 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ms::net {
+
+const char* msg_category_name(MsgCategory c) {
+  switch (c) {
+    case MsgCategory::kData: return "data";
+    case MsgCategory::kToken: return "token";
+    case MsgCategory::kControl: return "control";
+    case MsgCategory::kAck: return "ack";
+    case MsgCategory::kCheckpoint: return "checkpoint";
+    case MsgCategory::kPreserve: return "preserve";
+    case MsgCategory::kReplay: return "replay";
+    case MsgCategory::kCount: break;
+  }
+  return "?";
+}
+
+std::int64_t NetworkStats::total_bytes() const {
+  return std::accumulate(bytes.begin(), bytes.end(), std::int64_t{0});
+}
+
+Network::Network(sim::Simulation* sim, const Topology* topo)
+    : sim_(sim), topo_(topo) {
+  MS_CHECK(sim != nullptr && topo != nullptr);
+  const auto n = static_cast<std::size_t>(topo_->num_nodes());
+  alive_.assign(n, true);
+  tx_busy_until_.assign(n, SimTime::zero());
+  rx_busy_until_.assign(n, SimTime::zero());
+}
+
+void Network::send(NodeId from, NodeId to, Bytes size, MsgCategory category,
+                   std::function<void()> deliver,
+                   std::function<void()> on_dropped) {
+  MS_CHECK(from >= 0 && from < topo_->num_nodes());
+  MS_CHECK(to >= 0 && to < topo_->num_nodes());
+  MS_CHECK(size >= 0);
+
+  auto& st = stats_;
+  ++st.messages[static_cast<std::size_t>(category)];
+  st.bytes[static_cast<std::size_t>(category)] += size;
+
+  if (!alive_[static_cast<std::size_t>(from)]) {
+    ++st.dropped;
+    if (on_dropped) sim_->schedule_after(SimTime::zero(), std::move(on_dropped));
+    return;
+  }
+
+  const auto& cfg = topo_->config();
+  const SimTime ser = transfer_time(size, cfg.nic_bandwidth);
+  const SimTime now = sim_->now();
+
+  // Transmit NIC: FIFO serialization.
+  SimTime& tx = tx_busy_until_[static_cast<std::size_t>(from)];
+  const SimTime tx_start = std::max(now + cfg.per_message_overhead, tx);
+  tx = tx_start + ser;
+
+  // Receive NIC: bits arrive after propagation latency, then are clocked in
+  // at NIC bandwidth behind earlier arrivals.
+  const SimTime first_bit = tx_start + topo_->latency(from, to);
+  SimTime& rx = rx_busy_until_[static_cast<std::size_t>(to)];
+  const SimTime delivered_at = std::max(first_bit, rx) + ser;
+  rx = delivered_at;
+
+  sim_->schedule_at(
+      delivered_at,
+      [this, from, to, deliver = std::move(deliver),
+       on_dropped = std::move(on_dropped)]() mutable {
+        if (!alive_[static_cast<std::size_t>(from)] ||
+            !alive_[static_cast<std::size_t>(to)]) {
+          ++stats_.dropped;
+          if (on_dropped) on_dropped();
+          return;
+        }
+        deliver();
+      });
+}
+
+void Network::set_alive(NodeId n, bool alive) {
+  MS_CHECK(n >= 0 && n < topo_->num_nodes());
+  alive_[static_cast<std::size_t>(n)] = alive;
+}
+
+bool Network::alive(NodeId n) const {
+  MS_CHECK(n >= 0 && n < topo_->num_nodes());
+  return alive_[static_cast<std::size_t>(n)];
+}
+
+void Network::reset_node(NodeId n) {
+  MS_CHECK(n >= 0 && n < topo_->num_nodes());
+  tx_busy_until_[static_cast<std::size_t>(n)] = sim_->now();
+  rx_busy_until_[static_cast<std::size_t>(n)] = sim_->now();
+}
+
+}  // namespace ms::net

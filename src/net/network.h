@@ -1,0 +1,78 @@
+// Flow-level network model with per-NIC contention.
+//
+// A message from A to B is serialized on A's transmit NIC (FIFO), crosses the
+// fabric with rack-dependent latency, and is clocked into B's receive NIC
+// (FIFO at NIC bandwidth). This captures the two contention points that
+// matter for the paper's experiments: fan-in at busy downstream HAUs and the
+// storage node's NIC during checkpoints. Delivery is per-sender in-order
+// (TCP-like); messages to or from a dead node are dropped at delivery time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+
+namespace ms::net {
+
+enum class MsgCategory : int {
+  kData = 0,        // stream tuples
+  kToken,           // checkpoint tokens (embedded markers / 1-hop tokens)
+  kControl,         // controller commands, state-size reports, pings
+  kAck,             // input-preservation acknowledgments
+  kCheckpoint,      // checkpointed state to/from storage
+  kPreserve,        // preserved tuples to storage (source preservation)
+  kReplay,          // replayed tuples during recovery
+  kCount,
+};
+
+const char* msg_category_name(MsgCategory c);
+
+struct NetworkStats {
+  std::array<std::int64_t, static_cast<std::size_t>(MsgCategory::kCount)> messages{};
+  std::array<std::int64_t, static_cast<std::size_t>(MsgCategory::kCount)> bytes{};
+  std::int64_t dropped = 0;
+
+  std::int64_t total_bytes() const;
+  std::int64_t bytes_of(MsgCategory c) const {
+    return bytes[static_cast<std::size_t>(c)];
+  }
+};
+
+class Network {
+ public:
+  Network(sim::Simulation* sim, const Topology* topo);
+
+  /// Deliver `deliver` on the destination after transfer of `size` bytes.
+  /// If either endpoint is dead at send or delivery time, the message is
+  /// dropped (and `on_dropped`, if given, runs instead at the same instant).
+  void send(NodeId from, NodeId to, Bytes size, MsgCategory category,
+            std::function<void()> deliver,
+            std::function<void()> on_dropped = nullptr);
+
+  void set_alive(NodeId n, bool alive);
+  bool alive(NodeId n) const;
+
+  /// Revive bookkeeping: clears NIC backlogs of a node (used on restart).
+  void reset_node(NodeId n);
+
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+  const Topology& topology() const { return *topo_; }
+  sim::Simulation& simulation() { return *sim_; }
+
+ private:
+  sim::Simulation* sim_;
+  const Topology* topo_;
+  std::vector<bool> alive_;
+  std::vector<SimTime> tx_busy_until_;
+  std::vector<SimTime> rx_busy_until_;
+  NetworkStats stats_;
+};
+
+}  // namespace ms::net

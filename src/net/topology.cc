@@ -1,0 +1,28 @@
+#include "net/topology.h"
+
+namespace ms::net {
+
+Topology::Topology(const ClusterConfig& config) : config_(config) {
+  MS_CHECK(config_.num_nodes > 0);
+  MS_CHECK(config_.nodes_per_rack > 0);
+  MS_CHECK(config_.nic_bandwidth > 0);
+  num_racks_ =
+      (config_.num_nodes + config_.nodes_per_rack - 1) / config_.nodes_per_rack;
+}
+
+int Topology::rack_of(NodeId n) const {
+  MS_CHECK(n >= 0 && n < config_.num_nodes);
+  return n / config_.nodes_per_rack;
+}
+
+std::vector<NodeId> Topology::nodes_in_rack(int rack) const {
+  MS_CHECK(rack >= 0 && rack < num_racks_);
+  std::vector<NodeId> out;
+  for (NodeId n = rack * config_.nodes_per_rack;
+       n < (rack + 1) * config_.nodes_per_rack && n < config_.num_nodes; ++n) {
+    out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace ms::net

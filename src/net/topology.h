@@ -1,0 +1,54 @@
+// Cluster topology description: nodes grouped into racks, NIC and latency
+// parameters. Defaults approximate the paper's testbed — nodes with two
+// 2.3 GHz cores and 1 Gbps Ethernet — at data-center rack sizes (80
+// blade servers per rack, per the paper's description of Google's DC).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace ms::net {
+
+using NodeId = std::int32_t;
+constexpr NodeId kInvalidNode = -1;
+
+struct ClusterConfig {
+  int num_nodes = 56;
+  int nodes_per_rack = 80;
+
+  /// NIC bandwidth, bytes/second, full duplex (1 Gbps default).
+  double nic_bandwidth = 125e6;
+
+  SimTime intra_rack_latency = SimTime::micros(100);
+  SimTime inter_rack_latency = SimTime::micros(300);
+
+  /// Fixed per-message software overhead (syscall, TCP stack).
+  SimTime per_message_overhead = SimTime::micros(20);
+};
+
+class Topology {
+ public:
+  explicit Topology(const ClusterConfig& config);
+
+  int num_nodes() const { return config_.num_nodes; }
+  int rack_of(NodeId n) const;
+  bool same_rack(NodeId a, NodeId b) const { return rack_of(a) == rack_of(b); }
+  int num_racks() const { return num_racks_; }
+  std::vector<NodeId> nodes_in_rack(int rack) const;
+
+  SimTime latency(NodeId from, NodeId to) const {
+    return same_rack(from, to) ? config_.intra_rack_latency
+                               : config_.inter_rack_latency;
+  }
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  ClusterConfig config_;
+  int num_racks_;
+};
+
+}  // namespace ms::net

@@ -1,0 +1,293 @@
+#include "rt/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+#include "common/log.h"
+
+namespace ms::rt {
+
+namespace fs = std::filesystem;
+
+/// OperatorContext bound to a worker thread.
+class RtEngine::RtContext final : public core::OperatorContext {
+ public:
+  RtContext(RtEngine* engine, Worker* worker) : engine_(engine), worker_(worker) {}
+
+  SimTime now() const override { return engine_->now(); }
+  Rng& rng() override { return *worker_->rng; }
+
+  void emit(int out_port, core::Tuple tuple) override {
+    MS_CHECK(out_port >= 0 &&
+             out_port < static_cast<int>(worker_->out_edges.size()));
+    // Stamp lineage the way the simulated HAU does.
+    if (tuple.event_time == SimTime::zero()) tuple.event_time = now();
+    if (tuple.id == 0) {
+      tuple.source_hau = static_cast<std::uint32_t>(worker_->id);
+      tuple.source_seq = ++worker_->next_seq;
+      tuple.id = core::Tuple::make_id(tuple.source_hau, tuple.source_seq);
+    }
+    const auto [target, port] =
+        worker_->out_edges[static_cast<std::size_t>(out_port)];
+    engine_->deliver(target, port, core::StreamItem(std::move(tuple)));
+  }
+
+  int num_out_ports() const override {
+    return static_cast<int>(worker_->out_edges.size());
+  }
+  int num_in_ports() const override { return worker_->num_in_ports; }
+
+  void schedule(SimTime delay,
+                std::function<void(core::OperatorContext&)> fn) override {
+    RtEngine* engine = engine_;
+    Worker* worker = worker_;
+    engine->schedule_timer(delay, [engine, worker, fn = std::move(fn)] {
+      RtContext ctx(engine, worker);
+      fn(ctx);
+    });
+  }
+
+  void charge(SimTime cost) override { (void)cost; }  // kernels really run
+
+  int hau_id() const override { return worker_->id; }
+
+ private:
+  RtEngine* engine_;
+  Worker* worker_;
+};
+
+RtEngine::RtEngine(const core::QueryGraph& graph, RtConfig config)
+    : graph_(graph), config_(std::move(config)) {
+  const Status st = graph_.validate();
+  MS_CHECK_MSG(st.is_ok(), "invalid query network: " + st.to_string());
+  Rng seeder(config_.seed);
+  workers_.reserve(static_cast<std::size_t>(graph_.num_operators()));
+  for (int i = 0; i < graph_.num_operators(); ++i) {
+    auto w = std::make_unique<Worker>();
+    w->id = i;
+    w->op = graph_.op(i).factory();
+    w->is_source = graph_.op(i).is_source;
+    w->is_sink = graph_.op(i).is_sink;
+    w->rng = std::make_unique<Rng>(seeder.fork(static_cast<std::uint64_t>(i)));
+    workers_.push_back(std::move(w));
+  }
+  for (const auto& e : graph_.edges()) {
+    workers_[static_cast<std::size_t>(e.from)]->out_edges.emplace_back(e.to,
+                                                                       e.in_port);
+    workers_[static_cast<std::size_t>(e.to)]->num_in_ports++;
+  }
+  for (auto& w : workers_) {
+    w->token_seen.assign(static_cast<std::size_t>(w->num_in_ports), false);
+  }
+  helpers_ = std::make_unique<ThreadPool>(std::max<std::size_t>(
+      1, config_.helper_threads));
+  if (!config_.checkpoint_dir.empty()) {
+    fs::create_directories(config_.checkpoint_dir);
+  }
+}
+
+RtEngine::~RtEngine() {
+  if (running_.load()) stop();
+}
+
+SimTime RtEngine::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - started_at_;
+  return SimTime::nanos(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+SimTime RtEngine::uptime() const { return now(); }
+
+void RtEngine::start() {
+  MS_CHECK(!running_.load());
+  started_at_ = std::chrono::steady_clock::now();
+  running_.store(true);
+  stopping_.store(false);
+  timer_thread_ = std::thread([this] { timer_loop(); });
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { worker_loop(*worker); });
+  }
+  // Open operators (sources arm their timers) after workers exist so early
+  // emissions have somewhere to go.
+  for (auto& w : workers_) {
+    RtContext ctx(this, w.get());
+    w->op->on_open(ctx);
+  }
+}
+
+void RtEngine::stop() {
+  if (!running_.load()) return;
+  // Phase 1: stop timers so sources quiesce.
+  {
+    std::scoped_lock lock(timer_mu_);
+    stopping_.store(true);
+    timers_.clear();
+  }
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  // Phase 2: drain queues in topological order so upstream emissions land
+  // before a downstream worker shuts down.
+  for (const int v : graph_.topological_order()) {
+    Worker& w = *workers_[static_cast<std::size_t>(v)];
+    std::unique_lock lock(w.mu);
+    w.cv_push.wait(lock, [&w] { return w.queue.empty(); });
+  }
+  // Phase 3: shut workers down.
+  running_.store(false);
+  for (auto& w : workers_) w->cv_pop.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  helpers_->wait_idle();
+}
+
+void RtEngine::deliver(int op, int in_port, core::StreamItem item) {
+  Worker& w = *workers_[static_cast<std::size_t>(op)];
+  std::unique_lock lock(w.mu);
+  w.cv_push.wait(lock, [this, &w] {
+    return w.queue.size() < config_.queue_capacity || !running_.load();
+  });
+  w.queue.push_back(QueueItem{in_port, std::move(item)});
+  w.cv_pop.notify_one();
+}
+
+void RtEngine::worker_loop(Worker& w) {
+  RtContext ctx(this, &w);
+  for (;;) {
+    QueueItem qi;
+    {
+      std::unique_lock lock(w.mu);
+      w.cv_pop.wait(lock, [this, &w] {
+        return !w.queue.empty() || !running_.load();
+      });
+      if (w.queue.empty()) return;  // stopped and drained
+      qi = std::move(w.queue.front());
+      w.queue.pop_front();
+      w.cv_push.notify_all();
+    }
+    if (const auto* token = std::get_if<core::Token>(&qi.item)) {
+      // Token alignment. The bounded queues are FIFO per edge, so marking
+      // per-port arrival gives the same boundary as head-blocking: every
+      // pre-token tuple on that edge has already been dequeued.
+      if (w.num_in_ports > 0) {
+        MS_CHECK_MSG(!w.token_seen[static_cast<std::size_t>(qi.in_port)],
+                     "duplicate token on one edge within an epoch");
+        w.token_seen[static_cast<std::size_t>(qi.in_port)] = true;
+      }
+      if (++w.tokens == std::max(1, w.num_in_ports)) {
+        std::fill(w.token_seen.begin(), w.token_seen.end(), false);
+        w.tokens = 0;
+        // Snapshot state on the worker thread (fast, in-memory), write on a
+        // helper (the fork/copy-on-write analogue).
+        BinaryWriter writer;
+        w.op->serialize_state(writer);
+        auto blob = std::make_shared<std::vector<std::uint8_t>>(writer.take());
+        // Forward the token before resuming normal work.
+        for (const auto& [target, port] : w.out_edges) {
+          deliver(target, port, core::StreamItem(*token));
+        }
+        const int id = w.id;
+        helpers_->submit([this, id, blob] {
+          const fs::path path =
+              fs::path(config_.checkpoint_dir) /
+              ("op_" + std::to_string(id) + ".ckpt");
+          std::ofstream out(path, std::ios::binary | std::ios::trunc);
+          out.write(reinterpret_cast<const char*>(blob->data()),
+                    static_cast<std::streamsize>(blob->size()));
+          out.close();
+          std::scoped_lock lock(ckpt_mu_);
+          ckpt_sizes_[id] = blob->size();
+          if (--ckpt_remaining_ == 0) ckpt_cv_.notify_all();
+        });
+      }
+      continue;
+    }
+    auto& tuple = std::get<core::Tuple>(qi.item);
+    w.op->process(qi.in_port, tuple, ctx);
+    w.processed.fetch_add(1, std::memory_order_relaxed);
+    if (w.is_sink) sink_tuples_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::map<int, std::uint64_t> RtEngine::checkpoint() {
+  MS_CHECK(running_.load());
+  MS_CHECK_MSG(!config_.checkpoint_dir.empty(),
+               "RtEngine built without a checkpoint directory");
+  {
+    std::scoped_lock lock(ckpt_mu_);
+    MS_CHECK_MSG(ckpt_remaining_ == 0, "checkpoint already in progress");
+    ckpt_remaining_ = graph_.num_operators();
+    ckpt_sizes_.clear();
+  }
+  const core::Token token{++ckpt_epoch_, /*one_hop=*/false};
+  // Sources have no in-edges: inject the token directly into their queues;
+  // it trickles down the graph from there.
+  for (auto& w : workers_) {
+    if (w->num_in_ports == 0) deliver(w->id, 0, core::StreamItem(token));
+  }
+  std::unique_lock lock(ckpt_mu_);
+  ckpt_cv_.wait(lock, [this] { return ckpt_remaining_ == 0; });
+  return ckpt_sizes_;
+}
+
+void RtEngine::restore() {
+  MS_CHECK(!running_.load());
+  for (auto& w : workers_) {
+    const fs::path path = fs::path(config_.checkpoint_dir) /
+                          ("op_" + std::to_string(w->id) + ".ckpt");
+    std::ifstream in(path, std::ios::binary);
+    MS_CHECK_MSG(in.good(), "missing checkpoint file: " + path.string());
+    std::vector<std::uint8_t> blob((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+    w->op->clear_state();
+    if (!blob.empty()) {
+      BinaryReader reader(blob);
+      w->op->deserialize_state(reader);
+    }
+  }
+}
+
+std::int64_t RtEngine::tuples_processed(int op) const {
+  return workers_[static_cast<std::size_t>(op)]->processed.load();
+}
+
+void RtEngine::timer_loop() {
+  std::unique_lock lock(timer_mu_);
+  while (!stopping_.load()) {
+    if (timers_.empty()) {
+      timer_cv_.wait(lock,
+                     [this] { return stopping_.load() || !timers_.empty(); });
+      continue;
+    }
+    const auto due = timers_.front().at;  // heap top is the earliest timer
+    if (std::chrono::steady_clock::now() < due) {
+      // Wakes early if a new (possibly earlier) timer arrives or we stop;
+      // the loop re-examines the heap top either way.
+      timer_cv_.wait_until(lock, due);
+      continue;
+    }
+    std::pop_heap(timers_.begin(), timers_.end(), std::greater<>());
+    Timer next = std::move(timers_.back());
+    timers_.pop_back();
+    // Run outside the lock; the callback may schedule more timers.
+    lock.unlock();
+    next.fn();
+    lock.lock();
+  }
+}
+
+void RtEngine::schedule_timer(SimTime delay, std::function<void()> fn) {
+  {
+    std::scoped_lock lock(timer_mu_);
+    if (stopping_.load()) return;
+    timers_.push_back(Timer{
+        std::chrono::steady_clock::now() +
+            std::chrono::nanoseconds(std::max<std::int64_t>(0, delay.ns())),
+        timer_seq_++, std::move(fn)});
+    std::push_heap(timers_.begin(), timers_.end(), std::greater<>());
+  }
+  timer_cv_.notify_all();
+}
+
+}  // namespace ms::rt

@@ -1,0 +1,49 @@
+#include "sim/cpu.h"
+
+#include <utility>
+
+#include "common/status.h"
+
+namespace ms::sim {
+
+CpuServer::CpuServer(Simulation* sim, int cores) : sim_(sim), cores_(cores) {
+  MS_CHECK(sim != nullptr);
+  MS_CHECK(cores > 0);
+}
+
+void CpuServer::submit(SimTime cpu_time, std::function<void()> done) {
+  MS_CHECK(cpu_time >= SimTime::zero());
+  queue_.push_back(Job{cpu_time, std::move(done)});
+  try_start();
+}
+
+void CpuServer::reset() {
+  ++generation_;
+  queue_.clear();
+  busy_ = 0;
+}
+
+void CpuServer::try_start() {
+  while (busy_ < cores_ && !queue_.empty()) {
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    ++busy_;
+    const std::uint64_t gen = generation_;
+    sim_->schedule_after(job.cpu_time,
+                         [this, gen, t = job.cpu_time,
+                          done = std::move(job.done)]() mutable {
+                           finish(gen, t, std::move(done));
+                         });
+  }
+}
+
+void CpuServer::finish(std::uint64_t generation, SimTime cpu_time,
+                       std::function<void()> done) {
+  if (generation != generation_) return;  // node was reset mid-job
+  --busy_;
+  busy_time_ += cpu_time;
+  if (done) done();
+  try_start();
+}
+
+}  // namespace ms::sim

@@ -1,0 +1,57 @@
+// Multi-core CPU model for a simulated node.
+//
+// Jobs are pure CPU occupancy: submitted with a duration, started FIFO as
+// cores free up, completion delivered as a simulation event. An HAU keeps at
+// most one processing job in flight (it is single-threaded, like an SPE
+// thread); an asynchronous checkpoint helper submits its serialization work
+// as an independent job, which is how it ends up on the second core — the
+// mechanism behind the paper's parallel, asynchronous checkpointing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace ms::sim {
+
+class CpuServer {
+ public:
+  CpuServer(Simulation* sim, int cores);
+
+  /// Submit a CPU job. `done` runs (as a sim event) when the job finishes.
+  /// Jobs start FIFO; a job occupies exactly one core for `cpu_time`.
+  void submit(SimTime cpu_time, std::function<void()> done);
+
+  /// Abandon everything (node failure): queued jobs are dropped and running
+  /// jobs' completions are suppressed.
+  void reset();
+
+  int cores() const { return cores_; }
+  int busy_cores() const { return busy_; }
+  std::size_t queued_jobs() const { return queue_.size(); }
+
+  /// Total CPU time executed to completion (diagnostics / utilization).
+  SimTime busy_time() const { return busy_time_; }
+
+ private:
+  struct Job {
+    SimTime cpu_time;
+    std::function<void()> done;
+  };
+
+  void try_start();
+  void finish(std::uint64_t generation, SimTime cpu_time,
+              std::function<void()> done);
+
+  Simulation* sim_;
+  int cores_;
+  int busy_ = 0;
+  std::uint64_t generation_ = 0;  // bumped on reset() to orphan completions
+  SimTime busy_time_ = SimTime::zero();
+  std::deque<Job> queue_;
+};
+
+}  // namespace ms::sim

@@ -1,0 +1,72 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+namespace ms::sim {
+
+EventId Simulation::schedule_at(SimTime at, std::function<void()> fn) {
+  MS_CHECK_MSG(at >= now_, "cannot schedule event in the past");
+  MS_CHECK(fn != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{at, seq, std::move(fn)});
+  ++live_pending_;
+  return EventId{seq};
+}
+
+bool Simulation::cancel(EventId id) {
+  if (!id.valid() || id.seq >= next_seq_) return false;
+  const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id.seq);
+  if (it != cancelled_.end() && *it == id.seq) return false;  // already cancelled
+  cancelled_.insert(it, id.seq);
+  if (live_pending_ > 0) --live_pending_;
+  return true;
+}
+
+bool Simulation::is_cancelled(std::uint64_t seq) const {
+  return std::binary_search(cancelled_.begin(), cancelled_.end(), seq);
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the event is copied out cheaply since
+    // std::function move happens via const_cast-free re-push avoidance below.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (is_cancelled(ev.seq)) {
+      const auto it =
+          std::lower_bound(cancelled_.begin(), cancelled_.end(), ev.seq);
+      cancelled_.erase(it);
+      continue;
+    }
+    MS_CHECK(ev.at >= now_);
+    now_ = ev.at;
+    --live_pending_;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run_until(SimTime t) {
+  while (!queue_.empty()) {
+    const SimTime next_at = queue_.top().at;
+    if (is_cancelled(queue_.top().seq)) {
+      const auto seq = queue_.top().seq;
+      queue_.pop();
+      const auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), seq);
+      cancelled_.erase(it);
+      continue;
+    }
+    if (next_at > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace ms::sim

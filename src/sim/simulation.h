@@ -1,0 +1,83 @@
+// Deterministic discrete-event simulation core.
+//
+// All cluster activity (tuple processing, network transfer completions, disk
+// writes, failure injection, controller timers) is expressed as events on a
+// single priority queue ordered by (time, insertion sequence). Ties broken by
+// insertion order make every run bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace ms::sim {
+
+/// Handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (must be >= now()).
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` after now().
+  EventId schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or already-cancelled
+  /// event is a no-op (returns false).
+  bool cancel(EventId id);
+
+  /// Run a single event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue drains or simulated time would exceed `t`.
+  /// Events at exactly `t` are executed. now() is advanced to `t` at return
+  /// if the queue drained earlier.
+  void run_until(SimTime t);
+
+  /// Run until the queue drains completely.
+  void run();
+
+  /// Number of events executed so far (for tests and diagnostics).
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending_events() const { return live_pending_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;  // empty == cancelled tombstone
+    bool operator>(const Event& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  // Cancellation marks the sequence number; tombstones are skipped on pop.
+  // A sorted vector of cancelled seqs stays tiny in practice.
+  bool is_cancelled(std::uint64_t seq) const;
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_pending_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::uint64_t> cancelled_;  // kept sorted
+};
+
+}  // namespace ms::sim

@@ -1,0 +1,107 @@
+// state_size() machinery — the library equivalent of the paper's precompiler.
+//
+// The paper (§III-C1) describes a precompiler that scans operator classes and
+// generates a `state_size()` member: per data structure it samples a few
+// elements (first / middle / last by default), multiplies by the element
+// count, and honours developer hints ("state sample=N",
+// "state element_size=1024", "length=..." / "element_size=..." for
+// user-defined containers). We reproduce the *generated* code directly: an
+// operator registers each state field once with the matching estimator; the
+// registry's total() is exactly what the generated function would return.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace ms::statesize {
+
+/// Estimate a container's total byte size from `samples` probed elements,
+/// mirroring the generated code: probes are spread evenly (first, last,
+/// middle for the default 3), deterministic for reproducibility.
+template <typename Container, typename ElemSizeFn>
+Bytes sample_container(const Container& c, ElemSizeFn elem_size, int samples = 3) {
+  MS_CHECK(samples > 0);
+  const auto len = static_cast<std::int64_t>(c.size());
+  if (len == 0) return 0;
+  const int probes = static_cast<int>(std::min<std::int64_t>(samples, len));
+  Bytes probed = 0;
+  for (int i = 0; i < probes; ++i) {
+    // Even spread: i * (len-1) / (probes-1); single probe takes the front.
+    const auto idx = probes == 1 ? 0
+                                 : static_cast<std::int64_t>(i) * (len - 1) /
+                                       (probes - 1);
+    auto it = c.begin();
+    std::advance(it, idx);
+    probed += elem_size(*it);
+  }
+  return probed / probes * len;
+}
+
+/// Registry of an operator's state fields with their size estimators.
+class StateSizeRegistry {
+ public:
+  /// Fully custom field (the "length=…, element_size=…" hint form).
+  void add_custom(std::string name, std::function<Bytes()> estimator) {
+    fields_.push_back({std::move(name), std::move(estimator)});
+  }
+
+  /// Container sampled with the default or hinted sample count
+  /// ("state sample=N"). The container must outlive the registry.
+  template <typename Container, typename ElemSizeFn>
+  void add_sampled(std::string name, const Container* c, ElemSizeFn elem_size,
+                   int samples = 3) {
+    MS_CHECK(c != nullptr);
+    add_custom(std::move(name), [c, elem_size, samples] {
+      return sample_container(*c, elem_size, samples);
+    });
+  }
+
+  /// Container of fixed-size elements ("state element_size=N").
+  template <typename Container>
+  void add_fixed_element(std::string name, const Container* c,
+                         Bytes element_size) {
+    MS_CHECK(c != nullptr);
+    add_custom(std::move(name), [c, element_size] {
+      return static_cast<Bytes>(c->size()) * element_size;
+    });
+  }
+
+  /// Scalar field of trivially known size.
+  template <typename T>
+  void add_scalar(std::string name, const T* v) {
+    MS_CHECK(v != nullptr);
+    add_custom(std::move(name), [] { return static_cast<Bytes>(sizeof(T)); });
+  }
+
+  /// Sum of all field estimates — what the generated state_size() returns.
+  Bytes total() const {
+    Bytes sum = 0;
+    for (const auto& f : fields_) sum += f.estimator();
+    return sum;
+  }
+
+  /// Per-field sizes for diagnostics.
+  std::vector<std::pair<std::string, Bytes>> breakdown() const {
+    std::vector<std::pair<std::string, Bytes>> out;
+    out.reserve(fields_.size());
+    for (const auto& f : fields_) out.emplace_back(f.name, f.estimator());
+    return out;
+  }
+
+  std::size_t num_fields() const { return fields_.size(); }
+
+ private:
+  struct Field {
+    std::string name;
+    std::function<Bytes()> estimator;
+  };
+  std::vector<Field> fields_;
+};
+
+}  // namespace ms::statesize

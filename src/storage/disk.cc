@@ -1,0 +1,86 @@
+#include "storage/disk.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ms::storage {
+
+Disk::Disk(sim::Simulation* sim, const DiskConfig& config)
+    : sim_(sim), config_(config) {
+  MS_CHECK(sim != nullptr);
+  MS_CHECK(config.write_bandwidth > 0 && config.read_bandwidth > 0);
+  MS_CHECK(config.chunk_size > 0);
+}
+
+void Disk::write(Bytes size, std::function<void()> done) {
+  bytes_written_ += size;
+  enqueue(size, config_.write_bandwidth, std::move(done));
+}
+
+void Disk::read(Bytes size, std::function<void()> done) {
+  bytes_read_ += size;
+  enqueue(size, config_.read_bandwidth, std::move(done));
+}
+
+void Disk::enqueue(Bytes size, double bandwidth, std::function<void()> done) {
+  MS_CHECK(size >= 0);
+  queue_.push_back(Request{size, bandwidth, false, std::move(done)});
+  pump();
+}
+
+void Disk::pump() {
+  if (serving_ || queue_.empty()) return;
+  serving_ = true;
+  // Serve one chunk of the front request in place (it stays visible to
+  // busy_until()); rotate or complete it when the chunk finishes.
+  Request& req = queue_.front();
+  SimTime service = SimTime::zero();
+  if (!req.overhead_paid) {
+    service += config_.per_request_overhead;
+    req.overhead_paid = true;
+  }
+  const Bytes chunk = std::min(req.remaining, config_.chunk_size);
+  service += transfer_time(chunk, req.bandwidth);
+  req.remaining -= chunk;
+
+  const std::uint64_t gen = generation_;
+  sim_->schedule_after(service, [this, gen] {
+    if (gen != generation_) return;  // reset() mid-service
+    serving_ = false;
+    Request finished = std::move(queue_.front());
+    queue_.pop_front();
+    if (finished.remaining > 0) {
+      queue_.push_back(std::move(finished));  // round-robin rotation
+      pump();
+      return;
+    }
+    if (finished.done) finished.done();
+    pump();
+  });
+}
+
+void Disk::reset() {
+  ++generation_;
+  queue_.clear();
+  serving_ = false;
+}
+
+SimTime Disk::busy_until() const {
+  // The in-flight chunk's remaining bytes were already deducted from the
+  // front request, so this under-counts by less than one chunk and
+  // over-counts the elapsed part of the current chunk — within one chunk
+  // service time either way.
+  SimTime remaining = SimTime::zero();
+  for (const auto& r : queue_) {
+    if (!r.overhead_paid) remaining += config_.per_request_overhead;
+    remaining += transfer_time(r.remaining, r.bandwidth);
+  }
+  if (serving_) {
+    remaining += transfer_time(config_.chunk_size, config_.write_bandwidth);
+  }
+  return sim_->now() + remaining;
+}
+
+}  // namespace ms::storage

@@ -1,0 +1,68 @@
+// Fair-sharing disk model.
+//
+// Requests pay a positioning overhead once, then are served in round-robin
+// chunks (default 4 MB), so a small preserved-tuple append is not stuck
+// behind a multi-hundred-megabyte checkpoint write — matching how a real I/O
+// scheduler interleaves streams. Total service time still equals
+// overhead + bytes/bandwidth per request; concurrency only changes the
+// completion interleaving.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/units.h"
+#include "sim/simulation.h"
+
+namespace ms::storage {
+
+struct DiskConfig {
+  double write_bandwidth = 100e6;  // bytes/second
+  double read_bandwidth = 120e6;
+  SimTime per_request_overhead = SimTime::millis(4);  // seek + rotational
+  Bytes chunk_size = 4_MB;  // fair-sharing granularity
+};
+
+class Disk {
+ public:
+  Disk(sim::Simulation* sim, const DiskConfig& config);
+
+  /// Complete `done` after `size` bytes have been written; service is
+  /// round-robin-shared with other outstanding requests. `done` may be null
+  /// (fire-and-forget spill).
+  void write(Bytes size, std::function<void()> done);
+  void read(Bytes size, std::function<void()> done);
+
+  /// Drop queued work (node failure). Data already "on disk" is a matter for
+  /// the stores layered above; the device itself just clears its queue.
+  void reset();
+
+  /// Estimated time at which all currently queued work completes.
+  SimTime busy_until() const;
+
+  Bytes bytes_written() const { return bytes_written_; }
+  Bytes bytes_read() const { return bytes_read_; }
+  std::size_t outstanding_requests() const { return queue_.size(); }
+
+ private:
+  struct Request {
+    Bytes remaining = 0;
+    double bandwidth = 0.0;
+    bool overhead_paid = false;
+    std::function<void()> done;
+  };
+
+  void enqueue(Bytes size, double bandwidth, std::function<void()> done);
+  void pump();
+
+  sim::Simulation* sim_;
+  DiskConfig config_;
+  std::deque<Request> queue_;  // round-robin ring of active requests
+  bool serving_ = false;
+  std::uint64_t generation_ = 0;
+  Bytes bytes_written_ = 0;
+  Bytes bytes_read_ = 0;
+};
+
+}  // namespace ms::storage

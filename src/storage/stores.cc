@@ -1,0 +1,221 @@
+#include "storage/stores.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+namespace ms::storage {
+
+void LocalStore::put(const std::string& key, Object object,
+                     std::function<void()> done) {
+  const Bytes size = object.declared_size;
+  data_[key] = std::move(object);
+  disk_->write(size, std::move(done));
+}
+
+void LocalStore::get(const std::string& key,
+                     std::function<void(Result<Object>)> done) {
+  const auto it = data_.find(key);
+  if (it == data_.end()) {
+    sim_->schedule_after(SimTime::zero(), [key, done = std::move(done)] {
+      done(Status::not_found("local object: " + key));
+    });
+    return;
+  }
+  Object obj = it->second;
+  const Bytes charge = obj.read_charge > 0 ? obj.read_charge : obj.declared_size;
+  disk_->read(charge, [obj = std::move(obj), done = std::move(done)] {
+    done(std::move(obj));
+  });
+}
+
+Bytes LocalStore::stored_bytes() const {
+  return std::accumulate(data_.begin(), data_.end(), Bytes{0},
+                         [](Bytes acc, const auto& kv) {
+                           return acc + kv.second.declared_size;
+                         });
+}
+
+SharedStorage::SharedStorage(net::Network* network, net::NodeId node,
+                             const DiskConfig& disk,
+                             std::optional<DiskConfig> log_disk)
+    : network_(network),
+      node_(node),
+      disk_(&network->simulation(), disk),
+      log_disk_(&network->simulation(), log_disk.value_or(disk)) {
+  MS_CHECK(network != nullptr);
+}
+
+void SharedStorage::send_chunked(net::NodeId from, net::NodeId to, Bytes size,
+                                 net::MsgCategory category,
+                                 std::function<void()> deliver,
+                                 std::function<void()> on_dropped) {
+  if (size <= kStreamChunk) {
+    network_->send(from, to, size, category, std::move(deliver),
+                   std::move(on_dropped));
+    return;
+  }
+  // Stream the transfer one chunk in flight at a time (a TCP-window-like
+  // pacing): between chunks both NICs are free, so concurrent flows -- data
+  // tuples on the sender's NIC, preserved-tuple appends on the storage
+  // node's NIC -- interleave instead of stalling behind the bulk transfer.
+  struct Stream {
+    net::Network* network;
+    net::NodeId from;
+    net::NodeId to;
+    Bytes remaining;
+    net::MsgCategory category;
+    std::function<void()> deliver;
+    std::function<void()> on_dropped;
+
+    void send_next(const std::shared_ptr<Stream>& self) {
+      const Bytes chunk = std::min(remaining, kStreamChunk);
+      remaining -= chunk;
+      network->send(
+          from, to, chunk, category,
+          [self] {
+            if (self->remaining > 0) {
+              self->send_next(self);
+            } else if (self->deliver) {
+              self->deliver();
+            }
+          },
+          [self] {
+            if (self->on_dropped) self->on_dropped();
+          });
+    }
+  };
+  auto stream = std::make_shared<Stream>(
+      Stream{network_, from, to, size, category, std::move(deliver),
+             std::move(on_dropped)});
+  stream->send_next(stream);
+}
+
+void SharedStorage::put(net::NodeId client, const std::string& key,
+                        Object object, std::function<void(Status)> done) {
+  const Bytes size = object.declared_size;
+  send_chunked(
+      client, node_, size + kRequestSize, net::MsgCategory::kCheckpoint,
+      [this, client, key, object = std::move(object),
+       done = std::move(done)]() mutable {
+        const Bytes n = object.declared_size;
+        data_[key] = std::move(object);
+        disk_.write(n, [this, client, done = std::move(done)] {
+          network_->send(node_, client, kRequestSize, net::MsgCategory::kControl,
+                         [done = std::move(done)] { done(Status::ok()); });
+        });
+      },
+      /*on_dropped=*/[done] { done(Status::unavailable("storage unreachable")); });
+}
+
+void SharedStorage::append(net::NodeId client, const std::string& key,
+                           Bytes size, std::vector<std::uint8_t> bytes,
+                           std::function<void(Status)> done) {
+  send_chunked(
+      client, node_, size + kRequestSize, net::MsgCategory::kPreserve,
+      [this, client, key, size, bytes = std::move(bytes),
+       done = std::move(done)]() mutable {
+        Object& obj = data_[key];
+        obj.declared_size += size;
+        obj.blob.insert(obj.blob.end(), bytes.begin(), bytes.end());
+        log_disk_.write(size, [this, client, done = std::move(done)] {
+          network_->send(node_, client, kRequestSize, net::MsgCategory::kControl,
+                         [done = std::move(done)] { done(Status::ok()); });
+        });
+      },
+      /*on_dropped=*/[done] { done(Status::unavailable("storage unreachable")); });
+}
+
+void SharedStorage::get(net::NodeId client, const std::string& key,
+                        std::function<void(Result<Object>)> done) {
+  network_->send(
+      client, node_, kRequestSize, net::MsgCategory::kControl,
+      [this, client, key, done = std::move(done)]() mutable {
+        const auto it = data_.find(key);
+        if (it == data_.end()) {
+          network_->send(node_, client, kRequestSize, net::MsgCategory::kControl,
+                         [key, done = std::move(done)] {
+                           done(Status::not_found("shared object: " + key));
+                         });
+          return;
+        }
+        Object obj = it->second;
+        const Bytes charge =
+            obj.read_charge > 0 ? obj.read_charge : obj.declared_size;
+        disk_.read(charge, [this, client, charge, obj = std::move(obj),
+                            done = std::move(done)]() mutable {
+          send_chunked(
+              node_, client, charge + kRequestSize,
+              net::MsgCategory::kCheckpoint,
+              [obj = std::move(obj), done = std::move(done)]() mutable {
+                done(std::move(obj));
+              },
+              /*on_dropped=*/
+              [done] { done(Status::unavailable("client unreachable")); });
+        });
+      },
+      /*on_dropped=*/[done] { done(Status::unavailable("storage unreachable")); });
+}
+
+void SharedStorage::get_range(net::NodeId client, const std::string& key,
+                              Bytes size,
+                              std::function<void(Result<Object>)> done) {
+  network_->send(
+      client, node_, kRequestSize, net::MsgCategory::kControl,
+      [this, client, key, size, done = std::move(done)]() mutable {
+        const auto it = data_.find(key);
+        if (it == data_.end()) {
+          network_->send(node_, client, kRequestSize, net::MsgCategory::kControl,
+                         [key, done = std::move(done)] {
+                           done(Status::not_found("shared object: " + key));
+                         });
+          return;
+        }
+        Object obj = it->second;  // handle shared; charge only `size` bytes
+        const Bytes charged = std::min(size, obj.declared_size);
+        log_disk_.read(charged, [this, client, charged, obj = std::move(obj),
+                             done = std::move(done)]() mutable {
+          send_chunked(
+              node_, client, charged + kRequestSize,
+              net::MsgCategory::kReplay,
+              [obj = std::move(obj), done = std::move(done)]() mutable {
+                done(std::move(obj));
+              },
+              /*on_dropped=*/
+              [done] { done(Status::unavailable("client unreachable")); });
+        });
+      },
+      /*on_dropped=*/[done] { done(Status::unavailable("storage unreachable")); });
+}
+
+void SharedStorage::register_object(const std::string& key, Object object) {
+  data_[key] = std::move(object);
+}
+
+void SharedStorage::resize(const std::string& key, Bytes new_declared_size) {
+  const auto it = data_.find(key);
+  if (it != data_.end()) it->second.declared_size = new_declared_size;
+}
+
+void SharedStorage::erase(net::NodeId client, const std::string& key,
+                          std::function<void()> done) {
+  network_->send(client, node_, kRequestSize, net::MsgCategory::kControl,
+                 [this, key, done = std::move(done)] {
+                   data_.erase(key);
+                   if (done) done();
+                 });
+}
+
+Bytes SharedStorage::size_of(const std::string& key) const {
+  const auto it = data_.find(key);
+  return it == data_.end() ? 0 : it->second.declared_size;
+}
+
+Bytes SharedStorage::stored_bytes() const {
+  return std::accumulate(data_.begin(), data_.end(), Bytes{0},
+                         [](Bytes acc, const auto& kv) {
+                           return acc + kv.second.declared_size;
+                         });
+}
+
+}  // namespace ms::storage

@@ -1,0 +1,140 @@
+// Key-value stores backing checkpoints and preserved tuples.
+//
+// Objects carry two things: a *declared* size (what the simulation charges to
+// disks and NICs — applications may declare multi-megabyte state while the
+// process allocates only its compact real content) and an optional *blob* of
+// real serialized bytes (so recovery tests can verify bit-exact state
+// restoration).
+//
+// - LocalStore: a node's local disk. Survives the node's fail-stop (data is
+//   on the platter) but is only reachable while the node is alive, which is
+//   why whole-application recovery onto new nodes falls back to shared
+//   storage, as in the paper.
+// - SharedStorage: GFS-stand-in service hosted on a dedicated storage node.
+//   Every put/get crosses the network to that node and queues on its disk.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "net/network.h"
+#include "storage/disk.h"
+
+namespace ms::storage {
+
+struct Object {
+  Bytes declared_size = 0;
+  /// If positive, reads are charged this many bytes instead of
+  /// declared_size. Delta checkpointing writes only the changed suffix of
+  /// the state (cheap put) but recovery must reconstruct from the base plus
+  /// deltas (full-cost get).
+  Bytes read_charge = 0;
+  std::vector<std::uint8_t> blob;
+  /// Simulator-internal structured content (e.g. a checkpoint image whose
+  /// in-flight tuples keep live payload pointers). The real system would
+  /// serialize this into `blob`; the simulation charges `declared_size`
+  /// bytes for it and carries the structure by handle.
+  std::shared_ptr<const void> handle;
+
+  template <typename T>
+  std::shared_ptr<const T> handle_as() const {
+    return std::static_pointer_cast<const T>(handle);
+  }
+};
+
+class LocalStore {
+ public:
+  LocalStore(sim::Simulation* sim, Disk* disk) : sim_(sim), disk_(disk) {}
+
+  /// Durably write an object; `done` fires after the disk write completes.
+  void put(const std::string& key, Object object, std::function<void()> done);
+
+  /// Read an object; `done` receives NOT_FOUND if the key was never written.
+  void get(const std::string& key, std::function<void(Result<Object>)> done);
+
+  bool contains(const std::string& key) const { return data_.contains(key); }
+  void erase(const std::string& key) { data_.erase(key); }
+  Bytes stored_bytes() const;
+
+ private:
+  sim::Simulation* sim_;
+  Disk* disk_;
+  std::unordered_map<std::string, Object> data_;
+};
+
+class SharedStorage {
+ public:
+  /// `node` is the storage node hosting the service (the paper dedicates one
+  /// of the 56 nodes to storage; the controller runs there too).
+  /// `log_disk`, if given, is a separate service tier for the high-rate
+  /// preserved-tuple log (a GFS-like store stripes appends across
+  /// chunkservers, so the log sustains far more bandwidth than the bulk
+  /// snapshot path); by default appends share the bulk disk.
+  SharedStorage(net::Network* network, net::NodeId node, const DiskConfig& disk,
+                std::optional<DiskConfig> log_disk = std::nullopt);
+
+  /// Write from `client` node: network transfer to the storage node, then a
+  /// disk write, then a small acknowledgment back to the client.
+  void put(net::NodeId client, const std::string& key, Object object,
+           std::function<void(Status)> done);
+
+  /// Append to an existing object (used by source preservation: the source
+  /// keeps extending its preserved-tuple log). Charged like a put of the
+  /// appended bytes only.
+  void append(net::NodeId client, const std::string& key, Bytes size,
+              std::vector<std::uint8_t> bytes, std::function<void(Status)> done);
+
+  /// Read back to `client`: request message, disk read, data transfer back.
+  void get(net::NodeId client, const std::string& key,
+           std::function<void(Result<Object>)> done);
+
+  /// Read only `size` bytes of an object back to `client` (a log tail during
+  /// source replay): request, partial disk read, transfer of `size` bytes.
+  void get_range(net::NodeId client, const std::string& key, Bytes size,
+                 std::function<void(Result<Object>)> done);
+
+  /// Truncate/erase without data movement (metadata op, small message).
+  void erase(net::NodeId client, const std::string& key,
+             std::function<void()> done);
+
+  /// Host-side setup/bookkeeping (no simulated cost): install an object
+  /// directly, or adjust an object's declared size after a log truncation
+  /// (a metadata operation in the real system).
+  void register_object(const std::string& key, Object object);
+  void resize(const std::string& key, Bytes new_declared_size);
+  void erase_now(const std::string& key) { data_.erase(key); }
+
+  bool contains(const std::string& key) const { return data_.contains(key); }
+  Bytes size_of(const std::string& key) const;
+  Bytes stored_bytes() const;
+  net::NodeId node() const { return node_; }
+  Disk& disk() { return disk_; }
+  Disk& log_disk() { return log_disk_; }
+
+ private:
+  static constexpr Bytes kRequestSize = 256;  // RPC header
+  /// Bulk transfers are streamed in chunks so a multi-hundred-megabyte
+  /// checkpoint does not monopolize the storage node's NIC — other flows
+  /// (preserved-tuple appends, control traffic) interleave between chunks,
+  /// as TCP fair-sharing would.
+  static constexpr Bytes kStreamChunk = 8_MB;
+
+  void send_chunked(net::NodeId from, net::NodeId to, Bytes size,
+                    net::MsgCategory category, std::function<void()> deliver,
+                    std::function<void()> on_dropped);
+
+  net::Network* network_;
+  net::NodeId node_;
+  Disk disk_;
+  Disk log_disk_;
+  std::unordered_map<std::string, Object> data_;
+};
+
+}  // namespace ms::storage

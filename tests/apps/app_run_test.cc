@@ -1,0 +1,179 @@
+// Behavioural tests: run each application briefly on the simulated cluster
+// and check the paper's §II-B2 state-size dynamics (sawtooth for TMI,
+// arrival-purged fluctuation for BCP/SignalGuru) and end-to-end dataflow.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/bcp.h"
+#include "apps/signalguru.h"
+#include "apps/tmi.h"
+#include "common/metrics.h"
+#include "core/application.h"
+
+namespace ms::apps {
+namespace {
+
+core::ClusterParams cluster_params() {
+  core::ClusterParams p;
+  p.network.num_nodes = 56;
+  return p;
+}
+
+Bytes sum_state(core::Application& app, const std::vector<int>& haus) {
+  Bytes b = 0;
+  for (const int h : haus) b += app.hau(h).state_size();
+  return b;
+}
+
+TEST(TmiRunTest, TuplesReachSinkAndPoolGrows) {
+  sim::Simulation sim;
+  core::Cluster cluster(&sim, cluster_params());
+  TmiConfig cfg;
+  cfg.window = SimTime::seconds(60);
+  cfg.records_per_second = 20;
+  core::Application app(&cluster, build_tmi(cfg));
+  app.deploy();
+  app.start();
+  sim.run_until(SimTime::seconds(30));
+  const auto layout = tmi_layout(cfg);
+  // Mid-window: pools have content.
+  EXPECT_GT(sum_state(app, layout.kmeans), 0);
+  // Window flush emits inferences to the sink.
+  sim.run_until(SimTime::seconds(90));
+  EXPECT_GT(app.sink_tuple_count(), 0);
+}
+
+TEST(TmiRunTest, StateSawtoothDropsAtWindowBoundary) {
+  sim::Simulation sim;
+  core::Cluster cluster(&sim, cluster_params());
+  TmiConfig cfg;
+  cfg.window = SimTime::seconds(60);
+  cfg.records_per_second = 20;
+  core::Application app(&cluster, build_tmi(cfg));
+  app.deploy();
+  app.start();
+  const auto layout = tmi_layout(cfg);
+  sim.run_until(SimTime::seconds(58));
+  const Bytes before_flush = sum_state(app, layout.kmeans);
+  sim.run_until(SimTime::seconds(70));
+  const Bytes after_flush = sum_state(app, layout.kmeans);
+  EXPECT_GT(before_flush, 1_MB);
+  // After the flush the pools restarted from ~zero.
+  EXPECT_LT(after_flush, before_flush / 2);
+}
+
+TEST(TmiRunTest, WindowLengthScalesPeakState) {
+  // Fig. 5a: larger N → larger peaks.
+  auto peak_for = [](SimTime window) {
+    sim::Simulation sim;
+    core::Cluster cluster(&sim, cluster_params());
+    TmiConfig cfg;
+    cfg.window = window;
+    cfg.records_per_second = 20;
+    core::Application app(&cluster, build_tmi(cfg));
+    app.deploy();
+    app.start();
+    const auto layout = tmi_layout(cfg);
+    Bytes peak = 0;
+    for (int s = 5; s <= 120; s += 5) {
+      sim.run_until(SimTime::seconds(s));
+      peak = std::max(peak, sum_state(app, layout.kmeans));
+    }
+    return peak;
+  };
+  EXPECT_LT(peak_for(SimTime::seconds(30)), peak_for(SimTime::seconds(120)));
+}
+
+TEST(BcpRunTest, HistoricalStateFluctuatesWithBusArrivals) {
+  sim::Simulation sim;
+  core::Cluster cluster(&sim, cluster_params());
+  BcpConfig cfg;
+  cfg.bus_interarrival_mean = SimTime::seconds(40);
+  cfg.bus_interarrival_min = SimTime::seconds(15);
+  core::Application app(&cluster, build_bcp(cfg));
+  app.deploy();
+  app.start();
+  const auto layout = bcp_layout(cfg);
+  TimeSeries series;
+  for (int s = 2; s <= 240; s += 2) {
+    sim.run_until(SimTime::seconds(s));
+    series.add(SimTime::seconds(s),
+               static_cast<double>(sum_state(app, layout.historical)));
+  }
+  // Fluctuating, not monotone: max well above min, multiple local minima.
+  EXPECT_GT(series.max_value(), 4 * std::max(series.min_value(), 1.0));
+  EXPECT_GE(series.local_minima(3).size(), 2u);
+  EXPECT_GT(app.sink_tuple_count(), 0);
+}
+
+TEST(SgRunTest, MotionFilterStatePurgesPerApproach) {
+  sim::Simulation sim;
+  core::Cluster cluster(&sim, cluster_params());
+  SgConfig cfg;
+  core::Application app(&cluster, build_signalguru(cfg));
+  app.deploy();
+  app.start();
+  const auto layout = signalguru_layout(cfg);
+  Bytes peak = 0;
+  Bytes trough = 1_GB * 100;
+  for (int s = 2; s <= 180; s += 2) {
+    sim.run_until(SimTime::seconds(s));
+    const Bytes state = sum_state(app, layout.motion_filters);
+    peak = std::max(peak, state);
+    if (s > 60) trough = std::min(trough, state);
+  }
+  EXPECT_GT(peak, 100_MB);  // heavy state (paper: 200 MB - 2 GB)
+  EXPECT_LT(trough, peak);  // purges happen
+  sim.run_until(SimTime::seconds(240));
+  EXPECT_GT(app.sink_tuple_count(), 0);
+}
+
+TEST(SgRunTest, PredictionsFlowEndToEnd) {
+  sim::Simulation sim;
+  core::Cluster cluster(&sim, cluster_params());
+  SgConfig cfg;
+  cfg.approach_min = SimTime::seconds(5);
+  cfg.approach_max = SimTime::seconds(10);
+  core::Application app(&cluster, build_signalguru(cfg));
+  app.deploy();
+  app.start();
+  sim.run_until(SimTime::seconds(120));
+  // Approaches complete → detections → votes → SVM predictions → sink.
+  EXPECT_GT(app.sink_tuple_count(), 5);
+  EXPECT_GT(app.latency().count(), 0);
+}
+
+TEST(AppStateSizeTest, RelativeWorkloadOrdering) {
+  // Paper: TMI / BCP / SignalGuru are low / medium / high workloads.
+  auto average_state = [](auto build_fn, auto layout_haus) {
+    sim::Simulation sim;
+    core::Cluster cluster(&sim, cluster_params());
+    core::Application app(&cluster, build_fn());
+    app.deploy();
+    app.start();
+    double sum = 0.0;
+    int n = 0;
+    for (int s = 10; s <= 240; s += 10) {
+      sim.run_until(SimTime::seconds(s));
+      Bytes b = 0;
+      for (const int h : layout_haus) b += app.hau(h).state_size();
+      sum += static_cast<double>(b);
+      ++n;
+    }
+    return sum / n;
+  };
+  TmiConfig tmi_cfg;
+  tmi_cfg.window = SimTime::minutes(2);
+  const double tmi = average_state([&] { return build_tmi(tmi_cfg); },
+                                   tmi_layout(tmi_cfg).kmeans);
+  const double bcp =
+      average_state([] { return build_bcp(); }, bcp_layout().historical);
+  const double sg = average_state([] { return build_signalguru(); },
+                                  signalguru_layout().motion_filters);
+  EXPECT_LT(tmi, bcp);
+  EXPECT_LT(bcp, sg);
+}
+
+}  // namespace
+}  // namespace ms::apps

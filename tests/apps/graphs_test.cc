@@ -1,0 +1,137 @@
+// Structural tests for the three applications' query networks against the
+// paper's Figs. 2-4: 55 operators each, the documented fan-in/fan-out.
+#include <gtest/gtest.h>
+
+#include "apps/bcp.h"
+#include "apps/signalguru.h"
+#include "apps/tmi.h"
+
+namespace ms::apps {
+namespace {
+
+TEST(TmiGraphTest, Has55OperatorsAndValidates) {
+  const auto g = build_tmi();
+  EXPECT_EQ(g.num_operators(), 55);
+  EXPECT_TRUE(g.validate().is_ok());
+  EXPECT_EQ(g.sources().size(), 10u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST(TmiGraphTest, GoogleMapConnectsToAllGroups) {
+  // Fig. 2: "Each GoogleMap operator connects to all Group operators."
+  const auto g = build_tmi();
+  const auto layout = tmi_layout();
+  for (const int m : layout.maps) {
+    EXPECT_EQ(g.out_degree(m), 10) << "M vertex " << m;
+  }
+  for (const int grp : layout.groups) {
+    EXPECT_EQ(g.in_degree(grp), 12) << "G vertex " << grp;
+  }
+}
+
+TEST(TmiGraphTest, LayoutMatchesVertexNames) {
+  const auto g = build_tmi();
+  const auto layout = tmi_layout();
+  EXPECT_EQ(g.op(layout.sources[0]).name, "S0");
+  EXPECT_EQ(g.op(layout.pairs[11]).name, "P11");
+  EXPECT_EQ(g.op(layout.maps[0]).name, "M0");
+  EXPECT_EQ(g.op(layout.kmeans[9]).name, "A9");
+  EXPECT_EQ(g.op(layout.sink).name, "K");
+  EXPECT_TRUE(g.op(layout.sink).is_sink);
+}
+
+TEST(TmiGraphTest, KmeansFeedSink) {
+  const auto g = build_tmi();
+  const auto layout = tmi_layout();
+  EXPECT_EQ(g.in_degree(layout.sink), 10);
+  for (const int a : layout.kmeans) EXPECT_EQ(g.out_degree(a), 1);
+}
+
+TEST(BcpGraphTest, Has55OperatorsAndValidates) {
+  const auto g = build_bcp();
+  EXPECT_EQ(g.num_operators(), 55);
+  EXPECT_TRUE(g.validate().is_ok());
+  EXPECT_EQ(g.sources().size(), 8u);  // 4 camera + 4 sensor
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST(BcpGraphTest, DispatcherFeedsCountersAndHistorical) {
+  const auto g = build_bcp();
+  const auto layout = bcp_layout();
+  for (const int d : layout.dispatchers) {
+    EXPECT_EQ(g.out_degree(d), 5);  // 4 counters + H
+  }
+  for (const int h : layout.historical) {
+    EXPECT_EQ(g.in_degree(h), 1);
+    EXPECT_EQ(g.out_degree(h), 1);
+  }
+  for (const int b : layout.boarding) {
+    EXPECT_EQ(g.in_degree(b), 5);  // 4 counters + H
+  }
+}
+
+TEST(BcpGraphTest, SensorChainsFanOutToTwoModels) {
+  const auto g = build_bcp();
+  const auto layout = bcp_layout();
+  for (const int n : layout.noise_filters) {
+    EXPECT_EQ(g.out_degree(n), 2);  // arrival + alighting
+  }
+  for (const int j : layout.joins) {
+    EXPECT_EQ(g.in_degree(j), 6);  // 2 stops x (B, A, L)
+  }
+}
+
+TEST(BcpGraphTest, LayoutNames) {
+  const auto g = build_bcp();
+  const auto layout = bcp_layout();
+  EXPECT_EQ(g.op(layout.camera_sources[0]).name, "S0");
+  EXPECT_EQ(g.op(layout.sensor_sources[0]).name, "S4");
+  EXPECT_EQ(g.op(layout.counters[15]).name, "C15");
+  EXPECT_EQ(g.op(layout.historical[3]).name, "H3");
+  EXPECT_EQ(g.op(layout.joins[1]).name, "J2");
+  EXPECT_EQ(g.op(layout.sink).name, "K");
+}
+
+TEST(SgGraphTest, Has55OperatorsAndValidates) {
+  const auto g = build_signalguru();
+  EXPECT_EQ(g.num_operators(), 55);
+  EXPECT_TRUE(g.validate().is_ok());
+  EXPECT_EQ(g.sources().size(), 4u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST(SgGraphTest, FilterChainsAreLinear) {
+  const auto g = build_signalguru();
+  const auto layout = signalguru_layout();
+  for (const int c : layout.color_filters) {
+    EXPECT_EQ(g.in_degree(c), 1);
+    EXPECT_EQ(g.out_degree(c), 1);
+  }
+  for (const int a : layout.shape_filters) {
+    EXPECT_EQ(g.in_degree(a), 1);
+    EXPECT_EQ(g.out_degree(a), 1);
+  }
+  for (const int m : layout.motion_filters) {
+    EXPECT_EQ(g.in_degree(m), 1);
+    EXPECT_EQ(g.out_degree(m), 1);
+  }
+}
+
+TEST(SgGraphTest, VotersAggregateThreeChains) {
+  const auto g = build_signalguru();
+  const auto layout = signalguru_layout();
+  for (const int v : layout.voters) EXPECT_EQ(g.in_degree(v), 3);
+  for (const int p : layout.predictors) EXPECT_EQ(g.in_degree(p), 2);
+}
+
+TEST(SgGraphTest, LayoutNames) {
+  const auto g = build_signalguru();
+  const auto layout = signalguru_layout();
+  EXPECT_EQ(g.op(layout.sources[3]).name, "S3");
+  EXPECT_EQ(g.op(layout.motion_filters[11]).name, "M11");
+  EXPECT_EQ(g.op(layout.voters[0]).name, "V0");
+  EXPECT_EQ(g.op(layout.predictors[1]).name, "P1");
+}
+
+}  // namespace
+}  // namespace ms::apps

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/kernels/blob_count.h"
+#include "apps/kernels/kmeans.h"
+#include "apps/kernels/linear_model.h"
+#include "apps/kernels/svm.h"
+#include "common/rng.h"
+
+namespace ms::apps {
+namespace {
+
+// --- k-means ---------------------------------------------------------------
+
+TEST(KMeansTest, EmptyInput) {
+  Rng rng(1);
+  const auto r = kmeans({}, 4, rng);
+  EXPECT_TRUE(r.centroids.empty());
+  EXPECT_TRUE(r.assignment.empty());
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  Rng rng(1);
+  const auto r = kmeans({{0.0}, {10.0}}, 5, rng);
+  EXPECT_EQ(r.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, SeparatesWellSeparatedClusters) {
+  Rng rng(42);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({rng.normal(0.0, 0.5), rng.normal(0.0, 0.5)});
+    points.push_back({rng.normal(20.0, 0.5), rng.normal(20.0, 0.5)});
+  }
+  const auto r = kmeans(points, 2, rng);
+  ASSERT_EQ(r.centroids.size(), 2u);
+  // Points from the same generator cluster share an assignment.
+  for (int i = 0; i < 100; i += 2) {
+    EXPECT_EQ(r.assignment[static_cast<std::size_t>(i)], r.assignment[0]);
+    EXPECT_EQ(r.assignment[static_cast<std::size_t>(i + 1)], r.assignment[1]);
+  }
+  EXPECT_NE(r.assignment[0], r.assignment[1]);
+  // Centroids near (0,0) and (20,20) in some order.
+  const double c0 = r.centroids[0][0] + r.centroids[0][1];
+  const double c1 = r.centroids[1][0] + r.centroids[1][1];
+  EXPECT_NEAR(std::min(c0, c1), 0.0, 2.0);
+  EXPECT_NEAR(std::max(c0, c1), 40.0, 2.0);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(7);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.uniform(0.0, 100.0)});
+  }
+  Rng r1(3), r2(3);
+  const double inertia1 = kmeans(points, 1, r1).inertia;
+  const double inertia4 = kmeans(points, 4, r2).inertia;
+  EXPECT_LT(inertia4, inertia1);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Rng gen(5);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 100; ++i) points.push_back({gen.uniform(0.0, 10.0)});
+  Rng r1(9), r2(9);
+  const auto a = kmeans(points, 3, r1);
+  const auto b = kmeans(points, 3, r2);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, IdenticalPointsDoNotCrash) {
+  Rng rng(1);
+  const std::vector<std::vector<double>> points(10, {5.0, 5.0});
+  const auto r = kmeans(points, 3, rng);
+  EXPECT_EQ(r.inertia, 0.0);
+}
+
+TEST(KMeansTest, NearestCentroidAndDistance) {
+  EXPECT_DOUBLE_EQ(squared_distance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+  const std::vector<std::vector<double>> centroids{{0.0}, {10.0}, {20.0}};
+  EXPECT_EQ(nearest_centroid(centroids, {2.0}), 0);
+  EXPECT_EQ(nearest_centroid(centroids, {12.0}), 1);
+  EXPECT_EQ(nearest_centroid(centroids, {100.0}), 2);
+}
+
+// --- linear regression -------------------------------------------------------
+
+TEST(LinearRegressionTest, LearnsLinearFunction) {
+  OnlineLinearRegression model(1, /*learning_rate=*/0.01, /*l2=*/0.0);
+  Rng rng(3);
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    model.update({x}, 3.0 * x + 1.0);
+  }
+  EXPECT_NEAR(model.predict({0.0}), 1.0, 0.1);
+  EXPECT_NEAR(model.predict({1.0}), 4.0, 0.1);
+  EXPECT_EQ(model.updates(), 20'000);
+}
+
+TEST(LinearRegressionTest, SerializationRoundTrip) {
+  OnlineLinearRegression model(2);
+  model.update({1.0, 2.0}, 5.0);
+  BinaryWriter w;
+  model.serialize(w);
+  OnlineLinearRegression restored(2);
+  BinaryReader r(w.data());
+  restored.deserialize(r);
+  EXPECT_EQ(restored.predict({1.0, 2.0}), model.predict({1.0, 2.0}));
+  EXPECT_EQ(restored.updates(), model.updates());
+}
+
+TEST(EmaFilterTest, ConvergesToConstantSignal) {
+  EmaFilter f(0.3);
+  double out = 0.0;
+  for (int i = 0; i < 100; ++i) out = f.apply(10.0);
+  EXPECT_NEAR(out, 10.0, 1e-6);
+}
+
+TEST(EmaFilterTest, ClampsOutliers) {
+  EmaFilter f(0.2);
+  for (int i = 0; i < 50; ++i) f.apply(10.0 + (i % 2 == 0 ? 0.5 : -0.5));
+  const double before = f.mean();
+  f.apply(1000.0);  // glitch
+  EXPECT_LT(f.mean() - before, 5.0);
+}
+
+TEST(EmaFilterTest, SerializationRoundTrip) {
+  EmaFilter f;
+  for (int i = 0; i < 10; ++i) f.apply(static_cast<double>(i));
+  BinaryWriter w;
+  f.serialize(w);
+  EmaFilter g;
+  BinaryReader r(w.data());
+  g.deserialize(r);
+  EXPECT_EQ(g.mean(), f.mean());
+  EXPECT_EQ(g.count(), f.count());
+}
+
+// --- SVM ---------------------------------------------------------------------
+
+TEST(LinearSvmTest, SeparatesLinearlySeparableData) {
+  LinearSvm svm(2, 1e-3);
+  Rng rng(17);
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    const int label = (x + y > 0.2) ? 1 : -1;
+    svm.update({x, y}, label);
+  }
+  int correct = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-1.0, 1.0);
+    const double y = rng.uniform(-1.0, 1.0);
+    if (std::fabs(x + y - 0.2) < 0.1) continue;  // skip the margin band
+    const int label = (x + y > 0.2) ? 1 : -1;
+    if (svm.predict({x, y}) == label) ++correct;
+    else --correct;
+  }
+  EXPECT_GT(correct, 700);
+}
+
+TEST(LinearSvmTest, UpdateReportsMarginViolations) {
+  LinearSvm svm(1);
+  EXPECT_TRUE(svm.update({1.0}, 1));  // untrained: inside margin
+  EXPECT_EQ(svm.steps(), 1);
+}
+
+TEST(LinearSvmTest, SerializationRoundTrip) {
+  LinearSvm svm(2);
+  svm.update({1.0, -1.0}, 1);
+  svm.update({-1.0, 1.0}, -1);
+  BinaryWriter w;
+  svm.serialize(w);
+  LinearSvm restored(2);
+  BinaryReader r(w.data());
+  restored.deserialize(r);
+  EXPECT_EQ(restored.decision({0.5, 0.5}), svm.decision({0.5, 0.5}));
+  EXPECT_EQ(restored.steps(), svm.steps());
+}
+
+TEST(MajorityVoterTest, WinnerAndReset) {
+  MajorityVoter v(3);
+  EXPECT_EQ(v.winner(), -1);
+  v.vote(1);
+  v.vote(2);
+  v.vote(1);
+  EXPECT_EQ(v.winner(), 1);
+  EXPECT_EQ(v.total_votes(), 3);
+  v.reset();
+  EXPECT_EQ(v.winner(), -1);
+  EXPECT_EQ(v.total_votes(), 0);
+}
+
+TEST(MajorityVoterTest, TieBreaksTowardLowerClass) {
+  MajorityVoter v(3);
+  v.vote(2);
+  v.vote(0);
+  EXPECT_EQ(v.winner(), 0);
+}
+
+// --- blob counting -----------------------------------------------------------
+
+TEST(BlobCountTest, EmptyGridHasNoBlobs) {
+  const auto grid = OccupancyGrid::blank(16, 16);
+  EXPECT_EQ(count_blobs(grid), 0);
+}
+
+TEST(BlobCountTest, CountsSeparatedBlobs) {
+  auto grid = OccupancyGrid::blank(32, 32);
+  paint_blob(grid, 5, 5, 2);
+  paint_blob(grid, 20, 20, 2);
+  paint_blob(grid, 5, 25, 2);
+  EXPECT_EQ(count_blobs(grid), 3);
+}
+
+TEST(BlobCountTest, TouchingBlobsMergeIntoOne) {
+  auto grid = OccupancyGrid::blank(32, 32);
+  paint_blob(grid, 10, 10, 3);
+  paint_blob(grid, 13, 10, 3);  // overlapping
+  EXPECT_EQ(count_blobs(grid), 1);
+}
+
+TEST(BlobCountTest, SpecksBelowMinCellsIgnored) {
+  auto grid = OccupancyGrid::blank(16, 16);
+  grid.set(3, 3, 255);  // single-cell speck
+  EXPECT_EQ(count_blobs(grid, 128, /*min_cells=*/2), 0);
+  EXPECT_EQ(count_blobs(grid, 128, /*min_cells=*/1), 1);
+}
+
+TEST(BlobCountTest, ThresholdFiltersDimPixels) {
+  auto grid = OccupancyGrid::blank(16, 16);
+  paint_blob(grid, 8, 8, 2, /*intensity=*/100);
+  EXPECT_EQ(count_blobs(grid, 128), 0);
+  EXPECT_EQ(count_blobs(grid, 50), 1);
+}
+
+TEST(BlobCountTest, BlobTouchingEdgeCounted) {
+  auto grid = OccupancyGrid::blank(16, 16);
+  paint_blob(grid, 0, 0, 2);
+  EXPECT_EQ(count_blobs(grid), 1);
+}
+
+}  // namespace
+}  // namespace ms::apps

@@ -1,0 +1,100 @@
+// ASCII chart rendering (bench/ascii_chart): plotting invariants rather
+// than golden strings — dimensions, scale anchoring, glyph placement,
+// legends, stacked-bar proportions.
+#include "../../bench/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ms::bench {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(LineChartTest, HasTitleAxisAndLegend) {
+  const std::string chart = render_line_chart(
+      "my title", {0, 1, 2, 3}, {Series{"alpha", {0, 1, 2, 3}}}, 40, 8,
+      "xlab", "ylab");
+  const auto lines = lines_of(chart);
+  EXPECT_EQ(lines.front(), "my title");
+  EXPECT_EQ(lines[1], "ylab");
+  EXPECT_NE(chart.find("xlab"), std::string::npos);
+  EXPECT_NE(chart.find("* alpha"), std::string::npos);
+  // 8 plot rows + title + ylabel + axis + xlabels + legend.
+  EXPECT_EQ(lines.size(), 8u + 5u);
+}
+
+TEST(LineChartTest, MonotoneSeriesRisesLeftToRight) {
+  const std::string chart = render_line_chart(
+      "", {0, 1, 2, 3, 4}, {Series{"s", {0, 1, 2, 3, 4}}}, 30, 10);
+  const auto lines = lines_of(chart);
+  // The first plot row (max) has its glyph to the right of the last plot
+  // row's (min) glyph.
+  const auto top_pos = lines[1].rfind('*');
+  const auto bottom_pos = lines[10].find('*');
+  ASSERT_NE(top_pos, std::string::npos);
+  ASSERT_NE(bottom_pos, std::string::npos);
+  EXPECT_GT(top_pos, bottom_pos);
+}
+
+TEST(LineChartTest, TwoSeriesGetDistinctGlyphs) {
+  const std::string chart = render_line_chart(
+      "", {0, 1}, {Series{"a", {1, 1}}, Series{"b", {2, 0}}}, 20, 6);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("* a"), std::string::npos);
+  EXPECT_NE(chart.find("o b"), std::string::npos);
+}
+
+TEST(LineChartTest, YAxisAnchoredAtZero) {
+  const std::string chart =
+      render_line_chart("", {0, 1}, {Series{"s", {50, 100}}}, 20, 6);
+  // The bottom label is 0.00 even though the series' minimum is 50.
+  EXPECT_NE(chart.find("0.00"), std::string::npos);
+  EXPECT_NE(chart.find("100.00"), std::string::npos);
+}
+
+TEST(LineChartTest, LargeValuesUseSuffixes) {
+  const std::string chart = render_line_chart(
+      "", {0, 1}, {Series{"s", {0, 2.5e6}}}, 20, 6);
+  EXPECT_NE(chart.find("2.5M"), std::string::npos);
+}
+
+TEST(StackedBarsTest, ProportionalSegments) {
+  const std::string chart = render_stacked_bars(
+      "bars",
+      {Bar{"big", {{"x", 30.0}, {"y", 10.0}}}, Bar{"small", {{"x", 10.0}}}},
+      40, "s");
+  const auto lines = lines_of(chart);
+  ASSERT_GE(lines.size(), 3u);
+  // The big bar's '#' run is ~3x the small bar's.
+  const auto count = [](const std::string& s, char c) {
+    return std::count(s.begin(), s.end(), c);
+  };
+  EXPECT_NEAR(static_cast<double>(count(lines[1], '#')),
+              3.0 * static_cast<double>(count(lines[2], '#')), 2.0);
+  // Segment legend present.
+  EXPECT_NE(chart.find("# x"), std::string::npos);
+  EXPECT_NE(chart.find("= y"), std::string::npos);
+  // Totals annotated with the unit.
+  EXPECT_NE(chart.find("40.00s"), std::string::npos);
+}
+
+TEST(StackedBarsTest, LabelsAligned) {
+  const std::string chart = render_stacked_bars(
+      "", {Bar{"aa", {{"x", 1.0}}}, Bar{"bbbb", {{"x", 1.0}}}}, 20, "");
+  const auto lines = lines_of(chart);
+  const auto bar1 = lines[1].find('|');
+  const auto bar2 = lines[2].find('|');
+  EXPECT_EQ(bar1, bar2);
+}
+
+}  // namespace
+}  // namespace ms::bench

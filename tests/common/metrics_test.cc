@@ -1,0 +1,114 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ms {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.mean(), SimTime::zero());
+  EXPECT_EQ(h.percentile(99), SimTime::zero());
+}
+
+TEST(LatencyHistogramTest, SingleSample) {
+  LatencyHistogram h;
+  h.record(SimTime::millis(10));
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.mean(), SimTime::millis(10));
+  EXPECT_EQ(h.min(), SimTime::millis(10));
+  EXPECT_EQ(h.max(), SimTime::millis(10));
+}
+
+TEST(LatencyHistogramTest, MeanIsExact) {
+  LatencyHistogram h;
+  h.record(SimTime::millis(10));
+  h.record(SimTime::millis(30));
+  EXPECT_EQ(h.mean(), SimTime::millis(20));
+}
+
+TEST(LatencyHistogramTest, PercentileBucketsApproximate) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(SimTime::micros(i * 100));
+  // p50 ~ 50 ms, log buckets give ~4.4% resolution.
+  const double p50 = h.percentile(50).to_millis();
+  EXPECT_NEAR(p50, 50.0, 50.0 * 0.06);
+  const double p99 = h.percentile(99).to_millis();
+  EXPECT_NEAR(p99, 99.0, 99.0 * 0.06);
+}
+
+TEST(LatencyHistogramTest, MergeCombines) {
+  LatencyHistogram a, b;
+  a.record(SimTime::millis(1));
+  b.record(SimTime::millis(3));
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.mean(), SimTime::millis(2));
+  EXPECT_EQ(a.max(), SimTime::millis(3));
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.record(SimTime::millis(5));
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.mean(), SimTime::zero());
+}
+
+TEST(LatencyHistogramTest, NegativeClampedToZero) {
+  LatencyHistogram h;
+  h.record(SimTime::zero() - SimTime::millis(1));
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_LE(h.mean(), SimTime::micros(1));
+}
+
+TEST(TimeSeriesTest, MinMax) {
+  TimeSeries ts;
+  ts.add(SimTime::seconds(0), 5.0);
+  ts.add(SimTime::seconds(1), 2.0);
+  ts.add(SimTime::seconds(2), 8.0);
+  EXPECT_EQ(ts.min_value(), 2.0);
+  EXPECT_EQ(ts.max_value(), 8.0);
+}
+
+TEST(TimeSeriesTest, TimeWeightedMean) {
+  TimeSeries ts;
+  // 0 for 1 s then ramp 0→10 over 1 s: mean = (0 + 5)/2 = 2.5.
+  ts.add(SimTime::seconds(0), 0.0);
+  ts.add(SimTime::seconds(1), 0.0);
+  ts.add(SimTime::seconds(2), 10.0);
+  EXPECT_DOUBLE_EQ(ts.mean_value(), 2.5);
+}
+
+TEST(TimeSeriesTest, LocalMinimaOfSawtooth) {
+  TimeSeries ts;
+  // Two teeth: rise to 10 then drop to 0, twice.
+  int t = 0;
+  for (int tooth = 0; tooth < 2; ++tooth) {
+    for (int v = 0; v <= 10; ++v) ts.add(SimTime::seconds(t++), v);
+  }
+  const auto minima = ts.local_minima(2);
+  ASSERT_FALSE(minima.empty());
+  for (const auto& p : minima) EXPECT_LE(p.value, 0.0 + 1e-9);
+}
+
+TEST(TimeSeriesTest, DownsampleKeepsBounds) {
+  TimeSeries ts;
+  for (int i = 0; i < 1000; ++i) ts.add(SimTime::seconds(i), i);
+  const TimeSeries d = ts.downsample(10);
+  EXPECT_EQ(d.points().size(), 10u);
+  EXPECT_EQ(d.points().front().value, 0.0);
+}
+
+TEST(ThroughputMeterTest, RateComputation) {
+  ThroughputMeter m;
+  m.tuples = 600;
+  m.window = SimTime::seconds(60);
+  EXPECT_DOUBLE_EQ(m.tuples_per_second(), 10.0);
+  ThroughputMeter empty;
+  EXPECT_DOUBLE_EQ(empty.tuples_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,111 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ms {
+namespace {
+
+TEST(SerializeTest, PrimitivesRoundTrip) {
+  BinaryWriter w;
+  w.write<std::int32_t>(-7);
+  w.write<std::uint64_t>(1234567890123ULL);
+  w.write<double>(3.25);
+  w.write<std::uint8_t>(255);
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.read<std::int32_t>(), -7);
+  EXPECT_EQ(r.read<std::uint64_t>(), 1234567890123ULL);
+  EXPECT_EQ(r.read<double>(), 3.25);
+  EXPECT_EQ(r.read<std::uint8_t>(), 255);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(SerializeTest, StringsRoundTrip) {
+  BinaryWriter w;
+  w.write_string("hello");
+  w.write_string("");
+  w.write_string(std::string("\0binary\x7f", 8));
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.read_string(), "hello");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_EQ(r.read_string(), std::string("\0binary\x7f", 8));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(SerializeTest, TrivialVectorRoundTrip) {
+  BinaryWriter w;
+  const std::vector<double> v{1.0, 2.5, -3.75};
+  w.write_vector(v);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.read_vector<double>(), v);
+}
+
+TEST(SerializeTest, EmptyVectorRoundTrip) {
+  BinaryWriter w;
+  w.write_vector(std::vector<std::int64_t>{});
+  BinaryReader r(w.data());
+  EXPECT_TRUE(r.read_vector<std::int64_t>().empty());
+  EXPECT_TRUE(r.at_end());
+}
+
+struct CustomRecord {
+  std::int32_t a = 0;
+  std::string s;
+
+  void serialize(BinaryWriter& w) const {
+    w.write(a);
+    w.write_string(s);
+  }
+  static CustomRecord deserialize(BinaryReader& r) {
+    CustomRecord rec;
+    rec.a = r.read<std::int32_t>();
+    rec.s = r.read_string();
+    return rec;
+  }
+  bool operator==(const CustomRecord&) const = default;
+};
+
+TEST(SerializeTest, CustomTypeVectorRoundTrip) {
+  BinaryWriter w;
+  const std::vector<CustomRecord> v{{1, "x"}, {2, "yy"}};
+  w.write_vector(v);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.read_vector<CustomRecord>(), v);
+}
+
+TEST(SerializeTest, RawBytes) {
+  BinaryWriter w;
+  const char buf[4] = {'a', 'b', 'c', 'd'};
+  w.write_bytes(buf, sizeof(buf));
+  EXPECT_EQ(w.size(), 4u);
+  BinaryReader r(w.data());
+  char out[4];
+  r.read_bytes(out, 4);
+  EXPECT_EQ(std::string(out, 4), "abcd");
+}
+
+TEST(SerializeDeathTest, ReaderOverrunAborts) {
+  BinaryWriter w;
+  w.write<std::int32_t>(1);
+  BinaryReader r(w.data());
+  r.read<std::int32_t>();
+  EXPECT_DEATH(r.read<std::int32_t>(), "out of data");
+}
+
+TEST(SerializeTest, RemainingTracksPosition) {
+  BinaryWriter w;
+  w.write<std::int64_t>(1);
+  w.write<std::int64_t>(2);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.remaining(), 16u);
+  r.read<std::int64_t>();
+  EXPECT_EQ(r.remaining(), 8u);
+}
+
+}  // namespace
+}  // namespace ms

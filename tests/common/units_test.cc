@@ -1,0 +1,75 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace ms {
+namespace {
+
+TEST(SimTimeTest, ConstructorsAgree) {
+  EXPECT_EQ(SimTime::seconds(1), SimTime::millis(1000));
+  EXPECT_EQ(SimTime::millis(1), SimTime::micros(1000));
+  EXPECT_EQ(SimTime::micros(1), SimTime::nanos(1000));
+  EXPECT_EQ(SimTime::minutes(2), SimTime::seconds(120));
+  EXPECT_EQ(SimTime::seconds(1.5), SimTime::millis(1500));
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::seconds(3);
+  const SimTime b = SimTime::seconds(2);
+  EXPECT_EQ((a + b).to_seconds(), 5.0);
+  EXPECT_EQ((a - b).to_seconds(), 1.0);
+  EXPECT_EQ(a * std::int64_t{4}, SimTime::seconds(12));
+  EXPECT_EQ(a * 0.5, SimTime::seconds(1.5));
+  EXPECT_EQ(a / std::int64_t{3}, SimTime::seconds(1));
+  EXPECT_DOUBLE_EQ(a / b, 1.5);
+}
+
+TEST(SimTimeTest, Comparison) {
+  EXPECT_LT(SimTime::seconds(1), SimTime::seconds(2));
+  EXPECT_LE(SimTime::zero(), SimTime::zero());
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1'000'000));
+}
+
+TEST(SimTimeTest, CompoundAssignment) {
+  SimTime t = SimTime::seconds(1);
+  t += SimTime::seconds(2);
+  EXPECT_EQ(t, SimTime::seconds(3));
+  t -= SimTime::seconds(1);
+  EXPECT_EQ(t, SimTime::seconds(2));
+}
+
+TEST(SimTimeTest, ToString) {
+  EXPECT_EQ(SimTime::seconds(2).to_string(), "2.000s");
+  EXPECT_EQ(SimTime::millis(5).to_string(), "5.000ms");
+  EXPECT_EQ(SimTime::micros(7).to_string(), "7.000us");
+  EXPECT_EQ(SimTime::nanos(42).to_string(), "42ns");
+}
+
+TEST(BytesTest, Literals) {
+  EXPECT_EQ(1_KB, 1024);
+  EXPECT_EQ(1_MB, 1024 * 1024);
+  EXPECT_EQ(2_GB, std::int64_t{2} * 1024 * 1024 * 1024);
+}
+
+TEST(BytesTest, Format) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KB");
+  EXPECT_EQ(format_bytes(3 * 1_MB / 2), "1.50 MB");
+  EXPECT_EQ(format_bytes(1_GB), "1.00 GB");
+}
+
+TEST(TransferTimeTest, Basic) {
+  // 100 MB at 100 MB/s = 1 s.
+  EXPECT_EQ(transfer_time(100'000'000, 100e6), SimTime::seconds(1));
+  EXPECT_EQ(transfer_time(0, 100e6), SimTime::zero());
+  EXPECT_EQ(transfer_time(-5, 100e6), SimTime::zero());
+}
+
+TEST(TransferTimeTest, GigabitNic) {
+  // 1 Gbps = 125 MB/s: 125 KB takes 1 ms.
+  const SimTime t = transfer_time(125'000, 125e6);
+  EXPECT_EQ(t, SimTime::millis(1));
+}
+
+}  // namespace
+}  // namespace ms

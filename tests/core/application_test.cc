@@ -1,0 +1,119 @@
+#include "core/application.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_ops.h"
+
+namespace ms::core {
+namespace {
+
+using ms::testing::chain_graph;
+using ms::testing::small_cluster;
+
+TEST(ApplicationTest, DefaultPlacementIsOneHauPerNode) {
+  sim::Simulation sim;
+  Cluster cluster(&sim, small_cluster(5));
+  Application app(&cluster, chain_graph(3, SimTime::millis(10)));
+  app.deploy();
+  EXPECT_EQ(app.num_haus(), 5);
+  for (int i = 0; i < app.num_haus(); ++i) {
+    EXPECT_EQ(app.hau(i).node(), i);
+  }
+  EXPECT_EQ(app.nodes_in_use(), (std::vector<net::NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(ApplicationTest, ExplicitPlacementHonored) {
+  sim::Simulation sim;
+  Cluster cluster(&sim, small_cluster(8));
+  Application app(&cluster, chain_graph(1, SimTime::millis(10)), {5, 2, 7});
+  app.deploy();
+  EXPECT_EQ(app.hau(0).node(), 5);
+  EXPECT_EQ(app.hau(1).node(), 2);
+  EXPECT_EQ(app.hau(2).node(), 7);
+}
+
+TEST(ApplicationTest, SourcesAndSinksIdentified) {
+  sim::Simulation sim;
+  Cluster cluster(&sim, small_cluster(5));
+  Application app(&cluster, chain_graph(3, SimTime::millis(10)));
+  app.deploy();
+  ASSERT_EQ(app.sources().size(), 1u);
+  EXPECT_EQ(app.sources()[0]->id(), 0);
+  ASSERT_EQ(app.sinks().size(), 1u);
+  EXPECT_TRUE(app.sinks()[0]->is_sink());
+}
+
+TEST(ApplicationTest, MetricsAccumulateAndReset) {
+  sim::Simulation sim;
+  Cluster cluster(&sim, small_cluster(4));
+  Application app(&cluster, chain_graph(2, SimTime::millis(10)));
+  app.deploy();
+  app.start();
+  sim.run_until(SimTime::seconds(1));
+  EXPECT_GT(app.sink_tuple_count(), 50);
+  EXPECT_GT(app.latency().count(), 50);
+  app.reset_metrics();
+  EXPECT_EQ(app.sink_tuple_count(), 0);
+  EXPECT_EQ(app.latency().count(), 0);
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_GT(app.sink_tuple_count(), 50);
+}
+
+TEST(ApplicationTest, SinkProbeSeesEveryTuple) {
+  sim::Simulation sim;
+  Cluster cluster(&sim, small_cluster(3));
+  Application app(&cluster, chain_graph(1, SimTime::millis(10)));
+  app.deploy();
+  std::int64_t probed = 0;
+  app.set_sink_probe([&](const Tuple&, SimTime) { ++probed; });
+  app.start();
+  sim.run_until(SimTime::seconds(1));
+  EXPECT_EQ(probed, app.sink_tuple_count());
+}
+
+TEST(ApplicationTest, TotalStateSizeSumsHaus) {
+  sim::Simulation sim;
+  Cluster cluster(&sim, small_cluster(3));
+  Application app(&cluster, chain_graph(1, SimTime::millis(10)));
+  app.deploy();
+  Bytes total = 0;
+  for (int i = 0; i < app.num_haus(); ++i) total += app.hau(i).state_size();
+  EXPECT_EQ(app.total_state_size(), total);
+}
+
+TEST(ApplicationDeathTest, PlacementOnStorageNodeRejected) {
+  sim::Simulation sim;
+  Cluster cluster(&sim, small_cluster(3));
+  Application app(&cluster, chain_graph(1, SimTime::millis(10)),
+                  {0, 1, 3});  // node 3 is the storage node
+  EXPECT_DEATH(app.deploy(), "bad placement");
+}
+
+TEST(ApplicationDeathTest, TooFewNodesRejected) {
+  sim::Simulation sim;
+  Cluster cluster(&sim, small_cluster(2));
+  Application app(&cluster, chain_graph(3, SimTime::millis(10)));
+  EXPECT_DEATH(app.deploy(), "not enough compute nodes");
+}
+
+TEST(ClusterTest, FailAndReviveNode) {
+  sim::Simulation sim;
+  Cluster cluster(&sim, small_cluster(3));
+  EXPECT_TRUE(cluster.node_alive(1));
+  cluster.fail_node(1);
+  EXPECT_FALSE(cluster.node_alive(1));
+  EXPECT_FALSE(cluster.network().alive(1));
+  cluster.revive_node(1);
+  EXPECT_TRUE(cluster.node_alive(1));
+  EXPECT_TRUE(cluster.network().alive(1));
+}
+
+TEST(ClusterTest, StorageNodeIsLast) {
+  sim::Simulation sim;
+  Cluster cluster(&sim, small_cluster(10));
+  EXPECT_EQ(cluster.storage_node(), 10);
+  EXPECT_EQ(cluster.num_nodes(), 11);
+}
+
+}  // namespace
+}  // namespace ms::core

@@ -1,0 +1,172 @@
+// Credit-based flow control: output queues, backpressure propagation,
+// dispatch timestamping, token queue-jumping, and reconnection resets.
+#include <gtest/gtest.h>
+
+#include "../testing/test_ops.h"
+#include "core/application.h"
+#include "core/hau.h"
+
+namespace ms::core {
+namespace {
+
+using ms::testing::chain_graph;
+using ms::testing::CounterSource;
+using ms::testing::RecordingSink;
+using ms::testing::RelayOperator;
+using ms::testing::small_cluster;
+
+class FlowControlTest : public ::testing::Test {
+ protected:
+  void build(int relays, int window, SimTime source_period) {
+    auto params = small_cluster(relays + 2);
+    params.flow_window = window;
+    cluster_ = std::make_unique<Cluster>(&sim_, params);
+    app_ = std::make_unique<Application>(cluster_.get(),
+                                         chain_graph(relays, source_period));
+    app_->deploy();
+    app_->start();
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Application> app_;
+};
+
+TEST_F(FlowControlTest, PausedConsumerLimitsInFlightToWindow) {
+  build(1, /*window=*/8, SimTime::millis(5));
+  Hau& relay = app_->hau(1);
+  relay.pause();
+  sim_.run_until(SimTime::seconds(2));
+  // At most `window` tuples reached the paused relay; the rest queue at the
+  // source's out-edge.
+  EXPECT_LE(relay.buffered_items(0), 8u);
+  Hau& src = app_->hau(0);
+  EXPECT_GT(src.pending_out_tuples(), 100u);
+  EXPECT_GT(src.pending_out_bytes(), 0);
+}
+
+TEST_F(FlowControlTest, CreditsFlowBackAfterResume) {
+  build(1, 8, SimTime::millis(5));
+  Hau& relay = app_->hau(1);
+  relay.pause();
+  sim_.run_until(SimTime::seconds(1));
+  relay.resume();
+  sim_.run_until(SimTime::seconds(4));
+  // The backlog drains: the sink received (almost) everything emitted.
+  auto& sink = static_cast<RecordingSink&>(app_->hau(2).op());
+  EXPECT_GT(sink.values.size(), 700u);
+  // Order preserved end to end despite the stall.
+  for (std::size_t i = 0; i < sink.values.size(); ++i) {
+    EXPECT_EQ(sink.values[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST_F(FlowControlTest, BackpressurePropagatesUpstream) {
+  build(2, 4, SimTime::millis(5));
+  // Pause the LAST relay; the first relay must eventually stall too.
+  Hau& relay0 = app_->hau(1);
+  Hau& relay1 = app_->hau(2);
+  relay1.pause();
+  sim_.run_until(SimTime::seconds(2));
+  const auto processed_at_stall = relay0.tuples_processed();
+  sim_.run_until(SimTime::seconds(3));
+  // relay0 is blocked on send (its window to relay1 is exhausted).
+  EXPECT_LE(relay0.tuples_processed() - processed_at_stall, 1u);
+  EXPECT_GT(relay0.pending_out_tuples(), 0u);
+}
+
+TEST_F(FlowControlTest, SourceTuplesTimestampedAtDispatchNotGeneration) {
+  build(1, 4, SimTime::millis(5));
+  Hau& relay = app_->hau(1);
+  relay.pause();
+  sim_.run_until(SimTime::seconds(2));  // large ingest backlog accumulates
+  relay.resume();
+  sim_.run_until(SimTime::seconds(6));
+  // If event_time were stamped at generation, tuples would carry multi-
+  // second queue waits and the mean latency would be in the seconds.
+  EXPECT_LT(app_->latency().mean(), SimTime::millis(500));
+  EXPECT_GT(app_->latency().count(), 100);
+}
+
+TEST_F(FlowControlTest, JumpQueueTokenOvertakesPendingTuples) {
+  build(1, 4, SimTime::millis(5));
+  Hau& src = app_->hau(0);
+  Hau& relay = app_->hau(1);
+  relay.pause();  // freeze consumption so the source accumulates pending
+  sim_.run_until(SimTime::seconds(1));
+  ASSERT_GT(src.pending_out_tuples(), 10u);
+  src.send_token(0, Token{42, true}, /*jump_queue=*/true);
+  relay.resume();
+  // The token reaches the relay's buffer ahead of the pending tuples: the
+  // default HauFt drops it, and everything still arrives in order.
+  sim_.run_until(SimTime::seconds(4));
+  auto& sink = static_cast<RecordingSink&>(app_->hau(2).op());
+  for (std::size_t i = 0; i < sink.values.size(); ++i) {
+    EXPECT_EQ(sink.values[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST_F(FlowControlTest, PendingBehindTokensReportsQueuedTuples) {
+  build(1, 4, SimTime::millis(5));
+  Hau& src = app_->hau(0);
+  app_->hau(1).pause();
+  sim_.run_until(SimTime::seconds(1));
+  src.send_token(0, Token{7, true}, /*jump_queue=*/true);
+  const auto pending = src.pending_behind_tokens();
+  EXPECT_EQ(pending.size(), src.pending_out_tuples());
+  for (const auto& [port, tuple] : pending) {
+    EXPECT_EQ(port, 0);
+    EXPECT_GT(tuple.edge_seq, 0u);
+  }
+}
+
+TEST_F(FlowControlTest, ResetEdgeFlowDropsPendingAndRestoresCredits) {
+  build(1, 4, SimTime::millis(5));
+  Hau& src = app_->hau(0);
+  app_->hau(1).pause();
+  sim_.run_until(SimTime::seconds(1));
+  ASSERT_GT(src.pending_out_tuples(), 0u);
+  src.reset_edge_flow(0);
+  EXPECT_EQ(src.pending_out_tuples(), 0u);
+}
+
+TEST_F(FlowControlTest, TokensConsumeAndReturnCredits) {
+  build(1, 4, SimTime::millis(50));  // slow source: no data backlog
+  Hau& src = app_->hau(0);
+  sim_.run_until(SimTime::millis(200));
+  // Send more tokens than the window; all are eventually delivered and
+  // dropped by the default FT, which must return their credits.
+  for (int i = 0; i < 12; ++i) src.send_token(0, Token{static_cast<std::uint64_t>(i), false});
+  sim_.run_until(SimTime::seconds(3));
+  EXPECT_EQ(src.pending_out_tuples(), 0u);
+  // Data still flows afterwards: credits were returned for every token.
+  auto& sink = static_cast<RecordingSink&>(app_->hau(2).op());
+  const auto n = sink.values.size();
+  sim_.run_until(SimTime::seconds(5));
+  EXPECT_GT(sink.values.size(), n + 20);
+}
+
+class WindowSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowSweepTest, ExactlyOnceOrderedDeliveryForAnyWindow) {
+  sim::Simulation sim;
+  auto params = small_cluster(4);
+  params.flow_window = GetParam();
+  Cluster cluster(&sim, params);
+  Application app(&cluster, chain_graph(2, SimTime::millis(4)));
+  app.deploy();
+  app.start();
+  sim.run_until(SimTime::seconds(4));
+  auto& sink = static_cast<RecordingSink&>(app.hau(3).op());
+  ASSERT_GT(sink.values.size(), 100u);
+  for (std::size_t i = 0; i < sink.values.size(); ++i) {
+    ASSERT_EQ(sink.values[i], static_cast<std::int64_t>(i))
+        << "window=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweepTest,
+                         ::testing::Values(1, 2, 4, 16, 64, 256));
+
+}  // namespace
+}  // namespace ms::core

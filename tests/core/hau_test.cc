@@ -1,0 +1,220 @@
+#include "core/hau.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_ops.h"
+#include "core/application.h"
+
+namespace ms::core {
+namespace {
+
+using ms::testing::chain_graph;
+using ms::testing::CounterSource;
+using ms::testing::IntPayload;
+using ms::testing::RecordingSink;
+using ms::testing::RelayOperator;
+using ms::testing::small_cluster;
+
+class HauTest : public ::testing::Test {
+ protected:
+  void build_chain(int relays) {
+    cluster_ = std::make_unique<Cluster>(&sim_, small_cluster(relays + 2));
+    app_ = std::make_unique<Application>(cluster_.get(),
+                                         chain_graph(relays, SimTime::millis(10)));
+    app_->deploy();
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Application> app_;
+};
+
+TEST_F(HauTest, TuplesFlowSourceToSink) {
+  build_chain(2);
+  app_->start();
+  sim_.run_until(SimTime::seconds(1));
+  auto& sink = static_cast<RecordingSink&>(app_->hau(3).op());
+  // 100 emissions in 1 s at 10 ms period (minus pipeline fill).
+  EXPECT_GE(sink.values.size(), 95u);
+  // Values are the consecutive integers, in order.
+  for (std::size_t i = 0; i < sink.values.size(); ++i) {
+    EXPECT_EQ(sink.values[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST_F(HauTest, LatencyIsRecordedAtSink) {
+  build_chain(2);
+  app_->start();
+  sim_.run_until(SimTime::seconds(1));
+  EXPECT_GT(app_->sink_tuple_count(), 0);
+  // Chain latency: ~3 hops of network + processing, well under 10 ms here.
+  EXPECT_GT(app_->latency().mean(), SimTime::zero());
+  EXPECT_LT(app_->latency().mean(), SimTime::millis(10));
+}
+
+TEST_F(HauTest, PauseStopsProcessingResumeDrains) {
+  build_chain(1);
+  app_->start();
+  Hau& relay = app_->hau(1);
+  sim_.schedule_at(SimTime::millis(100), [&] { relay.pause(); });
+  sim_.run_until(SimTime::millis(500));
+  const auto processed_at_pause = relay.tuples_processed();
+  sim_.run_until(SimTime::millis(900));
+  EXPECT_EQ(relay.tuples_processed(), processed_at_pause);
+  EXPECT_GT(relay.buffered_items(0), 0u);
+  relay.resume();
+  sim_.run_until(SimTime::seconds(2));
+  EXPECT_GT(relay.tuples_processed(), processed_at_pause + 50);
+}
+
+TEST_F(HauTest, NestedPauseNeedsMatchingResumes) {
+  build_chain(1);
+  app_->start();
+  Hau& relay = app_->hau(1);
+  relay.pause();
+  relay.pause();
+  relay.resume();
+  EXPECT_TRUE(relay.paused());
+  relay.resume();
+  EXPECT_FALSE(relay.paused());
+}
+
+TEST_F(HauTest, BlockedPortHoldsTuples) {
+  build_chain(1);
+  app_->start();
+  Hau& relay = app_->hau(1);
+  relay.block_port(0);
+  sim_.run_until(SimTime::millis(300));
+  EXPECT_EQ(relay.tuples_processed(), 0u);
+  EXPECT_GT(relay.buffered_items(0), 10u);
+  relay.unblock_port(0);
+  sim_.run_until(SimTime::millis(600));
+  EXPECT_GT(relay.tuples_processed(), 20u);
+}
+
+TEST_F(HauTest, TokenAtHeadInvokesFtAndDefaultDropsIt) {
+  build_chain(1);
+  app_->start();
+  sim_.run_until(SimTime::millis(50));
+  Hau& src = app_->hau(0);
+  src.send_token(0, Token{7, false});
+  sim_.run_until(SimTime::millis(200));
+  // Default HauFt drops stray tokens; stream keeps flowing.
+  auto& sink = static_cast<RecordingSink&>(app_->hau(2).op());
+  EXPECT_GT(sink.values.size(), 10u);
+}
+
+TEST_F(HauTest, StateCaptureRestoreRoundTrip) {
+  build_chain(1);
+  app_->start();
+  sim_.run_until(SimTime::millis(500));
+  Hau& relay = app_->hau(1);
+  auto& op = static_cast<RelayOperator&>(relay.op());
+  const std::int64_t sum = op.sum();
+  const std::int64_t seen = op.seen();
+  ASSERT_GT(seen, 0);
+
+  const CheckpointImage image = relay.capture_state({}, 1);
+  EXPECT_EQ(image.checkpoint_id, 1u);
+  EXPECT_FALSE(image.operator_state.empty());
+
+  sim_.run_until(SimTime::seconds(1));
+  EXPECT_GT(op.seen(), seen);
+
+  relay.restore_state(image);
+  EXPECT_EQ(op.sum(), sum);
+  EXPECT_EQ(op.seen(), seen);
+}
+
+TEST_F(HauTest, CaptureIncludesEdgeProgress) {
+  build_chain(1);
+  app_->start();
+  sim_.run_until(SimTime::millis(500));
+  Hau& relay = app_->hau(1);
+  const CheckpointImage image = relay.capture_state({}, 2);
+  ASSERT_EQ(image.in_port_progress.size(), 1u);
+  EXPECT_EQ(image.in_port_progress[0], relay.last_processed_edge_seq(0));
+  ASSERT_EQ(image.out_port_next_seq.size(), 1u);
+  EXPECT_GT(image.out_port_next_seq[0], 1u);
+}
+
+TEST_F(HauTest, DuplicateEdgeSeqIsDropped) {
+  build_chain(1);
+  app_->start();
+  sim_.run_until(SimTime::millis(200));
+  Hau& relay = app_->hau(1);
+  const auto processed = relay.tuples_processed();
+  // Re-deliver a stale tuple with an old sequence number.
+  Tuple dup;
+  dup.edge_seq = 1;
+  dup.wire_size = 64;
+  dup.payload = std::make_shared<IntPayload>(0);
+  relay.receive(0, StreamItem(std::move(dup)));
+  sim_.run_until(SimTime::millis(210));
+  // Nothing extra beyond the regular stream was processed.
+  EXPECT_LE(relay.tuples_processed(), processed + 2);
+}
+
+TEST_F(HauTest, FailureDropsBuffersAndOrphansMessages) {
+  build_chain(1);
+  app_->start();
+  sim_.run_until(SimTime::millis(300));
+  Hau& relay = app_->hau(1);
+  relay.on_node_failed();
+  EXPECT_TRUE(relay.failed());
+  EXPECT_EQ(relay.buffered_items(0), 0u);
+  sim_.run_until(SimTime::millis(600));
+  EXPECT_TRUE(relay.failed());
+}
+
+TEST_F(HauTest, RestartClearsStateAndReopenResumes) {
+  build_chain(1);
+  app_->start();
+  sim_.run_until(SimTime::millis(300));
+  Hau& relay = app_->hau(1);
+  auto& op = static_cast<RelayOperator&>(relay.op());
+  relay.on_node_failed();
+  const auto inc_before = relay.incarnation();
+  relay.restart_on(relay.node());
+  EXPECT_GT(relay.incarnation(), inc_before);
+  EXPECT_EQ(op.seen(), 0);
+  relay.reopen();
+  sim_.run_until(SimTime::seconds(1));
+  EXPECT_GT(op.seen(), 0);
+}
+
+TEST_F(HauTest, CostMultiplierSlowsProcessing) {
+  build_chain(1);
+  // Two runs: with and without multiplier; compare processed counts under a
+  // saturated operator. Saturate by making the relay slow.
+  app_->start();
+  Hau& relay = app_->hau(1);
+  relay.op().costs().base = SimTime::millis(9);
+  sim_.run_until(SimTime::seconds(2));
+  const auto base_count = relay.tuples_processed();
+  relay.set_cost_multiplier(3.0);
+  sim_.run_until(SimTime::seconds(4));
+  const auto taxed = relay.tuples_processed() - base_count;
+  EXPECT_LT(taxed, base_count / 2);
+}
+
+TEST_F(HauTest, FindOutPort) {
+  build_chain(2);
+  Hau& src = app_->hau(0);
+  Hau& relay0 = app_->hau(1);
+  EXPECT_EQ(src.find_out_port(relay0, 0), 0);
+}
+
+TEST_F(HauTest, BufferedBytesTracksQueue) {
+  build_chain(1);
+  app_->start();
+  Hau& relay = app_->hau(1);
+  relay.pause();
+  sim_.run_until(SimTime::millis(200));
+  EXPECT_GT(relay.buffered_bytes(), 0);
+  EXPECT_EQ(relay.buffered_bytes(),
+            static_cast<Bytes>(relay.buffered_items(0)) * 128);
+}
+
+}  // namespace
+}  // namespace ms::core

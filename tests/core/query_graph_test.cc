@@ -1,0 +1,108 @@
+#include "core/query_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_ops.h"
+
+namespace ms::core {
+namespace {
+
+using ms::testing::RecordingSink;
+using ms::testing::RelayOperator;
+
+OperatorFactory relay() {
+  return [] { return std::make_unique<RelayOperator>("op"); };
+}
+
+TEST(QueryGraphTest, ConnectAllocatesPorts) {
+  QueryGraph g;
+  const int a = g.add_source("a", relay());
+  const int b = g.add_operator("b", relay());
+  const int c = g.add_sink("c", relay());
+  g.connect(a, b);
+  g.connect(a, c);
+  g.connect(b, c);
+  EXPECT_EQ(g.out_degree(a), 2);
+  EXPECT_EQ(g.in_degree(c), 2);
+  EXPECT_EQ(g.edge(0).out_port, 0);
+  EXPECT_EQ(g.edge(1).out_port, 1);
+  EXPECT_EQ(g.edge(1).in_port, 0);
+  EXPECT_EQ(g.edge(2).in_port, 1);
+}
+
+TEST(QueryGraphTest, ValidAcyclicGraphPasses) {
+  const QueryGraph g = ms::testing::chain_graph(3, SimTime::millis(10));
+  EXPECT_TRUE(g.validate().is_ok());
+  EXPECT_EQ(g.num_operators(), 5);
+}
+
+TEST(QueryGraphTest, SourceWithInputsRejected) {
+  QueryGraph g;
+  const int a = g.add_source("a", relay());
+  const int b = g.add_source("b", relay());
+  const int c = g.add_sink("c", relay());
+  g.connect(a, b);  // source b must not have inputs
+  g.connect(b, c);
+  const Status st = g.validate();
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("has inputs"), std::string::npos);
+}
+
+TEST(QueryGraphTest, OrphanOperatorRejected) {
+  QueryGraph g;
+  const int a = g.add_source("a", relay());
+  const int b = g.add_operator("orphan", relay());
+  const int c = g.add_sink("c", relay());
+  g.connect(a, c);
+  (void)b;
+  EXPECT_FALSE(g.validate().is_ok());
+}
+
+TEST(QueryGraphTest, DeadEndOperatorRejected) {
+  QueryGraph g;
+  const int a = g.add_source("a", relay());
+  const int b = g.add_operator("deadend", relay());
+  g.connect(a, b);  // b has no outputs and is not a sink
+  EXPECT_FALSE(g.validate().is_ok());
+}
+
+TEST(QueryGraphTest, SourcesAndSinksEnumerated) {
+  QueryGraph g;
+  const int s1 = g.add_source("s1", relay());
+  const int s2 = g.add_source("s2", relay());
+  const int k = g.add_sink("k", relay());
+  g.connect(s1, k);
+  g.connect(s2, k);
+  EXPECT_EQ(g.sources(), (std::vector<int>{s1, s2}));
+  EXPECT_EQ(g.sinks(), (std::vector<int>{k}));
+}
+
+TEST(QueryGraphTest, TopologicalOrderRespectsEdges) {
+  QueryGraph g;
+  const int a = g.add_source("a", relay());
+  const int b = g.add_operator("b", relay());
+  const int c = g.add_operator("c", relay());
+  const int d = g.add_sink("d", relay());
+  g.connect(a, c);
+  g.connect(a, b);
+  g.connect(b, d);
+  g.connect(c, d);
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](int v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(a), pos(c));
+  EXPECT_LT(pos(b), pos(d));
+  EXPECT_LT(pos(c), pos(d));
+}
+
+TEST(QueryGraphDeathTest, SelfLoopRejected) {
+  QueryGraph g;
+  const int a = g.add_operator("a", relay());
+  EXPECT_DEATH(g.connect(a, a), "self-loop");
+}
+
+}  // namespace
+}  // namespace ms::core

@@ -1,0 +1,255 @@
+// Standard operator library: map/filter/route/fan-out/union/tumbling
+// aggregate, including checkpoint round trips and delta tracking.
+#include "core/stdops.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_ops.h"
+#include "core/application.h"
+
+namespace ms::core {
+namespace {
+
+using ms::testing::CounterSource;
+using ms::testing::IntPayload;
+using ms::testing::RecordingSink;
+using ms::testing::small_cluster;
+
+Tuple int_tuple(std::int64_t v) {
+  Tuple t;
+  t.wire_size = 64;
+  t.payload = std::make_shared<IntPayload>(v);
+  return t;
+}
+
+std::int64_t value_of(const Tuple& t) {
+  return t.payload_as<IntPayload>()->value;
+}
+
+class StdOpsPipelineTest : public ::testing::Test {
+ protected:
+  void run(const QueryGraph& g, SimTime duration, int nodes = 8) {
+    cluster_ = std::make_unique<Cluster>(&sim_, small_cluster(nodes));
+    app_ = std::make_unique<Application>(cluster_.get(), g);
+    app_->deploy();
+    app_->start();
+    sim_.run_until(duration);
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Application> app_;
+};
+
+TEST_F(StdOpsPipelineTest, MapTransformsValues) {
+  QueryGraph g;
+  const int src = g.add_source("src", [] {
+    return std::make_unique<CounterSource>("src", SimTime::millis(10));
+  });
+  const int map = g.add_operator("x10", [] {
+    return std::make_unique<MapOperator>("x10", [](const Tuple& t,
+                                                   OperatorContext&) {
+      return int_tuple(value_of(t) * 10);
+    });
+  });
+  const int sink = g.add_sink("sink", [] {
+    return std::make_unique<RecordingSink>("sink");
+  });
+  g.connect(src, map);
+  g.connect(map, sink);
+  run(g, SimTime::seconds(1));
+  auto& s = static_cast<RecordingSink&>(app_->hau(2).op());
+  ASSERT_GT(s.values.size(), 50u);
+  for (std::size_t i = 0; i < s.values.size(); ++i) {
+    EXPECT_EQ(s.values[i], static_cast<std::int64_t>(i) * 10);
+  }
+}
+
+TEST_F(StdOpsPipelineTest, FilterDropsAndCounts) {
+  QueryGraph g;
+  const int src = g.add_source("src", [] {
+    return std::make_unique<CounterSource>("src", SimTime::millis(10));
+  });
+  const int f = g.add_operator("even", [] {
+    return std::make_unique<FilterOperator>("even", [](const Tuple& t) {
+      return value_of(t) % 2 == 0;
+    });
+  });
+  const int sink = g.add_sink("sink", [] {
+    return std::make_unique<RecordingSink>("sink");
+  });
+  g.connect(src, f);
+  g.connect(f, sink);
+  run(g, SimTime::seconds(1));
+  auto& s = static_cast<RecordingSink&>(app_->hau(2).op());
+  ASSERT_GT(s.values.size(), 20u);
+  for (const auto v : s.values) EXPECT_EQ(v % 2, 0);
+  auto& filt = static_cast<FilterOperator&>(app_->hau(1).op());
+  EXPECT_NEAR(static_cast<double>(filt.dropped()),
+              static_cast<double>(s.values.size()), 3.0);
+}
+
+TEST_F(StdOpsPipelineTest, KeyRoutePartitionsByKey) {
+  QueryGraph g;
+  const int src = g.add_source("src", [] {
+    return std::make_unique<CounterSource>("src", SimTime::millis(5));
+  });
+  const int route = g.add_operator("route", [] {
+    return std::make_unique<KeyRouteOperator>("route", [](const Tuple& t) {
+      return static_cast<std::uint64_t>(value_of(t));
+    });
+  });
+  const int sink = g.add_sink("sink", [] {
+    return std::make_unique<RecordingSink>("sink");
+  });
+  g.connect(src, route);
+  g.connect(route, sink);  // port 0: even keys? (2 ports below)
+  g.connect(route, sink);  // port 1
+  run(g, SimTime::seconds(1));
+  auto& s = static_cast<RecordingSink&>(app_->hau(2).op());
+  for (const auto& [port, values] : s.by_port) {
+    for (const auto v : values) {
+      EXPECT_EQ(v % 2, port) << "value routed to wrong partition";
+    }
+  }
+  EXPECT_EQ(s.by_port.size(), 2u);
+}
+
+TEST_F(StdOpsPipelineTest, FanOutDuplicatesToUnion) {
+  QueryGraph g;
+  const int src = g.add_source("src", [] {
+    return std::make_unique<CounterSource>("src", SimTime::millis(10));
+  });
+  const int fan = g.add_operator("fan", [] {
+    return std::make_unique<FanOutOperator>("fan");
+  });
+  const int u = g.add_operator("union", [] {
+    return std::make_unique<UnionOperator>("union");
+  });
+  const int sink = g.add_sink("sink", [] {
+    return std::make_unique<RecordingSink>("sink");
+  });
+  g.connect(src, fan);
+  g.connect(fan, u);
+  g.connect(fan, u);
+  g.connect(fan, u);
+  g.connect(u, sink);
+  run(g, SimTime::seconds(1));
+  auto& s = static_cast<RecordingSink&>(app_->hau(3).op());
+  // Three copies of each value (modulo a small in-flight tail).
+  std::map<std::int64_t, int> counts;
+  for (const auto v : s.values) ++counts[v];
+  int complete = 0;
+  for (const auto& [v, c] : counts) {
+    EXPECT_LE(c, 3);
+    if (c == 3) ++complete;
+  }
+  EXPECT_GT(complete, 50);
+}
+
+TEST_F(StdOpsPipelineTest, TumblingAggregateSumsPerKeyAndClears) {
+  // The RecordingSink expects IntPayload, so a map stage converts each
+  // window summary into its count.
+  QueryGraph g2;
+  const int src2 = g2.add_source("src", [] {
+    return std::make_unique<CounterSource>("src", SimTime::millis(2));
+  });
+  const int agg2 = g2.add_operator("agg", [] {
+    return std::make_unique<TumblingAggregateOperator>(
+        "agg", SimTime::seconds(1),
+        [](const Tuple& t) { return static_cast<std::uint64_t>(value_of(t) % 4); },
+        [](const Tuple&) { return 1.0; });
+  });
+  const int to_int = g2.add_operator("to_int", [] {
+    return std::make_unique<MapOperator>(
+        "to_int", [](const Tuple& t, OperatorContext&) {
+          const auto* s = t.payload_as<TumblingAggregateOperator::Summary>();
+          return int_tuple(s != nullptr ? s->count : -1);
+        });
+  });
+  const int sink2 = g2.add_sink("sink", [] {
+    return std::make_unique<RecordingSink>("sink");
+  });
+  g2.connect(src2, agg2);
+  g2.connect(agg2, to_int);
+  g2.connect(to_int, sink2);
+  run(g2, SimTime::seconds(3) + SimTime::millis(200));
+
+  auto& aggregate = static_cast<TumblingAggregateOperator&>(app_->hau(1).op());
+  EXPECT_GE(aggregate.windows_completed(), 3);
+  // Each flush emitted 4 per-key counts of ~125 tuples (500/s over 4 keys).
+  auto& s = static_cast<RecordingSink&>(app_->hau(3).op());
+  ASSERT_GE(s.values.size(), 8u);
+  for (const auto v : s.values) {
+    EXPECT_GT(v, 80);
+    EXPECT_LT(v, 160);
+  }
+}
+
+TEST(StdOpsStateTest, TumblingAggregateCheckpointRoundTrip) {
+  TumblingAggregateOperator op(
+      "agg", SimTime::seconds(1),
+      [](const Tuple& t) { return static_cast<std::uint64_t>(value_of(t)); },
+      [](const Tuple&) { return 2.5; });
+  // Feed directly (context-free path: process ignores ctx).
+  class NullCtx final : public OperatorContext {
+   public:
+    SimTime now() const override { return SimTime::zero(); }
+    Rng& rng() override { return rng_; }
+    void emit(int, Tuple) override {}
+    int num_out_ports() const override { return 1; }
+    int num_in_ports() const override { return 1; }
+    void schedule(SimTime, std::function<void(OperatorContext&)>) override {}
+    void charge(SimTime) override {}
+    int hau_id() const override { return 0; }
+
+   private:
+    Rng rng_{1};
+  } ctx;
+  for (int i = 0; i < 10; ++i) op.process(0, int_tuple(i % 3), ctx);
+  EXPECT_EQ(op.keys_in_window(), 3u);
+  const Bytes size = op.state_size();
+  EXPECT_EQ(size, 3 * 64);
+
+  BinaryWriter w;
+  op.serialize_state(w);
+  TumblingAggregateOperator restored(
+      "agg", SimTime::seconds(1),
+      [](const Tuple& t) { return static_cast<std::uint64_t>(value_of(t)); },
+      [](const Tuple&) { return 2.5; });
+  BinaryReader r(w.data());
+  restored.deserialize_state(r);
+  EXPECT_EQ(restored.keys_in_window(), 3u);
+  EXPECT_EQ(restored.state_size(), size);
+}
+
+TEST(StdOpsStateTest, TumblingAggregateDeltaTracking) {
+  TumblingAggregateOperator op(
+      "agg", SimTime::seconds(1),
+      [](const Tuple& t) { return static_cast<std::uint64_t>(value_of(t)); },
+      [](const Tuple&) { return 1.0; });
+  class NullCtx final : public OperatorContext {
+   public:
+    SimTime now() const override { return SimTime::zero(); }
+    Rng& rng() override { return rng_; }
+    void emit(int, Tuple) override {}
+    int num_out_ports() const override { return 1; }
+    int num_in_ports() const override { return 1; }
+    void schedule(SimTime, std::function<void(OperatorContext&)>) override {}
+    void charge(SimTime) override {}
+    int hau_id() const override { return 0; }
+
+   private:
+    Rng rng_{1};
+  } ctx;
+  for (int i = 0; i < 5; ++i) op.process(0, int_tuple(i), ctx);
+  EXPECT_EQ(op.state_delta_size(), op.state_size());
+  op.mark_checkpointed();
+  EXPECT_EQ(op.state_delta_size(), 0);
+  op.process(0, int_tuple(99), ctx);
+  EXPECT_GT(op.state_delta_size(), 0);
+  EXPECT_LE(op.state_delta_size(), op.state_size());
+}
+
+}  // namespace
+}  // namespace ms::core

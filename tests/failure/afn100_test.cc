@@ -1,0 +1,67 @@
+#include "failure/afn100.h"
+
+#include <gtest/gtest.h>
+
+namespace ms::failure {
+namespace {
+
+TEST(Afn100Test, PaperNetworkExampleTotals7640) {
+  // Paper §II-B1: "there are 7640 network failures in total:
+  // AFN100 = 7640/2400 * 100 > 300".
+  const auto incidents = google_network_incidents(2400);
+  double total = 0.0;
+  for (const auto& i : incidents) total += i.node_failures_per_year();
+  EXPECT_DOUBLE_EQ(total, 7640.0);
+  const double a = afn100(incidents, 2400);
+  EXPECT_NEAR(a, 318.33, 0.01);
+  EXPECT_GT(a, 300.0);
+}
+
+TEST(Afn100Test, IncidentBreakdownMatchesKeynote) {
+  const auto incidents = google_network_incidents(2400);
+  ASSERT_EQ(incidents.size(), 5u);
+  // One rewiring hits 5% of 2400 nodes = 120.
+  EXPECT_DOUBLE_EQ(incidents[0].node_failures_per_year(), 120.0);
+  // Twenty rack failures x 80 nodes = 1600.
+  EXPECT_DOUBLE_EQ(incidents[1].node_failures_per_year(), 1600.0);
+  // Five instabilities x 80 = 400.
+  EXPECT_DOUBLE_EQ(incidents[2].node_failures_per_year(), 400.0);
+  // Fifteen router events x 240 = 3600.
+  EXPECT_DOUBLE_EQ(incidents[3].node_failures_per_year(), 3600.0);
+  // Eight maintenances x 240 = 1920.
+  EXPECT_DOUBLE_EQ(incidents[4].node_failures_per_year(), 1920.0);
+}
+
+TEST(Afn100Test, Table1RowsMatchPaper) {
+  const auto rows = table1();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].source, "Network");
+  EXPECT_GE(rows[0].google_lo, 300.0);
+  EXPECT_DOUBLE_EQ(rows[0].abe_lo, 250.0);
+  EXPECT_TRUE(rows[0].major_burst_cause);
+  EXPECT_EQ(rows[1].source, "Environment");
+  EXPECT_FALSE(rows[1].abe_available);
+  EXPECT_EQ(rows[3].source, "Disk");
+  EXPECT_DOUBLE_EQ(rows[3].google_lo, 1.7);
+  EXPECT_DOUBLE_EQ(rows[3].google_hi, 8.6);
+  EXPECT_FALSE(rows[3].major_burst_cause);
+  EXPECT_EQ(rows[4].source, "Memory");
+  EXPECT_DOUBLE_EQ(rows[4].google_lo, 1.3);
+}
+
+TEST(Afn100Test, GoogleModelRatesSane) {
+  const FailureModel m = FailureModel::google();
+  EXPECT_GT(m.total_afn100, 500.0);
+  EXPECT_DOUBLE_EQ(m.burst_fraction, 0.10);
+  // Per-node failure rate: ~5.4 failures/node/year.
+  const double per_year = m.per_node_rate_per_second() * 365.25 * 24 * 3600;
+  EXPECT_NEAR(per_year, m.total_afn100 / 100.0, 1e-9);
+}
+
+TEST(Afn100Test, AbeLowerThanGoogle) {
+  EXPECT_LT(FailureModel::abe().total_afn100,
+            FailureModel::google().total_afn100);
+}
+
+}  // namespace
+}  // namespace ms::failure

@@ -1,0 +1,151 @@
+#include "failure/burst.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_ops.h"
+
+namespace ms::failure {
+namespace {
+
+TEST(FailureTraceTest, DeterministicForSeed) {
+  FailureTraceGenerator a(FailureModel::google(), 42);
+  FailureTraceGenerator b(FailureModel::google(), 42);
+  const auto ta = a.generate(240, 80, SimTime::minutes(600));
+  const auto tb = b.generate(240, 80, SimTime::minutes(600));
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].at, tb[i].at);
+    EXPECT_EQ(ta[i].nodes, tb[i].nodes);
+    EXPECT_EQ(ta[i].kind, tb[i].kind);
+  }
+}
+
+TEST(FailureTraceTest, SortedByTime) {
+  FailureTraceGenerator gen(FailureModel::google(), 7);
+  gen.set_acceleration(2000.0);
+  const auto trace = gen.generate(160, 80, SimTime::minutes(60));
+  ASSERT_GT(trace.size(), 5u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].at, trace[i - 1].at);
+  }
+}
+
+TEST(FailureTraceTest, StorageNodeNeverFails) {
+  FailureTraceGenerator gen(FailureModel::google(), 7);
+  gen.set_acceleration(5000.0);
+  const auto trace = gen.generate(160, 80, SimTime::minutes(60));
+  for (const auto& ev : trace) {
+    for (const auto n : ev.nodes) EXPECT_NE(n, 159);
+  }
+}
+
+TEST(FailureTraceTest, RackBurstsCoverWholeRack) {
+  FailureTraceGenerator gen(FailureModel::google(), 11);
+  gen.set_acceleration(5000.0);
+  const auto trace = gen.generate(240, 80, SimTime::minutes(120));
+  bool saw_rack = false;
+  for (const auto& ev : trace) {
+    if (ev.kind == FailureEvent::Kind::kRackBurst) {
+      saw_rack = true;
+      // All nodes of one rack (the storage node may be excluded).
+      EXPECT_GE(ev.nodes.size(), 79u);
+      const int rack = ev.nodes.front() / 80;
+      for (const auto n : ev.nodes) EXPECT_EQ(n / 80, rack);
+      EXPECT_GT(ev.repair_after, SimTime::minutes(59));
+    }
+  }
+  EXPECT_TRUE(saw_rack);
+}
+
+TEST(FailureTraceTest, BurstShareRoughlyMatchesModel) {
+  FailureTraceGenerator gen(FailureModel::google(), 13);
+  gen.set_acceleration(1000.0);
+  const auto trace = gen.generate(800, 80, SimTime::minutes(600),
+                                  /*spare_storage_node=*/true);
+  std::int64_t single = 0, burst = 0;
+  for (const auto& ev : trace) {
+    if (ev.kind == FailureEvent::Kind::kSingleNode) {
+      single += static_cast<std::int64_t>(ev.nodes.size());
+    } else {
+      burst += static_cast<std::int64_t>(ev.nodes.size());
+    }
+  }
+  ASSERT_GT(single + burst, 100);
+  const double share =
+      static_cast<double>(burst) / static_cast<double>(single + burst);
+  // Model says ~10 % of failures are correlated; generation is stochastic.
+  EXPECT_GT(share, 0.02);
+  EXPECT_LT(share, 0.4);
+}
+
+TEST(FailureInjectorTest, InjectNowFailsNodesAndHaus) {
+  sim::Simulation sim;
+  core::Cluster cluster(&sim, ms::testing::small_cluster(4));
+  core::Application app(&cluster,
+                        ms::testing::chain_graph(2, SimTime::millis(10)));
+  app.deploy();
+  app.start();
+  FailureInjector injector(&cluster, &app);
+  injector.inject_now({1, 2});
+  EXPECT_FALSE(cluster.node_alive(1));
+  EXPECT_TRUE(app.hau(1).failed());
+  EXPECT_TRUE(app.hau(2).failed());
+  EXPECT_FALSE(app.hau(0).failed());
+  EXPECT_EQ(injector.nodes_failed(), 2);
+}
+
+TEST(FailureInjectorTest, FailWholeApplication) {
+  sim::Simulation sim;
+  core::Cluster cluster(&sim, ms::testing::small_cluster(6));
+  core::Application app(&cluster,
+                        ms::testing::chain_graph(2, SimTime::millis(10)));
+  app.deploy();
+  app.start();
+  FailureInjector injector(&cluster, &app);
+  const auto failed = injector.fail_whole_application();
+  EXPECT_EQ(failed.size(), 4u);
+  for (int i = 0; i < app.num_haus(); ++i) EXPECT_TRUE(app.hau(i).failed());
+  EXPECT_TRUE(cluster.node_alive(4));  // unused compute node stays up
+}
+
+TEST(FailureInjectorTest, ScheduledEventRevivesNodes) {
+  sim::Simulation sim;
+  core::Cluster cluster(&sim, ms::testing::small_cluster(4));
+  core::Application app(&cluster,
+                        ms::testing::chain_graph(1, SimTime::millis(10)));
+  app.deploy();
+  app.start();
+  FailureInjector injector(&cluster, &app);
+  FailureEvent ev;
+  ev.kind = FailureEvent::Kind::kSingleNode;
+  ev.at = SimTime::seconds(1);
+  ev.nodes = {1};
+  ev.repair_after = SimTime::seconds(5);
+  injector.schedule({ev});
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_FALSE(cluster.node_alive(1));
+  sim.run_until(SimTime::seconds(7));
+  EXPECT_TRUE(cluster.node_alive(1));
+  // The HAU does not come back on its own (recovery is the scheme's job).
+  EXPECT_TRUE(app.hau(1).failed());
+}
+
+TEST(FailureInjectorTest, DoubleFailureIsIdempotent) {
+  sim::Simulation sim;
+  core::Cluster cluster(&sim, ms::testing::small_cluster(3));
+  FailureInjector injector(&cluster, nullptr);
+  injector.inject_now({0});
+  injector.inject_now({0});
+  EXPECT_EQ(injector.nodes_failed(), 1);
+}
+
+TEST(FailureKindTest, Names) {
+  EXPECT_STREQ(failure_kind_name(FailureEvent::Kind::kSingleNode),
+               "single-node");
+  EXPECT_STREQ(failure_kind_name(FailureEvent::Kind::kRackBurst), "rack-burst");
+  EXPECT_STREQ(failure_kind_name(FailureEvent::Kind::kPowerBurst),
+               "power-burst");
+}
+
+}  // namespace
+}  // namespace ms::failure

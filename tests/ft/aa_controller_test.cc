@@ -1,0 +1,176 @@
+#include "ft/aa_controller.h"
+
+#include <gtest/gtest.h>
+
+namespace ms::ft {
+namespace {
+
+FtParams params() {
+  FtParams p;
+  p.checkpoint_period = SimTime::seconds(6);
+  p.dynamic_threshold = 0.5;
+  p.relaxation_min = 0.2;
+  return p;
+}
+
+struct Harness {
+  AaController aa{params()};
+  int queries = 0;
+  int checkpoints = 0;
+  std::vector<bool> alert_transitions;
+
+  Harness() {
+    aa.set_hooks(AaController::Hooks{
+        .query_dynamic_haus = [this] { ++queries; },
+        .trigger_checkpoint = [this] { ++checkpoints; },
+        .set_alert_reporting =
+            [this](bool on) { alert_transitions.push_back(on); },
+    });
+  }
+};
+
+TEST(AaControllerTest, DynamicSelectionByMinAvgRatio) {
+  Harness h;
+  h.aa.begin(SimTime::zero());
+  h.aa.report_observation(1, /*min=*/10.0, /*avg=*/100.0);  // dynamic
+  h.aa.report_observation(2, /*min=*/80.0, /*avg=*/100.0);  // static
+  h.aa.report_observation(3, /*min=*/49.0, /*avg=*/100.0);  // dynamic
+  h.aa.finish_observation(SimTime::seconds(6));
+  EXPECT_TRUE(h.aa.is_dynamic(1));
+  EXPECT_FALSE(h.aa.is_dynamic(2));
+  EXPECT_TRUE(h.aa.is_dynamic(3));
+  EXPECT_EQ(h.aa.phase(), AaController::Phase::kProfiling);
+}
+
+TEST(AaControllerTest, ProfilingComputesSmaxWithRelaxation) {
+  Harness h;
+  h.aa.begin(SimTime::zero());
+  h.aa.report_observation(1, 10.0, 100.0);
+  h.aa.finish_observation(SimTime::zero());
+  // One HAU's polyline over two periods of 6 s: minima 100 and 40.
+  h.aa.report_turning_point(1, SimTime::seconds(1), 300, 0);
+  h.aa.report_turning_point(1, SimTime::seconds(3), 100, 50);   // min p1
+  h.aa.report_turning_point(1, SimTime::seconds(7), 250, -70);  // max p2
+  h.aa.report_turning_point(1, SimTime::seconds(10), 40, 60);   // min p2
+  h.aa.finish_profiling(SimTime::seconds(12));
+  EXPECT_EQ(h.aa.phase(), AaController::Phase::kExecution);
+  EXPECT_DOUBLE_EQ(h.aa.smin(), 40.0);
+  EXPECT_DOUBLE_EQ(h.aa.smax(), 100.0);  // above smin*1.2 = 48
+}
+
+TEST(AaControllerTest, RelaxationFloorAppliedWhenMinimaAreTight) {
+  Harness h;
+  h.aa.begin(SimTime::zero());
+  h.aa.report_observation(1, 10.0, 100.0);
+  h.aa.finish_observation(SimTime::zero());
+  h.aa.report_turning_point(1, SimTime::seconds(1), 200, 0);
+  h.aa.report_turning_point(1, SimTime::seconds(3), 100, 10);
+  h.aa.report_turning_point(1, SimTime::seconds(5), 150, -10);
+  h.aa.report_turning_point(1, SimTime::seconds(9), 102, 10);
+  h.aa.finish_profiling(SimTime::seconds(12));
+  // Minima ~100 and ~102: smax floored to smin * 1.2.
+  EXPECT_NEAR(h.aa.smax(), h.aa.smin() * 1.2, 1.0);
+}
+
+// The paper's Fig. 11 walkthrough: two dynamic HAUs; alert mode entered when
+// the queried total falls below smax; the checkpoint fires at the first
+// positive aggregate ICR.
+class Fig11Test : public ::testing::Test {
+ protected:
+  Fig11Test() {
+    h.aa.force_execution({1, 2}, /*smax=*/250.0, /*smin=*/140.0);
+  }
+  Harness h;
+};
+
+TEST_F(Fig11Test, PeriodStartQueryAboveSmaxStaysNormal) {
+  h.aa.on_period_start(SimTime::zero());
+  EXPECT_EQ(h.queries, 1);
+  // t0: HAU1=200 (rising 50/s), HAU2=230: total 430 > smax.
+  h.aa.on_query_response(1, SimTime::zero(), 200, 50);
+  h.aa.on_query_response(2, SimTime::zero(), 230, -30);
+  EXPECT_FALSE(h.aa.alert_mode());
+  EXPECT_EQ(h.checkpoints, 0);
+}
+
+TEST_F(Fig11Test, HalfDropTriggersQueryAndAlertEntry) {
+  h.aa.on_period_start(SimTime::zero());
+  h.aa.on_query_response(1, SimTime::zero(), 200, 50);
+  h.aa.on_query_response(2, SimTime::zero(), 230, -30);
+  // t2: HAU2 drops from 200 to 100 (> half): notification → query round.
+  h.aa.on_half_drop_notification(2, SimTime::seconds(2));
+  EXPECT_EQ(h.queries, 2);
+  // Responses: p2(100, +30) for HAU2, p3(140, -50) for HAU1: total 240 <
+  // smax → alert mode; aggregate ICR = -20 < 0 → no checkpoint yet.
+  h.aa.on_query_response(2, SimTime::seconds(2), 100, 30);
+  h.aa.on_query_response(1, SimTime::seconds(2), 140, -50);
+  EXPECT_TRUE(h.aa.alert_mode());
+  EXPECT_EQ(h.checkpoints, 0);
+  EXPECT_DOUBLE_EQ(h.aa.aggregate_icr(), -20.0);
+}
+
+TEST_F(Fig11Test, CheckpointFiresAtFirstPositiveAggregateIcr) {
+  h.aa.on_period_start(SimTime::zero());
+  h.aa.on_query_response(1, SimTime::zero(), 200, 50);
+  h.aa.on_query_response(2, SimTime::zero(), 230, -30);
+  h.aa.on_half_drop_notification(2, SimTime::seconds(2));
+  h.aa.on_query_response(2, SimTime::seconds(2), 100, 30);
+  h.aa.on_query_response(1, SimTime::seconds(2), 140, -50);
+  ASSERT_TRUE(h.aa.alert_mode());
+  // t4: HAU1 reports turning point p5(40, +60): aggregate ICR = 90 > 0 →
+  // checkpoint now (paper fires at t4 in period 1).
+  h.aa.report_turning_point(1, SimTime::seconds(4), 40, 60);
+  EXPECT_EQ(h.checkpoints, 1);
+  EXPECT_FALSE(h.aa.alert_mode());
+  EXPECT_TRUE(h.aa.checkpoint_done_this_period());
+}
+
+TEST_F(Fig11Test, PeriodEndForcesCheckpointIfNoneFired) {
+  h.aa.on_period_start(SimTime::zero());
+  h.aa.on_query_response(1, SimTime::zero(), 300, 10);
+  h.aa.on_query_response(2, SimTime::zero(), 300, 10);
+  EXPECT_FALSE(h.aa.alert_mode());
+  h.aa.on_period_end(SimTime::seconds(6));
+  EXPECT_EQ(h.checkpoints, 1);
+}
+
+TEST_F(Fig11Test, NoSecondCheckpointInSamePeriod) {
+  h.aa.on_period_start(SimTime::zero());
+  h.aa.on_query_response(1, SimTime::zero(), 100, 10);
+  h.aa.on_query_response(2, SimTime::zero(), 40, 20);
+  // total 140 < smax, ICR positive right away → fires on entry evaluation.
+  EXPECT_EQ(h.checkpoints, 1);
+  // Later turning points in the same period do not fire again.
+  h.aa.report_turning_point(1, SimTime::seconds(3), 120, 50);
+  EXPECT_EQ(h.checkpoints, 1);
+  // Period end does not force a second one either.
+  h.aa.on_period_end(SimTime::seconds(6));
+  EXPECT_EQ(h.checkpoints, 1);
+}
+
+TEST_F(Fig11Test, NewPeriodResetsAlertAndReadings) {
+  h.aa.on_period_start(SimTime::zero());
+  h.aa.on_query_response(1, SimTime::zero(), 100, 10);
+  h.aa.on_query_response(2, SimTime::zero(), 40, 20);
+  EXPECT_EQ(h.checkpoints, 1);
+  h.aa.on_period_start(SimTime::seconds(6));
+  EXPECT_FALSE(h.aa.checkpoint_done_this_period());
+  EXPECT_EQ(h.queries, 2);
+  EXPECT_DOUBLE_EQ(h.aa.aggregate_size(), 0.0);  // readings invalidated
+}
+
+TEST(AaControllerTest, EmptyProfilingDegradesGracefully) {
+  Harness h;
+  h.aa.begin(SimTime::zero());
+  h.aa.report_observation(1, 90.0, 100.0);  // nothing dynamic
+  h.aa.finish_observation(SimTime::zero());
+  EXPECT_TRUE(h.aa.dynamic_haus().empty());
+  h.aa.finish_profiling(SimTime::seconds(12));
+  // Execution works; every period ends with a forced checkpoint.
+  h.aa.on_period_start(SimTime::seconds(12));
+  h.aa.on_period_end(SimTime::seconds(18));
+  EXPECT_EQ(h.checkpoints, 1);
+}
+
+}  // namespace
+}  // namespace ms::ft

@@ -1,0 +1,126 @@
+// End-to-end application-aware pipeline on a synthetic sawtooth workload:
+// observation detects the windowed aggregate as the only dynamic HAU,
+// profiling derives thresholds from its turning points, and the execution
+// phase fires checkpoints near the window boundaries (state minima) instead
+// of at arbitrary instants.
+#include <gtest/gtest.h>
+
+#include "../testing/test_ops.h"
+#include "core/stdops.h"
+#include "ft/meteor_shower.h"
+
+namespace ms::ft {
+namespace {
+
+using ms::testing::CounterSource;
+using ms::testing::IntPayload;
+using ms::testing::RecordingSink;
+using ms::testing::RelayOperator;
+using ms::testing::small_cluster;
+
+core::QueryGraph sawtooth_graph(SimTime window) {
+  core::QueryGraph g;
+  const int src = g.add_source("src", [] {
+    return std::make_unique<CounterSource>("src", SimTime::millis(5));
+  });
+  const int relay = g.add_operator("relay", [] {
+    return std::make_unique<RelayOperator>("relay");
+  });
+  const int agg = g.add_operator("agg", [window] {
+    return std::make_unique<core::TumblingAggregateOperator>(
+        "agg", window,
+        [](const core::Tuple& t) {
+          return static_cast<std::uint64_t>(
+              t.payload_as<ms::testing::IntPayload>()->value % 8);
+        },
+        [](const core::Tuple&) { return 1.0; },
+        /*declared_entry_bytes=*/512_KB);
+  });
+  const int to_int = g.add_operator("to_int", [] {
+    return std::make_unique<core::MapOperator>(
+        "to_int", [](const core::Tuple& t, core::OperatorContext&) {
+          const auto* s =
+              t.payload_as<core::TumblingAggregateOperator::Summary>();
+          core::Tuple out;
+          out.wire_size = 64;
+          out.payload = std::make_shared<ms::testing::IntPayload>(
+              s != nullptr ? s->count : -1);
+          return out;
+        });
+  });
+  const int sink = g.add_sink("sink", [] {
+    return std::make_unique<RecordingSink>("sink");
+  });
+  g.connect(src, relay);
+  g.connect(relay, agg);
+  g.connect(agg, to_int);
+  g.connect(to_int, sink);
+  return g;
+}
+
+TEST(AaPipelineTest, DetectsDynamicHauAndChecksPointsNearMinima) {
+  sim::Simulation sim;
+  core::Cluster cluster(&sim, small_cluster(6));
+  // Aggregate window 20 s: a fast sawtooth the profiler can learn.
+  core::Application app(&cluster, sawtooth_graph(SimTime::seconds(20)));
+  app.deploy();
+  FtParams p;
+  p.periodic = true;
+  p.checkpoint_period = SimTime::seconds(30);
+  p.profile_period = SimTime::seconds(40);  // two sawtooth cycles per phase
+  p.profile_periods = 2;
+  p.state_sample_period = SimTime::seconds(1);
+  p.checkpoint_during_profiling = false;
+  MsScheme scheme(&app, p, MsVariant::kSrcApAa);
+  scheme.attach();
+  app.start();
+  scheme.start();
+
+  // Observation (40 s) + profiling (80 s).
+  sim.run_until(SimTime::seconds(125));
+  EXPECT_EQ(scheme.aa().phase(), AaController::Phase::kExecution);
+  ASSERT_EQ(scheme.aa().dynamic_haus().size(), 1u);
+  EXPECT_EQ(scheme.aa().dynamic_haus()[0], 2);  // the aggregate
+  EXPECT_GT(scheme.aa().smax(), 0.0);
+
+  // Execution: several periods. The sawtooth peak is ~8 keys x 512 KB =
+  // 4 MB; aa-chosen checkpoints should land near the empty-pool minima.
+  sim.run_until(SimTime::seconds(330));
+  ASSERT_GE(scheme.checkpoints().size(), 4u);
+  int near_minimum = 0;
+  for (const auto& c : scheme.checkpoints()) {
+    if (c.initiated < SimTime::seconds(125)) continue;
+    if (c.total_declared < 2_MB) ++near_minimum;
+  }
+  EXPECT_GE(near_minimum, 2) << "no checkpoint landed near a state minimum";
+}
+
+TEST(AaPipelineTest, StaticPipelineDegradesToForcedPeriodEnds) {
+  // No dynamic state at all: the controller finds no dynamic HAUs, alert
+  // mode never triggers, and every period ends with a forced checkpoint —
+  // plain MS-src+ap cadence.
+  sim::Simulation sim;
+  core::Cluster cluster(&sim, small_cluster(6));
+  core::Application app(&cluster,
+                        ms::testing::chain_graph(2, SimTime::millis(10)));
+  app.deploy();
+  FtParams p;
+  p.periodic = true;
+  p.checkpoint_period = SimTime::seconds(20);
+  p.profile_period = SimTime::seconds(20);
+  p.profile_periods = 1;
+  p.state_sample_period = SimTime::seconds(1);
+  p.checkpoint_during_profiling = false;
+  MsScheme scheme(&app, p, MsVariant::kSrcApAa);
+  scheme.attach();
+  app.start();
+  scheme.start();
+  sim.run_until(SimTime::seconds(130));
+  EXPECT_TRUE(scheme.aa().dynamic_haus().empty());
+  // Observation+profiling = 40 s; ~4 execution periods follow.
+  EXPECT_GE(scheme.checkpoints().size(), 3u);
+  EXPECT_LE(scheme.checkpoints().size(), 5u);
+}
+
+}  // namespace
+}  // namespace ms::ft

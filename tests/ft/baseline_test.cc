@@ -1,0 +1,173 @@
+#include "ft/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "../testing/test_ops.h"
+
+namespace ms::ft {
+namespace {
+
+using ms::testing::chain_graph;
+using ms::testing::RecordingSink;
+using ms::testing::RelayOperator;
+using ms::testing::small_cluster;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void build(int relays, FtParams params) {
+    cluster_ = std::make_unique<core::Cluster>(
+        &sim_, small_cluster(relays + 2 + 2));  // two spare nodes
+    app_ = std::make_unique<core::Application>(
+        cluster_.get(), chain_graph(relays, SimTime::millis(10)));
+    app_->deploy();
+    scheme_ = std::make_unique<BaselineScheme>(app_.get(), params);
+    scheme_->attach();
+    app_->start();
+  }
+
+  FtParams quick_params() {
+    FtParams p;
+    p.checkpoint_period = SimTime::seconds(2);
+    return p;
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<core::Cluster> cluster_;
+  std::unique_ptr<core::Application> app_;
+  std::unique_ptr<BaselineScheme> scheme_;
+};
+
+TEST_F(BaselineTest, PeriodicCheckpointsHappenPerHau) {
+  build(2, quick_params());
+  sim_.run_until(SimTime::seconds(10));
+  // 4 HAUs, period 2 s over 10 s: roughly 4-5 checkpoints per HAU.
+  EXPECT_GE(scheme_->reports().size(), 12u);
+  // Each HAU's checkpoint is in shared storage.
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    EXPECT_TRUE(cluster_->shared_storage().contains(scheme_->checkpoint_key(i)))
+        << "HAU " << i;
+  }
+}
+
+TEST_F(BaselineTest, CheckpointsAreSynchronousPauses) {
+  FtParams p = quick_params();
+  build(1, p);
+  // Make the relay's state large so the pause is visible.
+  auto& relay = static_cast<RelayOperator&>(app_->hau(1).op());
+  relay.set_extra_state_bytes(200_MB);
+  sim_.run_until(SimTime::seconds(10));
+  ASSERT_FALSE(scheme_->reports().empty());
+  bool saw_relay = false;
+  for (const auto& r : scheme_->reports()) {
+    if (r.hau_id == 1) {
+      saw_relay = true;
+      // 200 MB: serialize 0.5 s + network 1.6 s + disk 2 s.
+      EXPECT_GT(r.total(), SimTime::seconds(3));
+    }
+  }
+  EXPECT_TRUE(saw_relay);
+}
+
+TEST_F(BaselineTest, InputPreservationRetainsOutputTuples) {
+  FtParams p = quick_params();
+  p.periodic = false;  // no checkpoints: nothing ever acknowledged
+  build(1, p);
+  sim_.run_until(SimTime::seconds(2));
+  auto& src_ft = static_cast<BaselineHauFt&>(app_->hau(0).ft());
+  auto& relay_ft = static_cast<BaselineHauFt&>(app_->hau(1).ft());
+  // ~200 tuples emitted by each of source and relay, all retained.
+  EXPECT_GT(src_ft.preserved_count(), 150u);
+  EXPECT_GT(relay_ft.preserved_count(), 150u);
+  EXPECT_GT(src_ft.preserved_mem_bytes(), 0);
+}
+
+TEST_F(BaselineTest, AcksTruncatePreservedPrefix) {
+  build(1, quick_params());
+  sim_.run_until(SimTime::seconds(9));
+  auto& src_ft = static_cast<BaselineHauFt&>(app_->hau(0).ft());
+  // The relay checkpoints every 2 s and acks; the source's buffer holds
+  // only the tail since the relay's last checkpoint (< ~2.5 s of tuples).
+  EXPECT_LT(src_ft.preserved_count(), 320u);
+  EXPECT_GT(src_ft.preserved_count(), 0u);
+}
+
+TEST_F(BaselineTest, SpillsToDiskWhenBufferFull) {
+  FtParams p = quick_params();
+  p.periodic = false;
+  p.preservation_buffer = 16_KB;  // tiny buffer: spill quickly
+  build(1, p);
+  sim_.run_until(SimTime::seconds(10));
+  EXPECT_GT(scheme_->spilled_bytes(), 0);
+  EXPECT_GT(cluster_->node(0).disk->bytes_written(), 0);
+}
+
+TEST_F(BaselineTest, PreservationCostChargedOnCriticalPath) {
+  FtParams p = quick_params();
+  p.periodic = false;
+  build(1, p);
+  sim_.run_until(SimTime::seconds(5));
+  EXPECT_GT(scheme_->preservation_cpu_seconds(), 0.0);
+}
+
+TEST_F(BaselineTest, SingleHauRecoveryRestoresStateAndResends) {
+  build(1, quick_params());
+  sim_.run_until(SimTime::seconds(5));  // a few checkpoints done
+  core::Hau& relay = app_->hau(1);
+  auto& relay_op = static_cast<RelayOperator&>(relay.op());
+  const auto seen_before_crash = relay_op.seen();
+  ASSERT_GT(seen_before_crash, 0);
+
+  cluster_->fail_node(relay.node());
+  relay.on_node_failed();
+  sim_.run_until(SimTime::seconds(6));
+
+  bool done = false;
+  RecoveryStats stats;
+  const net::NodeId spare = 3;  // nodes 0..2 in use, 3-4 spare, 5 storage
+  scheme_->recover_hau(1, spare, [&](RecoveryStats s) {
+    done = true;
+    stats = s;
+  });
+  sim_.run_until(SimTime::seconds(20));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(relay.node(), spare);
+  EXPECT_FALSE(relay.failed());
+  EXPECT_GT(stats.total(), SimTime::zero());
+  EXPECT_GT(stats.disk_io, SimTime::zero());
+
+  // The relay reprocesses resent tuples and keeps going.
+  sim_.run_until(SimTime::seconds(30));
+  EXPECT_GT(relay_op.seen(), seen_before_crash);
+
+  // Exactly-once at the sink: values 0..N with no duplicates.
+  auto& sink = static_cast<RecordingSink&>(app_->hau(2).op());
+  std::vector<std::int64_t> sorted = sink.values;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_NE(sorted[i], sorted[i - 1]) << "duplicate value at sink";
+  }
+  // No gaps: the recovered stream covers a contiguous prefix.
+  EXPECT_EQ(sorted.front(), 0);
+  EXPECT_EQ(sorted.back(), static_cast<std::int64_t>(sorted.size()) - 1);
+}
+
+TEST_F(BaselineTest, RecoveryImpossibleWhenUpstreamAlsoDied) {
+  build(2, quick_params());
+  sim_.run_until(SimTime::seconds(5));
+  // Correlated burst: relay0 and relay1 both die.
+  cluster_->fail_node(app_->hau(1).node());
+  cluster_->fail_node(app_->hau(2).node());
+  app_->hau(1).on_node_failed();
+  app_->hau(2).on_node_failed();
+  sim_.run_until(SimTime::seconds(6));
+  // Recovering relay1 needs relay0's preservation buffer, which is gone.
+  EXPECT_DEATH(
+      {
+        scheme_->recover_hau(2, 4, [](RecoveryStats) {});
+        sim_.run_until(SimTime::seconds(30));
+      },
+      "correlated failure");
+}
+
+}  // namespace
+}  // namespace ms::ft

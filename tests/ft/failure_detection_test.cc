@@ -1,0 +1,108 @@
+// Failure detection (paper Sec. III-A): the controller pings the source
+// nodes; every other node is monitored by its upstream neighbours; a node
+// can also be reported when its connection drops. Detection triggers
+// whole-application recovery from the spare pool.
+#include <gtest/gtest.h>
+
+#include "../testing/test_ops.h"
+#include "ft/meteor_shower.h"
+
+namespace ms::ft {
+namespace {
+
+using ms::testing::chain_graph;
+using ms::testing::RecordingSink;
+using ms::testing::small_cluster;
+
+class FailureDetectionTest : public ::testing::Test {
+ protected:
+  void build() {
+    cluster_ = std::make_unique<core::Cluster>(&sim_, small_cluster(10));
+    app_ = std::make_unique<core::Application>(
+        cluster_.get(), chain_graph(2, SimTime::millis(10)));
+    app_->deploy();
+    FtParams p;
+    p.periodic = true;
+    p.checkpoint_period = SimTime::seconds(3);
+    p.ping_period = SimTime::millis(500);
+    scheme_ = std::make_unique<MsScheme>(app_.get(), p, MsVariant::kSrcAp);
+    scheme_->attach();
+    scheme_->enable_failure_detection({5, 6, 7, 8, 9});
+    app_->start();
+    scheme_->start();
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<core::Cluster> cluster_;
+  std::unique_ptr<core::Application> app_;
+  std::unique_ptr<MsScheme> scheme_;
+};
+
+TEST_F(FailureDetectionTest, SourceNodeFailureDetectedByControllerPing) {
+  build();
+  sim_.run_until(SimTime::seconds(5));
+  cluster_->fail_node(app_->hau(0).node());
+  app_->hau(0).on_node_failed();
+  sim_.run_until(SimTime::seconds(20));
+  ASSERT_EQ(scheme_->recoveries().size(), 1u);
+  EXPECT_FALSE(app_->hau(0).failed());
+  // Detection latency: within a couple of ping periods.
+  EXPECT_LT(scheme_->recoveries().front().started, SimTime::seconds(7));
+}
+
+TEST_F(FailureDetectionTest, MidChainNodeFailureDetectedByUpstreamMonitor) {
+  build();
+  sim_.run_until(SimTime::seconds(5));
+  // Kill the middle relay's node only: the controller does not ping it, so
+  // detection must come from relay0's (its upstream's) monitor.
+  core::Hau& relay1 = app_->hau(2);
+  cluster_->fail_node(relay1.node());
+  relay1.on_node_failed();
+  sim_.run_until(SimTime::seconds(20));
+  ASSERT_EQ(scheme_->recoveries().size(), 1u);
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    EXPECT_FALSE(app_->hau(i).failed()) << "HAU " << i;
+  }
+}
+
+TEST_F(FailureDetectionTest, SinkNodeFailureDetectedToo) {
+  build();
+  sim_.run_until(SimTime::seconds(5));
+  core::Hau& sink = app_->hau(3);
+  cluster_->fail_node(sink.node());
+  sink.on_node_failed();
+  sim_.run_until(SimTime::seconds(20));
+  ASSERT_EQ(scheme_->recoveries().size(), 1u);
+  EXPECT_FALSE(app_->hau(3).failed());
+}
+
+TEST_F(FailureDetectionTest, NoFalsePositivesOnHealthyRun) {
+  build();
+  sim_.run_until(SimTime::seconds(30));
+  EXPECT_TRUE(scheme_->recoveries().empty());
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    EXPECT_FALSE(app_->hau(i).failed());
+  }
+}
+
+TEST_F(FailureDetectionTest, StreamContinuesExactlyOnceAfterAutoRecovery) {
+  build();
+  sim_.run_until(SimTime::seconds(6));
+  cluster_->fail_node(app_->hau(1).node());
+  app_->hau(1).on_node_failed();
+  sim_.run_until(SimTime::seconds(60));
+  ASSERT_EQ(scheme_->recoveries().size(), 1u);
+  auto& sink = static_cast<RecordingSink&>(app_->hau(3).op());
+  std::vector<std::int64_t> sorted = sink.values;
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_GT(sorted.size(), 1000u);
+  std::int64_t missing = sorted.front();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    ASSERT_NE(sorted[i], sorted[i - 1]) << "duplicate";
+    missing += sorted[i] - sorted[i - 1] - 1;
+  }
+  EXPECT_LE(missing, 10);
+}
+
+}  // namespace
+}  // namespace ms::ft

@@ -1,0 +1,347 @@
+#include "ft/meteor_shower.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../testing/test_ops.h"
+
+namespace ms::ft {
+namespace {
+
+using ms::testing::chain_graph;
+using ms::testing::CounterSource;
+using ms::testing::RecordingSink;
+using ms::testing::RelayOperator;
+using ms::testing::small_cluster;
+
+/// Stand-alone rig so tests can run two schemes side by side.
+struct Rig {
+  void build(int relays, FtParams params, MsVariant variant,
+             int spare_nodes = 6) {
+    cluster_ = std::make_unique<core::Cluster>(
+        &sim_, small_cluster(relays + 2 + spare_nodes));
+    app_ = std::make_unique<core::Application>(
+        cluster_.get(), chain_graph(relays, SimTime::millis(10)));
+    app_->deploy();
+    scheme_ = std::make_unique<MsScheme>(app_.get(), params, variant);
+    scheme_->attach();
+    app_->start();
+    scheme_->start();
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<core::Cluster> cluster_;
+  std::unique_ptr<core::Application> app_;
+  std::unique_ptr<MsScheme> scheme_;
+};
+
+class MsSchemeTest : public ::testing::TestWithParam<MsVariant> {
+ protected:
+  void build(int relays, FtParams params, MsVariant variant,
+             int spare_nodes = 6) {
+    rig_.build(relays, params, variant, spare_nodes);
+  }
+
+  static FtParams manual_params() {
+    FtParams p;
+    p.periodic = false;
+    return p;
+  }
+
+  static std::vector<net::NodeId> spares(int from, int count) {
+    std::vector<net::NodeId> out;
+    for (int i = 0; i < count; ++i) out.push_back(from + i);
+    return out;
+  }
+
+  Rig rig_;
+  sim::Simulation& sim_ = rig_.sim_;
+  std::unique_ptr<core::Cluster>& cluster_ = rig_.cluster_;
+  std::unique_ptr<core::Application>& app_ = rig_.app_;
+  std::unique_ptr<MsScheme>& scheme_ = rig_.scheme_;
+};
+
+/// Exactly-once verdict over sink values: no duplicates ever; every value
+/// dispatched downstream is delivered exactly once. A bounded number of
+/// values may be missing entirely — sensor data that was still in the
+/// source's preservation batch (never dispatched) when the node died.
+void expect_exactly_once(std::vector<std::int64_t> values,
+                         std::int64_t max_missing) {
+  std::sort(values.begin(), values.end());
+  ASSERT_FALSE(values.empty());
+  std::int64_t missing = values.front();
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    ASSERT_NE(values[i], values[i - 1]) << "duplicate value at sink";
+    missing += values[i] - values[i - 1] - 1;
+  }
+  EXPECT_LE(missing, max_missing)
+      << "lost values beyond the undispatched-batch window";
+}
+
+TEST(MsVariantTest, Names) {
+  EXPECT_STREQ(ms_variant_name(MsVariant::kSrc), "MS-src");
+  EXPECT_STREQ(ms_variant_name(MsVariant::kSrcAp), "MS-src+ap");
+  EXPECT_STREQ(ms_variant_name(MsVariant::kSrcApAa), "MS-src+ap+aa");
+}
+
+TEST_F(MsSchemeTest, SourcePreservationLogsDispatchedTuples) {
+  build(1, manual_params(), MsVariant::kSrc);
+  sim_.run_until(SimTime::seconds(2));
+  const auto& src_ft = static_cast<const MsHauFt&>(app_->hau(0).ft());
+  ASSERT_NE(src_ft.preserve_log(), nullptr);
+  // ~200 tuples at 10 ms period, batched appends keep the log close.
+  EXPECT_GT(src_ft.preserve_log()->entries.size(), 150u);
+  // The log object lives in shared storage.
+  EXPECT_TRUE(
+      cluster_->shared_storage().contains(scheme_->preserve_key(0)));
+  EXPECT_GT(cluster_->shared_storage().size_of(scheme_->preserve_key(0)), 0);
+}
+
+TEST_F(MsSchemeTest, NonSourcesDoNotPreserve) {
+  build(1, manual_params(), MsVariant::kSrc);
+  sim_.run_until(SimTime::seconds(2));
+  const auto& relay_ft = static_cast<const MsHauFt&>(app_->hau(1).ft());
+  EXPECT_EQ(relay_ft.preserve_log(), nullptr);
+}
+
+TEST_F(MsSchemeTest, TrickleCheckpointCompletesWholeApplication) {
+  build(2, manual_params(), MsVariant::kSrc);
+  sim_.run_until(SimTime::seconds(1));
+  scheme_->trigger_checkpoint();
+  sim_.run_until(SimTime::seconds(5));
+  ASSERT_EQ(scheme_->checkpoints().size(), 1u);
+  const auto& stats = scheme_->checkpoints().front();
+  EXPECT_EQ(stats.haus_reported, app_->num_haus());
+  EXPECT_EQ(scheme_->last_completed_checkpoint(), stats.checkpoint_id);
+  // Every HAU's image is in shared storage.
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    EXPECT_TRUE(cluster_->shared_storage().contains(
+        scheme_->checkpoint_key(i, stats.checkpoint_id)));
+  }
+  // Processing continued after the checkpoint.
+  sim_.run_until(SimTime::seconds(8));
+  auto& sink = static_cast<RecordingSink&>(app_->hau(3).op());
+  EXPECT_GT(sink.values.size(), 600u);
+}
+
+TEST_F(MsSchemeTest, AsyncCheckpointCompletesAndIsFasterThanSync) {
+  FtParams p = manual_params();
+  // Give the relay enough state for timing differences to show.
+  build(2, p, MsVariant::kSrcAp);
+  static_cast<RelayOperator&>(app_->hau(1).op()).set_extra_state_bytes(50_MB);
+  static_cast<RelayOperator&>(app_->hau(2).op()).set_extra_state_bytes(50_MB);
+  sim_.run_until(SimTime::seconds(1));
+  scheme_->trigger_checkpoint();
+  sim_.run_until(SimTime::seconds(30));
+  ASSERT_EQ(scheme_->checkpoints().size(), 1u);
+  const SimTime async_total = scheme_->checkpoints().front().total();
+
+  // Same topology, MS-src.
+  Rig sync_rig;
+  sync_rig.build(2, manual_params(), MsVariant::kSrc);
+  static_cast<RelayOperator&>(sync_rig.app_->hau(1).op())
+      .set_extra_state_bytes(50_MB);
+  static_cast<RelayOperator&>(sync_rig.app_->hau(2).op())
+      .set_extra_state_bytes(50_MB);
+  sync_rig.sim_.run_until(SimTime::seconds(1));
+  sync_rig.scheme_->trigger_checkpoint();
+  sync_rig.sim_.run_until(SimTime::seconds(60));
+  ASSERT_EQ(sync_rig.scheme_->checkpoints().size(), 1u);
+  const SimTime sync_total = sync_rig.scheme_->checkpoints().front().total();
+
+  // Trickling serial checkpoints take longer than parallel ones.
+  EXPECT_LT(async_total, sync_total);
+}
+
+TEST_F(MsSchemeTest, AsyncCheckpointPausesLessThanSync) {
+  // During the checkpoint window the async variant keeps processing (only
+  // the fork pauses the SPE thread) while the sync variant suspends until
+  // the write is acknowledged. Compare tuples processed in the same window.
+  auto processed_during_checkpoint = [](MsVariant variant) {
+    Rig rig;
+    FtParams p;
+    p.periodic = false;
+    rig.build(1, p, variant);
+    static_cast<RelayOperator&>(rig.app_->hau(1).op())
+        .set_extra_state_bytes(100_MB);
+    rig.sim_.run_until(SimTime::seconds(2));
+    auto& relay = rig.app_->hau(1);
+    const auto before = relay.tuples_processed();
+    rig.scheme_->trigger_checkpoint();
+    rig.sim_.run_until(SimTime::seconds(4));
+    return relay.tuples_processed() - before;
+  };
+  const auto async_count = processed_during_checkpoint(MsVariant::kSrcAp);
+  const auto sync_count = processed_during_checkpoint(MsVariant::kSrc);
+  EXPECT_GT(async_count, sync_count);
+}
+
+TEST_F(MsSchemeTest, CheckpointStatsBreakdownPopulated) {
+  build(2, manual_params(), MsVariant::kSrcAp);
+  sim_.run_until(SimTime::seconds(1));
+  scheme_->trigger_checkpoint();
+  sim_.run_until(SimTime::seconds(10));
+  ASSERT_EQ(scheme_->checkpoints().size(), 1u);
+  const auto& s = scheme_->checkpoints().front();
+  EXPECT_GT(s.total_declared, 0);
+  EXPECT_GE(s.slowest.token_collection(), SimTime::zero());
+  EXPECT_GT(s.slowest.other(), SimTime::zero());
+  EXPECT_GT(s.slowest.disk_io(), SimTime::zero());
+  EXPECT_GT(s.total(), SimTime::zero());
+}
+
+TEST_F(MsSchemeTest, PreservedLogTruncatedAfterCheckpoint) {
+  build(1, manual_params(), MsVariant::kSrc);
+  sim_.run_until(SimTime::seconds(2));
+  const auto& src_ft = static_cast<const MsHauFt&>(app_->hau(0).ft());
+  const auto before = src_ft.preserve_log()->entries.size();
+  ASSERT_GT(before, 100u);
+  scheme_->trigger_checkpoint();
+  sim_.run_until(SimTime::seconds(4));
+  // Entries dispatched before the checkpoint boundary were discarded: the
+  // log now starts at (roughly) the boundary, which lies near `before`.
+  EXPECT_GT(src_ft.preserve_log()->start_index, before - 20);
+  // Only the post-boundary tail is retained (~2 s of tuples, not 4 s).
+  EXPECT_LT(src_ft.preserve_log()->entries.size(), before + 50);
+}
+
+using MsRecoveryTest = MsSchemeTest;
+
+TEST_P(MsRecoveryTest, WholeApplicationRecoveryIsExactlyOnce) {
+  FtParams p = manual_params();
+  build(2, p, GetParam());
+  sim_.run_until(SimTime::seconds(2));
+  scheme_->trigger_checkpoint();
+  sim_.run_until(SimTime::seconds(8));
+  ASSERT_GE(scheme_->checkpoints().size(), 1u);
+
+  // Worst case: every node hosting the application fails.
+  for (const net::NodeId n : app_->nodes_in_use()) cluster_->fail_node(n);
+  for (int i = 0; i < app_->num_haus(); ++i) app_->hau(i).on_node_failed();
+  sim_.run_until(SimTime::seconds(9));
+
+  bool done = false;
+  RecoveryStats stats;
+  scheme_->recover_application(spares(4, 4), [&](RecoveryStats s) {
+    done = true;
+    stats = s;
+  });
+  sim_.run_until(SimTime::seconds(40));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(stats.haus_recovered, 4);
+  EXPECT_GT(stats.disk_io, SimTime::zero());
+  EXPECT_GT(stats.reconnection, SimTime::zero());
+
+  // Let the replay and fresh generation run.
+  sim_.run_until(SimTime::seconds(80));
+  auto& sink = static_cast<RecordingSink&>(app_->hau(3).op());
+  ASSERT_GT(sink.values.size(), 1000u);
+  expect_exactly_once(sink.values, /*max_missing=*/10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, MsRecoveryTest,
+                         ::testing::Values(MsVariant::kSrc, MsVariant::kSrcAp),
+                         [](const auto& info) {
+                           return info.param == MsVariant::kSrc ? "src"
+                                                                : "src_ap";
+                         });
+
+TEST_F(MsSchemeTest, RecoveryWithoutAnyCheckpointRestartsFromScratch) {
+  build(1, manual_params(), MsVariant::kSrcAp);
+  sim_.run_until(SimTime::seconds(1));
+  for (const net::NodeId n : app_->nodes_in_use()) cluster_->fail_node(n);
+  for (int i = 0; i < app_->num_haus(); ++i) app_->hau(i).on_node_failed();
+
+  bool done = false;
+  scheme_->recover_application(spares(3, 3), [&](RecoveryStats) { done = true; });
+  sim_.run_until(SimTime::seconds(20));
+  ASSERT_TRUE(done);
+  // Everything replays from the log start: the sink still sees a clean
+  // stream with no duplicates and at most the undispatched-batch loss.
+  sim_.run_until(SimTime::seconds(40));
+  auto& sink = static_cast<RecordingSink&>(app_->hau(2).op());
+  ASSERT_FALSE(sink.values.empty());
+  std::vector<std::int64_t> sorted = sink.values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted.front(), 0);
+  expect_exactly_once(sink.values, /*max_missing=*/10);
+}
+
+TEST_F(MsSchemeTest, PartialBurstRollsBackAliveHausToo) {
+  build(2, manual_params(), MsVariant::kSrcAp);
+  sim_.run_until(SimTime::seconds(2));
+  scheme_->trigger_checkpoint();
+  sim_.run_until(SimTime::seconds(6));
+
+  // Only relay0's node dies (rack slice); relay1 and others stay up.
+  cluster_->fail_node(app_->hau(1).node());
+  app_->hau(1).on_node_failed();
+
+  bool done = false;
+  scheme_->recover_application(spares(4, 1), [&](RecoveryStats) { done = true; });
+  sim_.run_until(SimTime::seconds(30));
+  ASSERT_TRUE(done);
+
+  sim_.run_until(SimTime::seconds(60));
+  auto& sink = static_cast<RecordingSink&>(app_->hau(3).op());
+  ASSERT_GT(sink.values.size(), 500u);
+  expect_exactly_once(sink.values, /*max_missing=*/10);
+}
+
+TEST_F(MsSchemeTest, FailureDetectionTriggersAutomaticRecovery) {
+  FtParams p = manual_params();
+  p.ping_period = SimTime::millis(500);
+  build(1, p, MsVariant::kSrcAp);
+  scheme_->enable_failure_detection(spares(3, 3));
+  scheme_->start();  // re-arm pings now that detection is enabled
+  sim_.run_until(SimTime::seconds(2));
+  scheme_->trigger_checkpoint();
+  sim_.run_until(SimTime::seconds(5));
+
+  for (const net::NodeId n : app_->nodes_in_use()) cluster_->fail_node(n);
+  for (int i = 0; i < app_->num_haus(); ++i) app_->hau(i).on_node_failed();
+
+  sim_.run_until(SimTime::seconds(30));
+  EXPECT_EQ(scheme_->recoveries().size(), 1u);
+  EXPECT_FALSE(app_->hau(0).failed());
+  EXPECT_FALSE(app_->hau(1).failed());
+}
+
+TEST_F(MsSchemeTest, PeriodicModeCheckpointsOnSchedule) {
+  FtParams p;
+  p.periodic = true;
+  p.checkpoint_period = SimTime::seconds(3);
+  build(1, p, MsVariant::kSrcAp);
+  sim_.run_until(SimTime::seconds(11));
+  EXPECT_GE(scheme_->checkpoints().size(), 3u);
+  EXPECT_LE(scheme_->checkpoints().size(), 4u);
+}
+
+}  // namespace
+}  // namespace ms::ft
+namespace ms::ft {
+namespace {
+
+TEST_F(MsSchemeTest, WedgedEpochIsAbandonedAndCheckpointingResumes) {
+  // A frozen HAU wedges the token alignment of one epoch; after three
+  // periods the controller abandons it and later epochs complete normally.
+  FtParams p;
+  p.periodic = true;
+  p.checkpoint_period = SimTime::seconds(2);
+  build(2, p, MsVariant::kSrcAp);
+  sim_.run_until(SimTime::seconds(1));
+  app_->hau(1).pause();  // relay0 frozen: its token to relay1 never flows
+  sim_.run_until(SimTime::seconds(4));
+  EXPECT_TRUE(scheme_->checkpoints().empty());
+  app_->hau(1).resume();
+  // The wedged epoch ages out after ~3 periods; subsequent ones complete.
+  sim_.run_until(SimTime::seconds(20));
+  EXPECT_GE(scheme_->checkpoints().size(), 2u);
+  // And the stream is still healthy.
+  auto& sink = static_cast<RecordingSink&>(app_->hau(3).op());
+  expect_exactly_once(sink.values, /*max_missing=*/0);
+}
+
+}  // namespace
+}  // namespace ms::ft

@@ -1,0 +1,239 @@
+// Cross-module scenarios: the three applications under the Meteor Shower
+// schemes, correlated bursts from the failure model, and the headline
+// qualitative claims of the paper (MS survives bursts the baseline cannot;
+// async checkpointing hides the latency spike; application-aware
+// checkpointing shrinks the checkpointed state).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/signalguru.h"
+#include "apps/tmi.h"
+#include "failure/burst.h"
+#include "ft/baseline.h"
+#include "ft/meteor_shower.h"
+
+#include "../testing/test_ops.h"
+
+namespace ms {
+namespace {
+
+using ms::testing::chain_graph;
+using ms::testing::RecordingSink;
+using ms::testing::small_cluster;
+
+TEST(EndToEndTest, TmiUnderMsApWithCheckpointAndBurstRecovery) {
+  sim::Simulation sim;
+  core::ClusterParams cp;
+  cp.network.num_nodes = 111;  // 55 app + 55 spare + storage
+  core::Cluster cluster(&sim, cp);
+  apps::TmiConfig cfg;
+  cfg.window = SimTime::seconds(60);
+  cfg.records_per_second = 10;
+  core::Application app(&cluster, apps::build_tmi(cfg));
+  app.deploy();
+  ft::FtParams params;
+  params.periodic = false;
+  ft::MsScheme scheme(&app, params, ft::MsVariant::kSrcAp);
+  scheme.attach();
+  app.start();
+  scheme.start();
+
+  sim.run_until(SimTime::seconds(90));
+  scheme.trigger_checkpoint();
+  sim.run_until(SimTime::seconds(150));
+  ASSERT_EQ(scheme.checkpoints().size(), 1u);
+  const auto sink_before = app.sink_tuple_count();
+
+  // Rack burst kills the whole application (55 nodes in one rack of 80).
+  failure::FailureInjector injector(&cluster, &app);
+  injector.fail_whole_application();
+
+  std::vector<net::NodeId> spares;
+  for (net::NodeId n = 55; n < 110; ++n) spares.push_back(n);
+  bool recovered = false;
+  scheme.recover_application(spares, [&](ft::RecoveryStats) {
+    recovered = true;
+  });
+  sim.run_until(SimTime::seconds(400));
+  ASSERT_TRUE(recovered);
+  // The pipeline is alive again: sink keeps advancing past pre-failure.
+  EXPECT_GT(app.sink_tuple_count(), sink_before);
+}
+
+TEST(EndToEndTest, BaselineDiesOnBurstMsSurvives) {
+  // The paper's core motivation, as an executable statement.
+  auto run_burst = [](bool use_ms) {
+    sim::Simulation sim;
+    core::Cluster cluster(&sim, small_cluster(10));
+    core::Application app(&cluster, chain_graph(2, SimTime::millis(10)));
+    app.deploy();
+    ft::FtParams params;
+    params.checkpoint_period = SimTime::seconds(2);
+    std::unique_ptr<ft::MsScheme> ms;
+    std::unique_ptr<ft::BaselineScheme> base;
+    if (use_ms) {
+      params.periodic = false;
+      ms = std::make_unique<ft::MsScheme>(&app, params, ft::MsVariant::kSrcAp);
+      ms->attach();
+    } else {
+      base = std::make_unique<ft::BaselineScheme>(&app, params);
+      base->attach();
+    }
+    app.start();
+    if (ms) {
+      ms->start();
+      sim.run_until(SimTime::seconds(3));
+      ms->trigger_checkpoint();
+    }
+    sim.run_until(SimTime::seconds(6));
+    // Burst: relay0 and relay1 die together.
+    cluster.fail_node(app.hau(1).node());
+    cluster.fail_node(app.hau(2).node());
+    app.hau(1).on_node_failed();
+    app.hau(2).on_node_failed();
+    if (ms) {
+      bool done = false;
+      ms->recover_application({5, 6}, [&](ft::RecoveryStats) { done = true; });
+      sim.run_until(SimTime::seconds(60));
+      return done;
+    }
+    // Baseline: recovering HAU 2 requires HAU 1's in-memory preservation
+    // buffer, which died with its node — unrecoverable (asserted by the
+    // baseline test suite as a death test; here just report failure).
+    return false;
+  };
+  EXPECT_TRUE(run_burst(/*use_ms=*/true));
+  EXPECT_FALSE(run_burst(/*use_ms=*/false));
+}
+
+TEST(EndToEndTest, ApplicationAwareCheckpointsLessState) {
+  // SignalGuru: checkpoint at a random instant (plain ap) vs. at the
+  // aa-chosen instant; aa's checkpointed bytes are significantly smaller.
+  auto checkpointed_bytes = [](ft::MsVariant variant) {
+    sim::Simulation sim;
+    core::ClusterParams cp;
+    cp.network.num_nodes = 60;
+    core::Cluster cluster(&sim, cp);
+    apps::SgConfig cfg;
+    cfg.frame_bytes = 64_KB;  // keep the test fast
+    core::Application app(&cluster, apps::build_signalguru(cfg));
+    app.deploy();
+    ft::FtParams params;
+    params.periodic = variant == ft::MsVariant::kSrcApAa;
+    params.checkpoint_period = SimTime::seconds(45);
+    params.profile_periods = 2;
+    ft::MsScheme scheme(&app, params, variant);
+    scheme.attach();
+    app.start();
+    scheme.start();
+    if (variant == ft::MsVariant::kSrcApAa) {
+      // Observation (1 period) + profiling (2) + two execution periods.
+      sim.run_until(SimTime::seconds(45 * 5 + 30));
+      const auto& ckpts = scheme.checkpoints();
+      // Use the aa-triggered checkpoints (after the profiling pipeline).
+      Bytes best = -1;
+      for (const auto& c : ckpts) {
+        if (c.initiated > SimTime::seconds(45 * 3)) {
+          best = best < 0 ? c.total_declared
+                          : std::min(best, c.total_declared);
+        }
+      }
+      return best;
+    }
+    sim.run_until(SimTime::seconds(100));
+    scheme.trigger_checkpoint();
+    sim.run_until(SimTime::seconds(200));
+    return scheme.checkpoints().empty()
+               ? Bytes{-1}
+               : scheme.checkpoints().front().total_declared;
+  };
+  const Bytes random_instant = checkpointed_bytes(ft::MsVariant::kSrcAp);
+  const Bytes aa_instant = checkpointed_bytes(ft::MsVariant::kSrcApAa);
+  ASSERT_GT(random_instant, 0);
+  ASSERT_GT(aa_instant, 0);
+  EXPECT_LT(aa_instant, random_instant);
+}
+
+TEST(EndToEndTest, AsyncCheckpointHidesLatencySpike) {
+  // Fig. 15's qualitative claim: during a checkpoint, MS-src inflates
+  // instantaneous latency far more than MS-src+ap.
+  auto worst_latency_during_checkpoint = [](ft::MsVariant variant) {
+    sim::Simulation sim;
+    core::Cluster cluster(&sim, small_cluster(8));
+    core::Application app(&cluster, chain_graph(2, SimTime::millis(10)));
+    app.deploy();
+    ft::FtParams params;
+    params.periodic = false;
+    ft::MsScheme scheme(&app, params, variant);
+    scheme.attach();
+    // Sizeable state so the sync pause is visible.
+    static_cast<ms::testing::RelayOperator&>(app.hau(1).op())
+        .set_extra_state_bytes(100_MB);
+    static_cast<ms::testing::RelayOperator&>(app.hau(2).op())
+        .set_extra_state_bytes(100_MB);
+    app.start();
+    scheme.start();
+    sim.run_until(SimTime::seconds(2));
+    SimTime worst = SimTime::zero();
+    app.set_sink_probe([&](const core::Tuple& t, SimTime now) {
+      worst = std::max(worst, now - t.event_time);
+    });
+    scheme.trigger_checkpoint();
+    sim.run_until(SimTime::seconds(30));
+    return worst;
+  };
+  const SimTime sync_worst =
+      worst_latency_during_checkpoint(ft::MsVariant::kSrc);
+  const SimTime async_worst =
+      worst_latency_during_checkpoint(ft::MsVariant::kSrcAp);
+  EXPECT_GT(sync_worst, async_worst * std::int64_t{3});
+}
+
+TEST(EndToEndTest, GeneratedBurstTraceDrivesAutoRecovery) {
+  sim::Simulation sim;
+  core::ClusterParams cp;
+  cp.network.num_nodes = 20;
+  core::Cluster cluster(&sim, cp);
+  core::Application app(&cluster, chain_graph(3, SimTime::millis(10)));
+  app.deploy();
+  ft::FtParams params;
+  params.periodic = true;
+  params.checkpoint_period = SimTime::seconds(5);
+  params.ping_period = SimTime::millis(500);
+  ft::MsScheme scheme(&app, params, ft::MsVariant::kSrcAp);
+  scheme.attach();
+  scheme.enable_failure_detection({10, 11, 12, 13, 14, 15});
+  app.start();
+  scheme.start();
+
+  // Inject a power burst at t=12 hitting every application node.
+  failure::FailureEvent ev;
+  ev.kind = failure::FailureEvent::Kind::kPowerBurst;
+  ev.at = SimTime::seconds(12);
+  ev.nodes = app.nodes_in_use();
+  failure::FailureInjector injector(&cluster, &app);
+  injector.schedule({ev});
+
+  sim.run_until(SimTime::seconds(60));
+  ASSERT_EQ(scheme.recoveries().size(), 1u);
+  for (int i = 0; i < app.num_haus(); ++i) {
+    EXPECT_FALSE(app.hau(i).failed()) << "HAU " << i;
+  }
+  // Still exactly-once at the sink: no duplicates, and only the
+  // undispatched source batch may be missing.
+  auto& sink = static_cast<RecordingSink&>(app.hau(4).op());
+  std::vector<std::int64_t> sorted = sink.values;
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_FALSE(sorted.empty());
+  std::int64_t missing = sorted.front();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    ASSERT_NE(sorted[i], sorted[i - 1]);
+    missing += sorted[i] - sorted[i - 1] - 1;
+  }
+  EXPECT_LE(missing, 10);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,123 @@
+// Property sweeps: the exactly-once recovery invariant must hold across the
+// whole configuration lattice — chain depth × scheme variant × flow window,
+// and under repeated failures in one run.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "../testing/test_ops.h"
+#include "ft/meteor_shower.h"
+
+namespace ms {
+namespace {
+
+using ms::testing::chain_graph;
+using ms::testing::RecordingSink;
+using ms::testing::small_cluster;
+
+void check_exactly_once(const std::vector<std::int64_t>& values,
+                        std::int64_t max_missing, const std::string& label) {
+  std::vector<std::int64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_FALSE(sorted.empty()) << label;
+  std::int64_t missing = sorted.front();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    ASSERT_NE(sorted[i], sorted[i - 1]) << label << ": duplicate";
+    missing += sorted[i] - sorted[i - 1] - 1;
+  }
+  EXPECT_LE(missing, max_missing) << label << ": lost tuples";
+}
+
+using Config = std::tuple<int /*relays*/, ft::MsVariant, int /*flow window*/>;
+
+class RecoveryLattice : public ::testing::TestWithParam<Config> {};
+
+TEST_P(RecoveryLattice, ExactlyOnceAfterWholeApplicationFailure) {
+  const auto [relays, variant, window] = GetParam();
+  sim::Simulation sim;
+  auto params = small_cluster(2 * (relays + 2) + 1);
+  params.flow_window = window;
+  core::Cluster cluster(&sim, params);
+  core::Application app(&cluster, chain_graph(relays, SimTime::millis(10)));
+  app.deploy();
+  ft::FtParams p;
+  p.periodic = false;
+  ft::MsScheme scheme(&app, p, variant);
+  scheme.attach();
+  app.start();
+  scheme.start();
+
+  sim.run_until(SimTime::seconds(2));
+  scheme.trigger_checkpoint();
+  sim.run_until(SimTime::seconds(8));
+  ASSERT_EQ(scheme.checkpoints().size(), 1u);
+
+  for (const net::NodeId n : app.nodes_in_use()) cluster.fail_node(n);
+  for (int i = 0; i < app.num_haus(); ++i) app.hau(i).on_node_failed();
+  std::vector<net::NodeId> spares;
+  for (int i = 0; i < app.num_haus(); ++i) {
+    spares.push_back(relays + 2 + i);
+  }
+  bool done = false;
+  scheme.recover_application(spares, [&](ft::RecoveryStats) { done = true; });
+  sim.run_until(SimTime::seconds(60));
+  ASSERT_TRUE(done);
+  sim.run_until(SimTime::seconds(100));
+
+  auto& sink =
+      static_cast<RecordingSink&>(app.hau(relays + 1).op());
+  ASSERT_GT(sink.values.size(), 1000u);
+  check_exactly_once(
+      sink.values, /*max_missing=*/16,
+      "relays=" + std::to_string(relays) +
+          " variant=" + ft::ms_variant_name(variant) +
+          " window=" + std::to_string(window));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lattice, RecoveryLattice,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(ft::MsVariant::kSrc,
+                                         ft::MsVariant::kSrcAp),
+                       ::testing::Values(4, 64)),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      return "relays" + std::to_string(std::get<0>(info.param)) + "_" +
+             (std::get<1>(info.param) == ft::MsVariant::kSrc ? "src" : "ap") +
+             "_w" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(RepeatedFailureTest, SurvivesThreeConsecutiveBursts) {
+  sim::Simulation sim;
+  core::ClusterParams cp;
+  cp.network.num_nodes = 30;
+  core::Cluster cluster(&sim, cp);
+  core::Application app(&cluster, chain_graph(2, SimTime::millis(10)));
+  app.deploy();
+  ft::FtParams p;
+  p.periodic = true;
+  p.checkpoint_period = SimTime::seconds(5);
+  ft::MsScheme scheme(&app, p, ft::MsVariant::kSrcAp);
+  scheme.attach();
+  app.start();
+  scheme.start();
+
+  net::NodeId next_spare = 4;
+  for (int round = 0; round < 3; ++round) {
+    sim.run_until(SimTime::seconds(12 + round * 25));
+    for (const net::NodeId n : app.nodes_in_use()) cluster.fail_node(n);
+    for (int i = 0; i < app.num_haus(); ++i) app.hau(i).on_node_failed();
+    std::vector<net::NodeId> spares;
+    for (int i = 0; i < app.num_haus(); ++i) spares.push_back(next_spare++);
+    bool done = false;
+    scheme.recover_application(spares, [&](ft::RecoveryStats) { done = true; });
+    sim.run_until(sim.now() + SimTime::seconds(15));
+    ASSERT_TRUE(done) << "round " << round;
+  }
+  sim.run_until(SimTime::seconds(120));
+  auto& sink = static_cast<RecordingSink&>(app.hau(3).op());
+  ASSERT_GT(sink.values.size(), 2000u);
+  check_exactly_once(sink.values, /*max_missing=*/48, "three bursts");
+}
+
+}  // namespace
+}  // namespace ms

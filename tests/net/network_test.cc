@@ -1,0 +1,155 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ms::net {
+namespace {
+
+ClusterConfig small_config() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.nodes_per_rack = 2;
+  cfg.nic_bandwidth = 125e6;  // 1 Gbps
+  cfg.intra_rack_latency = SimTime::micros(100);
+  cfg.inter_rack_latency = SimTime::micros(300);
+  cfg.per_message_overhead = SimTime::micros(20);
+  return cfg;
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : topo_(small_config()), net_(&sim_, &topo_) {}
+  sim::Simulation sim_;
+  Topology topo_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, UnloadedDeliveryTime) {
+  SimTime delivered;
+  // 125 KB at 125 MB/s = 1 ms serialization; intra-rack 100 us + 20 us sw.
+  net_.send(0, 1, 125'000, MsgCategory::kData, [&] { delivered = sim_.now(); });
+  sim_.run();
+  EXPECT_EQ(delivered,
+            SimTime::micros(20) + SimTime::micros(100) + SimTime::millis(1));
+}
+
+TEST_F(NetworkTest, InterRackLatencyHigher) {
+  SimTime intra, inter;
+  net_.send(0, 1, 1000, MsgCategory::kData, [&] { intra = sim_.now(); });
+  sim_.run();
+  sim::Simulation sim2;
+  Network net2(&sim2, &topo_);
+  net2.send(0, 2, 1000, MsgCategory::kData, [&] { inter = sim2.now(); });
+  sim2.run();
+  EXPECT_EQ(inter - intra, SimTime::micros(200));
+}
+
+TEST_F(NetworkTest, SenderNicSerializesBackToBack) {
+  std::vector<SimTime> deliveries;
+  // Two 125 KB messages: second's tx starts after the first's 1 ms.
+  net_.send(0, 1, 125'000, MsgCategory::kData,
+            [&] { deliveries.push_back(sim_.now()); });
+  net_.send(0, 1, 125'000, MsgCategory::kData,
+            [&] { deliveries.push_back(sim_.now()); });
+  sim_.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_GE(deliveries[1] - deliveries[0], SimTime::millis(1));
+}
+
+TEST_F(NetworkTest, ReceiverNicIsContended) {
+  // Two senders to one receiver: the receiver clocks in 1 ms per message.
+  std::vector<SimTime> deliveries;
+  net_.send(0, 3, 125'000, MsgCategory::kData,
+            [&] { deliveries.push_back(sim_.now()); });
+  net_.send(1, 3, 125'000, MsgCategory::kData,
+            [&] { deliveries.push_back(sim_.now()); });
+  sim_.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_GE(deliveries[1] - deliveries[0], SimTime::millis(1));
+}
+
+TEST_F(NetworkTest, PerSenderFifoOrder) {
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    net_.send(0, 1, 1000 * (5 - i), MsgCategory::kData,
+              [&order, i] { order.push_back(i); });
+  }
+  sim_.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(NetworkTest, DeadDestinationDropsAtDelivery) {
+  bool delivered = false;
+  bool dropped = false;
+  net_.set_alive(1, false);
+  net_.send(0, 1, 1000, MsgCategory::kData, [&] { delivered = true; },
+            [&] { dropped = true; });
+  sim_.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(net_.stats().dropped, 1);
+}
+
+TEST_F(NetworkTest, DeadSenderDropsImmediately) {
+  bool delivered = false;
+  bool dropped = false;
+  net_.set_alive(0, false);
+  net_.send(0, 1, 1000, MsgCategory::kData, [&] { delivered = true; },
+            [&] { dropped = true; });
+  sim_.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(dropped);
+}
+
+TEST_F(NetworkTest, DestinationDiesInFlight) {
+  bool delivered = false;
+  net_.send(0, 1, 125'000, MsgCategory::kData, [&] { delivered = true; });
+  sim_.schedule_at(SimTime::micros(50), [&] { net_.set_alive(1, false); });
+  sim_.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net_.stats().dropped, 1);
+}
+
+TEST_F(NetworkTest, StatsPerCategory) {
+  net_.send(0, 1, 500, MsgCategory::kToken, [] {});
+  net_.send(0, 1, 700, MsgCategory::kToken, [] {});
+  net_.send(0, 1, 900, MsgCategory::kCheckpoint, [] {});
+  sim_.run();
+  EXPECT_EQ(net_.stats().messages[static_cast<std::size_t>(MsgCategory::kToken)], 2);
+  EXPECT_EQ(net_.stats().bytes_of(MsgCategory::kToken), 1200);
+  EXPECT_EQ(net_.stats().bytes_of(MsgCategory::kCheckpoint), 900);
+  EXPECT_EQ(net_.stats().total_bytes(), 2100);
+}
+
+TEST_F(NetworkTest, ZeroByteMessageStillHasLatency) {
+  SimTime delivered;
+  net_.send(0, 1, 0, MsgCategory::kControl, [&] { delivered = sim_.now(); });
+  sim_.run();
+  EXPECT_EQ(delivered, SimTime::micros(120));
+}
+
+TEST(TopologyTest, RackAssignment) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 170;
+  cfg.nodes_per_rack = 80;
+  Topology topo(cfg);
+  EXPECT_EQ(topo.num_racks(), 3);
+  EXPECT_EQ(topo.rack_of(0), 0);
+  EXPECT_EQ(topo.rack_of(79), 0);
+  EXPECT_EQ(topo.rack_of(80), 1);
+  EXPECT_EQ(topo.rack_of(169), 2);
+  EXPECT_TRUE(topo.same_rack(0, 79));
+  EXPECT_FALSE(topo.same_rack(79, 80));
+  EXPECT_EQ(topo.nodes_in_rack(2).size(), 10u);
+}
+
+TEST(MsgCategoryTest, Names) {
+  EXPECT_STREQ(msg_category_name(MsgCategory::kData), "data");
+  EXPECT_STREQ(msg_category_name(MsgCategory::kToken), "token");
+  EXPECT_STREQ(msg_category_name(MsgCategory::kPreserve), "preserve");
+}
+
+}  // namespace
+}  // namespace ms::net

@@ -1,0 +1,142 @@
+// Real-threads engine under heavier structures: fan-out graphs, the paper
+// applications' operators on actual threads, backpressure via bounded
+// queues, and repeated checkpoint/restore cycles.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "../testing/test_ops.h"
+#include "core/stdops.h"
+#include "rt/engine.h"
+
+namespace ms::rt {
+namespace {
+
+using ms::testing::CounterSource;
+using ms::testing::IntPayload;
+using ms::testing::RecordingSink;
+
+RtConfig cfg_with(const std::string& dir) {
+  RtConfig cfg;
+  cfg.checkpoint_dir = (std::filesystem::temp_directory_path() / dir).string();
+  return cfg;
+}
+
+core::QueryGraph diamond() {
+  core::QueryGraph g;
+  const int src = g.add_source("src", [] {
+    return std::make_unique<CounterSource>("src", SimTime::millis(1));
+  });
+  const int fan = g.add_operator("fan", [] {
+    return std::make_unique<core::FanOutOperator>("fan");
+  });
+  const int a = g.add_operator("a", [] {
+    return std::make_unique<core::MapOperator>(
+        "a", [](const core::Tuple& t, core::OperatorContext&) { return t; });
+  });
+  const int b = g.add_operator("b", [] {
+    return std::make_unique<core::MapOperator>(
+        "b", [](const core::Tuple& t, core::OperatorContext&) { return t; });
+  });
+  const int u = g.add_operator("u", [] {
+    return std::make_unique<core::UnionOperator>("u");
+  });
+  const int sink = g.add_sink("sink", [] {
+    return std::make_unique<RecordingSink>("sink");
+  });
+  g.connect(src, fan);
+  g.connect(fan, a);
+  g.connect(fan, b);
+  g.connect(a, u);
+  g.connect(b, u);
+  g.connect(u, sink);
+  return g;
+}
+
+TEST(RtEngineStressTest, DiamondGraphDeliversBothBranches) {
+  RtEngine engine(diamond(), RtConfig{});
+  engine.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  engine.stop();
+  auto& sink = static_cast<RecordingSink&>(engine.op(5));
+  ASSERT_GT(sink.values.size(), 100u);
+  std::map<std::int64_t, int> counts;
+  for (const auto v : sink.values) ++counts[v];
+  int pairs = 0;
+  for (const auto& [v, c] : counts) {
+    EXPECT_LE(c, 2);
+    if (c == 2) ++pairs;
+  }
+  EXPECT_GT(pairs, 40);
+}
+
+TEST(RtEngineStressTest, CheckpointsOnDiamondAlignAcrossBranches) {
+  RtEngine engine(diamond(), cfg_with("ms_rt_diamond"));
+  engine.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (int i = 0; i < 3; ++i) {
+    const auto sizes = engine.checkpoint();
+    EXPECT_EQ(sizes.size(), 6u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  engine.stop();
+  SUCCEED();
+}
+
+TEST(RtEngineStressTest, TinyQueueCapacityStillDrainsCleanly) {
+  RtConfig cfg;
+  cfg.queue_capacity = 2;  // aggressive backpressure
+  RtEngine engine(ms::testing::chain_graph(3, SimTime::millis(1)), cfg);
+  engine.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  engine.stop();
+  auto& sink = static_cast<RecordingSink&>(engine.op(4));
+  ASSERT_GT(sink.values.size(), 20u);
+  for (std::size_t i = 0; i < sink.values.size(); ++i) {
+    EXPECT_EQ(sink.values[i], static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(RtEngineStressTest, TumblingAggregateWindowsFireOnRealTimers) {
+  core::QueryGraph g;
+  const int src = g.add_source("src", [] {
+    return std::make_unique<CounterSource>("src", SimTime::millis(2));
+  });
+  const int agg = g.add_operator("agg", [] {
+    return std::make_unique<core::TumblingAggregateOperator>(
+        "agg", SimTime::millis(60),
+        [](const core::Tuple& t) {
+          return static_cast<std::uint64_t>(
+              t.payload_as<IntPayload>()->value % 2);
+        },
+        [](const core::Tuple&) { return 1.0; });
+  });
+  const int to_int = g.add_operator("to_int", [] {
+    return std::make_unique<core::MapOperator>(
+        "to_int", [](const core::Tuple& t, core::OperatorContext&) {
+          const auto* s = t.payload_as<core::TumblingAggregateOperator::Summary>();
+          core::Tuple out;
+          out.payload = std::make_shared<IntPayload>(s->count);
+          return out;
+        });
+  });
+  const int sink = g.add_sink("sink", [] {
+    return std::make_unique<RecordingSink>("sink");
+  });
+  g.connect(src, agg);
+  g.connect(agg, to_int);
+  g.connect(to_int, sink);
+  RtEngine engine(g, RtConfig{});
+  engine.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  engine.stop();
+  auto& aggregate = static_cast<core::TumblingAggregateOperator&>(engine.op(1));
+  EXPECT_GE(aggregate.windows_completed(), 3);
+  auto& s = static_cast<RecordingSink&>(engine.op(3));
+  EXPECT_GE(s.values.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ms::rt

@@ -1,0 +1,104 @@
+#include "sim/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ms::sim {
+namespace {
+
+TEST(CpuServerTest, SingleJobCompletesAfterDuration) {
+  Simulation sim;
+  CpuServer cpu(&sim, 1);
+  SimTime done;
+  cpu.submit(SimTime::millis(10), [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done, SimTime::millis(10));
+}
+
+TEST(CpuServerTest, SingleCoreSerializesJobs) {
+  Simulation sim;
+  CpuServer cpu(&sim, 1);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 3; ++i) {
+    cpu.submit(SimTime::millis(10), [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], SimTime::millis(10));
+  EXPECT_EQ(done[1], SimTime::millis(20));
+  EXPECT_EQ(done[2], SimTime::millis(30));
+}
+
+TEST(CpuServerTest, TwoCoresRunTwoJobsInParallel) {
+  Simulation sim;
+  CpuServer cpu(&sim, 2);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 4; ++i) {
+    cpu.submit(SimTime::millis(10), [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_EQ(done[0], SimTime::millis(10));
+  EXPECT_EQ(done[1], SimTime::millis(10));
+  EXPECT_EQ(done[2], SimTime::millis(20));
+  EXPECT_EQ(done[3], SimTime::millis(20));
+}
+
+TEST(CpuServerTest, ZeroDurationJobRunsImmediately) {
+  Simulation sim;
+  CpuServer cpu(&sim, 1);
+  bool ran = false;
+  cpu.submit(SimTime::zero(), [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), SimTime::zero());
+}
+
+TEST(CpuServerTest, ResetDropsQueuedAndRunningJobs) {
+  Simulation sim;
+  CpuServer cpu(&sim, 1);
+  int completed = 0;
+  cpu.submit(SimTime::millis(10), [&] { ++completed; });
+  cpu.submit(SimTime::millis(10), [&] { ++completed; });
+  sim.schedule_at(SimTime::millis(5), [&] { cpu.reset(); });
+  sim.run();
+  EXPECT_EQ(completed, 0);
+  EXPECT_EQ(cpu.busy_cores(), 0);
+  EXPECT_EQ(cpu.queued_jobs(), 0u);
+}
+
+TEST(CpuServerTest, UsableAfterReset) {
+  Simulation sim;
+  CpuServer cpu(&sim, 1);
+  cpu.submit(SimTime::millis(10), [] {});
+  sim.schedule_at(SimTime::millis(1), [&] { cpu.reset(); });
+  sim.run();
+  bool ran = false;
+  cpu.submit(SimTime::millis(2), [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(CpuServerTest, BusyTimeAccumulates) {
+  Simulation sim;
+  CpuServer cpu(&sim, 2);
+  cpu.submit(SimTime::millis(10), [] {});
+  cpu.submit(SimTime::millis(20), [] {});
+  sim.run();
+  EXPECT_EQ(cpu.busy_time(), SimTime::millis(30));
+}
+
+TEST(CpuServerTest, JobsSubmittedFromCompletionRun) {
+  Simulation sim;
+  CpuServer cpu(&sim, 1);
+  SimTime second_done;
+  cpu.submit(SimTime::millis(5), [&] {
+    cpu.submit(SimTime::millis(5), [&] { second_done = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(second_done, SimTime::millis(10));
+}
+
+}  // namespace
+}  // namespace ms::sim

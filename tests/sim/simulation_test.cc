@@ -1,0 +1,144 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ms::sim {
+namespace {
+
+TEST(SimulationTest, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::seconds(3));
+}
+
+TEST(SimulationTest, TiesBreakByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulationTest, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  SimTime fired;
+  sim.schedule_at(SimTime::seconds(5), [&] {
+    sim.schedule_after(SimTime::seconds(2), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, SimTime::seconds(7));
+}
+
+TEST(SimulationTest, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::seconds(1), [&] { ++fired; });
+  sim.schedule_at(SimTime::seconds(2), [&] { ++fired; });
+  sim.schedule_at(SimTime::seconds(3), [&] { ++fired; });
+  sim.run_until(SimTime::seconds(2));
+  EXPECT_EQ(fired, 2);  // events at exactly t are executed
+  EXPECT_EQ(sim.now(), SimTime::seconds(2));
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulationTest, RunUntilAdvancesTimeWhenQueueDrains) {
+  Simulation sim;
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(sim.now(), SimTime::seconds(10));
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(SimTime::seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulationTest, DoubleCancelReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.schedule_at(SimTime::seconds(1), [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulationTest, CancelInvalidIdReturnsFalse) {
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(EventId{}));
+  EXPECT_FALSE(sim.cancel(EventId{9999}));
+}
+
+TEST(SimulationTest, EventsScheduledDuringRunExecute) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(SimTime::seconds(1), recurse);
+  };
+  sim.schedule_at(SimTime::zero(), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), SimTime::seconds(4));
+}
+
+TEST(SimulationTest, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(SimTime::seconds(1), [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulationTest, PendingEventsTracksCancellation) {
+  Simulation sim;
+  const EventId a = sim.schedule_at(SimTime::seconds(1), [] {});
+  sim.schedule_at(SimTime::seconds(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulationDeathTest, SchedulingInPastAborts) {
+  Simulation sim;
+  sim.schedule_at(SimTime::seconds(5), [] {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(SimTime::seconds(1), [] {}),
+               "cannot schedule event in the past");
+}
+
+TEST(SimulationTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulation sim;
+    std::vector<std::int64_t> trace;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(SimTime::millis(100 - i), [&trace, &sim] {
+        trace.push_back(sim.now().ns());
+      });
+    }
+    sim.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ms::sim

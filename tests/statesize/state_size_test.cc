@@ -1,0 +1,122 @@
+#include "statesize/state_size.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ms::statesize {
+namespace {
+
+TEST(SampleContainerTest, EmptyContainerIsZero) {
+  const std::vector<int> v;
+  EXPECT_EQ(sample_container(v, [](int) { return Bytes{100}; }), 0);
+}
+
+TEST(SampleContainerTest, UniformElementsExact) {
+  const std::vector<int> v(1000, 7);
+  EXPECT_EQ(sample_container(v, [](int) { return Bytes{64}; }), 64'000);
+}
+
+TEST(SampleContainerTest, DefaultThreeProbesAreFirstMiddleLast) {
+  // Sizes: 10 at index 0, 20 in the middle, 30 at the end, garbage elsewhere.
+  std::vector<Bytes> sizes(101, 999);
+  sizes[0] = 10;
+  sizes[50] = 20;
+  sizes[100] = 30;
+  const Bytes est =
+      sample_container(sizes, [](Bytes b) { return b; }, /*samples=*/3);
+  // (10+20+30)/3 * 101 = 2020.
+  EXPECT_EQ(est, 2020);
+}
+
+TEST(SampleContainerTest, MoreSamplesThanElements) {
+  const std::vector<int> v{1, 2};
+  EXPECT_EQ(sample_container(v, [](int) { return Bytes{8}; }, 10), 16);
+}
+
+TEST(SampleContainerTest, SingleElement) {
+  const std::vector<int> v{1};
+  EXPECT_EQ(sample_container(v, [](int) { return Bytes{42}; }), 42);
+}
+
+TEST(SampleContainerTest, WorksOnNonRandomAccessContainers) {
+  std::map<int, std::string> m{{1, "a"}, {2, "bb"}, {3, "ccc"}};
+  const Bytes est = sample_container(
+      m, [](const auto& kv) { return static_cast<Bytes>(kv.second.size()); });
+  EXPECT_EQ(est, (1 + 2 + 3) / 3 * 3);
+}
+
+TEST(StateSizeRegistryTest, EmptyRegistryIsZero) {
+  StateSizeRegistry reg;
+  EXPECT_EQ(reg.total(), 0);
+  EXPECT_EQ(reg.num_fields(), 0u);
+}
+
+TEST(StateSizeRegistryTest, SumsAllFields) {
+  StateSizeRegistry reg;
+  std::vector<int> data(10, 0);
+  std::deque<double> tbl(5, 0.0);
+  reg.add_sampled("data", &data, [](int) { return Bytes{100}; });
+  reg.add_fixed_element("tbl", &tbl, 1024);  // the paper's element_size hint
+  double scalar = 0.0;
+  reg.add_scalar("scalar", &scalar);
+  EXPECT_EQ(reg.total(), 1000 + 5 * 1024 + 8);
+}
+
+TEST(StateSizeRegistryTest, TracksLiveContainer) {
+  StateSizeRegistry reg;
+  std::vector<int> data;
+  reg.add_fixed_element("data", &data, 10);
+  EXPECT_EQ(reg.total(), 0);
+  data.resize(7);
+  EXPECT_EQ(reg.total(), 70);
+  data.clear();
+  EXPECT_EQ(reg.total(), 0);
+}
+
+TEST(StateSizeRegistryTest, CustomLengthElementSizeHints) {
+  // The "length=..., element_size=..." hint form for user-defined
+  // structures (paper Fig. 9's my_hashtable).
+  StateSizeRegistry reg;
+  int count = 12;
+  Bytes elem = 256;
+  reg.add_custom("idx", [&count, &elem] { return count * elem; });
+  EXPECT_EQ(reg.total(), 3072);
+  count = 0;
+  EXPECT_EQ(reg.total(), 0);
+}
+
+TEST(StateSizeRegistryTest, BreakdownNamesFields) {
+  StateSizeRegistry reg;
+  std::vector<int> a(2), b(3);
+  reg.add_fixed_element("alpha", &a, 10);
+  reg.add_fixed_element("beta", &b, 10);
+  const auto breakdown = reg.breakdown();
+  ASSERT_EQ(breakdown.size(), 2u);
+  EXPECT_EQ(breakdown[0].first, "alpha");
+  EXPECT_EQ(breakdown[0].second, 20);
+  EXPECT_EQ(breakdown[1].first, "beta");
+  EXPECT_EQ(breakdown[1].second, 30);
+}
+
+TEST(StateSizeRegistryTest, SampledHintCount) {
+  // "state sample=N": more probes refine a skewed container's estimate.
+  // 90 small elements followed by 10 huge ones: two probes (first, last)
+  // grossly overestimate; fifty probes land close to the truth.
+  std::vector<Bytes> sizes;
+  for (int i = 0; i < 100; ++i) sizes.push_back(i < 90 ? 10 : 1000);
+  StateSizeRegistry coarse, fine;
+  coarse.add_sampled("s", &sizes, [](Bytes b) { return b; }, 2);
+  fine.add_sampled("s", &sizes, [](Bytes b) { return b; }, 50);
+  const Bytes truth = 90 * 10 + 10 * 1000;
+  const auto err = [truth](Bytes est) {
+    return est > truth ? est - truth : truth - est;
+  };
+  EXPECT_LT(err(fine.total()), err(coarse.total()));
+}
+
+}  // namespace
+}  // namespace ms::statesize

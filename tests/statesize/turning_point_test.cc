@@ -1,0 +1,142 @@
+#include "statesize/turning_point.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ms::statesize {
+namespace {
+
+std::vector<TurningPoint> feed(TurningPointDetector& det,
+                               const std::vector<double>& sizes) {
+  std::vector<TurningPoint> tps;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto tp = det.add_sample(SimTime::seconds(static_cast<int>(i)),
+                                   sizes[i]);
+    if (tp.has_value()) tps.push_back(*tp);
+  }
+  return tps;
+}
+
+TEST(TurningPointDetectorTest, MonotoneSignalHasNoTurningPoints) {
+  TurningPointDetector det;
+  EXPECT_TRUE(feed(det, {1, 2, 3, 4, 5}).empty());
+  det.reset();
+  EXPECT_TRUE(feed(det, {5, 4, 3, 2, 1}).empty());
+}
+
+TEST(TurningPointDetectorTest, DetectsPaperHau1Sequence) {
+  // Paper §III-C2: HAU1 samples 100, 150, 200, 250, 200, 150, 100, 150 —
+  // turning points 250 (max) and 100 (min).
+  TurningPointDetector det;
+  const auto tps = feed(det, {100, 150, 200, 250, 200, 150, 100, 150});
+  ASSERT_EQ(tps.size(), 2u);
+  EXPECT_EQ(tps[0].size, 250);
+  EXPECT_FALSE(tps[0].is_minimum);
+  EXPECT_EQ(tps[0].t, SimTime::seconds(3));
+  EXPECT_EQ(tps[1].size, 100);
+  EXPECT_TRUE(tps[1].is_minimum);
+  EXPECT_EQ(tps[1].t, SimTime::seconds(6));
+}
+
+TEST(TurningPointDetectorTest, IcrIsSlopeLeavingTheExtremum) {
+  TurningPointDetector det;
+  // Rise by 50/s then fall by 30/s: ICR at the max is -30.
+  const auto tps = feed(det, {0, 50, 100, 70, 40});
+  ASSERT_EQ(tps.size(), 1u);
+  EXPECT_DOUBLE_EQ(tps[0].icr, -30.0);
+}
+
+TEST(TurningPointDetectorTest, CurrentIcrTracksLatestSegment) {
+  TurningPointDetector det;
+  det.add_sample(SimTime::seconds(0), 10.0);
+  det.add_sample(SimTime::seconds(1), 30.0);
+  EXPECT_DOUBLE_EQ(det.current_icr(), 20.0);
+  det.add_sample(SimTime::seconds(2), 25.0);
+  EXPECT_DOUBLE_EQ(det.current_icr(), -5.0);
+}
+
+TEST(TurningPointDetectorTest, FlatPlateausDoNotTrigger) {
+  TurningPointDetector det;
+  EXPECT_TRUE(feed(det, {10, 10, 10, 10}).empty());
+}
+
+TEST(TurningPointDetectorTest, PlateauThenReversalDetected) {
+  TurningPointDetector det;
+  const auto tps = feed(det, {0, 100, 100, 100, 50});
+  ASSERT_EQ(tps.size(), 1u);
+  EXPECT_FALSE(tps[0].is_minimum);
+}
+
+TEST(TurningPointDetectorTest, ResetForgetsHistory) {
+  TurningPointDetector det;
+  feed(det, {0, 100});
+  det.reset();
+  EXPECT_FALSE(det.has_samples());
+  // A fresh falling-then-rising sequence yields exactly one minimum.
+  const auto tps = feed(det, {100, 50, 80});
+  ASSERT_EQ(tps.size(), 1u);
+  EXPECT_TRUE(tps[0].is_minimum);
+}
+
+TEST(PolylineSignalTest, InterpolatesLinearly) {
+  PolylineSignal poly;
+  poly.add_point(SimTime::seconds(0), 0.0);
+  poly.add_point(SimTime::seconds(10), 100.0);
+  EXPECT_DOUBLE_EQ(poly.value_at(SimTime::seconds(5)), 50.0);
+  EXPECT_DOUBLE_EQ(poly.value_at(SimTime::seconds(0)), 0.0);
+  EXPECT_DOUBLE_EQ(poly.value_at(SimTime::seconds(10)), 100.0);
+}
+
+TEST(PolylineSignalTest, ClampsOutsideRange) {
+  PolylineSignal poly;
+  poly.add_point(SimTime::seconds(5), 42.0);
+  poly.add_point(SimTime::seconds(6), 50.0);
+  EXPECT_DOUBLE_EQ(poly.value_at(SimTime::seconds(0)), 42.0);
+  EXPECT_DOUBLE_EQ(poly.value_at(SimTime::seconds(100)), 50.0);
+}
+
+TEST(PolylineSignalTest, MinimumInWindowAtVertex) {
+  PolylineSignal poly;
+  poly.add_point(SimTime::seconds(0), 100.0);
+  poly.add_point(SimTime::seconds(5), 20.0);
+  poly.add_point(SimTime::seconds(10), 80.0);
+  const auto [t, v] = poly.minimum_in(SimTime::seconds(0), SimTime::seconds(10));
+  EXPECT_EQ(t, SimTime::seconds(5));
+  EXPECT_DOUBLE_EQ(v, 20.0);
+}
+
+TEST(PolylineSignalTest, MinimumInWindowAtBoundary) {
+  PolylineSignal poly;
+  poly.add_point(SimTime::seconds(0), 100.0);
+  poly.add_point(SimTime::seconds(10), 0.0);
+  const auto [t, v] = poly.minimum_in(SimTime::seconds(2), SimTime::seconds(6));
+  EXPECT_EQ(t, SimTime::seconds(6));
+  EXPECT_DOUBLE_EQ(v, 40.0);
+}
+
+TEST(PolylineSignalTest, PaperFig10Aggregate) {
+  // Fig. 10: two dynamic HAUs; the aggregate's per-period minima define
+  // smin/smax. HAU1 zigzag and HAU2 zigzag from the figure's marked values.
+  PolylineSignal h1, h2;
+  // HAU1: 100 @t0 → 250 @t3 → 100 @t6 → 250 @t9 (period ~6).
+  h1.add_point(SimTime::seconds(0), 100);
+  h1.add_point(SimTime::seconds(3), 250);
+  h1.add_point(SimTime::seconds(6), 100);
+  h1.add_point(SimTime::seconds(9), 250);
+  // HAU2: 200 @t0 → 130 @t2 → 220 @t5 → 40 @t8 → 170 @t10.
+  h2.add_point(SimTime::seconds(0), 200);
+  h2.add_point(SimTime::seconds(2), 130);
+  h2.add_point(SimTime::seconds(5), 220);
+  h2.add_point(SimTime::seconds(8), 40);
+  h2.add_point(SimTime::seconds(10), 170);
+  auto total_at = [&](int s) {
+    return h1.value_at(SimTime::seconds(s)) + h2.value_at(SimTime::seconds(s));
+  };
+  EXPECT_DOUBLE_EQ(total_at(0), 300.0);
+  // The aggregate dips between the HAUs' individual minima.
+  EXPECT_LT(total_at(7), total_at(3));
+}
+
+}  // namespace
+}  // namespace ms::statesize

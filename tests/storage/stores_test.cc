@@ -1,0 +1,210 @@
+#include "storage/stores.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/disk.h"
+
+namespace ms::storage {
+namespace {
+
+net::ClusterConfig net_config() {
+  net::ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.nodes_per_rack = 4;
+  return cfg;
+}
+
+class SharedStorageTest : public ::testing::Test {
+ protected:
+  SharedStorageTest()
+      : topo_(net_config()),
+        net_(&sim_, &topo_),
+        storage_(&net_, /*node=*/3, DiskConfig{}) {}
+
+  sim::Simulation sim_;
+  net::Topology topo_;
+  net::Network net_;
+  SharedStorage storage_;
+};
+
+TEST_F(SharedStorageTest, PutThenGetRoundTrips) {
+  Object obj;
+  obj.declared_size = 1_MB;
+  obj.blob = {1, 2, 3};
+  Status put_status = Status::internal("unset");
+  storage_.put(0, "key", obj, [&](Status st) { put_status = st; });
+  sim_.run();
+  EXPECT_TRUE(put_status.is_ok());
+  EXPECT_TRUE(storage_.contains("key"));
+  EXPECT_EQ(storage_.size_of("key"), 1_MB);
+
+  bool got = false;
+  storage_.get(0, "key", [&](Result<Object> r) {
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().declared_size, 1_MB);
+    EXPECT_EQ(r.value().blob, (std::vector<std::uint8_t>{1, 2, 3}));
+    got = true;
+  });
+  sim_.run();
+  EXPECT_TRUE(got);
+}
+
+TEST_F(SharedStorageTest, GetMissingKeyReturnsNotFound) {
+  bool done = false;
+  storage_.get(0, "nope", [&](Result<Object> r) {
+    EXPECT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+    done = true;
+  });
+  sim_.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(SharedStorageTest, PutTimeIncludesNetworkAndDisk) {
+  Object obj;
+  obj.declared_size = 100_MB;
+  SimTime done_at;
+  storage_.put(0, "big", std::move(obj), [&](Status) { done_at = sim_.now(); });
+  sim_.run();
+  // 100 MB over 1 Gbps ≈ 0.84 s, disk at 100 MB/s ≈ 1.05 s: > 1.8 s total.
+  EXPECT_GT(done_at, SimTime::seconds(1.8));
+  EXPECT_LT(done_at, SimTime::seconds(3.0));
+}
+
+TEST_F(SharedStorageTest, PutToDeadStorageReportsUnavailable) {
+  net_.set_alive(3, false);
+  Status st;
+  Object obj;
+  obj.declared_size = 1_KB;
+  storage_.put(0, "k", std::move(obj), [&](Status s) { st = s; });
+  sim_.run();
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(SharedStorageTest, AppendAccumulates) {
+  int acks = 0;
+  storage_.append(0, "log", 1000, {}, [&](Status st) {
+    EXPECT_TRUE(st.is_ok());
+    ++acks;
+  });
+  storage_.append(0, "log", 500, {}, [&](Status st) {
+    EXPECT_TRUE(st.is_ok());
+    ++acks;
+  });
+  sim_.run();
+  EXPECT_EQ(acks, 2);
+  EXPECT_EQ(storage_.size_of("log"), 1500);
+}
+
+TEST_F(SharedStorageTest, EraseRemovesKey) {
+  Object obj;
+  obj.declared_size = 10;
+  storage_.put(0, "k", std::move(obj), [](Status) {});
+  sim_.run();
+  bool erased = false;
+  storage_.erase(0, "k", [&] { erased = true; });
+  sim_.run();
+  EXPECT_TRUE(erased);
+  EXPECT_FALSE(storage_.contains("k"));
+}
+
+TEST_F(SharedStorageTest, RegisterAndResizeAreHostSide) {
+  Object obj;
+  obj.declared_size = 777;
+  storage_.register_object("direct", std::move(obj));
+  EXPECT_TRUE(storage_.contains("direct"));
+  storage_.resize("direct", 111);
+  EXPECT_EQ(storage_.size_of("direct"), 111);
+}
+
+TEST_F(SharedStorageTest, GetRangeChargesOnlyRequestedBytes) {
+  Object obj;
+  obj.declared_size = 100_MB;
+  storage_.register_object("log", std::move(obj));
+  SimTime done_at;
+  storage_.get_range(0, "log", 1_MB, [&](Result<Object> r) {
+    EXPECT_TRUE(r.is_ok());
+    done_at = sim_.now();
+  });
+  sim_.run();
+  // 1 MB read ≈ 8 ms net + 8 ms disk + overheads: well under a full-object
+  // read (which would exceed 1.5 s).
+  EXPECT_LT(done_at, SimTime::millis(200));
+}
+
+TEST_F(SharedStorageTest, HandleSurvivesStorage) {
+  auto payload = std::make_shared<int>(42);
+  Object obj;
+  obj.declared_size = 1;
+  obj.handle = payload;
+  storage_.put(0, "h", std::move(obj), [](Status) {});
+  sim_.run();
+  bool got = false;
+  storage_.get(0, "h", [&](Result<Object> r) {
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(*r.value().handle_as<int>(), 42);
+    got = true;
+  });
+  sim_.run();
+  EXPECT_TRUE(got);
+}
+
+TEST_F(SharedStorageTest, StoredBytesSums) {
+  Object a, b;
+  a.declared_size = 100;
+  b.declared_size = 250;
+  storage_.register_object("a", std::move(a));
+  storage_.register_object("b", std::move(b));
+  EXPECT_EQ(storage_.stored_bytes(), 350);
+}
+
+class LocalStoreTest : public ::testing::Test {
+ protected:
+  LocalStoreTest() : disk_(&sim_, DiskConfig{}), store_(&sim_, &disk_) {}
+  sim::Simulation sim_;
+  Disk disk_;
+  LocalStore store_;
+};
+
+TEST_F(LocalStoreTest, PutGetRoundTrip) {
+  Object obj;
+  obj.declared_size = 10_MB;
+  bool put_done = false;
+  store_.put("k", std::move(obj), [&] { put_done = true; });
+  sim_.run();
+  EXPECT_TRUE(put_done);
+  EXPECT_TRUE(store_.contains("k"));
+
+  bool got = false;
+  store_.get("k", [&](Result<Object> r) {
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().declared_size, 10_MB);
+    got = true;
+  });
+  sim_.run();
+  EXPECT_TRUE(got);
+}
+
+TEST_F(LocalStoreTest, MissingKeyNotFound) {
+  bool done = false;
+  store_.get("missing", [&](Result<Object> r) {
+    EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+    done = true;
+  });
+  sim_.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(LocalStoreTest, EraseAndStoredBytes) {
+  Object obj;
+  obj.declared_size = 5;
+  store_.put("k", std::move(obj), nullptr);
+  sim_.run();
+  EXPECT_EQ(store_.stored_bytes(), 5);
+  store_.erase("k");
+  EXPECT_FALSE(store_.contains("k"));
+  EXPECT_EQ(store_.stored_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace ms::storage

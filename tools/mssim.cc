@@ -1,0 +1,195 @@
+// mssim — command-line driver for the Meteor Shower simulator.
+//
+// Runs one of the three paper applications under a chosen fault-tolerance
+// scheme on the simulated 56-node cluster, optionally injecting a failure,
+// and prints a run report: throughput, latency, checkpoint and recovery
+// statistics, network byte breakdown, and the dynamic state profile.
+//
+//   mssim --app tmi --scheme ms-src+ap+aa --checkpoints 3
+//   mssim --app signalguru --scheme ms-src+ap --fail-at 300 --window 10
+//   mssim --app bcp --scheme baseline --checkpoints 8 --window 5
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "failure/burst.h"
+#include "harness.h"
+#include "net/network.h"
+
+namespace {
+
+using namespace ms;
+using namespace ms::bench;
+
+struct Options {
+  AppKind app = AppKind::kTmi;
+  Scheme scheme = Scheme::kMsSrcAp;
+  int checkpoints = 3;
+  int window_minutes = 10;
+  double fail_at_seconds = -1.0;  // <0: no failure injection
+  std::uint64_t seed = 0x9d2cULL;
+  bool help = false;
+};
+
+void usage() {
+  std::printf(
+      "mssim — Meteor Shower cluster simulator\n\n"
+      "  --app tmi|bcp|signalguru     application (default tmi)\n"
+      "  --scheme baseline|ms-src|ms-src+ap|ms-src+ap+aa\n"
+      "                               fault-tolerance scheme (default ms-src+ap)\n"
+      "  --checkpoints N              checkpoints in the window (default 3)\n"
+      "  --window M                   measurement window, minutes (default 10)\n"
+      "  --fail-at S                  kill all application nodes S seconds\n"
+      "                               into the window and auto-recover\n"
+      "  --seed X                     simulation seed\n"
+      "  --help\n");
+}
+
+bool parse(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      opt->help = true;
+      return true;
+    }
+    if (arg == "--app") {
+      const char* v = next("--app");
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "tmi") == 0) {
+        opt->app = AppKind::kTmi;
+      } else if (std::strcmp(v, "bcp") == 0) {
+        opt->app = AppKind::kBcp;
+      } else if (std::strcmp(v, "signalguru") == 0) {
+        opt->app = AppKind::kSignalGuru;
+      } else {
+        std::fprintf(stderr, "unknown app: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--scheme") {
+      const char* v = next("--scheme");
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "baseline") == 0) {
+        opt->scheme = Scheme::kBaseline;
+      } else if (std::strcmp(v, "ms-src") == 0) {
+        opt->scheme = Scheme::kMsSrc;
+      } else if (std::strcmp(v, "ms-src+ap") == 0) {
+        opt->scheme = Scheme::kMsSrcAp;
+      } else if (std::strcmp(v, "ms-src+ap+aa") == 0) {
+        opt->scheme = Scheme::kMsSrcApAa;
+      } else {
+        std::fprintf(stderr, "unknown scheme: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--checkpoints") {
+      const char* v = next("--checkpoints");
+      if (v == nullptr) return false;
+      opt->checkpoints = std::atoi(v);
+    } else if (arg == "--window") {
+      const char* v = next("--window");
+      if (v == nullptr) return false;
+      opt->window_minutes = std::atoi(v);
+    } else if (arg == "--fail-at") {
+      const char* v = next("--fail-at");
+      if (v == nullptr) return false;
+      opt->fail_at_seconds = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      if (v == nullptr) return false;
+      opt->seed = std::strtoull(v, nullptr, 0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, &opt)) {
+    usage();
+    return 2;
+  }
+  if (opt.help) {
+    usage();
+    return 0;
+  }
+  const SimTime window = SimTime::minutes(opt.window_minutes);
+  if (opt.scheme == Scheme::kBaseline && opt.fail_at_seconds >= 0) {
+    std::fprintf(stderr,
+                 "note: the baseline cannot recover from whole-application "
+                 "failures;\n--fail-at is only supported with the MS "
+                 "schemes.\n");
+    return 2;
+  }
+
+  std::printf("mssim: %s under %s, %d checkpoint(s) in %d min (seed %llu)\n",
+              app_name(opt.app), scheme_name(opt.scheme), opt.checkpoints,
+              opt.window_minutes,
+              static_cast<unsigned long long>(opt.seed));
+
+  Experiment exp(opt.app, opt.scheme, opt.checkpoints, window, opt.seed,
+                 opt.window_minutes);
+  exp.warmup();
+
+  bool recovered = false;
+  ft::RecoveryStats recovery;
+  if (opt.fail_at_seconds >= 0 && exp.ms() != nullptr) {
+    exp.sim().schedule_after(SimTime::seconds(opt.fail_at_seconds), [&] {
+      failure::FailureInjector injector(&exp.cluster(), &exp.app());
+      injector.fail_whole_application();
+      exp.ms()->recover_application(exp.spare_nodes(),
+                                    [&](ft::RecoveryStats s) {
+                                      recovered = true;
+                                      recovery = s;
+                                    });
+    });
+  }
+  exp.measure();
+
+  std::printf("\n--- run report ---\n");
+  std::printf("tuples processed:        %.0f\n", exp.throughput_tuples());
+  std::printf("mean latency:            %.1f ms (p99 %s)\n",
+              exp.mean_latency_ms(),
+              exp.app().latency().percentile(99).to_string().c_str());
+  std::printf("checkpoints completed:   %d\n", exp.checkpoints_completed());
+  if (exp.ms() != nullptr && !exp.ms()->checkpoints().empty()) {
+    const auto& last = exp.ms()->checkpoints().back();
+    std::printf("last checkpoint:         %s state in %s\n",
+                format_bytes(last.total_declared).c_str(),
+                last.total().to_string().c_str());
+  }
+  if (opt.fail_at_seconds >= 0) {
+    if (recovered) {
+      std::printf("failure at +%.0fs:        recovered %d HAUs in %s "
+                  "(disk %s, reconnect %s)\n",
+                  opt.fail_at_seconds, recovery.haus_recovered,
+                  recovery.total().to_string().c_str(),
+                  recovery.disk_io.to_string().c_str(),
+                  recovery.reconnection.to_string().c_str());
+    } else {
+      std::printf("failure at +%.0fs:        RECOVERY DID NOT COMPLETE\n",
+                  opt.fail_at_seconds);
+    }
+  }
+  std::printf("dynamic state now:       %s\n",
+              format_bytes(exp.dynamic_state()).c_str());
+
+  const auto& stats = exp.cluster().network().stats();
+  std::printf("\nnetwork bytes by category:\n");
+  for (int c = 0; c < static_cast<int>(net::MsgCategory::kCount); ++c) {
+    const auto cat = static_cast<net::MsgCategory>(c);
+    std::printf("  %-11s %s\n", net::msg_category_name(cat),
+                format_bytes(stats.bytes_of(cat)).c_str());
+  }
+  return (opt.fail_at_seconds >= 0 && !recovered) ? 1 : 0;
+}
