@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_burst_size.dir/ablation_burst_size.cc.o"
+  "CMakeFiles/ablation_burst_size.dir/ablation_burst_size.cc.o.d"
+  "ablation_burst_size"
+  "ablation_burst_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_burst_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

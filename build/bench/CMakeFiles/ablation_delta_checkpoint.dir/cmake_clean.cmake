@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delta_checkpoint.dir/ablation_delta_checkpoint.cc.o"
+  "CMakeFiles/ablation_delta_checkpoint.dir/ablation_delta_checkpoint.cc.o.d"
+  "ablation_delta_checkpoint"
+  "ablation_delta_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delta_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_token_overhead.dir/ablation_token_overhead.cc.o"
+  "CMakeFiles/ablation_token_overhead.dir/ablation_token_overhead.cc.o.d"
+  "ablation_token_overhead"
+  "ablation_token_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_token_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_profiling.dir/fig10_profiling.cc.o"
+  "CMakeFiles/fig10_profiling.dir/fig10_profiling.cc.o.d"
+  "fig10_profiling"
+  "fig10_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

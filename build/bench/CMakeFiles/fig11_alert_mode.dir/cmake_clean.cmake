@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_alert_mode.dir/fig11_alert_mode.cc.o"
+  "CMakeFiles/fig11_alert_mode.dir/fig11_alert_mode.cc.o.d"
+  "fig11_alert_mode"
+  "fig11_alert_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_alert_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_instantaneous_latency.dir/fig15_instantaneous_latency.cc.o"
+  "CMakeFiles/fig15_instantaneous_latency.dir/fig15_instantaneous_latency.cc.o.d"
+  "fig15_instantaneous_latency"
+  "fig15_instantaneous_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_instantaneous_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

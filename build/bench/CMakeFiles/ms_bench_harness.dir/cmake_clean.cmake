@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "../lib/libms_bench_harness.a"
+  "../lib/libms_bench_harness.pdb"
+  "CMakeFiles/ms_bench_harness.dir/ascii_chart.cc.o"
+  "CMakeFiles/ms_bench_harness.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/ms_bench_harness.dir/ckpt_protocols.cc.o"
+  "CMakeFiles/ms_bench_harness.dir/ckpt_protocols.cc.o.d"
+  "CMakeFiles/ms_bench_harness.dir/common_case.cc.o"
+  "CMakeFiles/ms_bench_harness.dir/common_case.cc.o.d"
+  "CMakeFiles/ms_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/ms_bench_harness.dir/harness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

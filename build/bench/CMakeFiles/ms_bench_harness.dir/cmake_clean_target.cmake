@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libms_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/application_aware.dir/application_aware.cpp.o"
+  "CMakeFiles/application_aware.dir/application_aware.cpp.o.d"
+  "application_aware"
+  "application_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/application_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_failure.dir/burst_failure.cpp.o"
+  "CMakeFiles/burst_failure.dir/burst_failure.cpp.o.d"
+  "burst_failure"
+  "burst_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

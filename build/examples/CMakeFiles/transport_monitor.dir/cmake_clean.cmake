@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_monitor.dir/transport_monitor.cpp.o"
+  "CMakeFiles/transport_monitor.dir/transport_monitor.cpp.o.d"
+  "transport_monitor"
+  "transport_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

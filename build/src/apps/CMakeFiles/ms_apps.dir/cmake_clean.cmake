@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_apps.dir/bcp.cc.o"
+  "CMakeFiles/ms_apps.dir/bcp.cc.o.d"
+  "CMakeFiles/ms_apps.dir/kernels/blob_count.cc.o"
+  "CMakeFiles/ms_apps.dir/kernels/blob_count.cc.o.d"
+  "CMakeFiles/ms_apps.dir/kernels/kmeans.cc.o"
+  "CMakeFiles/ms_apps.dir/kernels/kmeans.cc.o.d"
+  "CMakeFiles/ms_apps.dir/kernels/svm.cc.o"
+  "CMakeFiles/ms_apps.dir/kernels/svm.cc.o.d"
+  "CMakeFiles/ms_apps.dir/signalguru.cc.o"
+  "CMakeFiles/ms_apps.dir/signalguru.cc.o.d"
+  "CMakeFiles/ms_apps.dir/tmi.cc.o"
+  "CMakeFiles/ms_apps.dir/tmi.cc.o.d"
+  "libms_apps.a"
+  "libms_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_common.dir/log.cc.o"
+  "CMakeFiles/ms_common.dir/log.cc.o.d"
+  "CMakeFiles/ms_common.dir/metrics.cc.o"
+  "CMakeFiles/ms_common.dir/metrics.cc.o.d"
+  "CMakeFiles/ms_common.dir/status.cc.o"
+  "CMakeFiles/ms_common.dir/status.cc.o.d"
+  "CMakeFiles/ms_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ms_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/ms_common.dir/units.cc.o"
+  "CMakeFiles/ms_common.dir/units.cc.o.d"
+  "libms_common.a"
+  "libms_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

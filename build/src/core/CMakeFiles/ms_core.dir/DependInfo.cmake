@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/application.cc" "src/core/CMakeFiles/ms_core.dir/application.cc.o" "gcc" "src/core/CMakeFiles/ms_core.dir/application.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/ms_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/ms_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/hau.cc" "src/core/CMakeFiles/ms_core.dir/hau.cc.o" "gcc" "src/core/CMakeFiles/ms_core.dir/hau.cc.o.d"
+  "/root/repo/src/core/query_graph.cc" "src/core/CMakeFiles/ms_core.dir/query_graph.cc.o" "gcc" "src/core/CMakeFiles/ms_core.dir/query_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ms_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/statesize/CMakeFiles/ms_statesize.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

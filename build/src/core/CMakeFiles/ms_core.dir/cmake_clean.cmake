@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_core.dir/application.cc.o"
+  "CMakeFiles/ms_core.dir/application.cc.o.d"
+  "CMakeFiles/ms_core.dir/cluster.cc.o"
+  "CMakeFiles/ms_core.dir/cluster.cc.o.d"
+  "CMakeFiles/ms_core.dir/hau.cc.o"
+  "CMakeFiles/ms_core.dir/hau.cc.o.d"
+  "CMakeFiles/ms_core.dir/query_graph.cc.o"
+  "CMakeFiles/ms_core.dir/query_graph.cc.o.d"
+  "libms_core.a"
+  "libms_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_failure.dir/afn100.cc.o"
+  "CMakeFiles/ms_failure.dir/afn100.cc.o.d"
+  "CMakeFiles/ms_failure.dir/burst.cc.o"
+  "CMakeFiles/ms_failure.dir/burst.cc.o.d"
+  "libms_failure.a"
+  "libms_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

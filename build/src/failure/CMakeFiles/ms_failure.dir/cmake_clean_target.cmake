@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libms_failure.a"
+)

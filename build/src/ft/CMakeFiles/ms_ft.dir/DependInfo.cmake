@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ft/aa_controller.cc" "src/ft/CMakeFiles/ms_ft.dir/aa_controller.cc.o" "gcc" "src/ft/CMakeFiles/ms_ft.dir/aa_controller.cc.o.d"
+  "/root/repo/src/ft/baseline.cc" "src/ft/CMakeFiles/ms_ft.dir/baseline.cc.o" "gcc" "src/ft/CMakeFiles/ms_ft.dir/baseline.cc.o.d"
+  "/root/repo/src/ft/meteor_shower.cc" "src/ft/CMakeFiles/ms_ft.dir/meteor_shower.cc.o" "gcc" "src/ft/CMakeFiles/ms_ft.dir/meteor_shower.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/statesize/CMakeFiles/ms_statesize.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ms_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

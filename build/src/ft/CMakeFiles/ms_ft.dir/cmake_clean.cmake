@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_ft.dir/aa_controller.cc.o"
+  "CMakeFiles/ms_ft.dir/aa_controller.cc.o.d"
+  "CMakeFiles/ms_ft.dir/baseline.cc.o"
+  "CMakeFiles/ms_ft.dir/baseline.cc.o.d"
+  "CMakeFiles/ms_ft.dir/meteor_shower.cc.o"
+  "CMakeFiles/ms_ft.dir/meteor_shower.cc.o.d"
+  "libms_ft.a"
+  "libms_ft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_ft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_rt.dir/engine.cc.o"
+  "CMakeFiles/ms_rt.dir/engine.cc.o.d"
+  "libms_rt.a"
+  "libms_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

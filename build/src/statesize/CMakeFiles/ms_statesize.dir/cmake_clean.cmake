@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_statesize.dir/turning_point.cc.o"
+  "CMakeFiles/ms_statesize.dir/turning_point.cc.o.d"
+  "libms_statesize.a"
+  "libms_statesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_statesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

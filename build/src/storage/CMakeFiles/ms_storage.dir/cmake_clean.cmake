@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ms_storage.dir/disk.cc.o"
+  "CMakeFiles/ms_storage.dir/disk.cc.o.d"
+  "CMakeFiles/ms_storage.dir/stores.cc.o"
+  "CMakeFiles/ms_storage.dir/stores.cc.o.d"
+  "libms_storage.a"
+  "libms_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ms_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/application_test.cc.o"
+  "CMakeFiles/core_test.dir/application_test.cc.o.d"
+  "CMakeFiles/core_test.dir/flow_control_test.cc.o"
+  "CMakeFiles/core_test.dir/flow_control_test.cc.o.d"
+  "CMakeFiles/core_test.dir/hau_test.cc.o"
+  "CMakeFiles/core_test.dir/hau_test.cc.o.d"
+  "CMakeFiles/core_test.dir/operator_context_test.cc.o"
+  "CMakeFiles/core_test.dir/operator_context_test.cc.o.d"
+  "CMakeFiles/core_test.dir/query_graph_test.cc.o"
+  "CMakeFiles/core_test.dir/query_graph_test.cc.o.d"
+  "CMakeFiles/core_test.dir/stdops_test.cc.o"
+  "CMakeFiles/core_test.dir/stdops_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_test.dir/aa_controller_test.cc.o"
+  "CMakeFiles/ft_test.dir/aa_controller_test.cc.o.d"
+  "CMakeFiles/ft_test.dir/aa_pipeline_test.cc.o"
+  "CMakeFiles/ft_test.dir/aa_pipeline_test.cc.o.d"
+  "CMakeFiles/ft_test.dir/baseline_test.cc.o"
+  "CMakeFiles/ft_test.dir/baseline_test.cc.o.d"
+  "CMakeFiles/ft_test.dir/delta_checkpoint_test.cc.o"
+  "CMakeFiles/ft_test.dir/delta_checkpoint_test.cc.o.d"
+  "CMakeFiles/ft_test.dir/failure_detection_test.cc.o"
+  "CMakeFiles/ft_test.dir/failure_detection_test.cc.o.d"
+  "CMakeFiles/ft_test.dir/meteor_shower_test.cc.o"
+  "CMakeFiles/ft_test.dir/meteor_shower_test.cc.o.d"
+  "CMakeFiles/ft_test.dir/source_preservation_test.cc.o"
+  "CMakeFiles/ft_test.dir/source_preservation_test.cc.o.d"
+  "CMakeFiles/ft_test.dir/token_walkthrough_test.cc.o"
+  "CMakeFiles/ft_test.dir/token_walkthrough_test.cc.o.d"
+  "ft_test"
+  "ft_test.pdb"
+  "ft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

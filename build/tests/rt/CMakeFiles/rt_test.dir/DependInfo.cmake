@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rt/engine_stress_test.cc" "tests/rt/CMakeFiles/rt_test.dir/engine_stress_test.cc.o" "gcc" "tests/rt/CMakeFiles/rt_test.dir/engine_stress_test.cc.o.d"
+  "/root/repo/tests/rt/engine_test.cc" "tests/rt/CMakeFiles/rt_test.dir/engine_test.cc.o" "gcc" "tests/rt/CMakeFiles/rt_test.dir/engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ft/CMakeFiles/ms_ft.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ms_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ms_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/ms_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/ms_rt.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/ms_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/statesize/CMakeFiles/ms_statesize.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ms_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ms_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ms_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statesize_test.dir/state_size_test.cc.o"
+  "CMakeFiles/statesize_test.dir/state_size_test.cc.o.d"
+  "CMakeFiles/statesize_test.dir/turning_point_test.cc.o"
+  "CMakeFiles/statesize_test.dir/turning_point_test.cc.o.d"
+  "statesize_test"
+  "statesize_test.pdb"
+  "statesize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statesize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

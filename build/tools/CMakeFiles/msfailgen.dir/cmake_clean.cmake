@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msfailgen.dir/msfailgen.cc.o"
+  "CMakeFiles/msfailgen.dir/msfailgen.cc.o.d"
+  "msfailgen"
+  "msfailgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msfailgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

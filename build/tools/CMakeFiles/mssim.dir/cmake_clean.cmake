@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mssim.dir/mssim.cc.o"
+  "CMakeFiles/mssim.dir/mssim.cc.o.d"
+  "mssim"
+  "mssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
