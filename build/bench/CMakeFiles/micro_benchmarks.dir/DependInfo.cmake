@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/bench/CMakeFiles/ms_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/ms_rt.dir/DependInfo.cmake"
   "/root/repo/build/src/apps/CMakeFiles/ms_apps.dir/DependInfo.cmake"
   "/root/repo/build/src/ft/CMakeFiles/ms_ft.dir/DependInfo.cmake"
   "/root/repo/build/src/failure/CMakeFiles/ms_failure.dir/DependInfo.cmake"

@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_engine_throughput "/root/repo/build/bench/micro_benchmarks" "--benchmark_filter=BM_EngineThroughput" "--benchmark_min_time=0.01" "--benchmark_out=/root/repo/build/bench/engine_throughput.json" "--benchmark_out_format=json")
+set_tests_properties(bench_smoke_engine_throughput PROPERTIES  LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -278,4 +278,4 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/ft/stats.h /root/repo/src/rt/engine.h \
  /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
- /root/repo/src/common/thread_pool.h
+ /root/repo/src/common/buffer_pool.h /root/repo/src/common/thread_pool.h

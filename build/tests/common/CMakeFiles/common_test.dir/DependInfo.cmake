@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common/ascii_chart_test.cc" "tests/common/CMakeFiles/common_test.dir/ascii_chart_test.cc.o" "gcc" "tests/common/CMakeFiles/common_test.dir/ascii_chart_test.cc.o.d"
+  "/root/repo/tests/common/buffer_pool_test.cc" "tests/common/CMakeFiles/common_test.dir/buffer_pool_test.cc.o" "gcc" "tests/common/CMakeFiles/common_test.dir/buffer_pool_test.cc.o.d"
   "/root/repo/tests/common/metrics_test.cc" "tests/common/CMakeFiles/common_test.dir/metrics_test.cc.o" "gcc" "tests/common/CMakeFiles/common_test.dir/metrics_test.cc.o.d"
   "/root/repo/tests/common/rng_test.cc" "tests/common/CMakeFiles/common_test.dir/rng_test.cc.o" "gcc" "tests/common/CMakeFiles/common_test.dir/rng_test.cc.o.d"
   "/root/repo/tests/common/serialize_test.cc" "tests/common/CMakeFiles/common_test.dir/serialize_test.cc.o" "gcc" "tests/common/CMakeFiles/common_test.dir/serialize_test.cc.o.d"

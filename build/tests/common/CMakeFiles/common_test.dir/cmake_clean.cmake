@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/common_test.dir/ascii_chart_test.cc.o"
   "CMakeFiles/common_test.dir/ascii_chart_test.cc.o.d"
+  "CMakeFiles/common_test.dir/buffer_pool_test.cc.o"
+  "CMakeFiles/common_test.dir/buffer_pool_test.cc.o.d"
   "CMakeFiles/common_test.dir/metrics_test.cc.o"
   "CMakeFiles/common_test.dir/metrics_test.cc.o.d"
   "CMakeFiles/common_test.dir/rng_test.cc.o"

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rt/engine_batch_test.cc" "tests/rt/CMakeFiles/rt_test.dir/engine_batch_test.cc.o" "gcc" "tests/rt/CMakeFiles/rt_test.dir/engine_batch_test.cc.o.d"
   "/root/repo/tests/rt/engine_stress_test.cc" "tests/rt/CMakeFiles/rt_test.dir/engine_stress_test.cc.o" "gcc" "tests/rt/CMakeFiles/rt_test.dir/engine_stress_test.cc.o.d"
   "/root/repo/tests/rt/engine_test.cc" "tests/rt/CMakeFiles/rt_test.dir/engine_test.cc.o" "gcc" "tests/rt/CMakeFiles/rt_test.dir/engine_test.cc.o.d"
   )

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/rt_test.dir/engine_batch_test.cc.o"
+  "CMakeFiles/rt_test.dir/engine_batch_test.cc.o.d"
   "CMakeFiles/rt_test.dir/engine_stress_test.cc.o"
   "CMakeFiles/rt_test.dir/engine_stress_test.cc.o.d"
   "CMakeFiles/rt_test.dir/engine_test.cc.o"

@@ -344,4 +344,4 @@ tests/rt/CMakeFiles/rt_test.dir/engine_stress_test.cc.o: \
  /root/repo/src/core/query_graph.h /root/repo/src/core/stdops.h \
  /root/repo/src/rt/engine.h /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/mutex \
- /root/repo/src/common/thread_pool.h
+ /root/repo/src/common/buffer_pool.h /root/repo/src/common/thread_pool.h

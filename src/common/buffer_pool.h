@@ -1,0 +1,62 @@
+// Pool of reusable byte buffers for the checkpoint write path.
+//
+// Every checkpoint epoch serializes every operator's state into a byte
+// vector that a helper thread writes to disk. Allocating that vector fresh
+// each epoch puts an allocator round-trip (and page faults for large state)
+// on the snapshot path; the pool instead recycles buffers so steady-state
+// checkpointing reuses warm, already-sized allocations. Thread-safe:
+// workers acquire on their own threads, helpers release when the disk
+// write completes.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace ms {
+
+class BufferPool {
+ public:
+  /// `max_pooled` bounds how many idle buffers are retained; extra releases
+  /// simply free their memory.
+  explicit BufferPool(std::size_t max_pooled = 16) : max_pooled_(max_pooled) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns an empty buffer with at least `size_hint` bytes of capacity,
+  /// recycling a pooled allocation when one is available.
+  std::vector<std::uint8_t> acquire(std::size_t size_hint = 0) {
+    std::vector<std::uint8_t> buf;
+    {
+      std::scoped_lock lock(mu_);
+      if (!free_.empty()) {
+        buf = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    buf.clear();
+    if (buf.capacity() < size_hint) buf.reserve(size_hint);
+    return buf;
+  }
+
+  /// Returns a buffer to the pool (contents discarded, capacity kept).
+  void release(std::vector<std::uint8_t> buf) {
+    if (buf.capacity() == 0) return;
+    std::scoped_lock lock(mu_);
+    if (free_.size() < max_pooled_) free_.push_back(std::move(buf));
+  }
+
+  std::size_t idle() const {
+    std::scoped_lock lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  const std::size_t max_pooled_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::uint8_t>> free_;
+};
+
+}  // namespace ms

@@ -103,6 +103,60 @@ class UnionOperator final : public Operator {
   Bytes state_size() const override { return 0; }
 };
 
+/// Source emitting `burst` tuples per timer tick (built by a caller-supplied
+/// factory that receives the emission sequence number), optionally stopping
+/// after `limit` tuples. A burst of thousands per tick saturates the engine's
+/// transport instead of its timer wheel, which is what throughput workloads
+/// and the batching benchmarks need; `limit` gives tests a fixed, exactly-
+/// reproducible tuple count. Like CounterSource in the tests, the sequence
+/// counter models the external world: restore does not rewind it.
+class BurstSourceOperator final : public Operator {
+ public:
+  using MakeFn = std::function<Tuple(std::int64_t seq)>;
+
+  BurstSourceOperator(std::string name, SimTime period, std::int64_t burst,
+                      MakeFn make, std::int64_t limit = -1)
+      : Operator(std::move(name)),
+        period_(period),
+        burst_(burst),
+        make_(std::move(make)),
+        limit_(limit) {}
+
+  void on_open(OperatorContext& ctx) override { arm(ctx); }
+  void process(int, const Tuple&, OperatorContext&) override {}
+
+  Bytes state_size() const override { return 16; }
+  void serialize_state(BinaryWriter& w) const override { w.write(next_); }
+  void deserialize_state(BinaryReader& r) override {
+    (void)r.read<std::int64_t>();  // the external feed does not rewind
+  }
+
+  std::int64_t emitted() const { return next_; }
+  bool done() const { return limit_ >= 0 && next_ >= limit_; }
+
+ private:
+  void arm(OperatorContext& ctx) {
+    ctx.schedule(period_, [this](OperatorContext& c) {
+      const int ports = c.num_out_ports();
+      for (std::int64_t i = 0; i < burst_ && !done(); ++i) {
+        Tuple t = make_(next_);
+        // Round-robin across out ports; the common single-port case skips
+        // the per-tuple 64-bit division.
+        const int port = ports == 1 ? 0 : static_cast<int>(next_ % ports);
+        c.emit(port, std::move(t));
+        ++next_;
+      }
+      if (!done()) arm(c);
+    });
+  }
+
+  SimTime period_;
+  std::int64_t burst_;
+  MakeFn make_;
+  std::int64_t limit_;
+  std::int64_t next_ = 0;
+};
+
 /// Tumbling-window keyed aggregation: accumulates `double` values per key,
 /// emits one summary tuple per key at each window boundary, then clears —
 /// the same batch-discard state pattern as the paper's dynamic HAUs, so

@@ -11,9 +11,47 @@ namespace ms::rt {
 namespace fs = std::filesystem;
 
 /// OperatorContext bound to a worker thread.
+///
+/// Owns the per-out-edge output buffers for batched transport. Buffers are
+/// per-context (not per-worker) because a worker's operator can emit from
+/// two threads: its worker thread (process()) and the timer thread
+/// (schedule() callbacks, source emission). Each context flushes on the
+/// max_batch watermark, explicitly before a token is forwarded, and on
+/// destruction — a timer callback's context dies at callback end, the
+/// worker loop's context flushes after every drained run.
 class RtEngine::RtContext final : public core::OperatorContext {
  public:
-  RtContext(RtEngine* engine, Worker* worker) : engine_(engine), worker_(worker) {}
+  RtContext(RtEngine* engine, Worker* worker) : engine_(engine), worker_(worker) {
+    if (engine_->config_.max_batch > 1) {
+      buffers_.resize(worker_->out_edges.size());
+      for (auto& b : buffers_) b = engine_->acquire_batch();
+    }
+  }
+
+  ~RtContext() override {
+    flush_all();
+    // Hand unused (now empty) buffer storage back to the pool — timer
+    // contexts are created per tick, so dropping capacity here would defeat
+    // the recycling.
+    for (auto& b : buffers_) {
+      if (b.capacity() != 0) engine_->release_batch(std::move(b));
+    }
+    for (auto& b : stash_) engine_->release_batch(std::move(b));
+  }
+
+  /// Take back a drained batch carrier for reuse by this context's own
+  /// flushes. The stash is context-local, so for a mid-pipeline worker —
+  /// which consumes one batch per batch it produces — the recycle loop is
+  /// entirely lock-free; only the endpoints (pure sources and sinks) fall
+  /// through to the mutex-guarded engine pool.
+  void recycle(std::vector<core::Tuple>&& v) {
+    v.clear();
+    if (stash_.size() < kMaxStash) {
+      stash_.push_back(std::move(v));
+    } else {
+      engine_->release_batch(std::move(v));
+    }
+  }
 
   SimTime now() const override { return engine_->now(); }
   Rng& rng() override { return *worker_->rng; }
@@ -28,9 +66,30 @@ class RtEngine::RtContext final : public core::OperatorContext {
       tuple.source_seq = ++worker_->next_seq;
       tuple.id = core::Tuple::make_id(tuple.source_hau, tuple.source_seq);
     }
-    const auto [target, port] =
-        worker_->out_edges[static_cast<std::size_t>(out_port)];
-    engine_->deliver(target, port, core::StreamItem(std::move(tuple)));
+    if (buffers_.empty()) {  // max_batch == 1: the seed's per-tuple path
+      const auto [target, port] =
+          worker_->out_edges[static_cast<std::size_t>(out_port)];
+      engine_->deliver(target, port, core::StreamItem(std::move(tuple)));
+      return;
+    }
+    auto& buf = buffers_[static_cast<std::size_t>(out_port)];
+    buf.push_back(std::move(tuple));
+    if (buf.size() >= engine_->config_.max_batch) {
+      flush_port(static_cast<std::size_t>(out_port));
+    }
+  }
+
+  /// Flush every out-edge buffer to its downstream queue. Called before a
+  /// token is forwarded (the flush barrier checkpoint alignment depends on)
+  /// and when the operator returns control to the engine. The producer is
+  /// pausing here, so also fire any wake it deferred on a downstream.
+  void flush_all() {
+    if (buffers_.empty()) return;  // max_batch == 1: nothing ever deferred
+    for (std::size_t p = 0; p < buffers_.size(); ++p) flush_port(p);
+    for (const auto& [target, port] : worker_->out_edges) {
+      (void)port;
+      engine_->kick(*engine_->workers_[static_cast<std::size_t>(target)]);
+    }
   }
 
   int num_out_ports() const override {
@@ -53,14 +112,46 @@ class RtEngine::RtContext final : public core::OperatorContext {
   int hau_id() const override { return worker_->id; }
 
  private:
+  void flush_port(std::size_t p) {
+    if (buffers_[p].empty()) return;
+    const auto [target, port] = worker_->out_edges[p];
+    // The whole buffer moves downstream as one queue entry; the replacement
+    // comes from the local stash (lock-free) or the engine pool, already at
+    // capacity either way.
+    engine_->deliver_batch(target, port, std::move(buffers_[p]));
+    if (!stash_.empty()) {
+      buffers_[p] = std::move(stash_.back());
+      stash_.pop_back();
+    } else {
+      buffers_[p] = engine_->acquire_batch();
+    }
+  }
+
   RtEngine* engine_;
   Worker* worker_;
+  // One buffer per out-edge; empty when batching is off.
+  std::vector<std::vector<core::Tuple>> buffers_;
+  // Drained batch carriers awaiting reuse; touched only by this context's
+  // thread.
+  static constexpr std::size_t kMaxStash = 8;
+  std::vector<std::vector<core::Tuple>> stash_;
 };
 
 RtEngine::RtEngine(const core::QueryGraph& graph, RtConfig config)
     : graph_(graph), config_(std::move(config)) {
   const Status st = graph_.validate();
   MS_CHECK_MSG(st.is_ok(), "invalid query network: " + st.to_string());
+  if (config_.max_batch == 0) config_.max_batch = 1;
+  // Deferred-wake threshold: let batches pile up to half the queue before
+  // paying a futex wake — on a loaded box the wake + context-switch round
+  // trip costs microseconds, an order of magnitude more than moving a whole
+  // batch, so wake frequency sets the batched-transport ceiling. Half the
+  // queue keeps backpressure ahead of the wakes; liveness does not depend on
+  // the threshold at all — unconditional kicks fire at operator return and
+  // before any producer blocks on capacity, and tokens always wake.
+  wake_threshold_ = config_.max_batch > 1
+                        ? std::max<std::size_t>(1, config_.queue_capacity / 2)
+                        : 1;
   Rng seeder(config_.seed);
   workers_.reserve(static_cast<std::size_t>(graph_.num_operators()));
   for (int i = 0; i < graph_.num_operators(); ++i) {
@@ -118,7 +209,9 @@ void RtEngine::start() {
 
 void RtEngine::stop() {
   if (!running_.load()) return;
-  // Phase 1: stop timers so sources quiesce.
+  // Phase 1: stop timers so sources quiesce. Joining the timer thread also
+  // waits out any in-flight callback, whose context flushes on destruction —
+  // after this point no new tuples enter the graph.
   {
     std::scoped_lock lock(timer_mu_);
     stopping_.store(true);
@@ -126,16 +219,25 @@ void RtEngine::stop() {
   }
   timer_cv_.notify_all();
   if (timer_thread_.joinable()) timer_thread_.join();
-  // Phase 2: drain queues in topological order so upstream emissions land
-  // before a downstream worker shuts down.
+  // Phase 2: drain in topological order so upstream emissions land before a
+  // downstream worker shuts down. A worker is drained only when its queue is
+  // empty AND it holds no swap-drained items still being processed — the
+  // in-flight run's output has not reached downstream queues yet.
   for (const int v : graph_.topological_order()) {
     Worker& w = *workers_[static_cast<std::size_t>(v)];
     std::unique_lock lock(w.mu);
-    w.cv_push.wait(lock, [&w] { return w.queue.empty(); });
+    w.cv_push.wait(lock, [&w] { return w.queue.empty() && w.inflight == 0; });
   }
-  // Phase 3: shut workers down.
+  // Phase 3: shut workers down. Notify both cvs: cv_pop wakes idle workers
+  // so they observe !running_ and exit; cv_push wakes any producer still
+  // blocked on a full queue (its wait predicate passes once running_ is
+  // false) — without it a stop raced with heavy backpressure can hang.
   running_.store(false);
-  for (auto& w : workers_) w->cv_pop.notify_all();
+  for (auto& w : workers_) {
+    std::scoped_lock lock(w->mu);
+    w->cv_pop.notify_all();
+    w->cv_push.notify_all();
+  }
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
@@ -145,69 +247,179 @@ void RtEngine::stop() {
 void RtEngine::deliver(int op, int in_port, core::StreamItem item) {
   Worker& w = *workers_[static_cast<std::size_t>(op)];
   std::unique_lock lock(w.mu);
+  if (w.wake_pending) {  // never block with the consumer still unwoken
+    w.wake_pending = false;
+    w.cv_pop.notify_one();
+  }
   w.cv_push.wait(lock, [this, &w] {
-    return w.queue.size() < config_.queue_capacity || !running_.load();
+    return w.queued_tuples < config_.queue_capacity || !running_.load();
   });
-  w.queue.push_back(QueueItem{in_port, std::move(item)});
-  w.cv_pop.notify_one();
+  const bool was_empty = w.queue.empty();
+  if (auto* tuple = std::get_if<core::Tuple>(&item)) {
+    w.queue.push_back(QueueItem{in_port, Slot(std::move(*tuple))});
+  } else {
+    w.queue.push_back(QueueItem{in_port, Slot(std::get<core::Token>(item))});
+  }
+  ++w.queued_tuples;
+  // Single-item delivery (max_batch == 1 transport and tokens) always wakes
+  // immediately: tokens gate checkpoint latency, and the unbatched escape
+  // hatch keeps the seed's per-tuple semantics.
+  if (was_empty || w.wake_pending) {
+    w.wake_pending = false;
+    w.cv_pop.notify_one();
+  }
+}
+
+void RtEngine::deliver_batch(int op, int in_port,
+                             std::vector<core::Tuple>&& batch) {
+  Worker& w = *workers_[static_cast<std::size_t>(op)];
+  const std::size_t n = batch.size();
+  std::unique_lock lock(w.mu);
+  if (w.wake_pending) {  // never block with the consumer still unwoken
+    w.wake_pending = false;
+    w.cv_pop.notify_one();
+  }
+  w.cv_push.wait(lock, [this, &w] {
+    return w.queued_tuples < config_.queue_capacity || !running_.load();
+  });
+  if (w.queue.empty()) w.wake_pending = true;
+  w.queue.push_back(QueueItem{in_port, Slot(std::move(batch))});
+  w.queued_tuples += n;
+  // Deferred wake: batch flushes accumulate until the threshold, so the
+  // consumer pays one futex wake per several batches. Producers guarantee
+  // the wake at their next pause (flush_all kick / capacity wait).
+  if (w.wake_pending && w.queued_tuples >= wake_threshold_) {
+    w.wake_pending = false;
+    w.cv_pop.notify_one();
+  }
+}
+
+void RtEngine::kick(Worker& w) {
+  std::scoped_lock lock(w.mu);
+  if (w.wake_pending) {
+    w.wake_pending = false;
+    w.cv_pop.notify_one();
+  }
+}
+
+std::vector<core::Tuple> RtEngine::acquire_batch() {
+  {
+    std::scoped_lock lock(batch_pool_mu_);
+    if (!batch_pool_.empty()) {
+      std::vector<core::Tuple> v = std::move(batch_pool_.back());
+      batch_pool_.pop_back();
+      return v;
+    }
+  }
+  std::vector<core::Tuple> v;
+  v.reserve(config_.max_batch);
+  return v;
+}
+
+void RtEngine::release_batch(std::vector<core::Tuple>&& v) {
+  v.clear();  // destroy any leftover tuples before taking the pool lock
+  std::scoped_lock lock(batch_pool_mu_);
+  if (batch_pool_.size() < kMaxPooledBatches) {
+    batch_pool_.push_back(std::move(v));
+  }
 }
 
 void RtEngine::worker_loop(Worker& w) {
   RtContext ctx(this, &w);
+  std::vector<QueueItem> local;
   for (;;) {
-    QueueItem qi;
     {
       std::unique_lock lock(w.mu);
+      if (w.inflight != 0) {
+        w.inflight = 0;
+        w.cv_push.notify_all();  // stop()'s drain waits for idle, not just empty
+      }
       w.cv_pop.wait(lock, [this, &w] {
         return !w.queue.empty() || !running_.load();
       });
       if (w.queue.empty()) return;  // stopped and drained
-      qi = std::move(w.queue.front());
-      w.queue.pop_front();
-      w.cv_push.notify_all();
+      // Swap-drain: take the whole pending run in O(1) under this one lock
+      // hold, then process it without touching the mutex again. `local` was
+      // cleared with capacity intact, so the swap recycles storage both ways.
+      const bool was_full = w.queued_tuples >= config_.queue_capacity;
+      local.swap(w.queue);
+      w.queued_tuples = 0;
+      w.wake_pending = false;  // we are awake and have taken everything
+      w.inflight = local.size();
+      if (was_full) w.cv_push.notify_all();  // capacity freed all at once
     }
-    if (const auto* token = std::get_if<core::Token>(&qi.item)) {
-      // Token alignment. The bounded queues are FIFO per edge, so marking
-      // per-port arrival gives the same boundary as head-blocking: every
-      // pre-token tuple on that edge has already been dequeued.
-      if (w.num_in_ports > 0) {
-        MS_CHECK_MSG(!w.token_seen[static_cast<std::size_t>(qi.in_port)],
-                     "duplicate token on one edge within an epoch");
-        w.token_seen[static_cast<std::size_t>(qi.in_port)] = true;
-      }
-      if (++w.tokens == std::max(1, w.num_in_ports)) {
-        std::fill(w.token_seen.begin(), w.token_seen.end(), false);
-        w.tokens = 0;
-        // Snapshot state on the worker thread (fast, in-memory), write on a
-        // helper (the fork/copy-on-write analogue).
-        BinaryWriter writer;
-        w.op->serialize_state(writer);
-        auto blob = std::make_shared<std::vector<std::uint8_t>>(writer.take());
-        // Forward the token before resuming normal work.
-        for (const auto& [target, port] : w.out_edges) {
-          deliver(target, port, core::StreamItem(*token));
+    std::int64_t done = 0;
+    for (auto& qi : local) {
+      if (auto* batch = std::get_if<std::vector<core::Tuple>>(&qi.slot)) {
+        for (const auto& tuple : *batch) {
+          w.op->process(qi.in_port, tuple, ctx);
         }
-        const int id = w.id;
-        helpers_->submit([this, id, blob] {
-          const fs::path path =
-              fs::path(config_.checkpoint_dir) /
-              ("op_" + std::to_string(id) + ".ckpt");
-          std::ofstream out(path, std::ios::binary | std::ios::trunc);
-          out.write(reinterpret_cast<const char*>(blob->data()),
-                    static_cast<std::streamsize>(blob->size()));
-          out.close();
-          std::scoped_lock lock(ckpt_mu_);
-          ckpt_sizes_[id] = blob->size();
-          if (--ckpt_remaining_ == 0) ckpt_cv_.notify_all();
-        });
+        done += static_cast<std::int64_t>(batch->size());
+        ctx.recycle(std::move(*batch));  // carrier feeds this worker's flushes
+        continue;
       }
-      continue;
+      if (const auto* token = std::get_if<core::Token>(&qi.slot)) {
+        // Token alignment. The queues are FIFO per edge, so marking
+        // per-port arrival gives the same boundary as head-blocking: every
+        // pre-token tuple on that edge has already been dequeued — entries
+        // behind the token in this drained run are processed after the
+        // snapshot, exactly as if they were still queued.
+        if (w.num_in_ports > 0) {
+          MS_CHECK_MSG(!w.token_seen[static_cast<std::size_t>(qi.in_port)],
+                       "duplicate token on one edge within an epoch");
+          w.token_seen[static_cast<std::size_t>(qi.in_port)] = true;
+        }
+        if (++w.tokens == std::max(1, w.num_in_ports)) {
+          std::fill(w.token_seen.begin(), w.token_seen.end(), false);
+          w.tokens = 0;
+          // Flush barrier: everything this operator emitted before the token
+          // must reach downstream queues ahead of the forwarded token, or a
+          // checkpoint taken mid-batch would miss in-buffer tuples.
+          ctx.flush_all();
+          snapshot_and_forward_token(w, *token);
+        }
+        continue;
+      }
+      w.op->process(qi.in_port, std::get<core::Tuple>(qi.slot), ctx);
+      ++done;
     }
-    auto& tuple = std::get<core::Tuple>(qi.item);
-    w.op->process(qi.in_port, tuple, ctx);
-    w.processed.fetch_add(1, std::memory_order_relaxed);
-    if (w.is_sink) sink_tuples_.fetch_add(1, std::memory_order_relaxed);
+    // Counters move once per drained run, not once per tuple.
+    w.processed.fetch_add(done, std::memory_order_relaxed);
+    if (w.is_sink) sink_tuples_.fetch_add(done, std::memory_order_relaxed);
+    local.clear();
+    // Operator-return flush: never sit on buffered output while blocking for
+    // more input (bounds latency and keeps the drain protocol honest).
+    ctx.flush_all();
   }
+}
+
+void RtEngine::snapshot_and_forward_token(Worker& w, const core::Token& token) {
+  // Snapshot state on the worker thread (fast, in-memory), write on a helper
+  // (the fork/copy-on-write analogue). The writer adopts a pooled buffer
+  // pre-sized by the previous epoch's snapshot, so steady-state
+  // serialization performs zero allocations.
+  BinaryWriter writer(snapshot_buffers_.acquire(w.last_snapshot_bytes));
+  w.op->serialize_state(writer);
+  w.last_snapshot_bytes = writer.size();
+  auto blob = std::make_shared<std::vector<std::uint8_t>>(writer.take());
+  // Forward the token before resuming normal work.
+  for (const auto& [target, port] : w.out_edges) {
+    deliver(target, port, core::StreamItem(token));
+  }
+  const int id = w.id;
+  helpers_->submit([this, id, blob] {
+    const fs::path path = fs::path(config_.checkpoint_dir) /
+                          ("op_" + std::to_string(id) + ".ckpt");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(blob->data()),
+              static_cast<std::streamsize>(blob->size()));
+    out.close();
+    const std::size_t written = blob->size();
+    snapshot_buffers_.release(std::move(*blob));
+    std::scoped_lock lock(ckpt_mu_);
+    ckpt_sizes_[id] = written;
+    if (--ckpt_remaining_ == 0) ckpt_cv_.notify_all();
+  });
 }
 
 std::map<int, std::uint64_t> RtEngine::checkpoint() {

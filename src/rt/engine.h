@@ -6,6 +6,12 @@
 //
 //  - one worker thread per operator, bounded MPSC queue per in-edge
 //    (blocking enqueue = backpressure);
+//  - batched transport: emits accumulate in per-out-edge buffers and flush
+//    to the downstream queue under a single lock (on the max_batch
+//    watermark, on operator return, and before any token is forwarded);
+//    workers drain their whole pending queue under one lock and process
+//    the drained run lock-free; condition-variable notifies fire only on
+//    empty→non-empty (and full→capacity-available) transitions;
 //  - a timer thread drives OperatorContext::schedule (source emission,
 //    windows);
 //  - token-aligned checkpoints in the Meteor Shower style: a checkpoint
@@ -13,6 +19,17 @@
 //    its operator state when tokens have arrived on all in-edges, and a
 //    helper pool writes the snapshots to disk while processing continues —
 //    the thread-level analogue of the paper's fork/copy-on-write helper.
+//    Snapshot serialization reuses pooled buffers sized by the previous
+//    epoch, so steady-state checkpoints allocate nothing on the data path.
+//
+// Invariants preserved by batching (see DESIGN.md §5c):
+//  - per-edge FIFO: tuples emitted on one out-edge arrive downstream in
+//    emit order, for every max_batch setting;
+//  - token flush barrier: all output produced before a token is forwarded
+//    is flushed ahead of the token, so a checkpoint taken mid-batch
+//    captures exactly the pre-token tuples on every edge;
+//  - max_batch = 1 reproduces the seed's per-tuple delivery (the escape
+//    hatch the sim-vs-engine equivalence tests pin).
 //
 // The engine is deliberately small: it reuses the exact Operator subclasses
 // the simulator runs, so every application in src/apps also runs on real
@@ -22,7 +39,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <filesystem>
 #include <functional>
 #include <map>
@@ -31,8 +47,10 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <variant>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/thread_pool.h"
 #include "core/query_graph.h"
 #include "core/tuple.h"
@@ -41,6 +59,11 @@ namespace ms::rt {
 
 struct RtConfig {
   std::size_t queue_capacity = 4096;
+  /// Upper bound on tuples accumulated per out-edge before a flush to the
+  /// downstream queue. 64 is the measured sweet spot on the chain/diamond
+  /// micro-benchmarks (see DESIGN.md §5c); 1 disables batching and
+  /// reproduces per-tuple delivery exactly.
+  std::size_t max_batch = 64;
   /// Directory for checkpoint files; empty disables checkpointing.
   std::string checkpoint_dir;
   std::size_t helper_threads = 2;
@@ -81,13 +104,27 @@ class RtEngine {
   class RtContext;
   friend class RtContext;
 
+  /// One transport unit: a single tuple (max_batch == 1), a checkpoint
+  /// token, or a whole batch of tuples moved in as one entry. Batch
+  /// granularity is the point — a 64-tuple flush costs one vector move and
+  /// one queue push, not 64 of each.
+  using Slot = std::variant<core::Tuple, core::Token, std::vector<core::Tuple>>;
+
   struct QueueItem {
     int in_port = 0;
-    core::StreamItem item;
+    Slot slot;
   };
 
   void worker_loop(Worker& w);
   void deliver(int op, int in_port, core::StreamItem item);
+  /// Enqueue a run of tuples for one in-edge as a single queue entry under
+  /// a single lock. Consumes `batch` (leaves it empty). Blocks until the
+  /// queue has spare tuple capacity; a batch is never split, so occupancy
+  /// may overshoot queue_capacity by up to max_batch - 1 tuples — the
+  /// backpressure bound is queue_capacity + max_batch, which keeps flushes
+  /// O(1) and per-edge FIFO trivially intact.
+  void deliver_batch(int op, int in_port, std::vector<core::Tuple>&& batch);
+  void snapshot_and_forward_token(Worker& w, const core::Token& token);
   void timer_loop();
   void schedule_timer(SimTime delay, std::function<void()> fn);
   SimTime now() const;
@@ -103,7 +140,26 @@ class RtEngine {
     std::mutex mu;
     std::condition_variable cv_push;
     std::condition_variable cv_pop;
-    std::deque<QueueItem> queue;
+    /// Pending entries. A vector double-buffer, not a deque: the consumer
+    /// swaps the whole vector out in O(1) and both sides keep their
+    /// capacity, so the steady state allocates no queue storage at all.
+    std::vector<QueueItem> queue;
+    /// Tuples currently represented in `queue` (batch entries count their
+    /// size) — the unit queue_capacity backpressure is measured in.
+    std::size_t queued_tuples = 0;  // guarded by mu
+    /// A batch landed in an empty queue without waking the consumer yet.
+    /// Batched flushes defer the cv_pop notify until queued_tuples crosses
+    /// the wake threshold — on a loaded box every wake is a futex syscall
+    /// plus a context-switch round trip, so waking once per several batches
+    /// instead of once per batch is a large share of the batching win. The
+    /// wake is guaranteed eventually: every producer re-notifies at its
+    /// operator-return flush, before blocking on capacity, and for tokens.
+    bool wake_pending = false;  // guarded by mu
+    /// Entries drained from `queue` but not yet fully processed and flushed
+    /// downstream. stop()'s topological drain must wait for this to hit
+    /// zero, not just for `queue` to empty — a swap-drained worker still
+    /// owes its downstream the output of the drained run.
+    std::size_t inflight = 0;  // guarded by mu
 
     std::atomic<std::int64_t> processed{0};
     std::thread thread;
@@ -113,12 +169,37 @@ class RtEngine {
     // Checkpoint alignment.
     std::vector<bool> token_seen;
     int tokens = 0;
+    /// Size of the last serialized snapshot — the reserve hint for the next
+    /// epoch's writer, so steady-state serialization never reallocates.
+    std::size_t last_snapshot_bytes = 0;
   };
+
+  /// Wake the consumer of `w` if a deferred batch notify is still pending.
+  /// Called by producers at points where they stop pushing for a while.
+  void kick(Worker& w);
+
+  /// Batch-vector recycling. A flush moves its buffer's storage into the
+  /// downstream queue entry, so without recycling every flush would malloc a
+  /// fresh max_batch-capacity vector and the consumer would free it —
+  /// per-flush allocator churn that erases much of the batching win at
+  /// moderate batch sizes. Consumers return drained vectors here; producers
+  /// draw replacements. Vectors returned with capacity intact.
+  std::vector<core::Tuple> acquire_batch();
+  void release_batch(std::vector<core::Tuple>&& v);
 
   core::QueryGraph graph_;
   RtConfig config_;
+  /// Queued tuples at which a deferred wake fires; see Worker::wake_pending.
+  std::size_t wake_threshold_ = 1;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<ThreadPool> helpers_;
+  BufferPool snapshot_buffers_;
+
+  /// Freelist behind acquire_batch/release_batch; bounded so a transient
+  /// queue pile-up cannot pin memory forever.
+  std::mutex batch_pool_mu_;
+  std::vector<std::vector<core::Tuple>> batch_pool_;
+  static constexpr std::size_t kMaxPooledBatches = 256;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

@@ -1,0 +1,68 @@
+#include "common/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ms {
+namespace {
+
+TEST(BufferPoolTest, AcquireHonorsSizeHint) {
+  BufferPool pool;
+  auto buf = pool.acquire(4096);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_GE(buf.capacity(), 4096u);
+}
+
+TEST(BufferPoolTest, ReleasedBufferIsRecycled) {
+  BufferPool pool;
+  auto buf = pool.acquire(1024);
+  buf.resize(512, 0x5A);
+  const std::uint8_t* storage = buf.data();
+  pool.release(std::move(buf));
+  EXPECT_EQ(pool.idle(), 1u);
+  auto again = pool.acquire();
+  // Same allocation comes back, contents discarded, capacity kept.
+  EXPECT_EQ(again.data(), storage);
+  EXPECT_TRUE(again.empty());
+  EXPECT_GE(again.capacity(), 1024u);
+  EXPECT_EQ(pool.idle(), 0u);
+}
+
+TEST(BufferPoolTest, PoolSizeIsBounded) {
+  BufferPool pool(/*max_pooled=*/2);
+  for (int i = 0; i < 5; ++i) {
+    auto buf = pool.acquire(64);
+    pool.release(std::move(buf));
+  }
+  std::vector<std::vector<std::uint8_t>> held;
+  for (int i = 0; i < 5; ++i) held.push_back(pool.acquire(64));
+  for (auto& b : held) pool.release(std::move(b));
+  EXPECT_LE(pool.idle(), 2u);
+}
+
+TEST(BufferPoolTest, EmptyReleaseIsDropped) {
+  BufferPool pool;
+  pool.release({});
+  EXPECT_EQ(pool.idle(), 0u);
+}
+
+TEST(BufferPoolTest, ConcurrentAcquireReleaseIsSafe) {
+  BufferPool pool(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < 2000; ++i) {
+        auto buf = pool.acquire(256);
+        buf.push_back(static_cast<std::uint8_t>(i));
+        pool.release(std::move(buf));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(pool.idle(), 8u);
+}
+
+}  // namespace
+}  // namespace ms

@@ -97,6 +97,84 @@ TEST(SerializeDeathTest, ReaderOverrunAborts) {
   EXPECT_DEATH(r.read<std::int32_t>(), "out of data");
 }
 
+TEST(SerializeTest, SizeHintReservesUpFront) {
+  BinaryWriter w(1024);
+  EXPECT_GE(w.capacity(), 1024u);
+  const std::uint8_t* before = w.data().data();
+  for (int i = 0; i < 128; ++i) w.write<std::int64_t>(i);  // exactly 1024 B
+  EXPECT_EQ(w.size(), 1024u);
+  // A correct hint means zero reallocation during the writes.
+  EXPECT_EQ(w.data().data(), before);
+}
+
+TEST(SerializeTest, AdoptedBufferKeepsCapacityDropsContents) {
+  std::vector<std::uint8_t> recycled(4096, 0xAB);
+  const std::size_t cap = recycled.capacity();
+  BinaryWriter w(std::move(recycled));
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_GE(w.capacity(), cap);
+  w.write<std::uint32_t>(7);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.read<std::uint32_t>(), 7u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(SerializeTest, LargeAppendsDoNotQuadraticallyReallocate) {
+  BinaryWriter w;
+  std::vector<double> chunk(1000, 2.5);
+  std::size_t reallocs = 0;
+  const std::uint8_t* last = w.data().data();
+  for (int i = 0; i < 64; ++i) {
+    w.write_vector(chunk);
+    if (w.data().data() != last) {
+      ++reallocs;
+      last = w.data().data();
+    }
+  }
+  // Geometric growth: 64 appends of 8 KB each must reallocate O(log n)
+  // times, not once per append.
+  EXPECT_LE(reallocs, 12u);
+  BinaryReader r(w.data());
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(r.read_vector<double>(), chunk);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(SerializeDeathTest, VectorLengthOverflowIsRejected) {
+  // A claimed length whose byte count wraps 64-bit arithmetic: with the old
+  // `n * sizeof(T)` check, 0x2000000000000001 * 8 == 8 and passed.
+  BinaryWriter w;
+  w.write<std::uint64_t>(0x2000000000000001ULL);
+  w.write<std::int64_t>(42);
+  BinaryReader r(w.data());
+  EXPECT_DEATH(r.read_vector<std::int64_t>(), "bad vector length");
+}
+
+TEST(SerializeDeathTest, BytesLengthOverflowIsRejected) {
+  BinaryWriter w;
+  w.write<std::int32_t>(1);
+  BinaryReader r(w.data());
+  char out[4];
+  // SIZE_MAX - 2 wraps `pos_ + n` to a small value in the old check.
+  EXPECT_DEATH(r.read_bytes(out, static_cast<std::size_t>(-3)), "out of data");
+}
+
+TEST(SerializeDeathTest, CustomVectorLengthBeyondInputIsRejected) {
+  // Non-trivial element path: a corrupt header claiming more elements than
+  // remaining bytes must die on the length check, not attempt a huge
+  // reserve() and element-by-element reads.
+  BinaryWriter w;
+  w.write<std::uint64_t>(1ULL << 60);
+  BinaryReader r(w.data());
+  EXPECT_DEATH(r.read_vector<CustomRecord>(), "bad vector length");
+}
+
+TEST(SerializeDeathTest, StringLengthBeyondInputIsRejected) {
+  BinaryWriter w;
+  w.write<std::uint64_t>(~0ULL);  // wraps the old `pos_ + n` bound
+  BinaryReader r(w.data());
+  EXPECT_DEATH(r.read_string(), "bad string length");
+}
+
 TEST(SerializeTest, RemainingTracksPosition) {
   BinaryWriter w;
   w.write<std::int64_t>(1);
