@@ -109,6 +109,8 @@ class BinaryReader {
     // `n <= remaining()` rather than `pos_ + n <= size_`: the latter wraps
     // for adversarial n near SIZE_MAX and passes the check.
     MS_CHECK_MSG(n <= remaining(), "BinaryReader: out of data");
+    if (n == 0) return;  // empty vectors hand us out == nullptr; memcpy
+                         // with a null pointer is UB even for n == 0
     std::memcpy(out, data_ + pos_, n);
     pos_ += n;
   }

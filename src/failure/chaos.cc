@@ -1,0 +1,141 @@
+#include "failure/chaos.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace ms::failure {
+
+ChaosHarness::ChaosHarness(core::Application* app, ft::MsScheme* scheme)
+    : app_(app), scheme_(scheme), injector_(&app->cluster(), app) {
+  MS_CHECK(app != nullptr);
+  MS_CHECK(scheme != nullptr);
+}
+
+void ChaosHarness::kill_on(ft::FtPoint point, int hau_id, int occurrence) {
+  Trigger t;
+  t.point = point;
+  t.hau_filter = hau_id;
+  t.occurrence = occurrence;
+  t.action = Trigger::Action::kKill;
+  t.kill_hau = hau_id;
+  triggers_.push_back(t);
+}
+
+void ChaosHarness::storage_outage_on(ft::FtPoint point, SimTime duration,
+                                     int occurrence) {
+  Trigger t;
+  t.point = point;
+  t.occurrence = occurrence;
+  t.action = Trigger::Action::kOutage;
+  t.outage_duration = duration;
+  triggers_.push_back(t);
+}
+
+void ChaosHarness::burst_on(ft::FtPoint point, int occurrence) {
+  Trigger t;
+  t.point = point;
+  t.occurrence = occurrence;
+  t.action = Trigger::Action::kBurst;
+  triggers_.push_back(t);
+}
+
+void ChaosHarness::kill_at(SimTime at, int hau_id) {
+  app_->simulation().schedule_at(at,
+                                 [this, hau_id] { kill_hau_node(hau_id); });
+}
+
+void ChaosHarness::storage_outage_at(SimTime at, SimTime duration) {
+  app_->simulation().schedule_at(at,
+                                 [this, duration] { start_outage(duration); });
+}
+
+void ChaosHarness::arm() {
+  MS_CHECK_MSG(!armed_, "ChaosHarness armed twice");
+  armed_ = true;
+  scheme_->set_probe([this](ft::FtPoint point, int hau, std::uint64_t id) {
+    on_probe(point, hau, id);
+  });
+}
+
+void ChaosHarness::on_probe(ft::FtPoint point, int hau, std::uint64_t id) {
+  for (auto& t : triggers_) {
+    if (t.fired || t.point != point) continue;
+    // Application-wide probes (hau = -1) match any filter; per-HAU probes
+    // must name the filtered HAU.
+    if (t.hau_filter >= 0 && hau >= 0 && hau != t.hau_filter) continue;
+    if (++t.seen < t.occurrence) continue;
+    t.fired = true;
+    ++fired_;
+    fire(t, id);
+  }
+}
+
+void ChaosHarness::fire(Trigger& trigger, std::uint64_t id) {
+  auto& sim = app_->simulation();
+  note("trigger at " + std::string(ft::ft_point_name(trigger.point)) + "#" +
+       std::to_string(id));
+  // Defer one event: the protocol step that emitted the probe finishes with
+  // consistent state before the fault lands.
+  switch (trigger.action) {
+    case Trigger::Action::kKill: {
+      const int target = trigger.kill_hau;
+      sim.schedule_after(SimTime::zero(),
+                         [this, target] { kill_hau_node(target); });
+      break;
+    }
+    case Trigger::Action::kOutage: {
+      const SimTime d = trigger.outage_duration;
+      sim.schedule_after(SimTime::zero(), [this, d] { start_outage(d); });
+      break;
+    }
+    case Trigger::Action::kBurst: {
+      sim.schedule_after(SimTime::zero(), [this] {
+        const auto nodes = injector_.fail_whole_application();
+        kills_ += static_cast<int>(nodes.size());
+        note("burst: killed " + std::to_string(nodes.size()) +
+             " application nodes");
+      });
+      break;
+    }
+  }
+}
+
+void ChaosHarness::kill_hau_node(int hau_id) {
+  MS_CHECK(hau_id >= 0 && hau_id < app_->num_haus());
+  core::Hau& hau = app_->hau(hau_id);
+  const net::NodeId node = hau.node();
+  if (!app_->cluster().node_alive(node)) {
+    note("kill skipped: node " + std::to_string(node) + " (HAU " +
+         std::to_string(hau_id) + ") already dead");
+    return;
+  }
+  injector_.inject_now({node});
+  ++kills_;
+  note("killed node " + std::to_string(node) + " hosting HAU " +
+       std::to_string(hau_id));
+}
+
+void ChaosHarness::start_outage(SimTime duration) {
+  auto& storage = app_->cluster().shared_storage();
+  if (!storage.available()) {
+    note("outage skipped: storage already down");
+    return;
+  }
+  storage.set_available(false);
+  note("storage outage begins (" + std::to_string(duration.to_seconds()) +
+       " s)");
+  app_->simulation().schedule_after(duration, [this] {
+    app_->cluster().shared_storage().set_available(true);
+    note("storage outage ends");
+  });
+}
+
+void ChaosHarness::note(std::string line) {
+  MS_LOG_DEBUG("chaos", "t=%.3fs %s", app_->simulation().now().to_seconds(),
+               line.c_str());
+  log_.push_back("t=" + std::to_string(app_->simulation().now().to_seconds()) +
+                 "s " + std::move(line));
+}
+
+}  // namespace ms::failure

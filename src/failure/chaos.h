@@ -1,0 +1,86 @@
+// Deterministic chaos fault-injection harness.
+//
+// Scripts faults against precise protocol states instead of wall-clock
+// offsets: the harness subscribes to MsScheme's FtPoint probes (ft/probe.h)
+// and fires its triggers when the protocol actually reaches the scripted
+// point — "kill relay1's node when it starts serializing", "take shared
+// storage down when recovery enters phase 2", "inject a second burst before
+// the phase-4 handshake". Actions are deferred by one zero-delay simulation
+// event so the protocol step that emitted the probe completes before the
+// fault lands. Everything runs inside the deterministic simulation, so a
+// (seed, script) pair reproduces the same fault timeline bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "core/application.h"
+#include "failure/burst.h"
+#include "ft/meteor_shower.h"
+#include "ft/probe.h"
+
+namespace ms::failure {
+
+class ChaosHarness {
+ public:
+  ChaosHarness(core::Application* app, ft::MsScheme* scheme);
+
+  // --- scripting; call before arm() ---
+  /// Kill the node hosting `hau_id` the `occurrence`-th time `point` fires
+  /// for that HAU (application-wide points, which carry hau = -1, match any
+  /// filter).
+  void kill_on(ft::FtPoint point, int hau_id, int occurrence = 1);
+  /// Kill the node hosting `hau_id` at an absolute simulation time.
+  void kill_at(SimTime at, int hau_id);
+  /// Take shared storage down for `duration` when `point` fires.
+  void storage_outage_on(ft::FtPoint point, SimTime duration,
+                         int occurrence = 1);
+  /// Take shared storage down for `duration` at an absolute time.
+  void storage_outage_at(SimTime at, SimTime duration);
+  /// Kill every node hosting an HAU (a second correlated burst) when
+  /// `point` fires.
+  void burst_on(ft::FtPoint point, int occurrence = 1);
+
+  /// Install the probe subscription on the scheme. Call once, after the
+  /// script is set up and before the simulation runs.
+  void arm();
+
+  /// Nodes killed by fired triggers so far.
+  int kills() const { return kills_; }
+  /// Triggers that have fired (any action).
+  int fired() const { return fired_; }
+  /// Human-readable timeline of everything the harness did.
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  struct Trigger {
+    ft::FtPoint point = ft::FtPoint::kTokenAlignStart;
+    int hau_filter = -1;  // -1 = any HAU / application-wide
+    int occurrence = 1;   // fire on the n-th matching probe
+    int seen = 0;
+    bool fired = false;
+    enum class Action { kKill, kOutage, kBurst };
+    Action action = Action::kKill;
+    int kill_hau = -1;
+    SimTime outage_duration = SimTime::zero();
+  };
+
+  void on_probe(ft::FtPoint point, int hau, std::uint64_t id);
+  void fire(Trigger& trigger, std::uint64_t id);
+  void kill_hau_node(int hau_id);
+  void start_outage(SimTime duration);
+  void note(std::string line);
+
+  core::Application* app_;
+  ft::MsScheme* scheme_;
+  FailureInjector injector_;
+  std::vector<Trigger> triggers_;
+  bool armed_ = false;
+  int kills_ = 0;
+  int fired_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace ms::failure

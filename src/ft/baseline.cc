@@ -213,6 +213,7 @@ void BaselineScheme::recover_hau(int hau_id, net::NodeId replacement,
   auto stats = std::make_shared<RecoveryStats>();
   stats->started = sim.now();
   stats->haus_recovered = 1;
+  last_recovery_error_ = Status::ok();
 
   hau.restart_on(replacement);
   // Phase 1: reload the operators on the recovery node.
@@ -228,22 +229,37 @@ void BaselineScheme::recover_hau(int hau_id, net::NodeId replacement,
         [this, &hau, stats, phase1_end,
          done = std::move(done)](Result<storage::Object> r) mutable {
           auto& sim = app_->simulation();
-          MS_CHECK_MSG(r.is_ok(), "baseline recovery: checkpoint missing — " +
-                                      r.status().to_string());
+          std::shared_ptr<const core::CheckpointImage> image;
+          if (r.is_ok()) {
+            stats->bytes_read = r.value().declared_size;
+            image = r.value().handle_as<core::CheckpointImage>();
+          }
+          if (image == nullptr) {
+            // Checkpoint missing or unreadable (the HAU died before its
+            // first write, or storage lost it): degrade to an initial-state
+            // restart instead of aborting — the upstream preservation
+            // buffers resend everything they still hold.
+            last_recovery_error_ = Status::not_found(
+                "baseline recovery of HAU " + std::to_string(hau.id()) +
+                ": checkpoint missing (" + r.status().to_string() +
+                "); restarting from initial state");
+            MS_LOG_WARN("ft", "%s", last_recovery_error_.message().c_str());
+          }
           stats->disk_io = sim.now() - phase1_end;
-          stats->bytes_read = r.value().declared_size;
-          auto image = r.value().handle_as<core::CheckpointImage>();
-          MS_CHECK(image != nullptr);
           // Phase 3: deserialize and rebuild operator state.
+          const Bytes declared = image ? image->total_declared() : 0;
           const SimTime deser = SimTime::seconds(
-              static_cast<double>(image->total_declared()) /
-              params_.deserialize_bandwidth);
+              static_cast<double>(declared) / params_.deserialize_bandwidth);
           const SimTime phase3_start = sim.now();
           hau.run_on_cpu(deser, [this, &hau, stats, image, phase3_start,
                                  done = std::move(done)]() mutable {
             auto& sim = app_->simulation();
             stats->other += sim.now() - phase3_start;
-            hau.restore_state(*image);
+            if (image != nullptr) {
+              hau.restore_state(*image);
+            } else {
+              hau.op().clear_state();
+            }
             // Phase 4: reconnection — ask each upstream neighbour to resend
             // preserved tuples past the checkpoint positions; recovery
             // completes when every neighbour confirmed the reconnect.
@@ -262,13 +278,27 @@ void BaselineScheme::recover_hau(int hau_id, net::NodeId replacement,
             }
             for (int port = 0; port < hau.num_in_ports(); ++port) {
               core::Hau* up = hau.upstream(port);
-              MS_CHECK_MSG(!up->failed(),
-                           "baseline cannot recover: upstream neighbour with "
-                           "the preservation buffer is dead (correlated "
-                           "failure)");
+              if (up->failed()) {
+                // Correlated failure: the neighbour holding this port's
+                // preservation buffer is dead, so its tuples are gone —
+                // exactly the weakness Meteor Shower's source preservation
+                // removes. Degrade (skip the resend, record the loss)
+                // rather than aborting the whole process.
+                last_recovery_error_ = Status::unavailable(
+                    "baseline recovery of HAU " + std::to_string(hau.id()) +
+                    ": upstream HAU " + std::to_string(up->id()) +
+                    " is dead; its preserved tuples are lost (correlated "
+                    "failure)");
+                MS_LOG_WARN("ft", "%s",
+                            last_recovery_error_.message().c_str());
+                if (--*remaining == 0) finish();
+                continue;
+              }
               const int up_out = up->find_out_port(hau, port);
               const std::uint64_t after =
-                  image->in_port_progress[static_cast<std::size_t>(port)];
+                  image == nullptr
+                      ? 0
+                      : image->in_port_progress[static_cast<std::size_t>(port)];
               hau.send_control(
                   *up, params_.reconnect_message_size,
                   [this, up_out, after, remaining,

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/application.h"
 #include "ft/params.h"
 #include "ft/stats.h"
@@ -51,9 +52,19 @@ class BaselineScheme {
   double preservation_cpu_seconds() const { return preservation_cpu_seconds_; }
 
   /// Recover a single failed HAU onto `replacement`. `done` receives the
-  /// phase breakdown. Precondition: the HAU's upstream neighbours are alive.
+  /// phase breakdown.
+  ///
+  /// Degrades instead of aborting: a missing checkpoint restarts the HAU
+  /// from its initial state (upstream buffers resend everything they still
+  /// preserve); a dead upstream neighbour — the correlated-failure case the
+  /// baseline fundamentally cannot handle — skips that port's resend, losing
+  /// its tuples. Both are recorded in last_recovery_error().
   void recover_hau(int hau_id, net::NodeId replacement,
                    std::function<void(RecoveryStats)> done);
+
+  /// Most recent degradation hit by recover_hau; OK if the last recovery
+  /// was clean.
+  const Status& last_recovery_error() const { return last_recovery_error_; }
 
   std::string checkpoint_key(int hau_id) const;
 
@@ -65,6 +76,7 @@ class BaselineScheme {
   Rng rng_;
   std::uint64_t instance_;  // storage-namespace discriminator
   std::vector<HauCheckpointReport> reports_;
+  Status last_recovery_error_;
   Bytes spilled_bytes_ = 0;
   double preservation_cpu_seconds_ = 0.0;
   std::vector<BaselineHauFt*> fts_;  // borrowed; owned by the HAUs

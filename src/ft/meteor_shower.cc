@@ -17,6 +17,32 @@ const char* ms_variant_name(MsVariant v) {
   return "?";
 }
 
+const char* ft_point_name(FtPoint p) {
+  switch (p) {
+    case FtPoint::kTokenAlignStart: return "token-align-start";
+    case FtPoint::kForkStart: return "fork-start";
+    case FtPoint::kSerializeStart: return "serialize-start";
+    case FtPoint::kCheckpointWrite: return "checkpoint-write";
+    case FtPoint::kCheckpointDone: return "checkpoint-done";
+    case FtPoint::kRecoveryStart: return "recovery-start";
+    case FtPoint::kRecoveryPhase1: return "recovery-phase1";
+    case FtPoint::kRecoveryPhase2: return "recovery-phase2";
+    case FtPoint::kRecoveryPhase3: return "recovery-phase3";
+    case FtPoint::kRecoveryPhase4: return "recovery-phase4";
+    case FtPoint::kRecoveryComplete: return "recovery-complete";
+  }
+  return "?";
+}
+
+namespace {
+storage::RetryPolicy storage_retry(const FtParams& p) {
+  storage::RetryPolicy retry;
+  retry.max_attempts = p.storage_retry_attempts;
+  retry.initial_backoff = p.storage_retry_backoff;
+  return retry;
+}
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // MsScheme
 // ---------------------------------------------------------------------------
@@ -154,12 +180,12 @@ void MsScheme::on_hau_report(const HauCheckpointReport& report) {
   if (stats.haus_reported == app_->num_haus()) {
     stats.completed = app_->simulation().now();
     last_completed_ = stats.checkpoint_id;
+    const std::uint64_t id = stats.checkpoint_id;
     checkpoints_.push_back(stats);
-    in_progress_.erase(it);
+    in_progress_.erase(it);  // invalidates `stats`
 
     // Garbage-collect the previous application checkpoint and let sources
     // truncate their preserved logs before the new boundary.
-    const std::uint64_t id = stats.checkpoint_id;
     for (int i = 0; i < app_->num_haus(); ++i) {
       core::Hau& hau = app_->hau(i);
       if (id >= 2) {
@@ -173,6 +199,14 @@ void MsScheme::on_hau_report(const HauCheckpointReport& report) {
       }
     }
   }
+}
+
+void MsScheme::on_hau_checkpoint_failed(std::uint64_t ckpt_id) {
+  const auto it = in_progress_.find(ckpt_id);
+  if (it == in_progress_.end()) return;
+  MS_LOG_WARN("ft", "aborting checkpoint epoch %llu: an HAU's write failed",
+              static_cast<unsigned long long>(ckpt_id));
+  in_progress_.erase(it);
 }
 
 // ---------------------------------------------------------------------------
@@ -263,19 +297,42 @@ void MsHauFt::flush_batch(core::Hau& hau) {
       hau.node(), scheme_->preserve_key(hau.id()), batch_bytes, {},
       [this, &hau, batch, batch_bytes](Status st) {
         flush_in_flight_ = false;
-        if (!st.is_ok() || hau.failed()) return;  // batch lost with the node
+        if (hau.failed()) return;  // batch lost with the node
+        if (!st.is_ok()) {
+          // The append failed even after retries (e.g. an outage outlasting
+          // the backoff window) but the source itself is alive. These tuples
+          // were never dispatched, so dropping them would lose data: requeue
+          // them at the front and try again after a batch interval.
+          MS_LOG_WARN("ft", "preserve append of HAU %d failed (%s): requeued",
+                      hau.id(), st.to_string().c_str());
+          pending_batch_.insert(pending_batch_.begin(),
+                                std::make_move_iterator(batch->begin()),
+                                std::make_move_iterator(batch->end()));
+          pending_bytes_ += batch_bytes;
+          if (!flush_timer_armed_) {
+            flush_timer_armed_ = true;
+            hau.schedule(scheme_->params().source_batch_interval,
+                         [this, &hau] {
+                           flush_timer_armed_ = false;
+                           flush_batch(hau);
+                         });
+          }
+          return;
+        }
         // Durable: dispatch in order and record the stamped copies.
         for (auto& e : *batch) {
           core::Tuple copy = e.tuple;
-          const std::uint64_t seq = hau.send_downstream(e.out_port, std::move(e.tuple));
+          const Bytes wire = copy.wire_size;
+          const std::uint64_t seq =
+              hau.send_downstream(e.out_port, std::move(e.tuple));
           copy.edge_seq = seq;
           log_->entries.push_back(PreserveLog::Entry{e.out_port, std::move(copy)});
-          log_->bytes += copy.wire_size;
+          log_->bytes += wire;
         }
-        (void)batch_bytes;
         // Keep draining if more accumulated meanwhile.
         if (!pending_batch_.empty()) flush_batch(hau);
-      });
+      },
+      storage_retry(scheme_->params()));
 }
 
 std::uint64_t MsHauFt::source_boundary(const core::Hau& hau) const {
@@ -312,6 +369,7 @@ void MsHauFt::on_checkpoint_command(core::Hau& hau, std::uint64_t ckpt_id) {
   initiated_at_ = hau.app().simulation().now();
   tokens_seen_ = 0;
   port_token_.assign(static_cast<std::size_t>(hau.num_in_ports()), false);
+  scheme_->emit_probe(FtPoint::kTokenAlignStart, hau.id(), ckpt_id);
 
   if (scheme_->synchronous()) {
     // MS-src: only sources receive the command; checkpoint synchronously,
@@ -396,6 +454,7 @@ void MsHauFt::do_sync_checkpoint(core::Hau& hau) {
   const Bytes state = hau.state_size();
   const SimTime serialize_cost =
       SimTime::seconds(static_cast<double>(state) / p.serialize_bandwidth);
+  scheme_->emit_probe(FtPoint::kSerializeStart, hau.id(), active_ckpt_id_);
   hau.run_on_cpu(serialize_cost, [this, &hau, report]() mutable {
     auto image = std::make_shared<core::CheckpointImage>(
         hau.capture_state({}, report.checkpoint_id));
@@ -418,6 +477,7 @@ void MsHauFt::do_async_checkpoint(core::Hau& hau) {
   report.tokens_collected = hau.app().simulation().now();
 
   // Fork the checkpoint helper: the parent is blocked only for the fork.
+  scheme_->emit_probe(FtPoint::kForkStart, hau.id(), active_ckpt_id_);
   hau.pause();
   hau.run_on_cpu(p.fork_cost, [this, &hau, report]() mutable {
     // The in-flight set: tuples dispatched since our outgoing tokens plus
@@ -453,6 +513,8 @@ void MsHauFt::do_async_checkpoint(core::Hau& hau) {
     const SimTime serialize_cost = SimTime::seconds(
         static_cast<double>(image->total_declared()) /
         scheme_->params().serialize_bandwidth);
+    scheme_->emit_probe(FtPoint::kSerializeStart, hau.id(),
+                        report.checkpoint_id);
     hau.run_on_cpu(serialize_cost, [this, &hau, image, report]() mutable {
       hau.set_cost_multiplier(1.0);
       report.serialized = hau.app().simulation().now();
@@ -486,6 +548,8 @@ void MsHauFt::write_checkpoint(core::Hau& hau,
     storage::Object local = obj;
     cluster.node(hau.node()).local_store->put(key, std::move(local), [] {});
   }
+  scheme_->emit_probe(FtPoint::kCheckpointWrite, hau.id(),
+                      report.checkpoint_id);
   cluster.shared_storage().put(
       hau.node(), key, std::move(obj),
       [this, &hau, report, forward_tokens](Status st) mutable {
@@ -493,9 +557,18 @@ void MsHauFt::write_checkpoint(core::Hau& hau,
         if (!st.is_ok()) {
           MS_LOG_WARN("ft", "MS checkpoint of HAU %d failed: %s", hau.id(),
                       st.to_string().c_str());
+          if (hau.failed()) return;
           if (forward_tokens) hau.resume();
+          // Tell the controller the epoch cannot complete, so the next
+          // periodic checkpoint is not blocked until wedge-abandonment.
+          const std::uint64_t id = report.checkpoint_id;
+          scheme_->to_controller(hau, 64, [scheme = scheme_, id] {
+            scheme->on_hau_checkpoint_failed(id);
+          });
           return;
         }
+        scheme_->emit_probe(FtPoint::kCheckpointDone, hau.id(),
+                            report.checkpoint_id);
         report.written = hau.app().simulation().now();
         if (scheme_->params().delta_checkpoints) hau.op().mark_checkpointed();
         if (forward_tokens) {
@@ -514,7 +587,8 @@ void MsHauFt::write_checkpoint(core::Hau& hau,
         scheme_->to_controller(hau, 128, [scheme = scheme_, report] {
           scheme->on_hau_report(report);
         });
-      });
+      },
+      storage_retry(scheme_->params()));
 }
 
 void MsHauFt::on_app_checkpoint_complete(core::Hau& hau,
@@ -563,7 +637,8 @@ void MsHauFt::replay_from(core::Hau& hau, std::uint64_t boundary) {
           const auto& e = log_->entries[i];
           hau.resend_downstream(e.out_port, e.tuple);
         }
-      });
+      },
+      storage_retry(scheme_->params()));
 }
 
 void MsHauFt::resend_inflight(
@@ -660,6 +735,8 @@ void MsScheme::aa_start_pipeline() {
   auto& sim = app_->simulation();
   aa_.begin(sim.now());
   aa_obs_reports_ = 0;
+  aa_obs_expected_ = app_->num_haus();
+  aa_obs_closed_ = false;
   for (int i = 0; i < app_->num_haus(); ++i) {
     core::Hau& hau = app_->hau(i);
     MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
@@ -670,15 +747,31 @@ void MsScheme::aa_start_pipeline() {
                              : params_.checkpoint_period;
 
   // End of observation: collect (min, avg); checkpoints continue on the
-  // plain periodic schedule until execution takes over.
+  // plain periodic schedule until execution takes over. Only HAUs alive at
+  // send time can ever report — counting on all of them would wedge the
+  // pipeline forever after a single failure — and a timeout closes the
+  // phase even if a counted HAU dies between the command and its report.
   sim.schedule_after(period, [this] {
     if (params_.checkpoint_during_profiling) begin_checkpoint();
+    int live = 0;
     for (int i = 0; i < app_->num_haus(); ++i) {
       core::Hau& hau = app_->hau(i);
       if (hau.failed()) continue;
+      ++live;
       MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
       to_hau(hau, 64, [ft](core::Hau& h) { ft->aa_end_observation(h); });
     }
+    aa_obs_expected_ = live;
+    if (aa_obs_reports_ >= aa_obs_expected_) {
+      aa_finish_observation();
+      return;
+    }
+    app_->simulation().schedule_after(params_.aa_observation_timeout, [this] {
+      if (aa_obs_closed_) return;
+      MS_LOG_WARN("ft", "AA observation closed by timeout: %d of %d reports",
+                  aa_obs_reports_, aa_obs_expected_);
+      aa_finish_observation();
+    });
   });
 
   const int profile_periods = std::max(1, params_.profile_periods);
@@ -703,16 +796,22 @@ void MsScheme::aa_start_pipeline() {
 }
 
 void MsScheme::aa_observation_report_received() {
-  if (++aa_obs_reports_ == app_->num_haus()) {
-    aa_.finish_observation(app_->simulation().now());
-    for (const int i : aa_.dynamic_haus()) {
-      core::Hau& hau = app_->hau(i);
-      if (hau.failed()) continue;
-      MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
-      ft->aa_mark_dynamic();
-      to_hau(hau, 64,
-             [ft](core::Hau& h) { ft->aa_set_profiling(h, true); });
-    }
+  ++aa_obs_reports_;
+  if (!aa_obs_closed_ && aa_obs_reports_ >= aa_obs_expected_) {
+    aa_finish_observation();
+  }
+}
+
+void MsScheme::aa_finish_observation() {
+  if (aa_obs_closed_) return;
+  aa_obs_closed_ = true;
+  aa_.finish_observation(app_->simulation().now());
+  for (const int i : aa_.dynamic_haus()) {
+    core::Hau& hau = app_->hau(i);
+    if (hau.failed()) continue;
+    MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
+    ft->aa_mark_dynamic();
+    to_hau(hau, 64, [ft](core::Hau& h) { ft->aa_set_profiling(h, true); });
   }
 }
 
@@ -755,6 +854,10 @@ void MsScheme::aa_set_alert_reporting(bool on) {
 void MsScheme::enable_failure_detection(std::vector<net::NodeId> spares) {
   spares_ = std::move(spares);
   detection_enabled_ = true;
+}
+
+void MsScheme::add_spares(std::vector<net::NodeId> spares) {
+  spares_.insert(spares_.end(), spares.begin(), spares.end());
 }
 
 void MsScheme::monitor_downstream(int hau_id) {
@@ -806,212 +909,414 @@ void MsScheme::ping_sources() {
 
 void MsScheme::report_node_failure(net::NodeId node) {
   (void)node;
-  if (recovery_in_progress_ || !detection_enabled_) return;
+  if (!detection_enabled_) return;
+  if (recovery_in_progress_) {
+    // A failure reported while recovering (a second burst): queue a
+    // re-entrant pass instead of dropping the report. The in-flight run's
+    // watchdog abandons any participant the new failure took down, and
+    // complete_recovery() starts the follow-up pass.
+    pending_recovery_recheck_ = true;
+    return;
+  }
+  maybe_recover_failed();
+}
+
+void MsScheme::maybe_recover_failed() {
+  if (!detection_enabled_) return;
+  if (recovery_in_progress_) {
+    pending_recovery_recheck_ = true;
+    return;
+  }
   // Scan the application for dead nodes (the monitoring fabric's view).
   bool any_failed = false;
   for (int i = 0; i < app_->num_haus(); ++i) {
     core::Hau& hau = app_->hau(i);
     if (!app_->cluster().node_alive(hau.node())) {
       if (!hau.failed()) hau.on_node_failed();
-      any_failed = true;
     }
+    if (hau.failed()) any_failed = true;
   }
   if (!any_failed) return;
+  // Dead spares are useless as replacements; drop them from the pool.
+  std::erase_if(spares_, [this](net::NodeId n) {
+    return !app_->cluster().node_alive(n);
+  });
+  // One replacement per failed HAU whose own node stayed dead; an HAU whose
+  // node came back restarts in place and needs no spare. If the pool runs
+  // dry mid-allocation, recover what we can — recover_application leaves
+  // the rest failed and reports kResourceExhausted, and the next detection
+  // report (or add_spares) retries.
   std::vector<net::NodeId> replacements;
   for (int i = 0; i < app_->num_haus(); ++i) {
-    if (!app_->hau(i).failed()) continue;
-    MS_CHECK_MSG(!spares_.empty(), "spare node pool exhausted");
+    core::Hau& hau = app_->hau(i);
+    if (!hau.failed()) continue;
+    if (app_->cluster().node_alive(hau.node())) continue;
+    if (spares_.empty()) break;
     replacements.push_back(spares_.back());
     spares_.pop_back();
   }
-  recover_application(std::move(replacements), nullptr);
+  last_recovery_error_ = recover_application(std::move(replacements), nullptr);
+  if (!last_recovery_error_.is_ok()) {
+    MS_LOG_WARN("ft", "recovery degraded: %s",
+                last_recovery_error_.to_string().c_str());
+  }
 }
 
-void MsScheme::recover_application(std::vector<net::NodeId> replacements,
-                                   std::function<void(RecoveryStats)> done) {
-  MS_CHECK(!recovery_in_progress_);
-  recovery_in_progress_ = true;
-  in_progress_.clear();  // abort any checkpoint in flight
+Status MsScheme::recover_application(std::vector<net::NodeId> replacements,
+                                     std::function<void(RecoveryStats)> done) {
+  if (recovery_in_progress_) {
+    pending_recovery_recheck_ = true;
+    return Status::failed_precondition(
+        "recovery already in progress; re-entrant pass queued");
+  }
   auto& sim = app_->simulation();
+  const int n = app_->num_haus();
 
-  auto stats = std::make_shared<RecoveryStats>();
-  stats->started = sim.now();
+  auto run = std::make_shared<RecoveryRun>();
+  run->id = ++recovery_seq_;
+  run->stats = std::make_shared<RecoveryStats>();
+  run->stats->started = sim.now();
+  run->per_hau.resize(static_cast<std::size_t>(n));
+  run->inflights.resize(static_cast<std::size_t>(n));
+  run->boundaries.assign(static_cast<std::size_t>(n), 0);
+  run->incarnations.assign(static_cast<std::size_t>(n), 0);
+  run->participating.assign(static_cast<std::size_t>(n), false);
+  run->chain_done.assign(static_cast<std::size_t>(n), false);
+  run->acked.assign(static_cast<std::size_t>(n), false);
+  run->abandoned.assign(static_cast<std::size_t>(n), false);
+  run->done = std::move(done);
   const std::uint64_t ckpt = last_completed_;
 
-  // Roll every HAU back; failed ones restart on replacement nodes.
-  auto per_hau = std::make_shared<std::vector<PerHauRecovery>>(
-      static_cast<std::size_t>(app_->num_haus()));
-  auto inflights = std::make_shared<
-      std::vector<std::vector<std::pair<int, core::Tuple>>>>(
-      static_cast<std::size_t>(app_->num_haus()));
-  auto boundaries =
-      std::make_shared<std::vector<std::uint64_t>>(
-          static_cast<std::size_t>(app_->num_haus()), 0);
-
+  // Placement: failed HAUs restart on their own node if it came back, else
+  // on the next live replacement. With no placeable failed HAU at all the
+  // pass would only churn the survivors, so refuse it outright.
+  int unplaced = 0;
+  int placed = 0;
   std::size_t next_replacement = 0;
-  for (int i = 0; i < app_->num_haus(); ++i) {
+  auto pick_replacement = [&]() -> std::optional<net::NodeId> {
+    while (next_replacement < replacements.size() &&
+           !app_->cluster().node_alive(replacements[next_replacement])) {
+      ++next_replacement;
+    }
+    if (next_replacement >= replacements.size()) return std::nullopt;
+    return replacements[next_replacement++];
+  };
+  std::vector<std::optional<net::NodeId>> targets(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
     core::Hau& hau = app_->hau(i);
-    auto& ph = (*per_hau)[static_cast<std::size_t>(i)];
+    if (!hau.failed()) continue;
+    if (app_->cluster().node_alive(hau.node())) {
+      targets[static_cast<std::size_t>(i)] = hau.node();
+      ++placed;
+    } else if (auto t = pick_replacement()) {
+      targets[static_cast<std::size_t>(i)] = *t;
+      ++placed;
+    } else {
+      ++unplaced;
+    }
+  }
+  bool any_failed = placed + unplaced > 0;
+  if (any_failed && placed == 0) {
+    pending_recovery_recheck_ = true;
+    return Status::resource_exhausted(
+        "spare node pool exhausted: no failed HAU can be placed");
+  }
+
+  recovery_in_progress_ = true;
+  in_progress_.clear();  // abort any checkpoint in flight
+  emit_probe(FtPoint::kRecoveryStart, -1, run->id);
+
+  // Roll every HAU back; failed ones restart on their placement target.
+  for (int i = 0; i < n; ++i) {
+    core::Hau& hau = app_->hau(i);
+    auto& ph = run->per_hau[static_cast<std::size_t>(i)];
     if (hau.failed()) {
-      MS_CHECK_MSG(next_replacement < replacements.size(),
-                   "not enough replacement nodes");
-      const net::NodeId n = replacements[next_replacement++];
-      ph.moved = (n != hau.node());
-      hau.restart_on(n);
-      stats->haus_recovered++;
+      const auto target = targets[static_cast<std::size_t>(i)];
+      if (!target.has_value()) continue;  // left failed for a later pass
+      ph.moved = (*target != hau.node());
+      hau.restart_on(*target);
+      run->stats->haus_recovered++;
     } else {
       // Alive HAU: roll back in place (drop buffers and in-flight work).
       hau.on_node_failed();
       hau.restart_on(hau.node());
       ph.moved = false;
     }
+    run->participating[static_cast<std::size_t>(i)] = true;
+    run->incarnations[static_cast<std::size_t>(i)] = hau.incarnation();
+    ++run->chains_remaining;
   }
 
-  auto remaining = std::make_shared<int>(app_->num_haus());
-  auto all_ready = [this, stats, per_hau, inflights, boundaries,
-                    done = std::move(done)]() mutable {
-    finish_recovery(stats, per_hau, inflights, boundaries, std::move(done));
-  };
+  recovery_run_ = run;
+  for (int i = 0; i < n; ++i) {
+    if (run->participating[static_cast<std::size_t>(i)]) {
+      start_recovery_chain(run, i, ckpt);
+    }
+  }
+  sim.schedule_after(params_.recovery_watchdog_period,
+                     [this, run] { recovery_watchdog(run); });
 
-  for (int i = 0; i < app_->num_haus(); ++i) {
-    core::Hau& hau = app_->hau(i);
-    auto& ph = (*per_hau)[static_cast<std::size_t>(i)];
-    const SimTime phase_start = sim.now();
-    const SimTime reload = ph.moved ? params_.operator_reload_cost
-                                    : SimTime::millis(5);
-    // Phase 1: reload operators.
-    hau.run_on_cpu(reload, [this, &hau, stats, per_hau, inflights, boundaries,
-                            remaining, all_ready, ckpt, phase_start,
-                            i]() mutable {
-      auto& sim = app_->simulation();
-      auto& ph = (*per_hau)[static_cast<std::size_t>(i)];
-      ph.phase13 = sim.now() - phase_start;
+  if (unplaced > 0) {
+    pending_recovery_recheck_ = true;
+    return Status::resource_exhausted(
+        "spare node pool exhausted: " + std::to_string(unplaced) +
+        " HAU(s) left failed until spares return");
+  }
+  return Status::ok();
+}
 
-      auto after_read = [this, &hau, stats, per_hau, inflights, boundaries,
-                         remaining, all_ready,
-                         i](Result<storage::Object> r) mutable {
-        auto& sim = app_->simulation();
-        const SimTime phase3_start = sim.now();
-        std::shared_ptr<const core::CheckpointImage> image;
-        Bytes declared = 0;
-        if (r.is_ok()) {
-          image = r.value().handle_as<core::CheckpointImage>();
-          // Delta checkpoints write little but read the full reconstruction.
-          declared = r.value().read_charge > 0 ? r.value().read_charge
-                                               : r.value().declared_size;
-          stats->bytes_read += declared;
-        }
-        const SimTime deser = SimTime::seconds(
-            static_cast<double>(declared) / params_.deserialize_bandwidth);
-        hau.run_on_cpu(deser, [this, &hau, per_hau, inflights, boundaries,
-                               remaining, all_ready, i, image,
-                               phase3_start]() mutable {
-          auto& sim = app_->simulation();
-          auto& ph = (*per_hau)[static_cast<std::size_t>(i)];
-          ph.phase13 += sim.now() - phase3_start;
-          if (image != nullptr) {
-            (*inflights)[static_cast<std::size_t>(i)] =
-                hau.restore_state(*image);
-            (*boundaries)[static_cast<std::size_t>(i)] =
-                image->preserve_boundary;
-          } else {
-            // No completed checkpoint yet: restart from the initial state.
-            hau.op().clear_state();
-            (*boundaries)[static_cast<std::size_t>(i)] = 0;
-          }
-          ph.ready_at = sim.now();
-          if (--*remaining == 0) all_ready();
-        });
-      };
+void MsScheme::start_recovery_chain(const std::shared_ptr<RecoveryRun>& run,
+                                    int i, std::uint64_t ckpt) {
+  core::Hau& hau = app_->hau(i);
+  auto& sim = app_->simulation();
+  auto& ph = run->per_hau[static_cast<std::size_t>(i)];
+  const SimTime phase_start = sim.now();
+  const SimTime reload =
+      ph.moved ? params_.operator_reload_cost : SimTime::millis(5);
+  // Phase 1: reload operators. run_on_cpu's incarnation guard orphans the
+  // continuation if the HAU dies meanwhile; the watchdog then abandons the
+  // chain so the barrier still closes.
+  emit_probe(FtPoint::kRecoveryPhase1, i, run->id);
+  hau.run_on_cpu(reload, [this, &hau, run, ckpt, phase_start, i]() mutable {
+    auto& sim = app_->simulation();
+    auto& ph = run->per_hau[static_cast<std::size_t>(i)];
+    ph.phase13 = sim.now() - phase_start;
 
-      if (ckpt == 0) {
-        // Nothing checkpointed yet; restore initial state directly.
-        after_read(Status::not_found("no completed checkpoint"));
+    // Storage callbacks are NOT incarnation-guarded, so every continuation
+    // below re-checks that this incarnation of the HAU is still alive
+    // before touching its CPU (run_on_cpu aborts on a failed HAU).
+    const std::uint64_t inc = run->incarnations[static_cast<std::size_t>(i)];
+    auto gone = [this, run, i, inc, &hau] {
+      return hau.failed() || hau.incarnation() != inc ||
+             run->abandoned[static_cast<std::size_t>(i)];
+    };
+
+    auto after_read = [this, &hau, run, i,
+                       gone](Result<storage::Object> r) mutable {
+      if (gone()) {
+        abandon_recovery_slot(run, i);
         return;
       }
-      const std::string key = checkpoint_key(i, ckpt);
-      auto& cluster = app_->cluster();
-      const SimTime phase2_start = sim.now();
-      auto read_done = [after_read = std::move(after_read), per_hau, i,
-                        phase2_start,
-                        this](Result<storage::Object> r) mutable {
-        (*per_hau)[static_cast<std::size_t>(i)].phase2 =
-            app_->simulation().now() - phase2_start;
-        after_read(std::move(r));
-      };
-      // Local-disk first when the HAU stayed on its node; shared storage
-      // otherwise (the paper's recovery path).
-      if (!ph.moved && cluster.node(hau.node()).local_store->contains(key)) {
-        cluster.node(hau.node()).local_store->get(key, std::move(read_done));
-      } else {
-        cluster.shared_storage().get(hau.node(), key, std::move(read_done));
+      auto& sim = app_->simulation();
+      const SimTime phase3_start = sim.now();
+      std::shared_ptr<const core::CheckpointImage> image;
+      Bytes declared = 0;
+      if (r.is_ok()) {
+        image = r.value().handle_as<core::CheckpointImage>();
+        // Delta checkpoints write little but read the full reconstruction.
+        declared = r.value().read_charge > 0 ? r.value().read_charge
+                                             : r.value().declared_size;
+        run->stats->bytes_read += declared;
       }
-    });
+      const SimTime deser = SimTime::seconds(static_cast<double>(declared) /
+                                             params_.deserialize_bandwidth);
+      emit_probe(FtPoint::kRecoveryPhase3, i, run->id);
+      hau.run_on_cpu(deser, [this, &hau, run, i, image,
+                             phase3_start]() mutable {
+        auto& sim = app_->simulation();
+        auto& ph = run->per_hau[static_cast<std::size_t>(i)];
+        ph.phase13 += sim.now() - phase3_start;
+        if (image != nullptr) {
+          run->inflights[static_cast<std::size_t>(i)] =
+              hau.restore_state(*image);
+          run->boundaries[static_cast<std::size_t>(i)] =
+              image->preserve_boundary;
+        } else {
+          // No completed checkpoint yet: restart from the initial state.
+          hau.op().clear_state();
+          run->boundaries[static_cast<std::size_t>(i)] = 0;
+        }
+        ph.ready_at = sim.now();
+        recovery_chain_done(run, i);
+      });
+    };
+
+    if (ckpt == 0) {
+      // Nothing checkpointed yet; restore initial state directly.
+      after_read(Status::not_found("no completed checkpoint"));
+      return;
+    }
+    const std::string key = checkpoint_key(i, ckpt);
+    auto& cluster = app_->cluster();
+    const SimTime phase2_start = sim.now();
+    emit_probe(FtPoint::kRecoveryPhase2, i, run->id);
+    auto read_done = [after_read = std::move(after_read), run, i, phase2_start,
+                      this](Result<storage::Object> r) mutable {
+      run->per_hau[static_cast<std::size_t>(i)].phase2 =
+          app_->simulation().now() - phase2_start;
+      after_read(std::move(r));
+    };
+    // Local-disk first when the HAU stayed on its node; shared storage
+    // otherwise (the paper's recovery path).
+    if (!ph.moved && cluster.node(hau.node()).local_store->contains(key)) {
+      cluster.node(hau.node()).local_store->get(key, std::move(read_done));
+    } else {
+      cluster.shared_storage().get(hau.node(), key, std::move(read_done),
+                                   storage_retry(params_));
+    }
+  });
+}
+
+void MsScheme::recovery_chain_done(const std::shared_ptr<RecoveryRun>& run,
+                                   int i) {
+  if (run->chain_done[static_cast<std::size_t>(i)]) return;
+  run->chain_done[static_cast<std::size_t>(i)] = true;
+  if (--run->chains_remaining == 0 && !run->phase4_started) {
+    start_phase4(run);
   }
 }
 
-void MsScheme::finish_recovery(
-    std::shared_ptr<RecoveryStats> stats,
-    std::shared_ptr<std::vector<PerHauRecovery>> per_hau,
-    std::shared_ptr<std::vector<std::vector<std::pair<int, core::Tuple>>>>
-        inflights,
-    std::shared_ptr<std::vector<std::uint64_t>> boundaries,
-    std::function<void(RecoveryStats)> done) {
+void MsScheme::abandon_recovery_slot(const std::shared_ptr<RecoveryRun>& run,
+                                     int i) {
+  if (!run->participating[static_cast<std::size_t>(i)] ||
+      run->abandoned[static_cast<std::size_t>(i)]) {
+    return;
+  }
+  run->abandoned[static_cast<std::size_t>(i)] = true;
+  pending_recovery_recheck_ = true;
+  MS_LOG_WARN("ft", "HAU %d died during recovery %llu: chain abandoned", i,
+              static_cast<unsigned long long>(run->id));
+  if (!run->chain_done[static_cast<std::size_t>(i)]) {
+    recovery_chain_done(run, i);
+  }
+  if (run->phase4_started && !run->acked[static_cast<std::size_t>(i)]) {
+    recovery_ack(run, i);
+  }
+}
+
+void MsScheme::recovery_watchdog(std::shared_ptr<RecoveryRun> run) {
+  if (recovery_run_ != run) return;  // the run completed
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    if (!run->participating[static_cast<std::size_t>(i)] ||
+        run->abandoned[static_cast<std::size_t>(i)]) {
+      continue;
+    }
+    core::Hau& hau = app_->hau(i);
+    if (!app_->cluster().node_alive(hau.node()) && !hau.failed()) {
+      hau.on_node_failed();
+    }
+    if (hau.failed() ||
+        hau.incarnation() != run->incarnations[static_cast<std::size_t>(i)]) {
+      abandon_recovery_slot(run, i);
+    }
+  }
+  if (recovery_run_ != run) return;  // abandonment may have completed it
+  app_->simulation().schedule_after(
+      params_.recovery_watchdog_period,
+      [this, run = std::move(run)]() mutable { recovery_watchdog(run); });
+}
+
+void MsScheme::start_phase4(const std::shared_ptr<RecoveryRun>& run) {
+  run->phase4_started = true;
   auto& sim = app_->simulation();
-  // Slowest per-HAU chain defines the reported phase breakdown.
-  std::size_t slowest = 0;
+  // Slowest live per-HAU chain defines the reported phase breakdown.
+  int slowest = -1;
   SimTime slowest_total = SimTime::zero();
-  for (std::size_t i = 0; i < per_hau->size(); ++i) {
-    const SimTime total = (*per_hau)[i].phase2 + (*per_hau)[i].phase13;
-    if (total > slowest_total) {
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    if (!run->participating[static_cast<std::size_t>(i)] ||
+        run->abandoned[static_cast<std::size_t>(i)]) {
+      continue;
+    }
+    const auto& ph = run->per_hau[static_cast<std::size_t>(i)];
+    const SimTime total = ph.phase2 + ph.phase13;
+    if (slowest < 0 || total > slowest_total) {
       slowest_total = total;
       slowest = i;
     }
   }
-  stats->disk_io = (*per_hau)[slowest].phase2;
-  stats->other = (*per_hau)[slowest].phase13;
+  if (slowest >= 0) {
+    run->stats->disk_io = run->per_hau[static_cast<std::size_t>(slowest)].phase2;
+    run->stats->other = run->per_hau[static_cast<std::size_t>(slowest)].phase13;
+  }
 
   // Phase 4: the controller reconnects the recovered HAUs — one handshake
-  // per HAU, completing when every acknowledgment returned.
-  const SimTime phase4_start = sim.now();
-  auto remaining = std::make_shared<int>(app_->num_haus());
+  // per live participant. Acks are counted per slot: a participant that
+  // dies mid-handshake is abandoned by the watchdog, which acks its slot,
+  // so the barrier closes either way.
+  run->phase4_start = sim.now();
+  emit_probe(FtPoint::kRecoveryPhase4, -1, run->id);
+  run->acks_remaining = 0;
   for (int i = 0; i < app_->num_haus(); ++i) {
+    if (run->participating[static_cast<std::size_t>(i)] &&
+        !run->abandoned[static_cast<std::size_t>(i)]) {
+      ++run->acks_remaining;
+    }
+  }
+  if (run->acks_remaining == 0) {
+    // Every participant died mid-recovery; complete trivially and let the
+    // queued re-check pick the pieces up.
+    complete_recovery(run);
+    return;
+  }
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    if (!run->participating[static_cast<std::size_t>(i)] ||
+        run->abandoned[static_cast<std::size_t>(i)]) {
+      continue;
+    }
     core::Hau& hau = app_->hau(i);
     to_hau(hau, params_.reconnect_message_size,
-           [this, remaining, stats, phase4_start, inflights, boundaries,
-            done](core::Hau& h) mutable {
+           [this, run, i](core::Hau& h) {
              // Re-establish each outgoing stream connection before the ack.
              const SimTime setup =
                  params_.reconnect_per_edge *
                  static_cast<std::int64_t>(std::max(1, h.num_out_ports()));
-             h.run_on_cpu(setup, [this, &h, remaining, stats, phase4_start,
-                                  inflights, boundaries, done]() mutable {
-             to_controller(h, 64, [this, remaining, stats, phase4_start,
-                                   inflights, boundaries, done]() mutable {
-               if (--*remaining > 0) return;
-               auto& sim = app_->simulation();
-               stats->reconnection = sim.now() - phase4_start;
-               stats->completed = sim.now();
-               recoveries_.push_back(*stats);
-               recovery_in_progress_ = false;
-               // Resume every HAU, resend captured in-flight tuples, and
-               // replay the sources' preserved logs (not part of the
-               // measured recovery time, per the paper).
-               for (int i = 0; i < app_->num_haus(); ++i) {
-                 core::Hau& hau = app_->hau(i);
-                 hau.reopen();
-                 MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
-                 ft->resend_inflight(
-                     hau, std::move((*inflights)[static_cast<std::size_t>(i)]));
-                 if (hau.is_source()) {
-                   ft->replay_from(hau,
-                                   (*boundaries)[static_cast<std::size_t>(i)]);
-                 }
-               }
-               if (done) done(*stats);
-             });
+             h.run_on_cpu(setup, [this, run, i, &h] {
+               to_controller(h, 64,
+                             [this, run, i] { recovery_ack(run, i); });
              });
            });
+  }
+}
+
+void MsScheme::recovery_ack(const std::shared_ptr<RecoveryRun>& run, int i) {
+  if (!run->participating[static_cast<std::size_t>(i)] ||
+      run->acked[static_cast<std::size_t>(i)]) {
+    return;
+  }
+  run->acked[static_cast<std::size_t>(i)] = true;
+  if (--run->acks_remaining == 0) complete_recovery(run);
+}
+
+void MsScheme::complete_recovery(const std::shared_ptr<RecoveryRun>& run) {
+  auto& sim = app_->simulation();
+  run->stats->reconnection = sim.now() - run->phase4_start;
+  run->stats->completed = sim.now();
+  recoveries_.push_back(*run->stats);
+  recovery_run_.reset();
+  recovery_in_progress_ = false;
+  emit_probe(FtPoint::kRecoveryComplete, -1, run->id);
+  // Resume the surviving participants, resend captured in-flight tuples,
+  // and replay the sources' preserved logs (not part of the measured
+  // recovery time, per the paper). Abandoned or since-failed slots stay
+  // closed; the follow-up pass recovers them.
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    if (!run->participating[static_cast<std::size_t>(i)] ||
+        run->abandoned[static_cast<std::size_t>(i)]) {
+      continue;
+    }
+    core::Hau& hau = app_->hau(i);
+    if (hau.failed() ||
+        hau.incarnation() != run->incarnations[static_cast<std::size_t>(i)]) {
+      continue;
+    }
+    hau.reopen();
+    MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
+    ft->resend_inflight(hau,
+                        std::move(run->inflights[static_cast<std::size_t>(i)]));
+    if (hau.is_source()) {
+      ft->replay_from(hau, run->boundaries[static_cast<std::size_t>(i)]);
+    }
+  }
+  if (run->done) run->done(*run->stats);
+  // Follow-up pass for HAUs left failed (no spare) or lost mid-recovery.
+  bool any_failed = false;
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    if (app_->hau(i).failed()) any_failed = true;
+  }
+  if ((pending_recovery_recheck_ || any_failed) && detection_enabled_) {
+    pending_recovery_recheck_ = false;
+    sim.schedule_after(params_.recovery_watchdog_period,
+                       [this] { maybe_recover_failed(); });
   }
 }
 

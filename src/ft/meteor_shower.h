@@ -28,6 +28,7 @@
 #include "core/application.h"
 #include "ft/aa_controller.h"
 #include "ft/params.h"
+#include "ft/probe.h"
 #include "ft/stats.h"
 #include "statesize/turning_point.h"
 
@@ -59,16 +60,35 @@ class MsScheme {
   void trigger_checkpoint();
 
   /// Whole-application recovery: every failed HAU restarts on the next node
-  /// from `replacements`; every HAU (failed or not) is rolled back to the
-  /// most recent completed application checkpoint; sources replay their
-  /// preserved logs. `done` receives the phase breakdown of Fig. 16.
-  void recover_application(std::vector<net::NodeId> replacements,
-                           std::function<void(RecoveryStats)> done);
+  /// from `replacements` (or in place, if its own node came back); every
+  /// HAU (failed or not) is rolled back to the most recent completed
+  /// application checkpoint; sources replay their preserved logs. `done`
+  /// receives the phase breakdown of Fig. 16.
+  ///
+  /// Degrades instead of aborting: called while a recovery is already in
+  /// flight it queues a re-entrant pass and returns kFailedPrecondition;
+  /// with too few replacements it recovers what it can, leaves the rest
+  /// failed for a later pass, and returns kResourceExhausted. HAUs that die
+  /// *during* the recovery (a second burst) are abandoned by a watchdog so
+  /// the phase barriers still close, then picked up by the queued re-check.
+  Status recover_application(std::vector<net::NodeId> replacements,
+                             std::function<void(RecoveryStats)> done);
 
   /// Enable automatic failure detection + recovery using `spares` as the
   /// replacement pool (controller pings sources; upstream HAUs monitor
   /// their downstream neighbours).
   void enable_failure_detection(std::vector<net::NodeId> spares);
+
+  /// Return repaired nodes to the replacement pool.
+  void add_spares(std::vector<net::NodeId> spares);
+  std::size_t spares_left() const { return spares_.size(); }
+
+  /// Subscribe to protocol instrumentation points (chaos harness, tests).
+  void set_probe(FtProbe probe) { probe_ = std::move(probe); }
+
+  /// Most recent degradation seen by the detection/recovery path (spare
+  /// exhaustion, re-entrant queuing); OK when the last pass was clean.
+  const Status& last_recovery_error() const { return last_recovery_error_; }
 
   // --- stats ---
   const std::vector<AppCheckpointStats>& checkpoints() const {
@@ -103,6 +123,7 @@ class MsScheme {
   // AA plumbing.
   void aa_start_pipeline();
   void aa_observation_report_received();
+  void aa_finish_observation();
   void aa_execution_loop();
   void aa_query_dynamic();
   void aa_set_alert_reporting(bool on);
@@ -114,18 +135,50 @@ class MsScheme {
     SimTime phase2 = SimTime::zero();
     SimTime phase13 = SimTime::zero();
   };
-  void finish_recovery(
-      std::shared_ptr<RecoveryStats> stats,
-      std::shared_ptr<std::vector<PerHauRecovery>> per_hau,
-      std::shared_ptr<std::vector<std::vector<std::pair<int, core::Tuple>>>>
-          inflights,
-      std::shared_ptr<std::vector<std::uint64_t>> boundaries,
-      std::function<void(RecoveryStats)> done);
+  /// One whole-application recovery in flight. The per-HAU chains (phases
+  /// 1–3) and the phase-4 handshakes are tracked per slot so a participant
+  /// that dies mid-recovery can be abandoned without wedging the barriers.
+  struct RecoveryRun {
+    std::uint64_t id = 0;
+    std::shared_ptr<RecoveryStats> stats;
+    std::vector<PerHauRecovery> per_hau;
+    std::vector<std::vector<std::pair<int, core::Tuple>>> inflights;
+    std::vector<std::uint64_t> boundaries;
+    std::vector<std::uint64_t> incarnations;  // at restart, per participant
+    std::vector<bool> participating;  // false: left failed (no spare)
+    std::vector<bool> chain_done;     // phases 1-3 finished or abandoned
+    std::vector<bool> acked;          // phase-4 handshake done or abandoned
+    std::vector<bool> abandoned;      // died mid-recovery
+    int chains_remaining = 0;
+    int acks_remaining = 0;
+    bool phase4_started = false;
+    SimTime phase4_start;
+    std::function<void(RecoveryStats)> done;
+  };
+  void start_recovery_chain(const std::shared_ptr<RecoveryRun>& run, int i,
+                            std::uint64_t ckpt);
+  void recovery_chain_done(const std::shared_ptr<RecoveryRun>& run, int i);
+  void abandon_recovery_slot(const std::shared_ptr<RecoveryRun>& run, int i);
+  void recovery_watchdog(std::shared_ptr<RecoveryRun> run);
+  void start_phase4(const std::shared_ptr<RecoveryRun>& run);
+  void recovery_ack(const std::shared_ptr<RecoveryRun>& run, int i);
+  void complete_recovery(const std::shared_ptr<RecoveryRun>& run);
+  /// Detection-driven entry: scan for failed HAUs, allocate replacements
+  /// from the spare pool (own node first if it came back), start or queue a
+  /// recovery. Safe to call at any time.
+  void maybe_recover_failed();
+
+  void emit_probe(FtPoint point, int hau, std::uint64_t id) {
+    if (probe_) probe_(point, hau, id);
+  }
 
   // Failure detection.
   void ping_sources();
   void monitor_downstream(int hau_id);
   void report_node_failure(net::NodeId node);
+  /// An HAU's checkpoint write failed definitively: abort the epoch so the
+  /// next periodic checkpoint is not blocked until wedge-abandonment.
+  void on_hau_checkpoint_failed(std::uint64_t ckpt_id);
 
   core::Application* app_;
   FtParams params_;
@@ -142,10 +195,17 @@ class MsScheme {
 
   AaController aa_;
   int aa_obs_reports_ = 0;
+  int aa_obs_expected_ = 0;
+  bool aa_obs_closed_ = false;
 
   bool detection_enabled_ = false;
   bool monitors_started_ = false;
   bool recovery_in_progress_ = false;
+  bool pending_recovery_recheck_ = false;
+  std::uint64_t recovery_seq_ = 0;
+  std::shared_ptr<RecoveryRun> recovery_run_;
+  Status last_recovery_error_;
+  FtProbe probe_;
   std::vector<net::NodeId> spares_;
 };
 

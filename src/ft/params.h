@@ -58,6 +58,14 @@ struct FtParams {
   /// Missed-response window after which a node is deemed failed.
   SimTime ping_timeout = SimTime::seconds(3);
 
+  // --- shared-storage retry ---
+  /// Bounded retry of shared-storage puts/gets on transient (kUnavailable)
+  /// failures — a brief storage outage should not abort a checkpoint epoch
+  /// or wedge a recovery read. 1 = no retry.
+  int storage_retry_attempts = 3;
+  /// Backoff before the first retry; doubles per attempt.
+  SimTime storage_retry_backoff = SimTime::millis(100);
+
   // --- recovery ---
   /// Phase 1: reload operator binaries/libraries on the recovery node.
   SimTime operator_reload_cost = SimTime::millis(120);
@@ -69,6 +77,11 @@ struct FtParams {
   /// Replayed tuples are processed faster than usual to catch up (paper
   /// assumption); sources emit replay at this multiple of live rate.
   double replay_speedup = 4.0;
+  /// The recovery watchdog scans at this period for HAUs that died *during*
+  /// the recovery (a second burst): their per-HAU chains and phase-4
+  /// handshakes are abandoned so the barrier still closes, and a follow-up
+  /// recovery is queued for them.
+  SimTime recovery_watchdog_period = SimTime::millis(100);
 
   // --- application-aware checkpointing (MS-src+ap+aa) ---
   /// Local state-size sampling period at each HAU.
@@ -87,6 +100,11 @@ struct FtParams {
   /// Fire plain periodic checkpoints while observing/profiling (off for
   /// benchmark runs that must keep the warmup checkpoint-free).
   bool checkpoint_during_profiling = true;
+  /// Close the observation phase this long after the end-observation
+  /// commands even if reports are missing (an HAU that died after the
+  /// command was sent can never report; without the timeout the profiling
+  /// pipeline would wait forever).
+  SimTime aa_observation_timeout = SimTime::seconds(5);
 };
 
 }  // namespace ms::ft

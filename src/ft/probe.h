@@ -1,0 +1,37 @@
+// Instrumentation points along the checkpoint and recovery pipelines.
+//
+// MsScheme announces these as it moves through the protocol; a subscriber
+// (notably the chaos fault-injection harness in src/failure/chaos.h) can
+// react at precisely-defined protocol states — "when relay1 starts
+// serializing", "when recovery enters phase 2" — rather than at wall-clock
+// offsets. Probes fire in deterministic simulation order, so any scripted
+// fault is bit-for-bit reproducible from (seed, script).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ms::ft {
+
+enum class FtPoint {
+  // Checkpoint side (hau = the HAU involved).
+  kTokenAlignStart,   // checkpoint command / first token arrived at the HAU
+  kForkStart,         // asynchronous checkpoint helper fork begins
+  kSerializeStart,    // state serialization begins
+  kCheckpointWrite,   // stable-storage put issued
+  kCheckpointDone,    // stable-storage put acknowledged
+  // Recovery side (hau = -1 for application-wide events).
+  kRecoveryStart,     // whole-application recovery initiated
+  kRecoveryPhase1,    // operator reload begins at an HAU
+  kRecoveryPhase2,    // checkpoint read begins at an HAU
+  kRecoveryPhase3,    // deserialize/rebuild begins at an HAU
+  kRecoveryPhase4,    // controller reconnection handshake begins
+  kRecoveryComplete,  // recovery finished (queued re-checks may follow)
+};
+
+const char* ft_point_name(FtPoint p);
+
+/// (point, hau_id or -1, checkpoint id / recovery sequence number).
+using FtProbe = std::function<void(FtPoint, int, std::uint64_t)>;
+
+}  // namespace ms::ft

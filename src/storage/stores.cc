@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <type_traits>
 #include <utility>
 
 namespace ms::storage {
@@ -91,13 +92,90 @@ void SharedStorage::send_chunked(net::NodeId from, net::NodeId to, Bytes size,
   stream->send_next(stream);
 }
 
+namespace {
+
+/// Run `attempt` up to `retry.max_attempts` times. Transient failures back
+/// off exponentially before the next try; definitive results (success,
+/// kNotFound) propagate immediately. `R` is Status or Result<Object>.
+template <typename R>
+void run_with_retry(sim::Simulation* sim, RetryPolicy retry,
+                    std::function<void(std::function<void(R)>)> attempt,
+                    std::function<void(R)> done) {
+  struct State {
+    sim::Simulation* sim;
+    RetryPolicy retry;
+    int attempts_made = 0;
+    SimTime backoff;
+    std::function<void(std::function<void(R)>)> attempt;
+    std::function<void(R)> done;
+    // Captures only a weak self-reference: the strong refs live in the
+    // in-flight attempt callback and the backoff timer, so an operation
+    // whose callback the network drops (e.g. the client node died
+    // mid-transfer) is freed instead of leaking through a run -> State
+    // cycle.
+    std::function<void()> run;
+  };
+  auto st = std::make_shared<State>();
+  st->sim = sim;
+  st->retry = retry;
+  st->backoff = retry.initial_backoff;
+  st->attempt = std::move(attempt);
+  st->done = std::move(done);
+  st->run = [w = std::weak_ptr<State>(st)] {
+    auto st = w.lock();
+    if (!st) return;
+    st->attempt([st](R r) {
+      ++st->attempts_made;
+      Status status;
+      if constexpr (std::is_same_v<R, Status>) {
+        status = r;
+      } else {
+        status = r.status();
+      }
+      if (RetryPolicy::transient(status) &&
+          st->attempts_made < st->retry.max_attempts) {
+        const SimTime delay = st->backoff;
+        st->backoff = st->backoff * st->retry.backoff_multiplier;
+        st->sim->schedule_after(delay, [st] { st->run(); });
+        return;
+      }
+      auto finish = std::move(st->done);
+      st->run = nullptr;
+      finish(std::move(r));
+    });
+  };
+  st->run();
+}
+
+}  // namespace
+
 void SharedStorage::put(net::NodeId client, const std::string& key,
-                        Object object, std::function<void(Status)> done) {
+                        Object object, std::function<void(Status)> done,
+                        RetryPolicy retry) {
+  if (retry.max_attempts <= 1) {
+    put_once(client, key, std::move(object), std::move(done));
+    return;
+  }
+  run_with_retry<Status>(
+      &network_->simulation(), retry,
+      [this, client, key, object = std::move(object)](
+          std::function<void(Status)> cb) {
+        put_once(client, key, object, std::move(cb));
+      },
+      std::move(done));
+}
+
+void SharedStorage::put_once(net::NodeId client, const std::string& key,
+                             Object object, std::function<void(Status)> done) {
   const Bytes size = object.declared_size;
   send_chunked(
       client, node_, size + kRequestSize, net::MsgCategory::kCheckpoint,
       [this, client, key, object = std::move(object),
        done = std::move(done)]() mutable {
+        if (!available_) {
+          reply_unavailable(client, std::move(done));
+          return;
+        }
         const Bytes n = object.declared_size;
         data_[key] = std::move(object);
         disk_.write(n, [this, client, done = std::move(done)] {
@@ -110,11 +188,32 @@ void SharedStorage::put(net::NodeId client, const std::string& key,
 
 void SharedStorage::append(net::NodeId client, const std::string& key,
                            Bytes size, std::vector<std::uint8_t> bytes,
-                           std::function<void(Status)> done) {
+                           std::function<void(Status)> done,
+                           RetryPolicy retry) {
+  if (retry.max_attempts <= 1) {
+    append_once(client, key, size, std::move(bytes), std::move(done));
+    return;
+  }
+  run_with_retry<Status>(
+      &network_->simulation(), retry,
+      [this, client, key, size,
+       bytes = std::move(bytes)](std::function<void(Status)> cb) {
+        append_once(client, key, size, bytes, std::move(cb));
+      },
+      std::move(done));
+}
+
+void SharedStorage::append_once(net::NodeId client, const std::string& key,
+                                Bytes size, std::vector<std::uint8_t> bytes,
+                                std::function<void(Status)> done) {
   send_chunked(
       client, node_, size + kRequestSize, net::MsgCategory::kPreserve,
       [this, client, key, size, bytes = std::move(bytes),
        done = std::move(done)]() mutable {
+        if (!available_) {
+          reply_unavailable(client, std::move(done));
+          return;
+        }
         Object& obj = data_[key];
         obj.declared_size += size;
         obj.blob.insert(obj.blob.end(), bytes.begin(), bytes.end());
@@ -127,10 +226,29 @@ void SharedStorage::append(net::NodeId client, const std::string& key,
 }
 
 void SharedStorage::get(net::NodeId client, const std::string& key,
-                        std::function<void(Result<Object>)> done) {
+                        std::function<void(Result<Object>)> done,
+                        RetryPolicy retry) {
+  if (retry.max_attempts <= 1) {
+    get_once(client, key, std::move(done));
+    return;
+  }
+  run_with_retry<Result<Object>>(
+      &network_->simulation(), retry,
+      [this, client, key](std::function<void(Result<Object>)> cb) {
+        get_once(client, key, std::move(cb));
+      },
+      std::move(done));
+}
+
+void SharedStorage::get_once(net::NodeId client, const std::string& key,
+                             std::function<void(Result<Object>)> done) {
   network_->send(
       client, node_, kRequestSize, net::MsgCategory::kControl,
       [this, client, key, done = std::move(done)]() mutable {
+        if (!available_) {
+          reply_unavailable(client, std::move(done));
+          return;
+        }
         const auto it = data_.find(key);
         if (it == data_.end()) {
           network_->send(node_, client, kRequestSize, net::MsgCategory::kControl,
@@ -159,10 +277,30 @@ void SharedStorage::get(net::NodeId client, const std::string& key,
 
 void SharedStorage::get_range(net::NodeId client, const std::string& key,
                               Bytes size,
-                              std::function<void(Result<Object>)> done) {
+                              std::function<void(Result<Object>)> done,
+                              RetryPolicy retry) {
+  if (retry.max_attempts <= 1) {
+    get_range_once(client, key, size, std::move(done));
+    return;
+  }
+  run_with_retry<Result<Object>>(
+      &network_->simulation(), retry,
+      [this, client, key, size](std::function<void(Result<Object>)> cb) {
+        get_range_once(client, key, size, std::move(cb));
+      },
+      std::move(done));
+}
+
+void SharedStorage::get_range_once(net::NodeId client, const std::string& key,
+                                   Bytes size,
+                                   std::function<void(Result<Object>)> done) {
   network_->send(
       client, node_, kRequestSize, net::MsgCategory::kControl,
       [this, client, key, size, done = std::move(done)]() mutable {
+        if (!available_) {
+          reply_unavailable(client, std::move(done));
+          return;
+        }
         const auto it = data_.find(key);
         if (it == data_.end()) {
           network_->send(node_, client, kRequestSize, net::MsgCategory::kControl,

@@ -49,6 +49,20 @@ struct Object {
   }
 };
 
+/// Bounded retry-with-backoff for shared-storage operations. Transient
+/// (kUnavailable) failures — an outage window, a dropped transfer — are
+/// retried after an exponentially growing backoff; definitive failures
+/// (kNotFound) are reported immediately. Default: no retry.
+struct RetryPolicy {
+  int max_attempts = 1;
+  SimTime initial_backoff = SimTime::millis(100);
+  double backoff_multiplier = 2.0;
+
+  static bool transient(const Status& st) {
+    return st.code() == StatusCode::kUnavailable;
+  }
+};
+
 class LocalStore {
  public:
   LocalStore(sim::Simulation* sim, Disk* disk) : sim_(sim), disk_(disk) {}
@@ -81,24 +95,33 @@ class SharedStorage {
                 std::optional<DiskConfig> log_disk = std::nullopt);
 
   /// Write from `client` node: network transfer to the storage node, then a
-  /// disk write, then a small acknowledgment back to the client.
+  /// disk write, then a small acknowledgment back to the client. Transient
+  /// failures are retried per `retry`.
   void put(net::NodeId client, const std::string& key, Object object,
-           std::function<void(Status)> done);
+           std::function<void(Status)> done, RetryPolicy retry = {});
 
   /// Append to an existing object (used by source preservation: the source
   /// keeps extending its preserved-tuple log). Charged like a put of the
   /// appended bytes only.
   void append(net::NodeId client, const std::string& key, Bytes size,
-              std::vector<std::uint8_t> bytes, std::function<void(Status)> done);
+              std::vector<std::uint8_t> bytes, std::function<void(Status)> done,
+              RetryPolicy retry = {});
 
   /// Read back to `client`: request message, disk read, data transfer back.
   void get(net::NodeId client, const std::string& key,
-           std::function<void(Result<Object>)> done);
+           std::function<void(Result<Object>)> done, RetryPolicy retry = {});
 
   /// Read only `size` bytes of an object back to `client` (a log tail during
   /// source replay): request, partial disk read, transfer of `size` bytes.
   void get_range(net::NodeId client, const std::string& key, Bytes size,
-                 std::function<void(Result<Object>)> done);
+                 std::function<void(Result<Object>)> done,
+                 RetryPolicy retry = {});
+
+  /// Outage injection (chaos harness): while unavailable, every request is
+  /// answered with kUnavailable after the request round-trip — the service
+  /// is down even though the node's NIC answers. Stored data is unaffected.
+  void set_available(bool on) { available_ = on; }
+  bool available() const { return available_; }
 
   /// Truncate/erase without data movement (metadata op, small message).
   void erase(net::NodeId client, const std::string& key,
@@ -130,8 +153,28 @@ class SharedStorage {
                     net::MsgCategory category, std::function<void()> deliver,
                     std::function<void()> on_dropped);
 
+  void put_once(net::NodeId client, const std::string& key, Object object,
+                std::function<void(Status)> done);
+  void append_once(net::NodeId client, const std::string& key, Bytes size,
+                   std::vector<std::uint8_t> bytes,
+                   std::function<void(Status)> done);
+  void get_once(net::NodeId client, const std::string& key,
+                std::function<void(Result<Object>)> done);
+  void get_range_once(net::NodeId client, const std::string& key, Bytes size,
+                      std::function<void(Result<Object>)> done);
+  /// Reply to `client` with an unavailable error after the response hop
+  /// (the service rejected the request; the NIC still answers).
+  template <typename Done>  // Done takes a Status or a Result<Object>
+  void reply_unavailable(net::NodeId client, Done done) {
+    auto d = std::make_shared<Done>(std::move(done));
+    network_->send(node_, client, kRequestSize, net::MsgCategory::kControl,
+                   [d] { (*d)(Status::unavailable("shared storage outage")); },
+                   [d] { (*d)(Status::unavailable("client unreachable")); });
+  }
+
   net::Network* network_;
   net::NodeId node_;
+  bool available_ = true;
   Disk disk_;
   Disk log_disk_;
   std::unordered_map<std::string, Object> data_;

@@ -1,0 +1,132 @@
+// Checkpoint-failure paths: shared-storage outages mid-epoch (retry and
+// definitive put failure), wedged-epoch abandonment, and stale-token drops
+// from abandoned epochs. All failure modes must leave the stream running and
+// the next epoch able to complete.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "../testing/test_ops.h"
+#include "ft/meteor_shower.h"
+
+namespace ms::ft {
+namespace {
+
+using ms::testing::chain_graph;
+using ms::testing::RecordingSink;
+using ms::testing::small_cluster;
+
+struct OutageRig {
+  void build(int relays, FtParams params, MsVariant variant) {
+    cluster_ =
+        std::make_unique<core::Cluster>(&sim_, small_cluster(relays + 2));
+    app_ = std::make_unique<core::Application>(
+        cluster_.get(), chain_graph(relays, SimTime::millis(10)));
+    app_->deploy();
+    scheme_ = std::make_unique<MsScheme>(app_.get(), params, variant);
+    scheme_->attach();
+    app_->start();
+    scheme_->start();
+  }
+
+  RecordingSink& sink() {
+    return static_cast<RecordingSink&>(app_->hau(app_->num_haus() - 1).op());
+  }
+
+  void storage_outage(SimTime at, SimTime duration) {
+    sim_.schedule_at(at, [this, duration] {
+      cluster_->shared_storage().set_available(false);
+      sim_.schedule_after(duration, [this] {
+        cluster_->shared_storage().set_available(true);
+      });
+    });
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<core::Cluster> cluster_;
+  std::unique_ptr<core::Application> app_;
+  std::unique_ptr<MsScheme> scheme_;
+};
+
+void expect_no_duplicates(std::vector<std::int64_t> values) {
+  std::sort(values.begin(), values.end());
+  ASSERT_FALSE(values.empty());
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    ASSERT_NE(values[i], values[i - 1]) << "duplicate value at sink";
+  }
+}
+
+TEST(CheckpointFailureTest, RetrySurvivesShortStorageOutage) {
+  // A 250 ms outage is shorter than the bounded-retry window (3 attempts,
+  // 100/200 ms backoff): the epoch's puts and the source's preservation
+  // appends all go through on a later attempt and the checkpoint completes.
+  OutageRig rig;
+  FtParams p;
+  p.periodic = false;
+  rig.build(1, p, MsVariant::kSrcAp);
+  rig.sim_.run_until(SimTime::seconds(2));
+
+  rig.storage_outage(SimTime::seconds(2), SimTime::millis(250));
+  rig.scheme_->trigger_checkpoint();
+  rig.sim_.run_until(SimTime::seconds(10));
+
+  ASSERT_EQ(rig.scheme_->checkpoints().size(), 1u);
+  EXPECT_EQ(rig.scheme_->checkpoints().front().checkpoint_id, 1u);
+  expect_no_duplicates(rig.sink().values);
+}
+
+TEST(CheckpointFailureTest, PutFailureAbortsEpochSoNextSucceeds) {
+  // A 2 s outage outlives every retry: the epoch's writes fail for good.
+  // The failed epoch must be torn down immediately (HAUs resumed, epoch
+  // dropped from the in-progress set) so a later trigger is not blocked
+  // until the wedge-aging timeout, and the source's preservation batches
+  // that failed to append are requeued rather than lost.
+  OutageRig rig;
+  FtParams p;
+  p.periodic = false;
+  rig.build(1, p, MsVariant::kSrcAp);
+  rig.sim_.run_until(SimTime::seconds(2));
+
+  rig.storage_outage(SimTime::seconds(2), SimTime::seconds(2));
+  rig.scheme_->trigger_checkpoint();  // epoch 1: all writes fail
+  rig.sim_.run_until(SimTime::seconds(5));
+  EXPECT_TRUE(rig.scheme_->checkpoints().empty());
+
+  rig.scheme_->trigger_checkpoint();  // epoch 2: storage is back
+  rig.sim_.run_until(SimTime::seconds(15));
+
+  ASSERT_EQ(rig.scheme_->checkpoints().size(), 1u);
+  EXPECT_EQ(rig.scheme_->checkpoints().front().checkpoint_id, 2u);
+  ASSERT_GT(rig.sink().values.size(), 1000u);
+  expect_no_duplicates(rig.sink().values);
+}
+
+TEST(CheckpointFailureTest, StaleTokenFromAbandonedEpochIsDropped) {
+  // Pause the relay so epoch 1 can never align there; after three periods
+  // the controller abandons the wedge and starts epoch 2. When the relay
+  // resumes it finds epoch 1's token still queued at its in-port head — a
+  // stale token from an abandoned epoch — and must drop it, then align and
+  // complete epoch 2 without duplicating output.
+  OutageRig rig;
+  FtParams p;
+  p.checkpoint_period = SimTime::seconds(2);
+  rig.build(1, p, MsVariant::kSrcAp);
+
+  // Epoch 1 starts at t=2; it ages past the 3-period wedge threshold and is
+  // abandoned at the t=10 tick, which starts epoch 2. Resume after that so
+  // the relay wakes up holding both epochs' tokens in order.
+  rig.sim_.schedule_at(SimTime::seconds(1),
+                       [&] { rig.app_->hau(1).pause(); });
+  rig.sim_.schedule_at(SimTime::seconds(11),
+                       [&] { rig.app_->hau(1).resume(); });
+  rig.sim_.run_until(SimTime::seconds(16));
+
+  ASSERT_GE(rig.scheme_->checkpoints().size(), 1u);
+  // Epoch 1 was abandoned: the first epoch to complete is a later one.
+  EXPECT_GE(rig.scheme_->checkpoints().front().checkpoint_id, 2u);
+  expect_no_duplicates(rig.sink().values);
+}
+
+}  // namespace
+}  // namespace ms::ft

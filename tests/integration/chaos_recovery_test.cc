@@ -1,0 +1,275 @@
+// Chaos acceptance: scripted kills at every checkpoint/recovery protocol
+// point (ft/probe.h), second bursts mid-recovery, storage outage windows and
+// spare-pool exhaustion. Every scenario must complete recovery — no wedge,
+// no process abort — and the sink must stay exactly-once versus a
+// failure-free run: no duplicates, and nothing missing beyond the source's
+// undispatched preservation batch at each kill.
+#include "failure/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "../testing/test_ops.h"
+#include "ft/meteor_shower.h"
+
+namespace ms::failure {
+namespace {
+
+using ms::testing::chain_graph;
+using ms::testing::RecordingSink;
+using ms::testing::small_cluster;
+
+std::vector<net::NodeId> spares(int from, int count) {
+  std::vector<net::NodeId> out;
+  for (int i = 0; i < count; ++i) out.push_back(from + i);
+  return out;
+}
+
+/// Chain application + MsScheme + armed-later chaos harness. Detection is
+/// enabled (with `spare_pool`) before the scheme starts, so monitors and
+/// pings are live from t=0.
+struct ChaosRig {
+  void build(int relays, ft::FtParams params, ft::MsVariant variant,
+             std::vector<net::NodeId> spare_pool, int spare_nodes = 6) {
+    cluster_ = std::make_unique<core::Cluster>(
+        &sim_, small_cluster(relays + 2 + spare_nodes));
+    app_ = std::make_unique<core::Application>(
+        cluster_.get(), chain_graph(relays, SimTime::millis(10)));
+    app_->deploy();
+    scheme_ = std::make_unique<ft::MsScheme>(app_.get(), params, variant);
+    scheme_->attach();
+    app_->start();
+    if (!spare_pool.empty()) {
+      scheme_->enable_failure_detection(std::move(spare_pool));
+    }
+    chaos_ = std::make_unique<ChaosHarness>(app_.get(), scheme_.get());
+    scheme_->start();
+  }
+
+  RecordingSink& sink() {
+    return static_cast<RecordingSink&>(app_->hau(app_->num_haus() - 1).op());
+  }
+
+  int failed_haus() const {
+    int n = 0;
+    for (int i = 0; i < app_->num_haus(); ++i) {
+      if (app_->hau(i).failed()) ++n;
+    }
+    return n;
+  }
+
+  sim::Simulation sim_;
+  std::unique_ptr<core::Cluster> cluster_;
+  std::unique_ptr<core::Application> app_;
+  std::unique_ptr<ft::MsScheme> scheme_;
+  std::unique_ptr<ChaosHarness> chaos_;
+};
+
+/// Exactly-once verdict (same contract as the ft suite): no duplicate ever;
+/// bounded missing for values that died in an undispatched source batch.
+void expect_exactly_once(std::vector<std::int64_t> values,
+                         std::int64_t max_missing) {
+  std::sort(values.begin(), values.end());
+  ASSERT_FALSE(values.empty());
+  std::int64_t missing = values.front();
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    ASSERT_NE(values[i], values[i - 1]) << "duplicate value at sink";
+    missing += values[i] - values[i - 1] - 1;
+  }
+  EXPECT_LE(missing, max_missing)
+      << "lost values beyond the undispatched-batch window";
+}
+
+ft::FtParams chaos_params() {
+  ft::FtParams p;
+  p.periodic = false;
+  p.ping_period = SimTime::millis(500);
+  return p;
+}
+
+/// Kill `victim`'s node when `point` fires during the second checkpoint
+/// epoch; detection must recover and the stream must stay exactly-once.
+void run_checkpoint_kill(ft::FtPoint point, int victim) {
+  ChaosRig rig;
+  rig.build(2, chaos_params(), ft::MsVariant::kSrcAp, spares(4, 6));
+  rig.sim_.run_until(SimTime::seconds(2));
+  rig.scheme_->trigger_checkpoint();
+  rig.sim_.run_until(SimTime::seconds(6));
+  ASSERT_GE(rig.scheme_->checkpoints().size(), 1u);
+
+  rig.chaos_->kill_on(point, victim);
+  rig.chaos_->arm();
+  rig.scheme_->trigger_checkpoint();
+  rig.sim_.run_until(SimTime::seconds(40));
+
+  EXPECT_EQ(rig.chaos_->kills(), 1) << "scripted kill did not fire";
+  EXPECT_GE(rig.scheme_->recoveries().size(), 1u) << "no recovery completed";
+  EXPECT_EQ(rig.failed_haus(), 0) << "an HAU was left dead";
+  ASSERT_GT(rig.sink().values.size(), 500u);
+  expect_exactly_once(rig.sink().values, /*max_missing=*/10);
+}
+
+TEST(ChaosRecoveryTest, KillDuringTokenAlignment) {
+  run_checkpoint_kill(ft::FtPoint::kTokenAlignStart, /*victim=*/1);
+}
+
+TEST(ChaosRecoveryTest, KillDuringFork) {
+  run_checkpoint_kill(ft::FtPoint::kForkStart, /*victim=*/1);
+}
+
+TEST(ChaosRecoveryTest, KillDuringSerialize) {
+  run_checkpoint_kill(ft::FtPoint::kSerializeStart, /*victim=*/1);
+}
+
+TEST(ChaosRecoveryTest, KillDuringCheckpointWrite) {
+  run_checkpoint_kill(ft::FtPoint::kCheckpointWrite, /*victim=*/2);
+}
+
+/// Kill relay0's node at t=7 so detection starts a recovery, then kill
+/// `second_victim`'s node the moment `point` fires inside that recovery.
+/// The watchdog must abandon the victim's slot (no wedged barrier), the
+/// queued follow-up pass must revive it, and the output must stay
+/// exactly-once.
+void run_recovery_kill(ft::FtPoint point, int second_victim) {
+  ChaosRig rig;
+  rig.build(2, chaos_params(), ft::MsVariant::kSrcAp, spares(4, 6));
+  rig.sim_.run_until(SimTime::seconds(2));
+  rig.scheme_->trigger_checkpoint();
+  rig.sim_.run_until(SimTime::seconds(6));
+  ASSERT_GE(rig.scheme_->checkpoints().size(), 1u);
+
+  rig.chaos_->kill_on(point, second_victim);
+  rig.chaos_->kill_at(SimTime::seconds(7), /*hau_id=*/1);
+  rig.chaos_->arm();
+  rig.sim_.run_until(SimTime::seconds(60));
+
+  EXPECT_EQ(rig.chaos_->kills(), 2) << "scripted kills did not both fire";
+  EXPECT_GE(rig.scheme_->recoveries().size(), 1u);
+  EXPECT_EQ(rig.failed_haus(), 0) << "follow-up recovery never happened";
+  ASSERT_GT(rig.sink().values.size(), 500u);
+  expect_exactly_once(rig.sink().values, /*max_missing=*/20);
+}
+
+TEST(ChaosRecoveryTest, KillDuringRecoveryPhase1) {
+  run_recovery_kill(ft::FtPoint::kRecoveryPhase1, /*second_victim=*/2);
+}
+
+TEST(ChaosRecoveryTest, KillDuringRecoveryPhase2) {
+  run_recovery_kill(ft::FtPoint::kRecoveryPhase2, /*second_victim=*/2);
+}
+
+TEST(ChaosRecoveryTest, KillDuringRecoveryPhase3) {
+  run_recovery_kill(ft::FtPoint::kRecoveryPhase3, /*second_victim=*/2);
+}
+
+TEST(ChaosRecoveryTest, KillDuringRecoveryPhase4) {
+  run_recovery_kill(ft::FtPoint::kRecoveryPhase4, /*second_victim=*/2);
+}
+
+TEST(ChaosRecoveryTest, SecondBurstBeforePhase4RecoversEverything) {
+  ChaosRig rig;
+  rig.build(2, chaos_params(), ft::MsVariant::kSrcAp, spares(4, 6));
+  rig.sim_.run_until(SimTime::seconds(2));
+  rig.scheme_->trigger_checkpoint();
+  rig.sim_.run_until(SimTime::seconds(6));
+  ASSERT_GE(rig.scheme_->checkpoints().size(), 1u);
+
+  // First failure starts a recovery; the whole application dies again while
+  // that recovery is reading checkpoints (before its phase-4 handshake).
+  rig.chaos_->burst_on(ft::FtPoint::kRecoveryPhase2);
+  rig.chaos_->kill_at(SimTime::seconds(7), /*hau_id=*/1);
+  rig.chaos_->arm();
+  rig.sim_.run_until(SimTime::seconds(90));
+
+  EXPECT_GE(rig.chaos_->kills(), 4) << "burst did not fire";
+  EXPECT_GE(rig.scheme_->recoveries().size(), 2u)
+      << "re-entrant recovery pass never ran";
+  EXPECT_EQ(rig.failed_haus(), 0);
+  ASSERT_GT(rig.sink().values.size(), 500u);
+  expect_exactly_once(rig.sink().values, /*max_missing=*/30);
+}
+
+TEST(ChaosRecoveryTest, StorageOutageDuringRecoveryReadIsRetried) {
+  ChaosRig rig;
+  rig.build(2, chaos_params(), ft::MsVariant::kSrcAp, spares(4, 6));
+  rig.sim_.run_until(SimTime::seconds(2));
+  rig.scheme_->trigger_checkpoint();
+  rig.sim_.run_until(SimTime::seconds(6));
+  ASSERT_GE(rig.scheme_->checkpoints().size(), 1u);
+
+  // Shared storage goes dark for 250 ms just as recovery starts reading
+  // checkpoints; the bounded retry (3 attempts, 100/200 ms backoff) rides
+  // the outage out and recovery completes with restored state.
+  rig.chaos_->storage_outage_on(ft::FtPoint::kRecoveryPhase2,
+                                SimTime::millis(250));
+  rig.chaos_->kill_at(SimTime::seconds(7), /*hau_id=*/1);
+  rig.chaos_->arm();
+  rig.sim_.run_until(SimTime::seconds(60));
+
+  EXPECT_GE(rig.scheme_->recoveries().size(), 1u);
+  EXPECT_GT(rig.scheme_->recoveries().front().bytes_read, 0)
+      << "recovery fell back to initial state despite the retry";
+  EXPECT_EQ(rig.failed_haus(), 0);
+  EXPECT_TRUE(rig.cluster_->shared_storage().available());
+  ASSERT_GT(rig.sink().values.size(), 500u);
+  expect_exactly_once(rig.sink().values, /*max_missing=*/10);
+}
+
+TEST(ChaosRecoveryTest, SpareExhaustionDegradesCleanlyAndResumesOnNewSpares) {
+  // Two HAUs die with only one spare in the pool: the scheme must recover
+  // what it can, leave the other HAU failed, and report kResourceExhausted
+  // as a Status (not an MS_CHECK abort). Once a repaired node is returned
+  // to the pool, detection finishes the job.
+  ChaosRig rig;
+  rig.build(1, chaos_params(), ft::MsVariant::kSrcAp, spares(3, 1),
+            /*spare_nodes=*/1);
+  rig.sim_.run_until(SimTime::seconds(2));
+  rig.scheme_->trigger_checkpoint();
+  rig.sim_.run_until(SimTime::seconds(6));
+  ASSERT_GE(rig.scheme_->checkpoints().size(), 1u);
+
+  FailureInjector injector(rig.cluster_.get(), rig.app_.get());
+  injector.inject_now({1, 2});  // relay and sink nodes
+  rig.sim_.run_until(SimTime::seconds(12));
+
+  EXPECT_EQ(rig.scheme_->last_recovery_error().code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(rig.scheme_->spares_left(), 0u);
+  EXPECT_EQ(rig.failed_haus(), 1) << "partial recovery should still happen";
+  EXPECT_GE(rig.scheme_->recoveries().size(), 1u);
+
+  // Repair the relay's old node and hand it back as a spare; the periodic
+  // monitors notice the still-dead HAU and the follow-up pass places it.
+  rig.cluster_->revive_node(1);
+  rig.scheme_->add_spares({1});
+  rig.sim_.run_until(SimTime::seconds(40));
+
+  EXPECT_EQ(rig.failed_haus(), 0);
+  EXPECT_TRUE(rig.scheme_->last_recovery_error().is_ok());
+  ASSERT_FALSE(rig.sink().values.empty());
+  expect_exactly_once(rig.sink().values, /*max_missing=*/20);
+}
+
+TEST(ChaosRecoveryTest, AaObservationClosesDespiteHauFailure) {
+  // The +aa observation phase used to wait for a report from every HAU of
+  // the application; one dead HAU stalled profiling forever. Now only HAUs
+  // live at end-observation are counted (with a timeout backstop).
+  ChaosRig rig;
+  ft::FtParams p;
+  p.profile_period = SimTime::seconds(2);
+  p.profile_periods = 1;
+  p.aa_observation_timeout = SimTime::seconds(3);
+  p.checkpoint_during_profiling = false;
+  rig.build(1, p, ft::MsVariant::kSrcApAa, /*spare_pool=*/{});
+  rig.chaos_->kill_at(SimTime::seconds(1), /*hau_id=*/1);
+  rig.sim_.run_until(SimTime::seconds(12));
+
+  EXPECT_EQ(rig.chaos_->kills(), 1);
+  EXPECT_NE(rig.scheme_->aa().phase(), ft::AaController::Phase::kObservation)
+      << "observation wedged on the dead HAU's report";
+}
+
+}  // namespace
+}  // namespace ms::failure
