@@ -248,6 +248,12 @@ std::vector<net::NodeId> Experiment::spare_nodes() const {
   return out;
 }
 
+void Experiment::enable_tracing(TraceRecorder* trace) {
+  if (ms_) ms_->set_trace(trace);
+  if (baseline_) baseline_->set_trace(trace);
+  cluster_->shared_storage().set_trace(trace);
+}
+
 // ---------------------------------------------------------------------------
 // Printing
 // ---------------------------------------------------------------------------

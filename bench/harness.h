@@ -17,6 +17,7 @@
 #include "apps/signalguru.h"
 #include "apps/tmi.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 #include "core/application.h"
 #include "ft/baseline.h"
 #include "ft/meteor_shower.h"
@@ -89,6 +90,12 @@ class Experiment {
 
   /// Spare nodes available for recovery experiments.
   std::vector<net::NodeId> spare_nodes() const;
+
+  /// Install `trace` on the attached scheme and the shared storage so the
+  /// whole run records protocol spans (checkpoint phases per HAU, recovery
+  /// phases, storage operations). Call before warmup() to capture
+  /// everything, or after it to trace only the measurement window.
+  void enable_tracing(TraceRecorder* trace);
 
   ft::FtParams& params() { return params_; }
 

@@ -56,21 +56,32 @@ SimTime LatencyHistogram::mean() const {
 SimTime LatencyHistogram::percentile(double p) const {
   if (count_ == 0) return SimTime::zero();
   MS_CHECK(p >= 0.0 && p <= 100.0);
-  const auto target = static_cast<std::int64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  // p == 0 asks for the recorded minimum. Without the special case,
+  // ceil(0) == 0 made `seen >= target` trivially true at bucket 0, so
+  // percentile(0) reported bucket 0's upper bound (~1 us) regardless of the
+  // data.
+  if (p == 0.0) return min_;
+  const auto target = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count_))));
   std::int64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
     seen += buckets_[static_cast<std::size_t>(i)];
-    if (seen >= target) return SimTime::nanos(bucket_upper_ns(i));
+    if (seen >= target) {
+      // Clamp the bucket's upper bound into the observed range: low
+      // percentiles never report below the true minimum and p100 reports
+      // the exact maximum instead of its bucket's upper bound.
+      return std::clamp(SimTime::nanos(bucket_upper_ns(i)), min_, max_);
+    }
   }
   return max_;
 }
 
 std::string LatencyHistogram::summary() const {
   char buf[256];
-  std::snprintf(buf, sizeof(buf), "n=%lld mean=%s p50=%s p99=%s max=%s",
+  std::snprintf(buf, sizeof(buf), "n=%lld mean=%s min=%s p50=%s p99=%s max=%s",
                 static_cast<long long>(count_), mean().to_string().c_str(),
-                percentile(50).to_string().c_str(),
+                min().to_string().c_str(), percentile(50).to_string().c_str(),
                 percentile(99).to_string().c_str(), max_.to_string().c_str());
   return buf;
 }
@@ -106,20 +117,33 @@ double TimeSeries::mean_value() const {
 std::vector<TimeSeries::Point> TimeSeries::local_minima(std::size_t window) const {
   std::vector<Point> out;
   if (points_.size() < 2 * window + 1) return out;
+  // Index of the most recent point counted as part of the last reported
+  // minimum (the reported point itself, or the far edge of its plateau).
+  std::size_t last_extent = 0;
+  bool have_last = false;
   for (std::size_t i = window; i + window < points_.size(); ++i) {
     bool is_min = true;
     for (std::size_t j = i - window; j <= i + window && is_min; ++j) {
       if (j != i && points_[j].value < points_[i].value) is_min = false;
     }
-    if (is_min) {
-      // Collapse plateaus: skip if the previous reported minimum has the
-      // same value and is adjacent in the window.
-      if (!out.empty() && out.back().value == points_[i].value &&
-          (points_[i].t - out.back().t) < (points_[i].t - points_[i - window].t) * std::int64_t{2}) {
+    if (!is_min) continue;
+    if (have_last && out.back().value == points_[i].value) {
+      // Same value as the previous reported minimum: this is the same
+      // feature iff every sample between them sits on the flat plateau. A
+      // hump in between (two distinct valleys bottoming at the same value)
+      // breaks the run and both minima are reported.
+      bool plateau = true;
+      for (std::size_t j = last_extent; j <= i && plateau; ++j) {
+        if (points_[j].value != points_[i].value) plateau = false;
+      }
+      if (plateau) {
+        last_extent = i;  // extend the plateau, report nothing new
         continue;
       }
-      out.push_back(points_[i]);
     }
+    out.push_back(points_[i]);
+    last_extent = i;
+    have_last = true;
   }
   return out;
 }

@@ -25,7 +25,9 @@ class LatencyHistogram {
   std::int64_t count() const { return count_; }
   SimTime mean() const;
   SimTime percentile(double p) const;  // p in [0, 100]
-  SimTime min() const { return min_; }
+  /// Smallest recorded sample; zero when empty (the internal SimTime::max()
+  /// sentinel must never leak into summaries or merged output).
+  SimTime min() const { return count_ == 0 ? SimTime::zero() : min_; }
   SimTime max() const { return max_; }
 
   std::string summary() const;

@@ -1,0 +1,114 @@
+#include "common/metrics_registry.h"
+
+#include <sstream>
+
+namespace ms {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<HistogramMetric>();
+  return slot.get();
+}
+
+std::vector<std::pair<std::string, std::int64_t>> MetricsRegistry::counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, LatencyHistogram>>
+MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, LatencyHistogram>> out;
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h->snapshot());
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+void write_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    write_json_string(out, name);
+    out << ":" << c->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    write_json_string(out, name);
+    out << ":" << g->value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    const LatencyHistogram snap = h->snapshot();
+    write_json_string(out, name);
+    out << ":{\"count\":" << snap.count() << ",\"mean_ns\":" << snap.mean().ns()
+        << ",\"p50_ns\":" << snap.percentile(50).ns()
+        << ",\"p99_ns\":" << snap.percentile(99).ns()
+        << ",\"min_ns\":" << snap.min().ns() << ",\"max_ns\":" << snap.max().ns()
+        << "}";
+  }
+  out << "}}\n";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace ms

@@ -1,0 +1,121 @@
+// Process-wide registry of named runtime metrics.
+//
+// Complements the post-run stat records of ft/stats.h: where those are
+// immutable per-figure reports collected after a run ends, the registry is
+// the live surface — counters, gauges and latency histograms registered by
+// name and updated as the protocol executes, so a controller (or a test, or
+// the mssim --metrics dump) can query per-HAU checkpoint phase breakdowns
+// and queue depths mid-run. Khaos/Chiron-style adaptive checkpoint
+// controllers are consumers of exactly this interface.
+//
+// Counters and gauges are lock-free atomics (the RtEngine updates them from
+// worker threads); histograms take a narrow mutex per recording. Metric
+// objects live for the registry's lifetime, so call sites look a metric up
+// once and keep the pointer on their hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/units.h"
+
+namespace ms {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, in-progress epochs,
+/// current state size).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    // Relaxed CAS loop: gauges are low-rate and never contended enough for
+    // this to matter; atomic<double> has no fetch_add until C++26.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Thread-safe wrapper over LatencyHistogram.
+class HistogramMetric {
+ public:
+  void record(SimTime v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    histogram_.record(v);
+  }
+  LatencyHistogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return histogram_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    histogram_.reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LatencyHistogram histogram_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide instance most emitters default to.
+  static MetricsRegistry& global();
+
+  /// Look up or create. Returned pointers stay valid for the registry's
+  /// lifetime (reset() zeroes values but never deletes metrics).
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  HistogramMetric* histogram(const std::string& name);
+
+  /// Snapshot views for exporters and tests.
+  std::vector<std::pair<std::string, std::int64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, LatencyHistogram>> histograms() const;
+
+  /// Zero every metric (measurement-window boundaries).
+  void reset();
+
+  /// Flat JSON dump:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean_ns,
+  /// p50_ns,p99_ns,min_ns,max_ns}}}.
+  void write_json(std::ostream& out) const;
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+}  // namespace ms

@@ -1,0 +1,604 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace ms {
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+void TraceRecorder::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = on;
+}
+
+bool TraceRecorder::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void TraceRecorder::begin(
+    SimTime ts, int pid, int tid, std::string name, const char* cat,
+    std::uint64_t id, std::vector<std::pair<std::string, std::int64_t>> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ts_ns = ts.ns();
+  e.ph = 'B';
+  e.pid = pid;
+  e.tid = tid;
+  e.name = name;
+  e.cat = cat;
+  e.id = id;
+  e.args = std::move(args);
+  open_.push_back(OpenSpan{pid, tid, std::move(name)});
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::end_locked(SimTime ts, int pid, int tid) {
+  // Innermost open span on this track (LIFO).
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (it->pid != pid || it->tid != tid) continue;
+    TraceEvent e;
+    e.ts_ns = ts.ns();
+    e.ph = 'E';
+    e.pid = pid;
+    e.tid = tid;
+    e.name = std::move(it->name);
+    open_.erase(std::next(it).base());
+    events_.push_back(std::move(e));
+    return;
+  }
+}
+
+void TraceRecorder::end(SimTime ts, int pid, int tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  end_locked(ts, pid, tid);
+}
+
+void TraceRecorder::end_all(SimTime ts, int pid, int tid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  while (std::any_of(open_.begin(), open_.end(), [&](const OpenSpan& s) {
+    return s.pid == pid && s.tid == tid;
+  })) {
+    end_locked(ts, pid, tid);
+  }
+}
+
+void TraceRecorder::end_everything(SimTime ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  while (!open_.empty()) {
+    end_locked(ts, open_.back().pid, open_.back().tid);
+  }
+}
+
+void TraceRecorder::instant(
+    SimTime ts, int pid, int tid, std::string name, const char* cat,
+    std::uint64_t id, std::vector<std::pair<std::string, std::int64_t>> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ts_ns = ts.ns();
+  e.ph = 'i';
+  e.pid = pid;
+  e.tid = tid;
+  e.name = std::move(name);
+  e.cat = cat;
+  e.id = id;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::complete(
+    SimTime ts, SimTime dur, int pid, int tid, std::string name,
+    const char* cat, std::uint64_t id,
+    std::vector<std::pair<std::string, std::int64_t>> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return;
+  TraceEvent e;
+  e.ts_ns = ts.ns();
+  e.dur_ns = std::max<std::int64_t>(dur.ns(), 0);
+  e.ph = 'X';
+  e.pid = pid;
+  e.tid = tid;
+  e.name = std::move(name);
+  e.cat = cat;
+  e.id = id;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::set_track_name(int pid, int tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_names_.emplace_back(std::make_pair(pid, tid), std::move(name));
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<std::string> TraceRecorder::open_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& s : open_) out.push_back(s.name);
+  return out;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  open_.clear();
+}
+
+namespace {
+
+void write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// Nanoseconds as fractional microseconds without float rounding.
+void write_ts_us(std::ostream& out, std::int64_t ns) {
+  const bool neg = ns < 0;
+  if (neg) {
+    out << '-';
+    ns = -ns;
+  }
+  out << ns / 1000;
+  const std::int64_t frac = ns % 1000;
+  if (frac != 0) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), ".%03lld", static_cast<long long>(frac));
+    out << buf;
+  }
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, name] : track_names_) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << track.first
+        << ",\"tid\":" << track.second << ",\"args\":{\"name\":";
+    write_escaped(out, name);
+    out << "}}";
+  }
+  for (const auto& e : events_) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "{\"name\":";
+    write_escaped(out, e.name);
+    out << ",\"cat\":";
+    write_escaped(out, e.cat.empty() ? std::string("misc") : e.cat);
+    out << ",\"ph\":\"" << e.ph << "\",\"ts\":";
+    write_ts_us(out, e.ts_ns);
+    if (e.ph == 'X') {
+      out << ",\"dur\":";
+      write_ts_us(out, e.dur_ns);
+    }
+    out << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+    if (e.id != 0 || !e.args.empty()) {
+      out << ",\"args\":{";
+      bool afirst = true;
+      if (e.id != 0) {
+        out << "\"id\":" << e.id;
+        afirst = false;
+      }
+      for (const auto& [k, v] : e.args) {
+        if (!afirst) out << ",";
+        afirst = false;
+        write_escaped(out, k);
+        out << ":" << v;
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "]}\n";
+}
+
+std::string TraceRecorder::chrome_json() const {
+  std::ostringstream out;
+  write_chrome_json(out);
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (only what the Chrome trace format needs)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  std::string error() const { return error_; }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return parse_string(&out->str);
+      case 't':
+      case 'f': return parse_bool(out);
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return parse_literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(const char* lit) {
+    const std::size_t n = std::string_view(lit).size();
+    if (text_.substr(pos_, n) != lit) return fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_bool(JsonValue* out) {
+    out->kind = JsonValue::Kind::kBool;
+    if (text_[pos_] == 't') {
+      out->boolean = true;
+      return parse_literal("true");
+    }
+    out->boolean = false;
+    return parse_literal("false");
+  }
+
+  bool parse_number(JsonValue* out) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected number");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                              nullptr);
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (text_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            // Keep it simple: decode only the Latin-1 subset our writer emits.
+            if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+            const std::string hex(text_.substr(pos_, 4));
+            c = static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: c = esc;
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      skip_ws();
+      if (!parse_value(&v)) return false;
+      out->array.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(&v)) return false;
+      out->object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::int64_t us_to_ns(double us) {
+  return static_cast<std::int64_t>(std::llround(us * 1000.0));
+}
+
+}  // namespace
+
+Status parse_chrome_trace(std::string_view json, std::vector<TraceEvent>* out) {
+  out->clear();
+  JsonParser parser(json);
+  JsonValue root;
+  if (!parser.parse(&root)) {
+    return Status::invalid_argument("trace JSON parse error: " + parser.error());
+  }
+  const JsonValue* events = nullptr;
+  if (root.kind == JsonValue::Kind::kObject) {
+    events = root.find("traceEvents");
+  } else if (root.kind == JsonValue::Kind::kArray) {
+    events = &root;  // the format also allows a bare array
+  }
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    return Status::invalid_argument("trace JSON has no traceEvents array");
+  }
+  for (const auto& ev : events->array) {
+    if (ev.kind != JsonValue::Kind::kObject) {
+      return Status::invalid_argument("traceEvents entry is not an object");
+    }
+    TraceEvent e;
+    if (const auto* v = ev.find("name");
+        v != nullptr && v->kind == JsonValue::Kind::kString) {
+      e.name = v->str;
+    }
+    if (const auto* v = ev.find("cat");
+        v != nullptr && v->kind == JsonValue::Kind::kString) {
+      e.cat = v->str;
+    }
+    if (const auto* v = ev.find("ph");
+        v != nullptr && v->kind == JsonValue::Kind::kString && !v->str.empty()) {
+      e.ph = v->str[0];
+    } else {
+      return Status::invalid_argument("trace event missing ph");
+    }
+    if (const auto* v = ev.find("ts");
+        v != nullptr && v->kind == JsonValue::Kind::kNumber) {
+      e.ts_ns = us_to_ns(v->number);
+    } else if (e.ph != 'M') {
+      return Status::invalid_argument("trace event missing ts");
+    }
+    if (const auto* v = ev.find("dur");
+        v != nullptr && v->kind == JsonValue::Kind::kNumber) {
+      e.dur_ns = us_to_ns(v->number);
+    }
+    if (const auto* v = ev.find("pid");
+        v != nullptr && v->kind == JsonValue::Kind::kNumber) {
+      e.pid = static_cast<int>(v->number);
+    }
+    if (const auto* v = ev.find("tid");
+        v != nullptr && v->kind == JsonValue::Kind::kNumber) {
+      e.tid = static_cast<int>(v->number);
+    }
+    if (const auto* args = ev.find("args");
+        args != nullptr && args->kind == JsonValue::Kind::kObject) {
+      for (const auto& [k, v] : args->object) {
+        if (v.kind != JsonValue::Kind::kNumber) continue;  // e.g. track names
+        if (k == "id") {
+          e.id = static_cast<std::uint64_t>(v.number);
+        } else {
+          e.args.emplace_back(k, static_cast<std::int64_t>(v.number));
+        }
+      }
+    }
+    out->push_back(std::move(e));
+  }
+  return Status::ok();
+}
+
+std::vector<TraceSpan> pair_spans(const std::vector<TraceEvent>& events,
+                                  std::vector<std::string>* problems) {
+  std::vector<TraceSpan> out;
+  struct Open {
+    TraceEvent begin;
+  };
+  std::map<std::pair<int, int>, std::vector<Open>> stacks;
+  auto note = [problems](std::string p) {
+    if (problems != nullptr) problems->push_back(std::move(p));
+  };
+  for (const auto& e : events) {
+    const auto track = std::make_pair(e.pid, e.tid);
+    switch (e.ph) {
+      case 'B': stacks[track].push_back(Open{e}); break;
+      case 'E': {
+        auto& stack = stacks[track];
+        if (stack.empty()) {
+          note("unmatched E event '" + e.name + "' on pid " +
+               std::to_string(e.pid) + " tid " + std::to_string(e.tid));
+          break;
+        }
+        const TraceEvent b = std::move(stack.back().begin);
+        stack.pop_back();
+        if (!e.name.empty() && e.name != b.name) {
+          note("mismatched span nesting: B '" + b.name + "' closed by E '" +
+               e.name + "'");
+        }
+        TraceSpan s;
+        s.ts_ns = b.ts_ns;
+        s.dur_ns = e.ts_ns - b.ts_ns;
+        s.pid = b.pid;
+        s.tid = b.tid;
+        s.name = b.name;
+        s.cat = b.cat;
+        s.id = b.id;
+        out.push_back(std::move(s));
+        break;
+      }
+      case 'X': {
+        TraceSpan s;
+        s.ts_ns = e.ts_ns;
+        s.dur_ns = e.dur_ns;
+        s.pid = e.pid;
+        s.tid = e.tid;
+        s.name = e.name;
+        s.cat = e.cat;
+        s.id = e.id;
+        out.push_back(std::move(s));
+        break;
+      }
+      default: break;  // instants and metadata carry no duration
+    }
+  }
+  for (const auto& [track, stack] : stacks) {
+    for (const auto& open : stack) {
+      note("unterminated span '" + open.begin.name + "' on pid " +
+           std::to_string(track.first) + " tid " + std::to_string(track.second));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> check_trace(const std::vector<TraceEvent>& events) {
+  std::vector<std::string> problems;
+  std::map<std::pair<int, int>, std::int64_t> last_ts;
+  for (const auto& e : events) {
+    if (e.ph == 'M') continue;
+    if (e.ts_ns < 0) {
+      problems.push_back("negative timestamp on event '" + e.name + "'");
+    }
+    if (e.dur_ns < 0) {
+      problems.push_back("negative duration on event '" + e.name + "'");
+    }
+    // 'X' events are appended at completion but stamped with their start
+    // time, so overlapping operations legitimately record out of order.
+    if (e.ph == 'X') continue;
+    const auto track = std::make_pair(e.pid, e.tid);
+    const auto it = last_ts.find(track);
+    if (it != last_ts.end() && e.ts_ns < it->second) {
+      problems.push_back("timestamps regress on pid " + std::to_string(e.pid) +
+                         " tid " + std::to_string(e.tid) + " at event '" +
+                         e.name + "'");
+    }
+    last_ts[track] = e.ts_ns;
+  }
+  pair_spans(events, &problems);  // B/E balance and nesting
+  return problems;
+}
+
+}  // namespace ms

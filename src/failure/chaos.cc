@@ -53,9 +53,15 @@ void ChaosHarness::storage_outage_at(SimTime at, SimTime duration) {
 void ChaosHarness::arm() {
   MS_CHECK_MSG(!armed_, "ChaosHarness armed twice");
   armed_ = true;
-  scheme_->set_probe([this](ft::FtPoint point, int hau, std::uint64_t id) {
+  scheme_->add_probe([this](ft::FtPoint point, int hau, std::uint64_t id) {
     on_probe(point, hau, id);
   });
+}
+
+void ChaosHarness::trace_instant(const std::string& name) {
+  if (trace_ == nullptr) return;
+  trace_->instant(app_->simulation().now(), trace_track::kAppPid,
+                  trace_track::kControllerTid, name, "chaos");
 }
 
 void ChaosHarness::on_probe(ft::FtPoint point, int hau, std::uint64_t id) {
@@ -95,6 +101,7 @@ void ChaosHarness::fire(Trigger& trigger, std::uint64_t id) {
         kills_ += static_cast<int>(nodes.size());
         note("burst: killed " + std::to_string(nodes.size()) +
              " application nodes");
+        trace_instant("chaos-burst");
       });
       break;
     }
@@ -114,6 +121,7 @@ void ChaosHarness::kill_hau_node(int hau_id) {
   ++kills_;
   note("killed node " + std::to_string(node) + " hosting HAU " +
        std::to_string(hau_id));
+  trace_instant("chaos-kill-hau" + std::to_string(hau_id));
 }
 
 void ChaosHarness::start_outage(SimTime duration) {
@@ -125,9 +133,11 @@ void ChaosHarness::start_outage(SimTime duration) {
   storage.set_available(false);
   note("storage outage begins (" + std::to_string(duration.to_seconds()) +
        " s)");
+  trace_instant("chaos-outage-start");
   app_->simulation().schedule_after(duration, [this] {
     app_->cluster().shared_storage().set_available(true);
     note("storage outage ends");
+    trace_instant("chaos-outage-end");
   });
 }
 

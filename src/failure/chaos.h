@@ -44,8 +44,13 @@ class ChaosHarness {
   void burst_on(ft::FtPoint point, int occurrence = 1);
 
   /// Install the probe subscription on the scheme. Call once, after the
-  /// script is set up and before the simulation runs.
+  /// script is set up and before the simulation runs. Other subscribers
+  /// (e.g. a ProbeTracer) coexist on the same probe spine.
   void arm();
+
+  /// Record every injected fault as an instant on the controller track, so
+  /// a captured trace shows what the chaos script did and when.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
 
   /// Nodes killed by fired triggers so far.
   int kills() const { return kills_; }
@@ -72,10 +77,12 @@ class ChaosHarness {
   void kill_hau_node(int hau_id);
   void start_outage(SimTime duration);
   void note(std::string line);
+  void trace_instant(const std::string& name);
 
   core::Application* app_;
   ft::MsScheme* scheme_;
   FailureInjector injector_;
+  TraceRecorder* trace_ = nullptr;
   std::vector<Trigger> triggers_;
   bool armed_ = false;
   int kills_ = 0;

@@ -4,8 +4,15 @@
 
 #include "common/log.h"
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace ms::ft {
+
+void AaController::trace_instant(SimTime now, const char* name) {
+  if (trace_ == nullptr) return;
+  trace_->instant(now, trace_track::kAppPid, trace_track::kControllerTid, name,
+                  "aa");
+}
 
 void AaController::begin(SimTime now) {
   (void)now;
@@ -34,6 +41,7 @@ void AaController::finish_observation(SimTime now) {
   }
   phase_ = Phase::kProfiling;
   profiling_started_ = now;
+  trace_instant(now, "aa-observation-done");
   MS_LOG_INFO("aa", "observation done: %zu dynamic HAUs", dynamic_.size());
 }
 
@@ -62,6 +70,7 @@ void AaController::report_turning_point(int hau_id, SimTime t, double size,
 void AaController::finish_profiling(SimTime now) {
   MS_CHECK(phase_ == Phase::kProfiling);
   phase_ = Phase::kExecution;
+  trace_instant(now, "aa-profiling-done");
 
   // Sum the per-HAU polylines at the union of their vertex times.
   std::vector<SimTime> times;
@@ -184,7 +193,6 @@ void AaController::on_period_start(SimTime now) {
 }
 
 void AaController::on_period_end(SimTime now) {
-  (void)now;
   if (phase_ != Phase::kExecution) return;
   if (!checkpointed_this_period_) {
     // The aggregate never dipped below smax (or never turned): checkpoint
@@ -192,6 +200,7 @@ void AaController::on_period_end(SimTime now) {
     checkpointed_this_period_ = true;
     alert_ = false;
     if (hooks_.set_alert_reporting) hooks_.set_alert_reporting(false);
+    trace_instant(now, "aa-forced-trigger");
     if (hooks_.trigger_checkpoint) hooks_.trigger_checkpoint();
   }
 }
@@ -224,6 +233,7 @@ void AaController::evaluate_alert_entry(SimTime now) {
   if (total < smax_) {
     alert_ = true;
     if (hooks_.set_alert_reporting) hooks_.set_alert_reporting(true);
+    trace_instant(now, "aa-alert-on");
     MS_LOG_DEBUG("aa", "alert mode entered (total=%.1f < smax=%.1f)", total,
                  smax_);
     // The sizes just collected may already foresee an increase.
@@ -232,7 +242,6 @@ void AaController::evaluate_alert_entry(SimTime now) {
 }
 
 void AaController::maybe_fire(SimTime now) {
-  (void)now;
   if (!alert_ || checkpointed_this_period_) return;
   // Fire at the first foreseen increase of the aggregate state size.
   bool any_valid = false;
@@ -245,6 +254,7 @@ void AaController::maybe_fire(SimTime now) {
     checkpointed_this_period_ = true;
     alert_ = false;
     if (hooks_.set_alert_reporting) hooks_.set_alert_reporting(false);
+    trace_instant(now, "aa-trigger");
     if (hooks_.trigger_checkpoint) hooks_.trigger_checkpoint();
   }
 }

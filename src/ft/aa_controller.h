@@ -33,6 +33,10 @@
 #include "ft/params.h"
 #include "statesize/turning_point.h"
 
+namespace ms {
+class TraceRecorder;
+}  // namespace ms
+
 namespace ms::ft {
 
 class AaController {
@@ -75,6 +79,10 @@ class AaController {
   };
   void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
 
+  /// Emit the controller's decisions (observation/profiling done, alert
+  /// mode transitions, trigger firings) as trace instants.
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
   // --- introspection ---
   Phase phase() const { return phase_; }
   bool is_dynamic(int hau_id) const;
@@ -93,9 +101,11 @@ class AaController {
  private:
   void evaluate_alert_entry(SimTime now);
   void maybe_fire(SimTime now);
+  void trace_instant(SimTime now, const char* name);
 
   FtParams params_;
   Hooks hooks_;
+  TraceRecorder* trace_ = nullptr;
   Phase phase_ = Phase::kObservation;
 
   // observation

@@ -15,8 +15,41 @@ BaselineScheme::BaselineScheme(core::Application* app, const FtParams& params)
     : app_(app),
       params_(params),
       rng_(app->seed() ^ 0xba5e11eULL),
-      instance_(++g_baseline_instance_counter) {
+      instance_(++g_baseline_instance_counter),
+      metrics_(&MetricsRegistry::global()) {
   MS_CHECK(app != nullptr);
+  bind_metrics();
+}
+
+void BaselineScheme::bind_metrics() {
+  m_ckpt_started_ = metrics_->counter("baseline.ckpt.started");
+  m_ckpt_completed_ = metrics_->counter("baseline.ckpt.completed");
+  m_ckpt_abandoned_ = metrics_->counter("baseline.ckpt.abandoned");
+  m_ckpt_other_ = metrics_->histogram("baseline.ckpt.other");
+  m_ckpt_disk_io_ = metrics_->histogram("baseline.ckpt.disk_io");
+  m_ckpt_total_ = metrics_->histogram("baseline.ckpt.total");
+  m_recovery_started_ = metrics_->counter("baseline.recovery.started");
+  m_recovery_completed_ = metrics_->counter("baseline.recovery.completed");
+  m_recovery_total_ = metrics_->histogram("baseline.recovery.total");
+}
+
+void BaselineScheme::set_metrics(MetricsRegistry* metrics) {
+  MS_CHECK(metrics != nullptr);
+  metrics_ = metrics;
+  bind_metrics();
+}
+
+void BaselineScheme::set_trace(TraceRecorder* trace) {
+  MS_CHECK(trace != nullptr);
+  tracer_ = std::make_unique<ProbeTracer>(
+      trace, [this] { return app_->simulation().now(); });
+  add_probe([this](FtPoint point, int hau, std::uint64_t id) {
+    tracer_->on(point, hau, id);
+  });
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    trace->set_track_name(trace_track::kAppPid, trace_track::hau_tid(i),
+                          "hau" + std::to_string(i));
+  }
 }
 
 void BaselineScheme::attach() {
@@ -62,11 +95,14 @@ void BaselineHauFt::checkpoint_now(core::Hau& hau) {
   report.checkpoint_id = next_checkpoint_id_++;
   report.initiated = hau.app().simulation().now();
   report.tokens_collected = report.initiated;  // no token protocol
+  scheme_->m_ckpt_started_->add(1);
 
   hau.pause();
   const Bytes state = hau.state_size();
   const SimTime serialize_cost =
       SimTime::seconds(static_cast<double>(state) / p.serialize_bandwidth);
+  scheme_->emit_probe(FtPoint::kSerializeStart, hau.id(),
+                      report.checkpoint_id);
   hau.run_on_cpu(serialize_cost, [this, &hau, report]() mutable {
     auto image = std::make_shared<core::CheckpointImage>(
         hau.capture_state({}, report.checkpoint_id));
@@ -77,6 +113,8 @@ void BaselineHauFt::checkpoint_now(core::Hau& hau) {
     obj.declared_size = image->total_declared();
     obj.handle = image;
     auto& cluster = hau.app().cluster();
+    scheme_->emit_probe(FtPoint::kCheckpointWrite, hau.id(),
+                        report.checkpoint_id);
     cluster.shared_storage().put(
         hau.node(), scheme_->checkpoint_key(hau.id()), std::move(obj),
         [this, &hau, report](Status st) mutable {
@@ -85,8 +123,17 @@ void BaselineHauFt::checkpoint_now(core::Hau& hau) {
             // checkpoint; the HAU keeps running and retries next period.
             MS_LOG_WARN("ft", "baseline checkpoint of HAU %d failed: %s",
                         hau.id(), st.to_string().c_str());
+            scheme_->emit_probe(FtPoint::kEpochAbandon, hau.id(),
+                                report.checkpoint_id);
+            scheme_->m_ckpt_abandoned_->add(1);
           } else {
             report.written = hau.app().simulation().now();
+            scheme_->emit_probe(FtPoint::kCheckpointDone, hau.id(),
+                                report.checkpoint_id);
+            scheme_->m_ckpt_completed_->add(1);
+            scheme_->m_ckpt_other_->record(report.other());
+            scheme_->m_ckpt_disk_io_->record(report.disk_io());
+            scheme_->m_ckpt_total_->record(report.total());
             scheme_->reports_.push_back(report);
             // Acknowledge upstream so preserved prefixes are truncated.
             for (int port = 0; port < hau.num_in_ports(); ++port) {
@@ -214,19 +261,24 @@ void BaselineScheme::recover_hau(int hau_id, net::NodeId replacement,
   stats->started = sim.now();
   stats->haus_recovered = 1;
   last_recovery_error_ = Status::ok();
+  const std::uint64_t seq = ++recovery_seq_;
+  m_recovery_started_->add(1);
+  emit_probe(FtPoint::kRecoveryStart, hau_id, seq);
 
   hau.restart_on(replacement);
   // Phase 1: reload the operators on the recovery node.
-  hau.run_on_cpu(params_.operator_reload_cost, [this, &hau, stats, hau_id,
+  emit_probe(FtPoint::kRecoveryPhase1, hau_id, seq);
+  hau.run_on_cpu(params_.operator_reload_cost, [this, &hau, stats, hau_id, seq,
                                                 done = std::move(done)]() mutable {
     auto& sim = app_->simulation();
     const SimTime phase1_end = sim.now();
     stats->other = phase1_end - stats->started;
     // Phase 2: read the most recent checkpoint from shared storage (the
     // replacement node's local disk has no copy).
+    emit_probe(FtPoint::kRecoveryPhase2, hau_id, seq);
     app_->cluster().shared_storage().get(
         hau.node(), checkpoint_key(hau_id),
-        [this, &hau, stats, phase1_end,
+        [this, &hau, stats, phase1_end, hau_id, seq,
          done = std::move(done)](Result<storage::Object> r) mutable {
           auto& sim = app_->simulation();
           std::shared_ptr<const core::CheckpointImage> image;
@@ -251,7 +303,9 @@ void BaselineScheme::recover_hau(int hau_id, net::NodeId replacement,
           const SimTime deser = SimTime::seconds(
               static_cast<double>(declared) / params_.deserialize_bandwidth);
           const SimTime phase3_start = sim.now();
+          emit_probe(FtPoint::kRecoveryPhase3, hau_id, seq);
           hau.run_on_cpu(deser, [this, &hau, stats, image, phase3_start,
+                                 hau_id, seq,
                                  done = std::move(done)]() mutable {
             auto& sim = app_->simulation();
             stats->other += sim.now() - phase3_start;
@@ -264,12 +318,16 @@ void BaselineScheme::recover_hau(int hau_id, net::NodeId replacement,
             // preserved tuples past the checkpoint positions; recovery
             // completes when every neighbour confirmed the reconnect.
             const SimTime phase4_start = sim.now();
+            emit_probe(FtPoint::kRecoveryPhase4, hau_id, seq);
             auto remaining = std::make_shared<int>(hau.num_in_ports());
-            auto finish = [this, &hau, stats, phase4_start,
+            auto finish = [this, &hau, stats, phase4_start, hau_id, seq,
                            done = std::move(done)]() mutable {
               stats->reconnection = app_->simulation().now() - phase4_start;
               stats->completed = app_->simulation().now();
               hau.reopen();
+              m_recovery_completed_->add(1);
+              m_recovery_total_->record(stats->total());
+              emit_probe(FtPoint::kRecoveryComplete, hau_id, seq);
               if (done) done(*stats);
             };
             if (*remaining == 0) {

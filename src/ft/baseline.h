@@ -24,11 +24,14 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "core/application.h"
 #include "ft/params.h"
+#include "ft/probe.h"
 #include "ft/stats.h"
+#include "ft/tracing.h"
 
 namespace ms::ft {
 
@@ -68,8 +71,24 @@ class BaselineScheme {
 
   std::string checkpoint_key(int hau_id) const;
 
+  /// Subscribe to protocol instrumentation points (same spine as MsScheme:
+  /// serialize/write/done per individual checkpoint, recovery phases with
+  /// the recovering HAU's id).
+  void add_probe(FtProbe probe) { probes_.push_back(std::move(probe)); }
+
+  /// Fold probe points into trace spans on per-HAU tracks (ft/tracing.h).
+  void set_trace(TraceRecorder* trace);
+
+  /// Redirect metric recording (defaults to MetricsRegistry::global()).
+  void set_metrics(MetricsRegistry* metrics);
+
  private:
   friend class BaselineHauFt;
+
+  void emit_probe(FtPoint point, int hau, std::uint64_t id) {
+    for (const auto& probe : probes_) probe(point, hau, id);
+  }
+  void bind_metrics();
 
   core::Application* app_;
   FtParams params_;
@@ -80,6 +99,20 @@ class BaselineScheme {
   Bytes spilled_bytes_ = 0;
   double preservation_cpu_seconds_ = 0.0;
   std::vector<BaselineHauFt*> fts_;  // borrowed; owned by the HAUs
+  std::vector<FtProbe> probes_;
+  std::unique_ptr<ProbeTracer> tracer_;
+  std::uint64_t recovery_seq_ = 0;
+
+  MetricsRegistry* metrics_;
+  Counter* m_ckpt_started_;
+  Counter* m_ckpt_completed_;
+  Counter* m_ckpt_abandoned_;
+  HistogramMetric* m_ckpt_other_;
+  HistogramMetric* m_ckpt_disk_io_;
+  HistogramMetric* m_ckpt_total_;
+  Counter* m_recovery_started_;
+  Counter* m_recovery_completed_;
+  HistogramMetric* m_recovery_total_;
 };
 
 /// Per-HAU attachment implementing input preservation and the periodic

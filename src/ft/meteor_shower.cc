@@ -20,14 +20,20 @@ const char* ms_variant_name(MsVariant v) {
 const char* ft_point_name(FtPoint p) {
   switch (p) {
     case FtPoint::kTokenAlignStart: return "token-align-start";
+    case FtPoint::kTokenSent: return "token-sent";
+    case FtPoint::kTokenReceived: return "token-received";
+    case FtPoint::kAlignDone: return "align-done";
     case FtPoint::kForkStart: return "fork-start";
+    case FtPoint::kForkDone: return "fork-done";
     case FtPoint::kSerializeStart: return "serialize-start";
     case FtPoint::kCheckpointWrite: return "checkpoint-write";
     case FtPoint::kCheckpointDone: return "checkpoint-done";
+    case FtPoint::kEpochAbandon: return "epoch-abandon";
     case FtPoint::kRecoveryStart: return "recovery-start";
     case FtPoint::kRecoveryPhase1: return "recovery-phase1";
     case FtPoint::kRecoveryPhase2: return "recovery-phase2";
     case FtPoint::kRecoveryPhase3: return "recovery-phase3";
+    case FtPoint::kRecoveryChainDone: return "recovery-chain-done";
     case FtPoint::kRecoveryPhase4: return "recovery-phase4";
     case FtPoint::kRecoveryComplete: return "recovery-complete";
   }
@@ -61,13 +67,53 @@ MsScheme::MsScheme(core::Application* app, const FtParams& params,
       variant_(variant),
       rng_(app->seed() ^ 0x3e7e0aULL),
       instance_(++g_scheme_instance_counter),
-      aa_(params) {
+      aa_(params),
+      metrics_(&MetricsRegistry::global()) {
   MS_CHECK(app != nullptr);
   aa_.set_hooks(AaController::Hooks{
       .query_dynamic_haus = [this] { aa_query_dynamic(); },
       .trigger_checkpoint = [this] { begin_checkpoint(); },
       .set_alert_reporting = [this](bool on) { aa_set_alert_reporting(on); },
   });
+  bind_metrics();
+}
+
+void MsScheme::bind_metrics() {
+  m_ckpt_started_ = metrics_->counter("ft.ckpt.started");
+  m_ckpt_completed_ = metrics_->counter("ft.ckpt.completed");
+  m_ckpt_abandoned_ = metrics_->counter("ft.ckpt.abandoned");
+  m_ckpt_in_progress_ = metrics_->gauge("ft.ckpt.in_progress");
+  m_ckpt_token_collection_ = metrics_->histogram("ft.ckpt.token_collection");
+  m_ckpt_other_ = metrics_->histogram("ft.ckpt.other");
+  m_ckpt_disk_io_ = metrics_->histogram("ft.ckpt.disk_io");
+  m_ckpt_total_ = metrics_->histogram("ft.ckpt.total");
+  m_recovery_started_ = metrics_->counter("ft.recovery.started");
+  m_recovery_completed_ = metrics_->counter("ft.recovery.completed");
+  m_recovery_abandoned_slots_ =
+      metrics_->counter("ft.recovery.abandoned_slots");
+  m_recovery_total_ = metrics_->histogram("ft.recovery.total");
+}
+
+void MsScheme::set_metrics(MetricsRegistry* metrics) {
+  MS_CHECK(metrics != nullptr);
+  metrics_ = metrics;
+  bind_metrics();
+}
+
+void MsScheme::set_trace(TraceRecorder* trace) {
+  MS_CHECK(trace != nullptr);
+  tracer_ = std::make_unique<ProbeTracer>(
+      trace, [this] { return app_->simulation().now(); });
+  add_probe([this](FtPoint point, int hau, std::uint64_t id) {
+    tracer_->on(point, hau, id);
+  });
+  trace->set_track_name(trace_track::kAppPid, trace_track::kControllerTid,
+                        "controller");
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    trace->set_track_name(trace_track::kAppPid, trace_track::hau_tid(i),
+                          "hau" + std::to_string(i));
+  }
+  aa_.set_trace(trace);
 }
 
 void MsScheme::attach() {
@@ -142,11 +188,14 @@ void MsScheme::begin_checkpoint() {
       if (now - it->second.initiated > stale_after) {
         MS_LOG_WARN("ft", "abandoning wedged checkpoint epoch %llu",
                     static_cast<unsigned long long>(it->first));
+        emit_probe(FtPoint::kEpochAbandon, -1, it->first);
+        m_ckpt_abandoned_->add(1);
         it = in_progress_.erase(it);
       } else {
         ++it;
       }
     }
+    m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
     if (!in_progress_.empty()) {
       MS_LOG_DEBUG("ft", "checkpoint skipped: previous epoch still running");
       return;
@@ -157,6 +206,8 @@ void MsScheme::begin_checkpoint() {
   stats.checkpoint_id = id;
   stats.initiated = app_->simulation().now();
   in_progress_[id] = stats;
+  m_ckpt_started_->add(1);
+  m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
 
   for (int i = 0; i < app_->num_haus(); ++i) {
     core::Hau& hau = app_->hau(i);
@@ -171,6 +222,19 @@ void MsScheme::begin_checkpoint() {
 void MsScheme::on_hau_report(const HauCheckpointReport& report) {
   const auto it = in_progress_.find(report.checkpoint_id);
   if (it == in_progress_.end()) return;  // aborted by a recovery
+  // Live phase breakdown, queryable mid-run (ISSUE: per-HAU gauges plus the
+  // aggregate histograms feeding Fig. 14).
+  m_ckpt_token_collection_->record(report.token_collection());
+  m_ckpt_other_->record(report.other());
+  m_ckpt_disk_io_->record(report.disk_io());
+  m_ckpt_total_->record(report.total());
+  const std::string hau_prefix = "ft.ckpt.hau." + std::to_string(report.hau_id);
+  metrics_->gauge(hau_prefix + ".token_collection_ns")
+      ->set(static_cast<double>(report.token_collection().ns()));
+  metrics_->gauge(hau_prefix + ".disk_io_ns")
+      ->set(static_cast<double>(report.disk_io().ns()));
+  metrics_->gauge(hau_prefix + ".total_ns")
+      ->set(static_cast<double>(report.total().ns()));
   AppCheckpointStats& stats = it->second;
   stats.total_declared += report.declared_bytes;
   ++stats.haus_reported;
@@ -183,6 +247,8 @@ void MsScheme::on_hau_report(const HauCheckpointReport& report) {
     const std::uint64_t id = stats.checkpoint_id;
     checkpoints_.push_back(stats);
     in_progress_.erase(it);  // invalidates `stats`
+    m_ckpt_completed_->add(1);
+    m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
 
     // Garbage-collect the previous application checkpoint and let sources
     // truncate their preserved logs before the new boundary.
@@ -207,6 +273,9 @@ void MsScheme::on_hau_checkpoint_failed(std::uint64_t ckpt_id) {
   MS_LOG_WARN("ft", "aborting checkpoint epoch %llu: an HAU's write failed",
               static_cast<unsigned long long>(ckpt_id));
   in_progress_.erase(it);
+  emit_probe(FtPoint::kEpochAbandon, -1, ckpt_id);
+  m_ckpt_abandoned_->add(1);
+  m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
 }
 
 // ---------------------------------------------------------------------------
@@ -388,6 +457,9 @@ void MsHauFt::on_checkpoint_command(core::Hau& hau, std::uint64_t ckpt_id) {
     hau.send_token(p, core::Token{ckpt_id, /*one_hop=*/true},
                    /*jump_queue=*/true);
   }
+  if (hau.num_out_ports() > 0) {
+    scheme_->emit_probe(FtPoint::kTokenSent, hau.id(), ckpt_id);
+  }
   if (hau.num_in_ports() == 0) {
     do_async_checkpoint(hau);
   } else {
@@ -404,6 +476,8 @@ void MsHauFt::on_token_at_head(core::Hau& hau, int in_port,
       initiated_at_ = hau.app().simulation().now();
       tokens_seen_ = 0;
       port_token_.assign(static_cast<std::size_t>(hau.num_in_ports()), false);
+      scheme_->emit_probe(FtPoint::kTokenAlignStart, hau.id(),
+                          active_ckpt_id_);
     } else if (token.one_hop && token.checkpoint_id >= next_seen_epoch_) {
       // Chandy-Lamport rule: a neighbour's token outran the controller's
       // command (they race over different paths). Initiate the epoch now;
@@ -419,6 +493,7 @@ void MsHauFt::on_token_at_head(core::Hau& hau, int in_port,
   MS_CHECK(!port_token_[static_cast<std::size_t>(in_port)]);
   port_token_[static_cast<std::size_t>(in_port)] = true;
   ++tokens_seen_;
+  scheme_->emit_probe(FtPoint::kTokenReceived, hau.id(), active_ckpt_id_);
   hau.block_port(in_port);
   maybe_align(hau);
 }
@@ -439,6 +514,7 @@ void MsHauFt::do_sync_checkpoint(core::Hau& hau) {
   report.checkpoint_id = active_ckpt_id_;
   report.initiated = initiated_at_;
   report.tokens_collected = hau.app().simulation().now();
+  scheme_->emit_probe(FtPoint::kAlignDone, hau.id(), active_ckpt_id_);
 
   hau.pause();
   // Consume the aligned tokens; the ports stay quiet while paused.
@@ -475,6 +551,7 @@ void MsHauFt::do_async_checkpoint(core::Hau& hau) {
   report.checkpoint_id = active_ckpt_id_;
   report.initiated = initiated_at_;
   report.tokens_collected = hau.app().simulation().now();
+  scheme_->emit_probe(FtPoint::kAlignDone, hau.id(), active_ckpt_id_);
 
   // Fork the checkpoint helper: the parent is blocked only for the fork.
   scheme_->emit_probe(FtPoint::kForkStart, hau.id(), active_ckpt_id_);
@@ -507,6 +584,7 @@ void MsHauFt::do_async_checkpoint(core::Hau& hau) {
     }
     tokens_seen_ = 0;
     hau.resume();
+    scheme_->emit_probe(FtPoint::kForkDone, hau.id(), report.checkpoint_id);
     hau.set_cost_multiplier(1.0 + scheme_->params().cow_tax);
 
     // Child process: serialize the frozen snapshot, then write it out.
@@ -581,6 +659,10 @@ void MsHauFt::write_checkpoint(core::Hau& hau,
             hau.send_token(p, core::Token{report.checkpoint_id,
                                           /*one_hop=*/false},
                            /*jump_queue=*/hau.is_source());
+          }
+          if (hau.num_out_ports() > 0) {
+            scheme_->emit_probe(FtPoint::kTokenSent, hau.id(),
+                                report.checkpoint_id);
           }
           hau.resume();
         }
@@ -1024,6 +1106,8 @@ Status MsScheme::recover_application(std::vector<net::NodeId> replacements,
 
   recovery_in_progress_ = true;
   in_progress_.clear();  // abort any checkpoint in flight
+  m_ckpt_in_progress_->set(0.0);
+  m_recovery_started_->add(1);
   emit_probe(FtPoint::kRecoveryStart, -1, run->id);
 
   // Roll every HAU back; failed ones restart on their placement target.
@@ -1161,6 +1245,7 @@ void MsScheme::recovery_chain_done(const std::shared_ptr<RecoveryRun>& run,
                                    int i) {
   if (run->chain_done[static_cast<std::size_t>(i)]) return;
   run->chain_done[static_cast<std::size_t>(i)] = true;
+  emit_probe(FtPoint::kRecoveryChainDone, i, run->id);
   if (--run->chains_remaining == 0 && !run->phase4_started) {
     start_phase4(run);
   }
@@ -1174,6 +1259,7 @@ void MsScheme::abandon_recovery_slot(const std::shared_ptr<RecoveryRun>& run,
   }
   run->abandoned[static_cast<std::size_t>(i)] = true;
   pending_recovery_recheck_ = true;
+  m_recovery_abandoned_slots_->add(1);
   MS_LOG_WARN("ft", "HAU %d died during recovery %llu: chain abandoned", i,
               static_cast<unsigned long long>(run->id));
   if (!run->chain_done[static_cast<std::size_t>(i)]) {
@@ -1284,6 +1370,8 @@ void MsScheme::complete_recovery(const std::shared_ptr<RecoveryRun>& run) {
   recoveries_.push_back(*run->stats);
   recovery_run_.reset();
   recovery_in_progress_ = false;
+  m_recovery_completed_->add(1);
+  m_recovery_total_->record(run->stats->total());
   emit_probe(FtPoint::kRecoveryComplete, -1, run->id);
   // Resume the surviving participants, resend captured in-flight tuples,
   // and replay the sources' preserved logs (not part of the measured

@@ -24,12 +24,14 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/rng.h"
 #include "core/application.h"
 #include "ft/aa_controller.h"
 #include "ft/params.h"
 #include "ft/probe.h"
 #include "ft/stats.h"
+#include "ft/tracing.h"
 #include "statesize/turning_point.h"
 
 namespace ms::ft {
@@ -83,8 +85,17 @@ class MsScheme {
   void add_spares(std::vector<net::NodeId> spares);
   std::size_t spares_left() const { return spares_.size(); }
 
-  /// Subscribe to protocol instrumentation points (chaos harness, tests).
-  void set_probe(FtProbe probe) { probe_ = std::move(probe); }
+  /// Subscribe to protocol instrumentation points (chaos harness, tracer,
+  /// tests). Every subscriber sees every point, in subscription order.
+  void add_probe(FtProbe probe) { probes_.push_back(std::move(probe)); }
+
+  /// Install a trace recorder: probe points are folded into per-HAU spans
+  /// (see ft/tracing.h), tracks are labelled, and the AA controller emits
+  /// its decisions as instants.
+  void set_trace(TraceRecorder* trace);
+
+  /// Redirect metric recording (defaults to MetricsRegistry::global()).
+  void set_metrics(MetricsRegistry* metrics);
 
   /// Most recent degradation seen by the detection/recovery path (spare
   /// exhaustion, re-entrant queuing); OK when the last pass was clean.
@@ -169,8 +180,11 @@ class MsScheme {
   void maybe_recover_failed();
 
   void emit_probe(FtPoint point, int hau, std::uint64_t id) {
-    if (probe_) probe_(point, hau, id);
+    for (const auto& probe : probes_) probe(point, hau, id);
   }
+
+  /// (Re-)resolve the cached metric handles against metrics_.
+  void bind_metrics();
 
   // Failure detection.
   void ping_sources();
@@ -205,8 +219,25 @@ class MsScheme {
   std::uint64_t recovery_seq_ = 0;
   std::shared_ptr<RecoveryRun> recovery_run_;
   Status last_recovery_error_;
-  FtProbe probe_;
+  std::vector<FtProbe> probes_;
+  std::unique_ptr<ProbeTracer> tracer_;
   std::vector<net::NodeId> spares_;
+
+  // Live metric handles (ft.ckpt.* / ft.recovery.*), resolved once against
+  // metrics_ so the hot paths do no name lookups.
+  MetricsRegistry* metrics_;
+  Counter* m_ckpt_started_;
+  Counter* m_ckpt_completed_;
+  Counter* m_ckpt_abandoned_;
+  Gauge* m_ckpt_in_progress_;
+  HistogramMetric* m_ckpt_token_collection_;
+  HistogramMetric* m_ckpt_other_;
+  HistogramMetric* m_ckpt_disk_io_;
+  HistogramMetric* m_ckpt_total_;
+  Counter* m_recovery_started_;
+  Counter* m_recovery_completed_;
+  Counter* m_recovery_abandoned_slots_;
+  HistogramMetric* m_recovery_total_;
 };
 
 /// Per-HAU attachment for all Meteor Shower variants.

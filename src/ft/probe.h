@@ -1,11 +1,17 @@
 // Instrumentation points along the checkpoint and recovery pipelines.
 //
-// MsScheme announces these as it moves through the protocol; a subscriber
-// (notably the chaos fault-injection harness in src/failure/chaos.h) can
+// The schemes announce these as they move through the protocol. Subscribers
 // react at precisely-defined protocol states — "when relay1 starts
 // serializing", "when recovery enters phase 2" — rather than at wall-clock
 // offsets. Probes fire in deterministic simulation order, so any scripted
-// fault is bit-for-bit reproducible from (seed, script).
+// reaction is bit-for-bit reproducible from (seed, script).
+//
+// Two subscribers exist today and share this one spine:
+//   - the chaos fault-injection harness (src/failure/chaos.h), which fires
+//     scripted faults when a point is reached;
+//   - the protocol tracer (src/ft/tracing.h), which folds the points into
+//     TraceRecorder spans (token-collection → serialize → disk-I/O per HAU
+//     per epoch; recovery phases 1-4) for the Chrome trace exporter.
 #pragma once
 
 #include <cstdint>
@@ -16,15 +22,21 @@ namespace ms::ft {
 enum class FtPoint {
   // Checkpoint side (hau = the HAU involved).
   kTokenAlignStart,   // checkpoint command / first token arrived at the HAU
+  kTokenSent,         // the HAU emitted its (1-hop or trickling) tokens
+  kTokenReceived,     // a token of the active epoch reached a port head
+  kAlignDone,         // tokens collected on every in-port; capture begins
   kForkStart,         // asynchronous checkpoint helper fork begins
+  kForkDone,          // fork finished; parent resumes under the CoW tax
   kSerializeStart,    // state serialization begins
   kCheckpointWrite,   // stable-storage put issued
   kCheckpointDone,    // stable-storage put acknowledged
+  kEpochAbandon,      // epoch aborted (wedged, or an HAU's write failed)
   // Recovery side (hau = -1 for application-wide events).
   kRecoveryStart,     // whole-application recovery initiated
   kRecoveryPhase1,    // operator reload begins at an HAU
   kRecoveryPhase2,    // checkpoint read begins at an HAU
   kRecoveryPhase3,    // deserialize/rebuild begins at an HAU
+  kRecoveryChainDone, // phases 1-3 finished (or abandoned) at an HAU
   kRecoveryPhase4,    // controller reconnection handshake begins
   kRecoveryComplete,  // recovery finished (queued re-checks may follow)
 };

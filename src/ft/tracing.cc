@@ -1,0 +1,120 @@
+#include "ft/tracing.h"
+
+#include <utility>
+
+namespace ms::ft {
+
+namespace {
+constexpr const char* kCkptCat = "checkpoint";
+constexpr const char* kRecoveryCat = "recovery";
+}  // namespace
+
+ProbeTracer::ProbeTracer(TraceRecorder* trace, std::function<SimTime()> now)
+    : trace_(trace), now_(std::move(now)) {}
+
+int ProbeTracer::tid(int hau) const {
+  return hau < 0 ? trace_track::kControllerTid : trace_track::hau_tid(hau);
+}
+
+void ProbeTracer::on(FtPoint point, int hau, std::uint64_t id) {
+  const SimTime ts = now_();
+  const int pid = trace_track::kAppPid;
+  const int t = tid(hau);
+  switch (point) {
+    case FtPoint::kTokenAlignStart:
+      // A fresh epoch supersedes whatever the previous one left open on
+      // this track (the controller may have abandoned it silently).
+      trace_->end_all(ts, pid, t);
+      trace_->begin(ts, pid, t, "token-collection", kCkptCat, id);
+      open_ckpt_[hau] = id;
+      break;
+    case FtPoint::kTokenSent:
+      trace_->instant(ts, pid, t, "token-sent", kCkptCat, id);
+      break;
+    case FtPoint::kTokenReceived:
+      trace_->instant(ts, pid, t, "token-received", kCkptCat, id);
+      break;
+    case FtPoint::kAlignDone:
+      trace_->end(ts, pid, t);
+      break;
+    case FtPoint::kForkStart:
+      trace_->begin(ts, pid, t, "fork", kCkptCat, id);
+      open_ckpt_[hau] = id;
+      break;
+    case FtPoint::kForkDone:
+      trace_->end(ts, pid, t);
+      break;
+    case FtPoint::kSerializeStart:
+      trace_->begin(ts, pid, t, "serialize", kCkptCat, id);
+      open_ckpt_[hau] = id;
+      break;
+    case FtPoint::kCheckpointWrite:
+      trace_->end(ts, pid, t);  // serialize
+      trace_->begin(ts, pid, t, "disk-io", kCkptCat, id);
+      break;
+    case FtPoint::kCheckpointDone:
+      trace_->end_all(ts, pid, t);
+      open_ckpt_.erase(hau);
+      break;
+    case FtPoint::kEpochAbandon: {
+      trace_->instant(ts, pid, t, "epoch-abandon", kCkptCat, id);
+      for (auto it = open_ckpt_.begin(); it != open_ckpt_.end();) {
+        if (it->second == id) {
+          trace_->end_all(ts, pid, tid(it->first));
+          it = open_ckpt_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;
+    }
+    case FtPoint::kRecoveryStart:
+      if (hau < 0) {
+        // Whole-application recovery aborts any checkpoint epoch in flight.
+        trace_->end_everything(ts);
+        open_ckpt_.clear();
+      } else {
+        trace_->end_all(ts, pid, t);
+        open_ckpt_.erase(hau);
+      }
+      trace_->begin(ts, pid, t, "recovery", kRecoveryCat, id);
+      break;
+    case FtPoint::kRecoveryPhase1:
+      // Nests inside the "recovery" umbrella when both live on one track
+      // (baseline single-HAU recovery); on MS per-HAU tracks the umbrella
+      // sits on the controller track and this opens the first span.
+      trace_->begin(ts, pid, t, "phase1-reload", kRecoveryCat, id);
+      break;
+    case FtPoint::kRecoveryPhase2:
+      trace_->end(ts, pid, t);
+      trace_->begin(ts, pid, t, "phase2-read", kRecoveryCat, id);
+      break;
+    case FtPoint::kRecoveryPhase3:
+      trace_->end(ts, pid, t);  // phase2 (or phase1 when nothing was written)
+      trace_->begin(ts, pid, t, "phase3-rebuild", kRecoveryCat, id);
+      break;
+    case FtPoint::kRecoveryChainDone:
+      trace_->end_all(ts, pid, t);
+      break;
+    case FtPoint::kRecoveryPhase4:
+      // Per-HAU (baseline): phase3 is still open on this track — close it.
+      // Application-wide (MS): the controller track holds only the
+      // umbrella, which must stay open.
+      if (hau >= 0) trace_->end(ts, pid, t);
+      trace_->begin(ts, pid, t, "phase4-reconnect", kRecoveryCat, id);
+      break;
+    case FtPoint::kRecoveryComplete:
+      if (hau < 0) {
+        // Dead participants may have left phase spans dangling on their
+        // tracks; the application-wide completion closes everything.
+        trace_->end_everything(ts);
+        open_ckpt_.clear();
+      } else {
+        trace_->end_all(ts, pid, t);
+      }
+      trace_->instant(ts, pid, t, "recovery-complete", kRecoveryCat, id);
+      break;
+  }
+}
+
+}  // namespace ms::ft

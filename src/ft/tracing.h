@@ -1,0 +1,48 @@
+// Folds the flat FtPoint probe stream (ft/probe.h) into TraceRecorder spans.
+//
+// Checkpoint side, per HAU track: token-collection → [fork] → serialize →
+// disk-io, correlated by checkpoint id; token movement as instants. Recovery
+// side: a "recovery" umbrella span (controller track for whole-application
+// MS recovery, the HAU's track for baseline single-HAU recovery) containing
+// phase1-reload / phase2-read / phase3-rebuild per participant and
+// phase4-reconnect.
+//
+// The tracer is defensive about aborted protocol states: an abandoned epoch
+// closes the spans it opened, recovery start closes every span of the epoch
+// it aborts, and recovery completion closes anything a dead participant left
+// dangling — so a capture of a chaos run still balances (check_trace).
+//
+// Not thread-safe: probes fire on the simulation thread only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/trace.h"
+#include "common/units.h"
+#include "ft/probe.h"
+
+namespace ms::ft {
+
+class ProbeTracer {
+ public:
+  /// `now` supplies the emission timestamp (the scheme's simulation clock).
+  ProbeTracer(TraceRecorder* trace, std::function<SimTime()> now);
+
+  /// Feed one probe point; safe to subscribe directly via
+  /// scheme.add_probe([&](auto p, int h, auto id) { tracer.on(p, h, id); }).
+  void on(FtPoint point, int hau, std::uint64_t id);
+
+ private:
+  int tid(int hau) const;
+
+  TraceRecorder* trace_;
+  std::function<SimTime()> now_;
+  /// HAUs with checkpoint spans currently open, by epoch id — so an epoch
+  /// abandonment can close exactly the tracks it left dangling.
+  std::map<int, std::uint64_t> open_ckpt_;
+};
+
+}  // namespace ms::ft

@@ -103,7 +103,14 @@ class RtEngine::RtContext final : public core::OperatorContext {
     Worker* worker = worker_;
     engine->schedule_timer(delay, [engine, worker, fn = std::move(fn)] {
       RtContext ctx(engine, worker);
-      fn(ctx);
+      {
+        // Operator code runs under op_mu so a timer tick never mutates
+        // state the worker thread is concurrently serializing into a
+        // snapshot. The context's destructor flush stays outside — it only
+        // touches context-local buffers and downstream queues.
+        std::scoped_lock op_lock(worker->op_mu);
+        fn(ctx);
+      }
     });
   }
 
@@ -176,6 +183,26 @@ RtEngine::RtEngine(const core::QueryGraph& graph, RtConfig config)
   if (!config_.checkpoint_dir.empty()) {
     fs::create_directories(config_.checkpoint_dir);
   }
+  trace_ = config_.trace;
+  if (trace_ != nullptr) {
+    trace_->set_track_name(trace_track::kEnginePid, 0, "rt-engine");
+    for (const auto& w : workers_) {
+      trace_->set_track_name(trace_track::kEnginePid, w->id + 1,
+                             "op" + std::to_string(w->id));
+    }
+  }
+  if (config_.metrics != nullptr) {
+    MetricsRegistry& m = *config_.metrics;
+    m_tuples_ = m.counter("rt.tuples");
+    m_sink_tuples_ = m.counter("rt.sink_tuples");
+    m_ckpt_epochs_ = m.counter("rt.ckpt.epochs");
+    m_ckpt_total_ = m.histogram("rt.ckpt.total");
+    m_ckpt_bytes_ = m.histogram("rt.ckpt.snapshot_bytes");
+    for (auto& w : workers_) {
+      w->queue_depth =
+          m.gauge("rt.op." + std::to_string(w->id) + ".queue_depth");
+    }
+  }
 }
 
 RtEngine::~RtEngine() {
@@ -203,7 +230,10 @@ void RtEngine::start() {
   // emissions have somewhere to go.
   for (auto& w : workers_) {
     RtContext ctx(this, w.get());
-    w->op->on_open(ctx);
+    {
+      std::scoped_lock op_lock(w->op_mu);
+      w->op->on_open(ctx);
+    }
   }
 }
 
@@ -261,6 +291,9 @@ void RtEngine::deliver(int op, int in_port, core::StreamItem item) {
     w.queue.push_back(QueueItem{in_port, Slot(std::get<core::Token>(item))});
   }
   ++w.queued_tuples;
+  if (w.queue_depth != nullptr) {
+    w.queue_depth->set(static_cast<double>(w.queued_tuples));
+  }
   // Single-item delivery (max_batch == 1 transport and tokens) always wakes
   // immediately: tokens gate checkpoint latency, and the unbatched escape
   // hatch keeps the seed's per-tuple semantics.
@@ -285,6 +318,9 @@ void RtEngine::deliver_batch(int op, int in_port,
   if (w.queue.empty()) w.wake_pending = true;
   w.queue.push_back(QueueItem{in_port, Slot(std::move(batch))});
   w.queued_tuples += n;
+  if (w.queue_depth != nullptr) {
+    w.queue_depth->set(static_cast<double>(w.queued_tuples));
+  }
   // Deferred wake: batch flushes accumulate until the threshold, so the
   // consumer pays one futex wake per several batches. Producers guarantee
   // the wake at their next pause (flush_all kick / capacity wait).
@@ -344,12 +380,16 @@ void RtEngine::worker_loop(Worker& w) {
       const bool was_full = w.queued_tuples >= config_.queue_capacity;
       local.swap(w.queue);
       w.queued_tuples = 0;
+      if (w.queue_depth != nullptr) w.queue_depth->set(0.0);
       w.wake_pending = false;  // we are awake and have taken everything
       w.inflight = local.size();
       if (was_full) w.cv_push.notify_all();  // capacity freed all at once
     }
     std::int64_t done = 0;
     for (auto& qi : local) {
+      // Per-entry (batch-granular) exclusion against timer-thread callbacks;
+      // covers process(), token alignment, and the snapshot serialize.
+      std::scoped_lock op_lock(w.op_mu);
       if (auto* batch = std::get_if<std::vector<core::Tuple>>(&qi.slot)) {
         for (const auto& tuple : *batch) {
           w.op->process(qi.in_port, tuple, ctx);
@@ -386,6 +426,10 @@ void RtEngine::worker_loop(Worker& w) {
     // Counters move once per drained run, not once per tuple.
     w.processed.fetch_add(done, std::memory_order_relaxed);
     if (w.is_sink) sink_tuples_.fetch_add(done, std::memory_order_relaxed);
+    if (m_tuples_ != nullptr && done > 0) {
+      m_tuples_->add(done);
+      if (w.is_sink) m_sink_tuples_->add(done);
+    }
     local.clear();
     // Operator-return flush: never sit on buffered output while blocking for
     // more input (bounds latency and keeps the drain protocol honest).
@@ -398,16 +442,29 @@ void RtEngine::snapshot_and_forward_token(Worker& w, const core::Token& token) {
   // (the fork/copy-on-write analogue). The writer adopts a pooled buffer
   // pre-sized by the previous epoch's snapshot, so steady-state
   // serialization performs zero allocations.
+  const SimTime serialize_start = now();
   BinaryWriter writer(snapshot_buffers_.acquire(w.last_snapshot_bytes));
   w.op->serialize_state(writer);
   w.last_snapshot_bytes = writer.size();
   auto blob = std::make_shared<std::vector<std::uint8_t>>(writer.take());
+  if (trace_ != nullptr) {
+    trace_->complete(serialize_start, now() - serialize_start,
+                     trace_track::kEnginePid, w.id + 1, "serialize", "rt-ckpt",
+                     token.checkpoint_id,
+                     {{"bytes", static_cast<std::int64_t>(blob->size())}});
+  }
+  if (m_ckpt_bytes_ != nullptr) {
+    m_ckpt_bytes_->record(SimTime::nanos(
+        static_cast<std::int64_t>(blob->size())));
+  }
   // Forward the token before resuming normal work.
   for (const auto& [target, port] : w.out_edges) {
     deliver(target, port, core::StreamItem(token));
   }
   const int id = w.id;
-  helpers_->submit([this, id, blob] {
+  const std::uint64_t epoch = token.checkpoint_id;
+  helpers_->submit([this, id, epoch, blob] {
+    const SimTime write_start = now();
     const fs::path path = fs::path(config_.checkpoint_dir) /
                           ("op_" + std::to_string(id) + ".ckpt");
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -416,6 +473,11 @@ void RtEngine::snapshot_and_forward_token(Worker& w, const core::Token& token) {
     out.close();
     const std::size_t written = blob->size();
     snapshot_buffers_.release(std::move(*blob));
+    if (trace_ != nullptr) {
+      trace_->complete(write_start, now() - write_start,
+                       trace_track::kEnginePid, id + 1, "disk-io", "rt-ckpt",
+                       epoch, {{"bytes", static_cast<std::int64_t>(written)}});
+    }
     std::scoped_lock lock(ckpt_mu_);
     ckpt_sizes_[id] = written;
     if (--ckpt_remaining_ == 0) ckpt_cv_.notify_all();
@@ -433,6 +495,7 @@ std::map<int, std::uint64_t> RtEngine::checkpoint() {
     ckpt_sizes_.clear();
   }
   const core::Token token{++ckpt_epoch_, /*one_hop=*/false};
+  const SimTime epoch_start = now();
   // Sources have no in-edges: inject the token directly into their queues;
   // it trickles down the graph from there.
   for (auto& w : workers_) {
@@ -440,6 +503,14 @@ std::map<int, std::uint64_t> RtEngine::checkpoint() {
   }
   std::unique_lock lock(ckpt_mu_);
   ckpt_cv_.wait(lock, [this] { return ckpt_remaining_ == 0; });
+  if (trace_ != nullptr) {
+    trace_->complete(epoch_start, now() - epoch_start, trace_track::kEnginePid,
+                     0, "rt-checkpoint", "rt-ckpt", token.checkpoint_id);
+  }
+  if (m_ckpt_epochs_ != nullptr) {
+    m_ckpt_epochs_->add(1);
+    m_ckpt_total_->record(now() - epoch_start);
+  }
   return ckpt_sizes_;
 }
 

@@ -51,7 +51,9 @@
 #include <vector>
 
 #include "common/buffer_pool.h"
+#include "common/metrics_registry.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/query_graph.h"
 #include "core/tuple.h"
 
@@ -68,6 +70,14 @@ struct RtConfig {
   std::string checkpoint_dir;
   std::size_t helper_threads = 2;
   std::uint64_t seed = 0x5eedULL;
+  /// Optional protocol trace sink. Snapshot/write/epoch spans land on the
+  /// engine's trace tracks (trace_track::kEnginePid; tid 0 is the
+  /// checkpoint driver, tid i+1 is operator i). The recorder is
+  /// mutex-guarded, so worker and helper threads emit concurrently.
+  TraceRecorder* trace = nullptr;
+  /// Optional live metrics sink: rt.* counters and per-operator queue-depth
+  /// gauges (rt.op.<id>.queue_depth), updated from the worker threads.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class RtEngine {
@@ -137,6 +147,17 @@ class RtEngine {
     std::vector<std::pair<int, int>> out_edges;  // (target op, their in port)
     int num_in_ports = 0;
 
+    /// Serializes *operator execution* — process()/serialize_state() on the
+    /// worker thread versus schedule() callbacks (source emission, windows)
+    /// on the timer thread versus on_open() on the starter. Without it a
+    /// token-aligned snapshot can serialize source state while a timer tick
+    /// is mutating it. Taken per drained queue entry (batch granularity),
+    /// so the uncontended cost is one lock per batch, not per tuple. Never
+    /// held while waiting on queue capacity of the *same* worker; holding
+    /// it across downstream delivery cannot deadlock because the query
+    /// graph is a DAG.
+    std::mutex op_mu;
+
     std::mutex mu;
     std::condition_variable cv_push;
     std::condition_variable cv_pop;
@@ -172,6 +193,10 @@ class RtEngine {
     /// Size of the last serialized snapshot — the reserve hint for the next
     /// epoch's writer, so steady-state serialization never reallocates.
     std::size_t last_snapshot_bytes = 0;
+
+    /// Cached metrics handle (null when metrics are off) so the hot path
+    /// never does a by-name registry lookup.
+    Gauge* queue_depth = nullptr;
   };
 
   /// Wake the consumer of `w` if a deferred batch notify is still pending.
@@ -189,6 +214,13 @@ class RtEngine {
 
   core::QueryGraph graph_;
   RtConfig config_;
+  TraceRecorder* trace_ = nullptr;
+  // Cached metric handles; all null when config_.metrics is null.
+  Counter* m_tuples_ = nullptr;
+  Counter* m_sink_tuples_ = nullptr;
+  Counter* m_ckpt_epochs_ = nullptr;
+  HistogramMetric* m_ckpt_total_ = nullptr;
+  HistogramMetric* m_ckpt_bytes_ = nullptr;
   /// Queued tuples at which a deferred wake fires; see Worker::wake_pending.
   std::size_t wake_threshold_ = 1;
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -149,9 +149,56 @@ void run_with_retry(sim::Simulation* sim, RetryPolicy retry,
 
 }  // namespace
 
+void SharedStorage::set_trace(TraceRecorder* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    trace_->set_track_name(trace_track::kStoragePid, 0, "shared-storage");
+  }
+}
+
+std::function<void(Status)> SharedStorage::trace_op(
+    const char* op, const std::string& key, Bytes size,
+    std::function<void(Status)> done) {
+  if (trace_ == nullptr) return done;
+  const SimTime start = network_->simulation().now();
+  const std::uint64_t id = next_op_id_++;
+  return [this, start, id, name = std::string(op) + " " + key, size,
+          done = std::move(done)](Status st) mutable {
+    const SimTime now = network_->simulation().now();
+    trace_->complete(start, now - start, trace_track::kStoragePid, 0, name,
+                     "storage", id,
+                     {{"bytes", static_cast<std::int64_t>(size)},
+                      {"ok", st.is_ok() ? 1 : 0}});
+    done(std::move(st));
+  };
+}
+
+std::function<void(Result<Object>)> SharedStorage::trace_read(
+    const char* op, const std::string& key,
+    std::function<void(Result<Object>)> done) {
+  if (trace_ == nullptr) return done;
+  const SimTime start = network_->simulation().now();
+  const std::uint64_t id = next_op_id_++;
+  return [this, start, id, name = std::string(op) + " " + key,
+          done = std::move(done)](Result<Object> r) mutable {
+    const SimTime now = network_->simulation().now();
+    Bytes bytes = 0;
+    if (r.is_ok()) {
+      bytes = r.value().read_charge > 0 ? r.value().read_charge
+                                        : r.value().declared_size;
+    }
+    trace_->complete(start, now - start, trace_track::kStoragePid, 0, name,
+                     "storage", id,
+                     {{"bytes", static_cast<std::int64_t>(bytes)},
+                      {"ok", r.is_ok() ? 1 : 0}});
+    done(std::move(r));
+  };
+}
+
 void SharedStorage::put(net::NodeId client, const std::string& key,
                         Object object, std::function<void(Status)> done,
                         RetryPolicy retry) {
+  done = trace_op("put", key, object.declared_size, std::move(done));
   if (retry.max_attempts <= 1) {
     put_once(client, key, std::move(object), std::move(done));
     return;
@@ -190,6 +237,7 @@ void SharedStorage::append(net::NodeId client, const std::string& key,
                            Bytes size, std::vector<std::uint8_t> bytes,
                            std::function<void(Status)> done,
                            RetryPolicy retry) {
+  done = trace_op("append", key, size, std::move(done));
   if (retry.max_attempts <= 1) {
     append_once(client, key, size, std::move(bytes), std::move(done));
     return;
@@ -228,6 +276,7 @@ void SharedStorage::append_once(net::NodeId client, const std::string& key,
 void SharedStorage::get(net::NodeId client, const std::string& key,
                         std::function<void(Result<Object>)> done,
                         RetryPolicy retry) {
+  done = trace_read("get", key, std::move(done));
   if (retry.max_attempts <= 1) {
     get_once(client, key, std::move(done));
     return;
@@ -279,6 +328,7 @@ void SharedStorage::get_range(net::NodeId client, const std::string& key,
                               Bytes size,
                               std::function<void(Result<Object>)> done,
                               RetryPolicy retry) {
+  done = trace_read("get_range", key, std::move(done));
   if (retry.max_attempts <= 1) {
     get_range_once(client, key, size, std::move(done));
     return;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/units.h"
 #include "net/network.h"
 #include "storage/disk.h"
@@ -123,6 +124,10 @@ class SharedStorage {
   void set_available(bool on) { available_ = on; }
   bool available() const { return available_; }
 
+  /// Record every put/get/append/get_range as a complete ('X') event on the
+  /// storage track, spanning issue to completion (including retries).
+  void set_trace(TraceRecorder* trace);
+
   /// Truncate/erase without data movement (metadata op, small message).
   void erase(net::NodeId client, const std::string& key,
              std::function<void()> done);
@@ -172,9 +177,20 @@ class SharedStorage {
                    [d] { (*d)(Status::unavailable("client unreachable")); });
   }
 
+  /// Wrap `done` so completion emits an 'X' event covering the whole
+  /// operation (issue time fixed now, duration measured at completion).
+  std::function<void(Status)> trace_op(const char* op, const std::string& key,
+                                       Bytes size,
+                                       std::function<void(Status)> done);
+  std::function<void(Result<Object>)> trace_read(
+      const char* op, const std::string& key,
+      std::function<void(Result<Object>)> done);
+
   net::Network* network_;
   net::NodeId node_;
   bool available_ = true;
+  TraceRecorder* trace_ = nullptr;
+  std::uint64_t next_op_id_ = 1;
   Disk disk_;
   Disk log_disk_;
   std::unordered_map<std::string, Object> data_;

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/metrics_registry.h"
+
 namespace ms {
 namespace {
 
@@ -10,6 +14,10 @@ TEST(LatencyHistogramTest, EmptyHistogram) {
   EXPECT_EQ(h.count(), 0);
   EXPECT_EQ(h.mean(), SimTime::zero());
   EXPECT_EQ(h.percentile(99), SimTime::zero());
+  // The internal SimTime::max() sentinel must not leak out of an empty
+  // histogram.
+  EXPECT_EQ(h.min(), SimTime::zero());
+  EXPECT_EQ(h.percentile(0), SimTime::zero());
 }
 
 TEST(LatencyHistogramTest, SingleSample) {
@@ -38,6 +46,32 @@ TEST(LatencyHistogramTest, PercentileBucketsApproximate) {
   EXPECT_NEAR(p99, 99.0, 99.0 * 0.06);
 }
 
+TEST(LatencyHistogramTest, PercentileZeroIsExactMin) {
+  LatencyHistogram h;
+  h.record(SimTime::millis(5));
+  h.record(SimTime::millis(50));
+  h.record(SimTime::millis(500));
+  EXPECT_EQ(h.percentile(0), SimTime::millis(5));
+  EXPECT_EQ(h.percentile(0), h.min());
+}
+
+TEST(LatencyHistogramTest, Percentile100IsExactMax) {
+  LatencyHistogram h;
+  h.record(SimTime::millis(5));
+  h.record(SimTime::millis(50));
+  h.record(SimTime::millis(500));
+  EXPECT_EQ(h.percentile(100), SimTime::millis(500));
+}
+
+TEST(LatencyHistogramTest, PercentilesClampedToObservedRange) {
+  // One sample: every percentile is that sample, not a bucket boundary.
+  LatencyHistogram h;
+  h.record(SimTime::millis(7));
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.percentile(p), SimTime::millis(7)) << "p=" << p;
+  }
+}
+
 TEST(LatencyHistogramTest, MergeCombines) {
   LatencyHistogram a, b;
   a.record(SimTime::millis(1));
@@ -46,6 +80,27 @@ TEST(LatencyHistogramTest, MergeCombines) {
   EXPECT_EQ(a.count(), 2);
   EXPECT_EQ(a.mean(), SimTime::millis(2));
   EXPECT_EQ(a.max(), SimTime::millis(3));
+}
+
+TEST(LatencyHistogramTest, MergeOfEmptyKeepsMin) {
+  LatencyHistogram a;
+  a.record(SimTime::millis(3));
+  LatencyHistogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.min(), SimTime::millis(3));
+
+  LatencyHistogram both;
+  both.merge(empty);
+  EXPECT_EQ(both.count(), 0);
+  EXPECT_EQ(both.min(), SimTime::zero());
+}
+
+TEST(LatencyHistogramTest, SummaryReportsTrueMin) {
+  LatencyHistogram h;
+  h.record(SimTime::millis(2));
+  h.record(SimTime::millis(200));
+  EXPECT_NE(h.summary().find("min=2"), std::string::npos) << h.summary();
 }
 
 TEST(LatencyHistogramTest, ResetClears) {
@@ -91,6 +146,79 @@ TEST(TimeSeriesTest, LocalMinimaOfSawtooth) {
   const auto minima = ts.local_minima(2);
   ASSERT_FALSE(minima.empty());
   for (const auto& p : minima) EXPECT_LE(p.value, 0.0 + 1e-9);
+}
+
+TEST(TimeSeriesTest, LocalMinimaCollapsesPlateau) {
+  // A flat-bottomed valley is one feature: with ties allowed inside the
+  // window, every sample of the plateau qualifies as a local minimum, but
+  // only one marker should be reported.
+  TimeSeries ts;
+  const double values[] = {5, 4, 3, 0, 0, 0, 0, 0, 3, 4, 5};
+  int t = 0;
+  for (const double v : values) ts.add(SimTime::seconds(t++), v);
+  const auto minima = ts.local_minima(1);
+  ASSERT_EQ(minima.size(), 1u);
+  EXPECT_EQ(minima.front().value, 0.0);
+}
+
+TEST(TimeSeriesTest, LocalMinimaKeepsSeparateEqualValleys) {
+  // Two distinct valleys bottoming at the same value are two features; the
+  // hump between them must not collapse them into one.
+  TimeSeries ts;
+  const double values[] = {5, 0, 5, 0, 5};
+  int t = 0;
+  for (const double v : values) ts.add(SimTime::seconds(t++), v);
+  const auto minima = ts.local_minima(1);
+  ASSERT_EQ(minima.size(), 2u);
+  EXPECT_EQ(minima[0].value, 0.0);
+  EXPECT_EQ(minima[1].value, 0.0);
+}
+
+TEST(MetricsRegistryTest, LookupIsStableAndCaseForUpdates) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("test.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reg.counter("test.counter"), c);  // same object on re-lookup
+  c->add(3);
+  c->add();
+  EXPECT_EQ(c->value(), 4);
+
+  Gauge* g = reg.gauge("test.gauge");
+  g->set(2.5);
+  g->add(1.0);
+  EXPECT_DOUBLE_EQ(g->value(), 3.5);
+
+  HistogramMetric* h = reg.histogram("test.hist");
+  h->record(SimTime::millis(10));
+  EXPECT_EQ(h->snapshot().count(), 1);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsHandles) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("r.c");
+  Gauge* g = reg.gauge("r.g");
+  HistogramMetric* h = reg.histogram("r.h");
+  c->add(7);
+  g->set(1.0);
+  h->record(SimTime::millis(1));
+  reg.reset();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->snapshot().count(), 0);
+  // Handles stay valid: pointers are never invalidated by reset().
+  c->add(1);
+  EXPECT_EQ(reg.counter("r.c")->value(), 1);
+}
+
+TEST(MetricsRegistryTest, JsonDumpNamesEveryMetric) {
+  MetricsRegistry reg;
+  reg.counter("j.count")->add(5);
+  reg.gauge("j.depth")->set(3.0);
+  reg.histogram("j.lat")->record(SimTime::millis(12));
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"j.count\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("j.depth"), std::string::npos) << json;
+  EXPECT_NE(json.find("j.lat"), std::string::npos) << json;
 }
 
 TEST(TimeSeriesTest, DownsampleKeepsBounds) {

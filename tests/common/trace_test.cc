@@ -1,0 +1,185 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace ms {
+namespace {
+
+SimTime ms_t(int v) { return SimTime::millis(v); }
+
+TEST(TraceRecorderTest, BeginEndPairsInOrder) {
+  TraceRecorder tr;
+  tr.begin(ms_t(1), 0, 0, "outer", "test");
+  tr.begin(ms_t(2), 0, 0, "inner", "test");
+  tr.end(ms_t(3), 0, 0);  // innermost first (LIFO)
+  tr.end(ms_t(5), 0, 0);
+
+  std::vector<std::string> problems;
+  const auto spans = pair_spans(tr.snapshot(), &problems);
+  EXPECT_TRUE(problems.empty());
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].dur_ns, ms_t(1).ns());
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].dur_ns, ms_t(4).ns());
+}
+
+TEST(TraceRecorderTest, EndIsPerTrack) {
+  TraceRecorder tr;
+  tr.begin(ms_t(1), 0, 1, "a", "test");
+  tr.begin(ms_t(1), 0, 2, "b", "test");
+  tr.end(ms_t(2), 0, 1);  // closes "a", not "b"
+  EXPECT_EQ(tr.open_spans(), std::vector<std::string>{"b"});
+}
+
+TEST(TraceRecorderTest, EndAllClosesOneTrackOnly) {
+  TraceRecorder tr;
+  tr.begin(ms_t(1), 0, 1, "a1", "test");
+  tr.begin(ms_t(2), 0, 1, "a2", "test");
+  tr.begin(ms_t(3), 0, 2, "b", "test");
+  tr.end_all(ms_t(4), 0, 1);
+  EXPECT_EQ(tr.open_spans(), std::vector<std::string>{"b"});
+  tr.end_everything(ms_t(5));
+  EXPECT_TRUE(tr.open_spans().empty());
+  EXPECT_TRUE(check_trace(tr.snapshot()).empty());
+}
+
+TEST(TraceRecorderTest, DisabledRecorderDropsEverything) {
+  TraceRecorder tr;
+  tr.set_enabled(false);
+  tr.begin(ms_t(1), 0, 0, "a", "test");
+  tr.instant(ms_t(2), 0, 0, "i", "test");
+  tr.complete(ms_t(3), ms_t(1), 0, 0, "x", "test");
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_TRUE(tr.open_spans().empty());
+}
+
+TEST(TraceRecorderTest, UnterminatedSpanIsReported) {
+  TraceRecorder tr;
+  tr.begin(ms_t(1), 0, 0, "leak", "test");
+  std::vector<std::string> problems;
+  pair_spans(tr.snapshot(), &problems);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("unterminated"), std::string::npos);
+  EXPECT_FALSE(check_trace(tr.snapshot()).empty());
+}
+
+TEST(TraceRecorderTest, ChromeJsonRoundTrip) {
+  TraceRecorder tr;
+  tr.set_track_name(0, 0, "controller");
+  tr.begin(ms_t(1), 0, 0, "span \"quoted\"", "cat1", 7,
+           {{"bytes", 1234}});
+  tr.instant(SimTime::nanos(1500001), 0, 0, "mark", "cat2");
+  tr.end(ms_t(2), 0, 0);
+  tr.complete(ms_t(3), ms_t(2), 1, 0, "op", "storage", 9, {{"ok", 1}});
+
+  std::vector<TraceEvent> parsed;
+  const Status st = parse_chrome_trace(tr.chrome_json(), &parsed);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  // Metadata (thread_name) + 4 events.
+  ASSERT_EQ(parsed.size(), 5u);
+  EXPECT_EQ(parsed[0].ph, 'M');
+
+  const TraceEvent& b = parsed[1];
+  EXPECT_EQ(b.ph, 'B');
+  EXPECT_EQ(b.name, "span \"quoted\"");
+  EXPECT_EQ(b.cat, "cat1");
+  EXPECT_EQ(b.ts_ns, ms_t(1).ns());
+  EXPECT_EQ(b.id, 7u);
+  ASSERT_EQ(b.args.size(), 1u);
+  EXPECT_EQ(b.args[0].first, "bytes");
+  EXPECT_EQ(b.args[0].second, 1234);
+
+  // Sub-microsecond timestamps survive the µs-based wire format exactly.
+  EXPECT_EQ(parsed[2].ts_ns, 1500001);
+
+  const TraceEvent& x = parsed[4];
+  EXPECT_EQ(x.ph, 'X');
+  EXPECT_EQ(x.dur_ns, ms_t(2).ns());
+  EXPECT_EQ(x.pid, 1);
+
+  EXPECT_TRUE(check_trace(parsed).empty());
+}
+
+TEST(TraceRecorderTest, CheckTraceFlagsTimestampRegression) {
+  std::vector<TraceEvent> events(2);
+  events[0].ph = 'i';
+  events[0].ts_ns = 100;
+  events[1].ph = 'i';
+  events[1].ts_ns = 50;  // same track, going backwards
+  const auto problems = check_trace(events);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("regress"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, CompleteEventsMayRecordOutOfOrder) {
+  // 'X' events are appended at completion time but stamped with their start
+  // time; two overlapping operations finishing in reverse order must not
+  // trip the monotonicity check.
+  TraceRecorder tr;
+  tr.complete(ms_t(5), ms_t(1), 1, 0, "short", "storage");
+  tr.complete(ms_t(1), ms_t(10), 1, 0, "long", "storage");
+  EXPECT_TRUE(check_trace(tr.snapshot()).empty());
+}
+
+TEST(TraceRecorderTest, ConcurrentEmissionIsSafeAndLossless) {
+  TraceRecorder tr;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tr, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Each thread works its own track so its spans nest cleanly.
+        tr.begin(ms_t(i), 2, t, "work", "test");
+        tr.complete(ms_t(i), ms_t(1), 3, t, "op", "test");
+        tr.end(ms_t(i + 1), 2, t);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tr.size(), static_cast<std::size_t>(kThreads * kPerThread * 3));
+  std::vector<std::string> problems;
+  const auto spans = pair_spans(tr.snapshot(), &problems);
+  EXPECT_TRUE(problems.empty());
+  EXPECT_EQ(spans.size(), static_cast<std::size_t>(kThreads * kPerThread * 2));
+  // The full concurrent capture still exports and re-imports cleanly.
+  std::vector<TraceEvent> parsed;
+  ASSERT_TRUE(parse_chrome_trace(tr.chrome_json(), &parsed).is_ok());
+  EXPECT_EQ(parsed.size(), tr.size());
+}
+
+TEST(TraceRecorderTest, ClearDropsEventsAndOpenSpans) {
+  TraceRecorder tr;
+  tr.begin(ms_t(1), 0, 0, "a", "test");
+  tr.clear();
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_TRUE(tr.open_spans().empty());
+  // An E after clear() has nothing to close and records nothing.
+  tr.end(ms_t(2), 0, 0);
+  EXPECT_EQ(tr.size(), 0u);
+}
+
+TEST(TraceParseTest, RejectsGarbage) {
+  std::vector<TraceEvent> out;
+  EXPECT_FALSE(parse_chrome_trace("not json", &out).is_ok());
+  EXPECT_FALSE(parse_chrome_trace("{\"traceEvents\":42}", &out).is_ok());
+  EXPECT_FALSE(
+      parse_chrome_trace("{\"traceEvents\":[{\"name\":\"x\"}]}", &out).is_ok());
+}
+
+TEST(TraceParseTest, AcceptsBareArrayForm) {
+  std::vector<TraceEvent> out;
+  const Status st = parse_chrome_trace(
+      "[{\"name\":\"a\",\"ph\":\"i\",\"ts\":5,\"pid\":0,\"tid\":0}]", &out);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].ts_ns, 5000);
+}
+
+}  // namespace
+}  // namespace ms

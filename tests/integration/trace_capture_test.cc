@@ -1,0 +1,171 @@
+// Acceptance for the protocol tracer: a chaos run with the TraceRecorder
+// installed must export a valid Chrome trace-event JSON in which every
+// checkpoint epoch shows the token-collection → serialize → disk-io phase
+// chain per HAU, and an injected kill is followed by recovery phase 1-4
+// spans. The live metrics registry must agree with the trace.
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "../testing/test_ops.h"
+#include "common/metrics_registry.h"
+#include "failure/chaos.h"
+#include "ft/meteor_shower.h"
+
+namespace ms::failure {
+namespace {
+
+using ms::testing::chain_graph;
+using ms::testing::small_cluster;
+
+std::vector<net::NodeId> spares(int from, int count) {
+  std::vector<net::NodeId> out;
+  for (int i = 0; i < count; ++i) out.push_back(from + i);
+  return out;
+}
+
+struct TracedRig {
+  void build(int relays, ft::FtParams params, ft::MsVariant variant,
+             std::vector<net::NodeId> spare_pool) {
+    cluster_ = std::make_unique<core::Cluster>(&sim_,
+                                               small_cluster(relays + 2 + 6));
+    app_ = std::make_unique<core::Application>(
+        cluster_.get(), chain_graph(relays, SimTime::millis(10)));
+    app_->deploy();
+    scheme_ = std::make_unique<ft::MsScheme>(app_.get(), params, variant);
+    scheme_->attach();
+    app_->start();
+    if (!spare_pool.empty()) {
+      scheme_->enable_failure_detection(std::move(spare_pool));
+    }
+    chaos_ = std::make_unique<ChaosHarness>(app_.get(), scheme_.get());
+    // Every emitter records into the same recorder: the protocol tracer,
+    // chaos fault markers, and storage operations.
+    scheme_->set_trace(&trace_);
+    chaos_->set_trace(&trace_);
+    cluster_->shared_storage().set_trace(&trace_);
+    scheme_->start();
+  }
+
+  sim::Simulation sim_;
+  TraceRecorder trace_;
+  std::unique_ptr<core::Cluster> cluster_;
+  std::unique_ptr<core::Application> app_;
+  std::unique_ptr<ft::MsScheme> scheme_;
+  std::unique_ptr<ChaosHarness> chaos_;
+};
+
+ft::FtParams chaos_params() {
+  ft::FtParams p;
+  p.periodic = false;
+  p.ping_period = SimTime::millis(500);
+  return p;
+}
+
+TEST(TraceCaptureTest, ChaosRunExportsPhaseChainsAndRecoverySpans) {
+  MetricsRegistry::global().reset();
+  TracedRig rig;
+  rig.build(2, chaos_params(), ft::MsVariant::kSrcAp, spares(4, 6));
+  rig.sim_.run_until(SimTime::seconds(2));
+  rig.scheme_->trigger_checkpoint();
+  rig.sim_.run_until(SimTime::seconds(6));
+  ASSERT_GE(rig.scheme_->checkpoints().size(), 1u);
+
+  // Kill one HAU mid-run; detection recovers it.
+  rig.chaos_->kill_at(SimTime::seconds(7), /*hau_id=*/1);
+  rig.sim_.run_until(SimTime::seconds(20));
+  rig.scheme_->trigger_checkpoint();
+  rig.sim_.run_until(SimTime::seconds(30));
+  ASSERT_GE(rig.scheme_->recoveries().size(), 1u);
+  ASSERT_GE(rig.scheme_->checkpoints().size(), 2u);
+
+  // Mid-flight spans (steady-state ping/ack machinery never closes them on
+  // its own) are closed at the export boundary, like mssim --trace does.
+  rig.trace_.end_everything(rig.sim_.now());
+
+  // The export must round-trip and be structurally clean.
+  std::vector<TraceEvent> events;
+  const Status st = parse_chrome_trace(rig.trace_.chrome_json(), &events);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  const auto problems = check_trace(events);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+
+  // Every completed checkpoint epoch shows the full phase chain on every
+  // HAU track, correlated by the epoch id the spans carry.
+  const std::vector<TraceSpan> spans = pair_spans(events, nullptr);
+  std::map<std::uint64_t, std::map<int, std::set<std::string>>> epochs;
+  std::set<std::string> recovery_names;
+  bool storage_spans = false;
+  bool chaos_marker = false;
+  for (const auto& s : spans) {
+    if (s.cat == "checkpoint" && s.pid == trace_track::kAppPid && s.tid > 0) {
+      epochs[s.id][s.tid].insert(s.name);
+    }
+    if (s.cat == "recovery") recovery_names.insert(s.name);
+    if (s.pid == trace_track::kStoragePid) storage_spans = true;
+  }
+  for (const auto& e : events) {
+    if (e.cat == "chaos" && e.name == "chaos-kill-hau1") chaos_marker = true;
+  }
+  const auto& ckpts = rig.scheme_->checkpoints();
+  ASSERT_FALSE(ckpts.empty());
+  int complete_epochs = 0;
+  for (const auto& report : ckpts) {
+    const auto it = epochs.find(report.checkpoint_id);
+    ASSERT_NE(it, epochs.end()) << "no spans for completed epoch";
+    EXPECT_EQ(static_cast<int>(it->second.size()), rig.app_->num_haus());
+    for (const auto& [tid, names] : it->second) {
+      EXPECT_TRUE(names.contains("token-collection"))
+          << "hau " << tid - 1 << " missing token-collection";
+      EXPECT_TRUE(names.contains("serialize"));
+      EXPECT_TRUE(names.contains("disk-io"));
+    }
+    ++complete_epochs;
+  }
+  EXPECT_GE(complete_epochs, 2);
+
+  // Recovery phases 1-4 after the injected kill.
+  EXPECT_TRUE(recovery_names.contains("recovery"));
+  EXPECT_TRUE(recovery_names.contains("phase1-reload"));
+  EXPECT_TRUE(recovery_names.contains("phase2-read"));
+  EXPECT_TRUE(recovery_names.contains("phase3-rebuild"));
+  EXPECT_TRUE(recovery_names.contains("phase4-reconnect"));
+  EXPECT_TRUE(chaos_marker) << "chaos kill marker missing from trace";
+  EXPECT_TRUE(storage_spans) << "no storage operation spans recorded";
+
+  // The live registry agrees with the trace.
+  MetricsRegistry& reg = MetricsRegistry::global();
+  EXPECT_GE(reg.counter("ft.ckpt.completed")->value(),
+            static_cast<std::int64_t>(ckpts.size()));
+  EXPECT_GE(reg.counter("ft.recovery.completed")->value(), 1);
+  EXPECT_DOUBLE_EQ(reg.gauge("ft.ckpt.in_progress")->value(), 0.0);
+  EXPECT_GT(reg.histogram("ft.ckpt.total")->snapshot().count(), 0);
+}
+
+TEST(TraceCaptureTest, PerHauPhaseGaugesAreQueryableMidRun) {
+  MetricsRegistry::global().reset();
+  TracedRig rig;
+  rig.build(1, chaos_params(), ft::MsVariant::kSrcAp, {});
+  rig.sim_.run_until(SimTime::seconds(2));
+  rig.scheme_->trigger_checkpoint();
+  rig.sim_.run_until(SimTime::seconds(8));
+  ASSERT_GE(rig.scheme_->checkpoints().size(), 1u);
+
+  // Per-HAU phase breakdown gauges exist for every HAU and carry the last
+  // epoch's numbers.
+  MetricsRegistry& reg = MetricsRegistry::global();
+  for (int h = 0; h < rig.app_->num_haus(); ++h) {
+    const std::string prefix = "ft.ckpt.hau." + std::to_string(h) + ".";
+    EXPECT_GT(reg.gauge(prefix + "total_ns")->value(), 0.0) << prefix;
+    EXPECT_GE(reg.gauge(prefix + "token_collection_ns")->value(), 0.0);
+    EXPECT_GE(reg.gauge(prefix + "disk_io_ns")->value(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ms::failure

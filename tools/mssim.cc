@@ -10,8 +10,11 @@
 //   mssim --app bcp --scheme baseline --checkpoints 8 --window 5
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "common/metrics_registry.h"
+#include "common/trace.h"
 #include "failure/burst.h"
 #include "harness.h"
 #include "net/network.h"
@@ -28,6 +31,8 @@ struct Options {
   int window_minutes = 10;
   double fail_at_seconds = -1.0;  // <0: no failure injection
   std::uint64_t seed = 0x9d2cULL;
+  std::string trace_file;    // empty: no trace capture
+  std::string metrics_file;  // empty: no metrics dump
   bool help = false;
 };
 
@@ -42,6 +47,11 @@ void usage() {
       "  --fail-at S                  kill all application nodes S seconds\n"
       "                               into the window and auto-recover\n"
       "  --seed X                     simulation seed\n"
+      "  --trace FILE                 write a Chrome trace-event JSON of the\n"
+      "                               run's protocol events (chrome://tracing\n"
+      "                               or tools/mstrace can read it)\n"
+      "  --metrics FILE               write the runtime metrics registry as\n"
+      "                               flat JSON at exit\n"
       "  --help\n");
 }
 
@@ -103,6 +113,14 @@ bool parse(int argc, char** argv, Options* opt) {
       const char* v = next("--seed");
       if (v == nullptr) return false;
       opt->seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--trace") {
+      const char* v = next("--trace");
+      if (v == nullptr) return false;
+      opt->trace_file = v;
+    } else if (arg == "--metrics") {
+      const char* v = next("--metrics");
+      if (v == nullptr) return false;
+      opt->metrics_file = v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -139,6 +157,8 @@ int main(int argc, char** argv) {
 
   Experiment exp(opt.app, opt.scheme, opt.checkpoints, window, opt.seed,
                  opt.window_minutes);
+  TraceRecorder trace;
+  if (!opt.trace_file.empty()) exp.enable_tracing(&trace);
   exp.warmup();
 
   bool recovered = false;
@@ -190,6 +210,29 @@ int main(int argc, char** argv) {
     const auto cat = static_cast<net::MsgCategory>(c);
     std::printf("  %-11s %s\n", net::msg_category_name(cat),
                 format_bytes(stats.bytes_of(cat)).c_str());
+  }
+
+  if (!opt.trace_file.empty()) {
+    // The run stops mid-flight at the window edge; close any open epoch
+    // spans so the exported trace balances.
+    trace.end_everything(exp.sim().now());
+    std::ofstream out(opt.trace_file);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", opt.trace_file.c_str());
+      return 2;
+    }
+    trace.write_chrome_json(out);
+    std::printf("\nwrote %zu trace events to %s\n", trace.size(),
+                opt.trace_file.c_str());
+  }
+  if (!opt.metrics_file.empty()) {
+    std::ofstream out(opt.metrics_file);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", opt.metrics_file.c_str());
+      return 2;
+    }
+    MetricsRegistry::global().write_json(out);
+    std::printf("wrote metrics to %s\n", opt.metrics_file.c_str());
   }
   return (opt.fail_at_seconds >= 0 && !recovered) ? 1 : 0;
 }

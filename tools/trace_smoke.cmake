@@ -1,0 +1,37 @@
+# Smoke test: run a short simulation with tracing on, then validate the
+# exported Chrome trace with mstrace --check. Driven from tools/CMakeLists
+# as ctest `tools.trace_smoke`.
+set(trace_file "${WORK_DIR}/trace_smoke.json")
+
+execute_process(
+  COMMAND "${MSSIM}" --app tmi --scheme ms-src+ap --checkpoints 2 --window 2
+          --trace "${trace_file}"
+  RESULT_VARIABLE sim_rc
+  OUTPUT_VARIABLE sim_out
+  ERROR_VARIABLE sim_err)
+if(NOT sim_rc EQUAL 0)
+  message(FATAL_ERROR "mssim failed (rc=${sim_rc}):\n${sim_out}\n${sim_err}")
+endif()
+
+execute_process(
+  COMMAND "${MSTRACE}" --check "${trace_file}"
+  RESULT_VARIABLE check_rc
+  OUTPUT_VARIABLE check_out
+  ERROR_VARIABLE check_err)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR
+          "mstrace --check failed (rc=${check_rc}):\n${check_out}\n${check_err}")
+endif()
+
+# The summary must see at least one checkpoint epoch in the capture.
+execute_process(
+  COMMAND "${MSTRACE}" "${trace_file}"
+  RESULT_VARIABLE sum_rc
+  OUTPUT_VARIABLE sum_out
+  ERROR_VARIABLE sum_err)
+if(NOT sum_rc EQUAL 0)
+  message(FATAL_ERROR "mstrace summary failed:\n${sum_out}\n${sum_err}")
+endif()
+if(NOT sum_out MATCHES "checkpoint epoch [0-9]")
+  message(FATAL_ERROR "trace summary reports no checkpoint epochs:\n${sum_out}")
+endif()
