@@ -1,0 +1,70 @@
+#include "failure/rt_chaos.h"
+
+#include "common/log.h"
+#include "common/status.h"
+
+namespace ms::failure {
+
+RtChaos::RtChaos(ft::RtRuntime* runtime) : runtime_(runtime) {
+  MS_CHECK(runtime_ != nullptr);
+}
+
+void RtChaos::crash_on(ft::FtPoint point, int hau_id, int occurrence) {
+  std::scoped_lock lk(mu_);
+  MS_CHECK(!armed_);
+  Trigger t;
+  t.point = point;
+  t.hau_filter = hau_id;
+  t.occurrence = occurrence;
+  triggers_.push_back(t);
+}
+
+void RtChaos::arm() {
+  {
+    std::scoped_lock lk(mu_);
+    MS_CHECK(!armed_);
+    armed_ = true;
+  }
+  runtime_->add_probe([this](ft::FtPoint point, int hau, std::uint64_t id) {
+    on_probe(point, hau, id);
+  });
+}
+
+void RtChaos::on_probe(ft::FtPoint point, int hau, std::uint64_t id) {
+  bool fire = false;
+  {
+    std::scoped_lock lk(mu_);
+    for (auto& t : triggers_) {
+      if (t.fired || t.point != point) continue;
+      // Application-wide probes carry hau = -1 and match any filter.
+      if (t.hau_filter >= 0 && hau >= 0 && t.hau_filter != hau) continue;
+      if (++t.seen < t.occurrence) continue;
+      t.fired = true;
+      fire = true;
+      ++kills_;
+      log_.push_back(std::string("crash at ") + ft::ft_point_name(point) +
+                     " hau=" + std::to_string(hau) +
+                     " id=" + std::to_string(id));
+    }
+  }
+  // Outside the trigger lock: simulate_crash only flips an atomic, but keep
+  // the injection path free of our mutex anyway.
+  if (fire) {
+    MS_LOG_WARN("chaos", "rt crash injected at %s (hau=%d, id=%llu)",
+                ft::ft_point_name(point), hau,
+                static_cast<unsigned long long>(id));
+    runtime_->simulate_crash();
+  }
+}
+
+int RtChaos::kills() const {
+  std::scoped_lock lk(mu_);
+  return kills_;
+}
+
+std::vector<std::string> RtChaos::log() const {
+  std::scoped_lock lk(mu_);
+  return log_;
+}
+
+}  // namespace ms::failure

@@ -1,0 +1,59 @@
+// Chaos fault injection for the real-threads runtime.
+//
+// The sim-side ChaosHarness (failure/chaos.h) scripts faults against precise
+// protocol states inside the deterministic simulation. RtChaos is its
+// real-threads sibling: it subscribes to RtRuntime's FtPoint probe spine and
+// pulls the (simulated) plug — RtRuntime::simulate_crash() — the moment the
+// protocol reaches a scripted point. Probes fire from worker, helper, and
+// timer threads, so trigger matching is mutex-guarded; the crash flag itself
+// is an atomic the runtime checks at every durability boundary.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ft/probe.h"
+#include "ft/rt_runtime.h"
+
+namespace ms::failure {
+
+class RtChaos {
+ public:
+  explicit RtChaos(ft::RtRuntime* runtime);
+
+  // --- scripting; call before arm() ---
+  /// Crash the process the `occurrence`-th time `point` fires for `hau_id`
+  /// (-1 matches any unit, including application-wide probes).
+  void crash_on(ft::FtPoint point, int hau_id = -1, int occurrence = 1);
+
+  /// Subscribe to the runtime's probe spine. Call once, before start() or
+  /// recover(); other probe subscribers coexist.
+  void arm();
+
+  /// Crashes injected by fired triggers so far.
+  int kills() const;
+  /// Human-readable timeline of every injected fault.
+  std::vector<std::string> log() const;
+
+ private:
+  struct Trigger {
+    ft::FtPoint point = ft::FtPoint::kTokenAlignStart;
+    int hau_filter = -1;
+    int occurrence = 1;
+    int seen = 0;
+    bool fired = false;
+  };
+
+  void on_probe(ft::FtPoint point, int hau, std::uint64_t id);
+
+  ft::RtRuntime* runtime_;
+  mutable std::mutex mu_;
+  std::vector<Trigger> triggers_;
+  bool armed_ = false;
+  int kills_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace ms::failure

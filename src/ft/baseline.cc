@@ -14,6 +14,7 @@ std::atomic<std::uint64_t> g_baseline_instance_counter{0};
 BaselineScheme::BaselineScheme(core::Application* app, const FtParams& params)
     : app_(app),
       params_(params),
+      runtime_(std::make_unique<SimRuntime>(app, SimRuntime::Hooks{})),
       rng_(app->seed() ^ 0xba5e11eULL),
       instance_(++g_baseline_instance_counter),
       metrics_(&MetricsRegistry::global()) {
@@ -42,7 +43,7 @@ void BaselineScheme::set_metrics(MetricsRegistry* metrics) {
 void BaselineScheme::set_trace(TraceRecorder* trace) {
   MS_CHECK(trace != nullptr);
   tracer_ = std::make_unique<ProbeTracer>(
-      trace, [this] { return app_->simulation().now(); });
+      trace, [this] { return runtime_->now(); });
   add_probe([this](FtPoint point, int hau, std::uint64_t id) {
     tracer_->on(point, hau, id);
   });
@@ -255,10 +256,9 @@ std::size_t BaselineHauFt::preserved_count() const {
 void BaselineScheme::recover_hau(int hau_id, net::NodeId replacement,
                                  std::function<void(RecoveryStats)> done) {
   core::Hau& hau = app_->hau(hau_id);
-  MS_CHECK_MSG(hau.failed(), "baseline recovery of a live HAU");
-  auto& sim = app_->simulation();
+  MS_CHECK_MSG(!runtime_->unit_alive(hau_id), "baseline recovery of a live HAU");
   auto stats = std::make_shared<RecoveryStats>();
-  stats->started = sim.now();
+  stats->started = runtime_->now();
   stats->haus_recovered = 1;
   last_recovery_error_ = Status::ok();
   const std::uint64_t seq = ++recovery_seq_;
@@ -336,7 +336,7 @@ void BaselineScheme::recover_hau(int hau_id, net::NodeId replacement,
             }
             for (int port = 0; port < hau.num_in_ports(); ++port) {
               core::Hau* up = hau.upstream(port);
-              if (up->failed()) {
+              if (!runtime_->unit_alive(up->id())) {
                 // Correlated failure: the neighbour holding this port's
                 // preservation buffer is dead, so its tuples are gone —
                 // exactly the weakness Meteor Shower's source preservation

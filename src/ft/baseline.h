@@ -30,6 +30,7 @@
 #include "core/application.h"
 #include "ft/params.h"
 #include "ft/probe.h"
+#include "ft/sim_runtime.h"
 #include "ft/stats.h"
 #include "ft/tracing.h"
 
@@ -92,6 +93,10 @@ class BaselineScheme {
 
   core::Application* app_;
   FtParams params_;
+  // Controller-side view of the execution (clock, unit liveness). Baseline
+  // installs no epoch hooks: every checkpoint is a per-HAU affair, there is
+  // no application-wide epoch for a coordinator to drive.
+  std::unique_ptr<SimRuntime> runtime_;
   Rng rng_;
   std::uint64_t instance_;  // storage-namespace discriminator
   std::vector<HauCheckpointReport> reports_;

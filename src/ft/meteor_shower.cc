@@ -70,6 +70,18 @@ MsScheme::MsScheme(core::Application* app, const FtParams& params,
       aa_(params),
       metrics_(&MetricsRegistry::global()) {
   MS_CHECK(app != nullptr);
+  runtime_ = std::make_unique<SimRuntime>(
+      app, SimRuntime::Hooks{
+               .start_epoch = [this](std::uint64_t id) { start_epoch_fanout(id); },
+               .commit_epoch =
+                   [this](std::uint64_t id) { commit_epoch_fanout(id); },
+               .abandon_epoch = nullptr,
+           });
+  coordinator_ = std::make_unique<CheckpointCoordinator>(runtime_.get(), params_);
+  coordinator_->set_probe([this](FtPoint point, int hau, std::uint64_t id) {
+    emit_probe(point, hau, id);
+  });
+  coordinator_->set_blocked_fn([this] { return recovery_in_progress_; });
   aa_.set_hooks(AaController::Hooks{
       .query_dynamic_haus = [this] { aa_query_dynamic(); },
       .trigger_checkpoint = [this] { begin_checkpoint(); },
@@ -79,14 +91,6 @@ MsScheme::MsScheme(core::Application* app, const FtParams& params,
 }
 
 void MsScheme::bind_metrics() {
-  m_ckpt_started_ = metrics_->counter("ft.ckpt.started");
-  m_ckpt_completed_ = metrics_->counter("ft.ckpt.completed");
-  m_ckpt_abandoned_ = metrics_->counter("ft.ckpt.abandoned");
-  m_ckpt_in_progress_ = metrics_->gauge("ft.ckpt.in_progress");
-  m_ckpt_token_collection_ = metrics_->histogram("ft.ckpt.token_collection");
-  m_ckpt_other_ = metrics_->histogram("ft.ckpt.other");
-  m_ckpt_disk_io_ = metrics_->histogram("ft.ckpt.disk_io");
-  m_ckpt_total_ = metrics_->histogram("ft.ckpt.total");
   m_recovery_started_ = metrics_->counter("ft.recovery.started");
   m_recovery_completed_ = metrics_->counter("ft.recovery.completed");
   m_recovery_abandoned_slots_ =
@@ -98,6 +102,7 @@ void MsScheme::set_metrics(MetricsRegistry* metrics) {
   MS_CHECK(metrics != nullptr);
   metrics_ = metrics;
   bind_metrics();
+  coordinator_->set_metrics(metrics);
 }
 
 void MsScheme::set_trace(TraceRecorder* trace) {
@@ -129,16 +134,9 @@ void MsScheme::start() {
   if (application_aware()) {
     aa_start_pipeline();
   } else if (params_.periodic) {
-    schedule_periodic();
+    coordinator_->schedule_periodic();
   }
   if (detection_enabled_) ping_sources();
-}
-
-void MsScheme::schedule_periodic() {
-  app_->simulation().schedule_after(params_.checkpoint_period, [this] {
-    if (!recovery_in_progress_) begin_checkpoint();
-    schedule_periodic();
-  });
 }
 
 std::string MsScheme::checkpoint_key(int hau_id, std::uint64_t ckpt_id) const {
@@ -173,109 +171,46 @@ void MsScheme::to_hau(core::Hau& hau, Bytes size,
 
 void MsScheme::trigger_checkpoint() { begin_checkpoint(); }
 
-void MsScheme::begin_checkpoint() {
-  if (recovery_in_progress_) return;
-  if (!in_progress_.empty()) {
-    // Never overlap application checkpoints: an HAU still aligned on the
-    // previous epoch would ignore the new token command and the epoch could
-    // never complete. The paper's controller serializes them too. An epoch
-    // that has been running for several periods is considered wedged (e.g.
-    // a write lost to a storage outage) and is abandoned so checkpointing
-    // can resume.
-    const SimTime now = app_->simulation().now();
-    const SimTime stale_after = params_.checkpoint_period * std::int64_t{3};
-    for (auto it = in_progress_.begin(); it != in_progress_.end();) {
-      if (now - it->second.initiated > stale_after) {
-        MS_LOG_WARN("ft", "abandoning wedged checkpoint epoch %llu",
-                    static_cast<unsigned long long>(it->first));
-        emit_probe(FtPoint::kEpochAbandon, -1, it->first);
-        m_ckpt_abandoned_->add(1);
-        it = in_progress_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
-    if (!in_progress_.empty()) {
-      MS_LOG_DEBUG("ft", "checkpoint skipped: previous epoch still running");
-      return;
-    }
-  }
-  const std::uint64_t id = next_checkpoint_id_++;
-  AppCheckpointStats stats;
-  stats.checkpoint_id = id;
-  stats.initiated = app_->simulation().now();
-  in_progress_[id] = stats;
-  m_ckpt_started_->add(1);
-  m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
+void MsScheme::begin_checkpoint() { coordinator_->begin_checkpoint(); }
 
+void MsScheme::start_epoch_fanout(std::uint64_t ckpt_id) {
+  // Variant-specific command fan-out. MS-src: sources only (tokens trickle
+  // from there); MS-src+ap(+aa): every HAU aligns on 1-hop tokens.
   for (int i = 0; i < app_->num_haus(); ++i) {
     core::Hau& hau = app_->hau(i);
     if (hau.failed()) continue;
     if (synchronous() && !hau.is_source()) continue;
     MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
-    to_hau(hau, 64,
-           [ft, id](core::Hau& h) { ft->on_checkpoint_command(h, id); });
+    to_hau(hau, 64, [ft, ckpt_id](core::Hau& h) {
+      ft->on_checkpoint_command(h, ckpt_id);
+    });
   }
 }
 
 void MsScheme::on_hau_report(const HauCheckpointReport& report) {
-  const auto it = in_progress_.find(report.checkpoint_id);
-  if (it == in_progress_.end()) return;  // aborted by a recovery
-  // Live phase breakdown, queryable mid-run (ISSUE: per-HAU gauges plus the
-  // aggregate histograms feeding Fig. 14).
-  m_ckpt_token_collection_->record(report.token_collection());
-  m_ckpt_other_->record(report.other());
-  m_ckpt_disk_io_->record(report.disk_io());
-  m_ckpt_total_->record(report.total());
-  const std::string hau_prefix = "ft.ckpt.hau." + std::to_string(report.hau_id);
-  metrics_->gauge(hau_prefix + ".token_collection_ns")
-      ->set(static_cast<double>(report.token_collection().ns()));
-  metrics_->gauge(hau_prefix + ".disk_io_ns")
-      ->set(static_cast<double>(report.disk_io().ns()));
-  metrics_->gauge(hau_prefix + ".total_ns")
-      ->set(static_cast<double>(report.total().ns()));
-  AppCheckpointStats& stats = it->second;
-  stats.total_declared += report.declared_bytes;
-  ++stats.haus_reported;
-  if (stats.haus_reported == 1 || report.total() > stats.slowest.total()) {
-    stats.slowest = report;
-  }
-  if (stats.haus_reported == app_->num_haus()) {
-    stats.completed = app_->simulation().now();
-    last_completed_ = stats.checkpoint_id;
-    const std::uint64_t id = stats.checkpoint_id;
-    checkpoints_.push_back(stats);
-    in_progress_.erase(it);  // invalidates `stats`
-    m_ckpt_completed_->add(1);
-    m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
+  coordinator_->on_unit_report(report);
+}
 
-    // Garbage-collect the previous application checkpoint and let sources
-    // truncate their preserved logs before the new boundary.
-    for (int i = 0; i < app_->num_haus(); ++i) {
-      core::Hau& hau = app_->hau(i);
-      if (id >= 2) {
-        app_->cluster().shared_storage().erase_now(checkpoint_key(i, id - 1));
-      }
-      if (hau.is_source() && !hau.failed()) {
-        MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
-        to_hau(hau, 64, [ft, id](core::Hau& h) {
-          ft->on_app_checkpoint_complete(h, id);
-        });
-      }
+void MsScheme::commit_epoch_fanout(std::uint64_t ckpt_id) {
+  // Garbage-collect the previous application checkpoint and let sources
+  // truncate their preserved logs before the new boundary.
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    core::Hau& hau = app_->hau(i);
+    if (ckpt_id >= 2) {
+      app_->cluster().shared_storage().erase_now(
+          checkpoint_key(i, ckpt_id - 1));
+    }
+    if (hau.is_source() && !hau.failed()) {
+      MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
+      to_hau(hau, 64, [ft, ckpt_id](core::Hau& h) {
+        ft->on_app_checkpoint_complete(h, ckpt_id);
+      });
     }
   }
 }
 
 void MsScheme::on_hau_checkpoint_failed(std::uint64_t ckpt_id) {
-  const auto it = in_progress_.find(ckpt_id);
-  if (it == in_progress_.end()) return;
-  MS_LOG_WARN("ft", "aborting checkpoint epoch %llu: an HAU's write failed",
-              static_cast<unsigned long long>(ckpt_id));
-  in_progress_.erase(it);
-  emit_probe(FtPoint::kEpochAbandon, -1, ckpt_id);
-  m_ckpt_abandoned_->add(1);
-  m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
+  coordinator_->on_unit_checkpoint_failed(ckpt_id);
 }
 
 // ---------------------------------------------------------------------------
@@ -1067,7 +1002,7 @@ Status MsScheme::recover_application(std::vector<net::NodeId> replacements,
   run->acked.assign(static_cast<std::size_t>(n), false);
   run->abandoned.assign(static_cast<std::size_t>(n), false);
   run->done = std::move(done);
-  const std::uint64_t ckpt = last_completed_;
+  const std::uint64_t ckpt = coordinator_->last_completed();
 
   // Placement: failed HAUs restart on their own node if it came back, else
   // on the next live replacement. With no placeable failed HAU at all the
@@ -1105,8 +1040,7 @@ Status MsScheme::recover_application(std::vector<net::NodeId> replacements,
   }
 
   recovery_in_progress_ = true;
-  in_progress_.clear();  // abort any checkpoint in flight
-  m_ckpt_in_progress_->set(0.0);
+  coordinator_->abort_in_progress();  // abort any checkpoint in flight
   m_recovery_started_->add(1);
   emit_probe(FtPoint::kRecoveryStart, -1, run->id);
 

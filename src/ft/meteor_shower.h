@@ -30,6 +30,8 @@
 #include "ft/aa_controller.h"
 #include "ft/params.h"
 #include "ft/probe.h"
+#include "ft/protocol.h"
+#include "ft/sim_runtime.h"
 #include "ft/stats.h"
 #include "ft/tracing.h"
 #include "statesize/turning_point.h"
@@ -103,12 +105,16 @@ class MsScheme {
 
   // --- stats ---
   const std::vector<AppCheckpointStats>& checkpoints() const {
-    return checkpoints_;
+    return coordinator_->checkpoints();
   }
   const std::vector<RecoveryStats>& recoveries() const { return recoveries_; }
   /// Most recent completed application checkpoint id (0 = none).
-  std::uint64_t last_completed_checkpoint() const { return last_completed_; }
+  std::uint64_t last_completed_checkpoint() const {
+    return coordinator_->last_completed();
+  }
   AaController& aa() { return aa_; }
+  /// The execution-agnostic controller (ft/protocol.h) driving the epochs.
+  CheckpointCoordinator& coordinator() { return *coordinator_; }
 
   std::string checkpoint_key(int hau_id, std::uint64_t ckpt_id) const;
   std::string preserve_key(int hau_id) const;
@@ -129,7 +135,10 @@ class MsScheme {
 
   void begin_checkpoint();
   void on_hau_report(const HauCheckpointReport& report);
-  void schedule_periodic();
+  /// SimRuntime epoch hooks: the variant-specific command fan-out and the
+  /// post-completion GC + source-truncation pass.
+  void start_epoch_fanout(std::uint64_t ckpt_id);
+  void commit_epoch_fanout(std::uint64_t ckpt_id);
 
   // AA plumbing.
   void aa_start_pipeline();
@@ -201,10 +210,11 @@ class MsScheme {
   std::uint64_t instance_;  // storage-namespace discriminator
   std::vector<MsHauFt*> fts_;  // borrowed; owned by the HAUs
 
-  std::uint64_t next_checkpoint_id_ = 1;
-  std::map<std::uint64_t, AppCheckpointStats> in_progress_;
-  std::vector<AppCheckpointStats> checkpoints_;
-  std::uint64_t last_completed_ = 0;
+  /// The execution seam: the coordinator owns the epoch state machine and
+  /// acts through runtime_ (here, the sim adapter bound to this scheme's
+  /// fan-out hooks).
+  std::unique_ptr<SimRuntime> runtime_;
+  std::unique_ptr<CheckpointCoordinator> coordinator_;
   std::vector<RecoveryStats> recoveries_;
 
   AaController aa_;
@@ -223,17 +233,10 @@ class MsScheme {
   std::unique_ptr<ProbeTracer> tracer_;
   std::vector<net::NodeId> spares_;
 
-  // Live metric handles (ft.ckpt.* / ft.recovery.*), resolved once against
-  // metrics_ so the hot paths do no name lookups.
+  // Live metric handles (ft.recovery.*; the ft.ckpt.* family lives in the
+  // coordinator), resolved once against metrics_ so the hot paths do no
+  // name lookups.
   MetricsRegistry* metrics_;
-  Counter* m_ckpt_started_;
-  Counter* m_ckpt_completed_;
-  Counter* m_ckpt_abandoned_;
-  Gauge* m_ckpt_in_progress_;
-  HistogramMetric* m_ckpt_token_collection_;
-  HistogramMetric* m_ckpt_other_;
-  HistogramMetric* m_ckpt_disk_io_;
-  HistogramMetric* m_ckpt_total_;
   Counter* m_recovery_started_;
   Counter* m_recovery_completed_;
   Counter* m_recovery_abandoned_slots_;

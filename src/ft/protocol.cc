@@ -1,0 +1,135 @@
+#include "ft/protocol.h"
+
+#include <string>
+
+#include "common/log.h"
+#include "common/status.h"
+
+namespace ms::ft {
+
+CheckpointCoordinator::CheckpointCoordinator(Runtime* runtime,
+                                             const FtParams& params)
+    : runtime_(runtime),
+      params_(params),
+      metrics_(&MetricsRegistry::global()) {
+  MS_CHECK(runtime != nullptr);
+  bind_metrics();
+}
+
+void CheckpointCoordinator::bind_metrics() {
+  m_ckpt_started_ = metrics_->counter("ft.ckpt.started");
+  m_ckpt_completed_ = metrics_->counter("ft.ckpt.completed");
+  m_ckpt_abandoned_ = metrics_->counter("ft.ckpt.abandoned");
+  m_ckpt_in_progress_ = metrics_->gauge("ft.ckpt.in_progress");
+  m_ckpt_token_collection_ = metrics_->histogram("ft.ckpt.token_collection");
+  m_ckpt_other_ = metrics_->histogram("ft.ckpt.other");
+  m_ckpt_disk_io_ = metrics_->histogram("ft.ckpt.disk_io");
+  m_ckpt_total_ = metrics_->histogram("ft.ckpt.total");
+}
+
+void CheckpointCoordinator::set_metrics(MetricsRegistry* metrics) {
+  MS_CHECK(metrics != nullptr);
+  metrics_ = metrics;
+  bind_metrics();
+}
+
+void CheckpointCoordinator::schedule_periodic() {
+  runtime_->schedule_after(params_.checkpoint_period, [this] {
+    if (!(blocked_ && blocked_())) begin_checkpoint();
+    schedule_periodic();
+  });
+}
+
+void CheckpointCoordinator::begin_checkpoint() {
+  if (blocked_ && blocked_()) return;
+  if (!in_progress_.empty()) {
+    // Never overlap application checkpoints: a unit still aligned on the
+    // previous epoch would ignore the new token command and the epoch could
+    // never complete. The paper's controller serializes them too. An epoch
+    // that has been running for several periods is considered wedged (e.g.
+    // a write lost to a storage outage) and is abandoned so checkpointing
+    // can resume.
+    const SimTime now = runtime_->now();
+    const SimTime stale_after = params_.checkpoint_period * std::int64_t{3};
+    for (auto it = in_progress_.begin(); it != in_progress_.end();) {
+      if (now - it->second.initiated > stale_after) {
+        MS_LOG_WARN("ft", "abandoning wedged checkpoint epoch %llu",
+                    static_cast<unsigned long long>(it->first));
+        emit(FtPoint::kEpochAbandon, -1, it->first);
+        m_ckpt_abandoned_->add(1);
+        runtime_->abandon_epoch(it->first);
+        it = in_progress_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
+    if (!in_progress_.empty()) {
+      MS_LOG_DEBUG("ft", "checkpoint skipped: previous epoch still running");
+      return;
+    }
+  }
+  const std::uint64_t id = next_checkpoint_id_++;
+  AppCheckpointStats stats;
+  stats.checkpoint_id = id;
+  stats.initiated = runtime_->now();
+  in_progress_[id] = stats;
+  m_ckpt_started_->add(1);
+  m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
+
+  runtime_->start_epoch(id);
+}
+
+void CheckpointCoordinator::on_unit_report(const HauCheckpointReport& report) {
+  const auto it = in_progress_.find(report.checkpoint_id);
+  if (it == in_progress_.end()) return;  // aborted by a recovery
+  // Live phase breakdown, queryable mid-run (per-unit gauges plus the
+  // aggregate histograms feeding Fig. 14).
+  m_ckpt_token_collection_->record(report.token_collection());
+  m_ckpt_other_->record(report.other());
+  m_ckpt_disk_io_->record(report.disk_io());
+  m_ckpt_total_->record(report.total());
+  const std::string hau_prefix = "ft.ckpt.hau." + std::to_string(report.hau_id);
+  metrics_->gauge(hau_prefix + ".token_collection_ns")
+      ->set(static_cast<double>(report.token_collection().ns()));
+  metrics_->gauge(hau_prefix + ".disk_io_ns")
+      ->set(static_cast<double>(report.disk_io().ns()));
+  metrics_->gauge(hau_prefix + ".total_ns")
+      ->set(static_cast<double>(report.total().ns()));
+  AppCheckpointStats& stats = it->second;
+  stats.total_declared += report.declared_bytes;
+  ++stats.haus_reported;
+  if (stats.haus_reported == 1 || report.total() > stats.slowest.total()) {
+    stats.slowest = report;
+  }
+  if (stats.haus_reported == runtime_->num_units()) {
+    stats.completed = runtime_->now();
+    last_completed_ = stats.checkpoint_id;
+    const std::uint64_t id = stats.checkpoint_id;
+    checkpoints_.push_back(stats);
+    in_progress_.erase(it);  // invalidates `stats`
+    m_ckpt_completed_->add(1);
+    m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
+
+    runtime_->commit_epoch(id);
+  }
+}
+
+void CheckpointCoordinator::on_unit_checkpoint_failed(std::uint64_t ckpt_id) {
+  const auto it = in_progress_.find(ckpt_id);
+  if (it == in_progress_.end()) return;
+  MS_LOG_WARN("ft", "aborting checkpoint epoch %llu: a unit's write failed",
+              static_cast<unsigned long long>(ckpt_id));
+  in_progress_.erase(it);
+  emit(FtPoint::kEpochAbandon, -1, ckpt_id);
+  m_ckpt_abandoned_->add(1);
+  m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
+  runtime_->abandon_epoch(ckpt_id);
+}
+
+void CheckpointCoordinator::abort_in_progress() {
+  in_progress_.clear();
+  m_ckpt_in_progress_->set(0.0);
+}
+
+}  // namespace ms::ft

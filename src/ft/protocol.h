@@ -1,0 +1,93 @@
+// Execution-agnostic checkpoint controller.
+//
+// CheckpointCoordinator is the protocol state machine the paper runs on the
+// storage node: it serializes application checkpoint epochs (never two in
+// flight), abandons wedged epochs after a stale window, aggregates per-unit
+// completion reports into AppCheckpointStats, detects application-wide
+// completion, and drives the periodic schedule. It acts on the world only
+// through ft::Runtime (ft/runtime.h), so the identical controller runs
+// against the discrete-event simulator (SimRuntime, owned by MsScheme) and
+// against real threads (RtRuntime over rt::RtEngine).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "ft/params.h"
+#include "ft/probe.h"
+#include "ft/runtime.h"
+#include "ft/stats.h"
+
+namespace ms::ft {
+
+class CheckpointCoordinator {
+ public:
+  CheckpointCoordinator(Runtime* runtime, const FtParams& params);
+
+  /// Redirect metric recording (defaults to MetricsRegistry::global()).
+  void set_metrics(MetricsRegistry* metrics);
+  /// Protocol instrumentation sink; the owner fans it out to subscribers.
+  void set_probe(FtProbe probe) { probe_ = std::move(probe); }
+  /// When this returns true the coordinator refuses to start epochs (a
+  /// recovery is rolling the application back).
+  void set_blocked_fn(std::function<bool()> blocked) {
+    blocked_ = std::move(blocked);
+  }
+
+  /// Arm the periodic schedule (params.checkpoint_period cadence).
+  void schedule_periodic();
+
+  /// Start one application checkpoint epoch now. Skipped while blocked or
+  /// while a previous epoch is still running (a wedged epoch older than
+  /// three periods is abandoned first, so checkpointing can resume).
+  void begin_checkpoint();
+
+  /// One unit finished its individual checkpoint for an epoch.
+  void on_unit_report(const HauCheckpointReport& report);
+
+  /// A unit's stable-storage write failed definitively: abort the epoch so
+  /// the next periodic checkpoint is not blocked until wedge-abandonment.
+  void on_unit_checkpoint_failed(std::uint64_t ckpt_id);
+
+  /// Abort every epoch in flight (recovery entry).
+  void abort_in_progress();
+
+  // --- stats ---
+  const std::vector<AppCheckpointStats>& checkpoints() const {
+    return checkpoints_;
+  }
+  /// Most recent completed application checkpoint id (0 = none).
+  std::uint64_t last_completed() const { return last_completed_; }
+  bool epoch_in_flight() const { return !in_progress_.empty(); }
+
+ private:
+  void emit(FtPoint point, int unit, std::uint64_t id) {
+    if (probe_) probe_(point, unit, id);
+  }
+  void bind_metrics();
+
+  Runtime* runtime_;
+  FtParams params_;
+  FtProbe probe_;
+  std::function<bool()> blocked_;
+
+  std::uint64_t next_checkpoint_id_ = 1;
+  std::map<std::uint64_t, AppCheckpointStats> in_progress_;
+  std::vector<AppCheckpointStats> checkpoints_;
+  std::uint64_t last_completed_ = 0;
+
+  MetricsRegistry* metrics_;
+  Counter* m_ckpt_started_;
+  Counter* m_ckpt_completed_;
+  Counter* m_ckpt_abandoned_;
+  Gauge* m_ckpt_in_progress_;
+  HistogramMetric* m_ckpt_token_collection_;
+  HistogramMetric* m_ckpt_other_;
+  HistogramMetric* m_ckpt_disk_io_;
+  HistogramMetric* m_ckpt_total_;
+};
+
+}  // namespace ms::ft

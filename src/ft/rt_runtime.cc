@@ -1,0 +1,983 @@
+#include "ft/rt_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <thread>
+
+#include "common/log.h"
+#include "common/serialize.h"
+
+namespace ms::ft {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kManifestMagic = 0x4D534D46;  // "MSMF"
+constexpr std::uint32_t kManifestVersion = 1;
+// Fixed-width portion of a source-log frame (everything but the payload).
+constexpr std::size_t kLogFrameFixed =
+    8 /*index*/ + 4 /*out_port*/ + 8 /*id*/ + 4 /*source_hau*/ +
+    8 /*source_seq*/ + 8 /*edge_seq*/ + 8 /*event_time*/ + 8 /*wire_size*/ +
+    1 /*has_payload*/;
+
+bool write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  return !ec;
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const auto size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!in) return std::nullopt;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+RtRuntime::RtRuntime(rt::RtEngine* engine, RtRuntimeConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      epoch0_(std::chrono::steady_clock::now()) {
+  MS_CHECK_MSG(engine_ != nullptr, "RtRuntime: null engine");
+  MS_CHECK_MSG(!engine_->running(), "RtRuntime: engine already running");
+  MS_CHECK_MSG(!config_.dir.empty(), "RtRuntime: durable dir required");
+
+  fs::create_directories(config_.dir);
+  if (config_.mode == RtMode::kBaseline) {
+    fs::create_directories(config_.dir + "/baseline");
+  }
+
+  const int n = engine_->num_operators();
+  logs_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (!engine_->op_is_source(i)) continue;
+    auto log = std::make_unique<SourceLog>();
+    log->path = log_path(i);
+    logs_[static_cast<std::size_t>(i)] = std::move(log);
+  }
+  scan_existing_state();
+  baseline_seq_.assign(static_cast<std::size_t>(n), 0);
+
+  coordinator_ = std::make_unique<CheckpointCoordinator>(this, config_.params);
+  if (config_.metrics) coordinator_->set_metrics(config_.metrics);
+  coordinator_->set_probe([this](FtPoint point, int unit, std::uint64_t id) {
+    emit_probe(point, unit, id);
+  });
+  // ctl_mu_ is held wherever the coordinator runs, so this reads consistent.
+  coordinator_->set_blocked_fn([this] { return initiation_stopped_; });
+
+  if (config_.mode == RtMode::kSrcApAa) {
+    aa_ = std::make_unique<AaController>(config_.params);
+    AaController::Hooks hooks;
+    // Hooks fire while ctl_mu_ is held; sampling engine state must not
+    // happen under it (op_mu ordering), so the query hops to the timer.
+    hooks.query_dynamic_haus = [this] {
+      engine_->run_after(SimTime::zero(), [this] { aa_query_dynamic(); });
+    };
+    hooks.trigger_checkpoint = [this] { coordinator_->begin_checkpoint(); };
+    hooks.set_alert_reporting = [this](bool on) {
+      alert_reporting_.store(on);
+    };
+    aa_->set_hooks(std::move(hooks));
+  }
+
+  engine_->set_snapshot_sink(
+      [this](const rt::Snapshot& snap) { on_snapshot(snap); });
+  engine_->set_source_tap([this](int op, int out_port, const core::Tuple& t) {
+    on_source_emit(op, out_port, t);
+  });
+  engine_->set_proto_probe(
+      [this](rt::ProtoPoint point, int op, std::uint64_t epoch) {
+        on_engine_proto(point, op, epoch);
+      });
+}
+
+RtRuntime::~RtRuntime() {
+  if (engine_->running()) stop();
+  // The engine may outlive this runtime; leave no dangling callbacks behind.
+  engine_->set_snapshot_sink(nullptr);
+  engine_->set_source_tap(nullptr);
+  engine_->set_proto_probe(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+Status RtRuntime::start() {
+  if (engine_->running()) {
+    return Status::failed_precondition("RtRuntime: engine already running");
+  }
+  {
+    std::scoped_lock lk(ctl_mu_);
+    initiation_stopped_ = false;
+  }
+  engine_->start();
+  arm_initiation();
+  return Status::ok();
+}
+
+void RtRuntime::stop() {
+  {
+    std::scoped_lock lk(ctl_mu_);
+    initiation_stopped_ = true;
+  }
+  engine_->stop();
+}
+
+void RtRuntime::arm_initiation() {
+  switch (config_.mode) {
+    case RtMode::kSrc:
+    case RtMode::kSrcAp: {
+      if (config_.params.periodic) {
+        std::scoped_lock lk(ctl_mu_);
+        coordinator_->schedule_periodic();
+      }
+      break;
+    }
+    case RtMode::kSrcApAa:
+      start_aa_pipeline();
+      break;
+    case RtMode::kBaseline: {
+      const int n = engine_->num_operators();
+      for (int i = 0; i < n; ++i) schedule_baseline(i);
+      break;
+    }
+  }
+}
+
+Status RtRuntime::begin_checkpoint() {
+  if (!engine_->running()) {
+    return Status::failed_precondition("RtRuntime: engine not running");
+  }
+  if (config_.mode == RtMode::kBaseline) {
+    return Status::failed_precondition(
+        "RtRuntime: baseline has no application checkpoints");
+  }
+  std::scoped_lock lk(ctl_mu_);
+  coordinator_->begin_checkpoint();
+  return Status::ok();
+}
+
+bool RtRuntime::wait_checkpoints(std::uint64_t n, SimTime timeout) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout.ns());
+  for (;;) {
+    {
+      std::scoped_lock lk(ctl_mu_);
+      if (coordinator_->checkpoints().size() >= n) return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+std::uint64_t RtRuntime::last_durable_epoch() const {
+  std::scoped_lock lk(ctl_mu_);
+  return last_durable_;
+}
+
+void RtRuntime::add_probe(FtProbe probe) {
+  MS_CHECK_MSG(!engine_->running(),
+               "RtRuntime: subscribe probes before start()");
+  probes_.push_back(std::move(probe));
+}
+
+// ---------------------------------------------------------------------------
+// ft::Runtime
+
+int RtRuntime::num_units() const { return engine_->num_operators(); }
+
+bool RtRuntime::unit_is_source(int unit) const {
+  return engine_->op_is_source(unit);
+}
+
+bool RtRuntime::unit_alive(int unit) const {
+  (void)unit;
+  return engine_->running();
+}
+
+SimTime RtRuntime::now() const {
+  return SimTime::nanos(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - epoch0_)
+                            .count());
+}
+
+void RtRuntime::schedule_after(SimTime delay, std::function<void()> fn) {
+  engine_->run_after(delay, [this, fn = std::move(fn)] {
+    std::scoped_lock lk(ctl_mu_);
+    // Swallowing the callback while stopped kills the periodic chain; a
+    // later start()/recover() re-arms it.
+    if (initiation_stopped_) return;
+    fn();
+  });
+}
+
+void RtRuntime::start_epoch(std::uint64_t epoch) {
+  // Called by the coordinator under ctl_mu_.
+  const std::uint64_t disk = epoch_base_ + epoch;
+  EpochState es;
+  es.disk_epoch = disk;
+  es.initiated = now();
+  if (!crashed_.load()) {
+    std::error_code ec;
+    fs::create_directories(epoch_dir(disk), ec);
+  }
+  pending_[disk] = std::move(es);
+  emit_probe(FtPoint::kTokenAlignStart, -1, epoch);
+  const rt::SnapshotMode mode = config_.mode == RtMode::kSrc
+                                    ? rt::SnapshotMode::kSync
+                                    : rt::SnapshotMode::kAsync;
+  const Status st = engine_->begin_epoch(disk, mode);
+  if (!st.is_ok()) {
+    MS_LOG_WARN("ft", "rt epoch %llu failed to start: %s",
+                static_cast<unsigned long long>(disk), st.message().c_str());
+    coordinator_->on_unit_checkpoint_failed(epoch);  // abandons via hook
+  }
+}
+
+void RtRuntime::commit_epoch(std::uint64_t epoch) {
+  // Called by the coordinator under ctl_mu_ once every unit reported.
+  const std::uint64_t disk = epoch_base_ + epoch;
+  auto it = pending_.find(disk);
+  if (it == pending_.end()) return;
+  if (crashed_.load()) {  // a dead process commits nothing
+    pending_.erase(it);
+    return;
+  }
+  const EpochState& es = it->second;
+
+  BinaryWriter w;
+  w.write<std::uint32_t>(kManifestMagic);
+  w.write<std::uint32_t>(kManifestVersion);
+  w.write<std::uint64_t>(disk);
+  const int n = engine_->num_operators();
+  w.write<std::uint32_t>(static_cast<std::uint32_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto size_it = es.sizes.find(i);
+    w.write<std::uint64_t>(size_it == es.sizes.end() ? 0 : size_it->second);
+    const bool is_source = engine_->op_is_source(i);
+    w.write<std::uint8_t>(is_source ? 1 : 0);
+    const auto b_it = es.boundaries.find(i);
+    w.write<std::uint64_t>(b_it == es.boundaries.end() ? 0 : b_it->second);
+    const auto s_it = es.next_seqs.find(i);
+    w.write<std::uint64_t>(s_it == es.next_seqs.end() ? 0 : s_it->second);
+  }
+  if (!write_file_atomic(epoch_dir(disk) + "/MANIFEST", w.take())) {
+    MS_LOG_WARN("ft", "rt epoch %llu: manifest write failed",
+                static_cast<unsigned long long>(disk));
+    pending_.erase(it);
+    return;
+  }
+
+  // The rename above is the commit point: epoch `disk` now exists. The
+  // predecessor and the preserved prefix behind the new boundaries are dead.
+  prev_durable_ = last_durable_;
+  last_durable_ = disk;
+  if (prev_durable_ != 0) {
+    std::error_code ec;
+    fs::remove_all(epoch_dir(prev_durable_), ec);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (!logs_[static_cast<std::size_t>(i)]) continue;
+    const auto b_it = es.boundaries.find(i);
+    if (b_it != es.boundaries.end()) truncate_log(i, b_it->second);
+  }
+  pending_.erase(it);
+}
+
+void RtRuntime::abandon_epoch(std::uint64_t epoch) {
+  // Called by the coordinator under ctl_mu_ (wedge or unit failure).
+  const std::uint64_t disk = epoch_base_ + epoch;
+  pending_.erase(disk);
+  if (!crashed_.load()) {
+    std::error_code ec;
+    fs::remove_all(epoch_dir(disk), ec);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine hooks
+
+void RtRuntime::on_snapshot(const rt::Snapshot& snap) {
+  // A crashed process would never have issued these writes; suppressing them
+  // (and the report that follows) is what makes the drill faithful.
+  if (crashed_.load()) return;
+  const SimTime serialized_at = now();
+
+  if (config_.mode == RtMode::kBaseline) {
+    BinaryWriter w(snap.size + 64);
+    w.write<std::uint64_t>(snap.epoch);
+    w.write<std::uint8_t>(engine_->op_is_source(snap.op) ? 1 : 0);
+    w.write<std::uint64_t>(snap.source_boundary);
+    w.write<std::uint64_t>(snap.source_next_seq);
+    w.write<std::uint64_t>(snap.size);
+    w.write_bytes(snap.data, snap.size);
+    emit_probe(FtPoint::kCheckpointWrite, snap.op, snap.epoch);
+    const std::string path =
+        config_.dir + "/baseline/op_" + std::to_string(snap.op) + ".ckpt";
+    if (!write_file_atomic(path, w.take())) {
+      MS_LOG_WARN("ft", "rt baseline checkpoint write failed: %s",
+                  path.c_str());
+      return;
+    }
+    emit_probe(FtPoint::kCheckpointDone, snap.op, snap.epoch);
+    return;
+  }
+
+  const std::uint64_t id = snap.epoch - epoch_base_;
+  emit_probe(FtPoint::kCheckpointWrite, snap.op, id);
+  const std::string path =
+      epoch_dir(snap.epoch) + "/op_" + std::to_string(snap.op) + ".ckpt";
+  bool wrote = false;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out.write(reinterpret_cast<const char*>(snap.data),
+                static_cast<std::streamsize>(snap.size));
+      out.flush();
+      wrote = static_cast<bool>(out);
+    }
+  }
+  const SimTime written_at = now();
+
+  std::scoped_lock lk(ctl_mu_);
+  auto it = pending_.find(snap.epoch);
+  if (it == pending_.end()) return;  // abandoned while we wrote
+  if (!wrote) {
+    MS_LOG_WARN("ft", "rt epoch %llu: checkpoint write failed for op %d",
+                static_cast<unsigned long long>(snap.epoch), snap.op);
+    coordinator_->on_unit_checkpoint_failed(id);
+    return;
+  }
+  emit_probe(FtPoint::kCheckpointDone, snap.op, id);
+  EpochState& es = it->second;
+  es.sizes[snap.op] = snap.size;
+  if (engine_->op_is_source(snap.op)) {
+    es.boundaries[snap.op] = snap.source_boundary;
+    es.next_seqs[snap.op] = snap.source_next_seq;
+  }
+  HauCheckpointReport report;
+  report.hau_id = snap.op;
+  report.checkpoint_id = id;
+  report.initiated = es.initiated;
+  const auto a_it = es.aligned_at.find(snap.op);
+  report.tokens_collected =
+      a_it == es.aligned_at.end() ? es.initiated : a_it->second;
+  report.serialized = serialized_at;
+  report.written = written_at;
+  report.declared_bytes = static_cast<Bytes>(snap.size);
+  coordinator_->on_unit_report(report);  // may commit the epoch
+}
+
+void RtRuntime::on_source_emit(int op, int out_port, const core::Tuple& tuple) {
+  // Runs under the source's op_mu, before the tuple is dispatched: the
+  // record is durable (flushed) before any downstream effect exists. This
+  // deliberately continues while crashed_ is set — everything downstream
+  // observed before the "crash" is in the log, which is exactly the
+  // guarantee recovery leans on.
+  SourceLog& log = *logs_[static_cast<std::size_t>(op)];
+  std::scoped_lock lk(log.mu);
+  BinaryWriter w(kLogFrameFixed + 32);
+  w.write<std::uint64_t>(log.next_index);
+  w.write<std::int32_t>(out_port);
+  w.write<std::uint64_t>(tuple.id);
+  w.write<std::uint32_t>(tuple.source_hau);
+  w.write<std::uint64_t>(tuple.source_seq);
+  w.write<std::uint64_t>(tuple.edge_seq);
+  w.write<std::int64_t>(tuple.event_time.ns());
+  w.write<std::uint64_t>(static_cast<std::uint64_t>(tuple.wire_size));
+  const bool has_payload =
+      tuple.payload != nullptr && config_.codec.encode_payload != nullptr;
+  w.write<std::uint8_t>(has_payload ? 1 : 0);
+  if (has_payload) config_.codec.encode_payload(*tuple.payload, w);
+  const std::vector<std::uint8_t> frame = w.take();
+  const std::uint32_t len = static_cast<std::uint32_t>(frame.size());
+  log.out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  log.out.write(reinterpret_cast<const char*>(frame.data()),
+                static_cast<std::streamsize>(frame.size()));
+  log.out.flush();
+  ++log.next_index;
+}
+
+void RtRuntime::on_engine_proto(rt::ProtoPoint point, int op,
+                                std::uint64_t epoch) {
+  if (config_.mode == RtMode::kBaseline) {
+    // snapshot_now() epochs are per-unit counters, not coordinator ids.
+    if (point == rt::ProtoPoint::kSerializeStart) {
+      emit_probe(FtPoint::kSerializeStart, op, epoch);
+    }
+    return;
+  }
+  const std::uint64_t id = epoch - epoch_base_;
+  switch (point) {
+    case rt::ProtoPoint::kTokenArrived:
+      emit_probe(FtPoint::kTokenReceived, op, id);
+      break;
+    case rt::ProtoPoint::kAligned: {
+      {
+        std::scoped_lock lk(ctl_mu_);
+        auto it = pending_.find(epoch);
+        if (it != pending_.end()) it->second.aligned_at[op] = now();
+      }
+      emit_probe(FtPoint::kAlignDone, op, id);
+      break;
+    }
+    case rt::ProtoPoint::kSerializeStart:
+      emit_probe(FtPoint::kSerializeStart, op, id);
+      break;
+    case rt::ProtoPoint::kSerializeDone:
+      // The serialize window closing is the engine analogue of the paper's
+      // fork returning: the cut is pinned, the dataflow may proceed.
+      emit_probe(FtPoint::kForkDone, op, id);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Disk layout
+
+std::string RtRuntime::epoch_dir(std::uint64_t epoch) const {
+  return config_.dir + "/epoch_" + std::to_string(epoch);
+}
+
+std::string RtRuntime::log_path(int op) const {
+  return config_.dir + "/source_" + std::to_string(op) + ".log";
+}
+
+std::optional<RtRuntime::Manifest> RtRuntime::read_manifest(
+    std::uint64_t epoch) const {
+  const auto bytes = read_file(epoch_dir(epoch) + "/MANIFEST");
+  if (!bytes) return std::nullopt;
+  // Validate the size before handing the buffer to BinaryReader (which
+  // fail-stops on truncation — wrong response to a torn file).
+  constexpr std::size_t kHeader = 4 + 4 + 8 + 4;
+  if (bytes->size() < kHeader) return std::nullopt;
+  std::uint32_t magic = 0, version = 0, num_ops = 0;
+  std::memcpy(&magic, bytes->data(), 4);
+  std::memcpy(&version, bytes->data() + 4, 4);
+  std::memcpy(&num_ops, bytes->data() + 16, 4);
+  if (magic != kManifestMagic || version != kManifestVersion) {
+    return std::nullopt;
+  }
+  if (num_ops > 1u << 20) return std::nullopt;
+  constexpr std::size_t kPerOp = 8 + 1 + 8 + 8;
+  if (bytes->size() != kHeader + num_ops * kPerOp) return std::nullopt;
+
+  BinaryReader r(*bytes);
+  Manifest m;
+  r.read<std::uint32_t>();  // magic
+  r.read<std::uint32_t>();  // version
+  m.epoch = r.read<std::uint64_t>();
+  r.read<std::uint32_t>();  // num_ops
+  m.ops.resize(num_ops);
+  for (auto& op : m.ops) {
+    op.size = r.read<std::uint64_t>();
+    op.is_source = r.read<std::uint8_t>() != 0;
+    op.boundary = r.read<std::uint64_t>();
+    op.next_seq = r.read<std::uint64_t>();
+  }
+  return m;
+}
+
+std::vector<RtRuntime::LogRecord> RtRuntime::read_log(int op) const {
+  std::vector<LogRecord> records;
+  const auto bytes = read_file(log_path(op));
+  if (!bytes) return records;
+  std::size_t pos = 0;
+  while (pos + 4 <= bytes->size()) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, bytes->data() + pos, 4);
+    if (len < kLogFrameFixed) break;            // corrupt frame header
+    if (pos + 4 + len > bytes->size()) break;   // torn tail: drop it
+    BinaryReader r(bytes->data() + pos + 4, len);
+    LogRecord rec;
+    rec.index = r.read<std::uint64_t>();
+    rec.out_port = static_cast<int>(r.read<std::int32_t>());
+    rec.tuple.id = r.read<std::uint64_t>();
+    rec.tuple.source_hau = r.read<std::uint32_t>();
+    rec.tuple.source_seq = r.read<std::uint64_t>();
+    rec.tuple.edge_seq = r.read<std::uint64_t>();
+    rec.tuple.event_time = SimTime::nanos(r.read<std::int64_t>());
+    rec.tuple.wire_size = static_cast<Bytes>(r.read<std::uint64_t>());
+    const bool has_payload = r.read<std::uint8_t>() != 0;
+    if (has_payload && config_.codec.decode_payload) {
+      rec.tuple.payload = config_.codec.decode_payload(r);
+    }
+    records.push_back(std::move(rec));
+    pos += 4 + len;
+  }
+  return records;
+}
+
+void RtRuntime::truncate_log(int op, std::uint64_t boundary) {
+  SourceLog& log = *logs_[static_cast<std::size_t>(op)];
+  std::scoped_lock lk(log.mu);
+  if (boundary <= log.begin_index) return;  // nothing behind the boundary
+  // Every append is flushed, so the file is complete up to next_index.
+  const std::vector<LogRecord> records = read_log(op);
+  log.out.close();
+  BinaryWriter w;
+  for (const LogRecord& rec : records) {
+    if (rec.index < boundary) continue;
+    BinaryWriter frame(kLogFrameFixed + 32);
+    frame.write<std::uint64_t>(rec.index);
+    frame.write<std::int32_t>(static_cast<std::int32_t>(rec.out_port));
+    frame.write<std::uint64_t>(rec.tuple.id);
+    frame.write<std::uint32_t>(rec.tuple.source_hau);
+    frame.write<std::uint64_t>(rec.tuple.source_seq);
+    frame.write<std::uint64_t>(rec.tuple.edge_seq);
+    frame.write<std::int64_t>(rec.tuple.event_time.ns());
+    frame.write<std::uint64_t>(static_cast<std::uint64_t>(rec.tuple.wire_size));
+    const bool has_payload =
+        rec.tuple.payload != nullptr && config_.codec.encode_payload != nullptr;
+    frame.write<std::uint8_t>(has_payload ? 1 : 0);
+    if (has_payload) config_.codec.encode_payload(*rec.tuple.payload, frame);
+    const std::vector<std::uint8_t> body = frame.take();
+    w.write<std::uint32_t>(static_cast<std::uint32_t>(body.size()));
+    w.write_bytes(body.data(), body.size());
+  }
+  if (write_file_atomic(log.path, w.take())) {
+    log.begin_index = boundary;
+  } else {
+    MS_LOG_WARN("ft", "rt source log truncation failed for op %d", op);
+  }
+  log.out.open(log.path, std::ios::binary | std::ios::app);
+}
+
+void RtRuntime::scan_existing_state() {
+  // Engine stopped, no epochs pending: safe to rebuild the durable view.
+  last_durable_ = 0;
+  std::uint64_t max_epoch = 0;
+  std::vector<std::uint64_t> incomplete;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("epoch_", 0) != 0) continue;
+    std::uint64_t e = 0;
+    try {
+      e = std::stoull(name.substr(6));
+    } catch (...) {
+      continue;
+    }
+    max_epoch = std::max(max_epoch, e);
+    if (fs::exists(entry.path() / "MANIFEST")) {
+      last_durable_ = std::max(last_durable_, e);
+    } else {
+      incomplete.push_back(e);  // crash mid-checkpoint: never existed
+    }
+  }
+  // Keep numbering past removed directories so a re-created epoch can never
+  // collide with a file a concurrent reader might still hold open.
+  epoch_base_ = max_epoch;
+  for (std::uint64_t e : incomplete) {
+    std::error_code rm_ec;
+    fs::remove_all(epoch_dir(e), rm_ec);
+  }
+
+  const auto manifest =
+      last_durable_ ? read_manifest(last_durable_) : std::nullopt;
+  for (std::size_t i = 0; i < logs_.size(); ++i) {
+    if (!logs_[i]) continue;
+    SourceLog& log = *logs_[i];
+    std::scoped_lock lk(log.mu);
+    if (log.out.is_open()) log.out.close();
+    std::uint64_t committed_boundary = 0;
+    if (manifest && i < manifest->ops.size()) {
+      committed_boundary = manifest->ops[i].boundary;
+    }
+    const auto records = read_log(static_cast<int>(i));
+    if (records.empty()) {
+      // Either a fresh log or one truncated down to nothing; the committed
+      // boundary is where the next index continues from.
+      log.begin_index = committed_boundary;
+      log.next_index = committed_boundary;
+    } else {
+      log.begin_index = records.front().index;
+      log.next_index = records.back().index + 1;
+    }
+    log.out.open(log.path, std::ios::binary | std::ios::app);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+Status RtRuntime::recover(RecoveryStats* stats) {
+  if (engine_->running()) {
+    return Status::failed_precondition("RtRuntime: stop the engine first");
+  }
+  if (crashed_.load()) {
+    return Status::failed_precondition(
+        "RtRuntime: crash flag set; clear_crash() first");
+  }
+  std::uint64_t seq = 0;
+  {
+    std::scoped_lock lk(ctl_mu_);
+    seq = ++recovery_seq_;
+    coordinator_->abort_in_progress();
+    pending_.clear();
+    initiation_stopped_ = true;
+  }
+  const SimTime t0 = now();
+  emit_probe(FtPoint::kRecoveryStart, -1, seq);
+
+  // Phase 1: locate the last complete epoch and the preserved logs.
+  emit_probe(FtPoint::kRecoveryPhase1, -1, seq);
+  {
+    std::scoped_lock lk(ctl_mu_);
+    scan_existing_state();
+  }
+  if (crashed_.load()) return Status::unavailable("crashed during recovery");
+
+  const int n = engine_->num_operators();
+  const bool baseline = config_.mode == RtMode::kBaseline;
+  std::uint64_t epoch = 0;
+  std::optional<Manifest> manifest;
+  if (!baseline) {
+    std::scoped_lock lk(ctl_mu_);
+    epoch = last_durable_;
+    if (epoch != 0) {
+      manifest = read_manifest(epoch);
+      if (!manifest) {
+        return Status::internal("RtRuntime: manifest unreadable for epoch " +
+                                std::to_string(epoch));
+      }
+      if (manifest->ops.size() != static_cast<std::size_t>(n)) {
+        return Status::internal("RtRuntime: manifest operator count mismatch");
+      }
+    }
+  }
+
+  // Phase 2: read the checkpoint bytes.
+  emit_probe(FtPoint::kRecoveryPhase2, -1, seq);
+  const SimTime t_read0 = now();
+  std::vector<std::vector<std::uint8_t>> state(static_cast<std::size_t>(n));
+  // Per-source replay cursors (baseline: from its own file header).
+  std::vector<std::uint64_t> boundaries(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> next_seqs(static_cast<std::size_t>(n), 0);
+  Bytes bytes_read = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (baseline) {
+      const auto bytes = read_file(config_.dir + "/baseline/op_" +
+                                   std::to_string(i) + ".ckpt");
+      if (!bytes) continue;  // never checkpointed: restarts from empty
+      constexpr std::size_t kHeader = 8 + 1 + 8 + 8 + 8;
+      if (bytes->size() < kHeader) continue;
+      BinaryReader r(*bytes);
+      r.read<std::uint64_t>();  // per-unit checkpoint counter
+      r.read<std::uint8_t>();   // is_source
+      boundaries[idx] = r.read<std::uint64_t>();
+      next_seqs[idx] = r.read<std::uint64_t>();
+      const auto size = r.read<std::uint64_t>();
+      if (size != bytes->size() - kHeader) {
+        return Status::internal("RtRuntime: baseline checkpoint corrupt, op " +
+                                std::to_string(i));
+      }
+      state[idx].assign(bytes->begin() + kHeader, bytes->end());
+    } else if (epoch != 0) {
+      const auto bytes =
+          read_file(epoch_dir(epoch) + "/op_" + std::to_string(i) + ".ckpt");
+      if (!bytes || bytes->size() != manifest->ops[idx].size) {
+        return Status::internal(
+            "RtRuntime: checkpoint bytes missing or truncated for op " +
+            std::to_string(i));
+      }
+      state[idx] = *bytes;
+      boundaries[idx] = manifest->ops[idx].boundary;
+      next_seqs[idx] = manifest->ops[idx].next_seq;
+    }
+    bytes_read += static_cast<Bytes>(state[idx].size());
+  }
+  const SimTime t_read1 = now();
+  if (crashed_.load()) return Status::unavailable("crashed during recovery");
+
+  // Phase 3: install operator state and source cursors.
+  emit_probe(FtPoint::kRecoveryPhase3, -1, seq);
+  // Replay records per source, read once and reused in phase 4.
+  std::vector<std::vector<LogRecord>> replay(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    Status st = engine_->restore_operator(i, state[idx]);
+    if (!st.is_ok()) return st;
+    if (!logs_[idx]) continue;
+    replay[idx] = read_log(i);
+    // The restored lineage cursor must clear every preserved tuple so fresh
+    // emissions never collide with replayed ids.
+    std::uint64_t next_seq = next_seqs[idx];
+    std::uint64_t emitted = boundaries[idx];
+    for (const LogRecord& rec : replay[idx]) {
+      next_seq = std::max(next_seq, rec.tuple.source_seq + 1);
+      emitted = std::max(emitted, rec.index + 1);
+    }
+    st = engine_->set_source_progress(i, next_seq, emitted);
+    if (!st.is_ok()) return st;
+  }
+  if (crashed_.load()) return Status::unavailable("crashed during recovery");
+
+  // Phase 4: restart the dataflow and re-deliver the preserved suffix.
+  emit_probe(FtPoint::kRecoveryPhase4, -1, seq);
+  if (crashed_.load()) return Status::unavailable("crashed during recovery");
+  const SimTime t_replay0 = now();
+  engine_->start();
+  {
+    std::scoped_lock lk(ctl_mu_);
+    initiation_stopped_ = false;
+  }
+  std::uint64_t replayed = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    for (const LogRecord& rec : replay[idx]) {
+      if (rec.index < boundaries[idx]) continue;  // already in the snapshot
+      const Status st = engine_->replay_downstream(i, rec.out_port, rec.tuple);
+      if (!st.is_ok()) return st;
+      ++replayed;
+    }
+  }
+  const SimTime t_replay1 = now();
+  arm_initiation();
+
+  emit_probe(FtPoint::kRecoveryComplete, -1, seq);
+  MS_LOG_INFO("ft", "rt recovery %llu complete: epoch %llu, %llu tuples replayed",
+              static_cast<unsigned long long>(seq),
+              static_cast<unsigned long long>(baseline ? 0 : epoch),
+              static_cast<unsigned long long>(replayed));
+  if (stats) {
+    stats->started = t0;
+    stats->completed = now();
+    stats->disk_io = t_read1 - t_read0;
+    stats->reconnection = t_replay1 - t_replay0;
+    stats->other =
+        (stats->completed - t0) - stats->disk_io - stats->reconnection;
+    stats->haus_recovered = n;
+    stats->bytes_read = bytes_read;
+  }
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Baseline driver
+
+void RtRuntime::schedule_baseline(int op) {
+  // Deterministic phase stagger stands in for the sim baseline's random
+  // initial phase: units must not checkpoint in lockstep.
+  const int n = engine_->num_operators();
+  const SimTime period = config_.params.checkpoint_period;
+  const SimTime first = baseline_seq_[static_cast<std::size_t>(op)] == 0
+                            ? period * std::int64_t{op + 1} / (n + 1)
+                            : period;
+  engine_->run_after(first, [this, op] {
+    if (!engine_->running()) return;
+    {
+      std::scoped_lock lk(ctl_mu_);
+      if (initiation_stopped_) return;
+    }
+    const std::uint64_t id = ++baseline_seq_[static_cast<std::size_t>(op)];
+    const Status st = engine_->snapshot_now(op, id);  // sink runs inline
+    if (!st.is_ok()) {
+      MS_LOG_WARN("ft", "rt baseline snapshot failed for op %d: %s", op,
+                  st.message().c_str());
+    }
+    schedule_baseline(op);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// AA pipeline (kSrcApAa)
+
+void RtRuntime::start_aa_pipeline() {
+  const int n = engine_->num_operators();
+  aa_samples_.assign(static_cast<std::size_t>(n), AaSample{});
+  alert_reporting_.store(false);
+  aa_stage_ = AaStage::kObservation;
+  const SimTime t = now();
+  aa_stage_end_ = t + config_.params.checkpoint_period;
+  aa_next_plain_ = t + config_.params.checkpoint_period;
+  {
+    std::scoped_lock lk(ctl_mu_);
+    aa_->begin(t);
+  }
+  engine_->run_after(config_.params.state_sample_period,
+                     [this] { aa_sample_tick(); });
+}
+
+void RtRuntime::aa_sample_tick() {
+  if (!engine_->running()) return;
+  {
+    std::scoped_lock lk(ctl_mu_);
+    if (initiation_stopped_) return;
+  }
+  const SimTime tnow = now();
+  const int n = engine_->num_operators();
+
+  // Sample sizes outside ctl_mu_ (op_state_size takes per-operator mutexes).
+  std::vector<double> sizes(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    sizes[static_cast<std::size_t>(i)] =
+        static_cast<double>(engine_->op_state_size(i));
+  }
+
+  struct Event {
+    int op;
+    double size;
+    double icr;
+    bool turning_point;
+    bool half_drop;
+  };
+  std::vector<Event> events;
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    AaSample& s = aa_samples_[idx];
+    const double size = sizes[idx];
+    double icr = 0.0;
+    bool have_icr = false;
+    if (s.valid) {
+      const double dt = (tnow - s.last_at).to_seconds();
+      if (dt > 0) {
+        icr = (size - s.last_size) / dt;
+        have_icr = true;
+      }
+    }
+    const bool turning = have_icr && ((s.last_icr > 0 && icr < 0) ||
+                                      (s.last_icr < 0 && icr > 0));
+    const bool half_drop = s.valid && size < 0.5 * s.last_size;
+    events.push_back({i, size, icr, turning, half_drop});
+    if (aa_stage_ == AaStage::kObservation) {
+      if (s.samples == 0 || size < s.min_size) s.min_size = size;
+      s.sum_size += size;
+      ++s.samples;
+    }
+    if (have_icr) s.last_icr = icr;
+    s.last_size = size;
+    s.last_at = tnow;
+    s.valid = true;
+  }
+
+  switch (aa_stage_) {
+    case AaStage::kObservation: {
+      if (tnow >= aa_stage_end_) {
+        std::scoped_lock lk(ctl_mu_);
+        for (int i = 0; i < n; ++i) {
+          const AaSample& s = aa_samples_[static_cast<std::size_t>(i)];
+          const double avg = s.samples ? s.sum_size / s.samples : 0.0;
+          aa_->report_observation(i, s.min_size, avg);
+        }
+        aa_->finish_observation(tnow);
+        aa_stage_ = AaStage::kProfiling;
+        aa_profile_left_ = std::max(1, config_.params.profile_periods);
+        const SimTime window = config_.params.profile_period.ns() > 0
+                                   ? config_.params.profile_period
+                                   : config_.params.checkpoint_period;
+        aa_stage_end_ = tnow + window;
+      }
+      break;
+    }
+    case AaStage::kProfiling: {
+      {
+        std::scoped_lock lk(ctl_mu_);
+        for (const Event& e : events) {
+          if (e.turning_point && aa_->is_dynamic(e.op)) {
+            aa_->report_turning_point(e.op, tnow, e.size, e.icr);
+          }
+        }
+      }
+      if (tnow >= aa_stage_end_) {
+        if (--aa_profile_left_ <= 0) {
+          std::scoped_lock lk(ctl_mu_);
+          aa_->finish_profiling(tnow);
+          aa_stage_ = AaStage::kExecution;
+          aa_->on_period_start(tnow);
+          aa_stage_end_ = tnow + config_.params.checkpoint_period;
+        } else {
+          const SimTime window = config_.params.profile_period.ns() > 0
+                                     ? config_.params.profile_period
+                                     : config_.params.checkpoint_period;
+          aa_stage_end_ = tnow + window;
+        }
+      }
+      break;
+    }
+    case AaStage::kExecution: {
+      if (alert_reporting_.load()) {
+        std::scoped_lock lk(ctl_mu_);
+        for (const Event& e : events) {
+          if (!aa_->is_dynamic(e.op)) continue;
+          if (e.turning_point) {
+            aa_->report_turning_point(e.op, tnow, e.size, e.icr);
+          }
+          if (e.half_drop) aa_->on_half_drop_notification(e.op, tnow);
+        }
+      }
+      if (tnow >= aa_stage_end_) {
+        std::scoped_lock lk(ctl_mu_);
+        aa_->on_period_end(tnow);  // forces a checkpoint if none fired
+        aa_->on_period_start(tnow);
+        aa_stage_end_ = tnow + config_.params.checkpoint_period;
+      }
+      break;
+    }
+  }
+
+  // Plain periodic checkpoints keep firing while the controller is still
+  // learning (checkpoint_during_profiling).
+  if (aa_stage_ != AaStage::kExecution &&
+      config_.params.checkpoint_during_profiling && config_.params.periodic &&
+      tnow >= aa_next_plain_) {
+    std::scoped_lock lk(ctl_mu_);
+    coordinator_->begin_checkpoint();
+    aa_next_plain_ = tnow + config_.params.checkpoint_period;
+  }
+
+  engine_->run_after(config_.params.state_sample_period,
+                     [this] { aa_sample_tick(); });
+}
+
+void RtRuntime::aa_query_dynamic() {
+  if (!engine_->running()) return;
+  std::vector<int> dynamic;
+  {
+    std::scoped_lock lk(ctl_mu_);
+    dynamic = aa_->dynamic_haus();
+  }
+  const SimTime tnow = now();
+  std::vector<std::pair<double, double>> sampled;  // (size, icr)
+  sampled.reserve(dynamic.size());
+  for (int op : dynamic) {
+    const double size = static_cast<double>(engine_->op_state_size(op));
+    const AaSample& s = aa_samples_[static_cast<std::size_t>(op)];
+    double icr = s.last_icr;
+    if (s.valid) {
+      const double dt = (tnow - s.last_at).to_seconds();
+      if (dt > 0) icr = (size - s.last_size) / dt;
+    }
+    sampled.emplace_back(size, icr);
+  }
+  std::scoped_lock lk(ctl_mu_);
+  for (std::size_t i = 0; i < dynamic.size(); ++i) {
+    aa_->on_query_response(dynamic[i], tnow, sampled[i].first,
+                           sampled[i].second);
+  }
+}
+
+}  // namespace ms::ft

@@ -1,0 +1,274 @@
+// Real-threads adapter for ft::Runtime — the protocol layer over
+// rt::RtEngine.
+//
+// The same CheckpointCoordinator that drives MsScheme in the simulator
+// drives a live engine here. RtRuntime supplies the Runtime contract
+// (wall-clock, engine timers, the operator roster, epoch actions) and owns
+// everything the engine deliberately does not: checkpoint files, source
+// logs, epoch commit, and restart-and-replay recovery.
+//
+// Durability layout under `config.dir`:
+//   epoch_<E>/op_<i>.ckpt   per-operator snapshot bytes of epoch E
+//   epoch_<E>/MANIFEST      commit marker (written as MANIFEST.tmp, then
+//                           renamed into place) recording per-op sizes and
+//                           per-source replay boundaries — an epoch without
+//                           a MANIFEST never existed; a crash mid-checkpoint
+//                           therefore rolls back to the last complete epoch
+//   source_<i>.log          length-prefixed source emission records, written
+//                           by the engine's SourceTap *before* the tuple is
+//                           dispatched (durable-before-dispatch) and
+//                           truncated to the epoch boundary at commit
+//   baseline/op_<i>.ckpt    RtMode::kBaseline only: per-unit independent
+//                           checkpoint (tmp + rename). No manifest ties the
+//                           units together and source logs are never
+//                           truncated — the baseline's unbounded
+//                           preservation, kept deliberately.
+//
+// Modes mirror the simulator's schemes:
+//   kSrc      tokens trickle, each unit's snapshot is written synchronously
+//             before its token moves on (EpochMode::kSync);
+//   kSrcAp    snapshots serialize in memory and a helper writes behind the
+//             dataflow (EpochMode::kAsync);
+//   kSrcApAa  kSrcAp plus application-aware timing: a centralized sampler on
+//             the engine timer thread feeds the same AaController state
+//             machine the simulator uses (observation → profiling →
+//             execution with alert mode; a period with no alert-fired
+//             checkpoint ends with a forced one);
+//   kBaseline no tokens: every unit checkpoints independently at its own
+//             cadence via snapshot_now().
+//
+// Threading: the coordinator and all epoch bookkeeping live under one
+// control mutex (ctl_mu_). Engine callbacks (snapshot sink on worker/helper
+// threads, protocol probes under the per-operator mutex) take ctl_mu_, so
+// code holding ctl_mu_ must never call engine functions that take a
+// per-operator mutex (snapshot_now, op_state_size) — the AA sampler and the
+// baseline driver sample outside the lock and report under it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/metrics_registry.h"
+#include "common/status.h"
+#include "core/tuple.h"
+#include "ft/aa_controller.h"
+#include "ft/params.h"
+#include "ft/probe.h"
+#include "ft/protocol.h"
+#include "ft/runtime.h"
+#include "ft/stats.h"
+#include "rt/engine.h"
+
+namespace ms::ft {
+
+enum class RtMode { kBaseline, kSrc, kSrcAp, kSrcApAa };
+
+/// How source-log records carry payloads across a restart. The engine keeps
+/// payloads as shared_ptr<const Payload>; only the embedder knows the
+/// concrete types, so it supplies the codec. Absent codec = payloads are
+/// dropped on replay (size-only workloads).
+struct TupleCodec {
+  std::function<void(const core::Payload&, BinaryWriter&)> encode_payload;
+  std::function<std::shared_ptr<const core::Payload>(BinaryReader&)>
+      decode_payload;
+};
+
+struct RtRuntimeConfig {
+  RtMode mode = RtMode::kSrcAp;
+  /// Durable directory (checkpoints, manifests, source logs). Required.
+  std::string dir;
+  FtParams params;
+  TupleCodec codec;
+  /// Redirects the coordinator's ft.ckpt.* metrics (default: global()).
+  MetricsRegistry* metrics = nullptr;
+};
+
+class RtRuntime final : public Runtime {
+ public:
+  /// Installs the snapshot sink, source tap and protocol probe on `engine`
+  /// (which must not be running yet) and scans `dir` for state left by a
+  /// previous incarnation (existing logs, the highest epoch number).
+  RtRuntime(rt::RtEngine* engine, RtRuntimeConfig config);
+  ~RtRuntime() override;
+
+  RtRuntime(const RtRuntime&) = delete;
+  RtRuntime& operator=(const RtRuntime&) = delete;
+
+  /// Start the engine and the mode's initiation machinery (periodic
+  /// schedule, AA pipeline, or baseline cadences).
+  Status start();
+
+  /// Stop initiating checkpoints and stop the engine (drains in-flight
+  /// epochs' snapshot deliveries first).
+  void stop();
+
+  /// Trigger one application checkpoint now (MS modes).
+  Status begin_checkpoint();
+
+  /// Block until `n` application checkpoints have completed since this
+  /// runtime was constructed, or `timeout` elapses. Returns true on success.
+  bool wait_checkpoints(std::uint64_t n, SimTime timeout);
+
+  /// Most recent committed (manifest-durable) epoch number; 0 = none.
+  std::uint64_t last_durable_epoch() const;
+
+  /// Whole-application restart-and-replay recovery: load the last complete
+  /// epoch (phases 1-3), start the engine and re-deliver preserved source
+  /// tuples past the epoch boundary (phase 4). Requires the engine stopped.
+  /// kBaseline restores the per-unit files instead (correct only from a
+  /// quiescent cut — the weakness the MS modes remove). On success `stats`
+  /// (if non-null) receives the phase breakdown.
+  Status recover(RecoveryStats* stats = nullptr);
+
+  /// Protocol instrumentation spine (same FtPoint vocabulary as the sim
+  /// schemes; chaos harnesses and tracers subscribe here). Subscribe before
+  /// start(); probes fire from worker, helper and timer threads.
+  void add_probe(FtProbe probe);
+
+  /// Crash drill: from this instant the runtime stops writing checkpoint
+  /// files and manifests (as a killed process would) while source-log
+  /// appends continue — durable-before-dispatch holds right up to the
+  /// "crash". recover() refuses to run until clear_crash().
+  void simulate_crash() { crashed_.store(true); }
+  void clear_crash() { crashed_.store(false); }
+  bool crashed() const { return crashed_.load(); }
+
+  CheckpointCoordinator& coordinator() { return *coordinator_; }
+  /// Non-null only in kSrcApAa mode.
+  AaController* aa() { return aa_.get(); }
+  rt::RtEngine& engine() { return *engine_; }
+  RtMode mode() const { return config_.mode; }
+
+  // --- ft::Runtime (called by the coordinator under ctl_mu_) ---
+  int num_units() const override;
+  bool unit_is_source(int unit) const override;
+  bool unit_alive(int unit) const override;
+  SimTime now() const override;
+  /// Wraps the engine timer; `fn` runs under ctl_mu_ (the coordinator's
+  /// callbacks assume it).
+  void schedule_after(SimTime delay, std::function<void()> fn) override;
+  void start_epoch(std::uint64_t epoch) override;
+  void commit_epoch(std::uint64_t epoch) override;
+  void abandon_epoch(std::uint64_t epoch) override;
+
+ private:
+  struct EpochState {
+    std::uint64_t disk_epoch = 0;
+    SimTime initiated;
+    std::map<int, SimTime> aligned_at;
+    std::map<int, std::uint64_t> sizes;
+    std::map<int, std::uint64_t> boundaries;
+    std::map<int, std::uint64_t> next_seqs;
+  };
+
+  /// One source's preservation log (appended under its own mutex by the
+  /// engine tap; rewritten at truncation).
+  struct SourceLog {
+    std::mutex mu;
+    std::string path;
+    std::ofstream out;              // append handle, reopened on truncation
+    std::uint64_t begin_index = 0;  // first record still in the file
+    std::uint64_t next_index = 0;   // index the next append gets
+  };
+
+  /// A log record rehydrated for replay or truncation.
+  struct LogRecord {
+    std::uint64_t index = 0;
+    int out_port = 0;
+    core::Tuple tuple;
+  };
+
+  struct Manifest {
+    std::uint64_t epoch = 0;
+    struct Op {
+      std::uint64_t size = 0;
+      bool is_source = false;
+      std::uint64_t boundary = 0;
+      std::uint64_t next_seq = 0;
+    };
+    std::vector<Op> ops;
+  };
+
+  void emit_probe(FtPoint point, int unit, std::uint64_t id) {
+    for (const auto& p : probes_) p(point, unit, id);
+  }
+
+  // Engine hook bodies.
+  void on_snapshot(const rt::Snapshot& snap);
+  void on_source_emit(int op, int out_port, const core::Tuple& tuple);
+  void on_engine_proto(rt::ProtoPoint point, int op, std::uint64_t epoch);
+
+  // Disk helpers.
+  std::string epoch_dir(std::uint64_t epoch) const;
+  std::string log_path(int op) const;
+  std::optional<Manifest> read_manifest(std::uint64_t epoch) const;
+  /// Parse one source log; torn tails (crash mid-append) are dropped.
+  std::vector<LogRecord> read_log(int op) const;
+  void truncate_log(int op, std::uint64_t boundary);
+  void scan_existing_state();
+
+  // Mode drivers.
+  void arm_initiation();
+  void schedule_baseline(int op);
+  void start_aa_pipeline();
+  void aa_sample_tick();
+  void aa_query_dynamic();
+
+  rt::RtEngine* engine_;
+  RtRuntimeConfig config_;
+  std::chrono::steady_clock::time_point epoch0_;
+
+  mutable std::mutex ctl_mu_;
+  std::unique_ptr<CheckpointCoordinator> coordinator_;
+  std::unique_ptr<AaController> aa_;
+  /// In-flight epochs keyed by *disk* epoch number (coordinator id +
+  /// epoch_base_). Guarded by ctl_mu_.
+  std::map<std::uint64_t, EpochState> pending_;
+  /// Disk epoch numbering continues across restarts: coordinator ids start
+  /// at 1 in every incarnation, the base bridges to what is already on disk.
+  std::uint64_t epoch_base_ = 0;
+  std::uint64_t last_durable_ = 0;   // guarded by ctl_mu_
+  std::uint64_t prev_durable_ = 0;   // last GC'd predecessor
+  bool initiation_stopped_ = false;  // guarded by ctl_mu_
+  std::uint64_t recovery_seq_ = 0;
+
+  std::vector<std::unique_ptr<SourceLog>> logs_;  // index = op; null if not source
+
+  std::vector<FtProbe> probes_;
+  std::atomic<bool> crashed_{false};
+
+  // AA sampler state (timer thread only, except where noted).
+  struct AaSample {
+    double last_size = 0.0;
+    double last_icr = 0.0;
+    SimTime last_at;
+    bool valid = false;
+    // Observation accumulation.
+    double min_size = 0.0;
+    double sum_size = 0.0;
+    int samples = 0;
+  };
+  std::vector<AaSample> aa_samples_;
+  std::atomic<bool> alert_reporting_{false};
+  enum class AaStage { kObservation, kProfiling, kExecution };
+  AaStage aa_stage_ = AaStage::kObservation;  // timer thread only
+  SimTime aa_stage_end_;                      // timer thread only
+  int aa_profile_left_ = 0;                   // timer thread only
+  /// Next plain periodic checkpoint while observing/profiling
+  /// (checkpoint_during_profiling). Timer thread only.
+  SimTime aa_next_plain_;
+
+  // Baseline per-unit checkpoint counters (timer thread only).
+  std::vector<std::uint64_t> baseline_seq_;
+};
+
+}  // namespace ms::ft

@@ -1,0 +1,38 @@
+#include "ft/sim_runtime.h"
+
+namespace ms::ft {
+
+SimRuntime::SimRuntime(core::Application* app, Hooks hooks)
+    : app_(app), hooks_(std::move(hooks)) {
+  MS_CHECK(app != nullptr);
+}
+
+int SimRuntime::num_units() const { return app_->num_haus(); }
+
+bool SimRuntime::unit_is_source(int unit) const {
+  return app_->hau(unit).is_source();
+}
+
+bool SimRuntime::unit_alive(int unit) const {
+  return !app_->hau(unit).failed();
+}
+
+SimTime SimRuntime::now() const { return app_->simulation().now(); }
+
+void SimRuntime::schedule_after(SimTime delay, std::function<void()> fn) {
+  app_->simulation().schedule_after(delay, std::move(fn));
+}
+
+void SimRuntime::start_epoch(std::uint64_t epoch) {
+  if (hooks_.start_epoch) hooks_.start_epoch(epoch);
+}
+
+void SimRuntime::commit_epoch(std::uint64_t epoch) {
+  if (hooks_.commit_epoch) hooks_.commit_epoch(epoch);
+}
+
+void SimRuntime::abandon_epoch(std::uint64_t epoch) {
+  if (hooks_.abandon_epoch) hooks_.abandon_epoch(epoch);
+}
+
+}  // namespace ms::ft

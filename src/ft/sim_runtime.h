@@ -1,0 +1,47 @@
+// Discrete-event adapter for ft::Runtime.
+//
+// Binds the execution-agnostic checkpoint coordinator to the simulated
+// stack: the clock and timers are simulation events, units are the
+// application's HAUs, and the three epoch actions are injected as hooks so
+// the owning scheme keeps its variant-specific fan-out (MS-src commands
+// sources only; MS-src+ap commands every HAU) exactly where it was before
+// the seam existed. Every call maps 1:1 onto what MsScheme used to do
+// inline, so simulation behaviour is bit-for-bit unchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "core/application.h"
+#include "ft/runtime.h"
+
+namespace ms::ft {
+
+class SimRuntime final : public Runtime {
+ public:
+  struct Hooks {
+    std::function<void(std::uint64_t)> start_epoch;
+    std::function<void(std::uint64_t)> commit_epoch;
+    std::function<void(std::uint64_t)> abandon_epoch;  // optional
+  };
+
+  SimRuntime(core::Application* app, Hooks hooks);
+
+  int num_units() const override;
+  bool unit_is_source(int unit) const override;
+  bool unit_alive(int unit) const override;
+
+  SimTime now() const override;
+  void schedule_after(SimTime delay, std::function<void()> fn) override;
+
+  void start_epoch(std::uint64_t epoch) override;
+  void commit_epoch(std::uint64_t epoch) override;
+  void abandon_epoch(std::uint64_t epoch) override;
+
+ private:
+  core::Application* app_;
+  Hooks hooks_;
+};
+
+}  // namespace ms::ft

@@ -2,13 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <fstream>
 
 #include "common/log.h"
 
 namespace ms::rt {
-
-namespace fs = std::filesystem;
 
 /// OperatorContext bound to a worker thread.
 ///
@@ -17,8 +14,10 @@ namespace fs = std::filesystem;
 /// two threads: its worker thread (process()) and the timer thread
 /// (schedule() callbacks, source emission). Each context flushes on the
 /// max_batch watermark, explicitly before a token is forwarded, and on
-/// destruction — a timer callback's context dies at callback end, the
-/// worker loop's context flushes after every drained run.
+/// destruction — a timer callback's context dies at callback end (inside
+/// the operator mutex, so a source's tap count at snapshot time exactly
+/// matches what has been flushed ahead of any token), the worker loop's
+/// context flushes after every drained run.
 class RtEngine::RtContext final : public core::OperatorContext {
  public:
   RtContext(RtEngine* engine, Worker* worker) : engine_(engine), worker_(worker) {
@@ -66,6 +65,15 @@ class RtEngine::RtContext final : public core::OperatorContext {
       tuple.source_seq = ++worker_->next_seq;
       tuple.id = core::Tuple::make_id(tuple.source_hau, tuple.source_seq);
     }
+    // Source preservation tap: observe the stamped tuple *before* any
+    // downstream effect exists (the log write is the tap's job; its
+    // durability before dispatch is the protocol's replay guarantee). The
+    // tap and the `tapped` counter ride under op_mu — every emit path holds
+    // it — so a snapshot's source_boundary is exact.
+    if (worker_->is_source && engine_->source_tap_) {
+      engine_->source_tap_(worker_->id, out_port, tuple);
+      ++worker_->tapped;
+    }
     if (buffers_.empty()) {  // max_batch == 1: the seed's per-tuple path
       const auto [target, port] =
           worker_->out_edges[static_cast<std::size_t>(out_port)];
@@ -102,15 +110,17 @@ class RtEngine::RtContext final : public core::OperatorContext {
     RtEngine* engine = engine_;
     Worker* worker = worker_;
     engine->schedule_timer(delay, [engine, worker, fn = std::move(fn)] {
+      // Operator code runs under op_mu so a timer tick never mutates state
+      // the worker thread is concurrently serializing into a snapshot. The
+      // context is constructed after the lock and therefore destroyed —
+      // flushing its buffers — before the lock releases: a source snapshot
+      // taken under op_mu sees either none or all of this tick's emissions
+      // already flushed, never a buffered half. Holding op_mu across the
+      // flush cannot deadlock: downstream delivery only needs *downstream*
+      // locks and the query graph is a DAG.
+      std::scoped_lock op_lock(worker->op_mu);
       RtContext ctx(engine, worker);
-      {
-        // Operator code runs under op_mu so a timer tick never mutates
-        // state the worker thread is concurrently serializing into a
-        // snapshot. The context's destructor flush stays outside — it only
-        // touches context-local buffers and downstream queues.
-        std::scoped_lock op_lock(worker->op_mu);
-        fn(ctx);
-      }
+      fn(ctx);
     });
   }
 
@@ -180,9 +190,6 @@ RtEngine::RtEngine(const core::QueryGraph& graph, RtConfig config)
   }
   helpers_ = std::make_unique<ThreadPool>(std::max<std::size_t>(
       1, config_.helper_threads));
-  if (!config_.checkpoint_dir.empty()) {
-    fs::create_directories(config_.checkpoint_dir);
-  }
   trace_ = config_.trace;
   if (trace_ != nullptr) {
     trace_->set_track_name(trace_track::kEnginePid, 0, "rt-engine");
@@ -195,8 +202,6 @@ RtEngine::RtEngine(const core::QueryGraph& graph, RtConfig config)
     MetricsRegistry& m = *config_.metrics;
     m_tuples_ = m.counter("rt.tuples");
     m_sink_tuples_ = m.counter("rt.sink_tuples");
-    m_ckpt_epochs_ = m.counter("rt.ckpt.epochs");
-    m_ckpt_total_ = m.histogram("rt.ckpt.total");
     m_ckpt_bytes_ = m.histogram("rt.ckpt.snapshot_bytes");
     for (auto& w : workers_) {
       w->queue_depth =
@@ -220,6 +225,13 @@ SimTime RtEngine::uptime() const { return now(); }
 void RtEngine::start() {
   MS_CHECK(!running_.load());
   started_at_ = std::chrono::steady_clock::now();
+  // A previous run may have been stopped mid-epoch (crash drills); token
+  // alignment always starts from scratch.
+  for (auto& w : workers_) {
+    std::fill(w->token_seen.begin(), w->token_seen.end(), false);
+    w->tokens = 0;
+  }
+  align_pending_.store(0);
   running_.store(true);
   stopping_.store(false);
   timer_thread_ = std::thread([this] { timer_loop(); });
@@ -227,13 +239,13 @@ void RtEngine::start() {
     w->thread = std::thread([this, worker = w.get()] { worker_loop(*worker); });
   }
   // Open operators (sources arm their timers) after workers exist so early
-  // emissions have somewhere to go.
+  // emissions have somewhere to go. Context inside the lock: its destructor
+  // flush must complete before the mutex releases (same rule as timer
+  // callbacks).
   for (auto& w : workers_) {
+    std::scoped_lock op_lock(w->op_mu);
     RtContext ctx(this, w.get());
-    {
-      std::scoped_lock op_lock(w->op_mu);
-      w->op->on_open(ctx);
-    }
+    w->op->on_open(ctx);
   }
 }
 
@@ -404,6 +416,7 @@ void RtEngine::worker_loop(Worker& w) {
         // pre-token tuple on that edge has already been dequeued — entries
         // behind the token in this drained run are processed after the
         // snapshot, exactly as if they were still queued.
+        emit_proto(ProtoPoint::kTokenArrived, w.id, token->checkpoint_id);
         if (w.num_in_ports > 0) {
           MS_CHECK_MSG(!w.token_seen[static_cast<std::size_t>(qi.in_port)],
                        "duplicate token on one edge within an epoch");
@@ -412,6 +425,7 @@ void RtEngine::worker_loop(Worker& w) {
         if (++w.tokens == std::max(1, w.num_in_ports)) {
           std::fill(w.token_seen.begin(), w.token_seen.end(), false);
           w.tokens = 0;
+          emit_proto(ProtoPoint::kAligned, w.id, token->checkpoint_id);
           // Flush barrier: everything this operator emitted before the token
           // must reach downstream queues ahead of the forwarded token, or a
           // checkpoint taken mid-batch would miss in-buffer tuples.
@@ -437,98 +451,190 @@ void RtEngine::worker_loop(Worker& w) {
   }
 }
 
-void RtEngine::snapshot_and_forward_token(Worker& w, const core::Token& token) {
-  // Snapshot state on the worker thread (fast, in-memory), write on a helper
-  // (the fork/copy-on-write analogue). The writer adopts a pooled buffer
-  // pre-sized by the previous epoch's snapshot, so steady-state
-  // serialization performs zero allocations.
+void RtEngine::capture_snapshot(Worker& w, std::uint64_t epoch,
+                                SnapshotMode mode, bool aligned) {
+  // Serialize on the calling thread (op_mu is held by the caller), deliver
+  // per `mode`. The writer adopts a pooled buffer pre-sized by the previous
+  // epoch's snapshot, so steady-state serialization performs zero
+  // allocations.
   const SimTime serialize_start = now();
+  emit_proto(ProtoPoint::kSerializeStart, w.id, epoch);
   BinaryWriter writer(snapshot_buffers_.acquire(w.last_snapshot_bytes));
   w.op->serialize_state(writer);
   w.last_snapshot_bytes = writer.size();
   auto blob = std::make_shared<std::vector<std::uint8_t>>(writer.take());
+  emit_proto(ProtoPoint::kSerializeDone, w.id, epoch);
   if (trace_ != nullptr) {
     trace_->complete(serialize_start, now() - serialize_start,
                      trace_track::kEnginePid, w.id + 1, "serialize", "rt-ckpt",
-                     token.checkpoint_id,
+                     epoch,
                      {{"bytes", static_cast<std::int64_t>(blob->size())}});
   }
   if (m_ckpt_bytes_ != nullptr) {
     m_ckpt_bytes_->record(SimTime::nanos(
         static_cast<std::int64_t>(blob->size())));
   }
-  // Forward the token before resuming normal work.
-  for (const auto& [target, port] : w.out_edges) {
-    deliver(target, port, core::StreamItem(token));
+  Snapshot snap;
+  snap.op = w.id;
+  snap.epoch = epoch;
+  snap.data = blob->data();
+  snap.size = blob->size();
+  if (w.is_source) {
+    // Exact under op_mu: every tapped tuple is flushed ahead of the token
+    // (flush barrier + in-lock timer flushes), nothing later is.
+    snap.source_boundary = w.tapped;
+    snap.source_next_seq = w.next_seq;
   }
+  // The epoch's cut is fixed once serialization finished — releasing the
+  // alignment slot here (rather than after the sink write) lets the next
+  // epoch begin while this one's writes drain, without ever letting two
+  // epochs' tokens interleave at an operator.
+  if (aligned) align_pending_.fetch_sub(1);
   const int id = w.id;
-  const std::uint64_t epoch = token.checkpoint_id;
-  helpers_->submit([this, id, epoch, blob] {
-    const SimTime write_start = now();
-    const fs::path path = fs::path(config_.checkpoint_dir) /
-                          ("op_" + std::to_string(id) + ".ckpt");
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out.write(reinterpret_cast<const char*>(blob->data()),
-              static_cast<std::streamsize>(blob->size()));
-    out.close();
-    const std::size_t written = blob->size();
-    snapshot_buffers_.release(std::move(*blob));
+  auto finish = [this](std::vector<std::uint8_t>&& storage) {
+    snapshot_buffers_.release(std::move(storage));
+  };
+  if (mode == SnapshotMode::kSync) {
+    // Synchronous delivery: the sink (typically a durable write) completes
+    // on this thread before the caller forwards the token — MS-src's
+    // write-before-forward, at thread scale.
+    if (sink_) sink_(snap);
+    finish(std::move(*blob));
+    return;
+  }
+  helpers_->submit([this, snap, blob, id, finish]() mutable {
+    const SimTime sink_start = now();
+    if (sink_) sink_(snap);
+    const std::size_t written = snap.size;
     if (trace_ != nullptr) {
-      trace_->complete(write_start, now() - write_start,
-                       trace_track::kEnginePid, id + 1, "disk-io", "rt-ckpt",
-                       epoch, {{"bytes", static_cast<std::int64_t>(written)}});
+      trace_->complete(sink_start, now() - sink_start, trace_track::kEnginePid,
+                       id + 1, "snapshot-sink", "rt-ckpt", snap.epoch,
+                       {{"bytes", static_cast<std::int64_t>(written)}});
     }
-    std::scoped_lock lock(ckpt_mu_);
-    ckpt_sizes_[id] = written;
-    if (--ckpt_remaining_ == 0) ckpt_cv_.notify_all();
+    finish(std::move(*blob));
   });
 }
 
-std::map<int, std::uint64_t> RtEngine::checkpoint() {
-  MS_CHECK(running_.load());
-  MS_CHECK_MSG(!config_.checkpoint_dir.empty(),
-               "RtEngine built without a checkpoint directory");
-  {
-    std::scoped_lock lock(ckpt_mu_);
-    MS_CHECK_MSG(ckpt_remaining_ == 0, "checkpoint already in progress");
-    ckpt_remaining_ = graph_.num_operators();
-    ckpt_sizes_.clear();
+void RtEngine::snapshot_and_forward_token(Worker& w, const core::Token& token) {
+  const SnapshotMode mode = epoch_mode_;
+  if (mode == SnapshotMode::kSync) {
+    // Write first, then let the token (and therefore any downstream effect
+    // of post-checkpoint processing) move on.
+    capture_snapshot(w, token.checkpoint_id, mode, /*aligned=*/true);
+    for (const auto& [target, port] : w.out_edges) {
+      deliver(target, port, core::StreamItem(token));
+    }
+    return;
   }
-  const core::Token token{++ckpt_epoch_, /*one_hop=*/false};
-  const SimTime epoch_start = now();
+  // Async: snapshot in memory, forward the token immediately, deliver on a
+  // helper — processing resumes while the sink write is still in flight.
+  for (const auto& [target, port] : w.out_edges) {
+    deliver(target, port, core::StreamItem(token));
+  }
+  capture_snapshot(w, token.checkpoint_id, mode, /*aligned=*/true);
+}
+
+Status RtEngine::begin_epoch(std::uint64_t epoch, SnapshotMode mode) {
+  if (!running_.load()) {
+    return Status::failed_precondition("begin_epoch: engine not running");
+  }
+  if (!sink_) {
+    return Status::failed_precondition(
+        "begin_epoch: no snapshot sink installed");
+  }
+  int expected = 0;
+  if (!align_pending_.compare_exchange_strong(expected,
+                                              graph_.num_operators())) {
+    return Status::unavailable("begin_epoch: previous epoch still aligning");
+  }
+  epoch_mode_ = mode;
+  const core::Token token{epoch, /*one_hop=*/false};
   // Sources have no in-edges: inject the token directly into their queues;
   // it trickles down the graph from there.
   for (auto& w : workers_) {
     if (w->num_in_ports == 0) deliver(w->id, 0, core::StreamItem(token));
   }
-  std::unique_lock lock(ckpt_mu_);
-  ckpt_cv_.wait(lock, [this] { return ckpt_remaining_ == 0; });
-  if (trace_ != nullptr) {
-    trace_->complete(epoch_start, now() - epoch_start, trace_track::kEnginePid,
-                     0, "rt-checkpoint", "rt-ckpt", token.checkpoint_id);
-  }
-  if (m_ckpt_epochs_ != nullptr) {
-    m_ckpt_epochs_->add(1);
-    m_ckpt_total_->record(now() - epoch_start);
-  }
-  return ckpt_sizes_;
+  return Status::ok();
 }
 
-void RtEngine::restore() {
-  MS_CHECK(!running_.load());
-  for (auto& w : workers_) {
-    const fs::path path = fs::path(config_.checkpoint_dir) /
-                          ("op_" + std::to_string(w->id) + ".ckpt");
-    std::ifstream in(path, std::ios::binary);
-    MS_CHECK_MSG(in.good(), "missing checkpoint file: " + path.string());
-    std::vector<std::uint8_t> blob((std::istreambuf_iterator<char>(in)),
-                                   std::istreambuf_iterator<char>());
-    w->op->clear_state();
-    if (!blob.empty()) {
-      BinaryReader reader(blob);
-      w->op->deserialize_state(reader);
-    }
+Status RtEngine::snapshot_now(int op, std::uint64_t epoch) {
+  if (!running_.load()) {
+    return Status::failed_precondition("snapshot_now: engine not running");
   }
+  if (!sink_) {
+    return Status::failed_precondition(
+        "snapshot_now: no snapshot sink installed");
+  }
+  if (op < 0 || op >= num_operators()) {
+    return Status::invalid_argument("snapshot_now: no such operator");
+  }
+  Worker& w = *workers_[static_cast<std::size_t>(op)];
+  std::scoped_lock op_lock(w.op_mu);
+  capture_snapshot(w, epoch, SnapshotMode::kSync, /*aligned=*/false);
+  return Status::ok();
+}
+
+Status RtEngine::restore_operator(int op,
+                                  const std::vector<std::uint8_t>& bytes) {
+  if (running_.load()) {
+    return Status::failed_precondition(
+        "restore_operator: engine must be stopped");
+  }
+  if (op < 0 || op >= num_operators()) {
+    return Status::invalid_argument("restore_operator: no such operator");
+  }
+  Worker& w = *workers_[static_cast<std::size_t>(op)];
+  w.op->clear_state();
+  if (!bytes.empty()) {
+    BinaryReader reader(bytes);
+    w.op->deserialize_state(reader);
+  }
+  return Status::ok();
+}
+
+Status RtEngine::set_source_progress(int op, std::uint64_t next_seq,
+                                     std::uint64_t emitted) {
+  if (running_.load()) {
+    return Status::failed_precondition(
+        "set_source_progress: engine must be stopped");
+  }
+  if (op < 0 || op >= num_operators()) {
+    return Status::invalid_argument("set_source_progress: no such operator");
+  }
+  Worker& w = *workers_[static_cast<std::size_t>(op)];
+  if (!w.is_source) {
+    return Status::invalid_argument(
+        "set_source_progress: operator is not a source");
+  }
+  w.next_seq = next_seq;
+  w.tapped = emitted;
+  return Status::ok();
+}
+
+Status RtEngine::replay_downstream(int op, int out_port, core::Tuple tuple) {
+  if (!running_.load()) {
+    return Status::failed_precondition("replay_downstream: engine not running");
+  }
+  if (op < 0 || op >= num_operators()) {
+    return Status::invalid_argument("replay_downstream: no such operator");
+  }
+  Worker& w = *workers_[static_cast<std::size_t>(op)];
+  if (out_port < 0 || out_port >= static_cast<int>(w.out_edges.size())) {
+    return Status::invalid_argument("replay_downstream: no such out port");
+  }
+  const auto [target, port] = w.out_edges[static_cast<std::size_t>(out_port)];
+  deliver(target, port, core::StreamItem(std::move(tuple)));
+  return Status::ok();
+}
+
+void RtEngine::run_after(SimTime delay, std::function<void()> fn) {
+  schedule_timer(delay, std::move(fn));
+}
+
+Bytes RtEngine::op_state_size(int op) const {
+  Worker& w = *workers_[static_cast<std::size_t>(op)];
+  std::scoped_lock op_lock(w.op_mu);
+  return w.op->state_size();
 }
 
 std::int64_t RtEngine::tuples_processed(int op) const {

@@ -14,13 +14,16 @@
 //    empty→non-empty (and full→capacity-available) transitions;
 //  - a timer thread drives OperatorContext::schedule (source emission,
 //    windows);
-//  - token-aligned checkpoints in the Meteor Shower style: a checkpoint
-//    request broadcasts tokens through the dataflow, each worker snapshots
-//    its operator state when tokens have arrived on all in-edges, and a
-//    helper pool writes the snapshots to disk while processing continues —
-//    the thread-level analogue of the paper's fork/copy-on-write helper.
-//    Snapshot serialization reuses pooled buffers sized by the previous
-//    epoch, so steady-state checkpoints allocate nothing on the data path.
+//  - checkpoint *mechanisms*, not checkpoint *policy*: the engine aligns
+//    Chandy-Lamport tokens, serializes operator state at the aligned cut,
+//    taps source emissions for log preservation, and replays logged tuples
+//    after a restore — but it owns no files, no epochs-in-flight bookkeeping
+//    and no schedule. The protocol (when to checkpoint, where snapshots go,
+//    how recovery proceeds) lives behind ft::Runtime in ft/rt_runtime.*,
+//    which drives these primitives exactly like MsScheme drives the
+//    simulator. Snapshot serialization reuses pooled buffers sized by the
+//    previous epoch, so steady-state checkpoints allocate nothing on the
+//    data path.
 //
 // Invariants preserved by batching (see DESIGN.md §5c):
 //  - per-edge FIFO: tuples emitted on one out-edge arrive downstream in
@@ -28,6 +31,12 @@
 //  - token flush barrier: all output produced before a token is forwarded
 //    is flushed ahead of the token, so a checkpoint taken mid-batch
 //    captures exactly the pre-token tuples on every edge;
+//  - source-boundary exactness: source emissions are tapped and counted
+//    under the same per-operator mutex that guards snapshot serialization
+//    (timer-context flushes happen inside that mutex too), so the boundary
+//    recorded in a source's Snapshot equals the number of tapped tuples
+//    that are upstream of the token on every out-edge — the replay cursor
+//    recovery needs;
 //  - max_batch = 1 reproduces the seed's per-tuple delivery (the escape
 //    hatch the sim-vs-engine equivalence tests pin).
 //
@@ -39,12 +48,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <filesystem>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <thread>
 #include <variant>
@@ -52,6 +58,7 @@
 
 #include "common/buffer_pool.h"
 #include "common/metrics_registry.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/query_graph.h"
@@ -66,19 +73,59 @@ struct RtConfig {
   /// micro-benchmarks (see DESIGN.md §5c); 1 disables batching and
   /// reproduces per-tuple delivery exactly.
   std::size_t max_batch = 64;
-  /// Directory for checkpoint files; empty disables checkpointing.
-  std::string checkpoint_dir;
   std::size_t helper_threads = 2;
   std::uint64_t seed = 0x5eedULL;
-  /// Optional protocol trace sink. Snapshot/write/epoch spans land on the
-  /// engine's trace tracks (trace_track::kEnginePid; tid 0 is the
-  /// checkpoint driver, tid i+1 is operator i). The recorder is
-  /// mutex-guarded, so worker and helper threads emit concurrently.
+  /// Optional protocol trace sink. Snapshot spans land on the engine's
+  /// trace tracks (trace_track::kEnginePid; tid 0 is the checkpoint driver,
+  /// tid i+1 is operator i). The recorder is mutex-guarded, so worker and
+  /// helper threads emit concurrently.
   TraceRecorder* trace = nullptr;
   /// Optional live metrics sink: rt.* counters and per-operator queue-depth
   /// gauges (rt.op.<id>.queue_depth), updated from the worker threads.
   MetricsRegistry* metrics = nullptr;
 };
+
+/// When an aligned operator's snapshot is handed to the sink relative to the
+/// token being forwarded downstream.
+///  - kSync: on the worker thread, *before* the token moves on — the sink's
+///    write is durable before any downstream effect exists (the engine
+///    analogue of MS-src's synchronous write).
+///  - kAsync: the worker serializes in memory, forwards the token at once,
+///    and a helper thread invokes the sink — the thread-level analogue of
+///    the paper's fork/copy-on-write helper (MS-src+ap).
+enum class SnapshotMode { kSync, kAsync };
+
+/// One operator's state captured at a token-aligned cut (or by
+/// snapshot_now()). `data` is borrowed: valid only for the duration of the
+/// SnapshotSink call — copy or write it out before returning.
+struct Snapshot {
+  int op = 0;
+  std::uint64_t epoch = 0;
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  /// Sources only (0 otherwise): number of tuples this source had emitted —
+  /// and the tap had logged — strictly before this snapshot. Every one of
+  /// them is upstream of the token on every out-edge (flush barrier), so
+  /// this is the epoch's replay boundary.
+  std::uint64_t source_boundary = 0;
+  /// Sources only: the lineage sequence counter at the boundary; restoring
+  /// it prevents replayed and fresh tuples from colliding on tuple ids.
+  std::uint64_t source_next_seq = 0;
+};
+
+/// Receives every Snapshot. May be called concurrently from several worker
+/// or helper threads; must be installed before start().
+using SnapshotSink = std::function<void(const Snapshot&)>;
+
+/// Observes every tuple a source operator emits, before it is dispatched
+/// downstream — the hook source-log preservation hangs off ("durable before
+/// dispatch"). Runs under the source's per-operator mutex, on whichever
+/// thread is emitting.
+using SourceTap = std::function<void(int op, int out_port, const core::Tuple&)>;
+
+/// Protocol instrumentation points on the engine's checkpoint mechanisms.
+enum class ProtoPoint { kTokenArrived, kAligned, kSerializeStart, kSerializeDone };
+using ProtoProbe = std::function<void(ProtoPoint, int op, std::uint64_t epoch)>;
 
 class RtEngine {
  public:
@@ -88,23 +135,71 @@ class RtEngine {
   RtEngine(const RtEngine&) = delete;
   RtEngine& operator=(const RtEngine&) = delete;
 
+  /// start()/stop() may cycle: recovery stops the engine, restores operator
+  /// state, and starts it again (on_open re-arms source timers from the
+  /// restored state). Timers and token alignment are reset on every start.
   void start();
 
-  /// Stop source timers, drain all queues, join all workers.
+  /// Stop source timers, drain all queues, join all workers. Pending
+  /// asynchronous snapshot deliveries complete before stop() returns.
   void stop();
 
-  /// Trigger a token-aligned asynchronous checkpoint; blocks until every
-  /// operator's snapshot has been written. Returns the per-operator file
-  /// sizes. Must be called while running.
-  std::map<int, std::uint64_t> checkpoint();
+  // --- checkpoint/recovery primitives (policy-free; see ft/rt_runtime.*) ---
 
-  /// Restore every operator's state from the files written by the last
-  /// checkpoint(). Must be called while stopped.
-  void restore();
+  /// Install the snapshot receiver / source-emission tap / protocol probe.
+  /// All three must be set (or left unset) before start().
+  void set_snapshot_sink(SnapshotSink sink) { sink_ = std::move(sink); }
+  void set_source_tap(SourceTap tap) { source_tap_ = std::move(tap); }
+  void set_proto_probe(ProtoProbe probe) { proto_probe_ = std::move(probe); }
+
+  /// Inject epoch `epoch`'s token at every source and return immediately;
+  /// alignment and snapshot delivery proceed on the worker/helper threads.
+  /// Fails (kFailedPrecondition) when not running or no sink is installed,
+  /// and (kUnavailable) while a previous epoch is still aligning.
+  Status begin_epoch(std::uint64_t epoch, SnapshotMode mode);
+
+  /// True while any operator of the last begin_epoch() has not yet delivered
+  /// its snapshot.
+  bool epoch_in_flight() const { return align_pending_.load() != 0; }
+
+  /// Snapshot one operator immediately on the calling thread (no tokens, no
+  /// cut alignment) — the independent-checkpoint primitive the baseline
+  /// scheme uses. Requires running and an installed sink.
+  Status snapshot_now(int op, std::uint64_t epoch);
+
+  /// Replace an operator's state from serialized bytes (clear_state, then
+  /// deserialize unless `bytes` is empty). Requires the engine stopped.
+  Status restore_operator(int op, const std::vector<std::uint8_t>& bytes);
+
+  /// Reset a source's emission cursor after a restore: `next_seq` is the
+  /// lineage sequence to continue from, `emitted` the tap count (log length)
+  /// to continue from. Requires the engine stopped and `op` a source.
+  Status set_source_progress(int op, std::uint64_t next_seq,
+                             std::uint64_t emitted);
+
+  /// Re-deliver a preserved tuple on one of `op`'s out-edges, bypassing the
+  /// operator (and the tap — the tuple is already logged). Requires running.
+  Status replay_downstream(int op, int out_port, core::Tuple tuple);
+
+  /// Control-plane timer on the engine's timer thread (the protocol layer's
+  /// clock). Callbacks scheduled after stop() begins are dropped; timers do
+  /// not survive a stop()/start() cycle.
+  void run_after(SimTime delay, std::function<void()> fn);
+
+  // --- introspection ---
+
+  int num_operators() const { return static_cast<int>(workers_.size()); }
+  bool op_is_source(int op) const {
+    return workers_[static_cast<std::size_t>(op)]->is_source;
+  }
+  /// Declared state size of one operator, taken under its operator mutex —
+  /// safe to call from the timer thread (AA state sampling).
+  Bytes op_state_size(int op) const;
 
   std::int64_t tuples_processed(int op) const;
   std::int64_t sink_tuples() const { return sink_tuples_.load(); }
   core::Operator& op(int id) { return *workers_[static_cast<std::size_t>(id)]->op; }
+  bool running() const { return running_.load(); }
 
   /// Total wall-clock the engine has been running.
   SimTime uptime() const;
@@ -135,6 +230,14 @@ class RtEngine {
   /// O(1) and per-edge FIFO trivially intact.
   void deliver_batch(int op, int in_port, std::vector<core::Tuple>&& batch);
   void snapshot_and_forward_token(Worker& w, const core::Token& token);
+  /// Serialize `w`'s operator under its already-held op_mu and hand the
+  /// bytes to the sink (kSync/snapshot_now: on this thread; kAsync: on a
+  /// helper). Decrements align_pending_ when `aligned`.
+  void capture_snapshot(Worker& w, std::uint64_t epoch, SnapshotMode mode,
+                        bool aligned);
+  void emit_proto(ProtoPoint point, int op, std::uint64_t epoch) {
+    if (proto_probe_) proto_probe_(point, op, epoch);
+  }
   void timer_loop();
   void schedule_timer(SimTime delay, std::function<void()> fn);
   SimTime now() const;
@@ -185,7 +288,10 @@ class RtEngine {
     std::atomic<std::int64_t> processed{0};
     std::thread thread;
     std::unique_ptr<Rng> rng;
-    std::uint64_t next_seq = 0;  // lineage stamping (timer thread only)
+    std::uint64_t next_seq = 0;   // lineage stamping; guarded by op_mu
+    /// Tuples handed to the source tap so far — the running boundary the
+    /// snapshot captures. Guarded by op_mu, like next_seq.
+    std::uint64_t tapped = 0;
 
     // Checkpoint alignment.
     std::vector<bool> token_seen;
@@ -215,11 +321,12 @@ class RtEngine {
   core::QueryGraph graph_;
   RtConfig config_;
   TraceRecorder* trace_ = nullptr;
+  SnapshotSink sink_;
+  SourceTap source_tap_;
+  ProtoProbe proto_probe_;
   // Cached metric handles; all null when config_.metrics is null.
   Counter* m_tuples_ = nullptr;
   Counter* m_sink_tuples_ = nullptr;
-  Counter* m_ckpt_epochs_ = nullptr;
-  HistogramMetric* m_ckpt_total_ = nullptr;
   HistogramMetric* m_ckpt_bytes_ = nullptr;
   /// Queued tuples at which a deferred wake fires; see Worker::wake_pending.
   std::size_t wake_threshold_ = 1;
@@ -236,6 +343,14 @@ class RtEngine {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<std::int64_t> sink_tuples_{0};
+
+  /// Operators of the current epoch that have not yet delivered a snapshot;
+  /// begin_epoch() refuses to start a new epoch while nonzero.
+  std::atomic<int> align_pending_{0};
+  /// Mode of the epoch in flight. Written by begin_epoch() only while
+  /// align_pending_ == 0; workers read it after receiving the epoch's token
+  /// through a queue mutex, which orders the write before the read.
+  SnapshotMode epoch_mode_ = SnapshotMode::kAsync;
 
   // Timer thread.
   struct Timer {
@@ -254,13 +369,6 @@ class RtEngine {
   std::uint64_t timer_seq_ = 0;
 
   std::chrono::steady_clock::time_point started_at_;
-
-  // Checkpoint rendezvous.
-  std::mutex ckpt_mu_;
-  std::condition_variable ckpt_cv_;
-  int ckpt_remaining_ = 0;
-  std::map<int, std::uint64_t> ckpt_sizes_;
-  std::atomic<std::uint64_t> ckpt_epoch_{0};
 };
 
 }  // namespace ms::rt

@@ -139,6 +139,13 @@ class SharedStorage {
   void resize(const std::string& key, Bytes new_declared_size);
   void erase_now(const std::string& key) { data_.erase(key); }
 
+  /// Host-side inspection without simulated cost (tests, equivalence
+  /// checks): the stored object, or nullptr.
+  const Object* peek(const std::string& key) const {
+    const auto it = data_.find(key);
+    return it == data_.end() ? nullptr : &it->second;
+  }
+
   bool contains(const std::string& key) const { return data_.contains(key); }
   Bytes size_of(const std::string& key) const;
   Bytes stored_bytes() const;

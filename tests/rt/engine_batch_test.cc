@@ -1,12 +1,13 @@
 // Batched-transport invariants of the real-threads engine: per-edge FIFO at
-// every max_batch setting, exact token alignment for checkpoints taken
-// mid-batch, and batched-vs-unbatched equivalence on a fixed workload.
+// every max_batch setting, exact token alignment for epochs taken mid-batch,
+// and batched-vs-unbatched equivalence on a fixed workload.
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <filesystem>
-#include <fstream>
+#include <map>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "../testing/test_ops.h"
 #include "core/stdops.h"
@@ -18,6 +19,18 @@ namespace {
 using ms::testing::IntPayload;
 using ms::testing::RecordingSink;
 using ms::testing::RelayOperator;
+
+/// Collects snapshot blobs in memory (copied out of the borrowed buffer).
+struct Collector {
+  std::mutex mu;
+  std::map<int, std::vector<std::uint8_t>> blobs;
+  SnapshotSink sink() {
+    return [this](const Snapshot& snap) {
+      std::scoped_lock lk(mu);
+      blobs[snap.op].assign(snap.data, snap.data + snap.size);
+    };
+  }
+};
 
 /// src -> relay0 -> relay1 -> sink driven by a burst source that emits
 /// exactly `total` integers (0..total-1) in bursts of `burst` per tick.
@@ -53,6 +66,15 @@ void wait_for_sink(RtEngine& engine, std::int64_t want) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(20);
   while (engine.sink_tuples() < want &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void wait_epoch_done(RtEngine& engine) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (engine.epoch_in_flight() &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
@@ -100,7 +122,7 @@ TEST(RtEngineBatchTest, StressSinkCountsMatchBatchedVsUnbatched) {
   EXPECT_EQ(counts[0], counts[1]);
 }
 
-// A checkpoint taken while batches are in flight must capture exactly the
+// An epoch begun while batches are in flight must capture exactly the
 // pre-token tuples: the relay forwards everything it processed before
 // forwarding the token (flush barrier), so after restore the sink's recorded
 // values are precisely the relay's processed set — same count, same sum.
@@ -108,18 +130,21 @@ TEST(RtEngineBatchTest, TokenAlignmentMidBatchIsExact) {
   constexpr std::int64_t kTotal = 100000;
   RtConfig cfg;
   cfg.max_batch = 64;
-  cfg.checkpoint_dir =
-      (std::filesystem::temp_directory_path() / "ms_rt_batch_align").string();
+  Collector collector;
   RtEngine engine(burst_chain(kTotal, 1000), cfg);
+  engine.set_snapshot_sink(collector.sink());
   engine.start();
-  // Checkpoint mid-stream, while bursts keep output buffers hot.
+  // Begin the epoch mid-stream, while bursts keep output buffers hot.
   std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  engine.checkpoint();
+  ASSERT_TRUE(engine.begin_epoch(1, SnapshotMode::kAsync).is_ok());
   wait_for_sink(engine, kTotal);
+  wait_epoch_done(engine);
   engine.stop();
 
   RtEngine fresh(burst_chain(kTotal, 1000), cfg);
-  fresh.restore();
+  for (const auto& [op, blob] : collector.blobs) {
+    ASSERT_TRUE(fresh.restore_operator(op, blob).is_ok());
+  }
   const auto& relay1 = static_cast<const RelayOperator&>(fresh.op(2));
   const auto& sink = static_cast<const RecordingSink&>(fresh.op(3));
   // The sink's checkpointed history is exactly the pre-token stream the
@@ -133,41 +158,31 @@ TEST(RtEngineBatchTest, TokenAlignmentMidBatchIsExact) {
   EXPECT_EQ(sum, relay1.sum());
 }
 
-// Checkpoint blobs must be byte-identical however transport is batched: the
-// snapshot boundary is the token position in the stream, not an artifact of
-// buffering. Checkpoint after full drain so both runs snapshot the same
-// (complete) stream, then compare files byte for byte.
-TEST(RtEngineBatchTest, CheckpointBytesIdenticalBatchedVsUnbatched) {
-  namespace fs = std::filesystem;
+// Snapshot blobs must be byte-identical however transport is batched: the
+// boundary is the token position in the stream, not an artifact of
+// buffering. Begin the epoch after full drain so both runs snapshot the
+// same (complete) stream, then compare blobs byte for byte.
+TEST(RtEngineBatchTest, SnapshotBytesIdenticalBatchedVsUnbatched) {
   constexpr std::int64_t kTotal = 8000;
-  std::vector<std::map<int, std::uint64_t>> sizes;
-  std::vector<std::vector<std::vector<std::uint8_t>>> blobs;
+  std::vector<std::map<int, std::vector<std::uint8_t>>> runs;
   for (const std::size_t batch : {std::size_t{1}, std::size_t{256}}) {
     RtConfig cfg;
     cfg.max_batch = batch;
-    cfg.checkpoint_dir =
-        (fs::temp_directory_path() / ("ms_rt_batch_eq_" + std::to_string(batch)))
-            .string();
+    Collector collector;
     RtEngine engine(burst_chain(kTotal, 500), cfg);
+    engine.set_snapshot_sink(collector.sink());
     engine.start();
     wait_for_sink(engine, kTotal);
-    sizes.push_back(engine.checkpoint());
+    ASSERT_TRUE(engine.begin_epoch(1, SnapshotMode::kAsync).is_ok());
+    wait_epoch_done(engine);
     engine.stop();
-    std::vector<std::vector<std::uint8_t>> run;
-    for (int op = 0; op < 4; ++op) {
-      std::ifstream in(fs::path(cfg.checkpoint_dir) /
-                           ("op_" + std::to_string(op) + ".ckpt"),
-                       std::ios::binary);
-      run.emplace_back((std::istreambuf_iterator<char>(in)),
-                       std::istreambuf_iterator<char>());
-    }
-    blobs.push_back(std::move(run));
+    runs.push_back(std::move(collector.blobs));
   }
-  EXPECT_EQ(sizes[0], sizes[1]);
+  ASSERT_EQ(runs[0].size(), 4u);
+  ASSERT_EQ(runs[1].size(), 4u);
   for (int op = 0; op < 4; ++op) {
-    EXPECT_EQ(blobs[0][static_cast<std::size_t>(op)],
-              blobs[1][static_cast<std::size_t>(op)])
-        << "checkpoint blob differs for operator " << op;
+    EXPECT_EQ(runs[0][op], runs[1][op])
+        << "snapshot blob differs for operator " << op;
   }
 }
 

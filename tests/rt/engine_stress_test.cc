@@ -3,8 +3,8 @@
 // queues, and repeated checkpoint/restore cycles.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
-#include <filesystem>
 #include <thread>
 
 #include "../testing/test_ops.h"
@@ -17,12 +17,6 @@ namespace {
 using ms::testing::CounterSource;
 using ms::testing::IntPayload;
 using ms::testing::RecordingSink;
-
-RtConfig cfg_with(const std::string& dir) {
-  RtConfig cfg;
-  cfg.checkpoint_dir = (std::filesystem::temp_directory_path() / dir).string();
-  return cfg;
-}
 
 core::QueryGraph diamond() {
   core::QueryGraph g;
@@ -72,17 +66,28 @@ TEST(RtEngineStressTest, DiamondGraphDeliversBothBranches) {
   EXPECT_GT(pairs, 40);
 }
 
-TEST(RtEngineStressTest, CheckpointsOnDiamondAlignAcrossBranches) {
-  RtEngine engine(diamond(), cfg_with("ms_rt_diamond"));
+TEST(RtEngineStressTest, EpochsOnDiamondAlignAcrossBranches) {
+  RtEngine engine(diamond(), RtConfig{});
+  std::atomic<int> snapshots{0};
+  engine.set_snapshot_sink([&snapshots](const Snapshot&) {
+    snapshots.fetch_add(1);
+  });
   engine.start();
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  for (int i = 0; i < 3; ++i) {
-    const auto sizes = engine.checkpoint();
-    EXPECT_EQ(sizes.size(), 6u);
+  for (std::uint64_t e = 1; e <= 3; ++e) {
+    ASSERT_TRUE(engine.begin_epoch(e, SnapshotMode::kAsync).is_ok());
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (engine.epoch_in_flight() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_FALSE(engine.epoch_in_flight()) << "epoch " << e << " wedged";
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
   }
   engine.stop();
-  SUCCEED();
+  // The union operator must align both branches' tokens in every epoch.
+  EXPECT_EQ(snapshots.load(), 3 * 6);
 }
 
 TEST(RtEngineStressTest, TinyQueueCapacityStillDrainsCleanly) {

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <filesystem>
+#include <map>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "../testing/test_ops.h"
 
@@ -14,11 +16,38 @@ namespace {
 using ms::testing::chain_graph;
 using ms::testing::RecordingSink;
 
-RtConfig config_with_dir(const std::string& name) {
-  RtConfig cfg;
-  cfg.checkpoint_dir =
-      (std::filesystem::temp_directory_path() / name).string();
-  return cfg;
+/// Collects every delivered Snapshot (data copied out: the blob is only
+/// valid during the sink call).
+struct SnapshotCollector {
+  std::mutex mu;
+  std::map<int, std::vector<std::uint8_t>> blobs;
+  std::map<int, Snapshot> meta;
+
+  SnapshotSink sink() {
+    return [this](const Snapshot& snap) {
+      std::scoped_lock lk(mu);
+      blobs[snap.op].assign(snap.data, snap.data + snap.size);
+      Snapshot m = snap;
+      m.data = nullptr;
+      meta[snap.op] = m;
+    };
+  }
+
+  std::size_t count() {
+    std::scoped_lock lk(mu);
+    return blobs.size();
+  }
+};
+
+/// Polls until the epoch's snapshots have all been delivered.
+bool wait_epoch_done(RtEngine& engine) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (engine.epoch_in_flight() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return !engine.epoch_in_flight();
 }
 
 TEST(RtEngineTest, TuplesFlowOnRealThreads) {
@@ -43,49 +72,63 @@ TEST(RtEngineTest, ValuesArriveInOrderExactlyOnce) {
   }
 }
 
-TEST(RtEngineTest, CheckpointWritesAllOperators) {
-  RtEngine engine(chain_graph(2, SimTime::millis(1)),
-                  config_with_dir("ms_rt_ckpt_a"));
+TEST(RtEngineTest, EpochDeliversEveryOperatorSnapshot) {
+  RtEngine engine(chain_graph(2, SimTime::millis(1)), RtConfig{});
+  SnapshotCollector collector;
+  engine.set_snapshot_sink(collector.sink());
+  // The snapshot boundary counts tapped (logged) emissions; install a tap so
+  // the source's cut is meaningful.
+  engine.set_source_tap([](int, int, const core::Tuple&) {});
   engine.start();
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  const auto sizes = engine.checkpoint();
+  ASSERT_TRUE(engine.begin_epoch(1, SnapshotMode::kAsync).is_ok());
+  ASSERT_TRUE(wait_epoch_done(engine));
   engine.stop();
-  EXPECT_EQ(sizes.size(), 4u);
-  for (const auto& [op, size] : sizes) {
-    const auto path = std::filesystem::path(
-        config_with_dir("ms_rt_ckpt_a").checkpoint_dir) /
-        ("op_" + std::to_string(op) + ".ckpt");
-    EXPECT_TRUE(std::filesystem::exists(path));
-    EXPECT_EQ(std::filesystem::file_size(path), size);
+  EXPECT_EQ(collector.count(), 4u);
+  std::scoped_lock lk(collector.mu);
+  for (const auto& [op, snap] : collector.meta) {
+    EXPECT_EQ(snap.epoch, 1u);
+    EXPECT_GT(collector.blobs[op].size(), 0u);
+    if (engine.op_is_source(op)) {
+      // The feed had emitted by the time the token cut the stream.
+      EXPECT_GT(snap.source_boundary, 0u);
+      EXPECT_GT(snap.source_next_seq, 0u);
+    }
   }
 }
 
-TEST(RtEngineTest, ProcessingContinuesDuringCheckpoint) {
-  RtEngine engine(chain_graph(2, SimTime::millis(1)),
-                  config_with_dir("ms_rt_ckpt_b"));
+TEST(RtEngineTest, ProcessingContinuesDuringEpoch) {
+  RtEngine engine(chain_graph(2, SimTime::millis(1)), RtConfig{});
+  SnapshotCollector collector;
+  engine.set_snapshot_sink(collector.sink());
   engine.start();
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   const auto before = engine.sink_tuples();
-  engine.checkpoint();
+  ASSERT_TRUE(engine.begin_epoch(1, SnapshotMode::kAsync).is_ok());
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
   engine.stop();
   EXPECT_GT(engine.sink_tuples(), before + 20);
 }
 
 TEST(RtEngineTest, RestoreRoundTripsState) {
-  const RtConfig cfg = config_with_dir("ms_rt_ckpt_c");
-  RtEngine engine(chain_graph(1, SimTime::millis(1)), cfg);
+  const core::QueryGraph graph = chain_graph(1, SimTime::millis(1));
+  SnapshotCollector collector;
+  RtEngine engine(chain_graph(1, SimTime::millis(1)), RtConfig{});
+  engine.set_snapshot_sink(collector.sink());
   engine.start();
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
-  engine.checkpoint();
+  ASSERT_TRUE(engine.begin_epoch(1, SnapshotMode::kAsync).is_ok());
+  ASSERT_TRUE(wait_epoch_done(engine));
   engine.stop();
   const auto& sink = static_cast<const RecordingSink&>(engine.op(2));
   const std::size_t at_checkpoint_upper = sink.values.size();
 
-  RtEngine fresh(chain_graph(1, SimTime::millis(1)), cfg);
-  fresh.restore();
+  RtEngine fresh(chain_graph(1, SimTime::millis(1)), RtConfig{});
+  for (const auto& [op, blob] : collector.blobs) {
+    ASSERT_TRUE(fresh.restore_operator(op, blob).is_ok());
+  }
   auto& restored_sink = static_cast<RecordingSink&>(fresh.op(2));
-  // The restored sink replays a prefix of what the original saw.
+  // The restored sink holds a prefix of what the original saw.
   EXPECT_FALSE(restored_sink.values.empty());
   EXPECT_LE(restored_sink.values.size(), at_checkpoint_upper);
   for (std::size_t i = 0; i < restored_sink.values.size(); ++i) {
@@ -93,17 +136,83 @@ TEST(RtEngineTest, RestoreRoundTripsState) {
   }
 }
 
-TEST(RtEngineTest, MultipleCheckpointsSequentially) {
-  RtEngine engine(chain_graph(1, SimTime::millis(1)),
-                  config_with_dir("ms_rt_ckpt_d"));
+TEST(RtEngineTest, MultipleEpochsSequentially) {
+  RtEngine engine(chain_graph(1, SimTime::millis(1)), RtConfig{});
+  SnapshotCollector collector;
+  engine.set_snapshot_sink(collector.sink());
   engine.start();
-  for (int i = 0; i < 3; ++i) {
+  for (std::uint64_t e = 1; e <= 3; ++e) {
     std::this_thread::sleep_for(std::chrono::milliseconds(30));
-    const auto sizes = engine.checkpoint();
-    EXPECT_EQ(sizes.size(), 3u);
+    ASSERT_TRUE(engine.begin_epoch(e, SnapshotMode::kAsync).is_ok());
+    ASSERT_TRUE(wait_epoch_done(engine));
   }
   engine.stop();
-  SUCCEED();
+  std::scoped_lock lk(collector.mu);
+  for (const auto& [op, snap] : collector.meta) {
+    EXPECT_EQ(snap.epoch, 3u) << "operator " << op;
+  }
+}
+
+TEST(RtEngineTest, SyncEpochWritesBeforeTokenMovesOn) {
+  RtEngine engine(chain_graph(1, SimTime::millis(1)), RtConfig{});
+  SnapshotCollector collector;
+  engine.set_snapshot_sink(collector.sink());
+  engine.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(engine.begin_epoch(7, SnapshotMode::kSync).is_ok());
+  ASSERT_TRUE(wait_epoch_done(engine));
+  engine.stop();
+  EXPECT_EQ(collector.count(), 3u);
+}
+
+// --- Status guards: misuse is an error return, not undefined behavior ---
+
+TEST(RtEngineTest, EpochPreconditionsReturnStatus) {
+  RtEngine engine(chain_graph(1, SimTime::millis(1)), RtConfig{});
+  // Not running yet.
+  EXPECT_EQ(engine.begin_epoch(1, SnapshotMode::kAsync).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.snapshot_now(0, 1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.replay_downstream(0, 0, core::Tuple{}).code(),
+            StatusCode::kFailedPrecondition);
+
+  engine.start();
+  // Running, but no sink installed.
+  EXPECT_EQ(engine.begin_epoch(1, SnapshotMode::kAsync).code(),
+            StatusCode::kFailedPrecondition);
+  // Restore requires a stopped engine.
+  EXPECT_EQ(engine.restore_operator(0, {}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.set_source_progress(0, 1, 1).code(),
+            StatusCode::kFailedPrecondition);
+  engine.stop();
+
+  // Stopped: bad operator ids and non-sources are invalid arguments.
+  EXPECT_EQ(engine.restore_operator(99, {}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.set_source_progress(2, 1, 1).code(),
+            StatusCode::kInvalidArgument);  // the sink is not a source
+}
+
+TEST(RtEngineTest, SecondEpochWhileAligningIsUnavailable) {
+  // A sink that parks the first snapshot long enough for a second
+  // begin_epoch to race the alignment window.
+  RtEngine engine(chain_graph(1, SimTime::millis(1)), RtConfig{});
+  std::atomic<int> delivered{0};
+  engine.set_snapshot_sink([&delivered](const Snapshot&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    delivered.fetch_add(1);
+  });
+  engine.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(engine.begin_epoch(1, SnapshotMode::kSync).is_ok());
+  // The sync sink is sleeping on a worker thread; the epoch cannot have
+  // fully aligned yet.
+  const Status second = engine.begin_epoch(2, SnapshotMode::kSync);
+  EXPECT_EQ(second.code(), StatusCode::kUnavailable);
+  wait_epoch_done(engine);
+  engine.stop();
+  EXPECT_EQ(delivered.load(), 3);
 }
 
 TEST(RtEngineTest, StopIsIdempotent) {

@@ -1,0 +1,255 @@
+// Chaos kills at every RtRuntime protocol point, mirroring the sim-side
+// tests/integration/chaos_recovery_test.cc: the process dies with the token
+// in flight, inside the serialize window, during checkpoint disk I/O, and in
+// each of the four recovery phases — and in every case a subsequent recovery
+// yields exactly-once sink output.
+#include "failure/rt_chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <thread>
+
+#include "../testing/rt_feed.h"
+#include "../testing/test_ops.h"
+#include "ft/rt_runtime.h"
+#include "rt/engine.h"
+
+namespace ms::failure {
+namespace {
+
+namespace fs = std::filesystem;
+using ms::testing::ExternalFeed;
+using ms::testing::feed_chain;
+using ms::testing::int_codec;
+using ms::testing::RecordingSink;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+void wait_drained(rt::RtEngine& engine, std::int64_t want) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (engine.sink_tuples() < want &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+void wait_quiescent(rt::RtEngine& engine, int quiet_ms = 150) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  std::int64_t last = -1;
+  auto last_change = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::int64_t cur = engine.sink_tuples();
+    if (cur != last) {
+      last = cur;
+      last_change = std::chrono::steady_clock::now();
+    } else if (std::chrono::steady_clock::now() - last_change >
+               std::chrono::milliseconds(quiet_ms)) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+bool wait_crashed(ft::RtRuntime& runtime) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!runtime.crashed() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return runtime.crashed();
+}
+
+void expect_sink_exact(rt::RtEngine& engine, int sink_op, std::int64_t n) {
+  const auto& sink = static_cast<const RecordingSink&>(engine.op(sink_op));
+  ASSERT_EQ(sink.values.size(), static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(sink.values[static_cast<std::size_t>(i)], i)
+        << "wrong/duplicated value at position " << i;
+  }
+}
+
+struct PointName {
+  template <typename ParamType>
+  std::string operator()(const ::testing::TestParamInfo<ParamType>& info) const {
+    std::string name = ft::ft_point_name(info.param);
+    for (char& c : name) {
+      if (c == '-' || c == '+') c = '_';
+    }
+    return name;
+  }
+};
+
+// --- Kill during an in-flight checkpoint attempt ---------------------------
+
+class CheckpointKillTest : public ::testing::TestWithParam<ft::FtPoint> {};
+
+TEST_P(CheckpointKillTest, RecoveryIsExactAfterKill) {
+  auto feed = std::make_shared<ExternalFeed>();
+  ft::RtRuntimeConfig cfg;
+  cfg.mode = ft::RtMode::kSrcAp;
+  cfg.dir = fresh_dir(std::string("ms_chaos_") +
+                      ft::ft_point_name(GetParam()));
+  cfg.params.periodic = false;
+  cfg.codec = int_codec();
+
+  std::int64_t total = 0;
+  {
+    rt::RtEngine engine(feed_chain(feed, 2, SimTime::micros(200), 4),
+                        rt::RtConfig{});
+    ft::RtRuntime runtime(&engine, cfg);
+    RtChaos chaos(&runtime);
+    chaos.crash_on(GetParam());
+    chaos.arm();
+    ASSERT_TRUE(runtime.start().is_ok());
+    wait_drained(engine, 200);
+    ASSERT_TRUE(runtime.begin_checkpoint().is_ok());
+    // The scripted point fires somewhere inside this checkpoint attempt.
+    ASSERT_TRUE(wait_crashed(runtime))
+        << "kill point never reached: " << ft::ft_point_name(GetParam());
+    EXPECT_EQ(chaos.kills(), 1);
+    // The dead process left no durable epoch — the attempt was cut short.
+    EXPECT_EQ(runtime.last_durable_epoch(), 0u);
+    // The source log (durable before dispatch) keeps absorbing emissions.
+    wait_drained(engine, engine.sink_tuples() + 50);
+    feed->paused.store(true);
+    wait_quiescent(engine);
+    total = feed->cursor.load();
+    runtime.stop();
+  }
+
+  rt::RtEngine engine(feed_chain(feed, 2, SimTime::micros(200), 4),
+                      rt::RtConfig{});
+  ft::RtRuntime runtime(&engine, cfg);
+  ft::RecoveryStats stats;
+  ASSERT_TRUE(runtime.recover(&stats).is_ok());
+  wait_quiescent(engine);
+  runtime.stop();
+  // Nothing durable: everything comes back from the preserved source log.
+  expect_sink_exact(engine, 3, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolPoints, CheckpointKillTest,
+    ::testing::Values(ft::FtPoint::kTokenAlignStart,   // token in flight
+                      ft::FtPoint::kTokenReceived,     // token at a port head
+                      ft::FtPoint::kSerializeStart,    // serialize window
+                      ft::FtPoint::kForkDone,          // post-fork window
+                      ft::FtPoint::kCheckpointWrite),  // disk I/O
+    PointName());
+
+// --- Kill during recovery itself -------------------------------------------
+
+class RecoveryKillTest : public ::testing::TestWithParam<ft::FtPoint> {};
+
+TEST_P(RecoveryKillTest, SecondRecoveryAttemptSucceeds) {
+  auto feed = std::make_shared<ExternalFeed>();
+  ft::RtRuntimeConfig cfg;
+  cfg.mode = ft::RtMode::kSrcAp;
+  cfg.dir = fresh_dir(std::string("ms_chaos_rec_") +
+                      ft::ft_point_name(GetParam()));
+  cfg.params.periodic = false;
+  cfg.codec = int_codec();
+
+  std::int64_t total = 0;
+  {
+    rt::RtEngine engine(feed_chain(feed, 2, SimTime::micros(200), 4),
+                        rt::RtConfig{});
+    ft::RtRuntime runtime(&engine, cfg);
+    ASSERT_TRUE(runtime.start().is_ok());
+    wait_drained(engine, 200);
+    ASSERT_TRUE(runtime.begin_checkpoint().is_ok());
+    ASSERT_TRUE(runtime.wait_checkpoints(1, SimTime::seconds(10)));
+    wait_drained(engine, engine.sink_tuples() + 100);
+    runtime.simulate_crash();
+    feed->paused.store(true);
+    wait_quiescent(engine);
+    total = feed->cursor.load();
+    runtime.stop();
+  }
+
+  rt::RtEngine engine(feed_chain(feed, 2, SimTime::micros(200), 4),
+                      rt::RtConfig{});
+  ft::RtRuntime runtime(&engine, cfg);
+  RtChaos chaos(&runtime);
+  chaos.crash_on(GetParam());
+  chaos.arm();
+  // First attempt dies at the scripted phase.
+  const Status first = runtime.recover(nullptr);
+  ASSERT_FALSE(first.is_ok());
+  EXPECT_EQ(first.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(chaos.kills(), 1);
+  // The node comes back and retries; the trigger is spent, so this one runs
+  // to completion from the same durable state.
+  runtime.clear_crash();
+  ft::RecoveryStats stats;
+  ASSERT_TRUE(runtime.recover(&stats).is_ok());
+  wait_quiescent(engine);
+  runtime.stop();
+  expect_sink_exact(engine, 3, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(RecoveryPhases, RecoveryKillTest,
+                         ::testing::Values(ft::FtPoint::kRecoveryPhase1,
+                                           ft::FtPoint::kRecoveryPhase2,
+                                           ft::FtPoint::kRecoveryPhase3,
+                                           ft::FtPoint::kRecoveryPhase4),
+                         PointName());
+
+// A targeted kill: the token has passed the first relay but not the second
+// when relay1 starts serializing and the node dies. Partial epoch on disk,
+// no manifest — recovery must not see a half-aligned cut.
+TEST(RtChaosTest, KillAtMidChainSerializeLeavesNoTornEpoch) {
+  auto feed = std::make_shared<ExternalFeed>();
+  ft::RtRuntimeConfig cfg;
+  cfg.mode = ft::RtMode::kSrcAp;
+  cfg.dir = fresh_dir("ms_chaos_midchain");
+  cfg.params.periodic = false;
+  cfg.codec = int_codec();
+
+  std::int64_t total = 0;
+  {
+    rt::RtEngine engine(feed_chain(feed, 2, SimTime::micros(200), 4),
+                        rt::RtConfig{});
+    ft::RtRuntime runtime(&engine, cfg);
+    RtChaos chaos(&runtime);
+    chaos.crash_on(ft::FtPoint::kSerializeStart, /*hau_id=*/2);
+    chaos.arm();
+    ASSERT_TRUE(runtime.start().is_ok());
+    wait_drained(engine, 200);
+    ASSERT_TRUE(runtime.begin_checkpoint().is_ok());
+    ASSERT_TRUE(wait_crashed(runtime));
+    feed->paused.store(true);
+    wait_quiescent(engine);
+    total = feed->cursor.load();
+    runtime.stop();
+  }
+  // No epoch directory carries a MANIFEST.
+  for (const auto& entry : fs::directory_iterator(cfg.dir)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("epoch_", 0) == 0) {
+      EXPECT_FALSE(fs::exists(entry.path() / "MANIFEST"))
+          << entry.path() << " committed despite the kill";
+    }
+  }
+
+  rt::RtEngine engine(feed_chain(feed, 2, SimTime::micros(200), 4),
+                      rt::RtConfig{});
+  ft::RtRuntime runtime(&engine, cfg);
+  ASSERT_TRUE(runtime.recover(nullptr).is_ok());
+  wait_quiescent(engine);
+  runtime.stop();
+  expect_sink_exact(engine, 3, total);
+}
+
+}  // namespace
+}  // namespace ms::failure

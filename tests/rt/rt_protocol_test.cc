@@ -1,0 +1,324 @@
+// The full fault-tolerance protocol on the real-threads engine: for every
+// MS variant and the baseline, run checkpoint -> crash -> recover -> replay
+// and assert exactly-once sink contents. Also pins the crash-safety of the
+// durable layout: an epoch without a manifest never existed, and restore
+// after a mid-checkpoint crash loads the last *complete* epoch.
+#include "ft/rt_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <thread>
+
+#include "../testing/rt_feed.h"
+#include "../testing/test_ops.h"
+#include "rt/engine.h"
+
+namespace ms::ft {
+namespace {
+
+namespace fs = std::filesystem;
+using ms::testing::ExternalFeed;
+using ms::testing::feed_chain;
+using ms::testing::int_codec;
+using ms::testing::RecordingSink;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Polls until the engine's sink count stops moving (drained) or a deadline.
+void wait_drained(rt::RtEngine& engine, std::int64_t want) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (engine.sink_tuples() < want &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+/// Polls until the sink count has been stable for `quiet_ms`.
+void wait_quiescent(rt::RtEngine& engine, int quiet_ms = 150) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  std::int64_t last = -1;
+  auto last_change = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::int64_t cur = engine.sink_tuples();
+    if (cur != last) {
+      last = cur;
+      last_change = std::chrono::steady_clock::now();
+    } else if (std::chrono::steady_clock::now() - last_change >
+               std::chrono::milliseconds(quiet_ms)) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+void expect_sink_exact(rt::RtEngine& engine, int sink_op, std::int64_t n) {
+  const auto& sink = static_cast<const RecordingSink&>(engine.op(sink_op));
+  ASSERT_EQ(sink.values.size(), static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(sink.values[static_cast<std::size_t>(i)], i)
+        << "wrong/duplicated value at position " << i;
+  }
+}
+
+/// The canonical drill shared by the MS-mode tests:
+///  1. run, complete one application checkpoint mid-stream;
+///  2. keep emitting past the boundary, then "crash" (writes stop; the
+///     source log, durable before dispatch, keeps going);
+///  3. pause the external feed, drain, stop — the sink has seen everything
+///     but its durable state is the old epoch;
+///  4. new engine + runtime on the same directory, recover, and expect the
+///     sink to hold exactly 0..N-1: checkpointed prefix + replayed suffix.
+void run_ms_drill(RtMode mode, const std::string& dirname) {
+  auto feed = std::make_shared<ExternalFeed>();
+  RtRuntimeConfig cfg;
+  cfg.mode = mode;
+  cfg.dir = fresh_dir(dirname);
+  cfg.params.periodic = false;
+  cfg.codec = int_codec();
+
+  std::int64_t total = 0;
+  {
+    rt::RtEngine engine(feed_chain(feed, 2, SimTime::micros(200), 4),
+                        rt::RtConfig{});
+    RtRuntime runtime(&engine, cfg);
+    ASSERT_TRUE(runtime.start().is_ok());
+    wait_drained(engine, 200);
+    ASSERT_TRUE(runtime.begin_checkpoint().is_ok());
+    ASSERT_TRUE(runtime.wait_checkpoints(1, SimTime::seconds(10)));
+    EXPECT_GT(runtime.last_durable_epoch(), 0u);
+
+    // Emit past the boundary, then crash: these tuples exist only in the
+    // source log and the (volatile) sink.
+    const std::int64_t at_ckpt = engine.sink_tuples();
+    wait_drained(engine, at_ckpt + 200);
+    runtime.simulate_crash();
+    wait_drained(engine, engine.sink_tuples() + 50);  // log keeps growing
+    feed->paused.store(true);
+    wait_quiescent(engine);
+    total = feed->cursor.load();
+    runtime.stop();
+    EXPECT_EQ(engine.sink_tuples(), total);  // drained: sink saw everything
+  }
+
+  // Fresh incarnation. The crash flag lives in the dead runtime; this one
+  // starts clean.
+  rt::RtEngine engine(feed_chain(feed, 2, SimTime::micros(200), 4),
+                      rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  RecoveryStats stats;
+  ASSERT_TRUE(runtime.recover(&stats).is_ok());
+  wait_quiescent(engine);
+  runtime.stop();
+  EXPECT_EQ(stats.haus_recovered, engine.num_operators());
+  EXPECT_GT(stats.bytes_read, 0);
+  expect_sink_exact(engine, 3, total);
+}
+
+TEST(RtProtocolTest, MsSrcFullCycle) { run_ms_drill(RtMode::kSrc, "ms_rtp_src"); }
+
+TEST(RtProtocolTest, MsSrcApFullCycle) {
+  run_ms_drill(RtMode::kSrcAp, "ms_rtp_srcap");
+}
+
+TEST(RtProtocolTest, MsSrcApAaFullCycle) {
+  // Same drill, but checkpoints come from the AA pipeline (observation ->
+  // profiling -> execution with a forced checkpoint per period) instead of
+  // a manual trigger.
+  auto feed = std::make_shared<ExternalFeed>();
+  RtRuntimeConfig cfg;
+  cfg.mode = RtMode::kSrcApAa;
+  cfg.dir = fresh_dir("ms_rtp_aa");
+  cfg.params.periodic = true;
+  cfg.params.checkpoint_period = SimTime::millis(150);
+  cfg.params.state_sample_period = SimTime::millis(20);
+  cfg.params.profile_periods = 1;
+  cfg.params.profile_period = SimTime::millis(60);
+  cfg.params.checkpoint_during_profiling = true;
+  cfg.codec = int_codec();
+
+  std::int64_t total = 0;
+  {
+    rt::RtEngine engine(feed_chain(feed, 2, SimTime::micros(200), 4),
+                        rt::RtConfig{});
+    RtRuntime runtime(&engine, cfg);
+    ASSERT_TRUE(runtime.start().is_ok());
+    // Three completed checkpoints means the pipeline made it through
+    // observation and profiling into forced execution-phase checkpoints.
+    ASSERT_TRUE(runtime.wait_checkpoints(3, SimTime::seconds(30)));
+    EXPECT_GT(runtime.last_durable_epoch(), 0u);
+    runtime.simulate_crash();
+    wait_drained(engine, engine.sink_tuples() + 50);
+    feed->paused.store(true);
+    wait_quiescent(engine);
+    total = feed->cursor.load();
+    runtime.stop();
+  }
+
+  rt::RtEngine engine(feed_chain(feed, 2, SimTime::micros(200), 4),
+                      rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  ASSERT_TRUE(runtime.recover(nullptr).is_ok());
+  wait_quiescent(engine);
+  runtime.stop();
+  expect_sink_exact(engine, 3, total);
+}
+
+TEST(RtProtocolTest, BaselineFullCycleFromQuiescentCut) {
+  // The baseline restores per-unit files with no manifest tying them
+  // together — only correct from a quiescent cut, which this test arranges
+  // (that weakness is the point of the MS modes; here we pin the machinery).
+  auto feed = std::make_shared<ExternalFeed>();
+  RtRuntimeConfig cfg;
+  cfg.mode = RtMode::kBaseline;
+  cfg.dir = fresh_dir("ms_rtp_baseline");
+  cfg.params.checkpoint_period = SimTime::millis(100);
+  cfg.codec = int_codec();
+
+  constexpr std::int64_t kTotal = 400;
+  feed->limit.store(kTotal);
+  {
+    rt::RtEngine engine(feed_chain(feed, 2, SimTime::micros(200), 4),
+                        rt::RtConfig{});
+    RtRuntime runtime(&engine, cfg);
+    ASSERT_TRUE(runtime.start().is_ok());
+    wait_drained(engine, kTotal);
+    EXPECT_EQ(engine.sink_tuples(), kTotal);
+    // Quiescent now; let every unit take (at least) one more independent
+    // checkpoint of the drained state.
+    std::this_thread::sleep_for(std::chrono::milliseconds(350));
+    runtime.simulate_crash();
+    runtime.stop();
+  }
+
+  rt::RtEngine engine(feed_chain(feed, 2, SimTime::micros(200), 4),
+                      rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  RecoveryStats stats;
+  ASSERT_TRUE(runtime.recover(&stats).is_ok());
+  wait_quiescent(engine);
+  runtime.stop();
+  expect_sink_exact(engine, 3, kTotal);
+}
+
+TEST(RtProtocolTest, ManifestCommitIsAtomic) {
+  // Crash between two operators' checkpoint writes: the epoch directory has
+  // some op files but no MANIFEST, so it never existed. Recovery loads the
+  // previous complete epoch and replays from its boundary.
+  auto feed = std::make_shared<ExternalFeed>();
+  RtRuntimeConfig cfg;
+  cfg.mode = RtMode::kSrcAp;
+  cfg.dir = fresh_dir("ms_rtp_atomic");
+  cfg.params.periodic = false;
+  cfg.codec = int_codec();
+
+  std::int64_t total = 0;
+  std::uint64_t first_epoch = 0;
+  {
+    rt::RtEngine engine(feed_chain(feed, 2, SimTime::micros(200), 4),
+                        rt::RtConfig{});
+    RtRuntime runtime(&engine, cfg);
+    // Crash the process the moment the *second* epoch's first op file lands:
+    // mid-checkpoint, part of the epoch on disk, no manifest.
+    std::atomic<int> writes_done{0};
+    runtime.add_probe([&](FtPoint point, int, std::uint64_t id) {
+      if (point == FtPoint::kCheckpointDone && id == 2) {
+        if (writes_done.fetch_add(1) == 0) runtime.simulate_crash();
+      }
+    });
+    ASSERT_TRUE(runtime.start().is_ok());
+    wait_drained(engine, 150);
+    ASSERT_TRUE(runtime.begin_checkpoint().is_ok());
+    ASSERT_TRUE(runtime.wait_checkpoints(1, SimTime::seconds(10)));
+    first_epoch = runtime.last_durable_epoch();
+    ASSERT_GT(first_epoch, 0u);
+
+    wait_drained(engine, engine.sink_tuples() + 150);
+    ASSERT_TRUE(runtime.begin_checkpoint().is_ok());  // dies mid-flight
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_TRUE(runtime.crashed());
+    EXPECT_EQ(runtime.last_durable_epoch(), first_epoch);
+    feed->paused.store(true);
+    wait_quiescent(engine);
+    total = feed->cursor.load();
+    runtime.stop();
+  }
+  // The second epoch's directory must not carry a manifest.
+  EXPECT_FALSE(fs::exists(fs::path(cfg.dir) /
+                          ("epoch_" + std::to_string(first_epoch + 1)) /
+                          "MANIFEST"));
+
+  rt::RtEngine engine(feed_chain(feed, 2, SimTime::micros(200), 4),
+                      rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  ASSERT_TRUE(runtime.recover(nullptr).is_ok());
+  // Recovery came from the first (complete) epoch.
+  EXPECT_EQ(runtime.last_durable_epoch(), first_epoch);
+  wait_quiescent(engine);
+  runtime.stop();
+  expect_sink_exact(engine, 3, total);
+}
+
+TEST(RtProtocolTest, SourceLogTruncatesAtCommit) {
+  auto feed = std::make_shared<ExternalFeed>();
+  RtRuntimeConfig cfg;
+  cfg.mode = RtMode::kSrcAp;
+  cfg.dir = fresh_dir("ms_rtp_trunc");
+  cfg.params.periodic = false;
+  cfg.codec = int_codec();
+
+  rt::RtEngine engine(feed_chain(feed, 1, SimTime::micros(200), 4),
+                      rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  ASSERT_TRUE(runtime.start().is_ok());
+  wait_drained(engine, 300);
+  const auto log = fs::path(cfg.dir) / "source_0.log";
+  ASSERT_TRUE(fs::exists(log));
+  const auto before = fs::file_size(log);
+  ASSERT_GT(before, 0u);
+  ASSERT_TRUE(runtime.begin_checkpoint().is_ok());
+  ASSERT_TRUE(runtime.wait_checkpoints(1, SimTime::seconds(10)));
+  feed->paused.store(true);
+  wait_quiescent(engine);
+  runtime.stop();
+  // Commit truncated the preserved prefix behind the epoch boundary.
+  EXPECT_LT(fs::file_size(log), before);
+}
+
+TEST(RtProtocolTest, RuntimeGuardsReturnStatus) {
+  auto feed = std::make_shared<ExternalFeed>();
+  RtRuntimeConfig cfg;
+  cfg.mode = RtMode::kSrcAp;
+  cfg.dir = fresh_dir("ms_rtp_guards");
+  cfg.params.periodic = false;
+  cfg.codec = int_codec();
+
+  rt::RtEngine engine(feed_chain(feed, 1, SimTime::micros(500)),
+                      rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  // Stopped: no checkpoints.
+  EXPECT_EQ(runtime.begin_checkpoint().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(runtime.start().is_ok());
+  // Running: no starting twice, no recovery.
+  EXPECT_EQ(runtime.start().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(runtime.recover(nullptr).code(), StatusCode::kFailedPrecondition);
+  runtime.stop();
+  // Crashed: recovery refuses until the drill is cleared.
+  runtime.simulate_crash();
+  EXPECT_EQ(runtime.recover(nullptr).code(), StatusCode::kFailedPrecondition);
+  runtime.clear_crash();
+  EXPECT_TRUE(runtime.recover(nullptr).is_ok());
+  runtime.stop();
+}
+
+}  // namespace
+}  // namespace ms::ft

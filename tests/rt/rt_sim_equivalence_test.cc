@@ -1,0 +1,180 @@
+// Protocol equivalence between the two runtimes: the same query graph fed
+// the same input stream checkpoints to byte-identical per-operator state
+// whether MsScheme drives the discrete-event simulator or RtRuntime drives
+// the real-threads engine — and after a crash, both runtimes' recovered
+// sinks hold the same output. This is the executable statement that the
+// protocol core is execution-agnostic.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "../testing/rt_feed.h"
+#include "../testing/test_ops.h"
+#include "core/hau.h"
+#include "ft/meteor_shower.h"
+#include "ft/rt_runtime.h"
+#include "rt/engine.h"
+#include "storage/stores.h"
+
+namespace ms::ft {
+namespace {
+
+namespace fs = std::filesystem;
+using ms::testing::ExternalFeed;
+using ms::testing::feed_chain;
+using ms::testing::int_codec;
+using ms::testing::RecordingSink;
+using ms::testing::small_cluster;
+
+constexpr std::int64_t kTotal = 1000;
+constexpr int kRelays = 2;
+constexpr int kSinkOp = kRelays + 1;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Runs the graph in the simulator until the fixed stream is drained, takes
+/// one MS-src+ap checkpoint, and returns per-operator checkpoint bytes plus
+/// the sink's recorded values.
+struct SimResult {
+  std::map<int, std::vector<std::uint8_t>> state;
+  std::vector<std::int64_t> sink_values;
+};
+
+SimResult run_sim() {
+  auto feed = std::make_shared<ExternalFeed>();
+  feed->limit.store(kTotal);
+  sim::Simulation sim;
+  core::Cluster cluster(&sim, small_cluster(kRelays + 2 + 4));
+  core::Application app(&cluster,
+                        feed_chain(feed, kRelays, SimTime::millis(1), 4));
+  app.deploy();
+  FtParams params;
+  params.periodic = false;
+  MsScheme scheme(&app, params, MsVariant::kSrcAp);
+  scheme.attach();
+  app.start();
+  scheme.start();
+
+  // Drain the fixed stream, then cut: the checkpointed state is the final
+  // state, which the real-threads run below reaches identically.
+  auto& sink = static_cast<RecordingSink&>(app.hau(kSinkOp).op());
+  SimTime t = SimTime::zero();
+  while (sink.values.size() < static_cast<std::size_t>(kTotal)) {
+    t = t + SimTime::seconds(1);
+    MS_CHECK(t < SimTime::seconds(60));
+    sim.run_until(t);
+  }
+  scheme.trigger_checkpoint();
+  sim.run_until(t + SimTime::seconds(10));
+  MS_CHECK(scheme.checkpoints().size() == 1);
+  const std::uint64_t id = scheme.checkpoints().front().checkpoint_id;
+
+  SimResult out;
+  for (int i = 0; i < app.num_haus(); ++i) {
+    const auto* obj =
+        cluster.shared_storage().peek(scheme.checkpoint_key(i, id));
+    MS_CHECK(obj != nullptr);
+    out.state[i] = obj->handle_as<core::CheckpointImage>()->operator_state;
+  }
+  out.sink_values = sink.values;
+  return out;
+}
+
+/// Runs the same graph on real threads under RtRuntime, checkpoints after
+/// the same drained cut, and returns the on-disk per-operator bytes.
+struct RtResult {
+  std::map<int, std::vector<std::uint8_t>> state;
+  std::string dir;
+  std::shared_ptr<ExternalFeed> feed;
+};
+
+RtResult run_rt(const std::string& dirname) {
+  RtResult out;
+  out.feed = std::make_shared<ExternalFeed>();
+  out.feed->limit.store(kTotal);
+  out.dir = fresh_dir(dirname);
+  RtRuntimeConfig cfg;
+  cfg.mode = RtMode::kSrcAp;
+  cfg.dir = out.dir;
+  cfg.params.periodic = false;
+  cfg.codec = int_codec();
+
+  rt::RtEngine engine(feed_chain(out.feed, kRelays, SimTime::micros(200), 4),
+                      rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  EXPECT_TRUE(runtime.start().is_ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (engine.sink_tuples() < kTotal &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(engine.sink_tuples(), kTotal);
+  EXPECT_TRUE(runtime.begin_checkpoint().is_ok());
+  EXPECT_TRUE(runtime.wait_checkpoints(1, SimTime::seconds(10)));
+  const std::uint64_t epoch = runtime.last_durable_epoch();
+  EXPECT_GT(epoch, 0u);
+  runtime.stop();
+
+  const fs::path dir = fs::path(out.dir) / ("epoch_" + std::to_string(epoch));
+  for (int i = 0; i < engine.num_operators(); ++i) {
+    const fs::path file = dir / ("op_" + std::to_string(i) + ".ckpt");
+    std::ifstream in(file, std::ios::binary);
+    EXPECT_TRUE(in.good()) << file;
+    out.state[i] = std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  return out;
+}
+
+TEST(RtSimEquivalenceTest, CheckpointStateIsByteIdenticalAcrossRuntimes) {
+  const SimResult sim = run_sim();
+  const RtResult rt = run_rt("ms_equiv_state");
+  ASSERT_EQ(sim.state.size(), rt.state.size());
+  for (const auto& [op, bytes] : sim.state) {
+    ASSERT_TRUE(rt.state.count(op)) << "rt missing operator " << op;
+    EXPECT_EQ(bytes, rt.state.at(op))
+        << "checkpoint state diverges for operator " << op;
+  }
+  // The sim sink saw the whole fixed stream in order; so did rt (its sink
+  // state is compared above, but make the headline property explicit).
+  ASSERT_EQ(sim.sink_values.size(), static_cast<std::size_t>(kTotal));
+  for (std::int64_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(sim.sink_values[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(RtSimEquivalenceTest, RecoveredSinkOutputMatchesSimulator) {
+  const SimResult sim = run_sim();
+  const RtResult rt = run_rt("ms_equiv_recover");
+
+  // Crash the rt incarnation after its checkpoint (the durable state from
+  // run_rt is still on disk) and recover into a fresh engine: the recovered
+  // sink must reproduce the simulator's output exactly.
+  RtRuntimeConfig cfg;
+  cfg.mode = RtMode::kSrcAp;
+  cfg.dir = rt.dir;
+  cfg.params.periodic = false;
+  cfg.codec = int_codec();
+  rt::RtEngine engine(feed_chain(rt.feed, kRelays, SimTime::micros(200), 4),
+                      rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  ASSERT_TRUE(runtime.recover(nullptr).is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  runtime.stop();
+  const auto& rt_sink = static_cast<const RecordingSink&>(engine.op(kSinkOp));
+  EXPECT_EQ(rt_sink.values, sim.sink_values);
+}
+
+}  // namespace
+}  // namespace ms::ft

@@ -8,16 +8,32 @@
 //   mssim --app tmi --scheme ms-src+ap+aa --checkpoints 3
 //   mssim --app signalguru --scheme ms-src+ap --fail-at 300 --window 10
 //   mssim --app bcp --scheme baseline --checkpoints 8 --window 5
+//
+// With --backend=rt the same fault-tolerance protocol drives the
+// real-threads engine instead of the simulator: a demo pipeline runs on
+// actual worker threads for --run-for wall seconds, checkpointing to
+// --dir, optionally crashing mid-run (--fail-at, wall seconds) and
+// recovering by restart-and-replay:
+//
+//   mssim --backend=rt --scheme ms-src+ap --run-for 3 --fail-at 1.5
+//         --trace rt_trace.json     (one command line)
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "common/metrics_registry.h"
 #include "common/trace.h"
+#include "core/stdops.h"
 #include "failure/burst.h"
+#include "ft/rt_runtime.h"
 #include "harness.h"
 #include "net/network.h"
+#include "rt/engine.h"
 
 namespace {
 
@@ -33,19 +49,33 @@ struct Options {
   std::uint64_t seed = 0x9d2cULL;
   std::string trace_file;    // empty: no trace capture
   std::string metrics_file;  // empty: no metrics dump
+  bool backend_rt = false;   // --backend=rt: real threads, wall clock
+  double run_for_seconds = 2.0;               // rt: measurement window
+  std::string rt_dir = "/tmp/mssim_rt";       // rt: durable directory
   bool help = false;
 };
 
 void usage() {
   std::printf(
       "mssim — Meteor Shower cluster simulator\n\n"
-      "  --app tmi|bcp|signalguru     application (default tmi)\n"
+      "  --backend sim|rt             sim: discrete-event simulator (default)\n"
+      "                               rt: the same protocol on the\n"
+      "                               real-threads engine (demo pipeline)\n"
+      "  --app tmi|bcp|signalguru     application (default tmi, sim only)\n"
       "  --scheme baseline|ms-src|ms-src+ap|ms-src+ap+aa\n"
       "                               fault-tolerance scheme (default ms-src+ap)\n"
       "  --checkpoints N              checkpoints in the window (default 3)\n"
-      "  --window M                   measurement window, minutes (default 10)\n"
-      "  --fail-at S                  kill all application nodes S seconds\n"
-      "                               into the window and auto-recover\n"
+      "  --window M                   measurement window, minutes (default 10,\n"
+      "                               sim only)\n"
+      "  --run-for S                  rt only: wall-clock window, seconds\n"
+      "                               (default 2)\n"
+      "  --dir PATH                   rt only: durable directory for\n"
+      "                               checkpoints and source logs (wiped at\n"
+      "                               start; default /tmp/mssim_rt)\n"
+      "  --fail-at S                  sim: kill all application nodes S\n"
+      "                               seconds into the window; rt: crash the\n"
+      "                               process S wall seconds in. Both\n"
+      "                               auto-recover\n"
       "  --seed X                     simulation seed\n"
       "  --trace FILE                 write a Chrome trace-event JSON of the\n"
       "                               run's protocol events (chrome://tracing\n"
@@ -56,14 +86,26 @@ void usage() {
 }
 
 bool parse(int argc, char** argv, Options* opt) {
+  // Accept both "--flag value" and "--flag=value".
+  std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      args.push_back(arg.substr(0, eq));
+      args.push_back(arg.substr(eq + 1));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
+      if (i + 1 >= args.size()) {
         std::fprintf(stderr, "missing value for %s\n", flag);
         return nullptr;
       }
-      return argv[++i];
+      return args[++i].c_str();
     };
     if (arg == "--help" || arg == "-h") {
       opt->help = true;
@@ -97,6 +139,25 @@ bool parse(int argc, char** argv, Options* opt) {
         std::fprintf(stderr, "unknown scheme: %s\n", v);
         return false;
       }
+    } else if (arg == "--backend") {
+      const char* v = next("--backend");
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "sim") == 0) {
+        opt->backend_rt = false;
+      } else if (std::strcmp(v, "rt") == 0) {
+        opt->backend_rt = true;
+      } else {
+        std::fprintf(stderr, "unknown backend: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--run-for") {
+      const char* v = next("--run-for");
+      if (v == nullptr) return false;
+      opt->run_for_seconds = std::atof(v);
+    } else if (arg == "--dir") {
+      const char* v = next("--dir");
+      if (v == nullptr) return false;
+      opt->rt_dir = v;
     } else if (arg == "--checkpoints") {
       const char* v = next("--checkpoints");
       if (v == nullptr) return false;
@@ -129,6 +190,228 @@ bool parse(int argc, char** argv, Options* opt) {
   return true;
 }
 
+// --- real-threads backend ---------------------------------------------------
+
+/// Payload for the rt demo pipeline: one integer, 64 declared bytes.
+struct RtIntPayload final : core::Payload {
+  explicit RtIntPayload(std::int64_t v) : value(v) {}
+  std::int64_t value;
+  Bytes byte_size() const override { return 64; }
+  const char* type_name() const override { return "rt-int"; }
+};
+
+/// Pass-through relay with a running sum/count as checkpointable state.
+class RtRelay final : public core::Operator {
+ public:
+  explicit RtRelay(std::string name) : core::Operator(std::move(name)) {}
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    sum_ += t.payload_as<RtIntPayload>()->value;
+    ++seen_;
+    ctx.emit(0, t);
+  }
+  Bytes state_size() const override { return 32; }
+  void serialize_state(BinaryWriter& w) const override {
+    w.write(sum_);
+    w.write(seen_);
+  }
+  void deserialize_state(BinaryReader& r) override {
+    sum_ = r.read<std::int64_t>();
+    seen_ = r.read<std::int64_t>();
+  }
+  void clear_state() override { sum_ = seen_ = 0; }
+
+ private:
+  std::int64_t sum_ = 0;
+  std::int64_t seen_ = 0;
+};
+
+/// Counting sink; the count is its checkpointable state.
+class RtCountSink final : public core::Operator {
+ public:
+  explicit RtCountSink(std::string name) : core::Operator(std::move(name)) {}
+  void process(int, const core::Tuple&, core::OperatorContext&) override {
+    ++count_;
+  }
+  Bytes state_size() const override { return 8; }
+  void serialize_state(BinaryWriter& w) const override { w.write(count_); }
+  void deserialize_state(BinaryReader& r) override {
+    count_ = r.read<std::int64_t>();
+  }
+  void clear_state() override { count_ = 0; }
+  std::int64_t count() const { return count_; }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+core::QueryGraph rt_demo_graph() {
+  core::QueryGraph g;
+  const int src = g.add_source("src", [] {
+    return std::make_unique<core::BurstSourceOperator>(
+        "src", SimTime::micros(500), 8,
+        [](std::int64_t seq) {
+          core::Tuple t;
+          t.wire_size = 64;
+          t.payload = std::make_shared<RtIntPayload>(seq);
+          return t;
+        });
+  });
+  const int r0 =
+      g.add_operator("relay0", [] { return std::make_unique<RtRelay>("relay0"); });
+  const int r1 =
+      g.add_operator("relay1", [] { return std::make_unique<RtRelay>("relay1"); });
+  const int sink = g.add_sink(
+      "sink", [] { return std::make_unique<RtCountSink>("sink"); });
+  g.connect(src, r0);
+  g.connect(r0, r1);
+  g.connect(r1, sink);
+  return g;
+}
+
+ft::TupleCodec rt_demo_codec() {
+  ft::TupleCodec codec;
+  codec.encode_payload = [](const core::Payload& p, BinaryWriter& w) {
+    w.write(static_cast<const RtIntPayload&>(p).value);
+  };
+  codec.decode_payload =
+      [](BinaryReader& r) -> std::shared_ptr<const core::Payload> {
+    return std::make_shared<RtIntPayload>(r.read<std::int64_t>());
+  };
+  return codec;
+}
+
+int run_rt_backend(const Options& opt) {
+  ft::RtMode mode = ft::RtMode::kSrcAp;
+  switch (opt.scheme) {
+    case Scheme::kBaseline:
+      mode = ft::RtMode::kBaseline;
+      break;
+    case Scheme::kMsSrc:
+      mode = ft::RtMode::kSrc;
+      break;
+    case Scheme::kMsSrcAp:
+      mode = ft::RtMode::kSrcAp;
+      break;
+    case Scheme::kMsSrcApAa:
+      mode = ft::RtMode::kSrcApAa;
+      break;
+  }
+  const SimTime window = SimTime::seconds(opt.run_for_seconds);
+  const SimTime period = window / std::int64_t{opt.checkpoints + 1};
+
+  std::printf("mssim --backend=rt: demo chain under %s, ~%d checkpoint(s) "
+              "in %.1f s of wall time\n",
+              scheme_name(opt.scheme), opt.checkpoints, opt.run_for_seconds);
+
+  std::filesystem::remove_all(opt.rt_dir);
+  ft::RtRuntimeConfig cfg;
+  cfg.mode = mode;
+  cfg.dir = opt.rt_dir;
+  cfg.params.periodic = true;
+  cfg.params.checkpoint_period = period;
+  if (mode == ft::RtMode::kSrcApAa) {
+    cfg.params.state_sample_period = period / 8;
+    cfg.params.profile_periods = 1;
+    cfg.params.profile_period = period / 2;
+    cfg.params.checkpoint_during_profiling = true;
+  }
+  cfg.codec = rt_demo_codec();
+
+  TraceRecorder trace;
+  rt::RtConfig ecfg;
+  ecfg.seed = opt.seed;
+  if (!opt.trace_file.empty()) ecfg.trace = &trace;
+  if (!opt.metrics_file.empty()) ecfg.metrics = &MetricsRegistry::global();
+
+  auto engine = std::make_unique<rt::RtEngine>(rt_demo_graph(), ecfg);
+  auto runtime = std::make_unique<ft::RtRuntime>(engine.get(), cfg);
+  std::uint64_t ckpts_completed = 0;
+  runtime->add_probe([&ckpts_completed](ft::FtPoint p, int hau, std::uint64_t) {
+    // Baseline units checkpoint independently; op 0's completed writes
+    // stand in for "rounds". The MS modes overwrite this with the
+    // coordinator's completed-epoch count below.
+    if (p == ft::FtPoint::kCheckpointDone && hau == 0) ++ckpts_completed;
+  });
+  const Status st = runtime->start();
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "start failed: %s\n", st.message().c_str());
+    return 2;
+  }
+
+  const bool fail =
+      opt.fail_at_seconds >= 0 && opt.fail_at_seconds < opt.run_for_seconds;
+  bool recovered = false;
+  ft::RecoveryStats recovery;
+  auto sleep_wall = [](double seconds) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<std::int64_t>(seconds * 1e6)));
+  };
+  if (fail) {
+    sleep_wall(opt.fail_at_seconds);
+    const std::int64_t at_crash = engine->sink_tuples();
+    runtime->simulate_crash();
+    runtime->stop();
+    std::printf("crash at +%.1fs: %lld tuples at sink; restarting from %s\n",
+                opt.fail_at_seconds,
+                static_cast<long long>(at_crash), opt.rt_dir.c_str());
+    runtime.reset();  // detaches its hooks before the engine goes away
+    engine = std::make_unique<rt::RtEngine>(rt_demo_graph(), ecfg);
+    runtime = std::make_unique<ft::RtRuntime>(engine.get(), cfg);
+    recovered = runtime->recover(&recovery).is_ok();
+    if (!recovered) {
+      std::fprintf(stderr, "recovery failed\n");
+      return 1;
+    }
+    sleep_wall(opt.run_for_seconds - opt.fail_at_seconds);
+  } else {
+    sleep_wall(opt.run_for_seconds);
+  }
+  const SimTime uptime = engine->uptime();
+  const std::uint64_t durable = runtime->last_durable_epoch();
+  if (mode != ft::RtMode::kBaseline) {
+    ckpts_completed = runtime->coordinator().checkpoints().size();
+  }
+  runtime->stop();
+
+  std::printf("\n--- run report (real threads) ---\n");
+  std::printf("tuples at sink:          %lld\n",
+              static_cast<long long>(engine->sink_tuples()));
+  std::printf("checkpoints completed:   %llu\n",
+              static_cast<unsigned long long>(ckpts_completed));
+  if (mode != ft::RtMode::kBaseline) {
+    std::printf("last durable epoch:      %llu\n",
+                static_cast<unsigned long long>(durable));
+  }
+  if (fail && recovered) {
+    std::printf("recovery:                %d HAUs in %s (disk %s, replay %s)\n",
+                recovery.haus_recovered, recovery.total().to_string().c_str(),
+                recovery.disk_io.to_string().c_str(),
+                recovery.reconnection.to_string().c_str());
+  }
+
+  if (!opt.trace_file.empty()) {
+    trace.end_everything(uptime);
+    std::ofstream out(opt.trace_file);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", opt.trace_file.c_str());
+      return 2;
+    }
+    trace.write_chrome_json(out);
+    std::printf("\nwrote %zu trace events to %s\n", trace.size(),
+                opt.trace_file.c_str());
+  }
+  if (!opt.metrics_file.empty()) {
+    std::ofstream out(opt.metrics_file);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", opt.metrics_file.c_str());
+      return 2;
+    }
+    MetricsRegistry::global().write_json(out);
+    std::printf("wrote metrics to %s\n", opt.metrics_file.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -141,6 +424,7 @@ int main(int argc, char** argv) {
     usage();
     return 0;
   }
+  if (opt.backend_rt) return run_rt_backend(opt);
   const SimTime window = SimTime::minutes(opt.window_minutes);
   if (opt.scheme == Scheme::kBaseline && opt.fail_at_seconds >= 0) {
     std::fprintf(stderr,

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Build-and-test matrix: runs the full suite under the default
+# (RelWithDebInfo), sanitize (ASan+UBSan) and tsan presets in one command.
+#
+#   tools/run_matrix.sh                 # all three presets, full suite
+#   tools/run_matrix.sh -L rt_protocol  # extra args pass through to ctest
+#   PRESETS="default tsan" tools/run_matrix.sh
+#
+# Exits non-zero on the first preset whose configure, build, or test step
+# fails, and prints a per-preset summary at the end.
+set -u
+
+cd "$(dirname "$0")/.."
+
+PRESETS="${PRESETS:-default sanitize tsan}"
+JOBS="${JOBS:-$(nproc)}"
+declare -a results=()
+status=0
+
+for preset in $PRESETS; do
+  echo "=== [$preset] configure ==="
+  if ! cmake --preset "$preset"; then
+    results+=("$preset: CONFIGURE FAILED"); status=1; break
+  fi
+  echo "=== [$preset] build ==="
+  if ! cmake --build --preset "$preset" -j "$JOBS"; then
+    results+=("$preset: BUILD FAILED"); status=1; break
+  fi
+  echo "=== [$preset] test ==="
+  if ! ctest --preset "$preset" -j "$JOBS" "$@"; then
+    results+=("$preset: TESTS FAILED"); status=1; break
+  fi
+  results+=("$preset: OK")
+done
+
+echo
+echo "=== matrix summary ==="
+for line in "${results[@]}"; do
+  echo "  $line"
+done
+exit $status
