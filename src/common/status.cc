@@ -10,6 +10,7 @@ const char* status_code_name(StatusCode c) {
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

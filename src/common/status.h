@@ -19,6 +19,7 @@ enum class StatusCode {
   kInvalidArgument,
   kFailedPrecondition,
   kResourceExhausted,
+  kAborted,         // operation rejected by an explicit safety interlock
   kInternal,
 };
 
@@ -44,6 +45,7 @@ class Status {
   static Status resource_exhausted(std::string m) {
     return {StatusCode::kResourceExhausted, std::move(m)};
   }
+  static Status aborted(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
   static Status internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }

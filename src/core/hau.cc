@@ -245,12 +245,21 @@ void Hau::dispatch(OutEdge& edge, StreamItem item) {
   const int their_port = edge.their_in_port;
   const std::uint64_t target_inc = to->incarnation();
   const bool token = is_token(item);
+  // A dropped message never reaches the receiver, so its kAck credit return
+  // never comes back; restore the credit here or loss slowly strangles the
+  // edge's flow window.
+  const int out_port = static_cast<int>(&edge - out_.data());
+  const std::uint64_t my_inc = incarnation_;
   app_->cluster().network().send(
       node_, to->node(), item_wire_size(item),
       token ? net::MsgCategory::kToken : net::MsgCategory::kData,
       [to, their_port, target_inc, item = std::move(item)]() mutable {
         if (to->incarnation() != target_inc) return;  // connection broke
         to->receive(their_port, std::move(item));
+      },
+      [this, out_port, my_inc] {
+        if (failed_ || incarnation_ != my_inc) return;
+        on_credit(out_port);
       });
 }
 

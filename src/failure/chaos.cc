@@ -28,7 +28,7 @@ void ChaosHarness::storage_outage_on(ft::FtPoint point, SimTime duration,
   t.point = point;
   t.occurrence = occurrence;
   t.action = Trigger::Action::kOutage;
-  t.outage_duration = duration;
+  t.duration = duration;
   triggers_.push_back(t);
 }
 
@@ -43,6 +43,57 @@ void ChaosHarness::burst_on(ft::FtPoint point, int occurrence) {
 void ChaosHarness::kill_at(SimTime at, int hau_id) {
   app_->simulation().schedule_at(at,
                                  [this, hau_id] { kill_hau_node(hau_id); });
+}
+
+void ChaosHarness::net_faults_on(ft::FtPoint point, net::FaultPlan plan,
+                                 SimTime duration, int occurrence) {
+  Trigger t;
+  t.point = point;
+  t.occurrence = occurrence;
+  t.action = Trigger::Action::kNetFaults;
+  t.plan = plan;
+  t.duration = duration;
+  triggers_.push_back(t);
+}
+
+void ChaosHarness::net_faults_at(SimTime at, net::FaultPlan plan,
+                                 SimTime duration) {
+  app_->simulation().schedule_at(at, [this, plan, duration] {
+    start_net_faults(plan, duration);
+  });
+}
+
+void ChaosHarness::partition_on(ft::FtPoint point, int rack_a, int rack_b,
+                                SimTime duration, int occurrence) {
+  Trigger t;
+  t.point = point;
+  t.occurrence = occurrence;
+  t.action = Trigger::Action::kPartition;
+  t.rack_a = rack_a;
+  t.rack_b = rack_b;
+  t.duration = duration;
+  triggers_.push_back(t);
+}
+
+void ChaosHarness::partition_at(SimTime at, int rack_a, int rack_b,
+                                SimTime duration) {
+  app_->simulation().schedule_at(at, [this, rack_a, rack_b, duration] {
+    start_partition(rack_a, rack_b, duration);
+  });
+}
+
+void ChaosHarness::heartbeat_delay_on(ft::FtPoint point, int hau_id,
+                                      SimTime delay, SimTime duration,
+                                      int occurrence) {
+  Trigger t;
+  t.point = point;
+  t.hau_filter = hau_id;
+  t.occurrence = occurrence;
+  t.action = Trigger::Action::kHbDelay;
+  t.kill_hau = hau_id;
+  t.hb_delay = delay;
+  t.duration = duration;
+  triggers_.push_back(t);
 }
 
 void ChaosHarness::storage_outage_at(SimTime at, SimTime duration) {
@@ -91,8 +142,32 @@ void ChaosHarness::fire(Trigger& trigger, std::uint64_t id) {
       break;
     }
     case Trigger::Action::kOutage: {
-      const SimTime d = trigger.outage_duration;
+      const SimTime d = trigger.duration;
       sim.schedule_after(SimTime::zero(), [this, d] { start_outage(d); });
+      break;
+    }
+    case Trigger::Action::kNetFaults: {
+      const net::FaultPlan plan = trigger.plan;
+      const SimTime d = trigger.duration;
+      sim.schedule_after(SimTime::zero(),
+                         [this, plan, d] { start_net_faults(plan, d); });
+      break;
+    }
+    case Trigger::Action::kPartition: {
+      const int a = trigger.rack_a;
+      const int b = trigger.rack_b;
+      const SimTime d = trigger.duration;
+      sim.schedule_after(SimTime::zero(),
+                         [this, a, b, d] { start_partition(a, b, d); });
+      break;
+    }
+    case Trigger::Action::kHbDelay: {
+      const int target = trigger.kill_hau;
+      const SimTime delay = trigger.hb_delay;
+      const SimTime d = trigger.duration;
+      sim.schedule_after(SimTime::zero(), [this, target, delay, d] {
+        start_hb_delay(target, delay, d);
+      });
       break;
     }
     case Trigger::Action::kBurst: {
@@ -139,6 +214,46 @@ void ChaosHarness::start_outage(SimTime duration) {
     note("storage outage ends");
     trace_instant("chaos-outage-end");
   });
+}
+
+void ChaosHarness::start_net_faults(const net::FaultPlan& plan,
+                                    SimTime duration) {
+  app_->cluster().network().set_fault_plan(plan);
+  note("network faults begin (seed " + std::to_string(plan.seed) + ", " +
+       std::to_string(duration.to_seconds()) + " s)");
+  trace_instant("chaos-net-faults-start");
+  app_->simulation().schedule_after(duration, [this] {
+    app_->cluster().network().clear_fault_plan();
+    note("network faults end");
+    trace_instant("chaos-net-faults-end");
+  });
+}
+
+void ChaosHarness::start_partition(int rack_a, int rack_b, SimTime duration) {
+  auto& network = app_->cluster().network();
+  network.set_rack_partition(rack_a, rack_b, true);
+  note("partition begins: rack " + std::to_string(rack_a) + " <-> rack " +
+       std::to_string(rack_b) + " (" + std::to_string(duration.to_seconds()) +
+       " s)");
+  trace_instant("chaos-partition-start");
+  app_->simulation().schedule_after(duration, [this, rack_a, rack_b] {
+    app_->cluster().network().set_rack_partition(rack_a, rack_b, false);
+    note("partition ends");
+    trace_instant("chaos-partition-end");
+  });
+}
+
+void ChaosHarness::start_hb_delay(int hau_id, SimTime delay,
+                                  SimTime duration) {
+  MS_CHECK(hau_id >= 0 && hau_id < app_->num_haus());
+  const net::NodeId node = app_->hau(hau_id).node();
+  scheme_->set_heartbeat_delay(node, delay,
+                               app_->simulation().now() + duration);
+  note("heartbeat delay on node " + std::to_string(node) + " (HAU " +
+       std::to_string(hau_id) + "): +" +
+       std::to_string(delay.to_seconds()) + " s for " +
+       std::to_string(duration.to_seconds()) + " s");
+  trace_instant("chaos-hb-delay-hau" + std::to_string(hau_id));
 }
 
 void ChaosHarness::note(std::string line) {

@@ -20,6 +20,7 @@
 #include "failure/burst.h"
 #include "ft/meteor_shower.h"
 #include "ft/probe.h"
+#include "net/network.h"
 
 namespace ms::failure {
 
@@ -42,6 +43,23 @@ class ChaosHarness {
   /// Kill every node hosting an HAU (a second correlated burst) when
   /// `point` fires.
   void burst_on(ft::FtPoint point, int occurrence = 1);
+  /// Apply a seeded FaultPlan (per-category drop/delay/duplicate/reorder)
+  /// to the cluster network for `duration` when `point` fires; the plan is
+  /// cleared afterwards. Replaces any plan already active.
+  void net_faults_on(ft::FtPoint point, net::FaultPlan plan, SimTime duration,
+                     int occurrence = 1);
+  /// Apply a FaultPlan for `duration` at an absolute time.
+  void net_faults_at(SimTime at, net::FaultPlan plan, SimTime duration);
+  /// Sever all traffic between two racks for `duration` when `point` fires.
+  void partition_on(ft::FtPoint point, int rack_a, int rack_b,
+                    SimTime duration, int occurrence = 1);
+  /// Sever two racks for `duration` at an absolute time.
+  void partition_at(SimTime at, int rack_a, int rack_b, SimTime duration);
+  /// Delay the liveness pongs of the node hosting `hau_id` by `delay` for
+  /// `duration` when `point` fires: the node stays alive but answers late,
+  /// exercising the detector's suspicion/exoneration path.
+  void heartbeat_delay_on(ft::FtPoint point, int hau_id, SimTime delay,
+                          SimTime duration, int occurrence = 1);
 
   /// Install the probe subscription on the scheme. Call once, after the
   /// script is set up and before the simulation runs. Other subscribers
@@ -66,16 +84,24 @@ class ChaosHarness {
     int occurrence = 1;   // fire on the n-th matching probe
     int seen = 0;
     bool fired = false;
-    enum class Action { kKill, kOutage, kBurst };
+    enum class Action { kKill, kOutage, kBurst, kNetFaults, kPartition,
+                        kHbDelay };
     Action action = Action::kKill;
     int kill_hau = -1;
-    SimTime outage_duration = SimTime::zero();
+    SimTime duration = SimTime::zero();  // outage / faults / partition / delay
+    net::FaultPlan plan;
+    int rack_a = 0;
+    int rack_b = 0;
+    SimTime hb_delay = SimTime::zero();
   };
 
   void on_probe(ft::FtPoint point, int hau, std::uint64_t id);
   void fire(Trigger& trigger, std::uint64_t id);
   void kill_hau_node(int hau_id);
   void start_outage(SimTime duration);
+  void start_net_faults(const net::FaultPlan& plan, SimTime duration);
+  void start_partition(int rack_a, int rack_b, SimTime duration);
+  void start_hb_delay(int hau_id, SimTime delay, SimTime duration);
   void note(std::string line);
   void trace_instant(const std::string& name);
 

@@ -19,6 +19,20 @@ void RtChaos::crash_on(ft::FtPoint point, int hau_id, int occurrence) {
   triggers_.push_back(t);
 }
 
+void RtChaos::heartbeat_delay_on(ft::FtPoint point, int op, SimTime delay,
+                                 int hau_id, int occurrence) {
+  std::scoped_lock lk(mu_);
+  MS_CHECK(!armed_);
+  Trigger t;
+  t.point = point;
+  t.hau_filter = hau_id;
+  t.occurrence = occurrence;
+  t.action = Trigger::Action::kHbDelay;
+  t.hb_op = op;
+  t.hb_delay = delay;
+  triggers_.push_back(t);
+}
+
 void RtChaos::arm() {
   {
     std::scoped_lock lk(mu_);
@@ -31,7 +45,8 @@ void RtChaos::arm() {
 }
 
 void RtChaos::on_probe(ft::FtPoint point, int hau, std::uint64_t id) {
-  bool fire = false;
+  bool crash = false;
+  std::vector<std::pair<int, SimTime>> delays;
   {
     std::scoped_lock lk(mu_);
     for (auto& t : triggers_) {
@@ -40,16 +55,29 @@ void RtChaos::on_probe(ft::FtPoint point, int hau, std::uint64_t id) {
       if (t.hau_filter >= 0 && hau >= 0 && t.hau_filter != hau) continue;
       if (++t.seen < t.occurrence) continue;
       t.fired = true;
-      fire = true;
-      ++kills_;
-      log_.push_back(std::string("crash at ") + ft::ft_point_name(point) +
-                     " hau=" + std::to_string(hau) +
-                     " id=" + std::to_string(id));
+      if (t.action == Trigger::Action::kCrash) {
+        crash = true;
+        ++kills_;
+        log_.push_back(std::string("crash at ") + ft::ft_point_name(point) +
+                       " hau=" + std::to_string(hau) +
+                       " id=" + std::to_string(id));
+      } else {
+        delays.emplace_back(t.hb_op, t.hb_delay);
+        log_.push_back(std::string("heartbeat delay at ") +
+                       ft::ft_point_name(point) + " op=" +
+                       std::to_string(t.hb_op) +
+                       " id=" + std::to_string(id));
+      }
     }
   }
   // Outside the trigger lock: simulate_crash only flips an atomic, but keep
   // the injection path free of our mutex anyway.
-  if (fire) {
+  for (const auto& [op, delay] : delays) {
+    MS_LOG_WARN("chaos", "rt heartbeat delay injected at %s (op=%d)",
+                ft::ft_point_name(point), op);
+    runtime_->inject_heartbeat_delay(op, delay);
+  }
+  if (crash) {
     MS_LOG_WARN("chaos", "rt crash injected at %s (hau=%d, id=%llu)",
                 ft::ft_point_name(point), hau,
                 static_cast<unsigned long long>(id));

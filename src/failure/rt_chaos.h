@@ -28,6 +28,12 @@ class RtChaos {
   /// (-1 matches any unit, including application-wide probes).
   void crash_on(ft::FtPoint point, int hau_id = -1, int occurrence = 1);
 
+  /// Suppress operator `op`'s liveness heartbeats for `delay` when `point`
+  /// fires: the operator keeps running but looks silent to the failure
+  /// detector, exercising the suspicion/exoneration path without a crash.
+  void heartbeat_delay_on(ft::FtPoint point, int op, SimTime delay,
+                          int hau_id = -1, int occurrence = 1);
+
   /// Subscribe to the runtime's probe spine. Call once, before start() or
   /// recover(); other probe subscribers coexist.
   void arm();
@@ -44,6 +50,10 @@ class RtChaos {
     int occurrence = 1;
     int seen = 0;
     bool fired = false;
+    enum class Action { kCrash, kHbDelay };
+    Action action = Action::kCrash;
+    int hb_op = -1;
+    SimTime hb_delay = SimTime::zero();
   };
 
   void on_probe(ft::FtPoint point, int hau, std::uint64_t id);

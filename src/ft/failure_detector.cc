@@ -1,0 +1,155 @@
+#include "ft/failure_detector.h"
+
+#include <utility>
+
+#include "common/metrics_registry.h"
+#include "common/status.h"
+
+namespace ms::ft {
+
+FailureDetector::FailureDetector(Params params, Clock clock)
+    : params_(params), clock_(std::move(clock)) {
+  MS_CHECK(params_.suspicion_threshold >= 1);
+  MS_CHECK(clock_ != nullptr);
+  auto& reg = MetricsRegistry::global();
+  m_heartbeats_ = reg.counter("ft.detector.heartbeats");
+  m_suspicions_ = reg.counter("ft.detector.suspicions");
+  m_false_positive_ = reg.counter("ft.detector.false_positive");
+  m_verdicts_ = reg.counter("ft.detector.verdicts");
+  m_detection_latency_ = reg.histogram("ft.detector.detection_latency");
+}
+
+void FailureDetector::set_probe(FtProbe probe) { probe_ = std::move(probe); }
+
+void FailureDetector::track(int unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = units_.try_emplace(unit);
+  if (inserted) it->second.last_heartbeat = clock_();
+}
+
+void FailureDetector::forget(int unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  units_.erase(unit);
+}
+
+bool FailureDetector::heartbeat(int unit) {
+  std::vector<Event> events;
+  bool exonerated = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = units_.try_emplace(unit);
+    Entry& e = it->second;
+    if (e.state == UnitState::kFailed) {
+      // Too late: the verdict stands until recovery calls reset(). The
+      // heartbeat still refreshes the timestamp so post-reset state is sane.
+      e.last_heartbeat = clock_();
+      return false;
+    }
+    if (e.state == UnitState::kSuspect) {
+      exonerated = true;
+      m_false_positive_->add(1);
+      events.push_back({FtPoint::kNodeExonerated, unit,
+                        static_cast<std::uint64_t>(e.misses)});
+    }
+    e.state = UnitState::kAlive;
+    e.misses = 0;
+    e.last_heartbeat = clock_();
+    m_heartbeats_->add(1);
+  }
+  emit(events);
+  return exonerated;
+}
+
+bool FailureDetector::miss_locked(int unit, Entry& e,
+                                  std::vector<Event>& out) {
+  if (e.state == UnitState::kFailed) return false;
+  ++e.misses;
+  if (e.state == UnitState::kAlive) {
+    e.state = UnitState::kSuspect;
+    m_suspicions_->add(1);
+    out.push_back(
+        {FtPoint::kNodeSuspected, unit, static_cast<std::uint64_t>(e.misses)});
+  }
+  if (e.misses < params_.suspicion_threshold) return false;
+  e.state = UnitState::kFailed;
+  m_verdicts_->add(1);
+  // Detection latency: how long the unit had actually been silent when the
+  // verdict landed.
+  m_detection_latency_->record(clock_() - e.last_heartbeat);
+  out.push_back(
+      {FtPoint::kFailureVerdict, unit, static_cast<std::uint64_t>(e.misses)});
+  return true;
+}
+
+bool FailureDetector::miss(int unit) {
+  std::vector<Event> events;
+  bool verdict = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = units_.try_emplace(unit);
+    if (inserted) it->second.last_heartbeat = clock_();
+    verdict = miss_locked(unit, it->second, events);
+  }
+  emit(events);
+  return verdict;
+}
+
+std::vector<int> FailureDetector::scan() {
+  std::vector<int> failed;
+  std::vector<Event> events;
+  if (params_.timeout <= SimTime::zero()) return failed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const SimTime now = clock_();
+    for (auto& [unit, e] : units_) {
+      if (e.state == UnitState::kFailed) continue;
+      if (now - e.last_heartbeat <= params_.timeout) continue;
+      if (miss_locked(unit, e, events)) failed.push_back(unit);
+    }
+  }
+  emit(events);
+  return failed;
+}
+
+void FailureDetector::reset(int unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& e = units_[unit];
+  e.state = UnitState::kAlive;
+  e.misses = 0;
+  e.last_heartbeat = clock_();
+}
+
+void FailureDetector::reset_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SimTime now = clock_();
+  for (auto& [unit, e] : units_) {
+    e.state = UnitState::kAlive;
+    e.misses = 0;
+    e.last_heartbeat = now;
+  }
+}
+
+FailureDetector::UnitState FailureDetector::state(int unit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = units_.find(unit);
+  return it == units_.end() ? UnitState::kAlive : it->second.state;
+}
+
+SimTime FailureDetector::last_heartbeat(int unit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = units_.find(unit);
+  return it == units_.end() ? SimTime::zero() : it->second.last_heartbeat;
+}
+
+int FailureDetector::suspicion(int unit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = units_.find(unit);
+  return it == units_.end() ? 0 : it->second.misses;
+}
+
+void FailureDetector::emit(const std::vector<Event>& events) {
+  if (!probe_ || events.empty()) return;
+  for (const auto& ev : events) probe_(ev.point, ev.unit, ev.id);
+}
+
+}  // namespace ms::ft

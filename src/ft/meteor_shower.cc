@@ -36,6 +36,9 @@ const char* ft_point_name(FtPoint p) {
     case FtPoint::kRecoveryChainDone: return "recovery-chain-done";
     case FtPoint::kRecoveryPhase4: return "recovery-phase4";
     case FtPoint::kRecoveryComplete: return "recovery-complete";
+    case FtPoint::kNodeSuspected: return "node-suspected";
+    case FtPoint::kNodeExonerated: return "node-exonerated";
+    case FtPoint::kFailureVerdict: return "failure-verdict";
   }
   return "?";
 }
@@ -76,12 +79,21 @@ MsScheme::MsScheme(core::Application* app, const FtParams& params,
                .commit_epoch =
                    [this](std::uint64_t id) { commit_epoch_fanout(id); },
                .abandon_epoch = nullptr,
+               .retransmit_epoch =
+                   [this](std::uint64_t id) { start_epoch_fanout(id); },
            });
   coordinator_ = std::make_unique<CheckpointCoordinator>(runtime_.get(), params_);
   coordinator_->set_probe([this](FtPoint point, int hau, std::uint64_t id) {
     emit_probe(point, hau, id);
   });
   coordinator_->set_blocked_fn([this] { return recovery_in_progress_; });
+  FailureDetector::Params dp;
+  dp.suspicion_threshold = params_.suspicion_threshold;
+  detector_ = std::make_unique<FailureDetector>(
+      dp, [this] { return app_->simulation().now(); });
+  detector_->set_probe([this](FtPoint point, int unit, std::uint64_t id) {
+    emit_probe(point, unit, id);
+  });
   aa_.set_hooks(AaController::Hooks{
       .query_dynamic_haus = [this] { aa_query_dynamic(); },
       .trigger_checkpoint = [this] { begin_checkpoint(); },
@@ -242,12 +254,14 @@ void MsHauFt::on_restart(core::Hau& hau) {
   port_token_.assign(static_cast<std::size_t>(hau.num_in_ports()), false);
   tokens_seen_ = 0;
   active_ckpt_id_ = 0;
+  align_done_ = false;
   capturing_ = false;
   capture_.clear();
   pending_batch_.clear();
   pending_bytes_ = 0;
   flush_in_flight_ = false;
   flush_timer_armed_ = false;
+  has_last_report_ = false;
   detector_.reset();
   aa_alert_ = false;
   aa_profiling_ = false;
@@ -350,8 +364,47 @@ std::uint64_t MsHauFt::source_boundary(const core::Hau& hau) const {
   return end > undispatched ? end - undispatched : 0;
 }
 
+void MsHauFt::handle_command_redelivery(core::Hau& hau,
+                                        std::uint64_t ckpt_id) {
+  if (!scheme_->synchronous() && active_ckpt_id_ == ckpt_id) {
+    // Still aligning/writing this epoch: our 1-hop tokens may have been
+    // lost, and downstream cannot align without them. Re-sending is safe —
+    // a receiver that already consumed the original pops the duplicate, and
+    // a receiver that never saw it gets a later cut, which source replay
+    // plus receiver-side sequence dedup make consistent.
+    resend_epoch_tokens(hau, ckpt_id, /*one_hop=*/true);
+    return;
+  }
+  if (active_ckpt_id_ == 0 && has_last_report_ &&
+      last_report_.checkpoint_id == ckpt_id) {
+    // Already checkpointed this epoch: the tokens or the report must have
+    // been lost. Re-forward and re-report; the coordinator counts
+    // duplicate reports once.
+    resend_epoch_tokens(hau, ckpt_id, /*one_hop=*/!scheme_->synchronous());
+    scheme_->to_controller(hau, 128,
+                           [scheme = scheme_, report = last_report_] {
+                             scheme->on_hau_report(report);
+                           });
+  }
+}
+
+void MsHauFt::resend_epoch_tokens(core::Hau& hau, std::uint64_t ckpt_id,
+                                  bool one_hop) {
+  for (int p = 0; p < hau.num_out_ports(); ++p) {
+    hau.send_token(p, core::Token{ckpt_id, one_hop},
+                   /*jump_queue=*/one_hop || hau.is_source());
+  }
+  if (hau.num_out_ports() > 0) {
+    scheme_->emit_probe(FtPoint::kTokenSent, hau.id(), ckpt_id);
+  }
+}
+
 void MsHauFt::on_checkpoint_command(core::Hau& hau, std::uint64_t ckpt_id) {
-  if (ckpt_id < next_seen_epoch_) return;  // stale epoch
+  if (ckpt_id < next_seen_epoch_) {
+    // Stale epoch — or a retransmission of one we already know.
+    handle_command_redelivery(hau, ckpt_id);
+    return;
+  }
   if (active_ckpt_id_ != 0) {
     if (ckpt_id <= active_ckpt_id_) return;
     // The controller moved on (it abandoned our wedged epoch): drop the old
@@ -370,6 +423,7 @@ void MsHauFt::on_checkpoint_command(core::Hau& hau, std::uint64_t ckpt_id) {
   }
   next_seen_epoch_ = ckpt_id + 1;
   active_ckpt_id_ = ckpt_id;
+  align_done_ = false;
   initiated_at_ = hau.app().simulation().now();
   tokens_seen_ = 0;
   port_token_.assign(static_cast<std::size_t>(hau.num_in_ports()), false);
@@ -405,15 +459,18 @@ void MsHauFt::on_checkpoint_command(core::Hau& hau, std::uint64_t ckpt_id) {
 void MsHauFt::on_token_at_head(core::Hau& hau, int in_port,
                                const core::Token& token) {
   if (active_ckpt_id_ == 0) {
-    if (scheme_->synchronous()) {
+    if (scheme_->synchronous() && token.checkpoint_id >= next_seen_epoch_) {
       // First token of a trickling checkpoint reaching this HAU.
       active_ckpt_id_ = token.checkpoint_id;
+      next_seen_epoch_ = token.checkpoint_id + 1;
+      align_done_ = false;
       initiated_at_ = hau.app().simulation().now();
       tokens_seen_ = 0;
       port_token_.assign(static_cast<std::size_t>(hau.num_in_ports()), false);
       scheme_->emit_probe(FtPoint::kTokenAlignStart, hau.id(),
                           active_ckpt_id_);
-    } else if (token.one_hop && token.checkpoint_id >= next_seen_epoch_) {
+    } else if (!scheme_->synchronous() && token.one_hop &&
+               token.checkpoint_id >= next_seen_epoch_) {
       // Chandy-Lamport rule: a neighbour's token outran the controller's
       // command (they race over different paths). Initiate the epoch now;
       // the late command becomes a no-op.
@@ -421,11 +478,25 @@ void MsHauFt::on_token_at_head(core::Hau& hau, int in_port,
     }
   }
   if (token.checkpoint_id != active_ckpt_id_) {
-    // Stale token from an aborted checkpoint epoch: drop it.
+    // Token from an aborted epoch, or a duplicate of one this HAU already
+    // finished (upstream re-forwarded after a controller retransmission):
+    // drop it. For MS-src a duplicate of our last completed epoch also
+    // repairs the chain below us — the original trickling token may have
+    // been the copy that was lost.
+    hau.pop_token(in_port);
+    if (scheme_->synchronous() && active_ckpt_id_ == 0 && has_last_report_ &&
+        token.checkpoint_id == last_report_.checkpoint_id) {
+      handle_command_redelivery(hau, token.checkpoint_id);
+    }
+    return;
+  }
+  if (align_done_ || port_token_[static_cast<std::size_t>(in_port)]) {
+    // Duplicate token for the active epoch: either this port already
+    // contributed its cut, or alignment finished and the write is in
+    // flight. Drop the extra copy.
     hau.pop_token(in_port);
     return;
   }
-  MS_CHECK(!port_token_[static_cast<std::size_t>(in_port)]);
   port_token_[static_cast<std::size_t>(in_port)] = true;
   ++tokens_seen_;
   scheme_->emit_probe(FtPoint::kTokenReceived, hau.id(), active_ckpt_id_);
@@ -450,6 +521,7 @@ void MsHauFt::do_sync_checkpoint(core::Hau& hau) {
   report.initiated = initiated_at_;
   report.tokens_collected = hau.app().simulation().now();
   scheme_->emit_probe(FtPoint::kAlignDone, hau.id(), active_ckpt_id_);
+  align_done_ = true;
 
   hau.pause();
   // Consume the aligned tokens; the ports stay quiet while paused.
@@ -487,6 +559,7 @@ void MsHauFt::do_async_checkpoint(core::Hau& hau) {
   report.initiated = initiated_at_;
   report.tokens_collected = hau.app().simulation().now();
   scheme_->emit_probe(FtPoint::kAlignDone, hau.id(), active_ckpt_id_);
+  align_done_ = true;
 
   // Fork the checkpoint helper: the parent is blocked only for the fork.
   scheme_->emit_probe(FtPoint::kForkStart, hau.id(), active_ckpt_id_);
@@ -583,6 +656,10 @@ void MsHauFt::write_checkpoint(core::Hau& hau,
         scheme_->emit_probe(FtPoint::kCheckpointDone, hau.id(),
                             report.checkpoint_id);
         report.written = hau.app().simulation().now();
+        // Keep the report: a retransmitted command (or duplicate trickling
+        // token) for this epoch re-sends it instead of checkpointing again.
+        last_report_ = report;
+        has_last_report_ = true;
         if (scheme_->params().delta_checkpoints) hau.op().mark_checkpointed();
         if (forward_tokens) {
           // MS-src: forward the trickling token, then resume processing.
@@ -877,27 +954,87 @@ void MsScheme::add_spares(std::vector<net::NodeId> spares) {
   spares_.insert(spares_.end(), spares.begin(), spares.end());
 }
 
+void MsScheme::set_heartbeat_delay(net::NodeId node, SimTime delay,
+                                   SimTime until) {
+  hb_delays_[node] = HbDelay{delay, until};
+}
+
+void MsScheme::send_ping(net::NodeId from, net::NodeId target) {
+  // Request/reply liveness probe. The pong is routed to the controller and
+  // lands in the shared detector as a heartbeat; a reply deadline one ping
+  // period after the request counts a miss if no heartbeat (from any
+  // monitor's ping) arrived meanwhile. Dropped pings, dropped pongs and
+  // slow pongs all fall out of the same deadline — no separate drop
+  // callback, so an unreliable network cannot double-count.
+  if (!detection_enabled_) return;
+  auto& sim = app_->simulation();
+  const SimTime sent = sim.now();
+  app_->cluster().network().send(
+      from, target, 64, net::MsgCategory::kControl, [this, target] {
+        // At the target: reply, optionally delayed by an injected
+        // slow-node fault (the node is alive, just late).
+        SimTime extra = SimTime::zero();
+        const auto it = hb_delays_.find(target);
+        if (it != hb_delays_.end()) {
+          if (app_->simulation().now() < it->second.until) {
+            extra = it->second.delay;
+          } else {
+            hb_delays_.erase(it);
+          }
+        }
+        auto pong = [this, target] {
+          auto& cl = app_->cluster();
+          cl.network().send(target, cl.storage_node(), 64,
+                            net::MsgCategory::kControl,
+                            [this, target] { on_node_heartbeat(target); });
+        };
+        if (extra > SimTime::zero()) {
+          app_->simulation().schedule_after(extra, std::move(pong));
+        } else {
+          pong();
+        }
+      });
+  sim.schedule_after(params_.ping_period, [this, target, sent] {
+    if (!detection_enabled_) return;
+    if (detector_->last_heartbeat(target) >= sent) return;  // answered
+    on_node_miss(target);
+  });
+}
+
+void MsScheme::on_node_heartbeat(net::NodeId node) {
+  if (!detection_enabled_) return;
+  detector_->heartbeat(node);
+}
+
+void MsScheme::on_node_miss(net::NodeId node) {
+  if (!detection_enabled_) return;
+  if (!detector_->miss(node)) {
+    if (detector_->state(node) == FailureDetector::UnitState::kFailed) {
+      // Already under a verdict — e.g. an earlier pass left this node's HAU
+      // unplaced for lack of spares. Keep nudging the recovery path so a
+      // replenished pool (add_spares) finishes the job.
+      report_node_failure(node);
+    }
+    return;
+  }
+  // Failure verdict. Epochs wedged on this node's HAUs will never complete:
+  // abandon them now rather than waiting out the stale window in silence.
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    if (app_->hau(i).node() == node) coordinator_->on_unit_failed(i);
+  }
+  report_node_failure(node);
+}
+
 void MsScheme::monitor_downstream(int hau_id) {
   // The paper's division of labour: the controller pings only the source
-  // nodes; every other node is monitored by its upstream neighbours. A ping
-  // dropped by the network (dead endpoint) reports the failure.
+  // nodes; every other node is monitored by its upstream neighbours. All
+  // monitors feed the same per-node detector, so extra coverage only
+  // sharpens detection.
   if (!detection_enabled_) return;
   core::Hau& hau = app_->hau(hau_id);
   if (!hau.failed()) {
     for (int p = 0; p < hau.num_out_ports(); ++p) {
-      core::Hau* down = hau.downstream(p);
-      const net::NodeId target = down->node();
-      app_->cluster().network().send(
-          hau.node(), target, 64, net::MsgCategory::kControl,
-          /*deliver=*/[] {},
-          /*on_dropped=*/[this, target] {
-            // Report to the controller (a small message; the controller
-            // node is assumed reliable).
-            app_->simulation().schedule_after(
-                app_->cluster().topology().latency(0,
-                                                   app_->cluster().storage_node()),
-                [this, target] { report_node_failure(target); });
-          });
+      send_ping(hau.node(), hau.downstream(p)->node());
     }
   }
   app_->simulation().schedule_after(
@@ -912,13 +1049,8 @@ void MsScheme::ping_sources() {
       if (app_->hau(i).num_out_ports() > 0) monitor_downstream(i);
     }
   }
-  auto& cluster = app_->cluster();
   for (core::Hau* src : app_->sources()) {
-    const net::NodeId node = src->node();
-    cluster.network().send(
-        cluster.storage_node(), node, 64, net::MsgCategory::kControl,
-        /*deliver=*/[] {},
-        /*on_dropped=*/[this, node] { report_node_failure(node); });
+    send_ping(app_->cluster().storage_node(), src->node());
   }
   app_->simulation().schedule_after(params_.ping_period,
                                     [this] { ping_sources(); });
@@ -950,6 +1082,12 @@ void MsScheme::maybe_recover_failed() {
     core::Hau& hau = app_->hau(i);
     if (!app_->cluster().node_alive(hau.node())) {
       if (!hau.failed()) hau.on_node_failed();
+    } else if (detector_->state(hau.node()) ==
+               FailureDetector::UnitState::kFailed) {
+      // The detector issued a verdict for a node that is actually alive (a
+      // partition or extreme loss starved its pongs). Reconcile with ground
+      // truth so the verdict doesn't mask a later real failure.
+      detector_->reset(hau.node());
     }
     if (hau.failed()) any_failed = true;
   }
@@ -1322,6 +1460,9 @@ void MsScheme::complete_recovery(const std::shared_ptr<RecoveryRun>& run) {
       continue;
     }
     hau.reopen();
+    // The HAU's (possibly new) node is live again: clear any verdict or
+    // accumulated suspicion so detection starts fresh.
+    detector_->reset(hau.node());
     MsHauFt* ft = fts_[static_cast<std::size_t>(i)];
     ft->resend_inflight(hau,
                         std::move(run->inflights[static_cast<std::size_t>(i)]));

@@ -28,6 +28,7 @@
 #include "common/rng.h"
 #include "core/application.h"
 #include "ft/aa_controller.h"
+#include "ft/failure_detector.h"
 #include "ft/params.h"
 #include "ft/probe.h"
 #include "ft/protocol.h"
@@ -86,6 +87,16 @@ class MsScheme {
   /// Return repaired nodes to the replacement pool.
   void add_spares(std::vector<net::NodeId> spares);
   std::size_t spares_left() const { return spares_.size(); }
+
+  /// Fault injection: until `until` (sim time), heartbeat replies from
+  /// `node` are delayed by `delay` before being sent. A delay longer than
+  /// the ping period makes the node look silent — the detector suspects it —
+  /// while the late replies exonerate it before the verdict threshold.
+  void set_heartbeat_delay(net::NodeId node, SimTime delay, SimTime until);
+
+  /// The shared heartbeat detector behind ping_sources / the monitors
+  /// (units are node ids). Valid for the scheme's lifetime.
+  FailureDetector& detector() { return *detector_; }
 
   /// Subscribe to protocol instrumentation points (chaos harness, tracer,
   /// tests). Every subscriber sees every point, in subscription order.
@@ -195,9 +206,16 @@ class MsScheme {
   /// (Re-)resolve the cached metric handles against metrics_.
   void bind_metrics();
 
-  // Failure detection.
+  // Failure detection. Liveness is request/reply: `send_ping` sends a probe
+  // from `from` to `target`; the pong (routed to the controller) feeds the
+  // detector as a heartbeat, and a per-ping reply deadline one ping period
+  // later counts a miss if no heartbeat landed meanwhile — covering dropped
+  // pings, dropped pongs, and delayed pongs uniformly.
   void ping_sources();
   void monitor_downstream(int hau_id);
+  void send_ping(net::NodeId from, net::NodeId target);
+  void on_node_heartbeat(net::NodeId node);
+  void on_node_miss(net::NodeId node);
   void report_node_failure(net::NodeId node);
   /// An HAU's checkpoint write failed definitively: abort the epoch so the
   /// next periodic checkpoint is not blocked until wedge-abandonment.
@@ -224,6 +242,12 @@ class MsScheme {
 
   bool detection_enabled_ = false;
   bool monitors_started_ = false;
+  std::unique_ptr<FailureDetector> detector_;
+  struct HbDelay {
+    SimTime delay;
+    SimTime until;
+  };
+  std::map<net::NodeId, HbDelay> hb_delays_;
   bool recovery_in_progress_ = false;
   bool pending_recovery_recheck_ = false;
   std::uint64_t recovery_seq_ = 0;
@@ -299,6 +323,13 @@ class MsHauFt final : public core::HauFt {
 
  private:
   std::uint64_t source_boundary(const core::Hau& hau) const;
+  /// A command re-delivered for an epoch this HAU already knows (controller
+  /// retransmission or network duplication): repair instead of re-running —
+  /// re-send tokens for a still-active epoch, re-forward tokens and re-send
+  /// the stored report for a completed one.
+  void handle_command_redelivery(core::Hau& hau, std::uint64_t ckpt_id);
+  void resend_epoch_tokens(core::Hau& hau, std::uint64_t ckpt_id,
+                           bool one_hop);
   void maybe_align(core::Hau& hau);
   void do_sync_checkpoint(core::Hau& hau);
   void do_async_checkpoint(core::Hau& hau);
@@ -325,8 +356,18 @@ class MsHauFt final : public core::HauFt {
   SimTime initiated_at_;
   std::vector<bool> port_token_;
   int tokens_seen_ = 0;
+  // True from alignment (tokens popped, snapshot started) until the write
+  // completes; a further token for the active epoch then is a duplicate.
+  bool align_done_ = false;
   bool capturing_ = false;
   std::vector<std::pair<int, core::Tuple>> capture_;
+
+  // --- idempotent re-delivery (unreliable control network) ---
+  // The last completed checkpoint's report, kept so a retransmitted command
+  // (or, for MS-src, a duplicate trickling token) can re-forward tokens and
+  // re-send the report instead of checkpointing again.
+  HauCheckpointReport last_report_;
+  bool has_last_report_ = false;
 
   // --- AA sampling ---
   bool aa_sampling_ = false;

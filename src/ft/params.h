@@ -57,6 +57,33 @@ struct FtParams {
   SimTime ping_period = SimTime::seconds(1);
   /// Missed-response window after which a node is deemed failed.
   SimTime ping_timeout = SimTime::seconds(3);
+  /// Consecutive missed heartbeats before the detector issues a failure
+  /// verdict. The first miss only marks the unit *suspect*; a heartbeat
+  /// arriving before the threshold exonerates it (counted as a false
+  /// positive) instead of triggering recovery.
+  int suspicion_threshold = 3;
+  /// While a checkpoint epoch is in flight, the coordinator re-issues the
+  /// checkpoint command (and HAUs re-forward their tokens) every this often,
+  /// so a lost token or report delays the epoch instead of wedging it.
+  /// Zero disables retransmission.
+  SimTime token_retransmit_timeout = SimTime::seconds(2);
+
+  // --- self-healing (rt supervisor) ---
+  /// Cadence at which live operators publish heartbeats and the supervisor
+  /// scans the detector.
+  SimTime heartbeat_period = SimTime::millis(25);
+  /// A unit whose last heartbeat is older than this accrues one miss per
+  /// supervisor scan.
+  SimTime heartbeat_timeout = SimTime::millis(200);
+  /// Bounded auto-recovery: retries per verdict, with exponential backoff
+  /// starting at `self_heal_backoff`.
+  int self_heal_max_attempts = 5;
+  SimTime self_heal_backoff = SimTime::millis(50);
+  /// Crash-loop quarantine: this many crashes within `crash_loop_window`
+  /// of the previous heal puts the runtime in degraded mode (health()
+  /// returns a non-OK Status and the supervisor stops resurrecting it).
+  int crash_loop_threshold = 3;
+  SimTime crash_loop_window = SimTime::seconds(2);
 
   // --- shared-storage retry ---
   /// Bounded retry of shared-storage puts/gets on transient (kUnavailable)

@@ -39,6 +39,11 @@ enum class FtPoint {
   kRecoveryChainDone, // phases 1-3 finished (or abandoned) at an HAU
   kRecoveryPhase4,    // controller reconnection handshake begins
   kRecoveryComplete,  // recovery finished (queued re-checks may follow)
+  // Failure-detector side (hau = node id in the sim, operator id in the rt
+  // runtime; id = cumulative miss/suspicion count at the emitting event).
+  kNodeSuspected,     // first missed heartbeat: unit enters the suspect state
+  kNodeExonerated,    // late heartbeat cleared a suspect (false positive)
+  kFailureVerdict,    // suspicion count crossed the threshold: unit is failed
 };
 
 const char* ft_point_name(FtPoint p);

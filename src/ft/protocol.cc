@@ -20,6 +20,8 @@ void CheckpointCoordinator::bind_metrics() {
   m_ckpt_started_ = metrics_->counter("ft.ckpt.started");
   m_ckpt_completed_ = metrics_->counter("ft.ckpt.completed");
   m_ckpt_abandoned_ = metrics_->counter("ft.ckpt.abandoned");
+  m_ckpt_retransmits_ = metrics_->counter("ft.ckpt.retransmits");
+  m_ckpt_duplicate_reports_ = metrics_->counter("ft.ckpt.duplicate_reports");
   m_ckpt_in_progress_ = metrics_->gauge("ft.ckpt.in_progress");
   m_ckpt_token_collection_ = metrics_->histogram("ft.ckpt.token_collection");
   m_ckpt_other_ = metrics_->histogram("ft.ckpt.other");
@@ -53,11 +55,7 @@ void CheckpointCoordinator::begin_checkpoint() {
     const SimTime stale_after = params_.checkpoint_period * std::int64_t{3};
     for (auto it = in_progress_.begin(); it != in_progress_.end();) {
       if (now - it->second.initiated > stale_after) {
-        MS_LOG_WARN("ft", "abandoning wedged checkpoint epoch %llu",
-                    static_cast<unsigned long long>(it->first));
-        emit(FtPoint::kEpochAbandon, -1, it->first);
-        m_ckpt_abandoned_->add(1);
-        runtime_->abandon_epoch(it->first);
+        abandon_one(it->first, "wedged past the stale window");
         it = in_progress_.erase(it);
       } else {
         ++it;
@@ -78,11 +76,39 @@ void CheckpointCoordinator::begin_checkpoint() {
   m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
 
   runtime_->start_epoch(id);
+  schedule_retransmit(id);
+}
+
+void CheckpointCoordinator::schedule_retransmit(std::uint64_t id) {
+  if (params_.token_retransmit_timeout <= SimTime::zero()) return;
+  runtime_->schedule_after(params_.token_retransmit_timeout, [this, id] {
+    if (in_progress_.find(id) == in_progress_.end()) return;  // completed
+    MS_LOG_DEBUG("ft", "retransmitting checkpoint epoch %llu",
+                 static_cast<unsigned long long>(id));
+    m_ckpt_retransmits_->add(1);
+    runtime_->retransmit_epoch(id);
+    schedule_retransmit(id);
+  });
+}
+
+void CheckpointCoordinator::abandon_one(std::uint64_t id, const char* why) {
+  MS_LOG_WARN("ft", "abandoning checkpoint epoch %llu: %s",
+              static_cast<unsigned long long>(id), why);
+  emit(FtPoint::kEpochAbandon, -1, id);
+  m_ckpt_abandoned_->add(1);
+  reported_units_.erase(id);
+  runtime_->abandon_epoch(id);
 }
 
 void CheckpointCoordinator::on_unit_report(const HauCheckpointReport& report) {
   const auto it = in_progress_.find(report.checkpoint_id);
   if (it == in_progress_.end()) return;  // aborted by a recovery
+  if (!reported_units_[report.checkpoint_id].insert(report.hau_id).second) {
+    // Idempotent duplicate handling: the network duplicated the report, or
+    // the unit re-sent it in response to a retransmitted command.
+    m_ckpt_duplicate_reports_->add(1);
+    return;
+  }
   // Live phase breakdown, queryable mid-run (per-unit gauges plus the
   // aggregate histograms feeding Fig. 14).
   m_ckpt_token_collection_->record(report.token_collection());
@@ -107,6 +133,7 @@ void CheckpointCoordinator::on_unit_report(const HauCheckpointReport& report) {
     last_completed_ = stats.checkpoint_id;
     const std::uint64_t id = stats.checkpoint_id;
     checkpoints_.push_back(stats);
+    reported_units_.erase(id);
     in_progress_.erase(it);  // invalidates `stats`
     m_ckpt_completed_->add(1);
     m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
@@ -118,17 +145,31 @@ void CheckpointCoordinator::on_unit_report(const HauCheckpointReport& report) {
 void CheckpointCoordinator::on_unit_checkpoint_failed(std::uint64_t ckpt_id) {
   const auto it = in_progress_.find(ckpt_id);
   if (it == in_progress_.end()) return;
-  MS_LOG_WARN("ft", "aborting checkpoint epoch %llu: a unit's write failed",
-              static_cast<unsigned long long>(ckpt_id));
   in_progress_.erase(it);
-  emit(FtPoint::kEpochAbandon, -1, ckpt_id);
-  m_ckpt_abandoned_->add(1);
+  abandon_one(ckpt_id, "a unit's write failed");
   m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
-  runtime_->abandon_epoch(ckpt_id);
+}
+
+void CheckpointCoordinator::on_unit_failed(int unit) {
+  for (auto it = in_progress_.begin(); it != in_progress_.end();) {
+    const auto rep = reported_units_.find(it->first);
+    const bool reported =
+        rep != reported_units_.end() && rep->second.count(unit) > 0;
+    if (reported) {
+      // The failed unit already contributed its report; the epoch can still
+      // complete off the stored checkpoint.
+      ++it;
+      continue;
+    }
+    abandon_one(it->first, "a participating unit failed before reporting");
+    it = in_progress_.erase(it);
+  }
+  m_ckpt_in_progress_->set(static_cast<double>(in_progress_.size()));
 }
 
 void CheckpointCoordinator::abort_in_progress() {
   in_progress_.clear();
+  reported_units_.clear();
   m_ckpt_in_progress_->set(0.0);
 }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "common/metrics_registry.h"
@@ -45,12 +46,20 @@ class CheckpointCoordinator {
   /// three periods is abandoned first, so checkpointing can resume).
   void begin_checkpoint();
 
-  /// One unit finished its individual checkpoint for an epoch.
+  /// One unit finished its individual checkpoint for an epoch. Duplicate
+  /// deliveries of the same (epoch, unit) report — an unreliable network, or
+  /// a unit re-sending after a retransmitted command — are counted once.
   void on_unit_report(const HauCheckpointReport& report);
 
   /// A unit's stable-storage write failed definitively: abort the epoch so
   /// the next periodic checkpoint is not blocked until wedge-abandonment.
   void on_unit_checkpoint_failed(std::uint64_t ckpt_id);
+
+  /// The failure detector issued a verdict for `unit`: abandon every
+  /// in-flight epoch that unit has not reported for — it never will, so the
+  /// epoch is wedged the moment the verdict lands, not after the stale
+  /// window expires in silence.
+  void on_unit_failed(int unit);
 
   /// Abort every epoch in flight (recovery entry).
   void abort_in_progress();
@@ -68,6 +77,8 @@ class CheckpointCoordinator {
     if (probe_) probe_(point, unit, id);
   }
   void bind_metrics();
+  void schedule_retransmit(std::uint64_t id);
+  void abandon_one(std::uint64_t id, const char* why);
 
   Runtime* runtime_;
   FtParams params_;
@@ -76,6 +87,10 @@ class CheckpointCoordinator {
 
   std::uint64_t next_checkpoint_id_ = 1;
   std::map<std::uint64_t, AppCheckpointStats> in_progress_;
+  /// Units that have reported per in-flight epoch: the dedup set behind
+  /// idempotent report handling, and the basis for detector-driven wedge
+  /// abandonment (an epoch missing only reports from failed units is dead).
+  std::map<std::uint64_t, std::set<int>> reported_units_;
   std::vector<AppCheckpointStats> checkpoints_;
   std::uint64_t last_completed_ = 0;
 
@@ -83,6 +98,8 @@ class CheckpointCoordinator {
   Counter* m_ckpt_started_;
   Counter* m_ckpt_completed_;
   Counter* m_ckpt_abandoned_;
+  Counter* m_ckpt_retransmits_;
+  Counter* m_ckpt_duplicate_reports_;
   Gauge* m_ckpt_in_progress_;
   HistogramMetric* m_ckpt_token_collection_;
   HistogramMetric* m_ckpt_other_;

@@ -102,6 +102,27 @@ RtRuntime::RtRuntime(rt::RtEngine* engine, RtRuntimeConfig config)
     aa_->set_hooks(std::move(hooks));
   }
 
+  if (config_.auto_recover) {
+    FailureDetector::Params dp;
+    dp.suspicion_threshold = config_.params.suspicion_threshold;
+    dp.timeout = config_.params.heartbeat_timeout;
+    detector_ =
+        std::make_unique<FailureDetector>(dp, [this] { return now(); });
+    detector_->set_probe([this](FtPoint point, int unit, std::uint64_t id) {
+      emit_probe(point, unit, id);
+    });
+    hb_suppress_until_ =
+        std::make_unique<std::atomic<std::int64_t>[]>(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) hb_suppress_until_[i].store(0);
+    MetricsRegistry* m =
+        config_.metrics ? config_.metrics : &MetricsRegistry::global();
+    m_heal_attempts_ = m->counter("ft.selfheal.attempts");
+    m_heal_success_ = m->counter("ft.selfheal.success");
+    m_heal_failed_ = m->counter("ft.selfheal.failed_attempts");
+    m_heal_exhausted_ = m->counter("ft.selfheal.exhausted");
+    m_heal_quarantined_ = m->counter("ft.selfheal.quarantined");
+  }
+
   engine_->set_snapshot_sink(
       [this](const rt::Snapshot& snap) { on_snapshot(snap); });
   engine_->set_source_tap([this](int op, int out_port, const core::Tuple& t) {
@@ -114,6 +135,7 @@ RtRuntime::RtRuntime(rt::RtEngine* engine, RtRuntimeConfig config)
 }
 
 RtRuntime::~RtRuntime() {
+  stop_supervisor();  // may be mid-heal with the engine stopped
   if (engine_->running()) stop();
   // The engine may outlive this runtime; leave no dangling callbacks behind.
   engine_->set_snapshot_sink(nullptr);
@@ -134,10 +156,15 @@ Status RtRuntime::start() {
   }
   engine_->start();
   arm_initiation();
+  if (config_.auto_recover) start_supervisor();
   return Status::ok();
 }
 
 void RtRuntime::stop() {
+  // Join the supervisor before stopping the engine: a heal in flight may be
+  // about to restart the engine, and the join serializes that against our
+  // stop so the engine always ends up stopped.
+  stop_supervisor();
   {
     std::scoped_lock lk(ctl_mu_);
     initiation_stopped_ = true;
@@ -146,6 +173,9 @@ void RtRuntime::stop() {
 }
 
 void RtRuntime::arm_initiation() {
+  // Engine timers do not survive stop()/start(), so every (re)start re-arms
+  // the heartbeat chain alongside the mode's initiation machinery.
+  if (config_.auto_recover) arm_heartbeats();
   switch (config_.mode) {
     case RtMode::kSrc:
     case RtMode::kSrcAp: {
@@ -224,11 +254,16 @@ SimTime RtRuntime::now() const {
 }
 
 void RtRuntime::schedule_after(SimTime delay, std::function<void()> fn) {
-  engine_->run_after(delay, [this, fn = std::move(fn)] {
+  const std::uint64_t fence = recovery_seq_.load();
+  engine_->run_after(delay, [this, fence, fn = std::move(fn)] {
     std::scoped_lock lk(ctl_mu_);
     // Swallowing the callback while stopped kills the periodic chain; a
     // later start()/recover() re-arms it.
     if (initiation_stopped_) return;
+    // A recovery re-armed its own chains; this one belongs to the previous
+    // incarnation. Letting it run would double the periodic cadence (and
+    // retransmit epochs that no longer exist) after every heal.
+    if (fence != recovery_seq_.load()) return;
     fn();
   });
 }
@@ -238,6 +273,7 @@ void RtRuntime::start_epoch(std::uint64_t epoch) {
   const std::uint64_t disk = epoch_base_ + epoch;
   EpochState es;
   es.disk_epoch = disk;
+  es.fence = recovery_seq_.load();
   es.initiated = now();
   if (!crashed_.load()) {
     std::error_code ec;
@@ -364,6 +400,7 @@ void RtRuntime::on_snapshot(const rt::Snapshot& snap) {
   std::scoped_lock lk(ctl_mu_);
   auto it = pending_.find(snap.epoch);
   if (it == pending_.end()) return;  // abandoned while we wrote
+  if (it->second.fence != recovery_seq_.load()) return;  // stale incarnation
   if (!wrote) {
     MS_LOG_WARN("ft", "rt epoch %llu: checkpoint write failed for op %d",
                 static_cast<unsigned long long>(snap.epoch), snap.op);
@@ -628,13 +665,15 @@ Status RtRuntime::recover(RecoveryStats* stats) {
     return Status::failed_precondition("RtRuntime: stop the engine first");
   }
   if (crashed_.load()) {
-    return Status::failed_precondition(
-        "RtRuntime: crash flag set; clear_crash() first");
+    // Distinct from other preconditions so callers can tell "you forgot
+    // clear_crash()" apart from "the engine is still running": the crash
+    // drill is an explicit state that must be explicitly lifted.
+    return Status::aborted("RtRuntime: crash flag set; clear_crash() first");
   }
   std::uint64_t seq = 0;
   {
     std::scoped_lock lk(ctl_mu_);
-    seq = ++recovery_seq_;
+    seq = recovery_seq_.fetch_add(1) + 1;
     coordinator_->abort_in_progress();
     pending_.clear();
     initiation_stopped_ = true;
@@ -736,15 +775,14 @@ Status RtRuntime::recover(RecoveryStats* stats) {
   }
   if (crashed_.load()) return Status::unavailable("crashed during recovery");
 
-  // Phase 4: restart the dataflow and re-deliver the preserved suffix.
+  // Phase 4: re-deliver the preserved suffix, then restart the dataflow.
+  // The suffix is enqueued into the stopped engine's worker queues BEFORE
+  // the sources re-arm: with a live feed (in-place self-heal) fresh
+  // emissions must land strictly behind every replayed tuple or the sink
+  // sees them out of order.
   emit_probe(FtPoint::kRecoveryPhase4, -1, seq);
   if (crashed_.load()) return Status::unavailable("crashed during recovery");
   const SimTime t_replay0 = now();
-  engine_->start();
-  {
-    std::scoped_lock lk(ctl_mu_);
-    initiation_stopped_ = false;
-  }
   std::uint64_t replayed = 0;
   for (int i = 0; i < n; ++i) {
     const auto idx = static_cast<std::size_t>(i);
@@ -756,6 +794,11 @@ Status RtRuntime::recover(RecoveryStats* stats) {
     }
   }
   const SimTime t_replay1 = now();
+  engine_->start();
+  {
+    std::scoped_lock lk(ctl_mu_);
+    initiation_stopped_ = false;
+  }
   arm_initiation();
 
   emit_probe(FtPoint::kRecoveryComplete, -1, seq);
@@ -774,6 +817,160 @@ Status RtRuntime::recover(RecoveryStats* stats) {
     stats->bytes_read = bytes_read;
   }
   return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Self-heal supervisor (config.auto_recover)
+//
+// Liveness is published *by the runtime on behalf of the operators*: a tick
+// chained on the engine timer heartbeats every operator while the process is
+// healthy. simulate_crash() silences the ticks — exactly the signal a killed
+// process would produce — so the supervisor thread's detector scan escalates
+// silence into suspicion and, past the threshold, a failure verdict that
+// triggers fenced recovery without any manual recover() call.
+
+Status RtRuntime::health() const {
+  std::scoped_lock lk(heal_mu_);
+  return health_;
+}
+
+void RtRuntime::inject_heartbeat_delay(int op, SimTime delay) {
+  MS_CHECK(op >= 0 && op < engine_->num_operators());
+  if (!hb_suppress_until_) return;
+  hb_suppress_until_[op].store((now() + delay).ns());
+}
+
+void RtRuntime::arm_heartbeats() {
+  engine_->run_after(config_.params.heartbeat_period,
+                     [this] { heartbeat_tick(); });
+}
+
+void RtRuntime::heartbeat_tick() {
+  if (!engine_->running()) return;  // chain dies with the engine
+  if (!crashed_.load()) {
+    const std::int64_t tn = now().ns();
+    const int n = engine_->num_operators();
+    for (int i = 0; i < n; ++i) {
+      if (tn < hb_suppress_until_[i].load()) continue;  // injected delay
+      detector_->heartbeat(i);
+    }
+  }
+  arm_heartbeats();
+}
+
+void RtRuntime::start_supervisor() {
+  if (supervisor_.joinable()) return;  // already running across a heal
+  supervisor_stop_.store(false);
+  detector_->reset_all();
+  const int n = engine_->num_operators();
+  for (int i = 0; i < n; ++i) detector_->track(i);
+  supervisor_ = std::thread([this] { supervisor_loop(); });
+}
+
+void RtRuntime::stop_supervisor() {
+  if (!supervisor_.joinable()) return;
+  {
+    std::scoped_lock lk(sup_mu_);
+    supervisor_stop_.store(true);
+  }
+  sup_cv_.notify_all();
+  supervisor_.join();
+}
+
+void RtRuntime::supervisor_loop() {
+  const auto period =
+      std::chrono::nanoseconds(config_.params.heartbeat_period.ns());
+  for (;;) {
+    {
+      std::unique_lock lk(sup_mu_);
+      sup_cv_.wait_for(lk, period, [this] { return supervisor_stop_.load(); });
+      if (supervisor_stop_.load()) return;
+    }
+    const std::vector<int> failed = detector_->scan();
+    if (failed.empty()) continue;
+    {
+      std::scoped_lock lk(ctl_mu_);
+      for (int unit : failed) coordinator_->on_unit_failed(unit);
+    }
+    attempt_self_heal();
+  }
+}
+
+void RtRuntime::attempt_self_heal() {
+  const SimTime verdict_at = now();
+  {
+    std::scoped_lock lk(heal_mu_);
+    if (quarantined_) return;
+    // Crash-loop detection: a verdict arriving hot on the heels of the
+    // previous successful heal extends the streak; enough of those in a row
+    // and resurrecting the runtime is doing more harm than good.
+    if (last_heal_completed_ > SimTime::zero() &&
+        verdict_at - last_heal_completed_ < config_.params.crash_loop_window) {
+      ++crash_streak_;
+    } else {
+      crash_streak_ = 1;
+    }
+    if (crash_streak_ >= config_.params.crash_loop_threshold) {
+      quarantined_ = true;
+      health_ = Status::unavailable(
+          "RtRuntime: crash-loop quarantine (" +
+          std::to_string(crash_streak_) + " crashes within " +
+          std::to_string(config_.params.crash_loop_window.to_seconds()) +
+          "s of a heal); manual recover() required");
+      m_heal_quarantined_->add(1);
+      MS_LOG_WARN("ft", "rt self-heal: crash-loop quarantine after %d rapid "
+                  "crashes", crash_streak_);
+      return;
+    }
+  }
+
+  const int max_attempts = std::max(1, config_.params.self_heal_max_attempts);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (supervisor_stop_.load()) return;
+    m_heal_attempts_->add(1);
+    if (engine_->running()) {
+      {
+        std::scoped_lock lk(ctl_mu_);
+        initiation_stopped_ = true;
+      }
+      engine_->stop();
+    }
+    clear_crash();
+    RecoveryStats rs;
+    const Status st = recover(&rs);
+    if (st.is_ok()) {
+      detector_->reset_all();
+      auto_recoveries_.fetch_add(1);
+      m_heal_success_->add(1);
+      {
+        std::scoped_lock lk(heal_mu_);
+        last_heal_completed_ = now();
+        health_ = Status::ok();
+      }
+      MS_LOG_INFO("ft", "rt self-heal: recovered on attempt %d (%.1f ms)",
+                  attempt + 1, (rs.completed - rs.started).to_seconds() * 1e3);
+      return;
+    }
+    m_heal_failed_->add(1);
+    MS_LOG_WARN("ft", "rt self-heal attempt %d/%d failed: %s", attempt + 1,
+                max_attempts, st.message().c_str());
+    if (attempt + 1 < max_attempts) {
+      const SimTime backoff =
+          config_.params.self_heal_backoff * (std::int64_t{1} << attempt);
+      std::unique_lock lk(sup_mu_);
+      sup_cv_.wait_for(lk, std::chrono::nanoseconds(backoff.ns()),
+                       [this] { return supervisor_stop_.load(); });
+      if (supervisor_stop_.load()) return;
+    }
+  }
+  m_heal_exhausted_->add(1);
+  {
+    std::scoped_lock lk(heal_mu_);
+    health_ = Status::unavailable(
+        "RtRuntime: self-heal exhausted after " +
+        std::to_string(max_attempts) + " attempts; manual recover() required");
+  }
+  MS_LOG_WARN("ft", "rt self-heal: giving up after %d attempts", max_attempts);
 }
 
 // ---------------------------------------------------------------------------

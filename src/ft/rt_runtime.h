@@ -47,6 +47,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <fstream>
 #include <functional>
@@ -55,12 +56,14 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/metrics_registry.h"
 #include "common/status.h"
 #include "core/tuple.h"
 #include "ft/aa_controller.h"
+#include "ft/failure_detector.h"
 #include "ft/params.h"
 #include "ft/probe.h"
 #include "ft/protocol.h"
@@ -90,6 +93,12 @@ struct RtRuntimeConfig {
   TupleCodec codec;
   /// Redirects the coordinator's ft.ckpt.* metrics (default: global()).
   MetricsRegistry* metrics = nullptr;
+  /// Self-healing: a heartbeat tick on the engine timer publishes operator
+  /// liveness into a FailureDetector and a supervisor thread turns
+  /// missed-deadline verdicts into automatic fenced recovery with bounded
+  /// exponential-backoff retries and crash-loop quarantine. The happy chaos
+  /// path then needs no manual recover() call.
+  bool auto_recover = false;
 };
 
 class RtRuntime final : public Runtime {
@@ -137,10 +146,25 @@ class RtRuntime final : public Runtime {
   /// Crash drill: from this instant the runtime stops writing checkpoint
   /// files and manifests (as a killed process would) while source-log
   /// appends continue — durable-before-dispatch holds right up to the
-  /// "crash". recover() refuses to run until clear_crash().
+  /// "crash". recover() refuses (StatusCode::kAborted) until clear_crash().
+  /// Under auto_recover the crash also silences heartbeats, so the
+  /// supervisor detects it and self-heals.
   void simulate_crash() { crashed_.store(true); }
   void clear_crash() { crashed_.store(false); }
   bool crashed() const { return crashed_.load(); }
+
+  // --- self-heal introspection (meaningful with config.auto_recover) ---
+  /// OK while healthy (or healed); degraded — kUnavailable with the reason —
+  /// after crash-loop quarantine or retry exhaustion.
+  Status health() const;
+  /// Completed automatic recoveries since construction.
+  std::uint64_t auto_recoveries() const { return auto_recoveries_.load(); }
+  /// Null unless config.auto_recover.
+  FailureDetector* detector() { return detector_.get(); }
+  /// Fault injection: suppress `op`'s heartbeats for `delay` from now. The
+  /// operator looks silent (suspected) without being dead — the detector
+  /// must exonerate it once heartbeats resume.
+  void inject_heartbeat_delay(int op, SimTime delay);
 
   CheckpointCoordinator& coordinator() { return *coordinator_; }
   /// Non-null only in kSrcApAa mode.
@@ -163,6 +187,9 @@ class RtRuntime final : public Runtime {
  private:
   struct EpochState {
     std::uint64_t disk_epoch = 0;
+    /// recovery_seq_ at initiation: snapshots fenced against a recovery that
+    /// happened while the bytes were in flight.
+    std::uint64_t fence = 0;
     SimTime initiated;
     std::map<int, SimTime> aligned_at;
     std::map<int, std::uint64_t> sizes;
@@ -223,6 +250,14 @@ class RtRuntime final : public Runtime {
   void aa_sample_tick();
   void aa_query_dynamic();
 
+  // Self-heal supervisor (config.auto_recover).
+  void arm_heartbeats();
+  void heartbeat_tick();
+  void start_supervisor();
+  void stop_supervisor();
+  void supervisor_loop();
+  void attempt_self_heal();
+
   rt::RtEngine* engine_;
   RtRuntimeConfig config_;
   std::chrono::steady_clock::time_point epoch0_;
@@ -239,12 +274,36 @@ class RtRuntime final : public Runtime {
   std::uint64_t last_durable_ = 0;   // guarded by ctl_mu_
   std::uint64_t prev_durable_ = 0;   // last GC'd predecessor
   bool initiation_stopped_ = false;  // guarded by ctl_mu_
-  std::uint64_t recovery_seq_ = 0;
+  /// Recovery fence. Bumped at the start of every recover(); epoch state and
+  /// timer callbacks stamped with an older value are stale in-flight
+  /// messages from the pre-recovery incarnation and are dropped.
+  std::atomic<std::uint64_t> recovery_seq_{0};
 
   std::vector<std::unique_ptr<SourceLog>> logs_;  // index = op; null if not source
 
   std::vector<FtProbe> probes_;
   std::atomic<bool> crashed_{false};
+
+  // --- self-heal supervisor state (config.auto_recover) ---
+  std::unique_ptr<FailureDetector> detector_;
+  std::thread supervisor_;
+  std::mutex sup_mu_;
+  std::condition_variable sup_cv_;
+  std::atomic<bool> supervisor_stop_{false};
+  /// Per-op heartbeat suppression deadline (ns since epoch0_); written by
+  /// inject_heartbeat_delay, read by heartbeat_tick.
+  std::unique_ptr<std::atomic<std::int64_t>[]> hb_suppress_until_;
+  std::atomic<std::uint64_t> auto_recoveries_{0};
+  mutable std::mutex heal_mu_;
+  Status health_ = Status::ok();     // guarded by heal_mu_
+  bool quarantined_ = false;         // guarded by heal_mu_
+  int crash_streak_ = 0;             // guarded by heal_mu_
+  SimTime last_heal_completed_;      // guarded by heal_mu_; zero = never
+  Counter* m_heal_attempts_ = nullptr;
+  Counter* m_heal_success_ = nullptr;
+  Counter* m_heal_failed_ = nullptr;
+  Counter* m_heal_exhausted_ = nullptr;
+  Counter* m_heal_quarantined_ = nullptr;
 
   // AA sampler state (timer thread only, except where noted).
   struct AaSample {

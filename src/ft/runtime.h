@@ -57,6 +57,12 @@ class Runtime {
   /// `epoch` was abandoned before completion (wedged past the stale window,
   /// or a unit's stable-storage write failed definitively).
   virtual void abandon_epoch(std::uint64_t epoch) { (void)epoch; }
+  /// Re-issue the epoch-begin command for an epoch still in flight: on an
+  /// unreliable network a token or completion report may have been lost,
+  /// and units handle the re-delivery idempotently (re-forwarding tokens /
+  /// re-sending stored reports instead of re-checkpointing). Default no-op:
+  /// backends with reliable in-process transport never need it.
+  virtual void retransmit_epoch(std::uint64_t epoch) { (void)epoch; }
 };
 
 }  // namespace ms::ft

@@ -35,4 +35,8 @@ void SimRuntime::abandon_epoch(std::uint64_t epoch) {
   if (hooks_.abandon_epoch) hooks_.abandon_epoch(epoch);
 }
 
+void SimRuntime::retransmit_epoch(std::uint64_t epoch) {
+  if (hooks_.retransmit_epoch) hooks_.retransmit_epoch(epoch);
+}
+
 }  // namespace ms::ft

@@ -23,7 +23,8 @@ class SimRuntime final : public Runtime {
   struct Hooks {
     std::function<void(std::uint64_t)> start_epoch;
     std::function<void(std::uint64_t)> commit_epoch;
-    std::function<void(std::uint64_t)> abandon_epoch;  // optional
+    std::function<void(std::uint64_t)> abandon_epoch;     // optional
+    std::function<void(std::uint64_t)> retransmit_epoch;  // optional
   };
 
   SimRuntime(core::Application* app, Hooks hooks);
@@ -38,6 +39,7 @@ class SimRuntime final : public Runtime {
   void start_epoch(std::uint64_t epoch) override;
   void commit_epoch(std::uint64_t epoch) override;
   void abandon_epoch(std::uint64_t epoch) override;
+  void retransmit_epoch(std::uint64_t epoch) override;
 
  private:
   core::Application* app_;

@@ -114,6 +114,21 @@ void ProbeTracer::on(FtPoint point, int hau, std::uint64_t id) {
       }
       trace_->instant(ts, pid, t, "recovery-complete", kRecoveryCat, id);
       break;
+    // Detector events are instants on the controller track: suspicion and
+    // exoneration/verdict bracket the detection window on the timeline, and
+    // a verdict is immediately followed by the kRecoveryStart span above.
+    case FtPoint::kNodeSuspected:
+      trace_->instant(ts, pid, trace_track::kControllerTid, "node-suspected",
+                      kRecoveryCat, id);
+      break;
+    case FtPoint::kNodeExonerated:
+      trace_->instant(ts, pid, trace_track::kControllerTid, "node-exonerated",
+                      kRecoveryCat, id);
+      break;
+    case FtPoint::kFailureVerdict:
+      trace_->instant(ts, pid, trace_track::kControllerTid, "failure-verdict",
+                      kRecoveryCat, id);
+      break;
   }
 }
 

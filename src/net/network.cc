@@ -32,6 +32,11 @@ Network::Network(sim::Simulation* sim, const Topology* topo)
   rx_busy_until_.assign(n, SimTime::zero());
 }
 
+void Network::count_drop(MsgCategory category) {
+  ++stats_.dropped;
+  ++stats_.dropped_by[static_cast<std::size_t>(category)];
+}
+
 void Network::send(NodeId from, NodeId to, Bytes size, MsgCategory category,
                    std::function<void()> deliver,
                    std::function<void()> on_dropped) {
@@ -44,9 +49,38 @@ void Network::send(NodeId from, NodeId to, Bytes size, MsgCategory category,
   st.bytes[static_cast<std::size_t>(category)] += size;
 
   if (!alive_[static_cast<std::size_t>(from)]) {
-    ++st.dropped;
+    count_drop(category);
     if (on_dropped) sim_->schedule_after(SimTime::zero(), std::move(on_dropped));
     return;
+  }
+
+  // Injected faults are decided up-front so the FIFO model below stays
+  // byte-identical for the traffic that is delivered normally.
+  bool duplicate = false;
+  SimTime extra = SimTime::zero();
+  if (plan_active_ || !severed_.empty()) {
+    if (partitioned(from, to)) {
+      count_drop(category);
+      if (on_dropped) sim_->schedule_after(SimTime::zero(), std::move(on_dropped));
+      return;
+    }
+    if (plan_active_) {
+      const FaultSpec& fs = plan_.spec(category);
+      if (fs.drop > 0.0 && fault_rng_.bernoulli(fs.drop)) {
+        count_drop(category);
+        if (on_dropped) sim_->schedule_after(SimTime::zero(), std::move(on_dropped));
+        return;
+      }
+      duplicate = fs.duplicate > 0.0 && fault_rng_.bernoulli(fs.duplicate);
+      if (fs.delay_p > 0.0 && fault_rng_.bernoulli(fs.delay_p)) extra += fs.delay;
+      if (fs.reorder > 0.0 && fault_rng_.bernoulli(fs.reorder)) {
+        // Push this message past traffic queued behind it: the NIC FIFOs
+        // below are advanced with the *undelayed* time, so later sends
+        // overtake this one.
+        extra += topo_->latency(from, to) * std::int64_t{4} +
+                 SimTime::micros(fault_rng_.uniform_int(50, 500));
+      }
+    }
   }
 
   const auto& cfg = topo_->config();
@@ -65,18 +99,58 @@ void Network::send(NodeId from, NodeId to, Bytes size, MsgCategory category,
   const SimTime delivered_at = std::max(first_bit, rx) + ser;
   rx = delivered_at;
 
-  sim_->schedule_at(
-      delivered_at,
-      [this, from, to, deliver = std::move(deliver),
-       on_dropped = std::move(on_dropped)]() mutable {
-        if (!alive_[static_cast<std::size_t>(from)] ||
-            !alive_[static_cast<std::size_t>(to)]) {
-          ++stats_.dropped;
-          if (on_dropped) on_dropped();
-          return;
-        }
-        deliver();
-      });
+  auto delivery = [this, from, to, category, deliver,
+                   on_dropped]() mutable {
+    if (!alive_[static_cast<std::size_t>(from)] ||
+        !alive_[static_cast<std::size_t>(to)]) {
+      count_drop(category);
+      if (on_dropped) on_dropped();
+      return;
+    }
+    deliver();
+  };
+
+  if (duplicate) {
+    ++st.duplicated;
+    // The copy carries no on_dropped: the original already accounts for the
+    // logical message's fate.
+    sim_->schedule_at(
+        delivered_at + extra + topo_->latency(from, to) +
+            SimTime::micros(fault_rng_.uniform_int(1, 100)),
+        [this, from, to, category, deliver]() mutable {
+          if (!alive_[static_cast<std::size_t>(from)] ||
+              !alive_[static_cast<std::size_t>(to)]) {
+            return;
+          }
+          deliver();
+        });
+  }
+  sim_->schedule_at(delivered_at + extra, std::move(delivery));
+}
+
+void Network::set_fault_plan(const FaultPlan& plan) {
+  plan_ = plan;
+  plan_active_ = true;
+  fault_rng_.reseed(plan.seed);
+}
+
+void Network::clear_fault_plan() { plan_active_ = false; }
+
+void Network::set_rack_partition(int rack_a, int rack_b, bool severed) {
+  const std::pair<int, int> key{std::min(rack_a, rack_b),
+                                std::max(rack_a, rack_b)};
+  if (severed) {
+    severed_.insert(key);
+  } else {
+    severed_.erase(key);
+  }
+}
+
+bool Network::partitioned(NodeId a, NodeId b) const {
+  if (severed_.empty()) return false;
+  const int ra = topo_->rack_of(a);
+  const int rb = topo_->rack_of(b);
+  return severed_.count({std::min(ra, rb), std::max(ra, rb)}) > 0;
 }
 
 void Network::set_alive(NodeId n, bool alive) {

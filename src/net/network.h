@@ -11,8 +11,11 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <set>
+#include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/units.h"
 #include "net/topology.h"
 #include "sim/simulation.h"
@@ -35,11 +38,44 @@ const char* msg_category_name(MsgCategory c);
 struct NetworkStats {
   std::array<std::int64_t, static_cast<std::size_t>(MsgCategory::kCount)> messages{};
   std::array<std::int64_t, static_cast<std::size_t>(MsgCategory::kCount)> bytes{};
+  /// Drops attributed per category (dead endpoints, injected loss, and
+  /// partitions all count here); `dropped` stays the aggregate total so
+  /// existing callers keep working.
+  std::array<std::int64_t, static_cast<std::size_t>(MsgCategory::kCount)> dropped_by{};
   std::int64_t dropped = 0;
+  std::int64_t duplicated = 0;  // extra copies injected by a FaultPlan
 
   std::int64_t total_bytes() const;
   std::int64_t bytes_of(MsgCategory c) const {
     return bytes[static_cast<std::size_t>(c)];
+  }
+  std::int64_t dropped_of(MsgCategory c) const {
+    return dropped_by[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Unreliable-channel behaviour for one message category. All probabilities
+/// are per-message and independent.
+struct FaultSpec {
+  double drop = 0.0;       // silently lost (on_dropped still fires)
+  double duplicate = 0.0;  // delivered a second time shortly after the first
+  double reorder = 0.0;    // delivery pushed past later traffic on the link
+  double delay_p = 0.0;    // probability of adding `delay` to delivery
+  SimTime delay = SimTime::zero();
+};
+
+/// Seeded, deterministic description of injected network faults: a FaultSpec
+/// per MsgCategory plus rack-granularity partitions. The same plan + seed +
+/// workload reproduces the same drop/duplicate/reorder pattern exactly.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::array<FaultSpec, static_cast<std::size_t>(MsgCategory::kCount)> by_category{};
+
+  FaultSpec& spec(MsgCategory c) {
+    return by_category[static_cast<std::size_t>(c)];
+  }
+  const FaultSpec& spec(MsgCategory c) const {
+    return by_category[static_cast<std::size_t>(c)];
   }
 };
 
@@ -60,6 +96,19 @@ class Network {
   /// Revive bookkeeping: clears NIC backlogs of a node (used on restart).
   void reset_node(NodeId n);
 
+  /// Install an unreliable-channel plan; reseeds the fault RNG from
+  /// `plan.seed` so runs are reproducible. Partitions installed earlier are
+  /// kept. `clear_fault_plan()` restores fully reliable delivery.
+  void set_fault_plan(const FaultPlan& plan);
+  void clear_fault_plan();
+  bool fault_plan_active() const { return plan_active_; }
+
+  /// Sever (or restore) all links between two racks. Cross-partition
+  /// messages are dropped at send time, with on_dropped fired.
+  void set_rack_partition(int rack_a, int rack_b, bool severed);
+  void clear_partitions() { severed_.clear(); }
+  bool partitioned(NodeId a, NodeId b) const;
+
   const NetworkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = NetworkStats{}; }
 
@@ -67,12 +116,18 @@ class Network {
   sim::Simulation& simulation() { return *sim_; }
 
  private:
+  void count_drop(MsgCategory category);
+
   sim::Simulation* sim_;
   const Topology* topo_;
   std::vector<bool> alive_;
   std::vector<SimTime> tx_busy_until_;
   std::vector<SimTime> rx_busy_until_;
   NetworkStats stats_;
+  FaultPlan plan_;
+  bool plan_active_ = false;
+  Rng fault_rng_;
+  std::set<std::pair<int, int>> severed_;  // rack pairs, (min, max)
 };
 
 }  // namespace ms::net

@@ -612,9 +612,10 @@ Status RtEngine::set_source_progress(int op, std::uint64_t next_seq,
 }
 
 Status RtEngine::replay_downstream(int op, int out_port, core::Tuple tuple) {
-  if (!running_.load()) {
-    return Status::failed_precondition("replay_downstream: engine not running");
-  }
+  // Deliberately valid on a stopped engine: recovery enqueues the preserved
+  // suffix before start() so a live source's fresh emissions can never
+  // overtake a replayed tuple in a downstream queue (deliver()'s capacity
+  // wait passes while not running; workers drain the backlog on start).
   if (op < 0 || op >= num_operators()) {
     return Status::invalid_argument("replay_downstream: no such operator");
   }

@@ -178,7 +178,9 @@ class RtEngine {
                              std::uint64_t emitted);
 
   /// Re-deliver a preserved tuple on one of `op`'s out-edges, bypassing the
-  /// operator (and the tap — the tuple is already logged). Requires running.
+  /// operator (and the tap — the tuple is already logged). Valid on a
+  /// stopped engine: recovery enqueues the whole preserved suffix before
+  /// start() so live emissions land strictly behind every replayed tuple.
   Status replay_downstream(int op, int out_port, core::Tuple tuple);
 
   /// Control-plane timer on the engine's timer thread (the protocol layer's

@@ -125,6 +125,10 @@ void run_with_retry(sim::Simulation* sim, RetryPolicy retry,
     auto st = w.lock();
     if (!st) return;
     st->attempt([st](R r) {
+      // An unreliable network can complete one attempt twice (a duplicated
+      // response) or deliver a straggler after the operation already
+      // finished; completions are single-shot.
+      if (!st->done) return;
       ++st->attempts_made;
       Status status;
       if constexpr (std::is_same_v<R, Status>) {
@@ -136,7 +140,9 @@ void run_with_retry(sim::Simulation* sim, RetryPolicy retry,
           st->attempts_made < st->retry.max_attempts) {
         const SimTime delay = st->backoff;
         st->backoff = st->backoff * st->retry.backoff_multiplier;
-        st->sim->schedule_after(delay, [st] { st->run(); });
+        st->sim->schedule_after(delay, [st] {
+          if (st->run) st->run();
+        });
         return;
       }
       auto finish = std::move(st->done);
@@ -225,9 +231,15 @@ void SharedStorage::put_once(net::NodeId client, const std::string& key,
         }
         const Bytes n = object.declared_size;
         data_[key] = std::move(object);
-        disk_.write(n, [this, client, done = std::move(done)] {
+        disk_.write(n, [this, client, done = std::move(done)]() mutable {
+          // The write is durable either way; a lost ack must still complete
+          // the client's operation (as a retryable error, since the client
+          // cannot tell a lost ack from a lost request). Puts are idempotent,
+          // so the retried request simply overwrites.
+          auto d = std::make_shared<std::function<void(Status)>>(std::move(done));
           network_->send(node_, client, kRequestSize, net::MsgCategory::kControl,
-                         [done = std::move(done)] { done(Status::ok()); });
+                         [d] { (*d)(Status::ok()); },
+                         [d] { (*d)(Status::unavailable("ack lost")); });
         });
       },
       /*on_dropped=*/[done] { done(Status::unavailable("storage unreachable")); });
@@ -265,9 +277,11 @@ void SharedStorage::append_once(net::NodeId client, const std::string& key,
         Object& obj = data_[key];
         obj.declared_size += size;
         obj.blob.insert(obj.blob.end(), bytes.begin(), bytes.end());
-        log_disk_.write(size, [this, client, done = std::move(done)] {
+        log_disk_.write(size, [this, client, done = std::move(done)]() mutable {
+          auto d = std::make_shared<std::function<void(Status)>>(std::move(done));
           network_->send(node_, client, kRequestSize, net::MsgCategory::kControl,
-                         [done = std::move(done)] { done(Status::ok()); });
+                         [d] { (*d)(Status::ok()); },
+                         [d] { (*d)(Status::unavailable("ack lost")); });
         });
       },
       /*on_dropped=*/[done] { done(Status::unavailable("storage unreachable")); });
@@ -300,10 +314,13 @@ void SharedStorage::get_once(net::NodeId client, const std::string& key,
         }
         const auto it = data_.find(key);
         if (it == data_.end()) {
+          auto d = std::make_shared<std::function<void(Result<Object>)>>(
+              std::move(done));
           network_->send(node_, client, kRequestSize, net::MsgCategory::kControl,
-                         [key, done = std::move(done)] {
-                           done(Status::not_found("shared object: " + key));
-                         });
+                         [key, d] {
+                           (*d)(Status::not_found("shared object: " + key));
+                         },
+                         [d] { (*d)(Status::unavailable("ack lost")); });
           return;
         }
         Object obj = it->second;
@@ -353,10 +370,13 @@ void SharedStorage::get_range_once(net::NodeId client, const std::string& key,
         }
         const auto it = data_.find(key);
         if (it == data_.end()) {
+          auto d = std::make_shared<std::function<void(Result<Object>)>>(
+              std::move(done));
           network_->send(node_, client, kRequestSize, net::MsgCategory::kControl,
-                         [key, done = std::move(done)] {
-                           done(Status::not_found("shared object: " + key));
-                         });
+                         [key, d] {
+                           (*d)(Status::not_found("shared object: " + key));
+                         },
+                         [d] { (*d)(Status::unavailable("ack lost")); });
           return;
         }
         Object obj = it->second;  // handle shared; charge only `size` bytes

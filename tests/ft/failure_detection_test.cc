@@ -85,6 +85,28 @@ TEST_F(FailureDetectionTest, NoFalsePositivesOnHealthyRun) {
   }
 }
 
+TEST_F(FailureDetectionTest, SlowButAliveNodeIsExoneratedNotRecovered) {
+  build();
+  // Pongs from the mid-chain relay's node arrive 1.2s late for a while: with
+  // a 500ms ping period that is 2 consecutive missed reply deadlines — enough
+  // to raise suspicion, one short of a verdict — before the delayed pongs
+  // land and exonerate it.
+  const net::NodeId slow = app_->hau(1).node();
+  auto* fp = MetricsRegistry::global().counter("ft.detector.false_positive");
+  const std::int64_t fp_before = fp->value();
+  sim_.run_until(SimTime::seconds(4));
+  scheme_->set_heartbeat_delay(slow, SimTime::millis(1200),
+                               SimTime::seconds(10));
+  sim_.run_until(SimTime::seconds(30));
+  EXPECT_TRUE(scheme_->recoveries().empty());
+  for (int i = 0; i < app_->num_haus(); ++i) {
+    EXPECT_FALSE(app_->hau(i).failed()) << "HAU " << i;
+  }
+  EXPECT_GE(fp->value() - fp_before, 1);
+  EXPECT_EQ(scheme_->detector().state(slow),
+            FailureDetector::UnitState::kAlive);
+}
+
 TEST_F(FailureDetectionTest, StreamContinuesExactlyOnceAfterAutoRecovery) {
   build();
   sim_.run_until(SimTime::seconds(6));

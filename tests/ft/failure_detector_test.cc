@@ -1,0 +1,143 @@
+// Shared heartbeat failure detector: suspicion-count escalation, exoneration
+// (false positives), timeout-based scanning, and the ft.detector.* metrics.
+#include "ft/failure_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/metrics_registry.h"
+
+namespace ms::ft {
+namespace {
+
+class FailureDetectorTest : public ::testing::Test {
+ protected:
+  FailureDetector make(int threshold, SimTime timeout = SimTime::zero()) {
+    FailureDetector::Params p;
+    p.suspicion_threshold = threshold;
+    p.timeout = timeout;
+    return FailureDetector(p, [this] { return now_; });
+  }
+
+  SimTime now_ = SimTime::seconds(1);
+};
+
+TEST_F(FailureDetectorTest, EscalatesAliveToSuspectToFailed) {
+  auto d = make(3);
+  d.track(7);
+  EXPECT_EQ(d.state(7), FailureDetector::UnitState::kAlive);
+  EXPECT_FALSE(d.miss(7));
+  EXPECT_EQ(d.state(7), FailureDetector::UnitState::kSuspect);
+  EXPECT_FALSE(d.miss(7));
+  EXPECT_TRUE(d.miss(7));  // third consecutive miss: verdict
+  EXPECT_EQ(d.state(7), FailureDetector::UnitState::kFailed);
+  // Further misses never re-issue the verdict.
+  EXPECT_FALSE(d.miss(7));
+}
+
+TEST_F(FailureDetectorTest, HeartbeatExoneratesASuspect) {
+  auto* fp = MetricsRegistry::global().counter("ft.detector.false_positive");
+  const std::int64_t before = fp->value();
+  auto d = make(3);
+  d.track(1);
+  d.miss(1);
+  d.miss(1);
+  EXPECT_EQ(d.state(1), FailureDetector::UnitState::kSuspect);
+  EXPECT_TRUE(d.heartbeat(1));  // exonerated: a detector false positive
+  EXPECT_EQ(d.state(1), FailureDetector::UnitState::kAlive);
+  EXPECT_EQ(d.suspicion(1), 0);
+  EXPECT_EQ(fp->value() - before, 1);
+  // Suspicion starts over: two fresh misses still don't convict.
+  EXPECT_FALSE(d.miss(1));
+  EXPECT_FALSE(d.miss(1));
+}
+
+TEST_F(FailureDetectorTest, HeartbeatFromConvictedUnitIsIgnored) {
+  auto d = make(2);
+  d.track(1);
+  d.miss(1);
+  d.miss(1);
+  ASSERT_EQ(d.state(1), FailureDetector::UnitState::kFailed);
+  EXPECT_FALSE(d.heartbeat(1));  // recovery must reset() explicitly
+  EXPECT_EQ(d.state(1), FailureDetector::UnitState::kFailed);
+  d.reset(1);
+  EXPECT_EQ(d.state(1), FailureDetector::UnitState::kAlive);
+}
+
+TEST_F(FailureDetectorTest, ScanConvictsOnlySilentUnits) {
+  auto d = make(2, SimTime::millis(100));
+  d.track(0);
+  d.track(1);
+  // Unit 0 keeps heartbeating; unit 1 goes silent.
+  now_ += SimTime::millis(60);
+  d.heartbeat(0);
+  now_ += SimTime::millis(60);  // unit 1 now 120ms silent
+  EXPECT_TRUE(d.scan().empty());  // first scan: suspicion only
+  EXPECT_EQ(d.state(1), FailureDetector::UnitState::kSuspect);
+  EXPECT_EQ(d.state(0), FailureDetector::UnitState::kAlive);
+  now_ += SimTime::millis(60);
+  d.heartbeat(0);
+  now_ += SimTime::millis(60);
+  const std::vector<int> failed = d.scan();
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed.front(), 1);
+  EXPECT_EQ(d.state(0), FailureDetector::UnitState::kAlive);
+}
+
+TEST_F(FailureDetectorTest, ScanIsANoOpWithoutATimeout) {
+  auto d = make(1);  // timeout zero: caller reports misses explicitly
+  d.track(0);
+  now_ += SimTime::seconds(100);
+  EXPECT_TRUE(d.scan().empty());
+  EXPECT_EQ(d.state(0), FailureDetector::UnitState::kAlive);
+}
+
+TEST_F(FailureDetectorTest, VerdictRecordsDetectionLatencyAndProbes) {
+  struct Event {
+    FtPoint point;
+    int unit;
+  };
+  std::vector<Event> events;
+  auto d = make(2, SimTime::millis(50));
+  d.set_probe([&events](FtPoint point, int unit, std::uint64_t) {
+    events.push_back({point, unit});
+  });
+  auto* verdicts = MetricsRegistry::global().counter("ft.detector.verdicts");
+  const std::int64_t before = verdicts->value();
+  d.track(3);
+  now_ += SimTime::millis(60);
+  d.scan();
+  now_ += SimTime::millis(60);
+  d.scan();
+  EXPECT_EQ(verdicts->value() - before, 1);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].point, FtPoint::kNodeSuspected);
+  EXPECT_EQ(events[0].unit, 3);
+  EXPECT_EQ(events[1].point, FtPoint::kFailureVerdict);
+  EXPECT_EQ(events[1].unit, 3);
+}
+
+TEST_F(FailureDetectorTest, ResetAllClearsEveryVerdictAndSuspicion) {
+  auto d = make(1);
+  d.track(0);
+  d.track(1);
+  d.miss(0);
+  d.miss(1);
+  ASSERT_EQ(d.state(0), FailureDetector::UnitState::kFailed);
+  d.reset_all();
+  EXPECT_EQ(d.state(0), FailureDetector::UnitState::kAlive);
+  EXPECT_EQ(d.state(1), FailureDetector::UnitState::kAlive);
+  EXPECT_EQ(d.suspicion(0), 0);
+}
+
+TEST_F(FailureDetectorTest, ForgottenUnitsAreNeverScanned) {
+  auto d = make(1, SimTime::millis(10));
+  d.track(0);
+  d.forget(0);
+  now_ += SimTime::seconds(1);
+  EXPECT_TRUE(d.scan().empty());
+}
+
+}  // namespace
+}  // namespace ms::ft

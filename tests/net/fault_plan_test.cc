@@ -1,0 +1,174 @@
+// Unreliable-channel layer: seeded FaultPlans (per-category drop, duplicate,
+// reorder, delay) and rack-granularity partitions, with per-category drop
+// accounting in NetworkStats.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace ms::net {
+namespace {
+
+ClusterConfig small_config() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.nodes_per_rack = 2;
+  cfg.nic_bandwidth = 125e6;  // 1 Gbps
+  cfg.intra_rack_latency = SimTime::micros(100);
+  cfg.inter_rack_latency = SimTime::micros(300);
+  cfg.per_message_overhead = SimTime::micros(20);
+  return cfg;
+}
+
+class FaultPlanTest : public ::testing::Test {
+ protected:
+  FaultPlanTest() : topo_(small_config()), net_(&sim_, &topo_) {}
+
+  /// Fire `n` kToken messages 0->1 and return how many were delivered.
+  int blast(int n) {
+    int delivered = 0;
+    for (int i = 0; i < n; ++i) {
+      net_.send(0, 1, 64, MsgCategory::kToken, [&delivered] { ++delivered; });
+    }
+    sim_.run();
+    return delivered;
+  }
+
+  sim::Simulation sim_;
+  Topology topo_;
+  Network net_;
+};
+
+TEST_F(FaultPlanTest, DropRateIsRoughlyTheConfiguredProbability) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.spec(MsgCategory::kToken).drop = 0.2;
+  net_.set_fault_plan(plan);
+  const int delivered = blast(2000);
+  // 20% +- generous tolerance.
+  EXPECT_GT(delivered, 1400);
+  EXPECT_LT(delivered, 1750);
+  EXPECT_EQ(net_.stats().dropped, 2000 - delivered);
+}
+
+TEST_F(FaultPlanTest, SameSeedReproducesTheSamePattern) {
+  auto run = [this](std::uint64_t seed) {
+    sim::Simulation sim;
+    Network net(&sim, &topo_);
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.spec(MsgCategory::kToken).drop = 0.3;
+    net.set_fault_plan(plan);
+    std::vector<int> survived;
+    for (int i = 0; i < 200; ++i) {
+      net.send(0, 1, 64, MsgCategory::kToken,
+               [&survived, i] { survived.push_back(i); });
+    }
+    sim.run();
+    return survived;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST_F(FaultPlanTest, FaultsAreScopedToTheirCategory) {
+  FaultPlan plan;
+  plan.spec(MsgCategory::kToken).drop = 1.0;
+  net_.set_fault_plan(plan);
+  int data = 0, tokens = 0;
+  for (int i = 0; i < 50; ++i) {
+    net_.send(0, 1, 64, MsgCategory::kData, [&data] { ++data; });
+    net_.send(0, 1, 64, MsgCategory::kToken, [&tokens] { ++tokens; });
+  }
+  sim_.run();
+  EXPECT_EQ(data, 50);
+  EXPECT_EQ(tokens, 0);
+  // Satellite: the drop breakdown is attributed per category.
+  EXPECT_EQ(net_.stats().dropped_of(MsgCategory::kToken), 50);
+  EXPECT_EQ(net_.stats().dropped_of(MsgCategory::kData), 0);
+  EXPECT_EQ(net_.stats().dropped, 50);
+}
+
+TEST_F(FaultPlanTest, DuplicatesDeliverTwiceAndAreCounted) {
+  FaultPlan plan;
+  plan.spec(MsgCategory::kControl).duplicate = 1.0;
+  net_.set_fault_plan(plan);
+  int deliveries = 0;
+  for (int i = 0; i < 20; ++i) {
+    net_.send(0, 1, 64, MsgCategory::kControl, [&deliveries] { ++deliveries; });
+  }
+  sim_.run();
+  EXPECT_EQ(deliveries, 40);
+  EXPECT_EQ(net_.stats().duplicated, 20);
+  // The logical message count is unchanged: copies are not new sends.
+  EXPECT_EQ(net_.stats().messages[static_cast<std::size_t>(
+                MsgCategory::kControl)],
+            20);
+}
+
+TEST_F(FaultPlanTest, ReorderLetsLaterTrafficOvertake) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.spec(MsgCategory::kToken).reorder = 0.5;
+  net_.set_fault_plan(plan);
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    net_.send(0, 1, 64, MsgCategory::kToken, [&order, i] { order.push_back(i); });
+  }
+  sim_.run();
+  ASSERT_EQ(order.size(), 100u);
+  int inversions = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) ++inversions;
+  }
+  EXPECT_GT(inversions, 0);
+}
+
+TEST_F(FaultPlanTest, DelayAddsTheConfiguredLatency) {
+  FaultPlan plan;
+  plan.spec(MsgCategory::kData).delay_p = 1.0;
+  plan.spec(MsgCategory::kData).delay = SimTime::millis(5);
+  net_.set_fault_plan(plan);
+  SimTime delayed;
+  net_.send(0, 1, 1000, MsgCategory::kData, [&] { delayed = sim_.now(); });
+  sim_.run();
+  sim::Simulation sim2;
+  Network net2(&sim2, &topo_);
+  SimTime plain;
+  net2.send(0, 1, 1000, MsgCategory::kData, [&] { plain = sim2.now(); });
+  sim2.run();
+  EXPECT_EQ(delayed - plain, SimTime::millis(5));
+}
+
+TEST_F(FaultPlanTest, RackPartitionSeversCrossTrafficOnly) {
+  // Nodes 0,1 share rack 0; nodes 2,3 share rack 1.
+  net_.set_rack_partition(0, 1, true);
+  int intra = 0, cross = 0, dropped_cb = 0;
+  net_.send(0, 1, 64, MsgCategory::kData, [&intra] { ++intra; });
+  net_.send(0, 2, 64, MsgCategory::kData, [&cross] { ++cross; },
+            [&dropped_cb] { ++dropped_cb; });
+  sim_.run();
+  EXPECT_EQ(intra, 1);
+  EXPECT_EQ(cross, 0);
+  EXPECT_EQ(dropped_cb, 1);
+  EXPECT_EQ(net_.stats().dropped_of(MsgCategory::kData), 1);
+
+  // Healing the partition restores delivery.
+  net_.set_rack_partition(0, 1, false);
+  net_.send(0, 2, 64, MsgCategory::kData, [&cross] { ++cross; });
+  sim_.run();
+  EXPECT_EQ(cross, 1);
+}
+
+TEST_F(FaultPlanTest, ClearFaultPlanRestoresReliability) {
+  FaultPlan plan;
+  plan.spec(MsgCategory::kToken).drop = 1.0;
+  net_.set_fault_plan(plan);
+  EXPECT_EQ(blast(10), 0);
+  net_.clear_fault_plan();
+  EXPECT_EQ(blast(10), 10);
+}
+
+}  // namespace
+}  // namespace ms::net

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <thread>
 
+#include "../testing/rt_feed.h"
 #include "../testing/test_ops.h"
 #include "core/stdops.h"
 #include "rt/engine.h"
@@ -52,7 +53,9 @@ core::QueryGraph diamond() {
 TEST(RtEngineStressTest, DiamondGraphDeliversBothBranches) {
   RtEngine engine(diamond(), RtConfig{});
   engine.start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  // Both branches double every value: 300 sink tuples ≈ 150 distinct values.
+  ASSERT_TRUE(
+      ms::testing::wait_for([&] { return engine.sink_tuples() >= 300; }));
   engine.stop();
   auto& sink = static_cast<RecordingSink&>(engine.op(5));
   ASSERT_GT(sink.values.size(), 100u);
@@ -73,17 +76,17 @@ TEST(RtEngineStressTest, EpochsOnDiamondAlignAcrossBranches) {
     snapshots.fetch_add(1);
   });
   engine.start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(
+      ms::testing::wait_for([&] { return engine.sink_tuples() >= 10; }));
   for (std::uint64_t e = 1; e <= 3; ++e) {
     ASSERT_TRUE(engine.begin_epoch(e, SnapshotMode::kAsync).is_ok());
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::seconds(10);
-    while (engine.epoch_in_flight() &&
-           std::chrono::steady_clock::now() < deadline) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    }
-    ASSERT_FALSE(engine.epoch_in_flight()) << "epoch " << e << " wedged";
-    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ASSERT_TRUE(ms::testing::wait_for([&] { return !engine.epoch_in_flight(); },
+                                      std::chrono::seconds(10)))
+        << "epoch " << e << " wedged";
+    // Let the dataflow advance between epochs so each cut is distinct.
+    const std::int64_t seen = engine.sink_tuples();
+    ASSERT_TRUE(ms::testing::wait_for(
+        [&] { return engine.sink_tuples() >= seen + 10; }));
   }
   engine.stop();
   // The union operator must align both branches' tokens in every epoch.
@@ -95,7 +98,8 @@ TEST(RtEngineStressTest, TinyQueueCapacityStillDrainsCleanly) {
   cfg.queue_capacity = 2;  // aggressive backpressure
   RtEngine engine(ms::testing::chain_graph(3, SimTime::millis(1)), cfg);
   engine.start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  ASSERT_TRUE(
+      ms::testing::wait_for([&] { return engine.sink_tuples() >= 30; }));
   engine.stop();
   auto& sink = static_cast<RecordingSink&>(engine.op(4));
   ASSERT_GT(sink.values.size(), 20u);
@@ -135,7 +139,10 @@ TEST(RtEngineStressTest, TumblingAggregateWindowsFireOnRealTimers) {
   g.connect(to_int, sink);
   RtEngine engine(g, RtConfig{});
   engine.start();
-  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  // Each completed 60ms window emits one summary per parity group; eight
+  // sink tuples means at least the three full windows asserted below.
+  ASSERT_TRUE(ms::testing::wait_for([&] { return engine.sink_tuples() >= 8; },
+                                    std::chrono::seconds(10)));
   engine.stop();
   auto& aggregate = static_cast<core::TumblingAggregateOperator&>(engine.op(1));
   EXPECT_GE(aggregate.windows_completed(), 3);

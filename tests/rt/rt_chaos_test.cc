@@ -25,6 +25,8 @@ using ms::testing::ExternalFeed;
 using ms::testing::feed_chain;
 using ms::testing::int_codec;
 using ms::testing::RecordingSink;
+using ms::testing::wait_drained;
+using ms::testing::wait_quiescent;
 
 std::string fresh_dir(const std::string& name) {
   const std::string dir = (fs::temp_directory_path() / name).string();
@@ -32,41 +34,9 @@ std::string fresh_dir(const std::string& name) {
   return dir;
 }
 
-void wait_drained(rt::RtEngine& engine, std::int64_t want) {
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(20);
-  while (engine.sink_tuples() < want &&
-         std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  }
-}
-
-void wait_quiescent(rt::RtEngine& engine, int quiet_ms = 150) {
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(20);
-  std::int64_t last = -1;
-  auto last_change = std::chrono::steady_clock::now();
-  while (std::chrono::steady_clock::now() < deadline) {
-    const std::int64_t cur = engine.sink_tuples();
-    if (cur != last) {
-      last = cur;
-      last_change = std::chrono::steady_clock::now();
-    } else if (std::chrono::steady_clock::now() - last_change >
-               std::chrono::milliseconds(quiet_ms)) {
-      return;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-}
-
 bool wait_crashed(ft::RtRuntime& runtime) {
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(10);
-  while (!runtime.crashed() &&
-         std::chrono::steady_clock::now() < deadline) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  }
-  return runtime.crashed();
+  return ms::testing::wait_for([&runtime] { return runtime.crashed(); },
+                               std::chrono::seconds(10));
 }
 
 void expect_sink_exact(rt::RtEngine& engine, int sink_op, std::int64_t n) {

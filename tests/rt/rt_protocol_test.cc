@@ -312,9 +312,11 @@ TEST(RtProtocolTest, RuntimeGuardsReturnStatus) {
   EXPECT_EQ(runtime.start().code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(runtime.recover(nullptr).code(), StatusCode::kFailedPrecondition);
   runtime.stop();
-  // Crashed: recovery refuses until the drill is cleared.
+  // Crashed: recovery refuses until the drill is cleared — with kAborted,
+  // distinct from the engine-still-running precondition above, so callers
+  // can tell the two refusals apart programmatically.
   runtime.simulate_crash();
-  EXPECT_EQ(runtime.recover(nullptr).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(runtime.recover(nullptr).code(), StatusCode::kAborted);
   runtime.clear_crash();
   EXPECT_TRUE(runtime.recover(nullptr).is_ok());
   runtime.stop();

@@ -11,10 +11,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/operator.h"
 #include "core/query_graph.h"
@@ -93,6 +96,58 @@ inline ft::TupleCodec int_codec() {
     return std::make_shared<IntPayload>(value, declared);
   };
   return codec;
+}
+
+/// Poll `pred` every millisecond until it holds or `timeout` elapses.
+/// Returns whether the predicate held. Replaces fixed sleep_for waits in the
+/// real-threads tests: the test proceeds the moment the condition is true
+/// (fast machines don't idle) and slow machines get the full window instead
+/// of a flaky margin.
+inline bool wait_for(const std::function<bool()>& pred,
+                     std::chrono::milliseconds timeout =
+                         std::chrono::milliseconds(5000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return pred();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+/// Wait until the feed has produced at least `n` values beyond `from`.
+inline bool wait_feed_past(const ExternalFeed& feed, std::int64_t target,
+                           std::chrono::milliseconds timeout =
+                               std::chrono::milliseconds(5000)) {
+  return wait_for([&feed, target] { return feed.cursor.load() >= target; },
+                  timeout);
+}
+
+/// Wait until the engine's sink has seen at least `want` tuples.
+inline bool wait_drained(rt::RtEngine& engine, std::int64_t want,
+                         std::chrono::milliseconds timeout =
+                             std::chrono::milliseconds(20000)) {
+  return wait_for([&engine, want] { return engine.sink_tuples() >= want; },
+                  timeout);
+}
+
+/// Wait until the sink count has stopped moving for `quiet_ms` (the pipeline
+/// drained whatever was in flight).
+inline void wait_quiescent(rt::RtEngine& engine, int quiet_ms = 150) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  std::int64_t last = -1;
+  auto last_change = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::int64_t cur = engine.sink_tuples();
+    if (cur != last) {
+      last = cur;
+      last_change = std::chrono::steady_clock::now();
+    } else if (std::chrono::steady_clock::now() - last_change >
+               std::chrono::milliseconds(quiet_ms)) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 /// feed -> relay0 -> ... -> relay(n-1) -> sink.

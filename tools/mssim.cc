@@ -52,6 +52,9 @@ struct Options {
   bool backend_rt = false;   // --backend=rt: real threads, wall clock
   double run_for_seconds = 2.0;               // rt: measurement window
   std::string rt_dir = "/tmp/mssim_rt";       // rt: durable directory
+  bool auto_recover = false;  // rt: supervised self-heal instead of a manual
+                              // restart-and-recover after --fail-at
+  std::string net_faults;     // sim: unreliable-channel spec, see usage()
   bool help = false;
 };
 
@@ -76,6 +79,19 @@ void usage() {
       "                               seconds into the window; rt: crash the\n"
       "                               process S wall seconds in. Both\n"
       "                               auto-recover\n"
+      "  --auto-recover               rt only: run the heartbeat failure\n"
+      "                               detector and let the supervisor heal\n"
+      "                               the --fail-at crash in place (no\n"
+      "                               manual restart)\n"
+      "  --net-faults SPEC            sim only: run the window over an\n"
+      "                               unreliable network. SPEC is\n"
+      "                               comma-separated key=value pairs:\n"
+      "                               drop, dup, reorder, delayp (probabili-\n"
+      "                               ties), delay (seconds), and\n"
+      "                               cats=token+control (which categories;\n"
+      "                               'all' for every one; default\n"
+      "                               token+control). Seeded from --seed.\n"
+      "                               e.g. --net-faults drop=0.05,dup=0.02\n"
       "  --seed X                     simulation seed\n"
       "  --trace FILE                 write a Chrome trace-event JSON of the\n"
       "                               run's protocol events (chrome://tracing\n"
@@ -166,6 +182,12 @@ bool parse(int argc, char** argv, Options* opt) {
       const char* v = next("--window");
       if (v == nullptr) return false;
       opt->window_minutes = std::atoi(v);
+    } else if (arg == "--auto-recover") {
+      opt->auto_recover = true;
+    } else if (arg == "--net-faults") {
+      const char* v = next("--net-faults");
+      if (v == nullptr) return false;
+      opt->net_faults = v;
     } else if (arg == "--fail-at") {
       const char* v = next("--fail-at");
       if (v == nullptr) return false;
@@ -187,6 +209,77 @@ bool parse(int argc, char** argv, Options* opt) {
       return false;
     }
   }
+  return true;
+}
+
+/// "drop=0.05,dup=0.02,reorder=0.1,delayp=0.05,delay=0.001,cats=token+control"
+/// → a seeded FaultPlan. One FaultSpec is parsed and applied to every listed
+/// category (default token+control, the protocol's loss-sensitive channels).
+bool parse_net_faults(const std::string& spec, std::uint64_t seed,
+                      net::FaultPlan* plan) {
+  net::FaultSpec fault;
+  std::vector<net::MsgCategory> cats = {net::MsgCategory::kToken,
+                                        net::MsgCategory::kControl};
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string pair = spec.substr(pos, end - pos);
+    pos = end + 1;
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "--net-faults: expected key=value, got '%s'\n",
+                   pair.c_str());
+      return false;
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string val = pair.substr(eq + 1);
+    if (key == "drop") {
+      fault.drop = std::atof(val.c_str());
+    } else if (key == "dup") {
+      fault.duplicate = std::atof(val.c_str());
+    } else if (key == "reorder") {
+      fault.reorder = std::atof(val.c_str());
+    } else if (key == "delayp") {
+      fault.delay_p = std::atof(val.c_str());
+    } else if (key == "delay") {
+      fault.delay = SimTime::seconds(std::atof(val.c_str()));
+    } else if (key == "cats") {
+      cats.clear();
+      std::size_t cpos = 0;
+      while (cpos <= val.size()) {
+        auto cend = val.find('+', cpos);
+        if (cend == std::string::npos) cend = val.size();
+        const std::string name = val.substr(cpos, cend - cpos);
+        cpos = cend + 1;
+        if (name == "all") {
+          for (int c = 0; c < static_cast<int>(net::MsgCategory::kCount); ++c) {
+            cats.push_back(static_cast<net::MsgCategory>(c));
+          }
+          continue;
+        }
+        bool found = false;
+        for (int c = 0; c < static_cast<int>(net::MsgCategory::kCount); ++c) {
+          const auto cat = static_cast<net::MsgCategory>(c);
+          if (name == net::msg_category_name(cat)) {
+            cats.push_back(cat);
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          std::fprintf(stderr, "--net-faults: unknown category '%s'\n",
+                       name.c_str());
+          return false;
+        }
+      }
+    } else {
+      std::fprintf(stderr, "--net-faults: unknown key '%s'\n", key.c_str());
+      return false;
+    }
+  }
+  plan->seed = seed == 0 ? 1 : seed;
+  for (const auto cat : cats) plan->spec(cat) = fault;
   return true;
 }
 
@@ -316,6 +409,7 @@ int run_rt_backend(const Options& opt) {
     cfg.params.checkpoint_during_profiling = true;
   }
   cfg.codec = rt_demo_codec();
+  cfg.auto_recover = opt.auto_recover;
 
   TraceRecorder trace;
   rt::RtConfig ecfg;
@@ -346,7 +440,34 @@ int run_rt_backend(const Options& opt) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(static_cast<std::int64_t>(seconds * 1e6)));
   };
-  if (fail) {
+  if (fail && opt.auto_recover) {
+    // Crash in place; the heartbeat supervisor must notice the silence and
+    // heal the same engine with no help from us.
+    sleep_wall(opt.fail_at_seconds);
+    const std::int64_t at_crash = engine->sink_tuples();
+    runtime->simulate_crash();
+    std::printf("crash at +%.1fs: %lld tuples at sink; waiting for the "
+                "supervisor\n",
+                opt.fail_at_seconds, static_cast<long long>(at_crash));
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (runtime->auto_recoveries() >= 1 && runtime->health().is_ok() &&
+          !runtime->crashed()) {
+        recovered = true;
+        break;
+      }
+      sleep_wall(0.01);
+    }
+    if (!recovered) {
+      std::fprintf(stderr, "self-heal did not complete: %s\n",
+                   runtime->health().to_string().c_str());
+      return 1;
+    }
+    std::printf("self-healed: %llu automatic recover(ies), health OK\n",
+                static_cast<unsigned long long>(runtime->auto_recoveries()));
+    sleep_wall(opt.run_for_seconds - opt.fail_at_seconds);
+  } else if (fail) {
     sleep_wall(opt.fail_at_seconds);
     const std::int64_t at_crash = engine->sink_tuples();
     runtime->simulate_crash();
@@ -382,7 +503,11 @@ int run_rt_backend(const Options& opt) {
     std::printf("last durable epoch:      %llu\n",
                 static_cast<unsigned long long>(durable));
   }
-  if (fail && recovered) {
+  if (fail && recovered && opt.auto_recover) {
+    std::printf("self-heal:               %llu automatic recover(ies), "
+                "0 manual\n",
+                static_cast<unsigned long long>(runtime->auto_recoveries()));
+  } else if (fail && recovered) {
     std::printf("recovery:                %d HAUs in %s (disk %s, replay %s)\n",
                 recovery.haus_recovered, recovery.total().to_string().c_str(),
                 recovery.disk_io.to_string().c_str(),
@@ -424,6 +549,16 @@ int main(int argc, char** argv) {
     usage();
     return 0;
   }
+  if (!opt.net_faults.empty() && opt.backend_rt) {
+    std::fprintf(stderr, "--net-faults only applies to --backend=sim (the rt "
+                         "engine has no simulated network)\n");
+    return 2;
+  }
+  if (opt.auto_recover && !opt.backend_rt) {
+    std::fprintf(stderr, "--auto-recover only applies to --backend=rt; the "
+                         "sim scheme always recovers on --fail-at\n");
+    return 2;
+  }
   if (opt.backend_rt) return run_rt_backend(opt);
   const SimTime window = SimTime::minutes(opt.window_minutes);
   if (opt.scheme == Scheme::kBaseline && opt.fail_at_seconds >= 0) {
@@ -444,6 +579,15 @@ int main(int argc, char** argv) {
   TraceRecorder trace;
   if (!opt.trace_file.empty()) exp.enable_tracing(&trace);
   exp.warmup();
+
+  // Faults start after warmup so the unreliable window is the measured one.
+  if (!opt.net_faults.empty()) {
+    net::FaultPlan plan;
+    if (!parse_net_faults(opt.net_faults, opt.seed, &plan)) return 2;
+    exp.cluster().network().set_fault_plan(plan);
+    std::printf("unreliable network: %s (seed %llu)\n", opt.net_faults.c_str(),
+                static_cast<unsigned long long>(plan.seed));
+  }
 
   bool recovered = false;
   ft::RecoveryStats recovery;
@@ -494,6 +638,18 @@ int main(int argc, char** argv) {
     const auto cat = static_cast<net::MsgCategory>(c);
     std::printf("  %-11s %s\n", net::msg_category_name(cat),
                 format_bytes(stats.bytes_of(cat)).c_str());
+  }
+  if (stats.dropped > 0 || stats.duplicated > 0) {
+    std::printf("\ndropped messages by category (%lld total, %lld duplicate "
+                "copies injected):\n",
+                static_cast<long long>(stats.dropped),
+                static_cast<long long>(stats.duplicated));
+    for (int c = 0; c < static_cast<int>(net::MsgCategory::kCount); ++c) {
+      const auto cat = static_cast<net::MsgCategory>(c);
+      if (stats.dropped_of(cat) == 0) continue;
+      std::printf("  %-11s %lld\n", net::msg_category_name(cat),
+                  static_cast<long long>(stats.dropped_of(cat)));
+    }
   }
 
   if (!opt.trace_file.empty()) {

@@ -14,6 +14,10 @@ cd "$(dirname "$0")/.."
 
 PRESETS="${PRESETS:-default sanitize tsan}"
 JOBS="${JOBS:-$(nproc)}"
+# Backstop per-test timeout (seconds): a wedged recovery or a deadlocked
+# supervisor fails the run instead of hanging the matrix. Tests with their
+# own TIMEOUT property (e.g. the self_heal suite) keep the tighter value.
+TEST_TIMEOUT="${TEST_TIMEOUT:-300}"
 declare -a results=()
 status=0
 
@@ -27,8 +31,15 @@ for preset in $PRESETS; do
     results+=("$preset: BUILD FAILED"); status=1; break
   fi
   echo "=== [$preset] test ==="
-  if ! ctest --preset "$preset" -j "$JOBS" "$@"; then
+  if ! ctest --preset "$preset" -j "$JOBS" --timeout "$TEST_TIMEOUT" "$@"; then
     results+=("$preset: TESTS FAILED"); status=1; break
+  fi
+  # The self-healing drills get a dedicated serial pass on top of the full
+  # suite: crash-recovery timing is wall-clock-sensitive, so run them without
+  # sibling load to catch latent flakiness the parallel run can mask.
+  echo "=== [$preset] self-heal drills ==="
+  if ! ctest --preset "$preset" -L self_heal --timeout "$TEST_TIMEOUT"; then
+    results+=("$preset: SELF-HEAL FAILED"); status=1; break
   fi
   results+=("$preset: OK")
 done
