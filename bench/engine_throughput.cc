@@ -1,0 +1,188 @@
+// Engine transport throughput at pinned operating points — the perf
+// trajectory's primary bench (see tools/bench_trajectory.py).
+//
+// Measures the real-threads RtEngine pushing payload-free tuples through a
+// 4-operator chain and a 6-operator diamond at max_batch 1 (the seed's
+// per-tuple delivery) and 64 (the calibrated batch sweet spot). Unlike the
+// google-benchmark micro_benchmarks, this binary controls its own repetition
+// count and reports the median rep, so one noisy scheduler quantum does not
+// move the committed trajectory numbers; `--json=<path>` emits the rows the
+// trajectory runner stores in BENCH_engine.json.
+//
+// Flags: --quick (fewer tuples + reps), --reps=N (default 5), --json=PATH.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/stdops.h"
+#include "harness.h"
+#include "rt/engine.h"
+
+namespace {
+
+using namespace ms;
+
+class NullSink final : public core::Operator {
+ public:
+  explicit NullSink(std::string name) : core::Operator(std::move(name)) {}
+  void process(int, const core::Tuple&, core::OperatorContext&) override {}
+};
+
+/// Leanest pass-through stage the Operator API allows: the measurement is
+/// transport (queues, wakes, batch moves), not kernel work.
+class Relay final : public core::Operator {
+ public:
+  explicit Relay(std::string name) : core::Operator(std::move(name)) {}
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    ctx.emit(0, t);
+  }
+};
+
+core::Tuple make_bench_tuple(std::int64_t seq) {
+  // Pre-stamped lineage and event time: the emit path must not call the
+  // clock per tuple.
+  core::Tuple t;
+  t.id = core::Tuple::make_id(0, static_cast<std::uint64_t>(seq) + 1);
+  t.source_seq = static_cast<std::uint64_t>(seq) + 1;
+  t.event_time = SimTime::nanos(1);
+  return t;
+}
+
+std::unique_ptr<core::Operator> burst_source(std::int64_t total) {
+  return std::make_unique<core::BurstSourceOperator>(
+      "src", SimTime::zero(), /*burst=*/2048, make_bench_tuple, total);
+}
+
+/// src -> relay -> relay -> sink (same topology as the micro_benchmarks
+/// chain, so the two benches cross-check each other).
+core::QueryGraph bench_chain(std::int64_t total) {
+  core::QueryGraph g;
+  const int src = g.add_source("src", [total] { return burst_source(total); });
+  int prev = src;
+  for (int i = 0; i < 2; ++i) {
+    const int m = g.add_operator("relay" + std::to_string(i), [i] {
+      return std::make_unique<Relay>("relay" + std::to_string(i));
+    });
+    g.connect(prev, m);
+    prev = m;
+  }
+  const int sink =
+      g.add_sink("sink", [] { return std::make_unique<NullSink>("sink"); });
+  g.connect(prev, sink);
+  return g;
+}
+
+/// src -> fan -> {a, b} -> union -> sink (the sink sees 2x total).
+core::QueryGraph bench_diamond(std::int64_t total) {
+  core::QueryGraph g;
+  const int src = g.add_source("src", [total] { return burst_source(total); });
+  const int fan = g.add_operator(
+      "fan", [] { return std::make_unique<core::FanOutOperator>("fan"); });
+  const int a =
+      g.add_operator("a", [] { return std::make_unique<Relay>("a"); });
+  const int b =
+      g.add_operator("b", [] { return std::make_unique<Relay>("b"); });
+  const int u = g.add_operator(
+      "u", [] { return std::make_unique<core::UnionOperator>("u"); });
+  const int sink =
+      g.add_sink("sink", [] { return std::make_unique<NullSink>("sink"); });
+  g.connect(src, fan);
+  g.connect(fan, a);
+  g.connect(fan, b);
+  g.connect(a, u);
+  g.connect(b, u);
+  g.connect(u, sink);
+  return g;
+}
+
+/// One timed run: start the engine, wait for the sink to see every tuple,
+/// stop. Returns tuples/sec over the start-to-last-tuple wall time.
+double run_once(const core::QueryGraph& g, std::size_t max_batch,
+                std::int64_t sink_total) {
+  rt::RtConfig cfg;
+  cfg.max_batch = max_batch;
+  rt::RtEngine engine(g, cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  engine.start();
+  while (engine.sink_tuples() < sink_total) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  engine.stop();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(sink_total) / secs;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+long long parse_reps(int argc, char** argv, long long fallback) {
+  constexpr const char* kFlag = "--reps=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      const long long r = std::atoll(argv[i] + std::strlen(kFlag));
+      if (r > 0) return r;
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ms::bench;
+  const bool quick = quick_mode(argc, argv);
+  const long long reps = parse_reps(argc, argv, quick ? 3 : 5);
+  const std::int64_t chain_total = quick ? 100000 : 500000;
+  const std::int64_t diamond_total = quick ? 20000 : 100000;
+
+  struct Case {
+    const char* name;
+    core::QueryGraph graph;
+    std::int64_t sink_total;
+    std::size_t max_batch;
+  };
+  std::vector<Case> cases;
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{64}}) {
+    cases.push_back({"engine_throughput.chain", bench_chain(chain_total),
+                     chain_total, batch});
+    cases.push_back({"engine_throughput.diamond", bench_diamond(diamond_total),
+                     2 * diamond_total, batch});
+  }
+
+  std::printf("=== engine_throughput: median of %lld reps%s ===\n", reps,
+              quick ? " (--quick)" : "");
+  TablePrinter table({"case", "max_batch", "tuples/sec", "ns/tuple"});
+  JsonResultWriter json;
+  for (const Case& c : cases) {
+    std::vector<double> tps;
+    tps.reserve(static_cast<std::size_t>(reps));
+    for (long long r = 0; r < reps; ++r) {
+      tps.push_back(run_once(c.graph, c.max_batch, c.sink_total));
+    }
+    const double med = median(tps);
+    const double ns_per_op = 1e9 / med;
+    table.row({c.name, std::to_string(c.max_batch), fmt(med, 0),
+               fmt(ns_per_op, 1)});
+    json.add(std::string(c.name) + "/" + std::to_string(c.max_batch), reps,
+             ns_per_op, med);
+  }
+
+  const std::string path = json_path(argc, argv);
+  if (!path.empty()) {
+    if (!json.write(path)) {
+      std::fprintf(stderr, "engine_throughput: cannot write %s\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("json written to %s\n", path.c_str());
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 // 0..8 checkpoints within a 10-minute window, normalized to the baseline
 // with zero checkpoints, for the three applications.
 #include <cstdio>
+#include <string>
 
 #include "common_case.h"
 
@@ -11,9 +12,18 @@ int main(int argc, char** argv) {
   std::printf("=== Fig. 12: normalized throughput vs. number of checkpoints "
               "in %s ===\n",
               quick ? "2 minutes (--quick)" : "10 minutes");
+  JsonResultWriter json;
   for (const AppKind app : kAllApps) {
     const CommonCaseSweep sweep = run_common_case_sweep(app, quick);
     print_panel(app, sweep, Metric::kThroughput);
+    for (const auto& [scheme, by_ckpt] : sweep.cells) {
+      for (const auto& [k, cell] : by_ckpt) {
+        json.add(std::string("fig12.") + app_name(app) + "." +
+                     scheme_name(scheme) + "/" + std::to_string(k),
+                 /*iters=*/1, /*ns_per_op=*/0.0,
+                 /*tuples_per_sec=*/cell.throughput);
+      }
+    }
     // Paper checkpoints (for EXPERIMENTS.md): at 0 checkpoints MS-src beats
     // the baseline by the source-preservation gain; at 3 checkpoints the
     // stacked gains reach ~226 % on average across the applications.
@@ -27,6 +37,14 @@ int main(int argc, char** argv) {
     std::printf("source preservation gain @0 ckpt: +%.0f%%   "
                 "MS-src+ap+aa vs baseline @3 ckpt: +%.0f%%\n",
                 src_gain * 100.0, total_gain_at3 * 100.0);
+  }
+  const std::string path = json_path(argc, argv);
+  if (!path.empty()) {
+    if (!json.write(path)) {
+      std::fprintf(stderr, "fig12_throughput: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("json written to %s\n", path.c_str());
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 // within a 10-minute window, normalized to the baseline with zero
 // checkpoints, for the three applications.
 #include <cstdio>
+#include <string>
 
 #include "common_case.h"
 
@@ -11,9 +12,18 @@ int main(int argc, char** argv) {
   std::printf("=== Fig. 13: normalized latency vs. number of checkpoints in "
               "%s ===\n",
               quick ? "2 minutes (--quick)" : "10 minutes");
+  JsonResultWriter json;
   for (const AppKind app : kAllApps) {
     const CommonCaseSweep sweep = run_common_case_sweep(app, quick);
     print_panel(app, sweep, Metric::kLatency);
+    for (const auto& [scheme, by_ckpt] : sweep.cells) {
+      for (const auto& [k, cell] : by_ckpt) {
+        json.add(std::string("fig13.") + app_name(app) + "." +
+                     scheme_name(scheme) + "/" + std::to_string(k),
+                 /*iters=*/1, /*ns_per_op=*/cell.latency_ms * 1e6,
+                 /*tuples_per_sec=*/0.0);
+      }
+    }
     const double src_gain =
         1.0 - sweep.cells.at(Scheme::kMsSrc).at(0).latency_ms /
                   sweep.baseline_zero_latency_ms;
@@ -23,6 +33,14 @@ int main(int argc, char** argv) {
     std::printf("latency reduction @0 ckpt (src): %.0f%%   "
                 "MS-src+ap+aa vs baseline @3 ckpt: %.0f%%\n",
                 src_gain * 100.0, aa_gain_at3 * 100.0);
+  }
+  const std::string path = json_path(argc, argv);
+  if (!path.empty()) {
+    if (!json.write(path)) {
+      std::fprintf(stderr, "fig13_latency: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("json written to %s\n", path.c_str());
   }
   return 0;
 }

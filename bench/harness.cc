@@ -293,4 +293,36 @@ bool quick_mode(int argc, char** argv) {
   return false;
 }
 
+std::string json_path(int argc, char** argv) {
+  constexpr const char* kFlag = "--json=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      return argv[i] + std::strlen(kFlag);
+    }
+  }
+  return "";
+}
+
+void JsonResultWriter::add(const std::string& name, std::int64_t iters,
+                           double ns_per_op, double tuples_per_sec) {
+  rows_.push_back(Row{name, iters, ns_per_op, tuples_per_sec});
+}
+
+bool JsonResultWriter::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row& r = rows_[i];
+    // Names are plain identifiers (bench.case/arg); no escaping needed.
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"iters\": %lld, \"ns_per_op\": %.6g, "
+                 "\"tuples_per_sec\": %.6g}%s\n",
+                 r.name.c_str(), static_cast<long long>(r.iters), r.ns_per_op,
+                 r.tuples_per_sec, i + 1 < rows_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  return std::fclose(f) == 0;
+}
+
 }  // namespace ms::bench

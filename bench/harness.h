@@ -144,4 +144,33 @@ std::string fmt_time(SimTime t);
 /// runs; full fidelity by default).
 bool quick_mode(int argc, char** argv);
 
+/// Value of a `--json=<path>` flag, or "" when absent. Bench binaries that
+/// support structured output write a JSON array of result rows there in
+/// addition to their ASCII tables — the bench_trajectory runner consumes it.
+std::string json_path(int argc, char** argv);
+
+/// Collects benchmark result rows and serializes them as a JSON array of
+/// objects with a fixed schema: {"name", "iters", "ns_per_op",
+/// "tuples_per_sec"}. Rows that measure something other than transport
+/// throughput (figure cells, latencies) reuse the same fields — ns_per_op
+/// for time-like values, tuples_per_sec for rate-like values — so one
+/// parser reads every bench's output.
+class JsonResultWriter {
+ public:
+  void add(const std::string& name, std::int64_t iters, double ns_per_op,
+           double tuples_per_sec);
+  /// Writes the collected rows to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+  bool empty() const { return rows_.empty(); }
+
+ private:
+  struct Row {
+    std::string name;
+    std::int64_t iters;
+    double ns_per_op;
+    double tuples_per_sec;
+  };
+  std::vector<Row> rows_;
+};
+
 }  // namespace ms::bench

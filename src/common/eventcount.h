@@ -1,0 +1,72 @@
+// Eventcount: futex-style parking for lock-free producers and consumers.
+//
+// A waiter that finds nothing to do announces itself (prepare_wait), then
+// re-checks its predicate against the lock-free state, and only then sleeps
+// (wait) — or backs out (cancel_wait). A notifier first makes the predicate
+// true (e.g. a ring push), then calls notify(), which is nearly free when
+// nobody is parked: a fence plus one load.
+//
+// Lost-wakeup freedom is the Dekker/store-buffering argument: the waiter
+// does a seq_cst RMW on waiters_ followed by a seq_cst fence before its
+// predicate re-check; the notifier does a seq_cst fence between its
+// predicate mutation and its waiters_ load. Whatever order the two sides
+// interleave, either the notifier observes waiters_ > 0 (and bumps the
+// epoch under the mutex, which the cv wait predicate re-reads under the
+// same mutex), or the waiter's re-check observes the mutated predicate and
+// never sleeps.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace ms {
+
+class EventCount {
+ public:
+  using Key = std::uint32_t;
+
+  /// Announce intent to sleep; returns the epoch to pass to wait(). Must be
+  /// followed by exactly one wait(key) or cancel_wait(). Re-check your
+  /// predicate between prepare_wait() and wait().
+  Key prepare_wait() {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  void cancel_wait() { waiters_.fetch_sub(1, std::memory_order_seq_cst); }
+
+  /// Sleep until an epoch bump after `key`. May return spuriously early
+  /// relative to the caller's predicate — callers always re-check in a loop.
+  void wait(Key key) {
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [&] {
+        return epoch_.load(std::memory_order_seq_cst) != key;
+      });
+    }
+    waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Wake every parked waiter. Callers mutate the waiters' predicate
+  /// *before* calling this.
+  void notify() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+    {
+      std::scoped_lock lk(mu_);
+      epoch_.fetch_add(1, std::memory_order_seq_cst);
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::atomic<std::uint32_t> waiters_{0};
+  std::atomic<std::uint32_t> epoch_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace ms

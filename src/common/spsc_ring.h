@@ -1,0 +1,132 @@
+// Single-producer single-consumer lock-free ring buffer.
+//
+// The RtEngine's per-edge transport: exactly one producer (the upstream
+// operator — every emit path holds that operator's op_mu, which also makes
+// producer *handoff* between the worker and timer threads well-defined) and
+// exactly one consumer (the downstream worker thread) per ring.
+//
+// Memory ordering (the classic SPSC protocol):
+//  - the producer writes the slot, then publishes with a release store of
+//    tail_; the consumer's acquire load of tail_ therefore observes a fully
+//    constructed value;
+//  - the consumer moves the value out, then retires the slot with a release
+//    store of head_; the producer's acquire load of head_ therefore never
+//    reuses a slot whose value is still being read.
+//
+// Each side keeps a *cached* copy of the opposite index (head_cache_ /
+// tail_cache_) and only re-reads the shared atomic when the cache says the
+// ring looks full/empty — in steady state the hot path touches no shared
+// cache line it does not own. The caches are relaxed atomics rather than
+// plain fields: the producer role can be handed between threads (worker vs
+// timer, serialized by an external mutex), and a stale cache is always
+// conservative because head_/tail_ are monotonic.
+//
+// All four counters live on their own cache lines so pushes and pops never
+// false-share.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ms {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Rounds `min_slots` up to a power of two. Capacity is slots(): the ring
+  /// holds at most slots() entries.
+  explicit SpscRing(std::size_t min_slots) {
+    std::size_t n = 1;
+    while (n < min_slots) n <<= 1;
+    slots_.resize(n);
+    mask_ = n - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false when the ring is full (value untouched).
+  bool try_push(T&& v) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    std::uint64_t h = head_cache_.load(std::memory_order_relaxed);
+    if (t - h > mask_) {
+      h = head_.load(std::memory_order_acquire);
+      head_cache_.store(h, std::memory_order_relaxed);
+      if (t - h > mask_) return false;
+    }
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    std::uint64_t t = tail_cache_.load(std::memory_order_relaxed);
+    if (h == t) {
+      t = tail_.load(std::memory_order_acquire);
+      tail_cache_.store(t, std::memory_order_relaxed);
+      if (h == t) return false;
+    }
+    out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side, zero-copy variant: borrow the front entry in place
+  /// (nullptr when empty). The slot stays owned by the ring — and invisible
+  /// to the producer — until pop_front() retires it, so the consumer can
+  /// process large entries without moving them out. Pair every front() that
+  /// returned non-null with exactly one pop_front().
+  T* front() {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    std::uint64_t t = tail_cache_.load(std::memory_order_relaxed);
+    if (h == t) {
+      t = tail_.load(std::memory_order_acquire);
+      tail_cache_.store(t, std::memory_order_relaxed);
+      if (h == t) return nullptr;
+    }
+    return &slots_[h & mask_];
+  }
+
+  /// Retire the entry last returned by front(). Destroys any value the
+  /// consumer left behind (a drained batch is normally moved out of the
+  /// slot first, e.g. into a carrier) and releases the slot to the
+  /// producer.
+  void pop_front() {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    slots_[h & mask_] = T();
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  /// Observer view (any thread): conservative — may lag either side.
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size_approx() const {
+    const std::uint64_t t = tail_.load(std::memory_order_acquire);
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
+  }
+
+  std::size_t slots() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::uint64_t mask_ = 0;
+  /// Next slot to pop; written by the consumer, read by the producer.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  /// Producer's last observed head_ (producer-owned).
+  alignas(64) std::atomic<std::uint64_t> head_cache_{0};
+  /// Next slot to fill; written by the producer, read by the consumer.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  /// Consumer's last observed tail_ (consumer-owned).
+  alignas(64) std::atomic<std::uint64_t> tail_cache_{0};
+};
+
+}  // namespace ms

@@ -36,9 +36,10 @@ class HauOperatorContext final : public OperatorContext {
   SimTime now() const override { return hau_->app().simulation().now(); }
   Rng& rng() override { return hau_->rng_; }
 
-  void emit(int out_port, Tuple tuple) override {
+  void emit(int out_port, Tuple&& tuple) override {
     hau_->emit_from_context(out_port, std::move(tuple), current_input_);
   }
+  using OperatorContext::emit;
 
   int num_out_ports() const override { return hau_->num_out_ports(); }
   int num_in_ports() const override { return hau_->num_in_ports(); }

@@ -36,7 +36,15 @@ class OperatorContext {
   /// process() they inherit from the input tuple; from a timer callback the
   /// runtime stamps event_time = now and, for source operators, assigns the
   /// source sequence.
-  virtual void emit(int out_port, Tuple tuple) = 0;
+  ///
+  /// Two overloads so the runtime can move an rvalue straight into its
+  /// output buffer and copy an lvalue exactly once; implementations override
+  /// the rvalue form and may override the const& form when they can do
+  /// better than the default copy-then-forward.
+  virtual void emit(int out_port, Tuple&& tuple) = 0;
+  virtual void emit(int out_port, const Tuple& tuple) {
+    emit(out_port, Tuple(tuple));
+  }
 
   virtual int num_out_ports() const = 0;
   virtual int num_in_ports() const = 0;

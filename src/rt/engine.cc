@@ -2,10 +2,51 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
 #include "common/log.h"
 
 namespace ms::rt {
+namespace {
+
+/// One polite busy-wait beat for spin-before-park loops.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Spin iterations before a parked wait. A pipelined peer is usually
+/// microseconds away from its next flush, while a futex park/unpark round
+/// trip (plus the scheduler latency to run again) costs more than the data
+/// it would wait for — parking on every transient empty/full reading is
+/// what capped the mutexed transport. A few hundred PAUSE beats (~10 µs)
+/// rides out the common gap; genuinely idle workers still park afterwards
+/// and burn nothing. On a single-CPU host spinning is strictly harmful —
+/// the peer cannot make progress until we yield — so spin_before_park()
+/// resolves to zero there and threads park immediately (which is exactly
+/// the scheduler handoff the mutexed transport relied on).
+constexpr int kSpinBeforePark = 384;
+
+int spin_before_park() {
+  static const int iters =
+      std::thread::hardware_concurrency() > 1 ? kSpinBeforePark : 0;
+  return iters;
+}
+
+/// Coalesced notify: fire the eventcount only when this waker wins the
+/// armed flag. Parkers re-arm before every prepare/re-check/wait sequence,
+/// so losing the exchange means someone else already notified after the
+/// current park began (or the peer is awake) — either way no wake is owed.
+void wake(std::atomic<bool>& armed, EventCount& ec) {
+  if (armed.exchange(false, std::memory_order_seq_cst)) ec.notify();
+}
+
+}  // namespace
 
 /// OperatorContext bound to a worker thread.
 ///
@@ -17,13 +58,26 @@ namespace ms::rt {
 /// destruction — a timer callback's context dies at callback end (inside
 /// the operator mutex, so a source's tap count at snapshot time exactly
 /// matches what has been flushed ahead of any token), the worker loop's
-/// context flushes after every drained run.
+/// context flushes after every pass. Contexts are constructed and destroyed
+/// under op_mu: both operations touch the out-edge carrier rings, whose
+/// consumer side is the (op_mu-serialized) producer role.
 class RtEngine::RtContext final : public core::OperatorContext {
  public:
-  RtContext(RtEngine* engine, Worker* worker) : engine_(engine), worker_(worker) {
+  RtContext(RtEngine* engine, Worker* worker)
+      : engine_(engine),
+        worker_(worker),
+        max_batch_(engine->config_.max_batch),
+        tap_(worker->is_source && static_cast<bool>(engine->source_tap_)) {
     if (engine_->config_.max_batch > 1) {
       buffers_.resize(worker_->out_edges.size());
-      for (auto& b : buffers_) b = engine_->acquire_batch();
+      dirty_.assign(buffers_.size(), 0);
+      for (std::size_t p = 0; p < buffers_.size(); ++p) {
+        // Prefer a carrier the downstream consumer handed back (lock-free
+        // and cache-warm); fall back to the pooled allocator.
+        if (!worker_->out_edges[p].edge->carriers.try_pop(buffers_[p])) {
+          buffers_[p] = engine_->acquire_batch();
+        }
+      }
     }
   }
 
@@ -31,7 +85,8 @@ class RtEngine::RtContext final : public core::OperatorContext {
     flush_all();
     // Hand unused (now empty) buffer storage back to the pool — timer
     // contexts are created per tick, so dropping capacity here would defeat
-    // the recycling.
+    // the recycling. (The carrier rings cannot take these: their producer
+    // side belongs to the downstream consumer thread.)
     for (auto& b : buffers_) {
       if (b.capacity() != 0) engine_->release_batch(std::move(b));
     }
@@ -39,10 +94,9 @@ class RtEngine::RtContext final : public core::OperatorContext {
   }
 
   /// Take back a drained batch carrier for reuse by this context's own
-  /// flushes. The stash is context-local, so for a mid-pipeline worker —
-  /// which consumes one batch per batch it produces — the recycle loop is
-  /// entirely lock-free; only the endpoints (pure sources and sinks) fall
-  /// through to the mutex-guarded engine pool.
+  /// flushes. Overflow beyond the stash goes to the mutex-guarded engine
+  /// pool; the per-edge carrier rings (tried first by the caller) keep the
+  /// steady state off both.
   void recycle(std::vector<core::Tuple>&& v) {
     v.clear();
     if (stash_.size() < kMaxStash) {
@@ -55,7 +109,7 @@ class RtEngine::RtContext final : public core::OperatorContext {
   SimTime now() const override { return engine_->now(); }
   Rng& rng() override { return *worker_->rng; }
 
-  void emit(int out_port, core::Tuple tuple) override {
+  void emit(int out_port, core::Tuple&& tuple) override {
     MS_CHECK(out_port >= 0 &&
              out_port < static_cast<int>(worker_->out_edges.size()));
     // Stamp lineage the way the simulated HAU does.
@@ -70,33 +124,62 @@ class RtEngine::RtContext final : public core::OperatorContext {
     // durability before dispatch is the protocol's replay guarantee). The
     // tap and the `tapped` counter ride under op_mu — every emit path holds
     // it — so a snapshot's source_boundary is exact.
-    if (worker_->is_source && engine_->source_tap_) {
+    if (tap_) {
       engine_->source_tap_(worker_->id, out_port, tuple);
       ++worker_->tapped;
     }
     if (buffers_.empty()) {  // max_batch == 1: the seed's per-tuple path
-      const auto [target, port] =
-          worker_->out_edges[static_cast<std::size_t>(out_port)];
-      engine_->deliver(target, port, core::StreamItem(std::move(tuple)));
+      OutEdge& oe = worker_->out_edges[static_cast<std::size_t>(out_port)];
+      engine_->push_slot(*oe.edge, Slot(std::move(tuple)), 1,
+                         /*urgent=*/false);
       return;
     }
     auto& buf = buffers_[static_cast<std::size_t>(out_port)];
     buf.push_back(std::move(tuple));
-    if (buf.size() >= engine_->config_.max_batch) {
+    if (buf.size() >= max_batch_) {
       flush_port(static_cast<std::size_t>(out_port));
     }
   }
 
-  /// Flush every out-edge buffer to its downstream queue. Called before a
+  /// Copy-emit fast path: a fully stamped lvalue tuple headed for a batch
+  /// buffer is copied exactly once, straight into the buffer. Anything that
+  /// needs stamping, tapping, or the per-tuple Slot path takes the generic
+  /// copy-then-forward route.
+  void emit(int out_port, const core::Tuple& tuple) override {
+    if (tap_ || buffers_.empty() || tuple.event_time == SimTime::zero() ||
+        tuple.id == 0) {
+      emit(out_port, core::Tuple(tuple));
+      return;
+    }
+    MS_CHECK(out_port >= 0 &&
+             out_port < static_cast<int>(worker_->out_edges.size()));
+    auto& buf = buffers_[static_cast<std::size_t>(out_port)];
+    buf.push_back(tuple);
+    if (buf.size() >= max_batch_) {
+      flush_port(static_cast<std::size_t>(out_port));
+    }
+  }
+
+  /// Flush every out-edge buffer to its downstream ring. Called before a
   /// token is forwarded (the flush barrier checkpoint alignment depends on)
   /// and when the operator returns control to the engine. The producer is
-  /// pausing here, so also fire any wake it deferred on a downstream.
+  /// pausing here, so fire the wake it deferred on every downstream it
+  /// actually sent tuples to (ports that flushed nothing have nothing a
+  /// consumer could be waiting on — per-push crossing wakes covered any
+  /// earlier flush).
   void flush_all() {
     if (buffers_.empty()) return;  // max_batch == 1: nothing ever deferred
-    for (std::size_t p = 0; p < buffers_.size(); ++p) flush_port(p);
-    for (const auto& [target, port] : worker_->out_edges) {
-      (void)port;
-      engine_->kick(*engine_->workers_[static_cast<std::size_t>(target)]);
+    for (std::size_t p = 0; p < buffers_.size(); ++p) {
+      flush_port(p);
+      // The dirty bit covers mid-pass watermark flushes too: a buffer that
+      // flushed at exactly the watermark leaves nothing for flush_port here,
+      // but the downstream may still be parked on that sub-threshold data.
+      if (dirty_[p] != 0) {
+        dirty_[p] = 0;
+        Worker& t =
+            *engine_->workers_[static_cast<std::size_t>(worker_->out_edges[p].target)];
+        wake(t.items_armed, t.items_ec);
+      }
     }
   }
 
@@ -111,13 +194,15 @@ class RtEngine::RtContext final : public core::OperatorContext {
     Worker* worker = worker_;
     engine->schedule_timer(delay, [engine, worker, fn = std::move(fn)] {
       // Operator code runs under op_mu so a timer tick never mutates state
-      // the worker thread is concurrently serializing into a snapshot. The
-      // context is constructed after the lock and therefore destroyed —
-      // flushing its buffers — before the lock releases: a source snapshot
-      // taken under op_mu sees either none or all of this tick's emissions
-      // already flushed, never a buffered half. Holding op_mu across the
-      // flush cannot deadlock: downstream delivery only needs *downstream*
-      // locks and the query graph is a DAG.
+      // the worker thread is concurrently serializing into a snapshot, and
+      // so the tick's emissions use the out-edge rings' producer role
+      // exclusively. The context is constructed after the lock and
+      // therefore destroyed — flushing its buffers — before the lock
+      // releases: a source snapshot taken under op_mu sees either none or
+      // all of this tick's emissions already flushed, never a buffered
+      // half. Holding op_mu across the flush cannot deadlock: downstream
+      // delivery only needs *downstream* backpressure and the query graph
+      // is a DAG.
       std::scoped_lock op_lock(worker->op_mu);
       RtContext ctx(engine, worker);
       fn(ctx);
@@ -130,24 +215,36 @@ class RtEngine::RtContext final : public core::OperatorContext {
 
  private:
   void flush_port(std::size_t p) {
-    if (buffers_[p].empty()) return;
-    const auto [target, port] = worker_->out_edges[p];
-    // The whole buffer moves downstream as one queue entry; the replacement
-    // comes from the local stash (lock-free) or the engine pool, already at
-    // capacity either way.
-    engine_->deliver_batch(target, port, std::move(buffers_[p]));
+    auto& buf = buffers_[p];
+    if (buf.empty()) return;
+    dirty_[p] = 1;
+    OutEdge& oe = worker_->out_edges[p];
+    const std::size_t n = buf.size();
+    // The whole buffer moves downstream as one ring entry; the replacement
+    // comes from the local stash, the edge's returned-carrier ring, or the
+    // engine pool — already at capacity either way.
+    engine_->push_slot(*oe.edge, Slot(std::move(buf)), n, /*urgent=*/false);
     if (!stash_.empty()) {
-      buffers_[p] = std::move(stash_.back());
+      buf = std::move(stash_.back());
       stash_.pop_back();
+    } else if (oe.edge->carriers.try_pop(buf)) {
+      // lock-free hand-me-back from the downstream consumer
     } else {
-      buffers_[p] = engine_->acquire_batch();
+      buf = engine_->acquire_batch();
     }
   }
 
   RtEngine* engine_;
   Worker* worker_;
+  // Hot-path constants hoisted out of the per-tuple emit: the batch
+  // watermark and whether the source tap is installed (taps must be set
+  // before start(), so caching at construction is sound).
+  const std::size_t max_batch_;
+  const bool tap_;
   // One buffer per out-edge; empty when batching is off.
   std::vector<std::vector<core::Tuple>> buffers_;
+  // Per-port "flushed since the last flush_all" — the deferred-wake debt.
+  std::vector<std::uint8_t> dirty_;
   // Drained batch carriers awaiting reuse; touched only by this context's
   // thread.
   static constexpr std::size_t kMaxStash = 8;
@@ -163,9 +260,9 @@ RtEngine::RtEngine(const core::QueryGraph& graph, RtConfig config)
   // paying a futex wake — on a loaded box the wake + context-switch round
   // trip costs microseconds, an order of magnitude more than moving a whole
   // batch, so wake frequency sets the batched-transport ceiling. Half the
-  // queue keeps backpressure ahead of the wakes; liveness does not depend on
-  // the threshold at all — unconditional kicks fire at operator return and
-  // before any producer blocks on capacity, and tokens always wake.
+  // queue keeps backpressure ahead of the wakes; liveness does not depend
+  // on the threshold at all — unconditional notifies fire at operator
+  // return and before any producer parks, and tokens always wake.
   wake_threshold_ = config_.max_batch > 1
                         ? std::max<std::size_t>(1, config_.queue_capacity / 2)
                         : 1;
@@ -180,12 +277,29 @@ RtEngine::RtEngine(const core::QueryGraph& graph, RtConfig config)
     w->rng = std::make_unique<Rng>(seeder.fork(static_cast<std::uint64_t>(i)));
     workers_.push_back(std::move(w));
   }
+  // The units gate (queue_capacity, overshoot ≤ max_batch, +1 for a token)
+  // blocks producers before the ring can fill, so try_push never fails.
+  const std::size_t ring_slots =
+      config_.queue_capacity + config_.max_batch + 2;
+  const std::size_t carrier_slots = config_.max_batch > 1 ? 256 : 1;
   for (const auto& e : graph_.edges()) {
-    workers_[static_cast<std::size_t>(e.from)]->out_edges.emplace_back(e.to,
-                                                                       e.in_port);
-    workers_[static_cast<std::size_t>(e.to)]->num_in_ports++;
+    Worker& to = *workers_[static_cast<std::size_t>(e.to)];
+    auto edge =
+        std::make_unique<InEdge>(e.to, e.in_port, ring_slots, carrier_slots);
+    workers_[static_cast<std::size_t>(e.from)]->out_edges.push_back(
+        OutEdge{e.to, edge.get()});
+    to.in_edges.push_back(std::move(edge));
+    to.num_in_ports++;
   }
   for (auto& w : workers_) {
+    // Workers with no graph in-edges (sources) get a control edge so
+    // begin_epoch() can inject tokens; its single producer is the epoch
+    // starter, serialized by the align_pending_ RMW chain.
+    if (w->in_edges.empty()) {
+      auto edge = std::make_unique<InEdge>(w->id, 0, ring_slots, carrier_slots);
+      w->control_edge = edge.get();
+      w->in_edges.push_back(std::move(edge));
+    }
     w->token_seen.assign(static_cast<std::size_t>(w->num_in_ports), false);
   }
   helpers_ = std::make_unique<ThreadPool>(std::max<std::size_t>(
@@ -206,6 +320,8 @@ RtEngine::RtEngine(const core::QueryGraph& graph, RtConfig config)
     for (auto& w : workers_) {
       w->queue_depth =
           m.gauge("rt.op." + std::to_string(w->id) + ".queue_depth");
+      w->enqueue_wait =
+          m.histogram("rt.op." + std::to_string(w->id) + ".enqueue_wait_ns");
     }
   }
 }
@@ -230,6 +346,9 @@ void RtEngine::start() {
   for (auto& w : workers_) {
     std::fill(w->token_seen.begin(), w->token_seen.end(), false);
     w->tokens = 0;
+    // Workers count as busy until their first park, so stop()'s drain never
+    // declares a not-yet-scheduled worker idle.
+    w->busy.store(true, std::memory_order_relaxed);
   }
   align_pending_.store(0);
   running_.store(true);
@@ -262,23 +381,24 @@ void RtEngine::stop() {
   timer_cv_.notify_all();
   if (timer_thread_.joinable()) timer_thread_.join();
   // Phase 2: drain in topological order so upstream emissions land before a
-  // downstream worker shuts down. A worker is drained only when its queue is
-  // empty AND it holds no swap-drained items still being processed — the
-  // in-flight run's output has not reached downstream queues yet.
+  // downstream worker shuts down. Once a worker's producers have quiesced
+  // its push counters are final, so (popped == pushed, then !busy) proves
+  // it has processed everything and flushed the results downstream — see
+  // DESIGN.md §5h for the ordering argument.
   for (const int v : graph_.topological_order()) {
     Worker& w = *workers_[static_cast<std::size_t>(v)];
-    std::unique_lock lock(w.mu);
-    w.cv_push.wait(lock, [&w] { return w.queue.empty() && w.inflight == 0; });
+    while (!worker_drained(w)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
   }
-  // Phase 3: shut workers down. Notify both cvs: cv_pop wakes idle workers
-  // so they observe !running_ and exit; cv_push wakes any producer still
-  // blocked on a full queue (its wait predicate passes once running_ is
-  // false) — without it a stop raced with heavy backpressure can hang.
+  // Phase 3: shut workers down. Wake parked consumers so they observe
+  // !running_ over drained rings and exit, and any producer still parked on
+  // backpressure (cannot normally happen after the drain — belt and
+  // braces for crash drills).
   running_.store(false);
   for (auto& w : workers_) {
-    std::scoped_lock lock(w->mu);
-    w->cv_pop.notify_all();
-    w->cv_push.notify_all();
+    w->items_ec.notify();
+    w->space_ec.notify();
   }
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
@@ -286,67 +406,83 @@ void RtEngine::stop() {
   helpers_->wait_idle();
 }
 
-void RtEngine::deliver(int op, int in_port, core::StreamItem item) {
-  Worker& w = *workers_[static_cast<std::size_t>(op)];
-  std::unique_lock lock(w.mu);
-  if (w.wake_pending) {  // never block with the consumer still unwoken
-    w.wake_pending = false;
-    w.cv_pop.notify_one();
+void RtEngine::push_slot(InEdge& e, Slot&& slot, std::size_t units,
+                         bool urgent) {
+  if (!running_.load(std::memory_order_acquire)) {
+    // Stopped engine: recovery preload (replay_downstream). The consumer's
+    // worker thread adopts these ahead of live traffic on the next start.
+    e.preload.push_back(std::move(slot));
+    e.preload_pending.store(e.preload.size(), std::memory_order_release);
+    return;
   }
-  w.cv_push.wait(lock, [this, &w] {
-    return w.queued_tuples < config_.queue_capacity || !running_.load();
-  });
-  const bool was_empty = w.queue.empty();
-  if (auto* tuple = std::get_if<core::Tuple>(&item)) {
-    w.queue.push_back(QueueItem{in_port, Slot(std::move(*tuple))});
-  } else {
-    w.queue.push_back(QueueItem{in_port, Slot(std::get<core::Token>(item))});
+  Worker& c = *workers_[static_cast<std::size_t>(e.consumer)];
+  const std::uint64_t pushed = e.tuples_pushed.load(std::memory_order_relaxed);
+  std::uint64_t popped = e.tuples_popped.load(std::memory_order_acquire);
+  if (pushed - popped >= config_.queue_capacity) {
+    wait_for_space(e, c, pushed);
+    if (!running_.load(std::memory_order_acquire)) {
+      // Torn down mid-wait: preserve the slot for the next start, exactly
+      // like the mutexed transport's unbounded escape push did.
+      e.preload.push_back(std::move(slot));
+      e.preload_pending.store(e.preload.size(), std::memory_order_release);
+      return;
+    }
+    popped = e.tuples_popped.load(std::memory_order_acquire);
   }
-  ++w.queued_tuples;
-  if (w.queue_depth != nullptr) {
-    w.queue_depth->set(static_cast<double>(w.queued_tuples));
-  }
-  // Single-item delivery (max_batch == 1 transport and tokens) always wakes
-  // immediately: tokens gate checkpoint latency, and the unbatched escape
-  // hatch keeps the seed's per-tuple semantics.
-  if (was_empty || w.wake_pending) {
-    w.wake_pending = false;
-    w.cv_pop.notify_one();
-  }
-}
-
-void RtEngine::deliver_batch(int op, int in_port,
-                             std::vector<core::Tuple>&& batch) {
-  Worker& w = *workers_[static_cast<std::size_t>(op)];
-  const std::size_t n = batch.size();
-  std::unique_lock lock(w.mu);
-  if (w.wake_pending) {  // never block with the consumer still unwoken
-    w.wake_pending = false;
-    w.cv_pop.notify_one();
-  }
-  w.cv_push.wait(lock, [this, &w] {
-    return w.queued_tuples < config_.queue_capacity || !running_.load();
-  });
-  if (w.queue.empty()) w.wake_pending = true;
-  w.queue.push_back(QueueItem{in_port, Slot(std::move(batch))});
-  w.queued_tuples += n;
-  if (w.queue_depth != nullptr) {
-    w.queue_depth->set(static_cast<double>(w.queued_tuples));
-  }
-  // Deferred wake: batch flushes accumulate until the threshold, so the
-  // consumer pays one futex wake per several batches. Producers guarantee
-  // the wake at their next pause (flush_all kick / capacity wait).
-  if (w.wake_pending && w.queued_tuples >= wake_threshold_) {
-    w.wake_pending = false;
-    w.cv_pop.notify_one();
+  const bool fit = e.ring.try_push(std::move(slot));
+  MS_CHECK_MSG(fit, "rt transport ring overfull (slots undersized?)");
+  e.tuples_pushed.store(pushed + units, std::memory_order_release);
+  // Wake policy. Tokens (urgent) and the per-tuple path (threshold 1)
+  // notify on every push — with no batch buffers there is no flush_all
+  // backstop, and the crossing test below can misjudge emptiness through a
+  // stale `popped` in the exact window where the consumer parks. Batched
+  // pushes notify only on the upward *crossing* of the threshold: one wake
+  // per accumulated half-queue, and pushes riding above the threshold (a
+  // parked-but-not-yet-scheduled consumer on a loaded host) never repeat
+  // the syscall. A crossing missed through a stale `popped` cannot strand
+  // the consumer in batched mode: every batched push comes from a
+  // flush_port, whose dirty bit forces a notify at the producer's next
+  // flush_all (operator return / context teardown) — and a producer about
+  // to park on backpressure notifies first in wait_for_space().
+  if (urgent || wake_threshold_ == 1 ||
+      (pushed - popped < wake_threshold_ &&
+       pushed + units - popped >= wake_threshold_)) {
+    wake(c.items_armed, c.items_ec);
   }
 }
 
-void RtEngine::kick(Worker& w) {
-  std::scoped_lock lock(w.mu);
-  if (w.wake_pending) {
-    w.wake_pending = false;
-    w.cv_pop.notify_one();
+void RtEngine::wait_for_space(InEdge& e, Worker& c, std::uint64_t pushed) {
+  // Never park behind a consumer that has not been woken.
+  wake(c.items_armed, c.items_ec);
+  if (c.queue_depth != nullptr) {
+    c.queue_depth->set(static_cast<double>(queue_depth_now(c)));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto may_proceed = [&] {
+    return pushed - e.tuples_popped.load(std::memory_order_acquire) <
+               config_.queue_capacity ||
+           !running_.load(std::memory_order_acquire);
+  };
+  // Spin first: the consumer frees a whole burst of capacity at once, so
+  // the common stall is far shorter than a park/unpark round trip
+  // (multi-core only).
+  for (int spin = spin_before_park(); spin > 0 && !may_proceed(); --spin) {
+    cpu_relax();
+  }
+  for (;;) {
+    c.space_armed.store(true, std::memory_order_seq_cst);
+    const EventCount::Key key = c.space_ec.prepare_wait();
+    if (may_proceed()) {
+      c.space_ec.cancel_wait();
+      break;
+    }
+    c.space_ec.wait(key);
+  }
+  if (c.enqueue_wait != nullptr) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    c.enqueue_wait->record(SimTime::nanos(ns));
   }
 }
 
@@ -372,82 +508,193 @@ void RtEngine::release_batch(std::vector<core::Tuple>&& v) {
   }
 }
 
+std::size_t RtEngine::queue_depth_now(const Worker& w) const {
+  std::uint64_t depth = 0;
+  for (const auto& e : w.in_edges) {
+    const std::uint64_t pushed =
+        e->tuples_pushed.load(std::memory_order_relaxed);
+    const std::uint64_t popped =
+        e->tuples_popped.load(std::memory_order_relaxed);
+    if (pushed > popped) depth += pushed - popped;  // unsynchronized snapshot
+  }
+  return static_cast<std::size_t>(depth);
+}
+
+bool RtEngine::edges_idle(const Worker& w) const {
+  for (const auto& e : w.in_edges) {
+    if (e->tuples_popped.load(std::memory_order_relaxed) !=
+        e->tuples_pushed.load(std::memory_order_acquire)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RtEngine::worker_drained(const Worker& w) const {
+  for (const auto& e : w.in_edges) {
+    if (e->preload_pending.load(std::memory_order_acquire) != 0) return false;
+    if (e->tuples_popped.load(std::memory_order_acquire) !=
+        e->tuples_pushed.load(std::memory_order_acquire)) {
+      return false;
+    }
+  }
+  // Read busy strictly after the counters: if the worker is mid-pass, the
+  // pop that made the counters match was preceded (release chain) by its
+  // busy=true store, so a matching-counters read here cannot observe a
+  // stale busy=false from an earlier park.
+  return !w.busy.load(std::memory_order_acquire);
+}
+
+void RtEngine::bump_counters(Worker& w, std::int64_t done) {
+  if (done <= 0) return;
+  w.processed.fetch_add(done, std::memory_order_relaxed);
+  if (w.is_sink) sink_tuples_.fetch_add(done, std::memory_order_relaxed);
+  if (m_tuples_ != nullptr) {
+    m_tuples_->add(done);
+    if (w.is_sink) m_sink_tuples_->add(done);
+  }
+}
+
+void RtEngine::process_slot(Worker& w, RtContext& ctx, InEdge* e, Slot& slot,
+                            std::int64_t& done) {
+  // Caller holds w.op_mu (burst-granular): exclusion against timer-thread
+  // callbacks covers process(), token alignment, and the snapshot
+  // serialize.
+  if (auto* batch = std::get_if<std::vector<core::Tuple>>(&slot)) {
+    for (const auto& tuple : *batch) {
+      w.op->process(e->in_port, tuple, ctx);
+    }
+    done += static_cast<std::int64_t>(batch->size());
+    batch->clear();
+    // Hand the drained carrier straight back to this edge's producer
+    // (lock-free, cache-warm); the context stash and engine pool only see
+    // the overflow.
+    if (!e->carriers.try_push(std::move(*batch))) {
+      ctx.recycle(std::move(*batch));
+    }
+    return;
+  }
+  if (const auto* token = std::get_if<core::Token>(&slot)) {
+    // Token alignment. Rings are FIFO per edge, so marking per-port
+    // arrival gives the same boundary as head-blocking: every pre-token
+    // tuple on that edge has already been dequeued — entries behind the
+    // token are processed after the snapshot, exactly as if they were
+    // still queued.
+    emit_proto(ProtoPoint::kTokenArrived, w.id, token->checkpoint_id);
+    if (w.num_in_ports > 0) {
+      MS_CHECK_MSG(!w.token_seen[static_cast<std::size_t>(e->in_port)],
+                   "duplicate token on one edge within an epoch");
+      w.token_seen[static_cast<std::size_t>(e->in_port)] = true;
+    }
+    if (++w.tokens == std::max(1, w.num_in_ports)) {
+      std::fill(w.token_seen.begin(), w.token_seen.end(), false);
+      w.tokens = 0;
+      emit_proto(ProtoPoint::kAligned, w.id, token->checkpoint_id);
+      // Flush barrier: everything this operator emitted before the token
+      // must reach downstream rings ahead of the forwarded token, or a
+      // checkpoint taken mid-batch would miss in-buffer tuples.
+      ctx.flush_all();
+      snapshot_and_forward_token(w, *token);
+    }
+    return;
+  }
+  w.op->process(e->in_port, std::get<core::Tuple>(slot), ctx);
+  ++done;
+}
+
 void RtEngine::worker_loop(Worker& w) {
-  RtContext ctx(this, &w);
-  std::vector<QueueItem> local;
-  for (;;) {
-    {
-      std::unique_lock lock(w.mu);
-      if (w.inflight != 0) {
-        w.inflight = 0;
-        w.cv_push.notify_all();  // stop()'s drain waits for idle, not just empty
-      }
-      w.cv_pop.wait(lock, [this, &w] {
-        return !w.queue.empty() || !running_.load();
-      });
-      if (w.queue.empty()) return;  // stopped and drained
-      // Swap-drain: take the whole pending run in O(1) under this one lock
-      // hold, then process it without touching the mutex again. `local` was
-      // cleared with capacity intact, so the swap recycles storage both ways.
-      const bool was_full = w.queued_tuples >= config_.queue_capacity;
-      local.swap(w.queue);
-      w.queued_tuples = 0;
-      if (w.queue_depth != nullptr) w.queue_depth->set(0.0);
-      w.wake_pending = false;  // we are awake and have taken everything
-      w.inflight = local.size();
-      if (was_full) w.cv_push.notify_all();  // capacity freed all at once
-    }
+  // The context is constructed (and finally destroyed) under op_mu: both
+  // touch the out-edge carrier rings, shared with timer-thread contexts.
+  std::optional<RtContext> ctx;
+  {
+    std::scoped_lock op_lock(w.op_mu);
+    ctx.emplace(this, &w);
+  }
+  // Recovery preload: entries pushed while the engine was stopped are
+  // strictly older than anything a live producer can send — process them
+  // before touching the rings (per-edge FIFO across restarts).
+  for (auto& eptr : w.in_edges) {
+    InEdge& e = *eptr;
+    if (e.preload_pending.load(std::memory_order_acquire) == 0) continue;
+    std::vector<Slot> pre = std::move(e.preload);
+    e.preload.clear();
     std::int64_t done = 0;
-    for (auto& qi : local) {
-      // Per-entry (batch-granular) exclusion against timer-thread callbacks;
-      // covers process(), token alignment, and the snapshot serialize.
+    {
       std::scoped_lock op_lock(w.op_mu);
-      if (auto* batch = std::get_if<std::vector<core::Tuple>>(&qi.slot)) {
-        for (const auto& tuple : *batch) {
-          w.op->process(qi.in_port, tuple, ctx);
-        }
-        done += static_cast<std::int64_t>(batch->size());
-        ctx.recycle(std::move(*batch));  // carrier feeds this worker's flushes
-        continue;
-      }
-      if (const auto* token = std::get_if<core::Token>(&qi.slot)) {
-        // Token alignment. The queues are FIFO per edge, so marking
-        // per-port arrival gives the same boundary as head-blocking: every
-        // pre-token tuple on that edge has already been dequeued — entries
-        // behind the token in this drained run are processed after the
-        // snapshot, exactly as if they were still queued.
-        emit_proto(ProtoPoint::kTokenArrived, w.id, token->checkpoint_id);
-        if (w.num_in_ports > 0) {
-          MS_CHECK_MSG(!w.token_seen[static_cast<std::size_t>(qi.in_port)],
-                       "duplicate token on one edge within an epoch");
-          w.token_seen[static_cast<std::size_t>(qi.in_port)] = true;
-        }
-        if (++w.tokens == std::max(1, w.num_in_ports)) {
-          std::fill(w.token_seen.begin(), w.token_seen.end(), false);
-          w.tokens = 0;
-          emit_proto(ProtoPoint::kAligned, w.id, token->checkpoint_id);
-          // Flush barrier: everything this operator emitted before the token
-          // must reach downstream queues ahead of the forwarded token, or a
-          // checkpoint taken mid-batch would miss in-buffer tuples.
-          ctx.flush_all();
-          snapshot_and_forward_token(w, *token);
-        }
-        continue;
-      }
-      w.op->process(qi.in_port, std::get<core::Tuple>(qi.slot), ctx);
-      ++done;
+      for (Slot& s : pre) process_slot(w, *ctx, &e, s, done);
     }
-    // Counters move once per drained run, not once per tuple.
-    w.processed.fetch_add(done, std::memory_order_relaxed);
-    if (w.is_sink) sink_tuples_.fetch_add(done, std::memory_order_relaxed);
-    if (m_tuples_ != nullptr && done > 0) {
-      m_tuples_->add(done);
-      if (w.is_sink) m_sink_tuples_->add(done);
+    e.preload_pending.store(0, std::memory_order_release);
+    bump_counters(w, done);
+  }
+  for (;;) {
+    std::int64_t done = 0;
+    bool popped_any = false;
+    for (auto& eptr : w.in_edges) {
+      InEdge& e = *eptr;
+      Slot* s = e.ring.front();
+      if (s == nullptr) continue;
+      std::uint64_t popped = e.tuples_popped.load(std::memory_order_relaxed);
+      std::size_t burst = 0;
+      {
+        // One op_mu acquisition per burst, entries processed in place (no
+        // Slot move-out). The tuple-count publish still precedes the
+        // processing of each entry — capacity frees as early as the old
+        // swap-drain freed it — while pop_front() releases the ring slot
+        // itself only after the entry is consumed.
+        std::scoped_lock op_lock(w.op_mu);
+        do {
+          popped += slot_units(*s);
+          e.tuples_popped.store(popped, std::memory_order_release);
+          process_slot(w, *ctx, &e, *s, done);
+          e.ring.pop_front();
+          ++burst;
+        } while (burst < kMaxDrainPerEdge && (s = e.ring.front()) != nullptr);
+      }
+      popped_any = true;
+      wake(w.space_armed, w.space_ec);  // capacity freed; wake producers
     }
-    local.clear();
-    // Operator-return flush: never sit on buffered output while blocking for
-    // more input (bounds latency and keeps the drain protocol honest).
-    ctx.flush_all();
+    bump_counters(w, done);
+    {
+      // Operator-return flush: never sit on buffered output while waiting
+      // for more input (bounds latency and keeps the drain protocol
+      // honest). Under op_mu: this thread shares the out-edge producer
+      // role with the timer thread.
+      std::scoped_lock op_lock(w.op_mu);
+      ctx->flush_all();
+    }
+    if (w.queue_depth != nullptr) {
+      w.queue_depth->set(static_cast<double>(queue_depth_now(w)));
+    }
+    if (popped_any) continue;
+    // Spin briefly before parking — a momentarily empty ring usually
+    // refills within the producer's next flush interval (multi-core only).
+    bool replenished = false;
+    for (int spin = spin_before_park(); spin > 0; --spin) {
+      cpu_relax();
+      if (!edges_idle(w)) {
+        replenished = true;
+        break;
+      }
+    }
+    if (replenished) continue;
+    // Idle: publish quiescence — busy=false only after everything popped
+    // has been processed *and* flushed — then park with the standard
+    // eventcount re-check so a concurrent push is never lost.
+    w.busy.store(false, std::memory_order_release);
+    wake(w.space_armed, w.space_ec);
+    w.items_armed.store(true, std::memory_order_seq_cst);
+    const EventCount::Key key = w.items_ec.prepare_wait();
+    if (!edges_idle(w)) {
+      w.items_ec.cancel_wait();
+    } else if (!running_.load(std::memory_order_acquire)) {
+      w.items_ec.cancel_wait();
+      std::scoped_lock op_lock(w.op_mu);
+      ctx.reset();  // final (empty) flush + carrier return under the lock
+      return;       // stopped and drained
+    } else {
+      w.items_ec.wait(key);
+    }
+    w.busy.store(true, std::memory_order_release);
   }
 }
 
@@ -521,15 +768,15 @@ void RtEngine::snapshot_and_forward_token(Worker& w, const core::Token& token) {
     // Write first, then let the token (and therefore any downstream effect
     // of post-checkpoint processing) move on.
     capture_snapshot(w, token.checkpoint_id, mode, /*aligned=*/true);
-    for (const auto& [target, port] : w.out_edges) {
-      deliver(target, port, core::StreamItem(token));
+    for (const OutEdge& oe : w.out_edges) {
+      push_slot(*oe.edge, Slot(token), 1, /*urgent=*/true);
     }
     return;
   }
   // Async: snapshot in memory, forward the token immediately, deliver on a
   // helper — processing resumes while the sink write is still in flight.
-  for (const auto& [target, port] : w.out_edges) {
-    deliver(target, port, core::StreamItem(token));
+  for (const OutEdge& oe : w.out_edges) {
+    push_slot(*oe.edge, Slot(token), 1, /*urgent=*/true);
   }
   capture_snapshot(w, token.checkpoint_id, mode, /*aligned=*/true);
 }
@@ -549,10 +796,14 @@ Status RtEngine::begin_epoch(std::uint64_t epoch, SnapshotMode mode) {
   }
   epoch_mode_ = mode;
   const core::Token token{epoch, /*one_hop=*/false};
-  // Sources have no in-edges: inject the token directly into their queues;
-  // it trickles down the graph from there.
+  // Sources have no in-edges: inject the token into their control edges;
+  // it trickles down the graph from there. The align_pending_ RMW chain
+  // serializes successive epoch starters, so the control edge keeps a
+  // single (logical) producer.
   for (auto& w : workers_) {
-    if (w->num_in_ports == 0) deliver(w->id, 0, core::StreamItem(token));
+    if (w->control_edge != nullptr) {
+      push_slot(*w->control_edge, Slot(token), 1, /*urgent=*/true);
+    }
   }
   return Status::ok();
 }
@@ -612,10 +863,11 @@ Status RtEngine::set_source_progress(int op, std::uint64_t next_seq,
 }
 
 Status RtEngine::replay_downstream(int op, int out_port, core::Tuple tuple) {
-  // Deliberately valid on a stopped engine: recovery enqueues the preserved
-  // suffix before start() so a live source's fresh emissions can never
-  // overtake a replayed tuple in a downstream queue (deliver()'s capacity
-  // wait passes while not running; workers drain the backlog on start).
+  // Only valid on a stopped engine: recovery enqueues the preserved suffix
+  // before start() — it lands in the edge's preload list, adopted by the
+  // downstream worker ahead of any live ring entry, so a live source's
+  // fresh emissions can never overtake a replayed tuple. (Stopped-only is
+  // also what keeps the edge ring single-producer.)
   if (op < 0 || op >= num_operators()) {
     return Status::invalid_argument("replay_downstream: no such operator");
   }
@@ -623,8 +875,12 @@ Status RtEngine::replay_downstream(int op, int out_port, core::Tuple tuple) {
   if (out_port < 0 || out_port >= static_cast<int>(w.out_edges.size())) {
     return Status::invalid_argument("replay_downstream: no such out port");
   }
-  const auto [target, port] = w.out_edges[static_cast<std::size_t>(out_port)];
-  deliver(target, port, core::StreamItem(std::move(tuple)));
+  if (running_.load()) {
+    return Status::failed_precondition(
+        "replay_downstream: engine must be stopped");
+  }
+  OutEdge& oe = w.out_edges[static_cast<std::size_t>(out_port)];
+  push_slot(*oe.edge, Slot(std::move(tuple)), 1, /*urgent=*/false);
   return Status::ok();
 }
 

@@ -4,14 +4,21 @@
 // library's "engine mode", used by the quickstart example and as an
 // existence proof that the Operator API is execution-agnostic:
 //
-//  - one worker thread per operator, bounded MPSC queue per in-edge
-//    (blocking enqueue = backpressure);
-//  - batched transport: emits accumulate in per-out-edge buffers and flush
-//    to the downstream queue under a single lock (on the max_batch
-//    watermark, on operator return, and before any token is forwarded);
-//    workers drain their whole pending queue under one lock and process
-//    the drained run lock-free; condition-variable notifies fire only on
-//    empty→non-empty (and full→capacity-available) transitions;
+//  - one worker thread per operator; one lock-free SPSC ring per
+//    (upstream, downstream) edge, so every ring has exactly one producer
+//    (the upstream operator — all of its emit paths hold its op_mu) and
+//    one consumer (the downstream worker thread). Blocking enqueue is the
+//    backpressure: a producer parks on the consumer's eventcount when the
+//    edge holds queue_capacity tuples (a batch is never split, so
+//    occupancy may overshoot by up to max_batch — the same
+//    queue_capacity + max_batch bound as the mutexed transport had);
+//  - batched transport: emits accumulate in per-out-edge buffers and move
+//    downstream as one ring entry (on the max_batch watermark, on operator
+//    return, and before any token is forwarded); idle workers park on an
+//    eventcount and producers defer the wake until half a queue of tuples
+//    is pending (tokens and per-tuple delivery wake immediately). Batch
+//    carriers recycle through a per-edge return ring, so the steady-state
+//    hot path takes no mutex and touches no shared allocator;
 //  - a timer thread drives OperatorContext::schedule (source emission,
 //    windows);
 //  - checkpoint *mechanisms*, not checkpoint *policy*: the engine aligns
@@ -25,18 +32,22 @@
 //    previous epoch, so steady-state checkpoints allocate nothing on the
 //    data path.
 //
-// Invariants preserved by batching (see DESIGN.md §5c):
+// Invariants preserved by batching and by the ring transport (see
+// DESIGN.md §5c and §5h):
 //  - per-edge FIFO: tuples emitted on one out-edge arrive downstream in
-//    emit order, for every max_batch setting;
+//    emit order, for every max_batch setting (an SPSC ring is FIFO by
+//    construction; recovery preload is processed before any live entry);
 //  - token flush barrier: all output produced before a token is forwarded
 //    is flushed ahead of the token, so a checkpoint taken mid-batch
 //    captures exactly the pre-token tuples on every edge;
 //  - source-boundary exactness: source emissions are tapped and counted
-//    under the same per-operator mutex that guards snapshot serialization
-//    (timer-context flushes happen inside that mutex too), so the boundary
-//    recorded in a source's Snapshot equals the number of tapped tuples
-//    that are upstream of the token on every out-edge — the replay cursor
-//    recovery needs;
+//    under the same per-operator mutex (op_mu) that guards snapshot
+//    serialization (timer-context flushes happen inside that mutex too),
+//    so the boundary recorded in a source's Snapshot equals the number of
+//    tapped tuples that are upstream of the token on every out-edge — the
+//    replay cursor recovery needs. op_mu survives the lock-free transport
+//    precisely for this snapshot-vs-mutator exclusion; it is never part of
+//    queue signaling;
 //  - max_batch = 1 reproduces the seed's per-tuple delivery (the escape
 //    hatch the sim-vs-engine equivalence tests pin).
 //
@@ -57,7 +68,9 @@
 #include <vector>
 
 #include "common/buffer_pool.h"
+#include "common/eventcount.h"
 #include "common/metrics_registry.h"
+#include "common/spsc_ring.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -67,9 +80,14 @@
 namespace ms::rt {
 
 struct RtConfig {
+  /// Backpressure bound per edge, in tuples: a producer blocks while an
+  /// edge already holds this many. (The mutexed transport bounded the sum
+  /// over a worker's in-edges; the ring transport bounds each edge —
+  /// strictly more buffering on multi-input operators, same per-edge
+  /// semantics.)
   std::size_t queue_capacity = 4096;
   /// Upper bound on tuples accumulated per out-edge before a flush to the
-  /// downstream queue. 64 is the measured sweet spot on the chain/diamond
+  /// downstream ring. 64 is the measured sweet spot on the chain/diamond
   /// micro-benchmarks (see DESIGN.md §5c); 1 disables batching and
   /// reproduces per-tuple delivery exactly.
   std::size_t max_batch = 64;
@@ -80,8 +98,11 @@ struct RtConfig {
   /// tid i+1 is operator i). The recorder is mutex-guarded, so worker and
   /// helper threads emit concurrently.
   TraceRecorder* trace = nullptr;
-  /// Optional live metrics sink: rt.* counters and per-operator queue-depth
-  /// gauges (rt.op.<id>.queue_depth), updated from the worker threads.
+  /// Optional live metrics sink: rt.* counters, per-operator queue-depth
+  /// gauges (rt.op.<id>.queue_depth, summed from the ring occupancy
+  /// counters), and per-operator enqueue-wait histograms
+  /// (rt.op.<id>.enqueue_wait_ns — time producers spent blocked on that
+  /// operator's backpressure).
   MetricsRegistry* metrics = nullptr;
 };
 
@@ -140,7 +161,7 @@ class RtEngine {
   /// restored state). Timers and token alignment are reset on every start.
   void start();
 
-  /// Stop source timers, drain all queues, join all workers. Pending
+  /// Stop source timers, drain all rings, join all workers. Pending
   /// asynchronous snapshot deliveries complete before stop() returns.
   void stop();
 
@@ -178,9 +199,12 @@ class RtEngine {
                              std::uint64_t emitted);
 
   /// Re-deliver a preserved tuple on one of `op`'s out-edges, bypassing the
-  /// operator (and the tap — the tuple is already logged). Valid on a
-  /// stopped engine: recovery enqueues the whole preserved suffix before
-  /// start() so live emissions land strictly behind every replayed tuple.
+  /// operator (and the tap — the tuple is already logged). Requires the
+  /// engine stopped (kFailedPrecondition otherwise): recovery enqueues the
+  /// whole preserved suffix before start() — it lands in the edge's preload
+  /// list, which the downstream worker adopts ahead of any live ring entry,
+  /// so fresh emissions can never overtake a replayed tuple. (Stopped-only
+  /// is also what keeps each ring single-producer.)
   Status replay_downstream(int op, int out_port, core::Tuple tuple);
 
   /// Control-plane timer on the engine's timer thread (the protocol layer's
@@ -212,25 +236,80 @@ class RtEngine {
   friend class RtContext;
 
   /// One transport unit: a single tuple (max_batch == 1), a checkpoint
-  /// token, or a whole batch of tuples moved in as one entry. Batch
+  /// token, or a whole batch of tuples moved in as one ring entry. Batch
   /// granularity is the point — a 64-tuple flush costs one vector move and
-  /// one queue push, not 64 of each.
+  /// one ring publish, not 64 of each.
   using Slot = std::variant<core::Tuple, core::Token, std::vector<core::Tuple>>;
 
-  struct QueueItem {
-    int in_port = 0;
-    Slot slot;
+  /// One (upstream → downstream) edge's transport state. Exactly one
+  /// producer — every emit path of the upstream operator holds its op_mu,
+  /// which also makes producer handoff between the worker and timer
+  /// threads well-defined — and one consumer, the downstream worker
+  /// thread. Memory ordering arguments live in DESIGN.md §5h.
+  struct InEdge {
+    InEdge(int consumer, int in_port, std::size_t ring_slots,
+           std::size_t carrier_slots)
+        : consumer(consumer),
+          in_port(in_port),
+          ring(ring_slots),
+          carriers(carrier_slots) {}
+
+    const int consumer;  // downstream operator id
+    const int in_port;   // this edge's port at the consumer
+
+    /// The transport ring. Sized to queue_capacity + max_batch + 2 slots
+    /// (rounded up to a power of two): the tuple-count gate below blocks
+    /// producers first, so try_push can never find the ring full.
+    SpscRing<Slot> ring;
+
+    /// Drained batch carriers handed back to the producer — the lock-free
+    /// replacement for the engine-wide batch pool on the hot path. Producer
+    /// and consumer roles are exactly reversed relative to `ring`.
+    SpscRing<std::vector<core::Tuple>> carriers;
+
+    /// Ring occupancy in tuples (a token counts as 1) — the unit
+    /// queue_capacity backpressure is measured in. `tuples_pushed` is
+    /// written by the producer only, `tuples_popped` by the consumer only;
+    /// each lives on its own cache line so the two sides never false-share.
+    alignas(64) std::atomic<std::uint64_t> tuples_pushed{0};
+    alignas(64) std::atomic<std::uint64_t> tuples_popped{0};
+
+    /// Entries pushed while the engine was stopped (replay_downstream's
+    /// preserved-suffix preload). The consumer's worker thread adopts and
+    /// processes these before its first live ring entry — they are strictly
+    /// older than anything a running producer can push. `preload_pending`
+    /// is the cross-thread "is there preload?" flag; the vector itself is
+    /// only touched by stopped-engine callers and the adopting worker.
+    std::vector<Slot> preload;
+    std::atomic<std::size_t> preload_pending{0};
+  };
+
+  struct OutEdge {
+    int target = 0;        // downstream operator id
+    InEdge* edge = nullptr;
   };
 
   void worker_loop(Worker& w);
-  void deliver(int op, int in_port, core::StreamItem item);
-  /// Enqueue a run of tuples for one in-edge as a single queue entry under
-  /// a single lock. Consumes `batch` (leaves it empty). Blocks until the
-  /// queue has spare tuple capacity; a batch is never split, so occupancy
-  /// may overshoot queue_capacity by up to max_batch - 1 tuples — the
-  /// backpressure bound is queue_capacity + max_batch, which keeps flushes
-  /// O(1) and per-edge FIFO trivially intact.
-  void deliver_batch(int op, int in_port, std::vector<core::Tuple>&& batch);
+  /// Process one transport slot under w's op_mu: a batch (process each
+  /// tuple, then return the carrier via e->carriers), a token (alignment /
+  /// flush barrier / snapshot), or a single tuple. `done` accumulates
+  /// processed tuple counts for the per-pass counter updates.
+  void process_slot(Worker& w, RtContext& ctx, InEdge* e, Slot& slot,
+                    std::int64_t& done);
+  /// Enqueue one slot on `e`, blocking while the edge holds at least
+  /// queue_capacity tuples (an entry is never split, so occupancy may
+  /// overshoot by up to max_batch — bound: queue_capacity + max_batch).
+  /// `units` is the slot's tuple count (tokens: 1). `urgent` forces an
+  /// immediate consumer wake (tokens); otherwise the wake is deferred until
+  /// the edge holds wake_threshold_ tuples — flush_all()'s unconditional
+  /// notifies and the pre-park notify below guarantee liveness. On a
+  /// stopped engine the slot lands in e.preload instead (recovery replay).
+  void push_slot(InEdge& e, Slot&& slot, std::size_t units, bool urgent);
+  /// push_slot's slow path: park on the consumer's space eventcount until
+  /// occupancy drops below queue_capacity (or the engine stops). Notifies
+  /// the consumer first — a producer never sleeps on a consumer it has not
+  /// woken — and records the stall in rt.op.<id>.enqueue_wait_ns.
+  void wait_for_space(InEdge& e, Worker& consumer, std::uint64_t pushed);
   void snapshot_and_forward_token(Worker& w, const core::Token& token);
   /// Serialize `w`'s operator under its already-held op_mu and hand the
   /// bytes to the sink (kSync/snapshot_now: on this thread; kAsync: on a
@@ -244,48 +323,58 @@ class RtEngine {
   void schedule_timer(SimTime delay, std::function<void()> fn);
   SimTime now() const;
 
+  static std::size_t slot_units(const Slot& s) {
+    if (const auto* batch = std::get_if<std::vector<core::Tuple>>(&s)) {
+      return batch->size();
+    }
+    return 1;
+  }
+
   struct Worker {
     int id = 0;
     std::unique_ptr<core::Operator> op;
     bool is_source = false;
     bool is_sink = false;
-    std::vector<std::pair<int, int>> out_edges;  // (target op, their in port)
+    std::vector<OutEdge> out_edges;
     int num_in_ports = 0;
+    /// This worker's in-edges, in in_port order; workers with no graph
+    /// in-edges (sources) get one control edge (in_port 0) that only
+    /// begin_epoch() pushes tokens into.
+    std::vector<std::unique_ptr<InEdge>> in_edges;
+    InEdge* control_edge = nullptr;
 
     /// Serializes *operator execution* — process()/serialize_state() on the
     /// worker thread versus schedule() callbacks (source emission, windows)
     /// on the timer thread versus on_open() on the starter. Without it a
     /// token-aligned snapshot can serialize source state while a timer tick
-    /// is mutating it. Taken per drained queue entry (batch granularity),
-    /// so the uncontended cost is one lock per batch, not per tuple. Never
-    /// held while waiting on queue capacity of the *same* worker; holding
-    /// it across downstream delivery cannot deadlock because the query
-    /// graph is a DAG.
+    /// is mutating it. Taken per drained ring entry (batch granularity),
+    /// so the uncontended cost is one lock per batch, not per tuple. It is
+    /// pure snapshot-vs-mutator exclusion: transport never signals through
+    /// it. Holding it across downstream delivery cannot deadlock because
+    /// the query graph is a DAG. It also serializes the *producer* role on
+    /// this worker's out-edge rings across the worker and timer threads.
     std::mutex op_mu;
 
-    std::mutex mu;
-    std::condition_variable cv_push;
-    std::condition_variable cv_pop;
-    /// Pending entries. A vector double-buffer, not a deque: the consumer
-    /// swaps the whole vector out in O(1) and both sides keep their
-    /// capacity, so the steady state allocates no queue storage at all.
-    std::vector<QueueItem> queue;
-    /// Tuples currently represented in `queue` (batch entries count their
-    /// size) — the unit queue_capacity backpressure is measured in.
-    std::size_t queued_tuples = 0;  // guarded by mu
-    /// A batch landed in an empty queue without waking the consumer yet.
-    /// Batched flushes defer the cv_pop notify until queued_tuples crosses
-    /// the wake threshold — on a loaded box every wake is a futex syscall
-    /// plus a context-switch round trip, so waking once per several batches
-    /// instead of once per batch is a large share of the batching win. The
-    /// wake is guaranteed eventually: every producer re-notifies at its
-    /// operator-return flush, before blocking on capacity, and for tokens.
-    bool wake_pending = false;  // guarded by mu
-    /// Entries drained from `queue` but not yet fully processed and flushed
-    /// downstream. stop()'s topological drain must wait for this to hit
-    /// zero, not just for `queue` to empty — a swap-drained worker still
-    /// owes its downstream the output of the drained run.
-    std::size_t inflight = 0;  // guarded by mu
+    /// Parking: the consumer sleeps on items_ec when its rings are empty;
+    /// producers blocked on this worker's backpressure sleep on space_ec.
+    EventCount items_ec;
+    EventCount space_ec;
+    /// Wake coalescing: a parker arms its flag immediately before the
+    /// eventcount prepare/re-check/wait sequence; wakers notify only when
+    /// their exchange(false) wins the flag. A woken-but-not-yet-scheduled
+    /// thread (the common state on a loaded host) therefore costs its
+    /// peers one futex syscall total, not one per push — the lock-free
+    /// analogue of the mutexed transport's wake_pending flag. A stale
+    /// armed flag after a cancelled wait costs at most one spurious
+    /// notify; a missed wake is impossible (see DESIGN.md §5h).
+    std::atomic<bool> items_armed{false};
+    std::atomic<bool> space_armed{false};
+
+    /// True from before the worker pops anything until it has processed and
+    /// flushed everything it popped — cleared only at the park point.
+    /// stop()'s drain reads (counters equal, then !busy) to know the worker
+    /// owes nothing downstream; see DESIGN.md §5h for the ordering proof.
+    std::atomic<bool> busy{true};
 
     std::atomic<std::int64_t> processed{0};
     std::thread thread;
@@ -302,21 +391,27 @@ class RtEngine {
     /// epoch's writer, so steady-state serialization never reallocates.
     std::size_t last_snapshot_bytes = 0;
 
-    /// Cached metrics handle (null when metrics are off) so the hot path
+    /// Cached metrics handles (null when metrics are off) so the hot path
     /// never does a by-name registry lookup.
     Gauge* queue_depth = nullptr;
+    HistogramMetric* enqueue_wait = nullptr;
   };
 
-  /// Wake the consumer of `w` if a deferred batch notify is still pending.
-  /// Called by producers at points where they stop pushing for a while.
-  void kick(Worker& w);
+  /// Sum of ring occupancies across w's in-edges (relaxed loads) — the
+  /// queue_depth gauge value.
+  std::size_t queue_depth_now(const Worker& w) const;
+  /// Consumer-side idleness check: every in-edge's pop counter has caught
+  /// up with its push counter (and no preload is pending).
+  bool edges_idle(const Worker& w) const;
+  /// stop()'s per-worker drain predicate; must be evaluated only after all
+  /// of w's producers have quiesced (topological order + joined timers).
+  bool worker_drained(const Worker& w) const;
+  /// Per-pass counter updates (processed, sink tuples, metrics).
+  void bump_counters(Worker& w, std::int64_t done);
 
-  /// Batch-vector recycling. A flush moves its buffer's storage into the
-  /// downstream queue entry, so without recycling every flush would malloc a
-  /// fresh max_batch-capacity vector and the consumer would free it —
-  /// per-flush allocator churn that erases much of the batching win at
-  /// moderate batch sizes. Consumers return drained vectors here; producers
-  /// draw replacements. Vectors returned with capacity intact.
+  /// Batch-vector recycling fallback. The per-edge carrier rings recycle
+  /// the steady-state flow lock-free; this mutex-guarded pool only backs
+  /// warm-up, context teardown, and carrier-ring overflow.
   std::vector<core::Tuple> acquire_batch();
   void release_batch(std::vector<core::Tuple>&& v);
 
@@ -330,17 +425,26 @@ class RtEngine {
   Counter* m_tuples_ = nullptr;
   Counter* m_sink_tuples_ = nullptr;
   HistogramMetric* m_ckpt_bytes_ = nullptr;
-  /// Queued tuples at which a deferred wake fires; see Worker::wake_pending.
+  /// Edge occupancy (tuples) at which a deferred batch wake fires — on a
+  /// loaded box every wake is a futex syscall plus a context-switch round
+  /// trip, an order of magnitude more than moving a whole batch, so waking
+  /// once per half-queue instead of once per batch is a large share of the
+  /// batching win. Liveness never depends on it: flush_all() notifies at
+  /// operator return, producers notify before parking, tokens always wake.
   std::size_t wake_threshold_ = 1;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<ThreadPool> helpers_;
   BufferPool snapshot_buffers_;
 
   /// Freelist behind acquire_batch/release_batch; bounded so a transient
-  /// queue pile-up cannot pin memory forever.
+  /// ring pile-up cannot pin memory forever.
   std::mutex batch_pool_mu_;
   std::vector<std::vector<core::Tuple>> batch_pool_;
   static constexpr std::size_t kMaxPooledBatches = 256;
+
+  /// Ring entries drained per in-edge per sweep before moving to the next
+  /// edge — round-robin fairness for multi-input operators.
+  static constexpr std::size_t kMaxDrainPerEdge = 64;
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
@@ -351,7 +455,8 @@ class RtEngine {
   std::atomic<int> align_pending_{0};
   /// Mode of the epoch in flight. Written by begin_epoch() only while
   /// align_pending_ == 0; workers read it after receiving the epoch's token
-  /// through a queue mutex, which orders the write before the read.
+  /// through a ring (release publish / acquire consume), which orders the
+  /// write before the read.
   SnapshotMode epoch_mode_ = SnapshotMode::kAsync;
 
   // Timer thread.

@@ -196,7 +196,7 @@ TEST(StdOpsStateTest, TumblingAggregateCheckpointRoundTrip) {
    public:
     SimTime now() const override { return SimTime::zero(); }
     Rng& rng() override { return rng_; }
-    void emit(int, Tuple) override {}
+    void emit(int, Tuple&&) override {}
     int num_out_ports() const override { return 1; }
     int num_in_ports() const override { return 1; }
     void schedule(SimTime, std::function<void(OperatorContext&)>) override {}
@@ -232,7 +232,7 @@ TEST(StdOpsStateTest, TumblingAggregateDeltaTracking) {
    public:
     SimTime now() const override { return SimTime::zero(); }
     Rng& rng() override { return rng_; }
-    void emit(int, Tuple) override {}
+    void emit(int, Tuple&&) override {}
     int num_out_ports() const override { return 1; }
     int num_in_ports() const override { return 1; }
     void schedule(SimTime, std::function<void(OperatorContext&)>) override {}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerate the repo-root perf trajectory (BENCH_engine.json /
+# BENCH_micro.json) from a release build, then gate on the previous entry:
+# a >10% regression on any pinned case fails the script.
+#
+# Usage: tools/bench_trajectory.sh [label] [build-dir]
+#   label      entry label to record (default: "latest")
+#   build-dir  an existing release build; configured here when absent
+#              (default: build-release)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+LABEL="${1:-latest}"
+BUILD="${2:-build-release}"
+
+if [[ ! -d "$BUILD" ]]; then
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD" -j --target engine_throughput micro_benchmarks \
+  fig12_throughput fig13_latency
+
+# Gate BEFORE overwriting: fresh engine run vs the committed trajectory's
+# last entry. (The engine bench is the regression tripwire; the figure
+# sweeps are simulation-deterministic and recorded for completeness.)
+TMP="$BUILD/bench_trajectory_tmp"
+mkdir -p "$TMP"
+if [[ -f BENCH_engine.json ]]; then
+  "$BUILD/bench/engine_throughput" --json="$TMP/gate.json" >/dev/null
+  python3 tools/bench_trajectory.py check \
+    --baseline BENCH_engine.json --candidate "$TMP/gate.json"
+fi
+
+python3 tools/bench_trajectory.py run \
+  --build-dir "$BUILD" --label "$LABEL" --reps 5
+echo "bench_trajectory: BENCH_engine.json and BENCH_micro.json updated"

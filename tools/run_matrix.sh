@@ -44,6 +44,24 @@ for preset in $PRESETS; do
   results+=("$preset: OK")
 done
 
+# Perf-trajectory pass (release preset, serial): regenerates BENCH_*.json
+# via the pinned bench set and gates on >10% regression against the
+# committed trajectory, plus the checker's own fixture tests.
+if [[ $status -eq 0 && "${SKIP_BENCH_TRAJECTORY:-0}" != "1" ]]; then
+  echo "=== [release] bench trajectory ==="
+  if ! cmake --preset release; then
+    results+=("release/bench_trajectory: CONFIGURE FAILED"); status=1
+  elif ! cmake --build --preset release -j "$JOBS"; then
+    results+=("release/bench_trajectory: BUILD FAILED"); status=1
+  elif ! ctest --preset bench-trajectory --timeout "$TEST_TIMEOUT"; then
+    results+=("release/bench_trajectory: CHECKER TESTS FAILED"); status=1
+  elif ! tools/bench_trajectory.sh "matrix-$(date +%Y%m%d)" build-release; then
+    results+=("release/bench_trajectory: REGRESSION GATE FAILED"); status=1
+  else
+    results+=("release/bench_trajectory: OK")
+  fi
+fi
+
 echo
 echo "=== matrix summary ==="
 for line in "${results[@]}"; do
