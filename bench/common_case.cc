@@ -1,7 +1,11 @@
 #include "common_case.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <string>
 
 #include "ascii_chart.h"
@@ -9,18 +13,55 @@
 namespace ms::bench {
 namespace {
 
-std::string cache_path(AppKind app, bool quick) {
-  return std::string("ms_common_case_") + app_name(app) +
-         (quick ? "_quick" : "") + ".cache";
+// Cache file format (text):
+//   ms-common-case-cache <version> <max_checkpoints> <num_schemes>
+//   <throughput> <latency_ms> <checkpoints>     (one line per cell,
+//   ...                                          schemes × (kmax+1) rows)
+// The header pins the sweep geometry: a reader configured for a different
+// max_checkpoints (or a build with a different scheme set) must regenerate
+// instead of misreading cells at shifted offsets — that misalignment used to
+// silently corrupt the fig12/fig13 panels.
+constexpr int kCacheVersion = 2;
+
+constexpr std::size_t num_schemes() {
+  return sizeof(kAllSchemes) / sizeof(kAllSchemes[0]);
 }
 
-bool load_cache(AppKind app, bool quick, int max_checkpoints,
-                CommonCaseSweep* sweep) {
-  std::ifstream in(cache_path(app, quick));
+/// Caches live under $MS_BENCH_CACHE_DIR when set, else the build-tree
+/// directory baked in by CMake, else the working directory — never the
+/// source tree.
+std::filesystem::path cache_dir() {
+  if (const char* env = std::getenv("MS_BENCH_CACHE_DIR");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+#ifdef MS_BENCH_CACHE_DIR
+  return MS_BENCH_CACHE_DIR;
+#else
+  return ".";
+#endif
+}
+
+}  // namespace
+
+std::filesystem::path common_case_cache_path(AppKind app, bool quick) {
+  return cache_dir() / (std::string("ms_common_case_") + app_name(app) +
+                        (quick ? "_quick" : "") + ".cache");
+}
+
+bool load_common_case_cache(AppKind app, bool quick, int max_checkpoints,
+                            CommonCaseSweep* sweep) {
+  std::ifstream in(common_case_cache_path(app, quick));
   if (!in.good()) return false;
+  std::string magic;
   int version = 0;
-  in >> version;
-  if (version != 1) return false;
+  int cached_kmax = -1;
+  std::size_t cached_schemes = 0;
+  if (!(in >> magic >> version >> cached_kmax >> cached_schemes)) return false;
+  if (magic != "ms-common-case-cache" || version != kCacheVersion) return false;
+  if (cached_kmax != max_checkpoints || cached_schemes != num_schemes()) {
+    return false;  // different sweep geometry: regenerate, don't misread
+  }
   for (const Scheme scheme : kAllSchemes) {
     for (int k = 0; k <= max_checkpoints; ++k) {
       CommonCaseCell cell;
@@ -37,29 +78,42 @@ bool load_cache(AppKind app, bool quick, int max_checkpoints,
   return true;
 }
 
-void store_cache(AppKind app, bool quick, int max_checkpoints,
-                 const CommonCaseSweep& sweep) {
-  std::ofstream out(cache_path(app, quick), std::ios::trunc);
-  out << 1 << "\n";
-  for (const Scheme scheme : kAllSchemes) {
-    for (int k = 0; k <= max_checkpoints; ++k) {
-      const auto& cell = sweep.cells.at(scheme).at(k);
-      out << cell.throughput << " " << cell.latency_ms << " "
-          << cell.checkpoints << "\n";
-    }
+void store_common_case_cache(AppKind app, bool quick, int max_checkpoints,
+                             const CommonCaseSweep& sweep) {
+  const std::filesystem::path path = common_case_cache_path(app, quick);
+  std::error_code ec;  // best-effort: a failed cache write only costs a rerun
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path(), ec);
   }
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "ms-common-case-cache " << kCacheVersion << " " << max_checkpoints
+        << " " << num_schemes() << "\n";
+    out << std::setprecision(17);  // round-trips doubles exactly
+    for (const Scheme scheme : kAllSchemes) {
+      for (int k = 0; k <= max_checkpoints; ++k) {
+        const auto& cell = sweep.cells.at(scheme).at(k);
+        out << cell.throughput << " " << cell.latency_ms << " "
+            << cell.checkpoints << "\n";
+      }
+    }
+    out.flush();
+    if (out.good()) return;
+  }
+  // A partial cache is worse than none: the next run would trust it.
+  std::fprintf(stderr, "  warning: could not write %s; removing it\n",
+               path.string().c_str());
+  std::filesystem::remove(path, ec);
 }
-
-}  // namespace
 
 CommonCaseSweep run_common_case_sweep(AppKind app, bool quick,
                                       int max_checkpoints) {
   CommonCaseSweep sweep;
-  if (load_cache(app, quick, max_checkpoints, &sweep)) {
+  if (load_common_case_cache(app, quick, max_checkpoints, &sweep)) {
     std::fprintf(stderr,
                  "  %s: reusing the sweep measured by the sibling bench "
                  "(%s)\n",
-                 app_name(app), cache_path(app, quick).c_str());
+                 app_name(app), common_case_cache_path(app, quick).string().c_str());
     return sweep;
   }
   const SimTime window = quick ? SimTime::minutes(2) : SimTime::minutes(10);
@@ -83,7 +137,7 @@ CommonCaseSweep run_common_case_sweep(AppKind app, bool quick,
       sweep.cells[Scheme::kBaseline][0].throughput;
   sweep.baseline_zero_latency_ms =
       sweep.cells[Scheme::kBaseline][0].latency_ms;
-  store_cache(app, quick, max_checkpoints, sweep);
+  store_common_case_cache(app, quick, max_checkpoints, sweep);
   return sweep;
 }
 
@@ -91,23 +145,33 @@ void print_panel(AppKind app, const CommonCaseSweep& sweep, Metric metric) {
   const double base = metric == Metric::kThroughput
                           ? sweep.baseline_zero_throughput
                           : sweep.baseline_zero_latency_ms;
+  // Column range follows whatever the sweep actually measured (the paper's
+  // panels run 0..8, quick sweeps may be narrower).
+  int kmax = 0;
+  for (const auto& [scheme, cells] : sweep.cells) {
+    for (const auto& [k, cell] : cells) kmax = std::max(kmax, k);
+  }
   std::printf("\n(%s) — normalized %s vs. checkpoints in the window\n",
               app_name(app),
               metric == Metric::kThroughput ? "throughput" : "latency");
   std::vector<std::string> headers{"scheme"};
-  for (int k = 0; k <= 8; ++k) headers.push_back("k=" + std::to_string(k));
+  for (int k = 0; k <= kmax; ++k) headers.push_back("k=" + std::to_string(k));
   TablePrinter table(headers, 10);
   for (const Scheme scheme : kAllSchemes) {
     std::vector<std::string> row{scheme_name(scheme)};
     const auto it = sweep.cells.find(scheme);
-    for (int k = 0; k <= 8; ++k) {
-      const auto cit = it->second.find(k);
-      if (cit == it->second.end()) {
+    for (int k = 0; k <= kmax; ++k) {
+      const CommonCaseCell* cell = nullptr;
+      if (it != sweep.cells.end()) {
+        const auto cit = it->second.find(k);
+        if (cit != it->second.end()) cell = &cit->second;
+      }
+      if (cell == nullptr) {
         row.push_back("-");
         continue;
       }
-      const double v = metric == Metric::kThroughput ? cit->second.throughput
-                                                     : cit->second.latency_ms;
+      const double v =
+          metric == Metric::kThroughput ? cell->throughput : cell->latency_ms;
       row.push_back(base > 0 ? fmt(v / base) : fmt(0.0));
     }
     table.row(row);
@@ -115,14 +179,20 @@ void print_panel(AppKind app, const CommonCaseSweep& sweep, Metric metric) {
 
   // The figure itself, ASCII-rendered.
   std::vector<double> xs;
-  for (int k = 0; k <= 8; ++k) xs.push_back(k);
+  for (int k = 0; k <= kmax; ++k) xs.push_back(k);
   std::vector<Series> plot;
   for (const Scheme scheme : kAllSchemes) {
     Series s{scheme_name(scheme), {}};
-    for (int k = 0; k <= 8; ++k) {
-      const auto& cell = sweep.cells.at(scheme).at(k);
-      const double v =
-          metric == Metric::kThroughput ? cell.throughput : cell.latency_ms;
+    const auto it = sweep.cells.find(scheme);
+    for (int k = 0; k <= kmax; ++k) {
+      double v = 0.0;
+      if (it != sweep.cells.end()) {
+        const auto cit = it->second.find(k);
+        if (cit != it->second.end()) {
+          v = metric == Metric::kThroughput ? cit->second.throughput
+                                            : cit->second.latency_ms;
+        }
+      }
       s.y.push_back(base > 0 ? v / base : 0.0);
     }
     plot.push_back(std::move(s));

@@ -2,6 +2,7 @@
 // schemes across 0..8 checkpoints in a 10-minute window, per application.
 #pragma once
 
+#include <filesystem>
 #include <map>
 #include <vector>
 
@@ -26,9 +27,11 @@ struct CommonCaseSweep {
 /// scheme (paper: 0..8). Quick mode shrinks the window.
 ///
 /// The paper's Figs. 12 and 13 come from the same runs, so the sweep caches
-/// its measurements in the working directory
-/// ("ms_common_case_<app>[_quick].cache"); a bench that finds a cache reuses
-/// it (and says so) instead of re-simulating ~100 ten-minute runs.
+/// its measurements ("ms_common_case_<app>[_quick].cache") under
+/// $MS_BENCH_CACHE_DIR (defaulting to the build tree's bench_cache/); a
+/// bench that finds a cache with matching geometry (version, max_checkpoints,
+/// scheme count — encoded in the header) reuses it (and says so) instead of
+/// re-simulating ~100 ten-minute runs.
 CommonCaseSweep run_common_case_sweep(AppKind app, bool quick,
                                       int max_checkpoints = 8);
 
@@ -36,5 +39,24 @@ CommonCaseSweep run_common_case_sweep(AppKind app, bool quick,
 /// values normalized to the baseline at zero checkpoints.
 enum class Metric { kThroughput, kLatency };
 void print_panel(AppKind app, const CommonCaseSweep& sweep, Metric metric);
+
+// --- sweep cache (exposed for tests) ---------------------------------------
+
+/// Where the sweep cache for (app, quick) lives: $MS_BENCH_CACHE_DIR when
+/// set, else the build-tree bench_cache/ directory, else the CWD.
+std::filesystem::path common_case_cache_path(AppKind app, bool quick);
+
+/// Load a cached sweep. Fails (returns false, leaves *sweep alone or
+/// partially filled) unless the file exists, parses, and its header matches
+/// this reader's geometry: same format version, same max_checkpoints, same
+/// number of schemes. A geometry mismatch must regenerate — reading cells at
+/// shifted offsets silently corrupts the fig12/fig13 panels.
+bool load_common_case_cache(AppKind app, bool quick, int max_checkpoints,
+                            CommonCaseSweep* sweep);
+
+/// Store a sweep. Creates the cache directory as needed; if the write fails
+/// the partial file is removed (a torn cache is worse than none).
+void store_common_case_cache(AppKind app, bool quick, int max_checkpoints,
+                             const CommonCaseSweep& sweep);
 
 }  // namespace ms::bench

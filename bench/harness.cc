@@ -20,6 +20,7 @@ const char* scheme_name(Scheme s) {
     case Scheme::kMsSrc: return "MS-src";
     case Scheme::kMsSrcAp: return "MS-src+ap";
     case Scheme::kMsSrcApAa: return "MS-src+ap+aa";
+    case Scheme::kMsSrcApDelta: return "MS-src+ap+delta";
   }
   return "?";
 }
@@ -191,6 +192,19 @@ void Experiment::configure_scheme(int checkpoints_in_window) {
           app_.get(), params_,
           scheme_ == Scheme::kMsSrc ? ft::MsVariant::kSrc
                                     : ft::MsVariant::kSrcAp);
+      ms_->attach();
+      break;
+    }
+    case Scheme::kMsSrcApDelta: {
+      // MS-src+ap serializing per-epoch deltas and retuning its checkpoint
+      // interval from observed cost (the CadenceController). The fixed
+      // period derived from checkpoints_in_window seeds the controller's
+      // initial interval and its clamp range.
+      params_.periodic = checkpoints_in_window > 0;
+      params_.delta_checkpoints = true;
+      params_.adaptive_cadence = true;
+      ms_ = std::make_unique<ft::MsScheme>(app_.get(), params_,
+                                           ft::MsVariant::kSrcAp);
       ms_->attach();
       break;
     }

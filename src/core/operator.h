@@ -111,8 +111,31 @@ class Operator {
   /// The default reports the full state (no delta tracking).
   virtual Bytes state_delta_size() const { return state_size(); }
   /// Notification that a checkpoint of this operator completed (resets the
-  /// delta baseline).
+  /// delta baseline). The rt engine calls this at the serialization cut —
+  /// full or delta — so mutations after the cut always land in the next
+  /// delta.
   virtual void mark_checkpointed() {}
+
+  /// Byte-level incremental checkpointing (rt engine). An operator that can
+  /// tell which parts of its state mutated since the last
+  /// mark_checkpointed() opts in by returning true and implementing
+  /// serialize_delta()/apply_delta(); the runtime then persists delta
+  /// records chained on a full base snapshot and recovery layers them in
+  /// order. The defaults degrade to full snapshots, so every operator is
+  /// delta-safe without opting in.
+  virtual bool supports_delta() const { return false; }
+  /// Emit only the state mutated since the last mark_checkpointed().
+  /// Invoked instead of serialize_state() on delta epochs; the engine calls
+  /// mark_checkpointed() immediately after, pinning the next delta's
+  /// baseline at this cut.
+  virtual void serialize_delta(BinaryWriter& w) const { serialize_state(w); }
+  /// Layer one delta blob (produced by serialize_delta) onto the current
+  /// state. The default pairs with the serialize_delta fallback: a
+  /// full-state blob replaces everything.
+  virtual void apply_delta(BinaryReader& r) {
+    clear_state();
+    deserialize_state(r);
+  }
 
   /// Checkpoint the real operator state. The declared (simulated) size
   /// charged to storage is state_size(); the blob carries compact content.

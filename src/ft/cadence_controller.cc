@@ -1,0 +1,44 @@
+#include "ft/cadence_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ms::ft {
+
+CadenceController::CadenceController(const FtParams& params)
+    : params_(params), interval_(params.checkpoint_period) {
+  min_ = params_.checkpoint_period * params_.cadence_min_factor;
+  max_ = params_.checkpoint_period * params_.cadence_max_factor;
+  if (min_ < SimTime::nanos(1)) min_ = SimTime::nanos(1);
+  if (max_ < min_) max_ = min_;
+}
+
+void CadenceController::on_checkpoint_complete(SimTime cost, Bytes bytes) {
+  const double c = std::max(cost.to_seconds(), 0.0);
+  const double b = static_cast<double>(std::max<Bytes>(bytes, 0));
+  if (!have_sample_) {
+    cost_s_ = c;
+    bytes_ = b;
+    have_sample_ = true;
+  } else {
+    const double a = std::clamp(params_.cadence_smoothing, 0.0, 1.0);
+    cost_s_ += a * (c - cost_s_);
+    bytes_ += a * (b - bytes_);
+  }
+  retune();
+}
+
+void CadenceController::retune() {
+  // Young's first-order optimum: the interval that balances checkpoint tax
+  // against expected rework, T = sqrt(2 * C * MTBF).
+  double t = std::sqrt(2.0 * cost_s_ * params_.mtbf.to_seconds());
+  // Recovery budget: a failure forces replay of ~one interval of input at
+  // replay_speedup; keep that catch-up time within the budget.
+  if (params_.recovery_budget > SimTime::zero() && params_.replay_speedup > 0) {
+    t = std::min(t, params_.recovery_budget.to_seconds() * params_.replay_speedup);
+  }
+  interval_ = std::clamp(SimTime::seconds(t), min_, max_);
+  ++retunes_;
+}
+
+}  // namespace ms::ft

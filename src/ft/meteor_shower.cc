@@ -83,6 +83,10 @@ MsScheme::MsScheme(core::Application* app, const FtParams& params,
                    [this](std::uint64_t id) { start_epoch_fanout(id); },
            });
   coordinator_ = std::make_unique<CheckpointCoordinator>(runtime_.get(), params_);
+  if (params_.adaptive_cadence) {
+    cadence_ = std::make_unique<CadenceController>(params_);
+    coordinator_->set_cadence(cadence_.get());
+  }
   coordinator_->set_probe([this](FtPoint point, int hau, std::uint64_t id) {
     emit_probe(point, hau, id);
   });

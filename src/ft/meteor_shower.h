@@ -28,6 +28,7 @@
 #include "common/rng.h"
 #include "core/application.h"
 #include "ft/aa_controller.h"
+#include "ft/cadence_controller.h"
 #include "ft/failure_detector.h"
 #include "ft/params.h"
 #include "ft/probe.h"
@@ -124,6 +125,9 @@ class MsScheme {
     return coordinator_->last_completed();
   }
   AaController& aa() { return aa_; }
+  /// Non-null only when params.adaptive_cadence is set: the feedback
+  /// controller retuning the periodic interval (fifth scheme).
+  CadenceController* cadence() { return cadence_.get(); }
   /// The execution-agnostic controller (ft/protocol.h) driving the epochs.
   CheckpointCoordinator& coordinator() { return *coordinator_; }
 
@@ -233,6 +237,7 @@ class MsScheme {
   /// fan-out hooks).
   std::unique_ptr<SimRuntime> runtime_;
   std::unique_ptr<CheckpointCoordinator> coordinator_;
+  std::unique_ptr<CadenceController> cadence_;
   std::vector<RecoveryStats> recoveries_;
 
   AaController aa_;

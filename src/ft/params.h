@@ -30,10 +30,37 @@ struct FtParams {
   /// jointly"): write only the state changed since the previous checkpoint;
   /// recovery still reads the full reconstructed state.
   bool delta_checkpoints = false;
+  /// rt delta chains: compact with a full snapshot after this many
+  /// consecutive delta epochs...
+  int delta_compact_every = 4;
+  /// ...or earlier, once the chain's accumulated delta bytes exceed this
+  /// multiple of the base snapshot's bytes (caps recovery read
+  /// amplification).
+  double delta_compact_ratio = 1.5;
   /// Also mirror the checkpoint to the node's local disk (the paper's
   /// "optionally saved again in the local disks"). Not on the completion
   /// critical path.
   bool save_local_copy = true;
+
+  // --- adaptive cadence (CadenceController, Khaos-style) ---
+  /// Continuously retune the checkpoint interval from observed checkpoint
+  /// cost vs. the configured failure rate and recovery budget, instead of
+  /// firing at the fixed checkpoint_period. Seeds from checkpoint_period.
+  bool adaptive_cadence = false;
+  /// Assumed mean time between failures — the failure-rate input to the
+  /// Young/Daly optimum sqrt(2 * cost * MTBF).
+  SimTime mtbf = SimTime::minutes(60);
+  /// Recovery-time budget: the interval is additionally capped so the
+  /// expected replay backlog (≈ one interval of input, replayed at
+  /// replay_speedup) stays within it. Zero disables the cap.
+  SimTime recovery_budget = SimTime::seconds(30);
+  /// EWMA weight of the newest checkpoint-cost observation.
+  double cadence_smoothing = 0.3;
+  /// Clamp on the retuned interval, as multiples of checkpoint_period
+  /// (factors keep the clamp scale-free: sim sweeps run minutes-long
+  /// periods, rt demos run milliseconds).
+  double cadence_min_factor = 0.125;
+  double cadence_max_factor = 8.0;
 
   // --- input preservation (baseline) ---
   Bytes preservation_buffer = 50_MB;

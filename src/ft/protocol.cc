@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/status.h"
+#include "ft/cadence_controller.h"
 
 namespace ms::ft {
 
@@ -35,8 +36,14 @@ void CheckpointCoordinator::set_metrics(MetricsRegistry* metrics) {
   bind_metrics();
 }
 
+SimTime CheckpointCoordinator::effective_period() const {
+  return cadence_ != nullptr ? cadence_->interval() : params_.checkpoint_period;
+}
+
 void CheckpointCoordinator::schedule_periodic() {
-  runtime_->schedule_after(params_.checkpoint_period, [this] {
+  // Re-read the period on every arm so a cadence retune takes effect from
+  // the next cycle onward.
+  runtime_->schedule_after(effective_period(), [this] {
     if (!(blocked_ && blocked_())) begin_checkpoint();
     schedule_periodic();
   });
@@ -52,7 +59,7 @@ void CheckpointCoordinator::begin_checkpoint() {
     // a write lost to a storage outage) and is abandoned so checkpointing
     // can resume.
     const SimTime now = runtime_->now();
-    const SimTime stale_after = params_.checkpoint_period * std::int64_t{3};
+    const SimTime stale_after = effective_period() * std::int64_t{3};
     for (auto it = in_progress_.begin(); it != in_progress_.end();) {
       if (now - it->second.initiated > stale_after) {
         abandon_one(it->first, "wedged past the stale window");
@@ -96,6 +103,7 @@ void CheckpointCoordinator::abandon_one(std::uint64_t id, const char* why) {
               static_cast<unsigned long long>(id), why);
   emit(FtPoint::kEpochAbandon, -1, id);
   m_ckpt_abandoned_->add(1);
+  if (cadence_ != nullptr) cadence_->on_checkpoint_abandoned();
   reported_units_.erase(id);
   runtime_->abandon_epoch(id);
 }
@@ -132,6 +140,14 @@ void CheckpointCoordinator::on_unit_report(const HauCheckpointReport& report) {
     stats.completed = runtime_->now();
     last_completed_ = stats.checkpoint_id;
     const std::uint64_t id = stats.checkpoint_id;
+    if (cadence_ != nullptr) {
+      // The per-epoch tax the interval amortizes is the slowest unit's
+      // serialize ("other") + disk-io span; token collection overlaps
+      // processing and is not part of the cost the controller trades off.
+      cadence_->on_checkpoint_complete(
+          stats.slowest.other() + stats.slowest.disk_io(),
+          stats.total_declared);
+    }
     checkpoints_.push_back(stats);
     reported_units_.erase(id);
     in_progress_.erase(it);  // invalidates `stats`

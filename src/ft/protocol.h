@@ -24,6 +24,8 @@
 
 namespace ms::ft {
 
+class CadenceController;
+
 class CheckpointCoordinator {
  public:
   CheckpointCoordinator(Runtime* runtime, const FtParams& params);
@@ -38,7 +40,15 @@ class CheckpointCoordinator {
     blocked_ = std::move(blocked);
   }
 
-  /// Arm the periodic schedule (params.checkpoint_period cadence).
+  /// Let a CadenceController retune the periodic interval: every completed
+  /// epoch feeds it the slowest unit's cost, and the next periodic
+  /// initiation (plus the wedge stale-window) uses its interval() instead of
+  /// the fixed checkpoint_period. The controller outlives the coordinator
+  /// (owned by MsScheme / RtRuntime alongside it); nullptr detaches.
+  void set_cadence(CadenceController* cadence) { cadence_ = cadence; }
+
+  /// Arm the periodic schedule (params.checkpoint_period cadence, retuned by
+  /// the cadence controller when one is attached).
   void schedule_periodic();
 
   /// Start one application checkpoint epoch now. Skipped while blocked or
@@ -79,11 +89,13 @@ class CheckpointCoordinator {
   void bind_metrics();
   void schedule_retransmit(std::uint64_t id);
   void abandon_one(std::uint64_t id, const char* why);
+  SimTime effective_period() const;
 
   Runtime* runtime_;
   FtParams params_;
   FtProbe probe_;
   std::function<bool()> blocked_;
+  CadenceController* cadence_ = nullptr;
 
   std::uint64_t next_checkpoint_id_ = 1;
   std::map<std::uint64_t, AppCheckpointStats> in_progress_;

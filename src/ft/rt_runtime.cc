@@ -17,7 +17,11 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr std::uint32_t kManifestMagic = 0x4D534D46;  // "MSMF"
-constexpr std::uint32_t kManifestVersion = 1;
+// v2 added the chain predecessor pointer and per-op full/delta kinds.
+// Checkpoint directories do not outlive the binary that wrote them, so only
+// the current version is accepted; an old-version manifest reads as "no
+// manifest" and the epoch is treated as never committed.
+constexpr std::uint32_t kManifestVersion = 2;
 // Fixed-width portion of a source-log frame (everything but the payload).
 constexpr std::size_t kLogFrameFixed =
     8 /*index*/ + 4 /*out_port*/ + 8 /*id*/ + 4 /*source_hau*/ +
@@ -78,9 +82,16 @@ RtRuntime::RtRuntime(rt::RtEngine* engine, RtRuntimeConfig config)
   }
   scan_existing_state();
   baseline_seq_.assign(static_cast<std::size_t>(n), 0);
+  delta_enabled_ = config_.mode == RtMode::kSrcApDelta ||
+                   (config_.mode != RtMode::kBaseline &&
+                    config_.params.delta_checkpoints);
 
   coordinator_ = std::make_unique<CheckpointCoordinator>(this, config_.params);
   if (config_.metrics) coordinator_->set_metrics(config_.metrics);
+  if (config_.mode == RtMode::kSrcApDelta || config_.params.adaptive_cadence) {
+    cadence_ = std::make_unique<CadenceController>(config_.params);
+    coordinator_->set_cadence(cadence_.get());
+  }
   coordinator_->set_probe([this](FtPoint point, int unit, std::uint64_t id) {
     emit_probe(point, unit, id);
   });
@@ -178,7 +189,8 @@ void RtRuntime::arm_initiation() {
   if (config_.auto_recover) arm_heartbeats();
   switch (config_.mode) {
     case RtMode::kSrc:
-    case RtMode::kSrcAp: {
+    case RtMode::kSrcAp:
+    case RtMode::kSrcApDelta: {
       if (config_.params.periodic) {
         std::scoped_lock lk(ctl_mu_);
         coordinator_->schedule_periodic();
@@ -275,16 +287,28 @@ void RtRuntime::start_epoch(std::uint64_t epoch) {
   es.disk_epoch = disk;
   es.fence = recovery_seq_.load();
   es.initiated = now();
+  if (delta_enabled_ && !chain_broken_ && last_durable_ != 0) {
+    // Delta unless compaction is due: too many deltas stacked, or the chain
+    // has grown past the read-amplification cap relative to its base.
+    const bool compact_count =
+        deltas_since_full_ >= std::max(1, config_.params.delta_compact_every);
+    const bool compact_ratio =
+        base_bytes_ > 0 &&
+        static_cast<double>(chain_delta_bytes_) >
+            config_.params.delta_compact_ratio * static_cast<double>(base_bytes_);
+    if (!compact_count && !compact_ratio) es.kind = rt::SnapshotKind::kDelta;
+  }
   if (!crashed_.load()) {
     std::error_code ec;
     fs::create_directories(epoch_dir(disk), ec);
   }
+  const rt::SnapshotKind kind = es.kind;
   pending_[disk] = std::move(es);
   emit_probe(FtPoint::kTokenAlignStart, -1, epoch);
   const rt::SnapshotMode mode = config_.mode == RtMode::kSrc
                                     ? rt::SnapshotMode::kSync
                                     : rt::SnapshotMode::kAsync;
-  const Status st = engine_->begin_epoch(disk, mode);
+  const Status st = engine_->begin_epoch(disk, mode, kind);
   if (!st.is_ok()) {
     MS_LOG_WARN("ft", "rt epoch %llu failed to start: %s",
                 static_cast<unsigned long long>(disk), st.message().c_str());
@@ -299,14 +323,21 @@ void RtRuntime::commit_epoch(std::uint64_t epoch) {
   if (it == pending_.end()) return;
   if (crashed_.load()) {  // a dead process commits nothing
     pending_.erase(it);
+    chain_broken_ = true;  // baselines advanced at the cut, nothing durable
     return;
   }
   const EpochState& es = it->second;
+  // The epoch is a chain link iff any op actually delivered a delta; a
+  // "delta" epoch where every op serialized fully is self-contained and
+  // compacts the chain exactly like a requested full epoch.
+  bool any_delta = false;
+  for (const auto& [op, is_delta] : es.deltas) any_delta |= is_delta;
 
   BinaryWriter w;
   w.write<std::uint32_t>(kManifestMagic);
   w.write<std::uint32_t>(kManifestVersion);
   w.write<std::uint64_t>(disk);
+  w.write<std::uint64_t>(any_delta ? last_durable_ : 0);  // chain predecessor
   const int n = engine_->num_operators();
   w.write<std::uint32_t>(static_cast<std::uint32_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -314,6 +345,8 @@ void RtRuntime::commit_epoch(std::uint64_t epoch) {
     w.write<std::uint64_t>(size_it == es.sizes.end() ? 0 : size_it->second);
     const bool is_source = engine_->op_is_source(i);
     w.write<std::uint8_t>(is_source ? 1 : 0);
+    const auto d_it = es.deltas.find(i);
+    w.write<std::uint8_t>(d_it != es.deltas.end() && d_it->second ? 1 : 0);
     const auto b_it = es.boundaries.find(i);
     w.write<std::uint64_t>(b_it == es.boundaries.end() ? 0 : b_it->second);
     const auto s_it = es.next_seqs.find(i);
@@ -326,13 +359,39 @@ void RtRuntime::commit_epoch(std::uint64_t epoch) {
     return;
   }
 
-  // The rename above is the commit point: epoch `disk` now exists. The
-  // predecessor and the preserved prefix behind the new boundaries are dead.
-  prev_durable_ = last_durable_;
+  // The rename above is the commit point: epoch `disk` now exists. A delta
+  // epoch extends the committed chain (its predecessors stay — recovery
+  // needs them); a full epoch supersedes the whole chain, which is GC'd.
   last_durable_ = disk;
-  if (prev_durable_ != 0) {
-    std::error_code ec;
-    fs::remove_all(epoch_dir(prev_durable_), ec);
+  // Bytes that actually extend the chain: only delta blobs count toward the
+  // compaction ratio. Full-fallback blobs from delta-unaware ops supersede
+  // their own previous record at recovery (the chain walk stops at the
+  // newest full record per op), so they don't accumulate read cost the way
+  // deltas do — folding them in would force compaction as soon as any op
+  // with growing state lacks delta support.
+  std::uint64_t epoch_bytes = 0;
+  std::uint64_t delta_bytes = 0;
+  for (const auto& [op, sz] : es.sizes) {
+    epoch_bytes += sz;
+    const auto d_it2 = es.deltas.find(op);
+    if (d_it2 != es.deltas.end() && d_it2->second) delta_bytes += sz;
+  }
+  if (any_delta) {
+    chain_epochs_.push_back(disk);
+    ++deltas_since_full_;
+    chain_delta_bytes_ += delta_bytes;
+  } else {
+    for (std::uint64_t e : chain_epochs_) {
+      std::error_code ec;
+      fs::remove_all(epoch_dir(e), ec);
+    }
+    chain_epochs_.assign(1, disk);
+    deltas_since_full_ = 0;
+    chain_delta_bytes_ = 0;
+    base_bytes_ = epoch_bytes;
+    // The operators' dirty baselines were pinned at this epoch's cut and
+    // the full image is now durable: the chain is intact again.
+    chain_broken_ = false;
   }
   for (int i = 0; i < n; ++i) {
     if (!logs_[static_cast<std::size_t>(i)]) continue;
@@ -346,6 +405,11 @@ void RtRuntime::abandon_epoch(std::uint64_t epoch) {
   // Called by the coordinator under ctl_mu_ (wedge or unit failure).
   const std::uint64_t disk = epoch_base_ + epoch;
   pending_.erase(disk);
+  // Operators that already serialized for this epoch advanced their dirty
+  // baselines at the cut, but the bytes are being discarded — a delta
+  // against those baselines would no longer layer onto the committed chain
+  // tip. Rebase: the next epoch must be full.
+  chain_broken_ = true;
   if (!crashed_.load()) {
     std::error_code ec;
     fs::remove_all(epoch_dir(disk), ec);
@@ -383,8 +447,9 @@ void RtRuntime::on_snapshot(const rt::Snapshot& snap) {
 
   const std::uint64_t id = snap.epoch - epoch_base_;
   emit_probe(FtPoint::kCheckpointWrite, snap.op, id);
-  const std::string path =
-      epoch_dir(snap.epoch) + "/op_" + std::to_string(snap.op) + ".ckpt";
+  const std::string path = epoch_dir(snap.epoch) + "/op_" +
+                           std::to_string(snap.op) +
+                           (snap.delta ? ".delta" : ".ckpt");
   bool wrote = false;
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -410,6 +475,7 @@ void RtRuntime::on_snapshot(const rt::Snapshot& snap) {
   emit_probe(FtPoint::kCheckpointDone, snap.op, id);
   EpochState& es = it->second;
   es.sizes[snap.op] = snap.size;
+  es.deltas[snap.op] = snap.delta;
   if (engine_->op_is_source(snap.op)) {
     es.boundaries[snap.op] = snap.source_boundary;
     es.next_seqs[snap.op] = snap.source_next_seq;
@@ -508,17 +574,17 @@ std::optional<RtRuntime::Manifest> RtRuntime::read_manifest(
   if (!bytes) return std::nullopt;
   // Validate the size before handing the buffer to BinaryReader (which
   // fail-stops on truncation — wrong response to a torn file).
-  constexpr std::size_t kHeader = 4 + 4 + 8 + 4;
+  constexpr std::size_t kHeader = 4 + 4 + 8 + 8 + 4;
   if (bytes->size() < kHeader) return std::nullopt;
   std::uint32_t magic = 0, version = 0, num_ops = 0;
   std::memcpy(&magic, bytes->data(), 4);
   std::memcpy(&version, bytes->data() + 4, 4);
-  std::memcpy(&num_ops, bytes->data() + 16, 4);
+  std::memcpy(&num_ops, bytes->data() + 24, 4);
   if (magic != kManifestMagic || version != kManifestVersion) {
     return std::nullopt;
   }
   if (num_ops > 1u << 20) return std::nullopt;
-  constexpr std::size_t kPerOp = 8 + 1 + 8 + 8;
+  constexpr std::size_t kPerOp = 8 + 1 + 1 + 8 + 8;
   if (bytes->size() != kHeader + num_ops * kPerOp) return std::nullopt;
 
   BinaryReader r(*bytes);
@@ -526,11 +592,13 @@ std::optional<RtRuntime::Manifest> RtRuntime::read_manifest(
   r.read<std::uint32_t>();  // magic
   r.read<std::uint32_t>();  // version
   m.epoch = r.read<std::uint64_t>();
+  m.prev_epoch = r.read<std::uint64_t>();
   r.read<std::uint32_t>();  // num_ops
   m.ops.resize(num_ops);
   for (auto& op : m.ops) {
     op.size = r.read<std::uint64_t>();
     op.is_source = r.read<std::uint8_t>() != 0;
+    op.delta = r.read<std::uint8_t>() != 0;
     op.boundary = r.read<std::uint64_t>();
     op.next_seq = r.read<std::uint64_t>();
   }
@@ -605,8 +673,17 @@ void RtRuntime::truncate_log(int op, std::uint64_t boundary) {
 void RtRuntime::scan_existing_state() {
   // Engine stopped, no epochs pending: safe to rebuild the durable view.
   last_durable_ = 0;
+  chain_epochs_.clear();
+  deltas_since_full_ = 0;
+  chain_delta_bytes_ = 0;
+  base_bytes_ = 0;
+  // Whatever is on disk, the operators' in-memory dirty baselines are not
+  // the chain tip (fresh construction or a recovery in progress) — the next
+  // epoch must be a full one.
+  chain_broken_ = true;
   std::uint64_t max_epoch = 0;
   std::vector<std::uint64_t> incomplete;
+  std::vector<std::uint64_t> committed;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
     const std::string name = entry.path().filename().string();
@@ -619,6 +696,7 @@ void RtRuntime::scan_existing_state() {
     }
     max_epoch = std::max(max_epoch, e);
     if (fs::exists(entry.path() / "MANIFEST")) {
+      committed.push_back(e);
       last_durable_ = std::max(last_durable_, e);
     } else {
       incomplete.push_back(e);  // crash mid-checkpoint: never existed
@@ -628,6 +706,31 @@ void RtRuntime::scan_existing_state() {
   // collide with a file a concurrent reader might still hold open.
   epoch_base_ = max_epoch;
   for (std::uint64_t e : incomplete) {
+    std::error_code rm_ec;
+    fs::remove_all(epoch_dir(e), rm_ec);
+  }
+  // Rebuild the committed chain by walking prev_epoch pointers back from
+  // the tip; oldest (the full base) first. An unreadable or old-version
+  // manifest truncates the walk — recovery will surface the breakage if the
+  // remaining chain is unusable.
+  if (last_durable_ != 0) {
+    std::uint64_t e = last_durable_;
+    while (e != 0 &&
+           std::find(chain_epochs_.begin(), chain_epochs_.end(), e) ==
+               chain_epochs_.end()) {
+      chain_epochs_.insert(chain_epochs_.begin(), e);
+      const auto m = read_manifest(e);
+      if (!m) break;
+      e = m->prev_epoch;
+    }
+  }
+  // Committed epochs not on the chain are superseded leftovers (a crash
+  // between a full commit's rename and its GC): remove them now.
+  for (std::uint64_t e : committed) {
+    if (std::find(chain_epochs_.begin(), chain_epochs_.end(), e) !=
+        chain_epochs_.end()) {
+      continue;
+    }
     std::error_code rm_ec;
     fs::remove_all(epoch_dir(e), rm_ec);
   }
@@ -693,25 +796,38 @@ Status RtRuntime::recover(RecoveryStats* stats) {
   const bool baseline = config_.mode == RtMode::kBaseline;
   std::uint64_t epoch = 0;
   std::optional<Manifest> manifest;
+  // Every manifest on the committed chain, keyed by epoch; a delta tip pulls
+  // in its predecessors so per-op chains can be walked back to a full base.
+  std::map<std::uint64_t, Manifest> chain;
   if (!baseline) {
     std::scoped_lock lk(ctl_mu_);
     epoch = last_durable_;
     if (epoch != 0) {
-      manifest = read_manifest(epoch);
-      if (!manifest) {
-        return Status::internal("RtRuntime: manifest unreadable for epoch " +
-                                std::to_string(epoch));
+      std::uint64_t e = epoch;
+      while (e != 0 && chain.find(e) == chain.end()) {
+        auto m = read_manifest(e);
+        if (!m) {
+          return Status::internal("RtRuntime: manifest unreadable for epoch " +
+                                  std::to_string(e));
+        }
+        if (m->ops.size() != static_cast<std::size_t>(n)) {
+          return Status::internal("RtRuntime: manifest operator count mismatch");
+        }
+        const std::uint64_t prev = m->prev_epoch;
+        chain.emplace(e, std::move(*m));
+        e = prev;
       }
-      if (manifest->ops.size() != static_cast<std::size_t>(n)) {
-        return Status::internal("RtRuntime: manifest operator count mismatch");
-      }
+      manifest = chain.at(epoch);
     }
   }
 
-  // Phase 2: read the checkpoint bytes.
+  // Phase 2: read the checkpoint bytes — for each op, its newest full record
+  // plus every delta committed after it, oldest first.
   emit_probe(FtPoint::kRecoveryPhase2, -1, seq);
   const SimTime t_read0 = now();
   std::vector<std::vector<std::uint8_t>> state(static_cast<std::size_t>(n));
+  std::vector<std::vector<std::vector<std::uint8_t>>> deltas(
+      static_cast<std::size_t>(n));
   // Per-source replay cursors (baseline: from its own file header).
   std::vector<std::uint64_t> boundaries(static_cast<std::size_t>(n), 0);
   std::vector<std::uint64_t> next_seqs(static_cast<std::size_t>(n), 0);
@@ -735,19 +851,50 @@ Status RtRuntime::recover(RecoveryStats* stats) {
                                 std::to_string(i));
       }
       state[idx].assign(bytes->begin() + kHeader, bytes->end());
+      bytes_read += static_cast<Bytes>(state[idx].size());
     } else if (epoch != 0) {
-      const auto bytes =
-          read_file(epoch_dir(epoch) + "/op_" + std::to_string(i) + ".ckpt");
-      if (!bytes || bytes->size() != manifest->ops[idx].size) {
-        return Status::internal(
-            "RtRuntime: checkpoint bytes missing or truncated for op " +
-            std::to_string(i));
+      // Walk this op's records from the tip back to its newest full one.
+      std::vector<std::pair<std::uint64_t, const Manifest::Op*>> records;
+      std::uint64_t e = epoch;
+      for (;;) {
+        const auto m_it = chain.find(e);
+        if (m_it == chain.end()) {
+          return Status::internal("RtRuntime: delta chain broken for op " +
+                                  std::to_string(i) + " at epoch " +
+                                  std::to_string(e));
+        }
+        const Manifest::Op& rec = m_it->second.ops[idx];
+        records.emplace_back(e, &rec);
+        if (!rec.delta) break;
+        if (m_it->second.prev_epoch == 0) {
+          return Status::internal("RtRuntime: delta without a base for op " +
+                                  std::to_string(i));
+        }
+        e = m_it->second.prev_epoch;
       }
-      state[idx] = *bytes;
+      std::reverse(records.begin(), records.end());  // full base first
+      for (std::size_t j = 0; j < records.size(); ++j) {
+        const auto& [rec_epoch, rec] = records[j];
+        const std::string path = epoch_dir(rec_epoch) + "/op_" +
+                                 std::to_string(i) +
+                                 (rec->delta ? ".delta" : ".ckpt");
+        const auto bytes = read_file(path);
+        if (!bytes || bytes->size() != rec->size) {
+          return Status::internal(
+              "RtRuntime: checkpoint bytes missing or truncated for op " +
+              std::to_string(i) + " epoch " + std::to_string(rec_epoch));
+        }
+        bytes_read += static_cast<Bytes>(bytes->size());
+        if (j == 0) {
+          state[idx] = std::move(*bytes);
+        } else {
+          deltas[idx].push_back(std::move(*bytes));
+        }
+      }
+      // Replay cursors always come from the tip — the chain's youngest cut.
       boundaries[idx] = manifest->ops[idx].boundary;
       next_seqs[idx] = manifest->ops[idx].next_seq;
     }
-    bytes_read += static_cast<Bytes>(state[idx].size());
   }
   const SimTime t_read1 = now();
   if (crashed_.load()) return Status::unavailable("crashed during recovery");
@@ -760,6 +907,12 @@ Status RtRuntime::recover(RecoveryStats* stats) {
     const auto idx = static_cast<std::size_t>(i);
     Status st = engine_->restore_operator(i, state[idx]);
     if (!st.is_ok()) return st;
+    // Layer the op's committed deltas, oldest first, onto the full base.
+    for (const auto& d : deltas[idx]) {
+      st = engine_->apply_operator_delta(i, d);
+      if (!st.is_ok()) return st;
+    }
+    emit_probe(FtPoint::kRecoveryChainDone, i, seq);
     if (!logs_[idx]) continue;
     replay[idx] = read_log(i);
     // The restored lineage cursor must clear every preserved tuple so fresh

@@ -8,12 +8,24 @@
 // logs, epoch commit, and restart-and-replay recovery.
 //
 // Durability layout under `config.dir`:
-//   epoch_<E>/op_<i>.ckpt   per-operator snapshot bytes of epoch E
+//   epoch_<E>/op_<i>.ckpt   per-operator full snapshot bytes of epoch E
+//   epoch_<E>/op_<i>.delta  delta epochs (kSrcApDelta / delta_checkpoints):
+//                           only the state the operator mutated since its
+//                           previous cut. Delta epochs chain on the last
+//                           committed epoch via the manifest's prev_epoch
+//                           pointer; recovery walks each op's chain back to
+//                           its newest full record and layers the deltas in
+//                           order. A full epoch compacts the chain (every
+//                           delta_compact_every deltas, or once accumulated
+//                           delta bytes cross delta_compact_ratio × base)
+//                           and garbage-collects every predecessor.
 //   epoch_<E>/MANIFEST      commit marker (written as MANIFEST.tmp, then
-//                           renamed into place) recording per-op sizes and
+//                           renamed into place) recording per-op sizes,
+//                           kinds (full/delta), the chain predecessor and
 //                           per-source replay boundaries — an epoch without
 //                           a MANIFEST never existed; a crash mid-checkpoint
-//                           therefore rolls back to the last complete epoch
+//                           (or mid-chain) therefore rolls back to the last
+//                           complete epoch
 //   source_<i>.log          length-prefixed source emission records, written
 //                           by the engine's SourceTap *before* the tuple is
 //                           dispatched (durable-before-dispatch) and
@@ -34,6 +46,11 @@
 //             machine the simulator uses (observation → profiling →
 //             execution with alert mode; a period with no alert-fired
 //             checkpoint ends with a forced one);
+//   kSrcApDelta  kSrcAp plus delta checkpointing (chained op_<i>.delta
+//             records, full-snapshot compaction) and a CadenceController
+//             retuning the periodic interval from observed checkpoint cost
+//             vs. the configured MTBF / recovery budget — the fifth scheme,
+//             beyond the paper;
 //   kBaseline no tokens: every unit checkpoints independently at its own
 //             cadence via snapshot_now().
 //
@@ -63,6 +80,7 @@
 #include "common/status.h"
 #include "core/tuple.h"
 #include "ft/aa_controller.h"
+#include "ft/cadence_controller.h"
 #include "ft/failure_detector.h"
 #include "ft/params.h"
 #include "ft/probe.h"
@@ -73,7 +91,7 @@
 
 namespace ms::ft {
 
-enum class RtMode { kBaseline, kSrc, kSrcAp, kSrcApAa };
+enum class RtMode { kBaseline, kSrc, kSrcAp, kSrcApAa, kSrcApDelta };
 
 /// How source-log records carry payloads across a restart. The engine keeps
 /// payloads as shared_ptr<const Payload>; only the embedder knows the
@@ -169,6 +187,8 @@ class RtRuntime final : public Runtime {
   CheckpointCoordinator& coordinator() { return *coordinator_; }
   /// Non-null only in kSrcApAa mode.
   AaController* aa() { return aa_.get(); }
+  /// Non-null in kSrcApDelta mode (or when params.adaptive_cadence is set).
+  CadenceController* cadence() { return cadence_.get(); }
   rt::RtEngine& engine() { return *engine_; }
   RtMode mode() const { return config_.mode; }
 
@@ -190,9 +210,15 @@ class RtRuntime final : public Runtime {
     /// recovery_seq_ at initiation: snapshots fenced against a recovery that
     /// happened while the bytes were in flight.
     std::uint64_t fence = 0;
+    /// Kind requested from the engine (delta only when the committed chain
+    /// is intact and compaction is not due).
+    rt::SnapshotKind kind = rt::SnapshotKind::kFull;
     SimTime initiated;
     std::map<int, SimTime> aligned_at;
     std::map<int, std::uint64_t> sizes;
+    /// What each op actually delivered: an op without supports_delta()
+    /// serializes fully even on a delta epoch.
+    std::map<int, bool> deltas;
     std::map<int, std::uint64_t> boundaries;
     std::map<int, std::uint64_t> next_seqs;
   };
@@ -216,9 +242,14 @@ class RtRuntime final : public Runtime {
 
   struct Manifest {
     std::uint64_t epoch = 0;
+    /// The committed epoch this one chains on (0 = chain base: every op
+    /// record in this epoch is full). Recovery follows these pointers.
+    std::uint64_t prev_epoch = 0;
     struct Op {
       std::uint64_t size = 0;
       bool is_source = false;
+      /// True when op_<i>.delta (layer on the chain), false for op_<i>.ckpt.
+      bool delta = false;
       std::uint64_t boundary = 0;
       std::uint64_t next_seq = 0;
     };
@@ -272,7 +303,23 @@ class RtRuntime final : public Runtime {
   /// at 1 in every incarnation, the base bridges to what is already on disk.
   std::uint64_t epoch_base_ = 0;
   std::uint64_t last_durable_ = 0;   // guarded by ctl_mu_
-  std::uint64_t prev_durable_ = 0;   // last GC'd predecessor
+  /// The committed chain ending at last_durable_, oldest (full base) first —
+  /// the set of epoch dirs recovery may need and commit-time GC removes when
+  /// a full epoch supersedes them. Non-delta modes degenerate to a single
+  /// entry (the predecessor removed at the next commit). Guarded by ctl_mu_.
+  std::vector<std::uint64_t> chain_epochs_;
+  /// True whenever the operators' in-memory dirty baselines are NOT the tip
+  /// of the committed chain — at construction, after an abandoned epoch
+  /// (serialization advanced the baselines but the files were discarded) and
+  /// after a recovery. The next epoch must then be full; only a committed
+  /// full epoch clears it. Guarded by ctl_mu_.
+  bool chain_broken_ = true;
+  int deltas_since_full_ = 0;          // guarded by ctl_mu_
+  std::uint64_t chain_delta_bytes_ = 0;  // guarded by ctl_mu_
+  std::uint64_t base_bytes_ = 0;         // guarded by ctl_mu_
+  /// Delta epochs enabled (kSrcApDelta or params.delta_checkpoints).
+  bool delta_enabled_ = false;
+  std::unique_ptr<CadenceController> cadence_;
   bool initiation_stopped_ = false;  // guarded by ctl_mu_
   /// Recovery fence. Bumped at the start of every recover(); epoch state and
   /// timer callbacks stamped with an older value are stale in-flight

@@ -699,15 +699,25 @@ void RtEngine::worker_loop(Worker& w) {
 }
 
 void RtEngine::capture_snapshot(Worker& w, std::uint64_t epoch,
-                                SnapshotMode mode, bool aligned) {
+                                SnapshotMode mode, SnapshotKind kind,
+                                bool aligned) {
   // Serialize on the calling thread (op_mu is held by the caller), deliver
   // per `mode`. The writer adopts a pooled buffer pre-sized by the previous
   // epoch's snapshot, so steady-state serialization performs zero
   // allocations.
   const SimTime serialize_start = now();
   emit_proto(ProtoPoint::kSerializeStart, w.id, epoch);
+  const bool delta = kind == SnapshotKind::kDelta && w.op->supports_delta();
   BinaryWriter writer(snapshot_buffers_.acquire(w.last_snapshot_bytes));
-  w.op->serialize_state(writer);
+  if (delta) {
+    w.op->serialize_delta(writer);
+  } else {
+    w.op->serialize_state(writer);
+  }
+  // Pin the dirty baseline at this cut while op_mu still excludes mutators:
+  // everything serialized above is now "clean"; mutations after this instant
+  // belong to the next epoch's delta.
+  w.op->mark_checkpointed();
   w.last_snapshot_bytes = writer.size();
   auto blob = std::make_shared<std::vector<std::uint8_t>>(writer.take());
   emit_proto(ProtoPoint::kSerializeDone, w.id, epoch);
@@ -726,6 +736,7 @@ void RtEngine::capture_snapshot(Worker& w, std::uint64_t epoch,
   snap.epoch = epoch;
   snap.data = blob->data();
   snap.size = blob->size();
+  snap.delta = delta;
   if (w.is_source) {
     // Exact under op_mu: every tapped tuple is flushed ahead of the token
     // (flush barrier + in-lock timer flushes), nothing later is.
@@ -764,10 +775,11 @@ void RtEngine::capture_snapshot(Worker& w, std::uint64_t epoch,
 
 void RtEngine::snapshot_and_forward_token(Worker& w, const core::Token& token) {
   const SnapshotMode mode = epoch_mode_;
+  const SnapshotKind kind = epoch_kind_;
   if (mode == SnapshotMode::kSync) {
     // Write first, then let the token (and therefore any downstream effect
     // of post-checkpoint processing) move on.
-    capture_snapshot(w, token.checkpoint_id, mode, /*aligned=*/true);
+    capture_snapshot(w, token.checkpoint_id, mode, kind, /*aligned=*/true);
     for (const OutEdge& oe : w.out_edges) {
       push_slot(*oe.edge, Slot(token), 1, /*urgent=*/true);
     }
@@ -778,10 +790,11 @@ void RtEngine::snapshot_and_forward_token(Worker& w, const core::Token& token) {
   for (const OutEdge& oe : w.out_edges) {
     push_slot(*oe.edge, Slot(token), 1, /*urgent=*/true);
   }
-  capture_snapshot(w, token.checkpoint_id, mode, /*aligned=*/true);
+  capture_snapshot(w, token.checkpoint_id, mode, kind, /*aligned=*/true);
 }
 
-Status RtEngine::begin_epoch(std::uint64_t epoch, SnapshotMode mode) {
+Status RtEngine::begin_epoch(std::uint64_t epoch, SnapshotMode mode,
+                             SnapshotKind kind) {
   if (!running_.load()) {
     return Status::failed_precondition("begin_epoch: engine not running");
   }
@@ -795,6 +808,7 @@ Status RtEngine::begin_epoch(std::uint64_t epoch, SnapshotMode mode) {
     return Status::unavailable("begin_epoch: previous epoch still aligning");
   }
   epoch_mode_ = mode;
+  epoch_kind_ = kind;
   const core::Token token{epoch, /*one_hop=*/false};
   // Sources have no in-edges: inject the token into their control edges;
   // it trickles down the graph from there. The align_pending_ RMW chain
@@ -821,7 +835,8 @@ Status RtEngine::snapshot_now(int op, std::uint64_t epoch) {
   }
   Worker& w = *workers_[static_cast<std::size_t>(op)];
   std::scoped_lock op_lock(w.op_mu);
-  capture_snapshot(w, epoch, SnapshotMode::kSync, /*aligned=*/false);
+  capture_snapshot(w, epoch, SnapshotMode::kSync, SnapshotKind::kFull,
+                   /*aligned=*/false);
   return Status::ok();
 }
 
@@ -840,6 +855,22 @@ Status RtEngine::restore_operator(int op,
     BinaryReader reader(bytes);
     w.op->deserialize_state(reader);
   }
+  return Status::ok();
+}
+
+Status RtEngine::apply_operator_delta(int op,
+                                      const std::vector<std::uint8_t>& bytes) {
+  if (running_.load()) {
+    return Status::failed_precondition(
+        "apply_operator_delta: engine must be stopped");
+  }
+  if (op < 0 || op >= num_operators()) {
+    return Status::invalid_argument("apply_operator_delta: no such operator");
+  }
+  if (bytes.empty()) return Status::ok();  // nothing changed that epoch
+  Worker& w = *workers_[static_cast<std::size_t>(op)];
+  BinaryReader reader(bytes);
+  w.op->apply_delta(reader);
   return Status::ok();
 }
 

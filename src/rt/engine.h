@@ -116,6 +116,14 @@ struct RtConfig {
 ///    the paper's fork/copy-on-write helper (MS-src+ap).
 enum class SnapshotMode { kSync, kAsync };
 
+/// What an epoch captures of each operator's state.
+///  - kFull: serialize_state — the complete state, a chain base.
+///  - kDelta: serialize_delta — only state mutated since the operator's last
+///    mark_checkpointed() cut. Operators that don't supports_delta() fall
+///    back to a full serialization even on delta epochs (per-operator; the
+///    Snapshot records which happened).
+enum class SnapshotKind { kFull, kDelta };
+
 /// One operator's state captured at a token-aligned cut (or by
 /// snapshot_now()). `data` is borrowed: valid only for the duration of the
 /// SnapshotSink call — copy or write it out before returning.
@@ -124,6 +132,9 @@ struct Snapshot {
   std::uint64_t epoch = 0;
   const std::uint8_t* data = nullptr;
   std::size_t size = 0;
+  /// True when `data` is a delta (serialize_delta against the previous
+  /// cut), false when it is a full state image.
+  bool delta = false;
   /// Sources only (0 otherwise): number of tuples this source had emitted —
   /// and the tap had logged — strictly before this snapshot. Every one of
   /// them is upstream of the token on every out-edge (flush barrier), so
@@ -175,9 +186,12 @@ class RtEngine {
 
   /// Inject epoch `epoch`'s token at every source and return immediately;
   /// alignment and snapshot delivery proceed on the worker/helper threads.
-  /// Fails (kFailedPrecondition) when not running or no sink is installed,
-  /// and (kUnavailable) while a previous epoch is still aligning.
-  Status begin_epoch(std::uint64_t epoch, SnapshotMode mode);
+  /// `kind` selects full or delta serialization at the cut (delta-capable
+  /// operators only; the rest serialize fully either way). Fails
+  /// (kFailedPrecondition) when not running or no sink is installed, and
+  /// (kUnavailable) while a previous epoch is still aligning.
+  Status begin_epoch(std::uint64_t epoch, SnapshotMode mode,
+                     SnapshotKind kind = SnapshotKind::kFull);
 
   /// True while any operator of the last begin_epoch() has not yet delivered
   /// its snapshot.
@@ -191,6 +205,12 @@ class RtEngine {
   /// Replace an operator's state from serialized bytes (clear_state, then
   /// deserialize unless `bytes` is empty). Requires the engine stopped.
   Status restore_operator(int op, const std::vector<std::uint8_t>& bytes);
+
+  /// Layer one delta blob (a kDelta Snapshot's bytes) onto an operator's
+  /// current state — recovery calls this per chain link after
+  /// restore_operator() set the full base. Empty bytes are a no-op delta.
+  /// Requires the engine stopped.
+  Status apply_operator_delta(int op, const std::vector<std::uint8_t>& bytes);
 
   /// Reset a source's emission cursor after a restore: `next_seq` is the
   /// lineage sequence to continue from, `emitted` the tap count (log length)
@@ -315,7 +335,7 @@ class RtEngine {
   /// bytes to the sink (kSync/snapshot_now: on this thread; kAsync: on a
   /// helper). Decrements align_pending_ when `aligned`.
   void capture_snapshot(Worker& w, std::uint64_t epoch, SnapshotMode mode,
-                        bool aligned);
+                        SnapshotKind kind, bool aligned);
   void emit_proto(ProtoPoint point, int op, std::uint64_t epoch) {
     if (proto_probe_) proto_probe_(point, op, epoch);
   }
@@ -458,6 +478,8 @@ class RtEngine {
   /// through a ring (release publish / acquire consume), which orders the
   /// write before the read.
   SnapshotMode epoch_mode_ = SnapshotMode::kAsync;
+  /// Kind of the epoch in flight; published exactly like epoch_mode_.
+  SnapshotKind epoch_kind_ = SnapshotKind::kFull;
 
   // Timer thread.
   struct Timer {

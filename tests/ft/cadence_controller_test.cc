@@ -1,0 +1,112 @@
+// CadenceController: the Young/Daly retuning math, the recovery-budget cap,
+// the clamp range, and the EWMA smoothing — all as a pure state machine,
+// mirroring aa_controller_test.cc.
+#include "ft/cadence_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ms::ft {
+namespace {
+
+FtParams base_params() {
+  FtParams p;
+  p.checkpoint_period = SimTime::seconds(200);  // the paper's interval
+  p.mtbf = SimTime::minutes(60);
+  p.recovery_budget = SimTime::zero();  // cap off unless a test enables it
+  p.cadence_smoothing = 0.3;
+  p.cadence_min_factor = 0.125;
+  p.cadence_max_factor = 8.0;
+  return p;
+}
+
+TEST(CadenceControllerTest, SeedsFromCheckpointPeriod) {
+  const FtParams p = base_params();
+  CadenceController c(p);
+  EXPECT_EQ(c.interval(), p.checkpoint_period);
+  EXPECT_EQ(c.min_interval(), SimTime::seconds(25));    // 200 / 8
+  EXPECT_EQ(c.max_interval(), SimTime::seconds(1600));  // 200 * 8
+  EXPECT_EQ(c.retunes(), 0u);
+}
+
+TEST(CadenceControllerTest, RetunesToYoungDalyOptimum) {
+  CadenceController c(base_params());
+  // C = 8 s, MTBF = 3600 s -> T* = sqrt(2 * 8 * 3600) = 240 s, inside the
+  // clamp range.
+  c.on_checkpoint_complete(SimTime::seconds(8), 100_MB);
+  EXPECT_EQ(c.retunes(), 1u);
+  EXPECT_NEAR(c.interval().to_seconds(), std::sqrt(2.0 * 8.0 * 3600.0), 1e-6);
+  EXPECT_DOUBLE_EQ(c.smoothed_cost_seconds(), 8.0);
+}
+
+TEST(CadenceControllerTest, CheapCheckpointsShortenExpensiveOnesLengthen) {
+  CadenceController c(base_params());
+  c.on_checkpoint_complete(SimTime::millis(100), 1_MB);
+  const SimTime cheap = c.interval();
+  CadenceController c2(base_params());
+  c2.on_checkpoint_complete(SimTime::seconds(60), 1_GB);
+  EXPECT_LT(cheap, c2.interval());
+}
+
+TEST(CadenceControllerTest, ClampsToConfiguredRange) {
+  CadenceController c(base_params());
+  // Near-free checkpoints: T* = sqrt(2 * 1e-6 * 3600) ~ 0.085 s, far below
+  // the floor.
+  c.on_checkpoint_complete(SimTime::micros(1), 1);
+  EXPECT_EQ(c.interval(), c.min_interval());
+  // Catastrophically expensive: T* = sqrt(2 * 1e4 * 3600) = 8485 s, above
+  // the ceiling.
+  for (int i = 0; i < 64; ++i) {
+    c.on_checkpoint_complete(SimTime::seconds(10000), 1_GB);
+  }
+  EXPECT_EQ(c.interval(), c.max_interval());
+}
+
+TEST(CadenceControllerTest, RecoveryBudgetCapsTheInterval) {
+  FtParams p = base_params();
+  p.recovery_budget = SimTime::seconds(30);
+  p.replay_speedup = 4.0;
+  CadenceController c(p);
+  // Uncapped T* would be 240 s; the budget allows at most 30 * 4 = 120 s of
+  // backlog.
+  c.on_checkpoint_complete(SimTime::seconds(8), 100_MB);
+  EXPECT_NEAR(c.interval().to_seconds(), 120.0, 1e-6);
+}
+
+TEST(CadenceControllerTest, EwmaSmoothsCostObservations) {
+  CadenceController c(base_params());
+  c.on_checkpoint_complete(SimTime::seconds(10), 100_MB);
+  EXPECT_DOUBLE_EQ(c.smoothed_cost_seconds(), 10.0);
+  // One outlier moves the estimate by the smoothing weight, not all the way.
+  c.on_checkpoint_complete(SimTime::seconds(20), 200_MB);
+  EXPECT_DOUBLE_EQ(c.smoothed_cost_seconds(), 10.0 + 0.3 * 10.0);
+  EXPECT_DOUBLE_EQ(c.smoothed_bytes(),
+                   static_cast<double>(100_MB) +
+                       0.3 * static_cast<double>(100_MB));
+  EXPECT_EQ(c.retunes(), 2u);
+}
+
+TEST(CadenceControllerTest, AbandonedEpochsAreCountedNotSampled) {
+  CadenceController c(base_params());
+  c.on_checkpoint_complete(SimTime::seconds(8), 100_MB);
+  const SimTime before = c.interval();
+  c.on_checkpoint_abandoned();
+  c.on_checkpoint_abandoned();
+  EXPECT_EQ(c.abandoned(), 2u);
+  EXPECT_EQ(c.interval(), before);  // no cost sample, no retune
+  EXPECT_EQ(c.retunes(), 1u);
+}
+
+TEST(CadenceControllerTest, DegenerateClampCollapsesSafely) {
+  FtParams p = base_params();
+  p.cadence_min_factor = 2.0;
+  p.cadence_max_factor = 0.5;  // max < min: collapse to min
+  CadenceController c(p);
+  EXPECT_EQ(c.min_interval(), c.max_interval());
+  c.on_checkpoint_complete(SimTime::seconds(8), 1_MB);
+  EXPECT_EQ(c.interval(), c.min_interval());
+}
+
+}  // namespace
+}  // namespace ms::ft

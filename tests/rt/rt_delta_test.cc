@@ -1,0 +1,484 @@
+// Delta-checkpoint chains on the real-threads runtime (RtMode::kSrcApDelta):
+// the first epoch of an incarnation writes a full base snapshot, subsequent
+// epochs persist only what mutated (op_<i>.delta chained on the base via the
+// manifest's prev_epoch pointer), a full snapshot compacts the chain every
+// delta_compact_every epochs, and recovery layers base + deltas back to a
+// state byte-identical to what a full snapshot would have restored — also
+// under chaos kills at every checkpoint and recovery protocol point.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "../testing/rt_feed.h"
+#include "../testing/test_ops.h"
+#include "failure/rt_chaos.h"
+#include "ft/rt_runtime.h"
+#include "rt/engine.h"
+
+namespace ms::ft {
+namespace {
+
+namespace fs = std::filesystem;
+using ms::failure::RtChaos;
+using ms::testing::ExternalFeed;
+using ms::testing::FeedSource;
+using ms::testing::int_codec;
+using ms::testing::IntPayload;
+using ms::testing::RecordingSink;
+using ms::testing::wait_drained;
+using ms::testing::wait_for;
+using ms::testing::wait_quiescent;
+
+/// Keyed running sums with per-epoch dirty tracking — the delta-aware
+/// operator. The dirty-key set is pinned/cleared by mark_checkpointed() at
+/// the serialization cut, so a delta blob carries exactly the keys mutated
+/// since the previous committed cut. serialize_state() walks the (ordered)
+/// map, making full-state bytes deterministic for byte-identity checks.
+class DeltaKvRelay final : public core::Operator {
+ public:
+  explicit DeltaKvRelay(std::string name) : core::Operator(std::move(name)) {}
+
+  void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
+    const auto* p = t.payload_as<IntPayload>();
+    MS_CHECK(p != nullptr);
+    const std::int64_t key = p->value % 16;
+    table_[key] += p->value;
+    dirty_.insert(key);
+    ctx.emit(0, t);
+  }
+
+  Bytes state_size() const override {
+    return 8 + static_cast<Bytes>(table_.size()) * 16;
+  }
+  Bytes state_delta_size() const override {
+    return 8 + static_cast<Bytes>(dirty_.size()) * 16;
+  }
+
+  void serialize_state(BinaryWriter& w) const override {
+    w.write<std::uint64_t>(table_.size());
+    for (const auto& [k, v] : table_) {
+      w.write(k);
+      w.write(v);
+    }
+  }
+  void deserialize_state(BinaryReader& r) override {
+    clear_state();
+    const auto n = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = r.read<std::int64_t>();
+      table_[k] = r.read<std::int64_t>();
+    }
+  }
+  void clear_state() override {
+    table_.clear();
+    dirty_.clear();
+  }
+
+  bool supports_delta() const override { return true; }
+  void serialize_delta(BinaryWriter& w) const override {
+    w.write<std::uint64_t>(dirty_.size());
+    for (const std::int64_t k : dirty_) {
+      w.write(k);
+      w.write(table_.at(k));
+    }
+  }
+  void apply_delta(BinaryReader& r) override {
+    const auto n = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = r.read<std::int64_t>();
+      table_[k] = r.read<std::int64_t>();
+    }
+  }
+  void mark_checkpointed() override { dirty_.clear(); }
+
+  const std::map<std::int64_t, std::int64_t>& table() const { return table_; }
+
+ private:
+  std::map<std::int64_t, std::int64_t> table_;
+  std::set<std::int64_t> dirty_;
+};
+
+/// feed -> kv relay (delta-capable) -> sink. The feed source and recording
+/// sink do NOT support deltas, so every delta epoch is a mixed epoch: the kv
+/// relay delivers a .delta, its neighbours fall back to full .ckpt blobs.
+core::QueryGraph delta_chain(std::shared_ptr<ExternalFeed> feed) {
+  core::QueryGraph g;
+  const int src = g.add_source("src", [feed] {
+    return std::make_unique<FeedSource>("src", feed, SimTime::micros(200), 4);
+  });
+  const int kv = g.add_operator(
+      "kv", [] { return std::make_unique<DeltaKvRelay>("kv"); });
+  const int sink =
+      g.add_sink("sink", [] { return std::make_unique<RecordingSink>("sink"); });
+  g.connect(src, kv);
+  g.connect(kv, sink);
+  return g;
+}
+
+constexpr int kKvOp = 1;
+constexpr int kSinkOp = 2;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = (fs::temp_directory_path() / name).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+RtRuntimeConfig delta_config(const std::string& dir, int compact_every = 100) {
+  RtRuntimeConfig cfg;
+  cfg.mode = RtMode::kSrcApDelta;
+  cfg.dir = dir;
+  cfg.params.periodic = false;  // checkpoints fire on the tests' command
+  cfg.params.delta_compact_every = compact_every;
+  cfg.codec = int_codec();
+  return cfg;
+}
+
+std::vector<std::uint8_t> full_state_bytes(core::Operator& op) {
+  BinaryWriter w;
+  op.serialize_state(w);
+  return w.take();
+}
+
+void expect_sink_exact(rt::RtEngine& engine, std::int64_t n) {
+  const auto& sink = static_cast<const RecordingSink&>(engine.op(kSinkOp));
+  ASSERT_EQ(sink.values.size(), static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(sink.values[static_cast<std::size_t>(i)], i)
+        << "wrong/duplicated value at position " << i;
+  }
+}
+
+/// Epoch directories under `dir` that committed (carry a MANIFEST).
+std::vector<fs::path> committed_epochs(const std::string& dir) {
+  std::vector<fs::path> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("epoch_", 0) == 0 &&
+        fs::exists(entry.path() / "MANIFEST")) {
+      out.push_back(entry.path());
+    }
+  }
+  return out;
+}
+
+int count_files_with_extension(const std::string& dir, const char* ext) {
+  int n = 0;
+  for (const auto& epoch : committed_epochs(dir)) {
+    for (const auto& f : fs::directory_iterator(epoch)) {
+      if (f.path().extension() == ext) ++n;
+    }
+  }
+  return n;
+}
+
+bool take_checkpoint(RtRuntime& runtime, std::uint64_t completed_so_far) {
+  if (!runtime.begin_checkpoint().is_ok()) return false;
+  return runtime.wait_checkpoints(completed_so_far + 1, SimTime::seconds(10));
+}
+
+// --- the chain itself -------------------------------------------------------
+
+// Crash after several deltas, before any compaction: recovery must layer
+// base + deltas to the exact serialized state of every operator — compared
+// byte-for-byte against the pre-crash incarnation at the same cut.
+TEST(RtDeltaTest, ChainRecoveryIsByteIdenticalToPreCrashState) {
+  auto feed = std::make_shared<ExternalFeed>();
+  const auto cfg = delta_config(fresh_dir("ms_delta_bytes"));
+
+  std::vector<std::vector<std::uint8_t>> reference;
+  std::int64_t total = 0;
+  {
+    rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+    RtRuntime runtime(&engine, cfg);
+    ASSERT_TRUE(runtime.start().is_ok());
+
+    // Base (epoch 1 of the incarnation is always full), then two deltas
+    // with fresh mutations between the cuts.
+    wait_drained(engine, 100);
+    ASSERT_TRUE(take_checkpoint(runtime, 0));
+    wait_drained(engine, engine.sink_tuples() + 100);
+    ASSERT_TRUE(take_checkpoint(runtime, 1));
+    wait_drained(engine, engine.sink_tuples() + 100);
+
+    // Fence the world, then cut the final delta at a quiescent point: the
+    // live state at stop() equals the chain's reconstruction target.
+    feed->paused.store(true);
+    wait_quiescent(engine);
+    ASSERT_TRUE(take_checkpoint(runtime, 2));
+    total = feed->cursor.load();
+
+    runtime.simulate_crash();
+    runtime.stop();
+    for (int i = 0; i < engine.num_operators(); ++i) {
+      reference.push_back(full_state_bytes(engine.op(i)));
+    }
+  }
+  // The chain on disk really is base + deltas: the kv relay wrote .delta
+  // blobs on epochs 2 and 3 while its delta-unaware neighbours fell back to
+  // full .ckpt files.
+  EXPECT_EQ(count_files_with_extension(cfg.dir, ".delta"), 2);
+  EXPECT_GT(count_files_with_extension(cfg.dir, ".ckpt"), 0);
+
+  rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  RecoveryStats stats;
+  ASSERT_TRUE(runtime.recover(&stats).is_ok());
+  wait_quiescent(engine);
+  runtime.stop();
+
+  for (int i = 0; i < engine.num_operators(); ++i) {
+    EXPECT_EQ(full_state_bytes(engine.op(i)), reference[static_cast<std::size_t>(i)])
+        << "operator " << i << " restored state diverges from the cut";
+  }
+  expect_sink_exact(engine, total);
+}
+
+// Kill mid-run with values still in flight past the last delta cut: layered
+// restore plus source-log replay must still be exactly-once at the sink.
+TEST(RtDeltaTest, ReplayAfterDeltaRestoreIsExactlyOnce) {
+  auto feed = std::make_shared<ExternalFeed>();
+  const auto cfg = delta_config(fresh_dir("ms_delta_replay"));
+
+  std::int64_t total = 0;
+  {
+    rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+    RtRuntime runtime(&engine, cfg);
+    ASSERT_TRUE(runtime.start().is_ok());
+    wait_drained(engine, 100);
+    ASSERT_TRUE(take_checkpoint(runtime, 0));  // full base
+    wait_drained(engine, engine.sink_tuples() + 100);
+    ASSERT_TRUE(take_checkpoint(runtime, 1));  // delta
+    wait_drained(engine, engine.sink_tuples() + 100);
+    ASSERT_TRUE(take_checkpoint(runtime, 2));  // delta
+    // Keep producing past the last cut, then pull the plug.
+    wait_drained(engine, engine.sink_tuples() + 150);
+    runtime.simulate_crash();
+    feed->paused.store(true);
+    wait_quiescent(engine);
+    total = feed->cursor.load();
+    runtime.stop();
+  }
+
+  rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  ASSERT_TRUE(runtime.recover(nullptr).is_ok());
+  wait_quiescent(engine);
+  runtime.stop();
+  expect_sink_exact(engine, total);
+
+  const auto& kv = static_cast<const DeltaKvRelay&>(engine.op(kKvOp));
+  std::map<std::int64_t, std::int64_t> expect;
+  for (std::int64_t v = 0; v < total; ++v) expect[v % 16] += v;
+  EXPECT_EQ(kv.table(), expect);
+}
+
+// Every delta_compact_every-th epoch is a full snapshot that supersedes the
+// chain; the old chain's directories are garbage-collected at its commit.
+TEST(RtDeltaTest, CompactionWritesFullEpochAndCollectsTheChain) {
+  auto feed = std::make_shared<ExternalFeed>();
+  const auto cfg = delta_config(fresh_dir("ms_delta_compact"),
+                                /*compact_every=*/2);
+
+  std::int64_t total = 0;
+  {
+    rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+    RtRuntime runtime(&engine, cfg);
+    ASSERT_TRUE(runtime.start().is_ok());
+    wait_drained(engine, 50);
+    std::uint64_t done = 0;
+    // full, delta, delta, full(compaction) — the compacting commit GCs the
+    // three chained predecessors.
+    for (int i = 0; i < 4; ++i) {
+      wait_drained(engine, engine.sink_tuples() + 50);
+      ASSERT_TRUE(take_checkpoint(runtime, done));
+      ++done;
+    }
+    ASSERT_TRUE(wait_for([&cfg] {
+      return committed_epochs(cfg.dir).size() == 1;  // GC ran
+    }));
+    EXPECT_EQ(count_files_with_extension(cfg.dir, ".delta"), 0);
+    EXPECT_EQ(count_files_with_extension(cfg.dir, ".ckpt"), 3);
+
+    runtime.simulate_crash();
+    feed->paused.store(true);
+    wait_quiescent(engine);
+    total = feed->cursor.load();
+    runtime.stop();
+  }
+
+  rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  ASSERT_TRUE(runtime.recover(nullptr).is_ok());
+  wait_quiescent(engine);
+  runtime.stop();
+  expect_sink_exact(engine, total);
+}
+
+// Non-delta modes must keep writing plain full snapshots even when a
+// delta-capable operator sits in the graph.
+TEST(RtDeltaTest, SrcApModeIgnoresDeltaSupport) {
+  auto feed = std::make_shared<ExternalFeed>();
+  RtRuntimeConfig cfg;
+  cfg.mode = RtMode::kSrcAp;
+  cfg.dir = fresh_dir("ms_delta_off");
+  cfg.params.periodic = false;
+  cfg.codec = int_codec();
+
+  rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  ASSERT_TRUE(runtime.start().is_ok());
+  wait_drained(engine, 50);
+  ASSERT_TRUE(take_checkpoint(runtime, 0));
+  wait_drained(engine, engine.sink_tuples() + 50);
+  ASSERT_TRUE(take_checkpoint(runtime, 1));
+  feed->paused.store(true);
+  wait_quiescent(engine);
+  runtime.stop();
+
+  EXPECT_EQ(count_files_with_extension(cfg.dir, ".delta"), 0);
+}
+
+// --- chaos kills against the chain -----------------------------------------
+
+struct PointName {
+  template <typename ParamType>
+  std::string operator()(const ::testing::TestParamInfo<ParamType>& info) const {
+    std::string name = ft_point_name(point_of(info.param));
+    for (char& c : name) {
+      if (c == '-' || c == '+') c = '_';
+    }
+    return name;
+  }
+  static FtPoint point_of(FtPoint p) { return p; }
+  template <typename P>
+  static FtPoint point_of(const P& p) {
+    return p.point;
+  }
+};
+
+/// A kill point plus how many times it fires per completed epoch in the
+/// 3-op chain (1 source + 2 downstream): the chaos trigger for "first
+/// firing inside attempt N" is (N-1) * per_epoch + 1.
+struct KillPoint {
+  FtPoint point;
+  int per_epoch;
+};
+
+// A base + one delta are durable; the process dies inside the *next* delta
+// attempt at the scripted point. The torn attempt must not corrupt the
+// durable chain: recovery replays base + delta + log, exactly once.
+class DeltaCheckpointKillTest : public ::testing::TestWithParam<KillPoint> {};
+
+TEST_P(DeltaCheckpointKillTest, DurableChainSurvivesKilledDeltaAttempt) {
+  auto feed = std::make_shared<ExternalFeed>();
+  const KillPoint kp = GetParam();
+  const auto cfg = delta_config(
+      fresh_dir(std::string("ms_delta_kill_") + ft_point_name(kp.point)));
+
+  std::int64_t total = 0;
+  {
+    rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+    RtRuntime runtime(&engine, cfg);
+    RtChaos chaos(&runtime);
+    // Let two epochs (base + delta) complete; die at the point's first
+    // firing inside the third attempt.
+    chaos.crash_on(kp.point, /*hau_id=*/-1,
+                   /*occurrence=*/2 * kp.per_epoch + 1);
+    chaos.arm();
+    ASSERT_TRUE(runtime.start().is_ok());
+    wait_drained(engine, 100);
+    ASSERT_TRUE(take_checkpoint(runtime, 0));  // full base
+    wait_drained(engine, engine.sink_tuples() + 100);
+    ASSERT_TRUE(take_checkpoint(runtime, 1));  // delta
+    wait_drained(engine, engine.sink_tuples() + 100);
+    const std::uint64_t durable = runtime.last_durable_epoch();
+    ASSERT_TRUE(runtime.begin_checkpoint().is_ok());  // dies inside
+    ASSERT_TRUE(ms::testing::wait_for(
+        [&runtime] { return runtime.crashed(); }, std::chrono::seconds(10)))
+        << "kill point never reached: " << ft_point_name(kp.point);
+    EXPECT_EQ(chaos.kills(), 1);
+    EXPECT_EQ(runtime.last_durable_epoch(), durable);
+    wait_drained(engine, engine.sink_tuples() + 50);
+    feed->paused.store(true);
+    wait_quiescent(engine);
+    total = feed->cursor.load();
+    runtime.stop();
+  }
+
+  rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  ASSERT_TRUE(runtime.recover(nullptr).is_ok());
+  wait_quiescent(engine);
+  runtime.stop();
+  expect_sink_exact(engine, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolPoints, DeltaCheckpointKillTest,
+    ::testing::Values(
+        KillPoint{FtPoint::kTokenAlignStart, 1},   // token in flight
+        KillPoint{FtPoint::kTokenReceived, 3},     // token at a port head
+                                                   // (control edge included:
+                                                   // sources fire it too)
+        KillPoint{FtPoint::kSerializeStart, 3},    // serialize window
+        KillPoint{FtPoint::kForkDone, 3},          // post-fork window
+        KillPoint{FtPoint::kCheckpointWrite, 3}),  // disk I/O
+    PointName());
+
+// The process dies *during recovery from a delta chain*, in each recovery
+// phase; the retry must still reconstruct base + delta exactly.
+class DeltaRecoveryKillTest : public ::testing::TestWithParam<FtPoint> {};
+
+TEST_P(DeltaRecoveryKillTest, SecondRecoveryFromChainSucceeds) {
+  auto feed = std::make_shared<ExternalFeed>();
+  const auto cfg = delta_config(
+      fresh_dir(std::string("ms_delta_reckill_") + ft_point_name(GetParam())));
+
+  std::int64_t total = 0;
+  {
+    rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+    RtRuntime runtime(&engine, cfg);
+    ASSERT_TRUE(runtime.start().is_ok());
+    wait_drained(engine, 100);
+    ASSERT_TRUE(take_checkpoint(runtime, 0));  // full base
+    wait_drained(engine, engine.sink_tuples() + 100);
+    ASSERT_TRUE(take_checkpoint(runtime, 1));  // delta
+    wait_drained(engine, engine.sink_tuples() + 100);
+    runtime.simulate_crash();
+    feed->paused.store(true);
+    wait_quiescent(engine);
+    total = feed->cursor.load();
+    runtime.stop();
+  }
+
+  rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  RtChaos chaos(&runtime);
+  chaos.crash_on(GetParam());
+  chaos.arm();
+  const Status first = runtime.recover(nullptr);
+  ASSERT_FALSE(first.is_ok());
+  EXPECT_EQ(chaos.kills(), 1);
+  runtime.clear_crash();
+  ASSERT_TRUE(runtime.recover(nullptr).is_ok());
+  wait_quiescent(engine);
+  runtime.stop();
+  expect_sink_exact(engine, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(RecoveryPhases, DeltaRecoveryKillTest,
+                         ::testing::Values(FtPoint::kRecoveryPhase1,
+                                           FtPoint::kRecoveryPhase2,
+                                           FtPoint::kRecoveryPhase3,
+                                           FtPoint::kRecoveryPhase4),
+                         PointName());
+
+}  // namespace
+}  // namespace ms::ft

@@ -9,7 +9,8 @@ Pinned benches:
   engine   engine_throughput (chain + diamond at max_batch 1 and 64,
            median-of-N inside the binary)
   micro    micro_benchmarks queue/serialize cases (google-benchmark JSON),
-           fig12 throughput + fig13 latency sweeps (--quick)
+           fig12 throughput + fig13 latency sweeps (--quick), and the
+           delta-checkpoint ablation (full vs delta vs delta+adaptive)
 
 Trajectory file schema (schema "ms-bench-trajectory/1"):
   {
@@ -135,7 +136,8 @@ def collect_micro(build_dir, tmp_dir, skip_figs):
         })
 
     if not skip_figs:
-        for fig in ("fig12_throughput", "fig13_latency"):
+        for fig in ("fig12_throughput", "fig13_latency",
+                    "ablation_delta_checkpoint"):
             out = os.path.join(tmp_dir, f"{fig}.json")
             run_binary([
                 os.path.join(build_dir, "bench", fig),

@@ -17,7 +17,7 @@ if [[ ! -d "$BUILD" ]]; then
   cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "$BUILD" -j --target engine_throughput micro_benchmarks \
-  fig12_throughput fig13_latency
+  fig12_throughput fig13_latency ablation_delta_checkpoint
 
 # Gate BEFORE overwriting: fresh engine run vs the committed trajectory's
 # last entry. (The engine bench is the regression tripwire; the figure

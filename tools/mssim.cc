@@ -22,7 +22,9 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 
@@ -65,7 +67,7 @@ void usage() {
       "                               rt: the same protocol on the\n"
       "                               real-threads engine (demo pipeline)\n"
       "  --app tmi|bcp|signalguru     application (default tmi, sim only)\n"
-      "  --scheme baseline|ms-src|ms-src+ap|ms-src+ap+aa\n"
+      "  --scheme baseline|ms-src|ms-src+ap|ms-src+ap+aa|ms-src+ap+delta\n"
       "                               fault-tolerance scheme (default ms-src+ap)\n"
       "  --checkpoints N              checkpoints in the window (default 3)\n"
       "  --window M                   measurement window, minutes (default 10,\n"
@@ -151,6 +153,8 @@ bool parse(int argc, char** argv, Options* opt) {
         opt->scheme = Scheme::kMsSrcAp;
       } else if (std::strcmp(v, "ms-src+ap+aa") == 0) {
         opt->scheme = Scheme::kMsSrcApAa;
+      } else if (std::strcmp(v, "ms-src+ap+delta") == 0) {
+        opt->scheme = Scheme::kMsSrcApDelta;
       } else {
         std::fprintf(stderr, "unknown scheme: %s\n", v);
         return false;
@@ -293,29 +297,64 @@ struct RtIntPayload final : core::Payload {
   const char* type_name() const override { return "rt-int"; }
 };
 
-/// Pass-through relay with a running sum/count as checkpointable state.
+/// Keyed relay: per-key running sums as checkpointable state, with dirty-key
+/// tracking so the ms-src+ap+delta scheme writes real op_<i>.delta chains in
+/// the demo (other schemes ignore the delta hooks and serialize fully).
 class RtRelay final : public core::Operator {
  public:
   explicit RtRelay(std::string name) : core::Operator(std::move(name)) {}
   void process(int, const core::Tuple& t, core::OperatorContext& ctx) override {
-    sum_ += t.payload_as<RtIntPayload>()->value;
-    ++seen_;
+    const std::int64_t v = t.payload_as<RtIntPayload>()->value;
+    const std::int64_t key = v % 64;
+    table_[key] += v;
+    dirty_.insert(key);
     ctx.emit(0, t);
   }
-  Bytes state_size() const override { return 32; }
+  Bytes state_size() const override {
+    return 8 + static_cast<Bytes>(table_.size()) * 16;
+  }
+  Bytes state_delta_size() const override {
+    return 8 + static_cast<Bytes>(dirty_.size()) * 16;
+  }
   void serialize_state(BinaryWriter& w) const override {
-    w.write(sum_);
-    w.write(seen_);
+    w.write<std::uint64_t>(table_.size());
+    for (const auto& [k, v] : table_) {
+      w.write(k);
+      w.write(v);
+    }
   }
   void deserialize_state(BinaryReader& r) override {
-    sum_ = r.read<std::int64_t>();
-    seen_ = r.read<std::int64_t>();
+    clear_state();
+    const auto n = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = r.read<std::int64_t>();
+      table_[k] = r.read<std::int64_t>();
+    }
   }
-  void clear_state() override { sum_ = seen_ = 0; }
+  void clear_state() override {
+    table_.clear();
+    dirty_.clear();
+  }
+  bool supports_delta() const override { return true; }
+  void serialize_delta(BinaryWriter& w) const override {
+    w.write<std::uint64_t>(dirty_.size());
+    for (const std::int64_t k : dirty_) {
+      w.write(k);
+      w.write(table_.at(k));
+    }
+  }
+  void apply_delta(BinaryReader& r) override {
+    const auto n = r.read<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto k = r.read<std::int64_t>();
+      table_[k] = r.read<std::int64_t>();
+    }
+  }
+  void mark_checkpointed() override { dirty_.clear(); }
 
  private:
-  std::int64_t sum_ = 0;
-  std::int64_t seen_ = 0;
+  std::map<std::int64_t, std::int64_t> table_;
+  std::set<std::int64_t> dirty_;
 };
 
 /// Counting sink; the count is its checkpointable state.
@@ -388,6 +427,9 @@ int run_rt_backend(const Options& opt) {
     case Scheme::kMsSrcApAa:
       mode = ft::RtMode::kSrcApAa;
       break;
+    case Scheme::kMsSrcApDelta:
+      mode = ft::RtMode::kSrcApDelta;
+      break;
   }
   const SimTime window = SimTime::seconds(opt.run_for_seconds);
   const SimTime period = window / std::int64_t{opt.checkpoints + 1};
@@ -407,6 +449,13 @@ int run_rt_backend(const Options& opt) {
     cfg.params.profile_periods = 1;
     cfg.params.profile_period = period / 2;
     cfg.params.checkpoint_during_profiling = true;
+  }
+  if (mode == ft::RtMode::kSrcApDelta) {
+    // Demo-scale cadence inputs: wall runs last seconds, not hours, so give
+    // the controller an MTBF/budget it can act on within the window.
+    cfg.params.adaptive_cadence = true;
+    cfg.params.mtbf = SimTime::seconds(60);
+    cfg.params.recovery_budget = SimTime::seconds(2);
   }
   cfg.codec = rt_demo_codec();
   cfg.auto_recover = opt.auto_recover;

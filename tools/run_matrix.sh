@@ -41,6 +41,20 @@ for preset in $PRESETS; do
   if ! ctest --preset "$preset" -L self_heal --timeout "$TEST_TIMEOUT"; then
     results+=("$preset: SELF-HEAL FAILED"); status=1; break
   fi
+  # Delta-checkpoint smoke: the fifth scheme (incremental checkpoints +
+  # adaptive cadence) end-to-end on the real-threads backend, including a
+  # mid-run crash and base+delta chain recovery, under each preset's
+  # instrumentation.
+  echo "=== [$preset] delta-scheme smoke ==="
+  mssim_bin="build/tools/mssim"
+  case "$preset" in
+    sanitize) mssim_bin="build-sanitize/tools/mssim" ;;
+    tsan) mssim_bin="build-tsan/tools/mssim" ;;
+  esac
+  if ! "$mssim_bin" --backend rt --scheme ms-src+ap+delta \
+      --run-for 2 --fail-at 1 --dir "$(mktemp -d)" >/dev/null; then
+    results+=("$preset: DELTA SMOKE FAILED"); status=1; break
+  fi
   results+=("$preset: OK")
 done
 
