@@ -356,6 +356,13 @@ void RtRuntime::commit_epoch(std::uint64_t epoch) {
     MS_LOG_WARN("ft", "rt epoch %llu: manifest write failed",
                 static_cast<unsigned long long>(disk));
     pending_.erase(it);
+    // Operators advanced their dirty baselines at this epoch's cut but the
+    // epoch never became durable — a later delta chained on last_durable_
+    // would silently omit everything mutated in this window. Same rebase as
+    // abandon_epoch: the next epoch must be full.
+    chain_broken_ = true;
+    std::error_code ec;
+    fs::remove_all(epoch_dir(disk), ec);
     return;
   }
 
@@ -713,6 +720,7 @@ void RtRuntime::scan_existing_state() {
   // the tip; oldest (the full base) first. An unreadable or old-version
   // manifest truncates the walk — recovery will surface the breakage if the
   // remaining chain is unusable.
+  bool walk_clean = last_durable_ == 0;
   if (last_durable_ != 0) {
     std::uint64_t e = last_durable_;
     while (e != 0 &&
@@ -722,17 +730,24 @@ void RtRuntime::scan_existing_state() {
       const auto m = read_manifest(e);
       if (!m) break;
       e = m->prev_epoch;
+      if (e == 0) walk_clean = true;  // reached the chain's full base
     }
   }
   // Committed epochs not on the chain are superseded leftovers (a crash
-  // between a full commit's rename and its GC): remove them now.
-  for (std::uint64_t e : committed) {
-    if (std::find(chain_epochs_.begin(), chain_epochs_.end(), e) !=
-        chain_epochs_.end()) {
-      continue;
+  // between a full commit's rename and its GC) — but only when the walk
+  // reached the full base can we tell "superseded" from "unreachable". A
+  // transient read error (EIO, fd exhaustion) on a mid-chain manifest must
+  // not delete intact bytes recovery still needs: leave them and let the
+  // recovery walk surface the error retryably.
+  if (walk_clean) {
+    for (std::uint64_t e : committed) {
+      if (std::find(chain_epochs_.begin(), chain_epochs_.end(), e) !=
+          chain_epochs_.end()) {
+        continue;
+      }
+      std::error_code rm_ec;
+      fs::remove_all(epoch_dir(e), rm_ec);
     }
-    std::error_code rm_ec;
-    fs::remove_all(epoch_dir(e), rm_ec);
   }
 
   const auto manifest =

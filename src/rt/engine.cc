@@ -716,8 +716,12 @@ void RtEngine::capture_snapshot(Worker& w, std::uint64_t epoch,
   }
   // Pin the dirty baseline at this cut while op_mu still excludes mutators:
   // everything serialized above is now "clean"; mutations after this instant
-  // belong to the next epoch's delta.
-  w.op->mark_checkpointed();
+  // belong to the next epoch's delta. Only coordinator-aligned epochs may
+  // advance the baseline — an unaligned snapshot_now() capture is outside
+  // the committed delta chain, and moving the cut here would make the next
+  // committed delta silently omit the mutations between the chain tip and
+  // this capture.
+  if (aligned) w.op->mark_checkpointed();
   w.last_snapshot_bytes = writer.size();
   auto blob = std::make_shared<std::vector<std::uint8_t>>(writer.take());
   emit_proto(ProtoPoint::kSerializeDone, w.id, epoch);

@@ -199,7 +199,10 @@ class RtEngine {
 
   /// Snapshot one operator immediately on the calling thread (no tokens, no
   /// cut alignment) — the independent-checkpoint primitive the baseline
-  /// scheme uses. Requires running and an installed sink.
+  /// scheme uses. Requires running and an installed sink. Always a full
+  /// capture, and it does NOT advance the operator's delta baseline
+  /// (mark_checkpointed), so it is safe to interleave with coordinator-
+  /// driven delta epochs.
   Status snapshot_now(int op, std::uint64_t epoch);
 
   /// Replace an operator's state from serialized bytes (clear_state, then

@@ -7,9 +7,12 @@
 // under chaos kills at every checkpoint and recovery protocol point.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -343,6 +346,172 @@ TEST(RtDeltaTest, SrcApModeIgnoresDeltaSupport) {
   runtime.stop();
 
   EXPECT_EQ(count_files_with_extension(cfg.dir, ".delta"), 0);
+}
+
+// --- chain-breaking edge cases ---------------------------------------------
+
+// A manifest write failure discards an epoch whose serialize cuts already
+// advanced the operators' dirty baselines. The runtime must rebase (next
+// epoch full) — if it kept chaining deltas on the older durable tip, the
+// mutations captured only in the discarded epoch would be silently lost.
+TEST(RtDeltaTest, ManifestWriteFailureForcesFullRebase) {
+  auto feed = std::make_shared<ExternalFeed>();
+  const auto cfg = delta_config(fresh_dir("ms_delta_manifest_fail"));
+  const std::string epoch3 = cfg.dir + "/epoch_3";
+
+  std::int64_t total = 0;
+  {
+    rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+    RtRuntime runtime(&engine, cfg);
+    // All three op blobs of epoch 3 land before the commit; replacing the
+    // epoch directory with a regular file right after the last blob's
+    // kCheckpointDone makes exactly the MANIFEST write fail (ENOTDIR on its
+    // temp file) — the deterministic stand-in for a full disk at the worst
+    // instant. The probe fires under ctl_mu_ on the committing thread, so
+    // the swap is ordered strictly before the manifest write.
+    std::atomic<int> epoch3_done{0};
+    runtime.add_probe([&](FtPoint p, int, std::uint64_t id) {
+      if (p == FtPoint::kCheckpointDone && id == 3 &&
+          epoch3_done.fetch_add(1) + 1 == 3) {
+        fs::remove_all(epoch3);
+        std::ofstream(epoch3, std::ios::binary).put('x');
+      }
+    });
+    ASSERT_TRUE(runtime.start().is_ok());
+    wait_drained(engine, 100);
+    ASSERT_TRUE(take_checkpoint(runtime, 0));  // full base
+    wait_drained(engine, engine.sink_tuples() + 100);
+    ASSERT_TRUE(take_checkpoint(runtime, 1));  // delta
+    // Window of mutations that will exist ONLY in doomed epoch 3's delta.
+    wait_drained(engine, engine.sink_tuples() + 100);
+    feed->paused.store(true);
+    wait_quiescent(engine);
+    total = feed->cursor.load();
+    // The coordinator counts the epoch complete (every unit reported) even
+    // though the commit's manifest write fails: nothing became durable.
+    ASSERT_TRUE(take_checkpoint(runtime, 2));
+    EXPECT_EQ(runtime.last_durable_epoch(), 2u);
+    EXPECT_FALSE(fs::exists(epoch3)) << "orphaned failed epoch not cleaned";
+    // The chain is broken: the next epoch must be a full snapshot, which
+    // supersedes (and GCs) the old base+delta pair. A delta here would
+    // chain on epoch 2 and lose the epoch-3 window forever.
+    ASSERT_TRUE(take_checkpoint(runtime, 3));
+    EXPECT_EQ(runtime.last_durable_epoch(), 4u);
+    EXPECT_EQ(committed_epochs(cfg.dir).size(), 1u);
+    runtime.simulate_crash();
+    runtime.stop();
+  }
+
+  rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  ASSERT_TRUE(runtime.recover(nullptr).is_ok());
+  wait_quiescent(engine);
+  runtime.stop();
+  expect_sink_exact(engine, total);
+  const auto& kv = static_cast<const DeltaKvRelay&>(engine.op(kKvOp));
+  std::map<std::int64_t, std::int64_t> expect;
+  for (std::int64_t v = 0; v < total; ++v) expect[v % 16] += v;
+  EXPECT_EQ(kv.table(), expect);
+}
+
+// An unreadable mid-chain manifest must fail recovery WITHOUT deleting the
+// chain's intact epochs: a transient read error (EIO, fd exhaustion) is
+// retryable only if the bytes survive the failed attempt.
+TEST(RtDeltaTest, UnreadableMidChainManifestDoesNotDeleteTheChain) {
+  auto feed = std::make_shared<ExternalFeed>();
+  const auto cfg = delta_config(fresh_dir("ms_delta_bad_manifest"));
+
+  std::int64_t total = 0;
+  {
+    rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+    RtRuntime runtime(&engine, cfg);
+    ASSERT_TRUE(runtime.start().is_ok());
+    wait_drained(engine, 100);
+    ASSERT_TRUE(take_checkpoint(runtime, 0));  // full base
+    wait_drained(engine, engine.sink_tuples() + 100);
+    ASSERT_TRUE(take_checkpoint(runtime, 1));  // delta
+    feed->paused.store(true);
+    wait_quiescent(engine);
+    ASSERT_TRUE(take_checkpoint(runtime, 2));  // delta (the tip)
+    total = feed->cursor.load();
+    runtime.simulate_crash();
+    runtime.stop();
+  }
+
+  // Clobber the mid-chain manifest (epoch 2), keeping its original bytes.
+  const std::string mid = cfg.dir + "/epoch_2/MANIFEST";
+  std::vector<char> original;
+  {
+    std::ifstream in(mid, std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(in);
+    original.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(original.data(), static_cast<std::streamsize>(original.size()));
+  }
+  {
+    std::ofstream out(mid, std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+
+  rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);  // constructor scan sees the broken walk
+  ASSERT_FALSE(runtime.recover(nullptr).is_ok());
+  // Nothing was garbage-collected: the full base (unreached by the broken
+  // chain walk) and both deltas are still on disk.
+  EXPECT_TRUE(fs::exists(cfg.dir + "/epoch_1/MANIFEST"));
+  EXPECT_TRUE(fs::exists(cfg.dir + "/epoch_2"));
+  EXPECT_TRUE(fs::exists(cfg.dir + "/epoch_3/MANIFEST"));
+
+  // The "transient" fault clears (restore the manifest): the retry must
+  // reconstruct the exact pre-crash state from the preserved chain.
+  {
+    std::ofstream out(mid, std::ios::binary | std::ios::trunc);
+    out.write(original.data(), static_cast<std::streamsize>(original.size()));
+  }
+  ASSERT_TRUE(runtime.recover(nullptr).is_ok());
+  wait_quiescent(engine);
+  runtime.stop();
+  expect_sink_exact(engine, total);
+}
+
+// snapshot_now() is outside the coordinator's chain: it must not advance the
+// operator's delta baseline, or the next committed delta silently omits
+// every mutation between the chain tip and the ad-hoc capture.
+TEST(RtDeltaTest, SnapshotNowDoesNotAdvanceTheDeltaBaseline) {
+  auto feed = std::make_shared<ExternalFeed>();
+  const auto cfg = delta_config(fresh_dir("ms_delta_snapshot_now"));
+
+  std::int64_t total = 0;
+  {
+    rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+    RtRuntime runtime(&engine, cfg);
+    ASSERT_TRUE(runtime.start().is_ok());
+    wait_drained(engine, 100);
+    ASSERT_TRUE(take_checkpoint(runtime, 0));  // full base
+    // Mutations landing between the base cut and the next delta cut...
+    wait_drained(engine, engine.sink_tuples() + 100);
+    feed->paused.store(true);
+    wait_quiescent(engine);
+    // ...must survive an interleaved ad-hoc full capture: if this advanced
+    // the dirty baseline, the committed delta below would be empty and the
+    // window above would be lost to recovery.
+    ASSERT_TRUE(engine.snapshot_now(kKvOp, /*epoch=*/999).is_ok());
+    ASSERT_TRUE(take_checkpoint(runtime, 1));  // delta
+    total = feed->cursor.load();
+    runtime.simulate_crash();
+    runtime.stop();
+  }
+
+  rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
+  RtRuntime runtime(&engine, cfg);
+  ASSERT_TRUE(runtime.recover(nullptr).is_ok());
+  wait_quiescent(engine);
+  runtime.stop();
+  expect_sink_exact(engine, total);
+  const auto& kv = static_cast<const DeltaKvRelay&>(engine.op(kKvOp));
+  std::map<std::int64_t, std::int64_t> expect;
+  for (std::int64_t v = 0; v < total; ++v) expect[v % 16] += v;
+  EXPECT_EQ(kv.table(), expect);
 }
 
 // --- chaos kills against the chain -----------------------------------------
