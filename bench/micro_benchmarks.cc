@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "apps/kernels/blob_count.h"
@@ -19,6 +21,7 @@
 #include "sim/simulation.h"
 #include "statesize/state_size.h"
 #include "statesize/turning_point.h"
+#include "storage/durable_file.h"
 
 namespace {
 
@@ -65,6 +68,59 @@ void BM_SerializeDoubles(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
 }
 BENCHMARK(BM_SerializeDoubles)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  for (auto _ : state) {
+    const std::uint32_t crc = storage::crc32c(data.data(), data.size());
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(storage::crc32c_hw_available() ? "sse4.2" : "sw-table");
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+// The checksum-overhead pair: the same checkpoint blob written through the
+// framed path (CRC + 24-byte header) and as raw bytes. The delta between
+// the two trajectories is the integrity tax on the checkpoint write path.
+void bench_checkpoint_write(benchmark::State& state, bool framed) {
+  const auto dir = std::filesystem::temp_directory_path() / "ms_bench_ckpt";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "op_0.ckpt").string();
+  std::vector<std::uint8_t> blob(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::uint8_t>(i);
+  }
+  // Page cache only: the subject is framing overhead, not device fsync.
+  const storage::DurableOptions opts{storage::SyncMode::kNone, nullptr};
+  for (auto _ : state) {
+    if (framed) {
+      const Status st = storage::write_artifact(
+          path, storage::ArtifactKind::kCheckpoint, blob.data(), blob.size(),
+          opts);
+      benchmark::DoNotOptimize(st);
+    } else {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(blob.data()),
+                static_cast<std::streamsize>(blob.size()));
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  std::filesystem::remove_all(dir);
+}
+
+void BM_CheckpointFrameWrite(benchmark::State& state) {
+  bench_checkpoint_write(state, /*framed=*/true);
+}
+BENCHMARK(BM_CheckpointFrameWrite)->Arg(4096)->Arg(1 << 20);
+
+void BM_CheckpointRawWrite(benchmark::State& state) {
+  bench_checkpoint_write(state, /*framed=*/false);
+}
+BENCHMARK(BM_CheckpointRawWrite)->Arg(4096)->Arg(1 << 20);
 
 void BM_StateSizeSampling(benchmark::State& state) {
   std::vector<std::vector<double>> pool(

@@ -12,6 +12,7 @@ const char* status_code_name(StatusCode c) {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -21,6 +21,9 @@ enum class StatusCode {
   kResourceExhausted,
   kAborted,         // operation rejected by an explicit safety interlock
   kInternal,
+  kDataLoss,        // durable bytes failed verification (checksum/length):
+                    // unrecoverable corruption, distinct from a transient
+                    // kUnavailable read error — retrying will not help
 };
 
 const char* status_code_name(StatusCode c);
@@ -47,6 +50,7 @@ class Status {
   }
   static Status aborted(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
   static Status internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status data_loss(std::string m) { return {StatusCode::kDataLoss, std::move(m)}; }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -1,0 +1,129 @@
+#include "failure/disk_fault.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/log.h"
+
+namespace ms::failure {
+
+namespace fs = std::filesystem;
+
+void DiskFaultInjector::arm_write(storage::ArtifactKind kind,
+                                  storage::WriteFault fault,
+                                  std::uint64_t offset, Options opts) {
+  std::scoped_lock lk(mu_);
+  WriteRule r;
+  r.kind = kind;
+  r.spec.fault = fault;
+  r.spec.offset = offset;
+  r.opts = std::move(opts);
+  write_rules_.push_back(std::move(r));
+}
+
+void DiskFaultInjector::arm_read(storage::ArtifactKind kind,
+                                 storage::ReadFault fault,
+                                 std::uint64_t offset, Options opts) {
+  std::scoped_lock lk(mu_);
+  ReadRule r;
+  r.kind = kind;
+  r.spec.fault = fault;
+  r.spec.offset = offset;
+  r.opts = std::move(opts);
+  read_rules_.push_back(std::move(r));
+}
+
+void DiskFaultInjector::set_crash_hook(std::function<void()> hook) {
+  std::scoped_lock lk(mu_);
+  crash_hook_ = std::move(hook);
+}
+
+void DiskFaultInjector::clear() {
+  std::scoped_lock lk(mu_);
+  write_rules_.clear();
+  read_rules_.clear();
+}
+
+int DiskFaultInjector::injected() const {
+  std::scoped_lock lk(mu_);
+  return injected_;
+}
+
+std::vector<std::string> DiskFaultInjector::log() const {
+  std::scoped_lock lk(mu_);
+  return log_;
+}
+
+storage::WriteFaultSpec DiskFaultInjector::write_fault(
+    const std::string& path, storage::ArtifactKind kind) {
+  std::scoped_lock lk(mu_);
+  for (auto& r : write_rules_) {
+    if (r.spent || r.kind != kind) continue;
+    if (!r.opts.path_contains.empty() &&
+        path.find(r.opts.path_contains) == std::string::npos) {
+      continue;
+    }
+    if (++r.seen < r.opts.occurrence) continue;
+    if (!r.opts.sticky) r.spent = true;
+    ++injected_;
+    log_.push_back(std::string("write fault on ") +
+                   storage::artifact_kind_name(kind) + ": " + path);
+    return r.spec;
+  }
+  return {};
+}
+
+storage::ReadFaultSpec DiskFaultInjector::read_fault(
+    const std::string& path, storage::ArtifactKind kind) {
+  std::scoped_lock lk(mu_);
+  for (auto& r : read_rules_) {
+    if (r.spent || r.kind != kind) continue;
+    if (!r.opts.path_contains.empty() &&
+        path.find(r.opts.path_contains) == std::string::npos) {
+      continue;
+    }
+    if (++r.seen < r.opts.occurrence) continue;
+    if (!r.opts.sticky) r.spent = true;
+    ++injected_;
+    log_.push_back(std::string("read fault on ") +
+                   storage::artifact_kind_name(kind) + ": " + path);
+    return r.spec;
+  }
+  return {};
+}
+
+void DiskFaultInjector::on_crash_point(const std::string& path) {
+  std::function<void()> hook;
+  {
+    std::scoped_lock lk(mu_);
+    hook = crash_hook_;
+    log_.push_back("crash point at: " + path);
+  }
+  MS_LOG_WARN("chaos", "disk fault: crash point at %s", path.c_str());
+  if (hook) hook();
+}
+
+bool flip_bit_in_file(const std::string& path, std::uint64_t bit) {
+  const std::uint64_t byte = bit / 8;
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) return false;
+  f.seekg(0, std::ios::end);
+  if (static_cast<std::uint64_t>(f.tellg()) <= byte) return false;
+  f.seekg(static_cast<std::streamoff>(byte));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ (1u << (bit % 8)));
+  f.seekp(static_cast<std::streamoff>(byte));
+  f.write(&c, 1);
+  return static_cast<bool>(f);
+}
+
+bool truncate_file_to(const std::string& path, std::uint64_t size) {
+  std::error_code ec;
+  fs::resize_file(path, size, ec);
+  return !ec;
+}
+
+}  // namespace ms::failure

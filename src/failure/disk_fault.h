@@ -1,0 +1,102 @@
+// Disk-fault injection for the durable-state tier.
+//
+// DiskFaultInjector implements storage::FaultInjector: every durable read
+// and write in the rt runtime consults it, so a test (or RtChaos trigger)
+// can arm "tear the next checkpoint write at byte 100", "flip bit 7 of the
+// manifest read", or "die between the manifest's temp write and its rename"
+// against a specific artifact kind and path substring. Faults are one-shot
+// by default (sticky = fire on every match); crash faults call the
+// registered crash hook — normally RtRuntime::simulate_crash — at the
+// faithful instant inside the write.
+//
+// The at-rest helpers (flip_bit_in_file, truncate_file_to) corrupt bytes
+// that are *already on disk*, for drills where the damage happens while the
+// process is down (bit rot, a truncating fsck).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/durable_file.h"
+
+namespace ms::failure {
+
+/// Match/arming options for one fault rule. (Defined outside the injector
+/// class so it can serve as a default argument — GCC rejects nested structs
+/// with member initializers there.)
+struct DiskFaultOptions {
+  /// Only paths containing this substring match ("" = any).
+  std::string path_contains;
+  /// Fire on the N-th matching operation (1 = first).
+  int occurrence = 1;
+  /// Keep firing on every match after the occurrence-th instead of once.
+  bool sticky = false;
+};
+
+class DiskFaultInjector final : public storage::FaultInjector {
+ public:
+  using Options = DiskFaultOptions;
+
+  /// Arm a write fault against artifact `kind`. `offset` parameterizes
+  /// kTorn (bytes that land).
+  void arm_write(storage::ArtifactKind kind, storage::WriteFault fault,
+                 std::uint64_t offset = 0, Options opts = {});
+
+  /// Arm a read fault. `offset` parameterizes kShortRead (bytes kept) and
+  /// kBitFlip (bit index into the file).
+  void arm_read(storage::ArtifactKind kind, storage::ReadFault fault,
+                std::uint64_t offset = 0, Options opts = {});
+
+  /// Called when a crash fault executes (wire to RtRuntime::simulate_crash).
+  void set_crash_hook(std::function<void()> hook);
+
+  /// Disarm everything (the "transient fault clears" half of a drill).
+  void clear();
+
+  /// Faults actually injected so far.
+  int injected() const;
+  /// Human-readable timeline of every injected fault.
+  std::vector<std::string> log() const;
+
+  // --- storage::FaultInjector ---
+  storage::WriteFaultSpec write_fault(const std::string& path,
+                                      storage::ArtifactKind kind) override;
+  storage::ReadFaultSpec read_fault(const std::string& path,
+                                    storage::ArtifactKind kind) override;
+  void on_crash_point(const std::string& path) override;
+
+ private:
+  struct WriteRule {
+    storage::ArtifactKind kind;
+    storage::WriteFaultSpec spec;
+    Options opts;
+    int seen = 0;
+    bool spent = false;
+  };
+  struct ReadRule {
+    storage::ArtifactKind kind;
+    storage::ReadFaultSpec spec;
+    Options opts;
+    int seen = 0;
+    bool spent = false;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<WriteRule> write_rules_;
+  std::vector<ReadRule> read_rules_;
+  std::function<void()> crash_hook_;
+  int injected_ = 0;
+  std::vector<std::string> log_;
+};
+
+/// Flip bit (bit % 8) of byte (bit / 8) of a file at rest. False when the
+/// file is missing or shorter than the target byte.
+bool flip_bit_in_file(const std::string& path, std::uint64_t bit);
+
+/// Truncate a file at rest to `size` bytes.
+bool truncate_file_to(const std::string& path, std::uint64_t size);
+
+}  // namespace ms::failure

@@ -33,6 +33,19 @@ void RtChaos::heartbeat_delay_on(ft::FtPoint point, int op, SimTime delay,
   triggers_.push_back(t);
 }
 
+void RtChaos::action_on(ft::FtPoint point, std::function<void()> fn,
+                        int hau_id, int occurrence) {
+  std::scoped_lock lk(mu_);
+  MS_CHECK(!armed_);
+  Trigger t;
+  t.point = point;
+  t.hau_filter = hau_id;
+  t.occurrence = occurrence;
+  t.action = Trigger::Action::kCustom;
+  t.fn = std::move(fn);
+  triggers_.push_back(std::move(t));
+}
+
 void RtChaos::arm() {
   {
     std::scoped_lock lk(mu_);
@@ -47,6 +60,7 @@ void RtChaos::arm() {
 void RtChaos::on_probe(ft::FtPoint point, int hau, std::uint64_t id) {
   bool crash = false;
   std::vector<std::pair<int, SimTime>> delays;
+  std::vector<std::function<void()>> actions;
   {
     std::scoped_lock lk(mu_);
     for (auto& t : triggers_) {
@@ -61,14 +75,22 @@ void RtChaos::on_probe(ft::FtPoint point, int hau, std::uint64_t id) {
         log_.push_back(std::string("crash at ") + ft::ft_point_name(point) +
                        " hau=" + std::to_string(hau) +
                        " id=" + std::to_string(id));
-      } else {
+      } else if (t.action == Trigger::Action::kHbDelay) {
         delays.emplace_back(t.hb_op, t.hb_delay);
         log_.push_back(std::string("heartbeat delay at ") +
                        ft::ft_point_name(point) + " op=" +
                        std::to_string(t.hb_op) +
                        " id=" + std::to_string(id));
+      } else {
+        actions.push_back(t.fn);
+        log_.push_back(std::string("action at ") + ft::ft_point_name(point) +
+                       " hau=" + std::to_string(hau) +
+                       " id=" + std::to_string(id));
       }
     }
+  }
+  for (const auto& fn : actions) {
+    if (fn) fn();
   }
   // Outside the trigger lock: simulate_crash only flips an atomic, but keep
   // the injection path free of our mutex anyway.

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -34,6 +35,14 @@ class RtChaos {
   void heartbeat_delay_on(ft::FtPoint point, int op, SimTime delay,
                           int hau_id = -1, int occurrence = 1);
 
+  /// Run `fn` the `occurrence`-th time `point` fires — the scheduling hook
+  /// for disk faults: the callback typically arms a DiskFaultInjector
+  /// (disk_fault.h) so the *next* durable write or read at that protocol
+  /// state tears, flips or dies. Runs outside the trigger mutex, on the
+  /// probing thread.
+  void action_on(ft::FtPoint point, std::function<void()> fn, int hau_id = -1,
+                 int occurrence = 1);
+
   /// Subscribe to the runtime's probe spine. Call once, before start() or
   /// recover(); other probe subscribers coexist.
   void arm();
@@ -50,10 +59,11 @@ class RtChaos {
     int occurrence = 1;
     int seen = 0;
     bool fired = false;
-    enum class Action { kCrash, kHbDelay };
+    enum class Action { kCrash, kHbDelay, kCustom };
     Action action = Action::kCrash;
     int hb_op = -1;
     SimTime hb_delay = SimTime::zero();
+    std::function<void()> fn;
   };
 
   void on_probe(ft::FtPoint point, int hau, std::uint64_t id);

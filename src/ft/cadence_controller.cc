@@ -28,10 +28,33 @@ void CadenceController::on_checkpoint_complete(SimTime cost, Bytes bytes) {
   retune();
 }
 
+void CadenceController::on_failure_event(SimTime now) {
+  ++failure_events_;
+  if (have_failure_ && now > last_failure_) {
+    const double gap = (now - last_failure_).to_seconds();
+    if (gap_s_ <= 0.0) {
+      gap_s_ = gap;
+    } else {
+      const double a = std::clamp(params_.cadence_smoothing, 0.0, 1.0);
+      gap_s_ += a * (gap - gap_s_);
+    }
+  }
+  last_failure_ = now;
+  have_failure_ = true;
+  // A fresh verdict shifts the failure-rate input immediately; don't wait
+  // for the next checkpoint sample to act on it.
+  if (have_sample_) retune();
+}
+
 void CadenceController::retune() {
   // Young's first-order optimum: the interval that balances checkpoint tax
-  // against expected rework, T = sqrt(2 * C * MTBF).
-  double t = std::sqrt(2.0 * cost_s_ * params_.mtbf.to_seconds());
+  // against expected rework, T = sqrt(2 * C * MTBF). The MTBF input is the
+  // live inter-failure estimate when enabled and warmed up, else the
+  // configured constant.
+  const double mtbf_s = params_.cadence_live_mtbf && gap_s_ > 0.0
+                            ? gap_s_
+                            : params_.mtbf.to_seconds();
+  double t = std::sqrt(2.0 * cost_s_ * mtbf_s);
   // Recovery budget: a failure forces replay of ~one interval of input at
   // replay_speedup; keep that catch-up time within the budget.
   if (params_.recovery_budget > SimTime::zero() && params_.replay_speedup > 0) {

@@ -40,6 +40,13 @@ class CadenceController {
   /// for introspection; abandoned epochs carry no usable cost sample.
   void on_checkpoint_abandoned() { ++abandoned_; }
 
+  /// A failure verdict landed at `now` (FailureDetector, or the rt
+  /// supervisor's scan — one event per correlated batch). With
+  /// params.cadence_live_mtbf the EWMA of inter-failure gaps replaces the
+  /// configured MTBF constant in the Young/Daly retune; without the flag the
+  /// estimate is still tracked for introspection.
+  void on_failure_event(SimTime now);
+
   /// The interval the next periodic initiation should use. Before the first
   /// observation this is the seed (params.checkpoint_period).
   SimTime interval() const { return interval_; }
@@ -49,6 +56,9 @@ class CadenceController {
   double smoothed_bytes() const { return bytes_; }
   std::uint64_t retunes() const { return retunes_; }
   std::uint64_t abandoned() const { return abandoned_; }
+  /// Live MTBF estimate; zero until two failure events have been observed.
+  SimTime live_mtbf() const { return SimTime::seconds(gap_s_); }
+  std::uint64_t failure_events() const { return failure_events_; }
   SimTime min_interval() const { return min_; }
   SimTime max_interval() const { return max_; }
 
@@ -64,6 +74,11 @@ class CadenceController {
   double bytes_ = 0.0;
   std::uint64_t retunes_ = 0;
   std::uint64_t abandoned_ = 0;
+  // Live failure-rate estimate (EWMA of inter-failure gaps, seconds).
+  double gap_s_ = 0.0;
+  SimTime last_failure_;
+  bool have_failure_ = false;
+  std::uint64_t failure_events_ = 0;
 };
 
 }  // namespace ms::ft

@@ -39,6 +39,8 @@ const char* ft_point_name(FtPoint p) {
     case FtPoint::kNodeSuspected: return "node-suspected";
     case FtPoint::kNodeExonerated: return "node-exonerated";
     case FtPoint::kFailureVerdict: return "failure-verdict";
+    case FtPoint::kCorruptArtifact: return "corrupt-artifact";
+    case FtPoint::kRecoveryFallback: return "recovery-fallback";
   }
   return "?";
 }
@@ -1023,6 +1025,9 @@ void MsScheme::on_node_miss(net::NodeId node) {
   }
   // Failure verdict. Epochs wedged on this node's HAUs will never complete:
   // abandon them now rather than waiting out the stale window in silence.
+  // The verdict also feeds the cadence controller's live MTBF estimate
+  // (params.cadence_live_mtbf): one node verdict = one failure event.
+  if (cadence_) cadence_->on_failure_event(app_->simulation().now());
   for (int i = 0; i < app_->num_haus(); ++i) {
     if (app_->hau(i).node() == node) coordinator_->on_unit_failed(i);
   }

@@ -56,6 +56,11 @@ struct FtParams {
   SimTime recovery_budget = SimTime::seconds(30);
   /// EWMA weight of the newest checkpoint-cost observation.
   double cadence_smoothing = 0.3;
+  /// Estimate MTBF live from observed failure verdicts (EWMA of
+  /// inter-failure gaps fed by FailureDetector verdicts) instead of the
+  /// configured `mtbf` constant. Until the first gap is observed the
+  /// configured value still seeds the optimum.
+  bool cadence_live_mtbf = false;
   /// Clamp on the retuned interval, as multiples of checkpoint_period
   /// (factors keep the clamp scale-free: sim sweeps run minutes-long
   /// periods, rt demos run milliseconds).
@@ -111,6 +116,15 @@ struct FtParams {
   /// returns a non-OK Status and the supervisor stops resurrecting it).
   int crash_loop_threshold = 3;
   SimTime crash_loop_window = SimTime::seconds(2);
+
+  // --- durable-state integrity (rt runtime) ---
+  /// Full epochs retained beyond the live chain as corruption-fallback
+  /// rungs: when the chain tip fails verification, recovery falls back to
+  /// the newest verifiable earlier epoch instead of losing everything.
+  /// Source logs are truncated only to the oldest retained epoch's boundary
+  /// so a fallback still replays with full fidelity. Zero disables rungs
+  /// (corrupt tip = typed kDataLoss).
+  int retain_fallback_epochs = 1;
 
   // --- shared-storage retry ---
   /// Bounded retry of shared-storage puts/gets on transient (kUnavailable)

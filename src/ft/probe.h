@@ -44,6 +44,10 @@ enum class FtPoint {
   kNodeSuspected,     // first missed heartbeat: unit enters the suspect state
   kNodeExonerated,    // late heartbeat cleared a suspect (false positive)
   kFailureVerdict,    // suspicion count crossed the threshold: unit is failed
+  // Durable-state integrity (rt runtime; hau = op id or -1, id = the epoch
+  // involved where one exists).
+  kCorruptArtifact,   // a durable blob failed checksum/length verification
+  kRecoveryFallback,  // recovery skipped a corrupt epoch for an older one
 };
 
 const char* ft_point_name(FtPoint p);

@@ -16,45 +16,25 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr std::uint32_t kManifestMagic = 0x4D534D46;  // "MSMF"
-// v2 added the chain predecessor pointer and per-op full/delta kinds.
-// Checkpoint directories do not outlive the binary that wrote them, so only
-// the current version is accepted; an old-version manifest reads as "no
-// manifest" and the epoch is treated as never committed.
-constexpr std::uint32_t kManifestVersion = 2;
-// Fixed-width portion of a source-log frame (everything but the payload).
-constexpr std::size_t kLogFrameFixed =
-    8 /*index*/ + 4 /*out_port*/ + 8 /*id*/ + 4 /*source_hau*/ +
-    8 /*source_seq*/ + 8 /*edge_seq*/ + 8 /*event_time*/ + 8 /*wire_size*/ +
-    1 /*has_payload*/;
-
-bool write_file_atomic(const std::string& path,
-                       const std::vector<std::uint8_t>& bytes) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) return false;
-  }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  return !ec;
-}
-
-std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return std::nullopt;
-  const auto size = in.tellg();
-  in.seekg(0);
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  if (size > 0) {
-    in.read(reinterpret_cast<char*>(bytes.data()), size);
-    if (!in) return std::nullopt;
-  }
-  return bytes;
+/// Serialize one source-log record payload (the inner frame body; the outer
+/// [len][crc] framing is the caller's).
+std::vector<std::uint8_t> encode_log_record(
+    std::uint64_t index, int out_port, const core::Tuple& tuple,
+    const TupleCodec& codec) {
+  BinaryWriter w(kLogFrameFixed + 32);
+  w.write<std::uint64_t>(index);
+  w.write<std::int32_t>(static_cast<std::int32_t>(out_port));
+  w.write<std::uint64_t>(tuple.id);
+  w.write<std::uint32_t>(tuple.source_hau);
+  w.write<std::uint64_t>(tuple.source_seq);
+  w.write<std::uint64_t>(tuple.edge_seq);
+  w.write<std::int64_t>(tuple.event_time.ns());
+  w.write<std::uint64_t>(static_cast<std::uint64_t>(tuple.wire_size));
+  const bool has_payload =
+      tuple.payload != nullptr && codec.encode_payload != nullptr;
+  w.write<std::uint8_t>(has_payload ? 1 : 0);
+  if (has_payload) codec.encode_payload(*tuple.payload, w);
+  return w.take();
 }
 
 }  // namespace
@@ -71,6 +51,12 @@ RtRuntime::RtRuntime(rt::RtEngine* engine, RtRuntimeConfig config)
   if (config_.mode == RtMode::kBaseline) {
     fs::create_directories(config_.dir + "/baseline");
   }
+  // Make the directory skeleton itself durable: the baseline/ dirent lives
+  // in config_.dir, and atomic writes below only fsync their immediate
+  // parent.
+  if (config_.sync_mode != storage::SyncMode::kNone) {
+    storage::fsync_dir(config_.dir);
+  }
 
   const int n = engine_->num_operators();
   logs_.resize(static_cast<std::size_t>(n));
@@ -79,6 +65,15 @@ RtRuntime::RtRuntime(rt::RtEngine* engine, RtRuntimeConfig config)
     auto log = std::make_unique<SourceLog>();
     log->path = log_path(i);
     logs_[static_cast<std::size_t>(i)] = std::move(log);
+  }
+  {
+    MetricsRegistry* m =
+        config_.metrics ? config_.metrics : &MetricsRegistry::global();
+    m_torn_frames_ = m->counter("ft.log.torn_frames");
+    m_append_failures_ = m->counter("ft.log.append_failures");
+    m_corrupt_manifests_ = m->counter("ft.scan.corrupt_manifests");
+    m_corrupt_artifacts_ = m->counter("ft.recovery.corrupt_artifacts");
+    m_fallbacks_ = m->counter("ft.recovery.fallbacks");
   }
   scan_existing_state();
   baseline_seq_.assign(static_cast<std::size_t>(n), 0);
@@ -301,6 +296,14 @@ void RtRuntime::start_epoch(std::uint64_t epoch) {
   if (!crashed_.load()) {
     std::error_code ec;
     fs::create_directories(epoch_dir(disk), ec);
+    // The MANIFEST commit below only fsyncs epoch_<E> (its parent). The
+    // epoch_<E> dirent itself lives in config_.dir and must be durable
+    // before the epoch can be acknowledged, or a power loss after the
+    // commit drops the whole directory and recovery silently falls back an
+    // epoch.
+    if (!ec && config_.sync_mode != storage::SyncMode::kNone) {
+      storage::fsync_dir(config_.dir);
+    }
   }
   const rt::SnapshotKind kind = es.kind;
   pending_[disk] = std::move(es);
@@ -333,36 +336,43 @@ void RtRuntime::commit_epoch(std::uint64_t epoch) {
   bool any_delta = false;
   for (const auto& [op, is_delta] : es.deltas) any_delta |= is_delta;
 
-  BinaryWriter w;
-  w.write<std::uint32_t>(kManifestMagic);
-  w.write<std::uint32_t>(kManifestVersion);
-  w.write<std::uint64_t>(disk);
-  w.write<std::uint64_t>(any_delta ? last_durable_ : 0);  // chain predecessor
+  Manifest manifest;
+  manifest.epoch = disk;
+  manifest.prev_epoch = any_delta ? last_durable_ : 0;  // chain predecessor
   const int n = engine_->num_operators();
-  w.write<std::uint32_t>(static_cast<std::uint32_t>(n));
+  manifest.ops.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
+    Manifest::Op& op = manifest.ops[static_cast<std::size_t>(i)];
     const auto size_it = es.sizes.find(i);
-    w.write<std::uint64_t>(size_it == es.sizes.end() ? 0 : size_it->second);
-    const bool is_source = engine_->op_is_source(i);
-    w.write<std::uint8_t>(is_source ? 1 : 0);
+    op.size = size_it == es.sizes.end() ? 0 : size_it->second;
+    op.is_source = engine_->op_is_source(i);
     const auto d_it = es.deltas.find(i);
-    w.write<std::uint8_t>(d_it != es.deltas.end() && d_it->second ? 1 : 0);
+    op.delta = d_it != es.deltas.end() && d_it->second;
     const auto b_it = es.boundaries.find(i);
-    w.write<std::uint64_t>(b_it == es.boundaries.end() ? 0 : b_it->second);
+    op.boundary = b_it == es.boundaries.end() ? 0 : b_it->second;
     const auto s_it = es.next_seqs.find(i);
-    w.write<std::uint64_t>(s_it == es.next_seqs.end() ? 0 : s_it->second);
+    op.next_seq = s_it == es.next_seqs.end() ? 0 : s_it->second;
   }
-  if (!write_file_atomic(epoch_dir(disk) + "/MANIFEST", w.take())) {
-    MS_LOG_WARN("ft", "rt epoch %llu: manifest write failed",
-                static_cast<unsigned long long>(disk));
+  const std::vector<std::uint8_t> payload = encode_manifest(manifest);
+  const Status mst = storage::write_artifact_atomic(
+      epoch_dir(disk) + "/MANIFEST", storage::ArtifactKind::kManifest,
+      payload.data(), payload.size(), durable_opts());
+  if (!mst.is_ok()) {
+    MS_LOG_WARN("ft", "rt epoch %llu: manifest write failed: %s",
+                static_cast<unsigned long long>(disk), mst.message().c_str());
     pending_.erase(it);
     // Operators advanced their dirty baselines at this epoch's cut but the
     // epoch never became durable — a later delta chained on last_durable_
     // would silently omit everything mutated in this window. Same rebase as
     // abandon_epoch: the next epoch must be full.
     chain_broken_ = true;
-    std::error_code ec;
-    fs::remove_all(epoch_dir(disk), ec);
+    // A crash fault (kCrashAfterRename) may have landed the rename before
+    // "dying": a dead process deletes nothing, and the next scan decides
+    // whether the epoch committed. Only a live failed write cleans up.
+    if (!crashed_.load()) {
+      std::error_code ec;
+      fs::remove_all(epoch_dir(disk), ec);
+    }
     return;
   }
 
@@ -383,14 +393,33 @@ void RtRuntime::commit_epoch(std::uint64_t epoch) {
     const auto d_it2 = es.deltas.find(op);
     if (d_it2 != es.deltas.end() && d_it2->second) delta_bytes += sz;
   }
+  {
+    std::map<int, std::uint64_t> bmap;
+    for (const auto& [op, b] : es.boundaries) bmap[op] = b;
+    retained_boundaries_[disk] = std::move(bmap);
+  }
   if (any_delta) {
     chain_epochs_.push_back(disk);
     ++deltas_since_full_;
     chain_delta_bytes_ += delta_bytes;
   } else {
-    for (std::uint64_t e : chain_epochs_) {
+    // A full epoch supersedes the whole chain. Its deltas are unusable
+    // without their tip and are GC'd, but the chain's full base survives as
+    // a fallback rung (newest retain_fallback_epochs kept) so a corrupt new
+    // tip never strands recovery with nothing verifiable to fall back on.
+    for (std::size_t j = 1; j < chain_epochs_.size(); ++j) {
       std::error_code ec;
-      fs::remove_all(epoch_dir(e), ec);
+      fs::remove_all(epoch_dir(chain_epochs_[j]), ec);
+      retained_boundaries_.erase(chain_epochs_[j]);
+    }
+    if (!chain_epochs_.empty()) fallback_epochs_.push_back(chain_epochs_[0]);
+    const auto keep = static_cast<std::size_t>(
+        std::max(0, config_.params.retain_fallback_epochs));
+    while (fallback_epochs_.size() > keep) {
+      std::error_code ec;
+      fs::remove_all(epoch_dir(fallback_epochs_.front()), ec);
+      retained_boundaries_.erase(fallback_epochs_.front());
+      fallback_epochs_.erase(fallback_epochs_.begin());
     }
     chain_epochs_.assign(1, disk);
     deltas_since_full_ = 0;
@@ -403,7 +432,17 @@ void RtRuntime::commit_epoch(std::uint64_t epoch) {
   for (int i = 0; i < n; ++i) {
     if (!logs_[static_cast<std::size_t>(i)]) continue;
     const auto b_it = es.boundaries.find(i);
-    if (b_it != es.boundaries.end()) truncate_log(i, b_it->second);
+    if (b_it == es.boundaries.end()) continue;
+    // Falling back to an older retained epoch (chain predecessor or rung)
+    // must still find every record past *that* epoch's cut, so truncation is
+    // bounded by the minimum boundary across every epoch still on disk.
+    std::uint64_t bound = b_it->second;
+    for (const auto& [e, bmap] : retained_boundaries_) {
+      (void)e;
+      const auto rit = bmap.find(i);
+      bound = std::min(bound, rit == bmap.end() ? 0 : rit->second);
+    }
+    truncate_log(i, bound);
   }
   pending_.erase(it);
 }
@@ -443,9 +482,13 @@ void RtRuntime::on_snapshot(const rt::Snapshot& snap) {
     emit_probe(FtPoint::kCheckpointWrite, snap.op, snap.epoch);
     const std::string path =
         config_.dir + "/baseline/op_" + std::to_string(snap.op) + ".ckpt";
-    if (!write_file_atomic(path, w.take())) {
-      MS_LOG_WARN("ft", "rt baseline checkpoint write failed: %s",
-                  path.c_str());
+    const std::vector<std::uint8_t> bytes = w.take();
+    const Status st = storage::write_artifact_atomic(
+        path, storage::ArtifactKind::kBaseline, bytes.data(), bytes.size(),
+        durable_opts());
+    if (!st.is_ok()) {
+      MS_LOG_WARN("ft", "rt baseline checkpoint write failed: %s (%s)",
+                  path.c_str(), st.message().c_str());
       return;
     }
     emit_probe(FtPoint::kCheckpointDone, snap.op, snap.epoch);
@@ -457,16 +500,15 @@ void RtRuntime::on_snapshot(const rt::Snapshot& snap) {
   const std::string path = epoch_dir(snap.epoch) + "/op_" +
                            std::to_string(snap.op) +
                            (snap.delta ? ".delta" : ".ckpt");
-  bool wrote = false;
-  {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (out) {
-      out.write(reinterpret_cast<const char*>(snap.data),
-                static_cast<std::streamsize>(snap.size));
-      out.flush();
-      wrote = static_cast<bool>(out);
-    }
-  }
+  // Direct (non-atomic) framed write: the blob's visibility is gated by the
+  // epoch's MANIFEST rename, and the frame CRC lets recovery catch a torn
+  // write that slipped through.
+  const bool wrote =
+      storage::write_artifact(path,
+                              snap.delta ? storage::ArtifactKind::kDelta
+                                         : storage::ArtifactKind::kCheckpoint,
+                              snap.data, snap.size, durable_opts())
+          .is_ok();
   const SimTime written_at = now();
 
   std::scoped_lock lk(ctl_mu_);
@@ -508,25 +550,29 @@ void RtRuntime::on_source_emit(int op, int out_port, const core::Tuple& tuple) {
   // guarantee recovery leans on.
   SourceLog& log = *logs_[static_cast<std::size_t>(op)];
   std::scoped_lock lk(log.mu);
-  BinaryWriter w(kLogFrameFixed + 32);
-  w.write<std::uint64_t>(log.next_index);
-  w.write<std::int32_t>(out_port);
-  w.write<std::uint64_t>(tuple.id);
-  w.write<std::uint32_t>(tuple.source_hau);
-  w.write<std::uint64_t>(tuple.source_seq);
-  w.write<std::uint64_t>(tuple.edge_seq);
-  w.write<std::int64_t>(tuple.event_time.ns());
-  w.write<std::uint64_t>(static_cast<std::uint64_t>(tuple.wire_size));
-  const bool has_payload =
-      tuple.payload != nullptr && config_.codec.encode_payload != nullptr;
-  w.write<std::uint8_t>(has_payload ? 1 : 0);
-  if (has_payload) config_.codec.encode_payload(*tuple.payload, w);
-  const std::vector<std::uint8_t> frame = w.take();
-  const std::uint32_t len = static_cast<std::uint32_t>(frame.size());
-  log.out.write(reinterpret_cast<const char*>(&len), sizeof(len));
-  log.out.write(reinterpret_cast<const char*>(frame.data()),
-                static_cast<std::streamsize>(frame.size()));
-  log.out.flush();
+  const std::vector<std::uint8_t> frame =
+      encode_log_record(log.next_index, out_port, tuple, config_.codec);
+  // One buffer per record so a single write() carries the whole frame — the
+  // only tear a crash can produce is a short final frame, which the scanner
+  // drops. Legacy files keep the CRC-less layout until truncation upgrades
+  // them; new files carry [len][crc32c(payload)][payload].
+  BinaryWriter rec(8 + frame.size());
+  rec.write<std::uint32_t>(static_cast<std::uint32_t>(frame.size()));
+  if (!log.legacy) {
+    rec.write<std::uint32_t>(storage::crc32c(frame.data(), frame.size()));
+  }
+  rec.write_bytes(frame.data(), frame.size());
+  const std::vector<std::uint8_t> bytes = rec.take();
+  if (!log.out.append(bytes.data(), bytes.size(), durable_opts())) {
+    // The tuple still goes downstream but is now permanently absent from
+    // the replay log: a recovery before a checkpoint boundary passes this
+    // index would silently drop it. Count it and pin the index so health()
+    // surfaces the window while the process is still alive.
+    MS_LOG_WARN("ft", "rt source log append failed for op %d (index %llu)",
+                op, static_cast<unsigned long long>(log.next_index));
+    m_append_failures_->add(1);
+    log.failed_since = std::min(log.failed_since, log.next_index);
+  }
   ++log.next_index;
 }
 
@@ -575,54 +621,44 @@ std::string RtRuntime::log_path(int op) const {
   return config_.dir + "/source_" + std::to_string(op) + ".log";
 }
 
-std::optional<RtRuntime::Manifest> RtRuntime::read_manifest(
+Result<RtRuntime::Manifest> RtRuntime::read_manifest(
     std::uint64_t epoch) const {
-  const auto bytes = read_file(epoch_dir(epoch) + "/MANIFEST");
-  if (!bytes) return std::nullopt;
-  // Validate the size before handing the buffer to BinaryReader (which
-  // fail-stops on truncation — wrong response to a torn file).
-  constexpr std::size_t kHeader = 4 + 4 + 8 + 8 + 4;
-  if (bytes->size() < kHeader) return std::nullopt;
-  std::uint32_t magic = 0, version = 0, num_ops = 0;
-  std::memcpy(&magic, bytes->data(), 4);
-  std::memcpy(&version, bytes->data() + 4, 4);
-  std::memcpy(&num_ops, bytes->data() + 24, 4);
-  if (magic != kManifestMagic || version != kManifestVersion) {
-    return std::nullopt;
-  }
-  if (num_ops > 1u << 20) return std::nullopt;
-  constexpr std::size_t kPerOp = 8 + 1 + 1 + 8 + 8;
-  if (bytes->size() != kHeader + num_ops * kPerOp) return std::nullopt;
-
-  BinaryReader r(*bytes);
-  Manifest m;
-  r.read<std::uint32_t>();  // magic
-  r.read<std::uint32_t>();  // version
-  m.epoch = r.read<std::uint64_t>();
-  m.prev_epoch = r.read<std::uint64_t>();
-  r.read<std::uint32_t>();  // num_ops
-  m.ops.resize(num_ops);
-  for (auto& op : m.ops) {
-    op.size = r.read<std::uint64_t>();
-    op.is_source = r.read<std::uint8_t>() != 0;
-    op.delta = r.read<std::uint8_t>() != 0;
-    op.boundary = r.read<std::uint64_t>();
-    op.next_seq = r.read<std::uint64_t>();
-  }
-  return m;
+  const std::string path = epoch_dir(epoch) + "/MANIFEST";
+  std::vector<std::uint8_t> payload;
+  const Status st = storage::read_artifact(
+      path, storage::ArtifactKind::kManifest, durable_opts(), &payload);
+  if (!st.is_ok()) return st;
+  // Legacy (pre-checksum) manifests are the bare payload; framed ones hand
+  // back the identical bytes, so one decoder serves both.
+  return decode_manifest(payload, path);
 }
 
-std::vector<RtRuntime::LogRecord> RtRuntime::read_log(int op) const {
+std::vector<RtRuntime::LogRecord> RtRuntime::read_log(int op,
+                                                      LogHealth* health) const {
   std::vector<LogRecord> records;
-  const auto bytes = read_file(log_path(op));
-  if (!bytes) return records;
-  std::size_t pos = 0;
-  while (pos + 4 <= bytes->size()) {
-    std::uint32_t len = 0;
-    std::memcpy(&len, bytes->data() + pos, 4);
-    if (len < kLogFrameFixed) break;            // corrupt frame header
-    if (pos + 4 + len > bytes->size()) break;   // torn tail: drop it
-    BinaryReader r(bytes->data() + pos + 4, len);
+  if (health) *health = LogHealth{};
+  std::vector<std::uint8_t> bytes;
+  const Status st = storage::read_raw(
+      log_path(op), storage::ArtifactKind::kSourceLog, durable_opts(), &bytes);
+  if (!st.is_ok()) {
+    // kNotFound is a genuinely empty log. Anything else is a transient read
+    // failure over bytes that may be intact — report it, because an empty
+    // return here is indistinguishable from "nothing to replay".
+    if (health && st.code() != StatusCode::kNotFound) health->error = st;
+    return records;
+  }
+  const LogScan scan = scan_log_bytes(bytes.data(), bytes.size());
+  if (health) {
+    health->new_format = scan.new_format;
+    health->torn = scan.torn;
+    health->valid_bytes = scan.valid_bytes;
+  }
+  for (const LogFrameView& frame : scan.frames) {
+    // The scanner already enforced len >= kLogFrameFixed (legacy) or a
+    // matching CRC (new format); re-check the floor so a CRC-valid but
+    // impossibly short frame cannot trip BinaryReader's fail-stop.
+    if (frame.len < kLogFrameFixed) break;
+    BinaryReader r(frame.data, frame.len);
     LogRecord rec;
     rec.index = r.read<std::uint64_t>();
     rec.out_port = static_cast<int>(r.read<std::int32_t>());
@@ -637,7 +673,6 @@ std::vector<RtRuntime::LogRecord> RtRuntime::read_log(int op) const {
       rec.tuple.payload = config_.codec.decode_payload(r);
     }
     records.push_back(std::move(rec));
-    pos += 4 + len;
   }
   return records;
 }
@@ -645,42 +680,61 @@ std::vector<RtRuntime::LogRecord> RtRuntime::read_log(int op) const {
 void RtRuntime::truncate_log(int op, std::uint64_t boundary) {
   SourceLog& log = *logs_[static_cast<std::size_t>(op)];
   std::scoped_lock lk(log.mu);
+  // `boundary` is the minimum replay boundary across every retained epoch:
+  // once it passes a failed append's index, no recovery candidate needs the
+  // missing record any more and the degradation window is closed.
+  if (log.failed_since < boundary) {
+    log.failed_since = SourceLog::kNoAppendFailure;
+  }
   if (boundary <= log.begin_index) return;  // nothing behind the boundary
-  // Every append is flushed, so the file is complete up to next_index.
-  const std::vector<LogRecord> records = read_log(op);
+  // Every append hits the kernel before return, so the file is complete up
+  // to next_index.
+  LogHealth read_health;
+  const std::vector<LogRecord> records = read_log(op, &read_health);
+  if (!read_health.error.is_ok()) {
+    // Rewriting from a failed read would commit an empty (or partial) image
+    // over records the read never saw. Keep the file; the next commit
+    // retries the truncation.
+    MS_LOG_WARN("ft", "rt source log truncation skipped for op %d: %s", op,
+                read_health.error.message().c_str());
+    return;
+  }
   log.out.close();
+  // The rewrite always emits the checksummed format — this is where a legacy
+  // log upgrades.
   BinaryWriter w;
+  w.write<std::uint32_t>(kLogFileMagic);
+  w.write<std::uint32_t>(kLogFileVersion);
   for (const LogRecord& rec : records) {
     if (rec.index < boundary) continue;
-    BinaryWriter frame(kLogFrameFixed + 32);
-    frame.write<std::uint64_t>(rec.index);
-    frame.write<std::int32_t>(static_cast<std::int32_t>(rec.out_port));
-    frame.write<std::uint64_t>(rec.tuple.id);
-    frame.write<std::uint32_t>(rec.tuple.source_hau);
-    frame.write<std::uint64_t>(rec.tuple.source_seq);
-    frame.write<std::uint64_t>(rec.tuple.edge_seq);
-    frame.write<std::int64_t>(rec.tuple.event_time.ns());
-    frame.write<std::uint64_t>(static_cast<std::uint64_t>(rec.tuple.wire_size));
-    const bool has_payload =
-        rec.tuple.payload != nullptr && config_.codec.encode_payload != nullptr;
-    frame.write<std::uint8_t>(has_payload ? 1 : 0);
-    if (has_payload) config_.codec.encode_payload(*rec.tuple.payload, frame);
-    const std::vector<std::uint8_t> body = frame.take();
+    const std::vector<std::uint8_t> body =
+        encode_log_record(rec.index, rec.out_port, rec.tuple, config_.codec);
     w.write<std::uint32_t>(static_cast<std::uint32_t>(body.size()));
+    w.write<std::uint32_t>(storage::crc32c(body.data(), body.size()));
     w.write_bytes(body.data(), body.size());
   }
-  if (write_file_atomic(log.path, w.take())) {
+  const std::vector<std::uint8_t> bytes = w.take();
+  const Status st = storage::write_raw_atomic(log.path,
+                                              storage::ArtifactKind::kSourceLog,
+                                              bytes.data(), bytes.size(),
+                                              durable_opts());
+  if (st.is_ok()) {
     log.begin_index = boundary;
+    log.legacy = false;
   } else {
-    MS_LOG_WARN("ft", "rt source log truncation failed for op %d", op);
+    MS_LOG_WARN("ft", "rt source log truncation failed for op %d: %s", op,
+                st.message().c_str());
   }
-  log.out.open(log.path, std::ios::binary | std::ios::app);
+  log.out.open(log.path);
 }
 
 void RtRuntime::scan_existing_state() {
   // Engine stopped, no epochs pending: safe to rebuild the durable view.
   last_durable_ = 0;
   chain_epochs_.clear();
+  fallback_epochs_.clear();
+  committed_desc_.clear();
+  retained_boundaries_.clear();
   deltas_since_full_ = 0;
   chain_delta_bytes_ = 0;
   base_bytes_ = 0;
@@ -690,7 +744,12 @@ void RtRuntime::scan_existing_state() {
   chain_broken_ = true;
   std::uint64_t max_epoch = 0;
   std::vector<std::uint64_t> incomplete;
-  std::vector<std::uint64_t> committed;
+  // Epochs whose manifest read and verified, with the decoded manifest
+  // (ascending by map order).
+  std::map<std::uint64_t, Manifest> committed;
+  // Epochs whose manifest exists but hit a transient read error: they count
+  // as committed (and block GC) but cannot be classified.
+  std::vector<std::uint64_t> unreadable;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
     const std::string name = entry.path().filename().string();
@@ -702,11 +761,30 @@ void RtRuntime::scan_existing_state() {
       continue;
     }
     max_epoch = std::max(max_epoch, e);
-    if (fs::exists(entry.path() / "MANIFEST")) {
-      committed.push_back(e);
+    auto m = read_manifest(e);
+    if (m.is_ok()) {
       last_durable_ = std::max(last_durable_, e);
-    } else {
+      committed.emplace(e, std::move(m.value()));
+    } else if (m.status().code() == StatusCode::kNotFound) {
       incomplete.push_back(e);  // crash mid-checkpoint: never existed
+    } else if (m.status().code() == StatusCode::kDataLoss) {
+      // The commit marker itself fails verification: the epoch never safely
+      // existed. Dropping it here is what lets recovery's ladder land on a
+      // verifiable predecessor instead of choking on garbage.
+      MS_LOG_WARN("ft", "rt scan: corrupt manifest for epoch %llu (%s); "
+                  "classifying as never committed",
+                  static_cast<unsigned long long>(e),
+                  m.status().message().c_str());
+      m_corrupt_manifests_->add(1);
+      emit_probe(FtPoint::kCorruptArtifact, -1, e);
+      std::error_code rm_ec;
+      fs::remove_all(epoch_dir(e), rm_ec);
+    } else {
+      // Transient (EIO, fd exhaustion): the manifest may be intact bytes we
+      // temporarily cannot see. Deleting or reclassifying would destroy a
+      // possibly-good epoch — keep it, block GC, surface retryably later.
+      unreadable.push_back(e);
+      last_durable_ = std::max(last_durable_, e);
     }
   }
   // Keep numbering past removed directories so a re-created epoch can never
@@ -717,9 +795,9 @@ void RtRuntime::scan_existing_state() {
     fs::remove_all(epoch_dir(e), rm_ec);
   }
   // Rebuild the committed chain by walking prev_epoch pointers back from
-  // the tip; oldest (the full base) first. An unreadable or old-version
-  // manifest truncates the walk — recovery will surface the breakage if the
-  // remaining chain is unusable.
+  // the tip; oldest (the full base) first. An unreadable manifest truncates
+  // the walk — recovery will surface the breakage if the remaining chain is
+  // unusable.
   bool walk_clean = last_durable_ == 0;
   if (last_durable_ != 0) {
     std::uint64_t e = last_durable_;
@@ -727,41 +805,108 @@ void RtRuntime::scan_existing_state() {
            std::find(chain_epochs_.begin(), chain_epochs_.end(), e) ==
                chain_epochs_.end()) {
       chain_epochs_.insert(chain_epochs_.begin(), e);
-      const auto m = read_manifest(e);
-      if (!m) break;
-      e = m->prev_epoch;
+      const auto m_it = committed.find(e);
+      if (m_it == committed.end()) break;
+      e = m_it->second.prev_epoch;
       if (e == 0) walk_clean = true;  // reached the chain's full base
     }
   }
-  // Committed epochs not on the chain are superseded leftovers (a crash
-  // between a full commit's rename and its GC) — but only when the walk
-  // reached the full base can we tell "superseded" from "unreachable". A
-  // transient read error (EIO, fd exhaustion) on a mid-chain manifest must
-  // not delete intact bytes recovery still needs: leave them and let the
-  // recovery walk surface the error retryably.
-  if (walk_clean) {
-    for (std::uint64_t e : committed) {
-      if (std::find(chain_epochs_.begin(), chain_epochs_.end(), e) !=
-          chain_epochs_.end()) {
-        continue;
-      }
-      std::error_code rm_ec;
-      fs::remove_all(epoch_dir(e), rm_ec);
+  // Recovery's fallback ladder: every epoch still claiming to be committed,
+  // newest first.
+  for (const auto& [e, m] : committed) {
+    (void)m;
+    committed_desc_.push_back(e);
+  }
+  committed_desc_.insert(committed_desc_.end(), unreadable.begin(),
+                         unreadable.end());
+  std::sort(committed_desc_.begin(), committed_desc_.end(),
+            std::greater<std::uint64_t>());
+  // Committed epochs not on the chain are superseded predecessors (or
+  // crash-leftovers from a full commit that died before GC). The newest
+  // retain_fallback_epochs of them stay as fallback rungs; the rest go —
+  // but only when the walk reached the full base can we tell "superseded"
+  // from "unreachable". A transient read error on a mid-chain manifest must
+  // not trigger deletion of bytes recovery still needs.
+  std::vector<std::uint64_t> off_chain;  // ascending (map order)
+  for (const auto& [e, m] : committed) {
+    (void)m;
+    if (std::find(chain_epochs_.begin(), chain_epochs_.end(), e) ==
+        chain_epochs_.end()) {
+      off_chain.push_back(e);
     }
   }
+  if (walk_clean && unreadable.empty()) {
+    const auto keep = static_cast<std::size_t>(
+        std::max(0, config_.params.retain_fallback_epochs));
+    while (off_chain.size() > keep) {
+      const std::uint64_t e = off_chain.front();
+      std::error_code rm_ec;
+      fs::remove_all(epoch_dir(e), rm_ec);
+      committed.erase(e);
+      committed_desc_.erase(
+          std::remove(committed_desc_.begin(), committed_desc_.end(), e),
+          committed_desc_.end());
+      off_chain.erase(off_chain.begin());
+    }
+  }
+  fallback_epochs_ = off_chain;
+  // Boundary floors for commit-time log truncation: every epoch still on
+  // disk with a readable manifest.
+  for (const auto& [e, m] : committed) {
+    std::map<int, std::uint64_t> bmap;
+    for (std::size_t i = 0; i < m.ops.size(); ++i) {
+      if (m.ops[i].is_source) bmap[static_cast<int>(i)] = m.ops[i].boundary;
+    }
+    retained_boundaries_[e] = std::move(bmap);
+  }
 
-  const auto manifest =
-      last_durable_ ? read_manifest(last_durable_) : std::nullopt;
+  const auto tip_it = committed.find(last_durable_);
   for (std::size_t i = 0; i < logs_.size(); ++i) {
     if (!logs_[i]) continue;
     SourceLog& log = *logs_[i];
     std::scoped_lock lk(log.mu);
     if (log.out.is_open()) log.out.close();
     std::uint64_t committed_boundary = 0;
-    if (manifest && i < manifest->ops.size()) {
-      committed_boundary = manifest->ops[i].boundary;
+    if (tip_it != committed.end() && i < tip_it->second.ops.size()) {
+      committed_boundary = tip_it->second.ops[i].boundary;
     }
-    const auto records = read_log(static_cast<int>(i));
+    LogHealth health;
+    const auto records = read_log(static_cast<int>(i), &health);
+    if (!health.error.is_ok()) {
+      // Transient read error: the bytes may be fine. Classifying the format
+      // or cursors off a failed read could stamp legacy=true on a framed
+      // file (appending CRC-less frames the next scan would "truncate" as
+      // torn, destroying committed records) or reuse record indices. Leave
+      // the handle closed — appends fail loudly into the append-failure
+      // accounting — and let recover() abort retryably.
+      MS_LOG_WARN("ft", "rt source log %zu unreadable at scan: %s", i,
+                  health.error.message().c_str());
+      continue;
+    }
+    if (health.torn) {
+      // Crash mid-append or a flipped bit in a frame: everything past the
+      // last verifiable frame is unusable. Truncate the file so the garbage
+      // cannot resurface in the middle of the log after the next append.
+      MS_LOG_WARN("ft", "rt source log %zu: torn tail, truncating %llu -> "
+                  "%llu bytes",
+                  i,
+                  static_cast<unsigned long long>(
+                      fs::file_size(log.path, ec)),
+                  static_cast<unsigned long long>(health.valid_bytes));
+      m_torn_frames_->add(1);
+      std::error_code rs_ec;
+      fs::resize_file(log.path, health.valid_bytes, rs_ec);
+      if (rs_ec) {
+        MS_LOG_WARN("ft", "rt source log %zu: truncation failed: %s", i,
+                    rs_ec.message().c_str());
+      }
+    }
+    std::error_code sz_ec;
+    const auto fsize = fs::file_size(log.path, sz_ec);
+    const bool exists_nonempty = !sz_ec && fsize > 0;
+    // Appends must stay format-consistent with the existing bytes; an empty
+    // or fresh file starts in the checksummed format (header written below).
+    log.legacy = exists_nonempty && !health.new_format;
     if (records.empty()) {
       // Either a fresh log or one truncated down to nothing; the committed
       // boundary is where the next index continues from.
@@ -771,7 +916,13 @@ void RtRuntime::scan_existing_state() {
       log.begin_index = records.front().index;
       log.next_index = records.back().index + 1;
     }
-    log.out.open(log.path, std::ios::binary | std::ios::app);
+    log.out.open(log.path);
+    if (!exists_nonempty && log.out.is_open()) {
+      std::uint8_t hdr[kLogFileHeaderSize];
+      std::memcpy(hdr, &kLogFileMagic, 4);
+      std::memcpy(hdr + 4, &kLogFileVersion, 4);
+      log.out.append(hdr, sizeof(hdr), durable_opts());
+    }
   }
 }
 
@@ -810,105 +961,110 @@ Status RtRuntime::recover(RecoveryStats* stats) {
   const int n = engine_->num_operators();
   const bool baseline = config_.mode == RtMode::kBaseline;
   std::uint64_t epoch = 0;
-  std::optional<Manifest> manifest;
-  // Every manifest on the committed chain, keyed by epoch; a delta tip pulls
-  // in its predecessors so per-op chains can be walked back to a full base.
-  std::map<std::uint64_t, Manifest> chain;
-  if (!baseline) {
-    std::scoped_lock lk(ctl_mu_);
-    epoch = last_durable_;
-    if (epoch != 0) {
-      std::uint64_t e = epoch;
-      while (e != 0 && chain.find(e) == chain.end()) {
-        auto m = read_manifest(e);
-        if (!m) {
-          return Status::internal("RtRuntime: manifest unreadable for epoch " +
-                                  std::to_string(e));
-        }
-        if (m->ops.size() != static_cast<std::size_t>(n)) {
-          return Status::internal("RtRuntime: manifest operator count mismatch");
-        }
-        const std::uint64_t prev = m->prev_epoch;
-        chain.emplace(e, std::move(*m));
-        e = prev;
-      }
-      manifest = chain.at(epoch);
-    }
-  }
+  LoadedEpoch loaded;
+  loaded.state.resize(static_cast<std::size_t>(n));
+  loaded.deltas.resize(static_cast<std::size_t>(n));
+  loaded.boundaries.assign(static_cast<std::size_t>(n), 0);
+  loaded.next_seqs.assign(static_cast<std::size_t>(n), 0);
 
-  // Phase 2: read the checkpoint bytes — for each op, its newest full record
-  // plus every delta committed after it, oldest first.
+  // Phase 2: read and VERIFY the checkpoint bytes. The fallback ladder:
+  // try every committed epoch, newest first. Definitive corruption anywhere
+  // in a candidate's chain closure (bad CRC, missing blob, broken chain)
+  // skips to the next candidate; a transient read error aborts retryably —
+  // the bytes may be fine, nothing may be destroyed or skipped over.
   emit_probe(FtPoint::kRecoveryPhase2, -1, seq);
   const SimTime t_read0 = now();
-  std::vector<std::vector<std::uint8_t>> state(static_cast<std::size_t>(n));
-  std::vector<std::vector<std::vector<std::uint8_t>>> deltas(
-      static_cast<std::size_t>(n));
-  // Per-source replay cursors (baseline: from its own file header).
-  std::vector<std::uint64_t> boundaries(static_cast<std::size_t>(n), 0);
-  std::vector<std::uint64_t> next_seqs(static_cast<std::size_t>(n), 0);
-  Bytes bytes_read = 0;
-  for (int i = 0; i < n; ++i) {
-    const auto idx = static_cast<std::size_t>(i);
-    if (baseline) {
-      const auto bytes = read_file(config_.dir + "/baseline/op_" +
-                                   std::to_string(i) + ".ckpt");
-      if (!bytes) continue;  // never checkpointed: restarts from empty
+  if (baseline) {
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const std::string path =
+          config_.dir + "/baseline/op_" + std::to_string(i) + ".ckpt";
+      std::vector<std::uint8_t> payload;
+      const Status st = storage::read_artifact(
+          path, storage::ArtifactKind::kBaseline, durable_opts(), &payload);
+      if (st.code() == StatusCode::kNotFound) {
+        continue;  // never checkpointed: restarts from empty
+      }
+      if (!st.is_ok()) {
+        if (st.code() == StatusCode::kDataLoss) {
+          m_corrupt_artifacts_->add(1);
+          emit_probe(FtPoint::kCorruptArtifact, i, 0);
+        }
+        return st;  // baseline has no chain to fall back along
+      }
       constexpr std::size_t kHeader = 8 + 1 + 8 + 8 + 8;
-      if (bytes->size() < kHeader) continue;
-      BinaryReader r(*bytes);
+      if (payload.size() < kHeader) {
+        // No writer of any era produced fewer bytes than the fixed header,
+        // and a framed file truncated at rest below the 4-byte magic sniffs
+        // as "legacy" — without this check it would silently restore the
+        // operator from empty state instead of reporting the damage.
+        m_corrupt_artifacts_->add(1);
+        emit_probe(FtPoint::kCorruptArtifact, i, 0);
+        return Status::data_loss(
+            "RtRuntime: baseline checkpoint truncated, op " +
+            std::to_string(i));
+      }
+      BinaryReader r(payload);
       r.read<std::uint64_t>();  // per-unit checkpoint counter
       r.read<std::uint8_t>();   // is_source
-      boundaries[idx] = r.read<std::uint64_t>();
-      next_seqs[idx] = r.read<std::uint64_t>();
+      loaded.boundaries[idx] = r.read<std::uint64_t>();
+      loaded.next_seqs[idx] = r.read<std::uint64_t>();
       const auto size = r.read<std::uint64_t>();
-      if (size != bytes->size() - kHeader) {
-        return Status::internal("RtRuntime: baseline checkpoint corrupt, op " +
-                                std::to_string(i));
+      if (size != payload.size() - kHeader) {
+        m_corrupt_artifacts_->add(1);
+        emit_probe(FtPoint::kCorruptArtifact, i, 0);
+        return Status::data_loss("RtRuntime: baseline checkpoint corrupt, op " +
+                                 std::to_string(i));
       }
-      state[idx].assign(bytes->begin() + kHeader, bytes->end());
-      bytes_read += static_cast<Bytes>(state[idx].size());
-    } else if (epoch != 0) {
-      // Walk this op's records from the tip back to its newest full one.
-      std::vector<std::pair<std::uint64_t, const Manifest::Op*>> records;
-      std::uint64_t e = epoch;
-      for (;;) {
-        const auto m_it = chain.find(e);
-        if (m_it == chain.end()) {
-          return Status::internal("RtRuntime: delta chain broken for op " +
-                                  std::to_string(i) + " at epoch " +
-                                  std::to_string(e));
-        }
-        const Manifest::Op& rec = m_it->second.ops[idx];
-        records.emplace_back(e, &rec);
-        if (!rec.delta) break;
-        if (m_it->second.prev_epoch == 0) {
-          return Status::internal("RtRuntime: delta without a base for op " +
-                                  std::to_string(i));
-        }
-        e = m_it->second.prev_epoch;
+      loaded.state[idx].assign(payload.begin() + kHeader, payload.end());
+      loaded.bytes_read += loaded.state[idx].size();
+    }
+  } else {
+    std::vector<std::uint64_t> candidates;
+    {
+      std::scoped_lock lk(ctl_mu_);
+      candidates = committed_desc_;
+    }
+    Status last_err = Status::ok();
+    for (const std::uint64_t cand : candidates) {
+      LoadedEpoch attempt;
+      const Status st = load_epoch_state(cand, &attempt);
+      if (st.is_ok()) {
+        epoch = cand;
+        loaded = std::move(attempt);
+        break;
       }
-      std::reverse(records.begin(), records.end());  // full base first
-      for (std::size_t j = 0; j < records.size(); ++j) {
-        const auto& [rec_epoch, rec] = records[j];
-        const std::string path = epoch_dir(rec_epoch) + "/op_" +
-                                 std::to_string(i) +
-                                 (rec->delta ? ".delta" : ".ckpt");
-        const auto bytes = read_file(path);
-        if (!bytes || bytes->size() != rec->size) {
-          return Status::internal(
-              "RtRuntime: checkpoint bytes missing or truncated for op " +
-              std::to_string(i) + " epoch " + std::to_string(rec_epoch));
-        }
-        bytes_read += static_cast<Bytes>(bytes->size());
-        if (j == 0) {
-          state[idx] = std::move(*bytes);
-        } else {
-          deltas[idx].push_back(std::move(*bytes));
-        }
+      if (st.code() == StatusCode::kUnavailable) return st;  // transient
+      MS_LOG_WARN("ft", "rt recovery: epoch %llu failed verification (%s); "
+                  "falling back",
+                  static_cast<unsigned long long>(cand),
+                  st.message().c_str());
+      m_fallbacks_->add(1);
+      emit_probe(FtPoint::kRecoveryFallback, -1, cand);
+      last_err = st;
+    }
+    if (epoch == 0 && !candidates.empty()) {
+      // Nothing on disk passed verification. Leave every byte in place for
+      // forensics (msverify points at the exact corrupt files) and hand the
+      // caller a typed verdict — never silently recover wrong state.
+      return Status::data_loss(
+          "RtRuntime: no committed epoch passed verification (" +
+          std::to_string(candidates.size()) +
+          " candidates tried); last error: " + last_err.message());
+    }
+    if (!candidates.empty() && epoch != candidates.front()) {
+      // Fallback landed below the tip: every newer committed epoch is now
+      // proven (directly or transitively) unusable. Remove them so the next
+      // scan cannot resurrect a tip recovery just rejected, then rebuild
+      // the chain/boundary view around the surviving epoch.
+      for (const std::uint64_t e : candidates) {
+        if (e <= epoch) break;  // descending order
+        m_corrupt_artifacts_->add(1);
+        std::error_code rm_ec;
+        fs::remove_all(epoch_dir(e), rm_ec);
       }
-      // Replay cursors always come from the tip — the chain's youngest cut.
-      boundaries[idx] = manifest->ops[idx].boundary;
-      next_seqs[idx] = manifest->ops[idx].next_seq;
+      std::scoped_lock lk(ctl_mu_);
+      scan_existing_state();
     }
   }
   const SimTime t_read1 = now();
@@ -920,20 +1076,27 @@ Status RtRuntime::recover(RecoveryStats* stats) {
   std::vector<std::vector<LogRecord>> replay(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     const auto idx = static_cast<std::size_t>(i);
-    Status st = engine_->restore_operator(i, state[idx]);
+    Status st = engine_->restore_operator(i, loaded.state[idx]);
     if (!st.is_ok()) return st;
     // Layer the op's committed deltas, oldest first, onto the full base.
-    for (const auto& d : deltas[idx]) {
+    for (const auto& d : loaded.deltas[idx]) {
       st = engine_->apply_operator_delta(i, d);
       if (!st.is_ok()) return st;
     }
     emit_probe(FtPoint::kRecoveryChainDone, i, seq);
     if (!logs_[idx]) continue;
-    replay[idx] = read_log(i);
+    LogHealth log_health;
+    replay[idx] = read_log(i, &log_health);
+    if (!log_health.error.is_ok()) {
+      // Transient: completing "successfully" here would replay zero records
+      // and silently lose every tuple past the checkpoint boundary. Abort
+      // retryably instead (same contract as manifests and blobs).
+      return log_health.error;
+    }
     // The restored lineage cursor must clear every preserved tuple so fresh
     // emissions never collide with replayed ids.
-    std::uint64_t next_seq = next_seqs[idx];
-    std::uint64_t emitted = boundaries[idx];
+    std::uint64_t next_seq = loaded.next_seqs[idx];
+    std::uint64_t emitted = loaded.boundaries[idx];
     for (const LogRecord& rec : replay[idx]) {
       next_seq = std::max(next_seq, rec.tuple.source_seq + 1);
       emitted = std::max(emitted, rec.index + 1);
@@ -955,7 +1118,7 @@ Status RtRuntime::recover(RecoveryStats* stats) {
   for (int i = 0; i < n; ++i) {
     const auto idx = static_cast<std::size_t>(i);
     for (const LogRecord& rec : replay[idx]) {
-      if (rec.index < boundaries[idx]) continue;  // already in the snapshot
+      if (rec.index < loaded.boundaries[idx]) continue;  // in the snapshot
       const Status st = engine_->replay_downstream(i, rec.out_port, rec.tuple);
       if (!st.is_ok()) return st;
       ++replayed;
@@ -982,7 +1145,104 @@ Status RtRuntime::recover(RecoveryStats* stats) {
     stats->other =
         (stats->completed - t0) - stats->disk_io - stats->reconnection;
     stats->haus_recovered = n;
-    stats->bytes_read = bytes_read;
+    stats->bytes_read = static_cast<Bytes>(loaded.bytes_read);
+  }
+  return Status::ok();
+}
+
+Status RtRuntime::load_epoch_state(std::uint64_t epoch, LoadedEpoch* out) {
+  const int n = engine_->num_operators();
+  out->state.resize(static_cast<std::size_t>(n));
+  out->deltas.resize(static_cast<std::size_t>(n));
+  out->boundaries.assign(static_cast<std::size_t>(n), 0);
+  out->next_seqs.assign(static_cast<std::size_t>(n), 0);
+  out->bytes_read = 0;
+  // Resolve the candidate's chain closure: a delta tip pulls in its
+  // predecessors so per-op chains can be walked back to a full base.
+  std::map<std::uint64_t, Manifest> chain;
+  std::uint64_t e = epoch;
+  while (e != 0 && chain.find(e) == chain.end()) {
+    auto m = read_manifest(e);
+    if (!m.is_ok()) {
+      if (m.status().code() == StatusCode::kUnavailable) return m.status();
+      // kNotFound or kDataLoss: a link this candidate depends on is gone or
+      // garbage — the candidate is definitively unusable.
+      return Status::data_loss("RtRuntime: chain manifest for epoch " +
+                               std::to_string(e) + " unusable: " +
+                               m.status().message());
+    }
+    if (m.value().ops.size() != static_cast<std::size_t>(n)) {
+      return Status::data_loss(
+          "RtRuntime: manifest operator count mismatch, epoch " +
+          std::to_string(e));
+    }
+    const std::uint64_t prev = m.value().prev_epoch;
+    chain.emplace(e, std::move(m.value()));
+    e = prev;
+  }
+  const Manifest& tip = chain.at(epoch);
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    // Walk this op's records from the tip back to its newest full one.
+    std::vector<std::pair<std::uint64_t, const Manifest::Op*>> records;
+    e = epoch;
+    for (;;) {
+      const auto m_it = chain.find(e);
+      if (m_it == chain.end()) {
+        return Status::data_loss("RtRuntime: delta chain broken for op " +
+                                 std::to_string(i) + " at epoch " +
+                                 std::to_string(e));
+      }
+      const Manifest::Op& rec = m_it->second.ops[idx];
+      records.emplace_back(e, &rec);
+      if (!rec.delta) break;
+      if (m_it->second.prev_epoch == 0) {
+        return Status::data_loss("RtRuntime: delta without a base for op " +
+                                 std::to_string(i));
+      }
+      e = m_it->second.prev_epoch;
+    }
+    std::reverse(records.begin(), records.end());  // full base first
+    for (std::size_t j = 0; j < records.size(); ++j) {
+      const auto& [rec_epoch, rec] = records[j];
+      const std::string path = epoch_dir(rec_epoch) + "/op_" +
+                               std::to_string(i) +
+                               (rec->delta ? ".delta" : ".ckpt");
+      std::vector<std::uint8_t> bytes;
+      const Status st = storage::read_artifact(
+          path,
+          rec->delta ? storage::ArtifactKind::kDelta
+                     : storage::ArtifactKind::kCheckpoint,
+          durable_opts(), &bytes);
+      if (!st.is_ok()) {
+        if (st.code() == StatusCode::kUnavailable) return st;
+        m_corrupt_artifacts_->add(1);
+        emit_probe(FtPoint::kCorruptArtifact, i, rec_epoch);
+        return Status::data_loss(
+            "RtRuntime: checkpoint bytes missing or corrupt for op " +
+            std::to_string(i) + " epoch " + std::to_string(rec_epoch) + ": " +
+            st.message());
+      }
+      if (bytes.size() != rec->size) {
+        // Legacy (unframed) blobs have no CRC; the manifest's recorded size
+        // is the only tripwire — and for framed blobs a passing CRC with the
+        // wrong size still means the manifest and blob disagree.
+        m_corrupt_artifacts_->add(1);
+        emit_probe(FtPoint::kCorruptArtifact, i, rec_epoch);
+        return Status::data_loss("RtRuntime: checkpoint size mismatch for op " +
+                                 std::to_string(i) + " epoch " +
+                                 std::to_string(rec_epoch));
+      }
+      out->bytes_read += bytes.size();
+      if (j == 0) {
+        out->state[idx] = std::move(bytes);
+      } else {
+        out->deltas[idx].push_back(std::move(bytes));
+      }
+    }
+    // Replay cursors always come from the tip — the chain's youngest cut.
+    out->boundaries[idx] = tip.ops[idx].boundary;
+    out->next_seqs[idx] = tip.ops[idx].next_seq;
   }
   return Status::ok();
 }
@@ -998,8 +1258,25 @@ Status RtRuntime::recover(RecoveryStats* stats) {
 // triggers fenced recovery without any manual recover() call.
 
 Status RtRuntime::health() const {
-  std::scoped_lock lk(heal_mu_);
-  return health_;
+  {
+    std::scoped_lock lk(heal_mu_);
+    if (!health_.is_ok()) return health_;
+  }
+  // A failed append left a tuple downstream that no recovery could replay;
+  // degraded until every retained epoch's boundary passes the gap (cleared
+  // at commit-time truncation).
+  for (std::size_t i = 0; i < logs_.size(); ++i) {
+    if (!logs_[i]) continue;
+    std::scoped_lock lk(logs_[i]->mu);
+    if (logs_[i]->failed_since != SourceLog::kNoAppendFailure) {
+      return Status::data_loss(
+          "RtRuntime: source log " + std::to_string(i) +
+          " is missing records from index " +
+          std::to_string(logs_[i]->failed_since) +
+          " (append failed; not yet covered by a committed checkpoint)");
+    }
+  }
+  return Status::ok();
 }
 
 void RtRuntime::inject_heartbeat_delay(int op, SimTime delay) {
@@ -1058,6 +1335,9 @@ void RtRuntime::supervisor_loop() {
     if (failed.empty()) continue;
     {
       std::scoped_lock lk(ctl_mu_);
+      // One correlated batch of verdicts = one failure event for the live
+      // MTBF estimate feeding the cadence retune (params.cadence_live_mtbf).
+      if (cadence_) cadence_->on_failure_event(now());
       for (int unit : failed) coordinator_->on_unit_failed(unit);
     }
     attempt_self_heal();

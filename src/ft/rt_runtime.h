@@ -7,6 +7,17 @@
 // everything the engine deliberately does not: checkpoint files, source
 // logs, epoch commit, and restart-and-replay recovery.
 //
+// Every durable file below travels inside a storage::durable_file frame
+// (magic + length + CRC32C; see durable_layout.h for the payloads), written
+// under the config's SyncMode fsync discipline, and recovery verifies what
+// it reads: a corrupt delta invalidates only its chain suffix and recovery
+// falls back to the newest verifiable epoch (full epochs beyond the live
+// chain are retained as fallback rungs, params.retain_fallback_epochs); a
+// corrupt manifest classifies its epoch as never-committed; a torn
+// source-log tail is truncated to the last whole frame (ft.log.torn_frames)
+// instead of silently resurfacing after the next append. Pre-checksum
+// directories still recover via the legacy compat path.
+//
 // Durability layout under `config.dir`:
 //   epoch_<E>/op_<i>.ckpt   per-operator full snapshot bytes of epoch E
 //   epoch_<E>/op_<i>.delta  delta epochs (kSrcApDelta / delta_checkpoints):
@@ -80,6 +91,7 @@
 #include "common/status.h"
 #include "core/tuple.h"
 #include "ft/aa_controller.h"
+#include "ft/durable_layout.h"
 #include "ft/cadence_controller.h"
 #include "ft/failure_detector.h"
 #include "ft/params.h"
@@ -88,6 +100,7 @@
 #include "ft/runtime.h"
 #include "ft/stats.h"
 #include "rt/engine.h"
+#include "storage/durable_file.h"
 
 namespace ms::ft {
 
@@ -117,6 +130,13 @@ struct RtRuntimeConfig {
   /// exponential-backoff retries and crash-loop quarantine. The happy chaos
   /// path then needs no manual recover() call.
   bool auto_recover = false;
+  /// How much is forced to media around durable writes (durable_file.h).
+  /// kCommit — the paper-faithful discipline — fdatasyncs artifacts and
+  /// fsyncs the parent directory around every rename commit point.
+  storage::SyncMode sync_mode = storage::SyncMode::kCommit;
+  /// Optional disk-fault hook consulted by every durable read/write
+  /// (chaos drills; see failure/disk_fault.h). Not owned.
+  storage::FaultInjector* disk_faults = nullptr;
 };
 
 class RtRuntime final : public Runtime {
@@ -171,9 +191,12 @@ class RtRuntime final : public Runtime {
   void clear_crash() { crashed_.store(false); }
   bool crashed() const { return crashed_.load(); }
 
-  // --- self-heal introspection (meaningful with config.auto_recover) ---
+  // --- health introspection ---
   /// OK while healthy (or healed); degraded — kUnavailable with the reason —
-  /// after crash-loop quarantine or retry exhaustion.
+  /// after crash-loop quarantine or retry exhaustion (config.auto_recover),
+  /// or kDataLoss while a source log is missing records from a failed append
+  /// that no committed checkpoint boundary covers yet (a recovery inside
+  /// that window could not replay the lost tuple).
   Status health() const;
   /// Completed automatic recoveries since construction.
   std::uint64_t auto_recoveries() const { return auto_recoveries_.load(); }
@@ -226,11 +249,23 @@ class RtRuntime final : public Runtime {
   /// One source's preservation log (appended under its own mutex by the
   /// engine tap; rewritten at truncation).
   struct SourceLog {
+    /// failed_since value meaning "no uncovered append failure".
+    static constexpr std::uint64_t kNoAppendFailure = ~std::uint64_t{0};
+
     std::mutex mu;
     std::string path;
-    std::ofstream out;              // append handle, reopened on truncation
+    storage::AppendFile out;        // append handle, reopened on truncation
+    /// Pre-checksum file format (no MSLG header, no per-frame CRC). Appends
+    /// stay format-consistent with the existing bytes; the first truncation
+    /// rewrite upgrades the file to the checksummed format.
+    bool legacy = false;
     std::uint64_t begin_index = 0;  // first record still in the file
     std::uint64_t next_index = 0;   // index the next append gets
+    /// Lowest record index whose append failed (the tuple went downstream
+    /// but is absent from the replay log). Until every retained epoch's
+    /// boundary passes it, a recovery would silently replay without that
+    /// tuple — health() reports the window. Guarded by mu.
+    std::uint64_t failed_since = kNoAppendFailure;
   };
 
   /// A log record rehydrated for replay or truncation.
@@ -240,20 +275,29 @@ class RtRuntime final : public Runtime {
     core::Tuple tuple;
   };
 
-  struct Manifest {
-    std::uint64_t epoch = 0;
-    /// The committed epoch this one chains on (0 = chain base: every op
-    /// record in this epoch is full). Recovery follows these pointers.
-    std::uint64_t prev_epoch = 0;
-    struct Op {
-      std::uint64_t size = 0;
-      bool is_source = false;
-      /// True when op_<i>.delta (layer on the chain), false for op_<i>.ckpt.
-      bool delta = false;
-      std::uint64_t boundary = 0;
-      std::uint64_t next_seq = 0;
-    };
-    std::vector<Op> ops;
+  /// Manifest payload layout lives in durable_layout.h so the msverify
+  /// scrubber decodes exactly what the runtime writes.
+  using Manifest = EpochManifest;
+
+  /// What one source log's on-disk bytes look like (read_log out-param).
+  struct LogHealth {
+    bool new_format = false;  // MSLG header + per-frame CRCs
+    bool torn = false;        // trailing bytes past the last whole frame
+    std::uint64_t valid_bytes = 0;  // end of the last verifiable frame
+    /// Non-OK (kUnavailable) when the file could not be read at all: the
+    /// records may be intact — an empty return with this set is "could not
+    /// look", never "nothing to replay". A missing file stays OK.
+    Status error = Status::ok();
+  };
+
+  /// Everything recovery needs from one committed epoch (chain resolved):
+  /// per-op state bytes, layered deltas, replay boundaries.
+  struct LoadedEpoch {
+    std::vector<std::vector<std::uint8_t>> state;
+    std::vector<std::vector<std::vector<std::uint8_t>>> deltas;
+    std::vector<std::uint64_t> boundaries;
+    std::vector<std::uint64_t> next_seqs;
+    std::uint64_t bytes_read = 0;
   };
 
   void emit_probe(FtPoint point, int unit, std::uint64_t id) {
@@ -268,11 +312,25 @@ class RtRuntime final : public Runtime {
   // Disk helpers.
   std::string epoch_dir(std::uint64_t epoch) const;
   std::string log_path(int op) const;
-  std::optional<Manifest> read_manifest(std::uint64_t epoch) const;
-  /// Parse one source log; torn tails (crash mid-append) are dropped.
-  std::vector<LogRecord> read_log(int op) const;
+  storage::DurableOptions durable_opts() const {
+    return {config_.sync_mode, config_.disk_faults};
+  }
+  /// Read + verify epoch_<E>/MANIFEST. kNotFound = never committed;
+  /// kDataLoss = frame or payload fails verification; kUnavailable =
+  /// transient read error.
+  Result<Manifest> read_manifest(std::uint64_t epoch) const;
+  /// Parse one source log; torn tails (crash mid-append, bad frame CRC) are
+  /// dropped and reported via `health` (the file itself is untouched here —
+  /// scan_existing_state does the truncation). A transient read error sets
+  /// `health->error` and returns no records — callers must distinguish that
+  /// from an empty log or replay silently loses the whole suffix.
+  std::vector<LogRecord> read_log(int op, LogHealth* health = nullptr) const;
   void truncate_log(int op, std::uint64_t boundary);
   void scan_existing_state();
+  /// Resolve `epoch`'s delta chain and read + verify every blob. kDataLoss =
+  /// some artifact in the closure is corrupt/missing (recovery falls back);
+  /// kUnavailable = transient read error (recovery aborts retryably).
+  Status load_epoch_state(std::uint64_t epoch, LoadedEpoch* out);
 
   // Mode drivers.
   void arm_initiation();
@@ -308,6 +366,19 @@ class RtRuntime final : public Runtime {
   /// a full epoch supersedes them. Non-delta modes degenerate to a single
   /// entry (the predecessor removed at the next commit). Guarded by ctl_mu_.
   std::vector<std::uint64_t> chain_epochs_;
+  /// Fallback rungs: committed full epochs superseded by a newer chain but
+  /// retained (newest params.retain_fallback_epochs of them, oldest first) so
+  /// a corrupt tip never strands recovery. Guarded by ctl_mu_.
+  std::vector<std::uint64_t> fallback_epochs_;
+  /// Every committed epoch on disk, newest first — recovery's fallback
+  /// ladder. Rebuilt by scan_existing_state (includes epochs whose manifest
+  /// was transiently unreadable). Guarded by ctl_mu_.
+  std::vector<std::uint64_t> committed_desc_;
+  /// Per-surviving-epoch source replay boundaries (epoch -> op -> boundary):
+  /// commit-time log truncation may only drop records below the *oldest*
+  /// retained epoch's boundary, or falling back to a rung could not replay
+  /// with full fidelity. Guarded by ctl_mu_.
+  std::map<std::uint64_t, std::map<int, std::uint64_t>> retained_boundaries_;
   /// True whenever the operators' in-memory dirty baselines are NOT the tip
   /// of the committed chain — at construction, after an abandoned epoch
   /// (serialization advanced the baselines but the files were discarded) and
@@ -346,6 +417,13 @@ class RtRuntime final : public Runtime {
   bool quarantined_ = false;         // guarded by heal_mu_
   int crash_streak_ = 0;             // guarded by heal_mu_
   SimTime last_heal_completed_;      // guarded by heal_mu_; zero = never
+  // Durable-state integrity counters.
+  Counter* m_torn_frames_ = nullptr;        // ft.log.torn_frames
+  Counter* m_append_failures_ = nullptr;    // ft.log.append_failures
+  Counter* m_corrupt_manifests_ = nullptr;  // ft.scan.corrupt_manifests
+  Counter* m_corrupt_artifacts_ = nullptr;  // ft.recovery.corrupt_artifacts
+  Counter* m_fallbacks_ = nullptr;          // ft.recovery.fallbacks
+
   Counter* m_heal_attempts_ = nullptr;
   Counter* m_heal_success_ = nullptr;
   Counter* m_heal_failed_ = nullptr;

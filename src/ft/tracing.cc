@@ -129,6 +129,16 @@ void ProbeTracer::on(FtPoint point, int hau, std::uint64_t id) {
       trace_->instant(ts, pid, trace_track::kControllerTid, "failure-verdict",
                       kRecoveryCat, id);
       break;
+    // Integrity events are controller-track instants: a corrupt artifact and
+    // the fallback it forces both belong to the recovery narrative.
+    case FtPoint::kCorruptArtifact:
+      trace_->instant(ts, pid, trace_track::kControllerTid, "corrupt-artifact",
+                      kRecoveryCat, id);
+      break;
+    case FtPoint::kRecoveryFallback:
+      trace_->instant(ts, pid, trace_track::kControllerTid,
+                      "recovery-fallback", kRecoveryCat, id);
+      break;
   }
 }
 

@@ -1,0 +1,36 @@
+// Offline integrity scrub of an rt checkpoint directory — the library
+// behind tools/msverify. Walks every durable artifact the runtime writes
+// (epoch manifests, checkpoint/delta blobs, source logs, baseline unit
+// files), verifies frames and cross-checks blob sizes against their
+// manifest, and reports per-file verdicts without modifying anything on
+// disk. The runtime's recovery performs the same checks inline; the scrub
+// exists so an operator can ask "which exact file is damaged?" before (or
+// instead of) letting recovery fall back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ms::ft {
+
+struct ScrubIssue {
+  std::string path;    // the exact file (or directory) at fault
+  std::string detail;  // what failed verification
+};
+
+struct ScrubReport {
+  int epochs = 0;        // committed epoch dirs examined
+  int incomplete = 0;    // epoch dirs without a MANIFEST (crash leftovers)
+  int artifacts = 0;     // files whose frames were verified
+  int legacy = 0;        // pre-checksum files (unverifiable by construction)
+  std::uint64_t verified_bytes = 0;
+  std::vector<ScrubIssue> issues;
+  bool clean() const { return issues.empty(); }
+};
+
+/// Scrub `dir` (an RtRuntimeConfig::dir). Read-only; never throws. A missing
+/// or empty directory yields an empty, clean report.
+ScrubReport scrub_checkpoint_dir(const std::string& dir);
+
+}  // namespace ms::ft

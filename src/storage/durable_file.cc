@@ -1,0 +1,440 @@
+#include "storage/durable_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+namespace ms::storage {
+
+namespace fs = std::filesystem;
+
+// --- CRC32C ----------------------------------------------------------------
+
+namespace {
+
+// Table-based fallback (Castagnoli polynomial 0x1EDC6F41, reflected
+// 0x82F63B78) — one table, byte at a time; correctness over throughput, the
+// hardware path carries the hot loops.
+struct Crc32cTable {
+  std::array<std::uint32_t, 256> t{};
+  Crc32cTable() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (c >> 1) ^ 0x82F63B78u : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+
+std::uint32_t crc32c_sw(const void* data, std::size_t n, std::uint32_t crc) {
+  static const Crc32cTable table;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table.t[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+#define MS_CRC32C_HW 1
+
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(const void* data,
+                                                          std::size_t n,
+                                                          std::uint32_t crc) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  crc = ~crc;
+#if defined(__x86_64__)
+  while (n >= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    crc = static_cast<std::uint32_t>(
+        __builtin_ia32_crc32di(crc, v));
+    p += 8;
+    n -= 8;
+  }
+#endif
+  while (n >= 4) {
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    crc = __builtin_ia32_crc32si(crc, v);
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p);
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+bool detect_sse42() { return __builtin_cpu_supports("sse4.2"); }
+#endif  // x86
+
+}  // namespace
+
+bool crc32c_hw_available() {
+#ifdef MS_CRC32C_HW
+  static const bool available = detect_sse42();
+  return available;
+#else
+  return false;
+#endif
+}
+
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed) {
+#ifdef MS_CRC32C_HW
+  if (crc32c_hw_available()) return crc32c_hw(data, n, seed);
+#endif
+  return crc32c_sw(data, n, seed);
+}
+
+// --- artifact framing ------------------------------------------------------
+
+const char* artifact_kind_name(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kCheckpoint: return "checkpoint";
+    case ArtifactKind::kDelta: return "delta";
+    case ArtifactKind::kManifest: return "manifest";
+    case ArtifactKind::kSourceLog: return "source-log";
+    case ArtifactKind::kBaseline: return "baseline";
+  }
+  return "unknown";
+}
+
+const char* sync_mode_name(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::kNone: return "none";
+    case SyncMode::kCommit: return "commit";
+    case SyncMode::kAlways: return "always";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void put_u16(std::uint8_t* p, std::uint16_t v) { std::memcpy(p, &v, 2); }
+void put_u32(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+std::uint16_t get_u16(const std::uint8_t* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+void fill_header(std::uint8_t* h, ArtifactKind kind, const void* payload,
+                 std::size_t n) {
+  put_u32(h, kArtifactMagic);
+  put_u16(h + 4, kArtifactVersion);
+  h[6] = static_cast<std::uint8_t>(kind);
+  h[7] = 0;  // reserved
+  put_u64(h + 8, static_cast<std::uint64_t>(n));
+  put_u32(h + 16, crc32c(payload, n));
+  put_u32(h + 20, crc32c(h, 20));
+}
+
+Status data_loss(const std::string& path, const char* what) {
+  return {StatusCode::kDataLoss,
+          std::string("artifact corrupt (") + what + "): " + path};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> frame_artifact(ArtifactKind kind,
+                                         const void* payload, std::size_t n) {
+  std::vector<std::uint8_t> out(kArtifactHeaderSize + n);
+  fill_header(out.data(), kind, payload, n);
+  if (n > 0) std::memcpy(out.data() + kArtifactHeaderSize, payload, n);
+  return out;
+}
+
+Status unframe_artifact(const std::string& path,
+                        std::vector<std::uint8_t> file, ArtifactKind expect,
+                        std::vector<std::uint8_t>* payload, bool* legacy) {
+  if (legacy) *legacy = false;
+  if (file.size() < 4 || get_u32(file.data()) != kArtifactMagic) {
+    // Pre-checksum artifact: the whole file is the payload, unverifiable by
+    // construction. The compat path that keeps old checkpoint dirs readable.
+    if (legacy) *legacy = true;
+    *payload = std::move(file);
+    return Status::ok();
+  }
+  if (file.size() < kArtifactHeaderSize) {
+    // The magic is there but the header is not: a framed artifact truncated
+    // mid-header, not a legacy file.
+    return data_loss(path, "truncated header");
+  }
+  const std::uint8_t* h = file.data();
+  if (crc32c(h, 20) != get_u32(h + 20)) {
+    return data_loss(path, "header crc");
+  }
+  if (get_u16(h + 4) != kArtifactVersion) {
+    return data_loss(path, "frame version");
+  }
+  if (h[6] != static_cast<std::uint8_t>(expect)) {
+    return data_loss(path, "artifact kind");
+  }
+  const std::uint64_t len = get_u64(h + 8);
+  if (len != file.size() - kArtifactHeaderSize) {
+    return data_loss(path, "payload length");
+  }
+  const std::uint8_t* body = file.data() + kArtifactHeaderSize;
+  if (crc32c(body, static_cast<std::size_t>(len)) != get_u32(h + 16)) {
+    return data_loss(path, "payload crc");
+  }
+  payload->assign(body, body + len);
+  return Status::ok();
+}
+
+// --- durable I/O -----------------------------------------------------------
+
+bool fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+namespace {
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Write `bytes` (possibly truncated to `limit`) to `path`, O_TRUNC.
+/// `do_sync` fdatasyncs before close.
+bool write_file(const std::string& path, const std::vector<std::uint8_t>& bytes,
+                std::size_t limit, bool do_sync) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const std::size_t n = std::min(limit, bytes.size());
+  bool ok = write_all(fd, bytes.data(), n);
+  if (ok && do_sync) ok = ::fdatasync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+std::string parent_dir(const std::string& path) {
+  const auto p = fs::path(path).parent_path();
+  return p.empty() ? std::string(".") : p.string();
+}
+
+}  // namespace
+
+Status write_artifact(const std::string& path, ArtifactKind kind,
+                      const void* data, std::size_t n,
+                      const DurableOptions& opts) {
+  const std::vector<std::uint8_t> framed = frame_artifact(kind, data, n);
+  const bool do_sync = opts.sync != SyncMode::kNone;
+  WriteFaultSpec fault;
+  if (opts.faults) fault = opts.faults->write_fault(path, kind);
+  switch (fault.fault) {
+    case WriteFault::kError:
+      return Status::unavailable("injected write error: " + path);
+    case WriteFault::kTorn:
+      // The disk lied: part of the frame landed, success was reported.
+      write_file(path, framed, static_cast<std::size_t>(fault.offset),
+                 do_sync);
+      return Status::ok();
+    case WriteFault::kCrashBeforeRename:
+    case WriteFault::kCrashAfterRename:
+      // No rename in the direct path; a crash here means the bytes may or
+      // may not have landed. Write fully, then die.
+      write_file(path, framed, framed.size(), do_sync);
+      if (opts.faults) opts.faults->on_crash_point(path);
+      return Status::unavailable("injected crash during write: " + path);
+    case WriteFault::kNone:
+      break;
+  }
+  if (!write_file(path, framed, framed.size(), do_sync)) {
+    return Status::unavailable("write failed: " + path);
+  }
+  return Status::ok();
+}
+
+namespace {
+
+/// Shared tmp-write + rename commit path; `framed` is the exact on-disk
+/// image (already MSDF-framed, or internally framed for raw callers).
+Status commit_atomic(const std::string& path, ArtifactKind kind,
+                     const std::vector<std::uint8_t>& framed,
+                     const DurableOptions& opts) {
+  const bool do_sync = opts.sync != SyncMode::kNone;
+  const std::string tmp = path + ".tmp";
+  WriteFaultSpec fault;
+  if (opts.faults) fault = opts.faults->write_fault(path, kind);
+  if (fault.fault == WriteFault::kError) {
+    return Status::unavailable("injected write error: " + path);
+  }
+  const std::size_t limit = fault.fault == WriteFault::kTorn
+                                ? static_cast<std::size_t>(fault.offset)
+                                : framed.size();
+  if (!write_file(tmp, framed, limit, do_sync)) {
+    return Status::unavailable("write failed: " + tmp);
+  }
+  if (fault.fault == WriteFault::kCrashBeforeRename) {
+    // The temp file exists, the rename never happened: the artifact was
+    // never committed. The harness flips the crash flag at this instant.
+    if (opts.faults) opts.faults->on_crash_point(path);
+    return Status::unavailable("injected crash before rename: " + path);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::unavailable("rename failed: " + path);
+  if (fault.fault == WriteFault::kCrashAfterRename) {
+    // The rename landed but the writer died before the directory sync (and
+    // before observing its own commit). The dirent is on disk — the next
+    // scan finds a committed artifact the process never accounted for.
+    if (opts.faults) opts.faults->on_crash_point(path);
+    return Status::unavailable("injected crash after rename: " + path);
+  }
+  if (do_sync && !fsync_dir(parent_dir(path))) {
+    return Status::unavailable("dir fsync failed: " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status write_artifact_atomic(const std::string& path, ArtifactKind kind,
+                             const void* data, std::size_t n,
+                             const DurableOptions& opts) {
+  return commit_atomic(path, kind, frame_artifact(kind, data, n), opts);
+}
+
+Status write_raw_atomic(const std::string& path, ArtifactKind kind,
+                        const void* data, std::size_t n,
+                        const DurableOptions& opts) {
+  std::vector<std::uint8_t> bytes(n);
+  if (n > 0) std::memcpy(bytes.data(), data, n);
+  return commit_atomic(path, kind, bytes, opts);
+}
+
+Status read_raw(const std::string& path, ArtifactKind kind,
+                const DurableOptions& opts, std::vector<std::uint8_t>* bytes) {
+  ReadFaultSpec fault;
+  if (opts.faults) fault = opts.faults->read_fault(path, kind);
+  if (fault.fault == ReadFault::kError) {
+    return Status::unavailable("injected read error: " + path);
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::not_found("no such file: " + path);
+    return Status::unavailable("open failed: " + path);
+  }
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0 || ::lseek(fd, 0, SEEK_SET) < 0) {
+    ::close(fd);
+    return Status::unavailable("seek failed: " + path);
+  }
+  bytes->resize(static_cast<std::size_t>(end));
+  std::size_t off = 0;
+  while (off < bytes->size()) {
+    const ssize_t r = ::read(fd, bytes->data() + off, bytes->size() - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::unavailable("read failed: " + path);
+    }
+    if (r == 0) break;  // concurrent truncation; keep what we got
+    off += static_cast<std::size_t>(r);
+  }
+  bytes->resize(off);
+  ::close(fd);
+  switch (fault.fault) {
+    case ReadFault::kShortRead:
+      if (fault.offset < bytes->size()) {
+        bytes->resize(static_cast<std::size_t>(fault.offset));
+      }
+      break;
+    case ReadFault::kBitFlip: {
+      const std::size_t byte = static_cast<std::size_t>(fault.offset / 8);
+      if (byte < bytes->size()) {
+        (*bytes)[byte] ^= static_cast<std::uint8_t>(1u << (fault.offset % 8));
+      }
+      break;
+    }
+    case ReadFault::kError:
+    case ReadFault::kNone:
+      break;
+  }
+  return Status::ok();
+}
+
+Status read_artifact(const std::string& path, ArtifactKind kind,
+                     const DurableOptions& opts,
+                     std::vector<std::uint8_t>* payload, bool* legacy) {
+  std::vector<std::uint8_t> file;
+  const Status st = read_raw(path, kind, opts, &file);
+  if (!st.is_ok()) return st;
+  return unframe_artifact(path, std::move(file), kind, payload, legacy);
+}
+
+// --- AppendFile ------------------------------------------------------------
+
+bool AppendFile::open(const std::string& path) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  path_ = path;
+  return fd_ >= 0;
+}
+
+void AppendFile::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool AppendFile::append(const void* data, std::size_t n,
+                        const DurableOptions& opts) {
+  if (fd_ < 0) return false;
+  WriteFaultSpec fault;
+  if (opts.faults) {
+    fault = opts.faults->write_fault(path_, ArtifactKind::kSourceLog);
+  }
+  if (fault.fault == WriteFault::kError) return false;
+  std::size_t limit = n;
+  if (fault.fault == WriteFault::kTorn) {
+    limit = std::min(n, static_cast<std::size_t>(fault.offset));
+  }
+  const bool wrote =
+      write_all(fd_, static_cast<const std::uint8_t*>(data), limit);
+  if (wrote && opts.sync == SyncMode::kAlways) ::fdatasync(fd_);
+  if (fault.fault == WriteFault::kTorn) return false;  // tail is torn
+  if (fault.fault == WriteFault::kCrashBeforeRename ||
+      fault.fault == WriteFault::kCrashAfterRename) {
+    if (opts.faults) opts.faults->on_crash_point(path_);
+    return false;
+  }
+  return wrote;
+}
+
+}  // namespace ms::storage

@@ -1,0 +1,205 @@
+// Framed durable artifacts: every blob the runtime persists — checkpoints,
+// deltas, manifests, source-log records, baseline unit files — is wrapped in
+// a fixed 24-byte header carrying magic, version, artifact kind, payload
+// length and a CRC32C over the payload (plus a CRC over the header itself),
+// so recovery can tell "these are the bytes that were written" from "the
+// disk lied". CRC32C (Castagnoli) uses the SSE4.2 crc32 instruction when the
+// CPU has it and a table-based fallback otherwise.
+//
+// Durability is layered on top with an explicit fsync discipline: the commit
+// point of every atomic write is the rename, and SyncMode decides how much
+// is forced to media before it — kNone trusts the page cache (tests,
+// benches), kCommit fdatasyncs the file and fsyncs the parent directory
+// around the rename (a power loss cannot produce a committed-but-empty
+// artifact), kAlways additionally fdatasyncs every log append.
+//
+// A FaultInjector hook threads disk faults (torn write, bit flip, short
+// read, I/O error, crash around the rename) through every operation so
+// chaos drills exercise exactly the paths a real commodity disk fails on.
+// The hook interface lives here rather than in src/failure to keep the
+// dependency arrow pointing one way: ms_failure links ms_ft links this.
+//
+// Compat: files written before this framing existed (pre-checksum v2
+// artifacts) carry no header; readers detect the missing magic and hand the
+// whole file back as the payload with `legacy` set, so an upgrade reads an
+// old checkpoint directory byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ms::storage {
+
+// --- CRC32C ----------------------------------------------------------------
+
+/// CRC32C (Castagnoli) of `n` bytes, chainable via `seed` (pass the previous
+/// return value to continue a running CRC).
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+/// True when the SSE4.2 hardware path is in use (introspection / benches).
+bool crc32c_hw_available();
+
+// --- artifact framing ------------------------------------------------------
+
+enum class ArtifactKind : std::uint8_t {
+  kCheckpoint = 1,  // epoch_<E>/op_<i>.ckpt
+  kDelta = 2,       // epoch_<E>/op_<i>.delta
+  kManifest = 3,    // epoch_<E>/MANIFEST
+  kSourceLog = 4,   // source_<i>.log (per-record frames, see AppendFile)
+  kBaseline = 5,    // baseline/op_<i>.ckpt
+};
+
+const char* artifact_kind_name(ArtifactKind kind);
+
+/// "MSDF" little-endian; first 4 bytes of every framed artifact.
+constexpr std::uint32_t kArtifactMagic = 0x4644534D;
+constexpr std::uint16_t kArtifactVersion = 1;
+/// magic(4) + version(2) + kind(1) + reserved(1) + payload_len(8) +
+/// payload_crc(4) + header_crc(4).
+constexpr std::size_t kArtifactHeaderSize = 24;
+
+/// Prepend the frame header to `payload`.
+std::vector<std::uint8_t> frame_artifact(ArtifactKind kind,
+                                         const void* payload, std::size_t n);
+
+/// Validate and strip the frame of `file` (the full on-disk bytes of `path`,
+/// used only for error messages). On success `*payload` receives the payload
+/// bytes. A file that does not start with the artifact magic is a
+/// pre-checksum legacy artifact: the whole file is the payload and `*legacy`
+/// (if non-null) is set. Returns kDataLoss when the frame is present but the
+/// header or payload fails verification (wrong kind, bad length, CRC
+/// mismatch) — the definitive "these bytes are not what was written".
+Status unframe_artifact(const std::string& path,
+                        std::vector<std::uint8_t> file, ArtifactKind expect,
+                        std::vector<std::uint8_t>* payload,
+                        bool* legacy = nullptr);
+
+// --- fault injection -------------------------------------------------------
+
+enum class WriteFault : std::uint8_t {
+  kNone,
+  /// Write only the first `offset` bytes but report success — the silent
+  /// torn write a lying disk produces.
+  kTorn,
+  /// Fail the write with a transient I/O error (kUnavailable).
+  kError,
+  /// Process dies after the temp file is written, before the rename: the
+  /// commit point was never reached.
+  kCrashBeforeRename,
+  /// Process dies right after the rename, before the directory sync: the
+  /// commit landed but the writer never observed it.
+  kCrashAfterRename,
+};
+
+enum class ReadFault : std::uint8_t {
+  kNone,
+  kShortRead,  // drop everything from `offset` on
+  kBitFlip,    // flip bit (offset % 8) of byte (offset / 8)
+  kError,      // transient I/O error (kUnavailable)
+};
+
+struct WriteFaultSpec {
+  WriteFault fault = WriteFault::kNone;
+  std::uint64_t offset = 0;
+};
+
+struct ReadFaultSpec {
+  ReadFault fault = ReadFault::kNone;
+  std::uint64_t offset = 0;
+};
+
+/// Per-operation fault decisions, consulted by every durable read/write.
+/// Implementations (src/failure/disk_fault.h) match on path / artifact kind
+/// and arm one-shot or sticky faults; the default answers are "no fault".
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual WriteFaultSpec write_fault(const std::string& path,
+                                     ArtifactKind kind) = 0;
+  virtual ReadFaultSpec read_fault(const std::string& path,
+                                   ArtifactKind kind) = 0;
+  /// Called at the instant a kCrashBefore/AfterRename fault executes, so the
+  /// harness can flip the runtime's crash flag at the faithful point.
+  virtual void on_crash_point(const std::string& path) { (void)path; }
+};
+
+// --- durable I/O -----------------------------------------------------------
+
+enum class SyncMode : std::uint8_t {
+  kNone,    // page cache only (fast; tests and benches)
+  kCommit,  // fdatasync files + fsync parent dir around rename commit points
+  kAlways,  // kCommit plus fdatasync on every log append
+};
+
+const char* sync_mode_name(SyncMode mode);
+
+struct DurableOptions {
+  SyncMode sync = SyncMode::kCommit;
+  FaultInjector* faults = nullptr;
+};
+
+/// fsync the directory itself so a preceding rename/create in it is durable.
+bool fsync_dir(const std::string& dir);
+
+/// Frame `data` and write it straight to `path` (no rename). For blobs whose
+/// visibility is already gated by a later commit marker (epoch op files: the
+/// directory "does not exist" until its MANIFEST lands). fdatasyncs the file
+/// under kCommit/kAlways.
+Status write_artifact(const std::string& path, ArtifactKind kind,
+                      const void* data, std::size_t n,
+                      const DurableOptions& opts);
+
+/// Frame `data`, write to `path + ".tmp"`, then rename into place — the
+/// commit point. Under kCommit/kAlways the temp file is fdatasynced before
+/// and the parent directory fsynced after the rename.
+Status write_artifact_atomic(const std::string& path, ArtifactKind kind,
+                             const void* data, std::size_t n,
+                             const DurableOptions& opts);
+
+/// write_artifact_atomic without the MSDF frame: `data` is the exact file
+/// image. For files with internal framing (source-log rewrites) that still
+/// want the tmp+rename+fsync commit discipline and fault injection.
+Status write_raw_atomic(const std::string& path, ArtifactKind kind,
+                        const void* data, std::size_t n,
+                        const DurableOptions& opts);
+
+/// Read the raw bytes of `path` with read-fault injection applied (for
+/// artifacts with internal framing, i.e. source logs). kNotFound when the
+/// file does not exist, kUnavailable on a read error.
+Status read_raw(const std::string& path, ArtifactKind kind,
+                const DurableOptions& opts, std::vector<std::uint8_t>* bytes);
+
+/// read_raw + unframe_artifact: the verified payload of a framed artifact
+/// (or the whole file, with `*legacy` set, for pre-checksum files).
+Status read_artifact(const std::string& path, ArtifactKind kind,
+                     const DurableOptions& opts,
+                     std::vector<std::uint8_t>* payload,
+                     bool* legacy = nullptr);
+
+/// fd-based append handle for source logs: appends are plain write()s (no
+/// stream buffering — the bytes are in the kernel when append() returns),
+/// optionally fdatasynced per append under SyncMode::kAlways. Write faults
+/// apply per append.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile() { close(); }
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  bool open(const std::string& path);
+  bool is_open() const { return fd_ >= 0; }
+  void close();
+  /// Append `n` bytes; false on failure (injected or real). Under
+  /// SyncMode::kAlways in `opts` the append is fdatasynced before returning.
+  bool append(const void* data, std::size_t n, const DurableOptions& opts);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace ms::storage

@@ -98,6 +98,48 @@ TEST(CadenceControllerTest, AbandonedEpochsAreCountedNotSampled) {
   EXPECT_EQ(c.retunes(), 1u);
 }
 
+TEST(CadenceControllerTest, LiveMtbfReplacesTheConfiguredConstant) {
+  FtParams p = base_params();
+  p.cadence_live_mtbf = true;
+  CadenceController c(p);
+  c.on_checkpoint_complete(SimTime::seconds(8), 100_MB);
+  // No gap observed yet: the configured MTBF (3600 s) still drives T*.
+  EXPECT_NEAR(c.interval().to_seconds(), std::sqrt(2.0 * 8.0 * 3600.0), 1e-6);
+  EXPECT_EQ(c.live_mtbf(), SimTime::zero());
+
+  // Two verdicts 400 s apart: the live estimate (400 s) replaces 3600 s and
+  // the retune fires immediately — a 9x-worse failure rate must not wait for
+  // the next checkpoint sample. T* = sqrt(2 * 8 * 400) = 80 s.
+  c.on_failure_event(SimTime::seconds(1000));
+  EXPECT_EQ(c.failure_events(), 1u);
+  EXPECT_NEAR(c.interval().to_seconds(), std::sqrt(2.0 * 8.0 * 3600.0), 1e-6);
+  c.on_failure_event(SimTime::seconds(1400));
+  EXPECT_EQ(c.failure_events(), 2u);
+  EXPECT_NEAR(c.live_mtbf().to_seconds(), 400.0, 1e-6);
+  EXPECT_NEAR(c.interval().to_seconds(), std::sqrt(2.0 * 8.0 * 400.0), 1e-6);
+}
+
+TEST(CadenceControllerTest, LiveMtbfGapsAreEwmaSmoothed) {
+  FtParams p = base_params();
+  p.cadence_live_mtbf = true;
+  CadenceController c(p);
+  c.on_failure_event(SimTime::seconds(0));
+  c.on_failure_event(SimTime::seconds(100));  // first gap seeds: 100
+  EXPECT_NEAR(c.live_mtbf().to_seconds(), 100.0, 1e-6);
+  c.on_failure_event(SimTime::seconds(400));  // gap 300, EWMA a=0.3
+  EXPECT_NEAR(c.live_mtbf().to_seconds(), 100.0 + 0.3 * 200.0, 1e-6);
+}
+
+TEST(CadenceControllerTest, LiveMtbfOffByDefaultOnlyTracks) {
+  CadenceController c(base_params());  // cadence_live_mtbf = false
+  c.on_checkpoint_complete(SimTime::seconds(8), 100_MB);
+  const SimTime before = c.interval();
+  c.on_failure_event(SimTime::seconds(10));
+  c.on_failure_event(SimTime::seconds(20));  // live estimate: a dire 10 s
+  EXPECT_NEAR(c.live_mtbf().to_seconds(), 10.0, 1e-6);
+  EXPECT_EQ(c.interval(), before);  // introspection only; no behavior change
+}
+
 TEST(CadenceControllerTest, DegenerateClampCollapsesSafely) {
   FtParams p = base_params();
   p.cadence_min_factor = 2.0;

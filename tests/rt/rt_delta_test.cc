@@ -20,9 +20,11 @@
 
 #include "../testing/rt_feed.h"
 #include "../testing/test_ops.h"
+#include "failure/disk_fault.h"
 #include "failure/rt_chaos.h"
 #include "ft/rt_runtime.h"
 #include "rt/engine.h"
+#include "storage/durable_file.h"
 
 namespace ms::ft {
 namespace {
@@ -297,17 +299,18 @@ TEST(RtDeltaTest, CompactionWritesFullEpochAndCollectsTheChain) {
     wait_drained(engine, 50);
     std::uint64_t done = 0;
     // full, delta, delta, full(compaction) — the compacting commit GCs the
-    // three chained predecessors.
+    // chained delta epochs but keeps the superseded chain's base as a
+    // fallback rung (retain_fallback_epochs), so two full epochs survive.
     for (int i = 0; i < 4; ++i) {
       wait_drained(engine, engine.sink_tuples() + 50);
       ASSERT_TRUE(take_checkpoint(runtime, done));
       ++done;
     }
     ASSERT_TRUE(wait_for([&cfg] {
-      return committed_epochs(cfg.dir).size() == 1;  // GC ran
+      return committed_epochs(cfg.dir).size() == 2;  // GC ran
     }));
     EXPECT_EQ(count_files_with_extension(cfg.dir, ".delta"), 0);
-    EXPECT_EQ(count_files_with_extension(cfg.dir, ".ckpt"), 3);
+    EXPECT_EQ(count_files_with_extension(cfg.dir, ".ckpt"), 6);
 
     runtime.simulate_crash();
     feed->paused.store(true);
@@ -393,11 +396,12 @@ TEST(RtDeltaTest, ManifestWriteFailureForcesFullRebase) {
     EXPECT_EQ(runtime.last_durable_epoch(), 2u);
     EXPECT_FALSE(fs::exists(epoch3)) << "orphaned failed epoch not cleaned";
     // The chain is broken: the next epoch must be a full snapshot, which
-    // supersedes (and GCs) the old base+delta pair. A delta here would
-    // chain on epoch 2 and lose the epoch-3 window forever.
+    // supersedes the old base+delta pair (GCing the delta, keeping the old
+    // base as a fallback rung). A delta here would chain on epoch 2 and
+    // lose the epoch-3 window forever.
     ASSERT_TRUE(take_checkpoint(runtime, 3));
     EXPECT_EQ(runtime.last_durable_epoch(), 4u);
-    EXPECT_EQ(committed_epochs(cfg.dir).size(), 1u);
+    EXPECT_EQ(committed_epochs(cfg.dir).size(), 2u);
     runtime.simulate_crash();
     runtime.stop();
   }
@@ -416,10 +420,12 @@ TEST(RtDeltaTest, ManifestWriteFailureForcesFullRebase) {
 
 // An unreadable mid-chain manifest must fail recovery WITHOUT deleting the
 // chain's intact epochs: a transient read error (EIO, fd exhaustion) is
-// retryable only if the bytes survive the failed attempt.
+// retryable only if the bytes survive the failed attempt. (Corrupt *bytes*
+// — a failed CRC — are a different story: that is definitive damage, and
+// the fallback drills in rt_corruption_test cover it.)
 TEST(RtDeltaTest, UnreadableMidChainManifestDoesNotDeleteTheChain) {
   auto feed = std::make_shared<ExternalFeed>();
-  const auto cfg = delta_config(fresh_dir("ms_delta_bad_manifest"));
+  auto cfg = delta_config(fresh_dir("ms_delta_bad_manifest"));
 
   std::int64_t total = 0;
   {
@@ -438,36 +444,29 @@ TEST(RtDeltaTest, UnreadableMidChainManifestDoesNotDeleteTheChain) {
     runtime.stop();
   }
 
-  // Clobber the mid-chain manifest (epoch 2), keeping its original bytes.
-  const std::string mid = cfg.dir + "/epoch_2/MANIFEST";
-  std::vector<char> original;
-  {
-    std::ifstream in(mid, std::ios::binary | std::ios::ate);
-    ASSERT_TRUE(in);
-    original.resize(static_cast<std::size_t>(in.tellg()));
-    in.seekg(0);
-    in.read(original.data(), static_cast<std::streamsize>(original.size()));
-  }
-  {
-    std::ofstream out(mid, std::ios::binary | std::ios::trunc);
-    out << "garbage";
-  }
+  // Every read of the mid-chain manifest (epoch 2) fails EIO-style until
+  // the fault clears; the bytes on disk stay intact throughout.
+  failure::DiskFaultInjector faults;
+  failure::DiskFaultInjector::Options match;
+  match.path_contains = "epoch_2/MANIFEST";
+  match.sticky = true;
+  faults.arm_read(storage::ArtifactKind::kManifest, storage::ReadFault::kError,
+                  /*offset=*/0, match);
+  cfg.disk_faults = &faults;
 
   rt::RtEngine engine(delta_chain(feed), rt::RtConfig{});
   RtRuntime runtime(&engine, cfg);  // constructor scan sees the broken walk
   ASSERT_FALSE(runtime.recover(nullptr).is_ok());
+  EXPECT_GT(faults.injected(), 0);
   // Nothing was garbage-collected: the full base (unreached by the broken
   // chain walk) and both deltas are still on disk.
   EXPECT_TRUE(fs::exists(cfg.dir + "/epoch_1/MANIFEST"));
-  EXPECT_TRUE(fs::exists(cfg.dir + "/epoch_2"));
+  EXPECT_TRUE(fs::exists(cfg.dir + "/epoch_2/MANIFEST"));
   EXPECT_TRUE(fs::exists(cfg.dir + "/epoch_3/MANIFEST"));
 
-  // The "transient" fault clears (restore the manifest): the retry must
-  // reconstruct the exact pre-crash state from the preserved chain.
-  {
-    std::ofstream out(mid, std::ios::binary | std::ios::trunc);
-    out.write(original.data(), static_cast<std::streamsize>(original.size()));
-  }
+  // The transient fault clears: the retry must reconstruct the exact
+  // pre-crash state from the preserved chain.
+  faults.clear();
   ASSERT_TRUE(runtime.recover(nullptr).is_ok());
   wait_quiescent(engine);
   runtime.stop();

@@ -20,6 +20,7 @@
 #include "ft/meteor_shower.h"
 #include "ft/rt_runtime.h"
 #include "rt/engine.h"
+#include "storage/durable_file.h"
 #include "storage/stores.h"
 
 namespace ms::ft {
@@ -129,10 +130,14 @@ RtResult run_rt(const std::string& dirname) {
   const fs::path dir = fs::path(out.dir) / ("epoch_" + std::to_string(epoch));
   for (int i = 0; i < engine.num_operators(); ++i) {
     const fs::path file = dir / ("op_" + std::to_string(i) + ".ckpt");
-    std::ifstream in(file, std::ios::binary);
-    EXPECT_TRUE(in.good()) << file;
-    out.state[i] = std::vector<std::uint8_t>(
-        std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+    // Blobs travel inside a CRC32C frame; the byte-identity claim is about
+    // the operator-state payload.
+    std::vector<std::uint8_t> payload;
+    const Status st = storage::read_artifact(
+        file.string(), storage::ArtifactKind::kCheckpoint,
+        storage::DurableOptions{}, &payload);
+    EXPECT_TRUE(st.is_ok()) << file << ": " << st.to_string();
+    out.state[i] = std::move(payload);
   }
   return out;
 }

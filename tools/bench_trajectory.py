@@ -50,7 +50,13 @@ import subprocess
 import sys
 
 SCHEMA = "ms-bench-trajectory/1"
-MICRO_FILTER = "BM_EventQueueScheduleRun|BM_SerializeDoubles"
+# BM_Crc32c / BM_CheckpointFrameWrite / BM_CheckpointRawWrite track the
+# durable tier's checksum overhead: the frame-vs-raw delta is the integrity
+# tax, and a CRC regression (e.g. losing the SSE4.2 path) shows up directly.
+MICRO_FILTER = (
+    "BM_EventQueueScheduleRun|BM_SerializeDoubles|BM_Crc32c"
+    "|BM_CheckpointFrameWrite|BM_CheckpointRawWrite"
+)
 
 
 def fail(msg):

@@ -56,6 +56,10 @@ struct Options {
   std::string rt_dir = "/tmp/mssim_rt";       // rt: durable directory
   bool auto_recover = false;  // rt: supervised self-heal instead of a manual
                               // restart-and-recover after --fail-at
+  // rt: fsync discipline for durable artifacts. kNone by default — mssim is
+  // a measurement tool, not a production deployment — so bench numbers are
+  // not dominated by the disk.
+  storage::SyncMode sync_mode = storage::SyncMode::kNone;
   std::string net_faults;     // sim: unreliable-channel spec, see usage()
   bool help = false;
 };
@@ -81,6 +85,12 @@ void usage() {
       "                               seconds into the window; rt: crash the\n"
       "                               process S wall seconds in. Both\n"
       "                               auto-recover\n"
+      "  --sync-mode none|commit|always\n"
+      "                               rt only: fsync discipline for durable\n"
+      "                               artifacts (default none: page cache\n"
+      "                               only, so measurements are not disk-\n"
+      "                               bound; commit syncs rename commit\n"
+      "                               points; always adds per-append syncs)\n"
       "  --auto-recover               rt only: run the heartbeat failure\n"
       "                               detector and let the supervisor heal\n"
       "                               the --fail-at crash in place (no\n"
@@ -188,6 +198,20 @@ bool parse(int argc, char** argv, Options* opt) {
       opt->window_minutes = std::atoi(v);
     } else if (arg == "--auto-recover") {
       opt->auto_recover = true;
+    } else if (arg == "--sync-mode") {
+      const char* v = next("--sync-mode");
+      if (v == nullptr) return false;
+      const std::string s = v;
+      if (s == "none") {
+        opt->sync_mode = storage::SyncMode::kNone;
+      } else if (s == "commit") {
+        opt->sync_mode = storage::SyncMode::kCommit;
+      } else if (s == "always") {
+        opt->sync_mode = storage::SyncMode::kAlways;
+      } else {
+        std::fprintf(stderr, "unknown --sync-mode: %s\n", v);
+        return false;
+      }
     } else if (arg == "--net-faults") {
       const char* v = next("--net-faults");
       if (v == nullptr) return false;
@@ -458,6 +482,7 @@ int run_rt_backend(const Options& opt) {
     cfg.params.recovery_budget = SimTime::seconds(2);
   }
   cfg.codec = rt_demo_codec();
+  cfg.sync_mode = opt.sync_mode;
   cfg.auto_recover = opt.auto_recover;
 
   TraceRecorder trace;

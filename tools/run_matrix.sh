@@ -41,6 +41,16 @@ for preset in $PRESETS; do
   if ! ctest --preset "$preset" -L self_heal --timeout "$TEST_TIMEOUT"; then
     results+=("$preset: SELF-HEAL FAILED"); status=1; break
   fi
+  # Corruption drills get the same dedicated serial pass under default and
+  # sanitize (not tsan: the drills are single-incarnation disk-damage
+  # scenarios, and the sanitizers are what catch a recovery path reading
+  # freed or uninitialized bytes off a corrupt frame).
+  if [[ "$preset" != "tsan" ]]; then
+    echo "=== [$preset] corruption drills ==="
+    if ! ctest --preset "$preset" -L corruption --timeout "$TEST_TIMEOUT"; then
+      results+=("$preset: CORRUPTION DRILLS FAILED"); status=1; break
+    fi
+  fi
   # Delta-checkpoint smoke: the fifth scheme (incremental checkpoints +
   # adaptive cadence) end-to-end on the real-threads backend, including a
   # mid-run crash and base+delta chain recovery, under each preset's
